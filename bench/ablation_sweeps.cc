@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out:
+ *
+ *  1. multi-chip coalescing width (the "sweet point" of Fig. 11c),
+ *  2. Data Packer flush timeout (staging delay vs packing ratio),
+ *  3. PE count per NDP module (compute vs memory balance),
+ *  4. CXLG-DIMM stripe weight (hot-data proximity placement),
+ *  5. in-flight task depth (memory-level parallelism).
+ */
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+int
+main()
+{
+    std::printf("=== Ablation sweeps (FM seeding, Pt preset, "
+                "BEACON-D) ===\n\n");
+    const auto preset = benchSeedingPresets()[0];
+    FmSeedingWorkload workload(preset);
+
+    std::printf("--- coalescing width (chips per access) ---\n");
+    printHeader("chips", {"time(us)", "cov", "energy(uJ)"});
+    for (unsigned chips : {1u, 2u, 4u, 8u, 16u}) {
+        SystemParams params = SystemParams::beaconD();
+        params.opts.coalesce_chips = chips;
+        const RunResult r = runSystem(params, workload, 0);
+        printRow(std::to_string(chips),
+                 {r.seconds * 1e6, r.chip_access_cov,
+                  r.energy.totalPj() * 1e-6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- Data Packer flush timeout ---\n");
+    printHeader("timeout(ns)", {"time(us)", "wire(MB)"});
+    for (Tick timeout_ns : {5u, 15u, 50u, 200u}) {
+        SystemParams params = SystemParams::beaconD();
+        params.pool.packer.flush_timeout = timeout_ns * 1000;
+        const RunResult r = runSystem(params, workload, 0);
+        printRow(std::to_string(timeout_ns),
+                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- PEs per NDP module ---\n");
+    printHeader("PEs", {"time(us)", "tasks/s(M)"});
+    for (unsigned pes : {16u, 32u, 64u, 128u, 256u}) {
+        SystemParams params = SystemParams::beaconD();
+        params.pes_per_module = pes;
+        const RunResult r = runSystem(params, workload, 0);
+        printRow(std::to_string(pes),
+                 {r.seconds * 1e6, r.tasks_per_second / 1e6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- function shipping (MEDAL-style task "
+                "forwarding) ---\n");
+    printHeader("mode", {"time(us)", "wire(MB)"});
+    for (bool shipping : {false, true}) {
+        // Packed pool without proximity placement: remote requests
+        // reach NDP-capable CXLG-DIMMs sub-flit.
+        SystemParams params = SystemParams::cxlVanillaD();
+        params.opts.data_packing = true;
+        params.opts.mem_access_opt = true;
+        params.opts.function_shipping = shipping;
+        const RunResult r = runSystem(params, workload, 0);
+        printRow(shipping ? "ship-compute" : "fetch-data",
+                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- DRAM page policy ---\n");
+    printHeader("policy", {"time(us)", "rowHits", "energy(uJ)"});
+    for (PagePolicy policy : {PagePolicy::Open, PagePolicy::Closed}) {
+        SystemParams params = SystemParams::beaconD();
+        params.page_policy = policy;
+        NdpSystem system(params, workload);
+        const RunResult r = system.run(0);
+        printRow(policy == PagePolicy::Open ? "open" : "closed",
+                 {r.seconds * 1e6,
+                  system.stats().sumMatching("rowHits"),
+                  r.energy.totalPj() * 1e-6},
+                 "%.2f");
+    }
+
+    std::printf("\n--- CXLG-DIMM stripe weight (hot-data "
+                "proximity) ---\n");
+    printHeader("weight", {"time(us)", "wire(MB)"});
+    for (unsigned weight : {1u, 3u, 5u, 9u}) {
+        SystemParams params = SystemParams::beaconD();
+        params.opts.cxlg_stripe_weight = weight;
+        const RunResult r = runSystem(params, workload, 0);
+        printRow(std::to_string(weight),
+                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- in-flight task depth per module ---\n");
+    printHeader("inflight", {"time(us)"});
+    for (unsigned depth : {16u, 64u, 256u, 1024u}) {
+        SystemParams params = SystemParams::beaconD();
+        params.max_inflight_tasks = depth;
+        const RunResult r = runSystem(params, workload, 0);
+        printRow(std::to_string(depth), {r.seconds * 1e6}, "%.3f");
+    }
+    return 0;
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every bench prints the same series the paper reports, normalised
+ * the same way (to the 48-thread CPU baseline and to the MEDAL/NEST
+ * hardware baselines). Dataset sizes are scaled for simulator
+ * tractability; set BEACON_BENCH_SCALE=<n> to multiply genome sizes
+ * and read counts.
+ */
+
+#ifndef BEACON_BENCH_BENCH_UTIL_HH
+#define BEACON_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "accel/cpu_baseline.hh"
+#include "accel/experiment.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+
+namespace beacon::bench
+{
+
+/** Scale factor from BEACON_BENCH_SCALE (default 1). */
+inline unsigned
+benchScale()
+{
+    const char *env = std::getenv("BEACON_BENCH_SCALE");
+    if (!env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 1 ? unsigned(v) : 1;
+}
+
+/** The five seeding presets at bench-tractable sizes. */
+inline std::vector<genomics::DatasetPreset>
+benchSeedingPresets()
+{
+    auto presets = genomics::seedingPresets();
+    const unsigned scale = benchScale();
+    for (auto &preset : presets) {
+        preset.genome.length =
+            std::max<std::size_t>(1u << 16,
+                                  preset.genome.length / 4) *
+            scale;
+        // Enough tasks to saturate the NDP modules (steady state).
+        preset.reads.num_reads = 1024 * scale;
+    }
+    return presets;
+}
+
+/** The k-mer counting preset at bench-tractable size. */
+inline genomics::DatasetPreset
+benchKmcPreset()
+{
+    genomics::DatasetPreset preset = genomics::kmerCountingPreset();
+    preset.genome.length = (1u << 17) * benchScale();
+    return preset;
+}
+
+/** Geometric mean of a series. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+/** Print one header cell / row cell with fixed width. */
+inline void
+printCell(const std::string &text, int width = 12)
+{
+    std::printf("%*s", width, text.c_str());
+}
+
+inline void
+printHeader(const std::string &first,
+            const std::vector<std::string> &columns, int width = 12)
+{
+    std::printf("%-14s", first.c_str());
+    for (const auto &column : columns)
+        printCell(column, width);
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &label, const std::vector<double> &values,
+         const char *format = "%.2fx", int width = 12)
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : values) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), format, v);
+        printCell(buf, width);
+    }
+    std::printf("\n");
+}
+
+/** Run and normalise one ladder against a CPU baseline. */
+struct LadderResult
+{
+    std::vector<double> speedup_vs_cpu;   //!< one per rung
+    std::vector<double> energy_vs_cpu;    //!< CPU energy / rung energy
+    std::vector<RunResult> runs;
+};
+
+inline LadderResult
+runLadder(const std::vector<LadderStep> &ladder,
+          const Workload &workload, const CpuBaselineResult &cpu,
+          std::size_t tasks = 0)
+{
+    LadderResult out;
+    for (const LadderStep &step : ladder) {
+        const RunResult r = runSystem(step.params, workload, tasks);
+        out.speedup_vs_cpu.push_back(cpu.seconds / r.seconds);
+        out.energy_vs_cpu.push_back(cpu.energy_pj /
+                                    r.energy.totalPj());
+        out.runs.push_back(r);
+    }
+    return out;
+}
+
+/**
+ * Print one step-by-step optimization panel (the shape of
+ * Figs. 12/14/15): per dataset, speedup over the CPU baseline for
+ * every ladder rung, the hardware baseline, the final-design ratio
+ * over that baseline, and the fraction of the idealized design's
+ * performance. A second table reports energy reduction over the CPU
+ * baseline per rung.
+ */
+inline void
+ladderPanel(
+    const std::string &title,
+    const std::vector<std::pair<std::string, const Workload *>>
+        &datasets,
+    const SystemParams &hw_baseline,
+    const std::vector<LadderStep> &ladder, std::size_t tasks = 0)
+{
+    std::printf("--- %s ---\n", title.c_str());
+    std::vector<std::string> columns;
+    for (const LadderStep &step : ladder)
+        columns.push_back(step.label);
+    columns.push_back(hw_baseline.name);
+    columns.push_back("final/base");
+    columns.push_back("%of-ideal");
+    printHeader("dataset", columns, 14);
+
+    std::vector<std::vector<double>> energy_rows;
+    std::vector<double> final_vs_base, pct_ideal;
+    for (const auto &[name, workload] : datasets) {
+        const CpuBaselineResult cpu = cpuBaseline(measureFootprint(
+            *workload,
+            WorkloadContext{ladder.back()
+                                .params.opts.kmc_single_pass,
+                            0}));
+        const LadderResult lr =
+            runLadder(ladder, *workload, cpu, tasks);
+        const RunResult base =
+            runSystem(hw_baseline, *workload, tasks);
+        const RunResult ideal = runSystem(
+            ladder.back().params.idealized(), *workload, tasks);
+
+        std::vector<double> row = lr.speedup_vs_cpu;
+        row.push_back(cpu.seconds / base.seconds);
+        const double vs_base =
+            double(base.ticks) / double(lr.runs.back().ticks);
+        row.push_back(vs_base);
+        const double ideal_pct = 100.0 * double(ideal.ticks) /
+                                 double(lr.runs.back().ticks);
+        row.push_back(ideal_pct);
+        final_vs_base.push_back(vs_base);
+        pct_ideal.push_back(ideal_pct);
+        printRow(name, row, "%.2f", 14);
+
+        std::vector<double> erow = lr.energy_vs_cpu;
+        erow.push_back(cpu.energy_pj / base.energy.totalPj());
+        erow.push_back(base.energy.totalPj() /
+                       lr.runs.back().energy.totalPj());
+        erow.push_back(100.0 * ideal.energy.totalPj() /
+                       lr.runs.back().energy.totalPj());
+        energy_rows.push_back(std::move(erow));
+    }
+    std::printf("%-14s final vs %s: %s (geomean), "
+                "%.1f%% of idealized design\n",
+                "summary", hw_baseline.name.c_str(),
+                formatX(geomean(final_vs_base)).c_str(),
+                geomean(pct_ideal));
+
+    std::printf("\nenergy reduction vs CPU (and final/base, "
+                "ideal%%):\n");
+    printHeader("dataset", columns, 14);
+    for (std::size_t i = 0; i < datasets.size(); ++i)
+        printRow(datasets[i].first, energy_rows[i], "%.2f", 14);
+    std::printf("\n");
+}
+
+} // namespace beacon::bench
+
+#endif // BEACON_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fig. 1 / Section III motivation: the gap between intra-DIMM
+ * memory bandwidth and inter-DIMM communication bandwidth that
+ * bottlenecks the DDR-DIMM NDP baselines (quoted as 12x for MEDAL),
+ * and the corresponding gap in the CXL pool.
+ *
+ * Measured directly on the substrates: a customised DIMM streaming
+ * fine-grained 32 B reads at chip granularity across all ranks vs
+ * the useful payload rate of 32 B messages over one DDR channel (two
+ * hops, host store-forward), and a CXL-DIMM link for comparison.
+ */
+
+#include <cstdio>
+
+#include "accel/ddr_fabric.hh"
+#include "common/rng.hh"
+#include "cxl/pool.hh"
+#include "dram/controller.hh"
+
+using namespace beacon;
+
+namespace
+{
+
+/** Useful GB/s of fine-grained 32 B reads inside one NDP DIMM. */
+double
+intraDimmBandwidth()
+{
+    EventQueue eq;
+    StatRegistry stats;
+    DimmGeometry geom;
+    geom.per_rank_lanes = true;
+    geom.per_rank_cmd_bus = true;
+    DramControllerParams params;
+    params.enable_refresh = false;
+    DramController ctrl("dimm", eq, stats, geom,
+                        DramTimingParams::ddr4_1600_22(), params);
+    // Bandwidth = peak rate: stream fine-grained reads round-robin
+    // over every rank and chip group, row-hit within each bank.
+    const unsigned n = 8192;
+    for (unsigned i = 0; i < n; ++i) {
+        MemRequest req;
+        req.coord.rank = i % 4;
+        req.coord.chip_first = ((i / 4) % 2) * 8;
+        req.coord.bank_group = (i / 8) % 4;
+        req.coord.bank = (i / 32) % 4;
+        req.coord.row = 7;
+        req.coord.column = ((i / 128) * 8) % 1024;
+        req.coord.chip_count = 8; // coalesced 32 B access
+        req.bursts = 1;
+        req.bytes = 32;
+        ctrl.enqueue(std::move(req));
+    }
+    eq.run();
+    return double(n) * 32.0 / ticksToSeconds(eq.now()) / 1e9;
+}
+
+/** Useful GB/s of 32 B DIMM-to-DIMM messages over one DDR channel. */
+double
+interDimmDdrBandwidth()
+{
+    EventQueue eq;
+    StatRegistry stats;
+    DdrFabricParams params;
+    DdrFabric fabric("ddr", eq, stats, params);
+    const unsigned n = 8192;
+    unsigned remaining = n;
+    for (unsigned i = 0; i < n; ++i) {
+        fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                    32, true, [&remaining](Tick) { --remaining; });
+    }
+    eq.run();
+    return double(n) * 32.0 / ticksToSeconds(eq.now()) / 1e9;
+}
+
+/** Useful GB/s of packed 32 B messages over one CXL DIMM link. */
+double
+interDimmCxlBandwidth()
+{
+    EventQueue eq;
+    StatRegistry stats;
+    PoolParams params;
+    params.device_bias = true;
+    params.packer.enabled = true;
+    PoolFabric fabric("pool", eq, stats, params);
+    const unsigned n = 8192;
+    unsigned remaining = n;
+    for (unsigned i = 0; i < n; ++i) {
+        fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                    32, true, [&remaining](Tick) { --remaining; });
+    }
+    eq.run();
+    return double(n) * 32.0 / ticksToSeconds(eq.now()) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 1 / Section III: the communication "
+                "bandwidth gap ===\n\n");
+    const double intra = intraDimmBandwidth();
+    const double inter_ddr = interDimmDdrBandwidth();
+    const double inter_cxl = interDimmCxlBandwidth();
+
+    std::printf("intra-DIMM fine-grained read bandwidth  %8.2f "
+                "GB/s\n",
+                intra);
+    std::printf("inter-DIMM over one DDR channel         %8.2f "
+                "GB/s (useful payload)\n",
+                inter_ddr);
+    std::printf("inter-DIMM over one CXL link (packed)   %8.2f "
+                "GB/s (useful payload)\n\n",
+                inter_cxl);
+    std::printf("DDR gap  (intra / inter-DDR): %.1fx   "
+                "(paper quotes 12x for MEDAL)\n",
+                intra / inter_ddr);
+    std::printf("CXL gap  (intra / inter-CXL): %.1fx   "
+                "(BEACON's premise: CXL shrinks the gap)\n",
+                intra / inter_cxl);
+    return 0;
+}

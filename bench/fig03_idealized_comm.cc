@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 3 reproduction: performance and energy-efficiency improvement
+ * of the previous DDR-DIMM accelerators (MEDAL for seeding, NEST for
+ * k-mer counting) under imaginary idealized communication (infinite
+ * bandwidth, zero latency).
+ *
+ * Paper reports on average 4.36x performance and 2.32x energy
+ * efficiency — i.e., communication is their bottleneck.
+ */
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 3: DDR-DIMM baselines with idealized "
+                "communication ===\n\n");
+    printHeader("workload", {"real(us)", "ideal(us)", "perf-x",
+                             "energy-x"});
+
+    std::vector<double> perf_gains, energy_gains;
+    auto report = [&](const std::string &label,
+                      const SystemParams &params,
+                      const Workload &workload) {
+        const RunResult real = runSystem(params, workload, 0);
+        const RunResult ideal =
+            runSystem(params.idealized(), workload, 0);
+        const double perf =
+            double(real.ticks) / double(ideal.ticks);
+        const double energy =
+            real.energy.totalPj() / ideal.energy.totalPj();
+        perf_gains.push_back(perf);
+        energy_gains.push_back(energy);
+        printRow(label,
+                 {real.seconds * 1e6, ideal.seconds * 1e6, perf,
+                  energy},
+                 "%.2f");
+    };
+
+    const auto presets = benchSeedingPresets();
+    for (const auto &preset : {presets[0], presets[2], presets[4]}) {
+        FmSeedingWorkload fm(preset);
+        report(std::string("MEDAL/fm/") + preset.name,
+               SystemParams::medal(), fm);
+        HashSeedingWorkload hash(preset);
+        report(std::string("MEDAL/hash/") + preset.name,
+               SystemParams::medal(), hash);
+    }
+    {
+        KmerCountingWorkload kmc(benchKmcPreset());
+        report("NEST/kmc", SystemParams::nest(), kmc);
+    }
+
+    std::printf("\n");
+    printRow("geomean", {geomean(perf_gains), geomean(energy_gains)});
+    std::printf("\npaper: 4.36x perf, 2.32x energy efficiency "
+                "(average)\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 12 reproduction: FM-index based DNA seeding.
+ *
+ * (a,b) BEACON-D step-by-step performance and energy: CXL-vanilla ->
+ * +data packing -> +memory access optimization -> +placement/address
+ * mapping -> +multi-chip coalescing, against the 48-thread CPU and
+ * MEDAL. (c,d) the same for BEACON-S (no coalescing rung).
+ *
+ * Paper: BEACON-D ends 4.36x over MEDAL at 96.52% of idealized;
+ * BEACON-S ends 2.42x over MEDAL at 98.48% of idealized.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 12: FM-index based DNA seeding ===\n\n");
+
+    std::vector<std::unique_ptr<FmSeedingWorkload>> owners;
+    std::vector<std::pair<std::string, const Workload *>> datasets;
+    for (const auto &preset : benchSeedingPresets()) {
+        owners.push_back(std::make_unique<FmSeedingWorkload>(preset));
+        datasets.emplace_back(preset.name, owners.back().get());
+    }
+
+    ladderPanel("Fig. 12(a,b): BEACON-D (speedup over 48-thread CPU)",
+                datasets, SystemParams::medal(),
+                beaconDLadder(/*with_coalescing=*/true));
+
+    ladderPanel("Fig. 12(c,d): BEACON-S (speedup over 48-thread CPU)",
+                datasets, SystemParams::medal(),
+                beaconSLadder(/*with_single_pass=*/false));
+
+    std::printf("paper: BEACON-D 525.73x CPU / 4.36x MEDAL "
+                "(96.52%% of ideal); BEACON-S 291.62x CPU / 2.42x "
+                "MEDAL (98.48%% of ideal)\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 14 reproduction: Hash-index based DNA seeding, step-by-step
+ * optimizations for BEACON-D (a,b) and BEACON-S (c,d) against the
+ * 48-thread CPU and MEDAL.
+ *
+ * Paper: BEACON-D ends 572.17x CPU / 4.70x MEDAL (98.59% of ideal);
+ * BEACON-S ends 556.66x CPU / 4.57x MEDAL (98.64% of ideal). Data
+ * packing contributes little here (few fine-grained accesses).
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 14: Hash-index based DNA seeding ===\n\n");
+
+    std::vector<std::unique_ptr<HashSeedingWorkload>> owners;
+    std::vector<std::pair<std::string, const Workload *>> datasets;
+    for (const auto &preset : benchSeedingPresets()) {
+        owners.push_back(
+            std::make_unique<HashSeedingWorkload>(preset));
+        datasets.emplace_back(preset.name, owners.back().get());
+    }
+
+    ladderPanel("Fig. 14(a,b): BEACON-D (speedup over 48-thread CPU)",
+                datasets, SystemParams::medal(),
+                beaconDLadder(/*with_coalescing=*/false));
+
+    ladderPanel("Fig. 14(c,d): BEACON-S (speedup over 48-thread CPU)",
+                datasets, SystemParams::medal(),
+                beaconSLadder(/*with_single_pass=*/false));
+
+    std::printf("paper: BEACON-D 572.17x CPU / 4.70x MEDAL; "
+                "BEACON-S 556.66x CPU / 4.57x MEDAL\n");
+    return 0;
+}

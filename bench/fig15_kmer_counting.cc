@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig. 15 reproduction: k-mer counting, step-by-step optimizations
+ * for BEACON-D (a,b) and BEACON-S (c,d) against the 48-thread CPU
+ * and NEST. The BEACON-S ladder runs NEST-style multi-pass counting
+ * until the final rung enables single-pass counting.
+ *
+ * Paper: BEACON-D ends 443.08x CPU / 5.19x NEST; BEACON-S ends
+ * 527.99x CPU / 6.19x NEST with single-pass contributing 1.48x.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 15: k-mer counting (human-style 50x "
+                "preset) ===\n\n");
+
+    KmerCountingWorkload workload(benchKmcPreset());
+    std::vector<std::pair<std::string, const Workload *>> datasets =
+        {{"human50x", &workload}};
+
+    ladderPanel("Fig. 15(a,b): BEACON-D (speedup over 48-thread CPU)",
+                datasets, SystemParams::nest(),
+                beaconDLadder(/*with_coalescing=*/false));
+
+    ladderPanel("Fig. 15(c,d): BEACON-S (speedup over 48-thread CPU)",
+                datasets, SystemParams::nest(),
+                beaconSLadder(/*with_single_pass=*/true));
+
+    std::printf("paper: BEACON-D 443.08x CPU / 5.19x NEST; BEACON-S "
+                "527.99x CPU / 6.19x NEST (single-pass: 1.48x)\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 16 reproduction: DNA pre-alignment — performance improvement
+ * and energy reduction of BEACON-D and BEACON-S over the 48-thread
+ * CPU baseline (Shouji software), per dataset.
+ *
+ * Paper: BEACON-D 362.04x / BEACON-S 359.36x performance; 387.05x /
+ * 382.80x energy reduction.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 16: DNA pre-alignment ===\n\n");
+    printHeader("dataset", {"D perf-x", "S perf-x", "D energy-x",
+                            "S energy-x"});
+
+    std::vector<double> d_perf, s_perf, d_energy, s_energy;
+    for (const auto &preset : benchSeedingPresets()) {
+        PrealignWorkload workload(preset);
+        const CpuBaselineResult cpu = cpuBaseline(
+            measureFootprint(workload, WorkloadContext{}));
+        const RunResult d =
+            runSystem(SystemParams::beaconD(), workload, 0);
+        const RunResult s =
+            runSystem(SystemParams::beaconS(), workload, 0);
+        d_perf.push_back(cpu.seconds / d.seconds);
+        s_perf.push_back(cpu.seconds / s.seconds);
+        d_energy.push_back(cpu.energy_pj / d.energy.totalPj());
+        s_energy.push_back(cpu.energy_pj / s.energy.totalPj());
+        printRow(preset.name,
+                 {d_perf.back(), s_perf.back(), d_energy.back(),
+                  s_energy.back()});
+    }
+    std::printf("\n");
+    printRow("geomean", {geomean(d_perf), geomean(s_perf),
+                         geomean(d_energy), geomean(s_energy)});
+    std::printf("\npaper: D 362.04x / S 359.36x perf; D 387.05x / "
+                "S 382.80x energy\n");
+    return 0;
+}

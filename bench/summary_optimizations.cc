@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Section VI-G reproduction: overall improvement delivered by the
+ * proposed optimizations (CXL-vanilla -> fully optimized BEACON) in
+ * performance, energy efficiency, and communication energy share,
+ * for both BEACON-D and BEACON-S, averaged over the three ladder
+ * applications.
+ *
+ * Paper: BEACON-D 2.21x perf / 3.70x energy, comm share 60.68% ->
+ * 14.01%; BEACON-S 1.99x perf / 2.04x energy, comm share 52.35% ->
+ * 13.17%.
+ */
+
+#include "bench_util.hh"
+
+using namespace beacon;
+using namespace beacon::bench;
+
+namespace
+{
+
+void
+summary(const char *design, const std::vector<LadderStep> &ladder,
+        const std::vector<const Workload *> &workloads)
+{
+    std::vector<double> perf_gain, energy_gain;
+    double comm_before = 0, comm_after = 0;
+    for (const Workload *workload : workloads) {
+        const RunResult vanilla =
+            runSystem(ladder.front().params, *workload, 0);
+        const RunResult full =
+            runSystem(ladder.back().params, *workload, 0);
+        perf_gain.push_back(double(vanilla.ticks) /
+                            double(full.ticks));
+        energy_gain.push_back(vanilla.energy.totalPj() /
+                              full.energy.totalPj());
+        comm_before += 100.0 * vanilla.energy.commFraction();
+        comm_after += 100.0 * full.energy.commFraction();
+    }
+    const double n = double(workloads.size());
+    std::printf("%-10s perf %s, energy %s, comm share %.2f%% -> "
+                "%.2f%%\n",
+                design, formatX(geomean(perf_gain)).c_str(),
+                formatX(geomean(energy_gain)).c_str(),
+                comm_before / n, comm_after / n);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section VI-G: improvements from the proposed "
+                "optimizations ===\n\n");
+    const auto presets = benchSeedingPresets();
+    FmSeedingWorkload fm(presets[0]);
+    HashSeedingWorkload hash(presets[2]);
+    KmerCountingWorkload kmc(benchKmcPreset());
+    const std::vector<const Workload *> workloads = {&fm, &hash,
+                                                     &kmc};
+
+    summary("BEACON-D", beaconDLadder(true), workloads);
+    summary("BEACON-S", beaconSLadder(true), workloads);
+
+    std::printf("\npaper: BEACON-D 2.21x perf / 3.70x energy, "
+                "60.68%% -> 14.01%%; BEACON-S 1.99x perf / 2.04x "
+                "energy, 52.35%% -> 13.17%%\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table II: hardware overhead of the PEs in MEDAL, NEST, and BEACON
+ * (28 nm synthesis constants the evaluation consumes), plus the
+ * per-engine computational latencies of Section VI-A.
+ */
+
+#include <cstdio>
+
+#include "accel/energy_model.hh"
+#include "ndp/task.hh"
+
+using namespace beacon;
+
+int
+main()
+{
+    std::printf("=== Table II: PE hardware overhead ===\n\n");
+    std::printf("%-14s %12s %18s %18s\n", "architecture",
+                "area (um^2)", "dyn. power (mW)",
+                "leak. power (uW)");
+    for (const PeOverhead &row : peOverheadTable()) {
+        std::printf("%-14s %12.2f %18.2f %18.2f\n",
+                    row.architecture.c_str(), row.area_um2,
+                    row.dynamic_power_mw, row.leakage_power_uw);
+    }
+
+    std::printf("\nPer-step computational latencies (DRAM cycles)\n");
+    std::printf("  FM-index seeding      %lu\n",
+                static_cast<unsigned long>(
+                    engineStepCycles(EngineKind::FmIndex)));
+    std::printf("  Hash-index seeding    %lu\n",
+                static_cast<unsigned long>(
+                    engineStepCycles(EngineKind::HashIndex)));
+    std::printf("  k-mer counting        %lu\n",
+                static_cast<unsigned long>(
+                    engineStepCycles(EngineKind::KmerCounting)));
+    std::printf("  DNA pre-alignment     %lu\n",
+                static_cast<unsigned long>(
+                    engineStepCycles(EngineKind::Prealign)));
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: build a small FM-index seeding workload, run it on
+ * MEDAL, CXL-vanilla, and BEACON-D, and print the comparison.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "accel/cpu_baseline.hh"
+#include "accel/experiment.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+
+using namespace beacon;
+
+int
+main()
+{
+    // A small synthetic dataset (the "Nf" preset, scaled down).
+    genomics::DatasetPreset preset = genomics::seedingPresets()[4];
+    preset.genome.length = 1 << 16;
+    preset.reads.num_reads = 64;
+
+    std::printf("building FM-index over %zu bases...\n",
+                preset.genome.length);
+    FmSeedingWorkload workload(preset);
+
+    const WorkloadFootprint footprint =
+        measureFootprint(workload, WorkloadContext{});
+    const CpuBaselineResult cpu = cpuBaseline(footprint);
+    std::printf("CPU baseline (48-thread Xeon model): %.1f us\n",
+                cpu.seconds * 1e6);
+
+    const SystemParams systems[] = {
+        SystemParams::medal(),
+        SystemParams::cxlVanillaD(),
+        SystemParams::beaconD(),
+    };
+
+    std::printf("%-16s %12s %12s %10s %12s\n", "system", "time(us)",
+                "vs CPU", "wireMB", "energy(uJ)");
+    for (const SystemParams &params : systems) {
+        const RunResult r = runSystem(params, workload, 0);
+        std::printf("%-16s %12.1f %12s %10.3f %12.2f\n",
+                    r.system.c_str(), r.seconds * 1e6,
+                    formatX(cpu.seconds / r.seconds).c_str(),
+                    double(r.wire_bytes) / 1e6,
+                    r.energy.totalPj() * 1e-6);
+    }
+    return 0;
+}

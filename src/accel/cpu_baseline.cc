@@ -1,0 +1,24 @@
+#include "cpu_baseline.hh"
+
+namespace beacon
+{
+
+CpuBaselineResult
+cpuBaseline(const WorkloadFootprint &footprint,
+            const CpuBaselineParams &p)
+{
+    const double access_ns = double(footprint.accesses) *
+                             p.random_access_ns / p.mlp;
+    const double step_ns = double(footprint.steps) * p.per_step_ns;
+    const double total_ns = (access_ns + step_ns) / double(p.threads);
+
+    CpuBaselineResult out;
+    out.seconds = total_ns * 1e-9;
+    // W x s = J = 1e12 pJ.
+    out.energy_pj = p.power_w * out.seconds * 1e12;
+    out.tasks_per_second =
+        out.seconds > 0 ? double(footprint.tasks) / out.seconds : 0;
+    return out;
+}
+
+} // namespace beacon

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analytic 48-thread CPU baseline (Table I: Xeon E5-2680 v3).
+ *
+ * The paper normalises every result to software baselines (BWA-MEM,
+ * SMALT, BFCounter, Shouji) on a 48-thread Xeon. We model the CPU as
+ * bound by its dependent random-access chains plus per-step software
+ * overhead (instruction stream, cache/TLB pressure). The constant
+ * only sets the normalisation scale; the NDP-vs-NDP ratios — the
+ * paper's claims under test — are independent of it (see DESIGN.md).
+ */
+
+#ifndef BEACON_ACCEL_CPU_BASELINE_HH
+#define BEACON_ACCEL_CPU_BASELINE_HH
+
+#include "accel/workload.hh"
+
+namespace beacon
+{
+
+/** CPU model parameters. */
+struct CpuBaselineParams
+{
+    unsigned threads = 48;
+    /** Effective latency of one dependent random DRAM access. */
+    double random_access_ns = 100.0;
+    /** Memory-level parallelism of the access chains (FM-index
+     *  backward search is fully dependent). */
+    double mlp = 1.0;
+    /** Software overhead per algorithm step. */
+    double per_step_ns = 1500.0;
+    /** Package power of the two-socket system. */
+    double power_w = 240.0;
+};
+
+/** Result of the analytic model. */
+struct CpuBaselineResult
+{
+    double seconds = 0;
+    double energy_pj = 0;
+    double tasks_per_second = 0;
+};
+
+/** Estimate the CPU baseline for a measured workload footprint. */
+CpuBaselineResult cpuBaseline(const WorkloadFootprint &footprint,
+                              const CpuBaselineParams &params = {});
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_CPU_BASELINE_HH

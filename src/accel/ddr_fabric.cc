@@ -1,0 +1,85 @@
+#include "ddr_fabric.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+DdrFabric::DdrFabric(const std::string &name, EventQueue &eq,
+                     StatRegistry &stats,
+                     const DdrFabricParams &params)
+    : SimObject(name, eq, stats),
+      p(params),
+      stat_messages(stat("messages"))
+{
+    for (unsigned c = 0; c < p.num_channels; ++c) {
+        channels.push_back(std::make_unique<BandwidthServer>(
+            p.ideal ? -1.0 : p.channel_gb_per_s));
+    }
+}
+
+std::uint64_t
+DdrFabric::totalWireBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels)
+        total += ch->totalBytes();
+    return total;
+}
+
+std::uint64_t
+DdrFabric::channelBytes(unsigned channel) const
+{
+    return channels.at(channel)->totalBytes();
+}
+
+void
+DdrFabric::hopChannel(unsigned channel, std::uint64_t bytes,
+                      std::function<void()> next)
+{
+    const Tick done = channels.at(channel)->accept(curTick(), bytes);
+    const Tick latency = p.ideal ? 0 : p.channel_latency;
+    eq.schedule(done + latency, [fn = std::move(next)] { fn(); });
+}
+
+void
+DdrFabric::send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
+                bool /*fine_grained*/, Deliver deliver)
+{
+    BEACON_ASSERT(!src.isSwitch() && !dst.isSwitch(),
+                  "DDR fabric has no switches");
+    ++stat_messages;
+    const std::uint64_t wire =
+        roundUp<std::uint64_t>(useful_bytes, p.granule_bytes);
+    auto finish = [this, deliver = std::move(deliver)]() {
+        deliver(curTick());
+    };
+
+    if (src == dst) {
+        eq.scheduleIn(0, finish);
+        return;
+    }
+
+    const Tick host_fwd = p.ideal ? 0 : p.host_forward_latency;
+    if (src.isHost()) {
+        hopChannel(dst.sw, wire, std::move(finish));
+        return;
+    }
+    if (dst.isHost()) {
+        hopChannel(src.sw, wire, std::move(finish));
+        return;
+    }
+    // DIMM-to-DIMM: up src's channel, host store-forward, down
+    // dst's channel (the same channel twice when they share it).
+    hopChannel(src.sw, wire,
+               [this, dst, wire, host_fwd,
+                fn = std::move(finish)]() mutable {
+                   eq.scheduleIn(host_fwd, [this, dst, wire,
+                                            fn = std::move(fn)]() mutable {
+                       hopChannel(dst.sw, wire, std::move(fn));
+                   });
+               });
+}
+
+} // namespace beacon

@@ -1,0 +1,41 @@
+#include "energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+std::vector<PeOverhead>
+peOverheadTable()
+{
+    return {
+        {"MEDAL", 8941.39, 10.57, 36.16},
+        {"NEST", 16721.12, 8.12, 24.83},
+        {"BEACON", 14090.23, 9.48, 18.97},
+    };
+}
+
+const PeOverhead &
+peOverheadFor(const std::string &architecture)
+{
+    static const std::vector<PeOverhead> table = peOverheadTable();
+    for (const PeOverhead &row : table) {
+        if (row.architecture == architecture)
+            return row;
+    }
+    BEACON_FATAL("unknown architecture '", architecture, "'");
+}
+
+double
+peEnergyPj(const PeOverhead &pe, Tick busy_ticks, Tick elapsed,
+           unsigned total_pes)
+{
+    // mW x ps = 1e-3 pJ; uW x ps = 1e-6 pJ.
+    const double dynamic =
+        pe.dynamic_power_mw * double(busy_ticks) * 1e-3;
+    const double leakage = pe.leakage_power_uw * double(elapsed) *
+                           double(total_pes) * 1e-6;
+    return dynamic + leakage;
+}
+
+} // namespace beacon

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * System-level energy model and Table II constants.
+ *
+ * Energy = DRAM (command-counting, src/dram/energy) + communication
+ * (wire bytes x pJ/bit per medium, following CACTI-IO/Keckler-style
+ * constants) + PE (synthesis numbers the paper reports in Table II).
+ */
+
+#ifndef BEACON_ACCEL_ENERGY_MODEL_HH
+#define BEACON_ACCEL_ENERGY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace beacon
+{
+
+/** Interconnect energy constants (pJ per bit). */
+struct CommEnergyParams
+{
+    double ddr_pj_per_bit = 15.0;   //!< DDR channel I/O
+    double cxl_pj_per_bit = 6.0;    //!< PCIe5/CXL SerDes
+    double bus_pj_per_bit = 1.0;    //!< switch-internal bus
+};
+
+/** Table II: per-PE synthesis results (28 nm). */
+struct PeOverhead
+{
+    std::string architecture;
+    double area_um2;
+    double dynamic_power_mw;
+    double leakage_power_uw;
+};
+
+/** The paper's Table II rows. */
+std::vector<PeOverhead> peOverheadTable();
+
+/** Row for a given architecture name ("MEDAL", "NEST", "BEACON"). */
+const PeOverhead &peOverheadFor(const std::string &architecture);
+
+/** Energy broken out by source, in picojoules. */
+struct SystemEnergy
+{
+    double dram_pj = 0;
+    double comm_pj = 0;
+    double pe_pj = 0;
+
+    double totalPj() const { return dram_pj + comm_pj + pe_pj; }
+
+    double
+    commFraction() const
+    {
+        const double t = totalPj();
+        return t > 0 ? comm_pj / t : 0;
+    }
+
+    double
+    peFraction() const
+    {
+        const double t = totalPj();
+        return t > 0 ? pe_pj / t : 0;
+    }
+};
+
+/**
+ * PE energy over a run: dynamic power while busy plus leakage for
+ * the whole population over the elapsed time.
+ */
+double peEnergyPj(const PeOverhead &pe, Tick busy_ticks,
+                  Tick elapsed, unsigned total_pes);
+
+/** Communication energy for @p bytes over a medium. */
+inline double
+commEnergyPj(std::uint64_t bytes, double pj_per_bit)
+{
+    return double(bytes) * 8.0 * pj_per_bit;
+}
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_ENERGY_MODEL_HH

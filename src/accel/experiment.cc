@@ -1,0 +1,85 @@
+#include "experiment.hh"
+
+#include <cstdio>
+
+namespace beacon
+{
+
+std::vector<LadderStep>
+beaconDLadder(bool with_coalescing)
+{
+    std::vector<LadderStep> ladder;
+
+    SystemParams params = SystemParams::cxlVanillaD();
+    ladder.push_back({"CXL-vanilla", params});
+
+    params.opts.data_packing = true;
+    params.name = "+data packing";
+    ladder.push_back({"+data packing", params});
+
+    params.opts.mem_access_opt = true;
+    params.name = "+mem access opt";
+    ladder.push_back({"+mem access opt", params});
+
+    params.opts.placement_mapping = true;
+    params.name = "+placement/mapping";
+    ladder.push_back({"+placement/mapping", params});
+
+    if (with_coalescing) {
+        params.opts.coalesce_chips = 8;
+        params.name = "BEACON-D";
+        ladder.push_back({"+multi-chip coalescing", params});
+    } else {
+        ladder.back().params.name = "BEACON-D";
+    }
+    return ladder;
+}
+
+std::vector<LadderStep>
+beaconSLadder(bool with_single_pass)
+{
+    std::vector<LadderStep> ladder;
+
+    SystemParams params = SystemParams::cxlVanillaS();
+    params.opts.kmc_single_pass = false;
+    ladder.push_back({"CXL-vanilla", params});
+
+    params.opts.data_packing = true;
+    params.name = "+data packing";
+    ladder.push_back({"+data packing", params});
+
+    params.opts.mem_access_opt = true;
+    params.name = "+mem access opt";
+    ladder.push_back({"+mem access opt", params});
+
+    params.opts.placement_mapping = true;
+    params.name = "+placement/mapping";
+    ladder.push_back({"+placement/mapping", params});
+
+    if (with_single_pass) {
+        params.opts.kmc_single_pass = true;
+        params.name = "BEACON-S";
+        ladder.push_back({"+single-pass KMC", params});
+    } else {
+        ladder.back().params.name = "BEACON-S";
+    }
+    return ladder;
+}
+
+RunResult
+runSystem(const SystemParams &params, const Workload &workload,
+          std::size_t tasks)
+{
+    NdpSystem system(params, workload);
+    return system.run(tasks);
+}
+
+std::string
+formatX(double factor)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+    return buf;
+}
+
+} // namespace beacon

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harnesses: the
+ * step-by-step optimization ladders of Figs. 12/14/15 and small
+ * utilities for normalised reporting.
+ */
+
+#ifndef BEACON_ACCEL_EXPERIMENT_HH
+#define BEACON_ACCEL_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/cpu_baseline.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+
+namespace beacon
+{
+
+/** One rung of an optimization ladder. */
+struct LadderStep
+{
+    std::string label;
+    SystemParams params;
+};
+
+/**
+ * Cumulative BEACON-D ladder:
+ *   CXL-vanilla -> +data packing -> +memory access optimization
+ *   -> +placement & address mapping [-> +multi-chip coalescing].
+ * @param with_coalescing include the final rung (FM-index only).
+ */
+std::vector<LadderStep> beaconDLadder(bool with_coalescing);
+
+/**
+ * Cumulative BEACON-S ladder:
+ *   CXL-vanilla -> +data packing -> +memory access optimization
+ *   -> +placement & address mapping [-> +single-pass k-mer
+ *   counting].
+ */
+std::vector<LadderStep> beaconSLadder(bool with_single_pass);
+
+/** Run @p params against @p workload with @p tasks tasks. */
+RunResult runSystem(const SystemParams &params,
+                    const Workload &workload, std::size_t tasks);
+
+/** Format a speedup factor for the report tables. */
+std::string formatX(double factor);
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_EXPERIMENT_HH

@@ -1,0 +1,299 @@
+#include "extension_workloads.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "genomics/kmer.hh" // hashKmer doubles as a mix hash
+
+namespace beacon
+{
+
+// ---------------------------------------------------------------
+// Graph BFS
+// ---------------------------------------------------------------
+
+namespace
+{
+
+class GraphBfsTask : public Task
+{
+  public:
+    GraphBfsTask(const graph::CsrGraph &csr, std::uint32_t source,
+                 std::size_t max_visits)
+        : csr(csr), max_visits(max_visits)
+    {
+        visited.assign(csr.numVertices(), false);
+        visited[source] = true;
+        frontier.push_back(source);
+    }
+
+    EngineKind engine() const override
+    {
+        return EngineKind::GraphTraversal;
+    }
+
+    TaskStep
+    next() override
+    {
+        TaskStep step;
+        if (phase == Phase::FetchOffsets) {
+            if (frontier.empty() || visits >= max_visits) {
+                step.done = true;
+                return step;
+            }
+            current = frontier.front();
+            frontier.pop_front();
+            ++visits;
+            step.compute_cycles =
+                engineStepCycles(EngineKind::GraphTraversal);
+            AccessRequest req;
+            req.data_class = DataClass::GraphOffsets;
+            req.offset = csr.offsetSlotBytes(current);
+            req.bytes = 8;
+            step.accesses.push_back(req);
+            phase = Phase::FetchEdges;
+            return step;
+        }
+        // Edges phase: pull the adjacency list, advance the BFS
+        // functionally, and continue with the next frontier vertex.
+        step.compute_cycles =
+            engineStepCycles(EngineKind::GraphTraversal);
+        const std::uint32_t deg = csr.degree(current);
+        if (deg > 0) {
+            AccessRequest req;
+            req.data_class = DataClass::GraphEdges;
+            req.offset = csr.edgeSlotBytes(current);
+            req.bytes = std::min<std::uint32_t>(deg * 4, 512);
+            step.accesses.push_back(req);
+            const std::uint32_t *nbrs = csr.neighbors(current);
+            for (std::uint32_t i = 0; i < deg; ++i) {
+                const std::uint32_t u = nbrs[i];
+                if (!visited[u]) {
+                    visited[u] = true;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        phase = Phase::FetchOffsets;
+        if (step.accesses.empty() &&
+            (frontier.empty() || visits >= max_visits)) {
+            step.done = true;
+        }
+        return step;
+    }
+
+  private:
+    enum class Phase { FetchOffsets, FetchEdges };
+
+    const graph::CsrGraph &csr;
+    std::size_t max_visits;
+    std::vector<bool> visited;
+    std::deque<std::uint32_t> frontier;
+    std::uint32_t current = 0;
+    std::size_t visits = 0;
+    Phase phase = Phase::FetchOffsets;
+};
+
+} // namespace
+
+GraphBfsWorkload::GraphBfsWorkload(const graph::GraphParams &params,
+                                   std::size_t num_sources,
+                                   std::size_t max_visits)
+    : name_("graph-bfs"), csr(graph::makeGraph(params)),
+      max_visits(max_visits)
+{
+    Rng rng(params.seed + 1);
+    for (std::size_t i = 0; i < num_sources; ++i)
+        sources.push_back(
+            std::uint32_t(rng.next(csr.numVertices())));
+}
+
+std::vector<StructureSpec>
+GraphBfsWorkload::structures() const
+{
+    StructureSpec offsets;
+    offsets.cls = DataClass::GraphOffsets;
+    offsets.bytes = csr.offsetArrayBytes();
+    offsets.spatial = false;
+    offsets.read_only = true;
+    offsets.access_granule = 8;
+
+    StructureSpec edges;
+    edges.cls = DataClass::GraphEdges;
+    edges.bytes = std::max<std::uint64_t>(csr.edgeArrayBytes(), 64);
+    edges.spatial = true;
+    edges.read_only = true;
+    edges.access_granule = 64;
+    return {offsets, edges};
+}
+
+TaskPtr
+GraphBfsWorkload::makeTask(std::size_t idx,
+                           const WorkloadContext &) const
+{
+    return std::make_unique<GraphBfsTask>(
+        csr, sources.at(idx % sources.size()), max_visits);
+}
+
+// ---------------------------------------------------------------
+// Database index probing
+// ---------------------------------------------------------------
+
+namespace
+{
+
+class DbProbeTask : public Task
+{
+  public:
+    /** One chain walk: bucket head access then node accesses. */
+    struct Probe
+    {
+        std::uint64_t bucket;
+        std::vector<std::uint32_t> chain; //!< node ids to visit
+    };
+
+    explicit DbProbeTask(std::vector<Probe> probes)
+        : probes(std::move(probes))
+    {}
+
+    EngineKind engine() const override
+    {
+        return EngineKind::IndexProbe;
+    }
+
+    TaskStep
+    next() override
+    {
+        TaskStep step;
+        if (probe_idx >= probes.size()) {
+            step.done = true;
+            return step;
+        }
+        const Probe &probe = probes[probe_idx];
+        step.compute_cycles =
+            engineStepCycles(EngineKind::IndexProbe);
+        if (chain_pos == 0) {
+            AccessRequest req;
+            req.data_class = DataClass::IndexBuckets;
+            req.offset = probe.bucket * 8;
+            req.bytes = 8;
+            step.accesses.push_back(req);
+            if (probe.chain.empty()) {
+                ++probe_idx; // empty bucket: probe resolved
+            } else {
+                chain_pos = 1;
+            }
+            return step;
+        }
+        // Chase the next chain node.
+        AccessRequest req;
+        req.data_class = DataClass::IndexNodes;
+        req.offset =
+            std::uint64_t(probe.chain[chain_pos - 1]) * 16;
+        req.bytes = 16;
+        step.accesses.push_back(req);
+        if (chain_pos >= probe.chain.size()) {
+            chain_pos = 0;
+            ++probe_idx;
+        } else {
+            ++chain_pos;
+        }
+        return step;
+    }
+
+  private:
+    std::vector<Probe> probes;
+    std::size_t probe_idx = 0;
+    std::size_t chain_pos = 0;
+};
+
+} // namespace
+
+DbProbeWorkload::DbProbeWorkload(std::size_t num_tuples,
+                                 unsigned buckets_log2,
+                                 std::size_t num_tasks,
+                                 unsigned probes_per_task,
+                                 std::uint64_t seed)
+    : name_("db-probe"), num_buckets(std::size_t{1} << buckets_log2),
+      num_tasks(num_tasks), probes_per_task(probes_per_task),
+      seed(seed)
+{
+    buckets.resize(num_buckets);
+    node_keys.reserve(num_tuples);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < num_tuples; ++i) {
+        const std::uint64_t key = rng();
+        const std::size_t b =
+            genomics::hashKmer(key, 3) % num_buckets;
+        buckets[b].push_back(std::uint32_t(node_keys.size()));
+        node_keys.push_back(key);
+    }
+}
+
+unsigned
+DbProbeWorkload::chainLength(std::uint64_t key) const
+{
+    return unsigned(
+        buckets[genomics::hashKmer(key, 3) % num_buckets].size());
+}
+
+bool
+DbProbeWorkload::contains(std::uint64_t key) const
+{
+    for (std::uint32_t node :
+         buckets[genomics::hashKmer(key, 3) % num_buckets]) {
+        if (node_keys[node] == key)
+            return true;
+    }
+    return false;
+}
+
+std::vector<StructureSpec>
+DbProbeWorkload::structures() const
+{
+    StructureSpec bucket_heads;
+    bucket_heads.cls = DataClass::IndexBuckets;
+    bucket_heads.bytes = num_buckets * 8;
+    bucket_heads.spatial = false;
+    bucket_heads.read_only = true;
+    bucket_heads.access_granule = 8;
+
+    StructureSpec nodes;
+    nodes.cls = DataClass::IndexNodes;
+    nodes.bytes = std::max<std::uint64_t>(node_keys.size() * 16, 64);
+    nodes.spatial = false;
+    nodes.read_only = true;
+    nodes.access_granule = 16;
+    return {bucket_heads, nodes};
+}
+
+TaskPtr
+DbProbeWorkload::makeTask(std::size_t idx,
+                          const WorkloadContext &) const
+{
+    Rng rng(seed ^ (idx * 0x9E3779B97F4A7C15ull));
+    std::vector<DbProbeTask::Probe> probes;
+    probes.reserve(probes_per_task);
+    for (unsigned i = 0; i < probes_per_task; ++i) {
+        // Half the probes re-use stored keys (hits), half are fresh
+        // draws (mostly misses) — a typical join selectivity mix.
+        std::uint64_t key;
+        if (!node_keys.empty() && rng.chance(0.5))
+            key = node_keys[rng.next(node_keys.size())];
+        else
+            key = rng();
+        DbProbeTask::Probe probe;
+        probe.bucket = genomics::hashKmer(key, 3) % num_buckets;
+        // The walker visits chain nodes until the key matches.
+        for (std::uint32_t node : buckets[probe.bucket]) {
+            probe.chain.push_back(node);
+            if (node_keys[node] == key)
+                break;
+        }
+        probes.push_back(std::move(probe));
+    }
+    return std::make_unique<DbProbeTask>(std::move(probes));
+}
+
+} // namespace beacon

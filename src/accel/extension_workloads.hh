@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Section V extension workloads: BEACON as a general NDP platform.
+ *
+ * The paper argues BEACON extends to other memory-bound applications
+ * "by replacing the PEs within the NDP module" (graph processing,
+ * database searching). These workloads exercise that claim with the
+ * same machinery the genomics applications use:
+ *
+ *  - GraphBfsWorkload: breadth-first traversal over a real CSR
+ *    graph (offset array fine-grained + edge lists spatial);
+ *  - DbProbeWorkload: hash-join index probing in the style of "Meet
+ *    the Walkers" (bucket heads + pointer-chased chain nodes).
+ */
+
+#ifndef BEACON_ACCEL_EXTENSION_WORKLOADS_HH
+#define BEACON_ACCEL_EXTENSION_WORKLOADS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/workload.hh"
+#include "graph/csr.hh"
+
+namespace beacon
+{
+
+/** BFS over a synthetic power-law graph. */
+class GraphBfsWorkload : public Workload
+{
+  public:
+    /**
+     * @param params graph shape
+     * @param num_sources one task per BFS source
+     * @param max_visits traversal budget per task
+     */
+    explicit GraphBfsWorkload(const graph::GraphParams &params,
+                              std::size_t num_sources = 64,
+                              std::size_t max_visits = 512);
+
+    const std::string &name() const override { return name_; }
+    EngineKind engine() const override
+    {
+        return EngineKind::GraphTraversal;
+    }
+    std::vector<StructureSpec> structures() const override;
+    std::size_t numTasks() const override { return sources.size(); }
+    TaskPtr makeTask(std::size_t idx,
+                     const WorkloadContext &ctx) const override;
+
+    const graph::CsrGraph &graphData() const { return csr; }
+
+  private:
+    std::string name_;
+    graph::CsrGraph csr;
+    std::vector<std::uint32_t> sources;
+    std::size_t max_visits;
+};
+
+/** Hash-join index probing over a chained hash table. */
+class DbProbeWorkload : public Workload
+{
+  public:
+    /**
+     * @param num_tuples rows in the build-side table
+     * @param buckets_log2 hash-bucket count (log2)
+     * @param num_tasks probe batches (one task per batch)
+     * @param probes_per_task keys probed by each task
+     */
+    DbProbeWorkload(std::size_t num_tuples = 1 << 16,
+                    unsigned buckets_log2 = 14,
+                    std::size_t num_tasks = 256,
+                    unsigned probes_per_task = 32,
+                    std::uint64_t seed = 99);
+
+    const std::string &name() const override { return name_; }
+    EngineKind engine() const override
+    {
+        return EngineKind::IndexProbe;
+    }
+    std::vector<StructureSpec> structures() const override;
+    std::size_t numTasks() const override { return num_tasks; }
+    TaskPtr makeTask(std::size_t idx,
+                     const WorkloadContext &ctx) const override;
+
+    /** Chain length for a key (0 = empty bucket), for tests. */
+    unsigned chainLength(std::uint64_t key) const;
+
+    /** Reference probe: does @p key hit a stored tuple? */
+    bool contains(std::uint64_t key) const;
+
+  private:
+    std::string name_;
+    std::size_t num_buckets;
+    std::size_t num_tasks;
+    unsigned probes_per_task;
+    std::uint64_t seed;
+    /** bucket -> list of node ids; node id -> key. */
+    std::vector<std::vector<std::uint32_t>> buckets;
+    std::vector<std::uint64_t> node_keys;
+};
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_EXTENSION_WORKLOADS_HH

@@ -1,0 +1,113 @@
+#include "report.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace beacon
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeRunResultJson(std::ostream &out, const RunResult &r,
+                   unsigned indent)
+{
+    const std::string pad(indent, ' ');
+    const std::string field(indent + 2, ' ');
+    out << pad << "{\n";
+    out << field << "\"system\": \"" << jsonEscape(r.system)
+        << "\",\n";
+    out << field << "\"workload\": \"" << jsonEscape(r.workload)
+        << "\",\n";
+    out << field << "\"ticks\": " << r.ticks << ",\n";
+    out << field << "\"seconds\": " << r.seconds << ",\n";
+    out << field << "\"tasks\": " << r.tasks << ",\n";
+    out << field << "\"tasks_per_second\": " << r.tasks_per_second
+        << ",\n";
+    out << field << "\"energy_pj\": {\"dram\": " << r.energy.dram_pj
+        << ", \"comm\": " << r.energy.comm_pj
+        << ", \"pe\": " << r.energy.pe_pj
+        << ", \"total\": " << r.energy.totalPj() << "},\n";
+    out << field << "\"wire_bytes\": " << r.wire_bytes << ",\n";
+    out << field << "\"host_round_trips\": " << r.host_round_trips
+        << ",\n";
+    out << field << "\"dram_reads\": " << r.dram_reads << ",\n";
+    out << field << "\"dram_writes\": " << r.dram_writes << ",\n";
+    out << field << "\"chip_access_cov\": " << r.chip_access_cov
+        << ",\n";
+    out << field << "\"chip_accesses\": [";
+    for (std::size_t i = 0; i < r.chip_accesses.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << r.chip_accesses[i];
+    }
+    out << "]\n" << pad << "}";
+}
+
+void
+writeRunResultsJson(std::ostream &out,
+                    const std::vector<RunResult> &results)
+{
+    out << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        writeRunResultJson(out, results[i], 2);
+        if (i + 1 < results.size())
+            out << ",";
+        out << "\n";
+    }
+    out << "]\n";
+}
+
+std::string
+runResultCsvHeader()
+{
+    return "system,workload,seconds,tasks,tasks_per_second,"
+           "energy_dram_pj,energy_comm_pj,energy_pe_pj,"
+           "energy_total_pj,wire_bytes,host_round_trips,"
+           "dram_reads,dram_writes,chip_access_cov";
+}
+
+void
+writeRunResultCsv(std::ostream &out, const RunResult &r)
+{
+    // System/workload names never contain commas by construction.
+    out << r.system << ',' << r.workload << ',' << r.seconds << ','
+        << r.tasks << ',' << r.tasks_per_second << ','
+        << r.energy.dram_pj << ',' << r.energy.comm_pj << ','
+        << r.energy.pe_pj << ',' << r.energy.totalPj() << ','
+        << r.wire_bytes << ',' << r.host_round_trips << ','
+        << r.dram_reads << ',' << r.dram_writes << ','
+        << r.chip_access_cov << '\n';
+}
+
+} // namespace beacon

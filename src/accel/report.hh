@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * Serialises RunResult (and batches of them) as JSON so plotting
+ * scripts can regenerate the paper's figures from bench output, and
+ * as CSV for spreadsheet work. The JSON writer is deliberately
+ * minimal — flat objects, numbers, strings — so it has no external
+ * dependency.
+ */
+
+#ifndef BEACON_ACCEL_REPORT_HH
+#define BEACON_ACCEL_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "accel/system.hh"
+
+namespace beacon
+{
+
+/** Write one result as a JSON object. */
+void writeRunResultJson(std::ostream &out, const RunResult &result,
+                        unsigned indent = 0);
+
+/** Write a batch as a JSON array. */
+void writeRunResultsJson(std::ostream &out,
+                         const std::vector<RunResult> &results);
+
+/** CSV header matching writeRunResultCsv rows. */
+std::string runResultCsvHeader();
+
+/** Write one result as a CSV row. */
+void writeRunResultCsv(std::ostream &out, const RunResult &result);
+
+/** Escape a string for inclusion in JSON. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_REPORT_HH

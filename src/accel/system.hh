@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Composed accelerator systems.
+ *
+ * NdpSystem instantiates a full machine — fabric (CXL pool or DDR
+ * channels), one DRAM controller per DIMM, NDP modules (on
+ * CXLG-DIMMs, in switches, or per DDR-DIMM), atomic engines, and the
+ * memory-management framework — then drives a Workload through it
+ * and reports time, energy, and activity statistics.
+ *
+ * The same class realises every evaluated configuration:
+ *   MEDAL / NEST          (DDR fabric, NDP in every customised DIMM)
+ *   CXL-vanilla           (pool fabric, all optimizations off)
+ *   BEACON-D / BEACON-S   (pool fabric, optimizations per flags)
+ * and each system's idealized-communication twin.
+ */
+
+#ifndef BEACON_ACCEL_SYSTEM_HH
+#define BEACON_ACCEL_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/ddr_fabric.hh"
+#include "accel/energy_model.hh"
+#include "accel/workload.hh"
+#include "cxl/pool.hh"
+#include "dram/controller.hh"
+#include "dram/energy.hh"
+#include "memmgmt/framework.hh"
+#include "ndp/atomic_engine.hh"
+#include "ndp/ndp_module.hh"
+
+namespace beacon
+{
+
+/** The paper's cumulative optimization switches. */
+struct OptimizationFlags
+{
+    bool data_packing = false;      //!< Data Packers active
+    bool mem_access_opt = false;    //!< device-bias routing (Fig. 9)
+    bool placement_mapping = false; //!< placement + address mapping
+    unsigned coalesce_chips = 1;    //!< >1 enables multi-chip coalescing
+    bool kmc_single_pass = false;   //!< single-pass k-mer counting
+    /** Stripe weight of a CXLG-DIMM under proximity placement (how
+     *  much hot data migrates onto the NDP module's own DIMM). */
+    unsigned cxlg_stripe_weight = 5;
+    /**
+     * Function shipping (MEDAL-style task forwarding): a remote read
+     * whose target DIMM has NDP capability executes the consuming
+     * step there and returns only the 8-byte result instead of the
+     * operand block. Halves fine-grained response traffic at the
+     * cost of remote PE work.
+     */
+    bool function_shipping = false;
+};
+
+/** Full machine description. */
+struct SystemParams
+{
+    std::string name = "system";
+    /** DDR-channel fabric (MEDAL/NEST) instead of the CXL pool. */
+    bool ddr_fabric = false;
+    /** NDP modules in the CXL-Switches (BEACON-S) instead of DIMMs. */
+    bool ndp_in_switch = false;
+    /** Switches (pool) or channels (DDR). */
+    unsigned num_groups = 2;
+    /** DIMMs per switch/channel. */
+    unsigned dimms_per_group = 4;
+    /** Global indices of customised (NDP-capable) DIMMs. */
+    std::vector<unsigned> cxlg_dimms;
+    /** PEs per NDP module. */
+    unsigned pes_per_module = 128;
+    /** Max in-flight tasks per NDP module. */
+    unsigned max_inflight_tasks = 256;
+    /** Which Table II PE row prices the PEs. */
+    std::string pe_architecture = "BEACON";
+    /** Row-buffer policy of every DRAM controller. */
+    PagePolicy page_policy = PagePolicy::Open;
+
+    OptimizationFlags opts;
+    /** Idealized communication (infinite bandwidth, zero latency). */
+    bool ideal_comm = false;
+
+    PoolParams pool;          //!< used when !ddr_fabric
+    DdrFabricParams ddr;      //!< used when ddr_fabric
+    CommEnergyParams comm_energy;
+    DramEnergyParams dram_energy;
+
+    /** @name Factory presets (Table I topologies) @{ */
+    static SystemParams medal();
+    static SystemParams nest();
+    static SystemParams cxlVanillaD();
+    static SystemParams cxlVanillaS();
+    static SystemParams beaconD();
+    static SystemParams beaconS();
+    /** @} */
+
+    /** Copy with idealized communication enabled. */
+    SystemParams idealized() const;
+};
+
+/** Result of one workload run. */
+struct RunResult
+{
+    std::string system;
+    std::string workload;
+    Tick ticks = 0;
+    double seconds = 0;
+    std::uint64_t tasks = 0;
+    double tasks_per_second = 0;
+    SystemEnergy energy;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t host_round_trips = 0;
+    std::uint64_t dram_reads = 0;
+    std::uint64_t dram_writes = 0;
+    /** Per-chip-position access counts summed over DIMMs (Fig 13). */
+    std::vector<double> chip_accesses;
+    /** Coefficient of variation of per-chip accesses. */
+    double chip_access_cov = 0;
+};
+
+/** One fully instantiated machine bound to one workload. */
+class NdpSystem
+{
+  public:
+    NdpSystem(const SystemParams &params, const Workload &workload);
+    ~NdpSystem();
+
+    /**
+     * Run @p num_tasks tasks (0 = all of the workload's tasks) to
+     * completion and report metrics. Multi-pass k-mer counting runs
+     * both passes plus the filter merge.
+     */
+    RunResult run(std::size_t num_tasks = 0);
+
+    /** Statistic registry (inspectable after run()). */
+    const StatRegistry &stats() const { return registry; }
+
+    /** DRAM controller of a DIMM (tests). */
+    const DramController &dimmController(unsigned index) const
+    {
+        return *controllers.at(index);
+    }
+
+    /** The placement decisions in effect. */
+    const MemoryLayout &layout() const { return *mem_layout; }
+
+    unsigned numPartitions() const { return unsigned(ndps.size()); }
+
+  private:
+    /** NodeId hosting partition @p p's NDP module. */
+    NodeId ndpNode(unsigned partition) const;
+
+    /** Translate + route one logical access for partition @p p. */
+    void issueAccess(unsigned partition, const AccessRequest &request,
+                     std::function<void(Tick)> done);
+
+    /** Route one resolved piece. */
+    void issuePiece(unsigned partition, const AccessRequest &request,
+                    const ResolvedAccess &piece,
+                    std::function<void(Tick)> done);
+
+    /** Local DRAM access on @p dimm (no fabric). */
+    void localDram(unsigned dimm, const ResolvedAccess &piece,
+                   bool is_write, std::function<void(Tick)> done);
+
+    /** Atomic RMW via the home switch's Atomic Engine. */
+    void atomicAccess(unsigned partition, const AccessRequest &request,
+                      const ResolvedAccess &piece,
+                      std::function<void(Tick)> done);
+
+    /** Submit up to capacity from the pending task list. */
+    void pump();
+
+    /** Run the event loop until @p target tasks completed. */
+    void drainUntil(std::uint64_t target);
+
+    /** Ring-broadcast the partition-local filters (multi-pass). */
+    void mergeFilters();
+
+    SystemParams p;
+    const Workload &workload;
+    WorkloadContext ctx;
+
+    EventQueue eq;
+    StatRegistry registry;
+
+    std::unique_ptr<PoolFabric> pool_fabric;
+    std::unique_ptr<DdrFabric> ddr_fabric;
+    Fabric *fabric = nullptr;
+
+    std::vector<std::unique_ptr<DramController>> controllers;
+    std::vector<NodeId> dimm_nodes;
+    std::vector<std::unique_ptr<NdpModule>> ndps;
+    std::vector<NodeId> ndp_nodes;
+    std::vector<std::unique_ptr<AtomicEngine>> atomic_engines;
+
+    std::unique_ptr<MemoryFramework> framework;
+    std::shared_ptr<MemoryLayout> mem_layout;
+
+    // Task driver state.
+    std::size_t next_task = 0;
+    std::size_t target_tasks = 0;
+    std::uint64_t completed_tasks = 0;
+    unsigned next_partition = 0;
+    /** Tasks dispatched (including in-flight input messages) and not
+     *  yet completed, per partition. */
+    std::vector<unsigned> inflight;
+
+    Tick pe_clock_ps = 1250;
+};
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_SYSTEM_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Application workloads: each builds the real genomics data
+ * structures (FM-index, hash index, Bloom filters, reference) and
+ * manufactures the Tasks whose memory accesses drive the simulated
+ * accelerators.
+ */
+
+#ifndef BEACON_ACCEL_WORKLOAD_HH
+#define BEACON_ACCEL_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genomics/bloom.hh"
+#include "genomics/dna.hh"
+#include "genomics/fm_index.hh"
+#include "genomics/hash_index.hh"
+#include "memmgmt/layout.hh"
+#include "ndp/task.hh"
+
+namespace beacon
+{
+
+/** Per-run task-behaviour switches supplied by the system. */
+struct WorkloadContext
+{
+    /** Single-pass k-mer counting (BEACON-S optimization). */
+    bool kmc_single_pass = true;
+    /** Pass index for multi-pass k-mer counting (0 or 1). */
+    unsigned pass = 0;
+};
+
+/** Functional totals used by the CPU baseline model. */
+struct WorkloadFootprint
+{
+    std::uint64_t tasks = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t access_bytes = 0;
+    std::uint64_t compute_cycles = 0;
+};
+
+/** An application workload bound to one dataset. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual EngineKind engine() const = 0;
+
+    /** Data structures the memory framework must place. */
+    virtual std::vector<StructureSpec> structures() const = 0;
+
+    /** Number of independent tasks (one per read / candidate). */
+    virtual std::size_t numTasks() const = 0;
+
+    /** Build task @p idx for a run with behaviour @p ctx. */
+    virtual TaskPtr makeTask(std::size_t idx,
+                             const WorkloadContext &ctx) const = 0;
+
+    /** True when the workload supports multi-pass execution. */
+    virtual bool multiPassCapable() const { return false; }
+
+    /**
+     * Fraction of the full dataset this workload simulates; constant
+     * per-run costs (e.g., multi-pass filter merge) are scaled by it
+     * so subsampled runs stay representative.
+     */
+    virtual double sampleFraction() const { return 1.0; }
+};
+
+/** Dry-run every task functionally and accumulate totals. */
+WorkloadFootprint measureFootprint(const Workload &workload,
+                                   const WorkloadContext &ctx);
+
+/** FM-index based DNA seeding (BWA-MEM style backward search). */
+class FmSeedingWorkload : public Workload
+{
+  public:
+    explicit FmSeedingWorkload(const genomics::DatasetPreset &preset);
+
+    const std::string &name() const override { return name_; }
+    EngineKind engine() const override { return EngineKind::FmIndex; }
+    std::vector<StructureSpec> structures() const override;
+    std::size_t numTasks() const override { return reads.size(); }
+    TaskPtr makeTask(std::size_t idx,
+                     const WorkloadContext &ctx) const override;
+
+    const genomics::FmIndex &index() const { return *fm; }
+
+  private:
+    std::string name_;
+    genomics::DnaSequence genome;
+    std::vector<genomics::DnaSequence> reads;
+    std::unique_ptr<genomics::FmIndex> fm;
+};
+
+/** Hash-index based DNA seeding (SMALT style). */
+class HashSeedingWorkload : public Workload
+{
+  public:
+    explicit HashSeedingWorkload(const genomics::DatasetPreset &preset,
+                                 unsigned k = 15);
+
+    const std::string &name() const override { return name_; }
+    EngineKind engine() const override
+    {
+        return EngineKind::HashIndex;
+    }
+    std::vector<StructureSpec> structures() const override;
+    std::size_t numTasks() const override { return reads.size(); }
+    TaskPtr makeTask(std::size_t idx,
+                     const WorkloadContext &ctx) const override;
+
+    const genomics::HashIndex &index() const { return *hidx; }
+
+  private:
+    std::string name_;
+    genomics::DnaSequence genome;
+    std::vector<genomics::DnaSequence> reads;
+    std::unique_ptr<genomics::HashIndex> hidx;
+};
+
+/** k-mer counting with a counting Bloom filter (BFCounter style). */
+class KmerCountingWorkload : public Workload
+{
+  public:
+    /**
+     * @param filter_counters counting-Bloom size; the default is
+     *        proportioned to the sampled input (about 4 counters per
+     *        distinct k-mer), keeping the multi-pass merge cost in
+     *        the same ratio to the counting work as at full scale.
+     */
+    KmerCountingWorkload(const genomics::DatasetPreset &preset,
+                         unsigned k = 21, unsigned num_hashes = 3,
+                         std::size_t filter_counters = 1u << 16,
+                         std::size_t max_reads = 256);
+
+    const std::string &name() const override { return name_; }
+    EngineKind engine() const override
+    {
+        return EngineKind::KmerCounting;
+    }
+    std::vector<StructureSpec> structures() const override;
+    std::size_t numTasks() const override { return reads.size(); }
+    TaskPtr makeTask(std::size_t idx,
+                     const WorkloadContext &ctx) const override;
+    bool multiPassCapable() const override { return true; }
+    double sampleFraction() const override { return sample_fraction; }
+
+    unsigned k() const { return k_; }
+    unsigned numHashes() const { return num_hashes; }
+    std::size_t filterCounters() const { return filter_counters; }
+
+    /** Reference filter for correctness checks in tests. */
+    genomics::CountingBloomFilter buildReferenceFilter() const;
+
+  private:
+    std::string name_;
+    genomics::DnaSequence genome;
+    std::vector<genomics::DnaSequence> reads;
+    unsigned k_;
+    unsigned num_hashes;
+    std::size_t filter_counters;
+    double sample_fraction = 1.0;
+};
+
+/** DNA pre-alignment filtering (Shouji style). */
+class PrealignWorkload : public Workload
+{
+  public:
+    explicit PrealignWorkload(const genomics::DatasetPreset &preset,
+                              unsigned edit_threshold = 5,
+                              unsigned candidates_per_read = 4);
+
+    const std::string &name() const override { return name_; }
+    EngineKind engine() const override
+    {
+        return EngineKind::Prealign;
+    }
+    std::vector<StructureSpec> structures() const override;
+    std::size_t numTasks() const override { return candidates; }
+    TaskPtr makeTask(std::size_t idx,
+                     const WorkloadContext &ctx) const override;
+
+  private:
+    std::string name_;
+    genomics::DnaSequence genome;
+    std::vector<genomics::DnaSequence> reads;
+    unsigned threshold;
+    std::size_t candidates;
+    unsigned cands_per_read;
+};
+
+} // namespace beacon
+
+#endif // BEACON_ACCEL_WORKLOAD_HH

@@ -1,0 +1,510 @@
+#include "workload.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "genomics/kmer.hh"
+
+namespace beacon
+{
+
+using genomics::Base;
+using genomics::DnaSequence;
+using genomics::FmIndex;
+using genomics::HashIndex;
+using genomics::SaRange;
+
+WorkloadFootprint
+measureFootprint(const Workload &workload, const WorkloadContext &ctx)
+{
+    WorkloadFootprint fp;
+    fp.tasks = workload.numTasks();
+    for (std::size_t i = 0; i < workload.numTasks(); ++i) {
+        TaskPtr task = workload.makeTask(i, ctx);
+        for (;;) {
+            const TaskStep step = task->next();
+            ++fp.steps;
+            fp.compute_cycles += step.compute_cycles;
+            for (const AccessRequest &a : step.accesses) {
+                ++fp.accesses;
+                fp.access_bytes += a.bytes;
+            }
+            if (step.done)
+                break;
+        }
+    }
+    return fp;
+}
+
+// ---------------------------------------------------------------
+// FM-index based DNA seeding
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Backward search over the read, restarting after a mismatch (greedy
+ * exact-match seed extraction, as in MEDAL's seeding stage). One
+ * step = one backward extension = two Occ-block fetches.
+ *
+ * The first `lookup_k` extensions of each seed are resolved from a
+ * k-mer lookup table in engine SRAM (as BWA's and MEDAL's seeders
+ * do); without it every seed would hammer the handful of Occ blocks
+ * around the whole-range boundaries.
+ */
+class FmSeedingTask : public Task
+{
+  public:
+    static constexpr unsigned lookup_k = 8;
+
+    FmSeedingTask(const FmIndex &index, const DnaSequence &read)
+        : fm(index), read(read), pos(read.size()),
+          range(index.wholeRange())
+    {
+        seedFromLookup();
+    }
+
+    EngineKind engine() const override { return EngineKind::FmIndex; }
+
+    TaskStep
+    next() override
+    {
+        TaskStep step;
+        if (pos == 0) {
+            step.done = true;
+            return step;
+        }
+        const Base c = read.at(pos - 1);
+        const SaRange next_range = fm.extend(range, c);
+
+        step.compute_cycles = engineStepCycles(EngineKind::FmIndex);
+        // The engine fetches the Occ blocks holding both interval
+        // pointers (the same block counts once).
+        const std::uint64_t blk_lo = fm.blockOf(range.lo);
+        const std::uint64_t blk_hi = fm.blockOf(range.hi);
+        AccessRequest req;
+        req.data_class = DataClass::FmOcc;
+        req.offset = blk_lo * FmIndex::block_bytes;
+        req.bytes = FmIndex::block_bytes;
+        step.accesses.push_back(req);
+        if (blk_hi != blk_lo) {
+            req.offset = blk_hi * FmIndex::block_bytes;
+            step.accesses.push_back(req);
+        }
+
+        --pos;
+        if (next_range.empty()) {
+            // Seed ended: restart the search after the mismatch,
+            // resolving the first extensions from the SRAM table.
+            seedFromLookup();
+        } else {
+            range = next_range;
+        }
+        return step;
+    }
+
+  private:
+    /**
+     * Re-seed via the k-mer lookup table: consume up to lookup_k
+     * bases functionally (no DRAM traffic). Advances past bases
+     * whose k-mer is absent from the reference.
+     */
+    void
+    seedFromLookup()
+    {
+        while (pos >= lookup_k) {
+            SaRange r = fm.wholeRange();
+            for (unsigned i = 0; i < lookup_k && !r.empty(); ++i)
+                r = fm.extend(r, read.at(pos - 1 - i));
+            if (r.empty()) {
+                --pos; // k-mer absent: slide the seed window
+                continue;
+            }
+            range = r;
+            pos -= lookup_k;
+            return;
+        }
+        // Tail shorter than the table's k: nothing left to seed.
+        pos = 0;
+    }
+
+    const FmIndex &fm;
+    const DnaSequence &read;
+    std::size_t pos;
+    SaRange range;
+};
+
+} // namespace
+
+FmSeedingWorkload::FmSeedingWorkload(
+    const genomics::DatasetPreset &preset)
+    : name_(std::string("fm-seeding/") + preset.name)
+{
+    genome = genomics::makeGenome(preset.genome);
+    reads = genomics::makeReads(genome, preset.reads);
+    fm = std::make_unique<FmIndex>(genome);
+}
+
+std::vector<StructureSpec>
+FmSeedingWorkload::structures() const
+{
+    StructureSpec occ;
+    occ.cls = DataClass::FmOcc;
+    occ.bytes = fm->indexBytes();
+    occ.spatial = false;
+    occ.read_only = true;
+    occ.access_granule = FmIndex::block_bytes;
+    return {occ};
+}
+
+TaskPtr
+FmSeedingWorkload::makeTask(std::size_t idx,
+                            const WorkloadContext &) const
+{
+    return std::make_unique<FmSeedingTask>(*fm,
+                                           reads.at(idx % reads.size()));
+}
+
+// ---------------------------------------------------------------
+// Hash-index based DNA seeding
+// ---------------------------------------------------------------
+
+namespace
+{
+
+class HashSeedingTask : public Task
+{
+  public:
+    HashSeedingTask(const HashIndex &index, const DnaSequence &read)
+        : hidx(index), read(read)
+    {
+        // Non-overlapping seeds across the read.
+        const unsigned k = hidx.k();
+        for (std::size_t p = 0; p + k <= read.size(); p += k) {
+            std::uint64_t kmer = 0;
+            for (unsigned i = 0; i < k; ++i)
+                kmer = (kmer << 2) | read.at(p + i);
+            seeds.push_back(kmer);
+        }
+    }
+
+    EngineKind engine() const override
+    {
+        return EngineKind::HashIndex;
+    }
+
+    TaskStep
+    next() override
+    {
+        TaskStep step;
+        if (phase == Phase::Bucket) {
+            if (seed_idx >= seeds.size()) {
+                step.done = true;
+                return step;
+            }
+            const std::uint64_t kmer = seeds[seed_idx];
+            step.compute_cycles =
+                engineStepCycles(EngineKind::HashIndex);
+            AccessRequest req;
+            req.data_class = DataClass::HashBucket;
+            req.offset = hidx.bucketOf(kmer) * 8;
+            req.bytes = 8;
+            step.accesses.push_back(req);
+            phase = Phase::Locations;
+            return step;
+        }
+        // Locations phase: fetch the matching locations, if any.
+        const std::uint64_t kmer = seeds[seed_idx];
+        const std::size_t hits = hidx.hitCount(kmer);
+        ++seed_idx;
+        phase = Phase::Bucket;
+        step.compute_cycles = engineStepCycles(EngineKind::HashIndex);
+        if (hits > 0) {
+            AccessRequest req;
+            req.data_class = DataClass::HashLocations;
+            req.offset = hidx.locationOffsetBytes(kmer);
+            req.bytes = std::uint32_t(hits * 4);
+            step.accesses.push_back(req);
+        }
+        if (step.accesses.empty() && seed_idx >= seeds.size())
+            step.done = true;
+        return step;
+    }
+
+  private:
+    enum class Phase { Bucket, Locations };
+
+    const HashIndex &hidx;
+    const DnaSequence &read;
+    std::vector<std::uint64_t> seeds;
+    std::size_t seed_idx = 0;
+    Phase phase = Phase::Bucket;
+};
+
+} // namespace
+
+HashSeedingWorkload::HashSeedingWorkload(
+    const genomics::DatasetPreset &preset, unsigned k)
+    : name_(std::string("hash-seeding/") + preset.name)
+{
+    genome = genomics::makeGenome(preset.genome);
+    reads = genomics::makeReads(genome, preset.reads);
+    hidx = std::make_unique<HashIndex>(genome, k);
+}
+
+std::vector<StructureSpec>
+HashSeedingWorkload::structures() const
+{
+    StructureSpec buckets;
+    buckets.cls = DataClass::HashBucket;
+    buckets.bytes = hidx->bucketTableBytes();
+    buckets.spatial = false;
+    buckets.read_only = true;
+    buckets.access_granule = 8;
+
+    StructureSpec locations;
+    locations.cls = DataClass::HashLocations;
+    locations.bytes = std::max<std::uint64_t>(hidx->locationBytes(), 64);
+    locations.spatial = true;
+    locations.read_only = true;
+    locations.access_granule = 64;
+    return {buckets, locations};
+}
+
+TaskPtr
+HashSeedingWorkload::makeTask(std::size_t idx,
+                              const WorkloadContext &) const
+{
+    return std::make_unique<HashSeedingTask>(
+        *hidx, reads.at(idx % reads.size()));
+}
+
+// ---------------------------------------------------------------
+// k-mer counting
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * One task processes one read: for every canonical k-mer, one
+ * compute step plus the Bloom-filter counter updates.
+ *
+ *  - single-pass: atomic increments on the global filter;
+ *  - multi-pass pass 0: atomic increments on the partition-local
+ *    filter;
+ *  - multi-pass pass 1: plain reads of the partition-local filter
+ *    (counting against the merged filter).
+ */
+class KmerCountTask : public Task
+{
+  public:
+    KmerCountTask(std::vector<std::uint64_t> kmers, unsigned hashes,
+                  std::size_t counters, bool single_pass,
+                  unsigned pass)
+        : kmers(std::move(kmers)), num_hashes(hashes),
+          num_counters(counters), single_pass(single_pass), pass(pass)
+    {}
+
+    EngineKind engine() const override
+    {
+        return EngineKind::KmerCounting;
+    }
+
+    TaskStep
+    next() override
+    {
+        TaskStep step;
+        if (idx >= kmers.size()) {
+            step.done = true;
+            return step;
+        }
+        const std::uint64_t kmer = kmers[idx++];
+        step.compute_cycles =
+            engineStepCycles(EngineKind::KmerCounting);
+        const bool update = single_pass || pass == 0;
+        for (unsigned h = 0; h < num_hashes; ++h) {
+            AccessRequest req;
+            req.data_class = single_pass ? DataClass::BloomCounter
+                                         : DataClass::BloomLocal;
+            req.offset =
+                genomics::hashKmer(kmer, 7 + h) % num_counters;
+            req.bytes = 1;
+            req.is_write = update;
+            req.is_atomic = update;
+            step.accesses.push_back(req);
+        }
+        if (idx >= kmers.size() && step.accesses.empty())
+            step.done = true;
+        return step;
+    }
+
+  private:
+    std::vector<std::uint64_t> kmers;
+    unsigned num_hashes;
+    std::size_t num_counters;
+    bool single_pass;
+    unsigned pass;
+    std::size_t idx = 0;
+};
+
+} // namespace
+
+KmerCountingWorkload::KmerCountingWorkload(
+    const genomics::DatasetPreset &preset, unsigned k,
+    unsigned num_hashes, std::size_t filter_counters,
+    std::size_t max_reads)
+    : name_(std::string("kmer-counting/") + preset.name), k_(k),
+      num_hashes(num_hashes), filter_counters(filter_counters)
+{
+    genome = genomics::makeGenome(preset.genome);
+    genomics::ReadParams rp = preset.reads;
+    rp.num_reads = std::min(rp.num_reads, max_reads);
+    reads = genomics::makeReads(genome, rp);
+    // The filter is proportioned to the sampled input (see the
+    // constructor doc), so per-run constants such as the filter
+    // merge are NOT additionally scaled down.
+    sample_fraction = 1.0;
+}
+
+std::vector<StructureSpec>
+KmerCountingWorkload::structures() const
+{
+    StructureSpec global;
+    global.cls = DataClass::BloomCounter;
+    global.bytes = filter_counters;
+    global.spatial = false;
+    global.read_only = false;
+    global.access_granule = 8;
+
+    StructureSpec local = global;
+    local.cls = DataClass::BloomLocal;
+    local.partition_local = true;
+    return {global, local};
+}
+
+TaskPtr
+KmerCountingWorkload::makeTask(std::size_t idx,
+                               const WorkloadContext &ctx) const
+{
+    const DnaSequence &read = reads.at(idx % reads.size());
+    std::vector<std::uint64_t> kmers;
+    genomics::forEachKmer(read, k_,
+                          [&](std::uint64_t kmer, std::size_t) {
+                              kmers.push_back(
+                                  genomics::canonicalKmer(kmer, k_));
+                          });
+    return std::make_unique<KmerCountTask>(
+        std::move(kmers), num_hashes, filter_counters,
+        ctx.kmc_single_pass, ctx.pass);
+}
+
+genomics::CountingBloomFilter
+KmerCountingWorkload::buildReferenceFilter() const
+{
+    genomics::CountingBloomFilter filter(filter_counters, num_hashes);
+    for (const DnaSequence &read : reads) {
+        genomics::forEachKmer(
+            read, k_, [&](std::uint64_t kmer, std::size_t) {
+                filter.add(genomics::canonicalKmer(kmer, k_));
+            });
+    }
+    return filter;
+}
+
+// ---------------------------------------------------------------
+// DNA pre-alignment
+// ---------------------------------------------------------------
+
+namespace
+{
+
+class PrealignTask : public Task
+{
+  public:
+    PrealignTask(std::uint64_t window_offset, std::uint32_t window_bytes)
+        : window_offset(window_offset), window_bytes(window_bytes)
+    {}
+
+    EngineKind engine() const override
+    {
+        return EngineKind::Prealign;
+    }
+
+    TaskStep
+    next() override
+    {
+        TaskStep step;
+        switch (phase) {
+          case 0: {
+            // Fetch the candidate reference window.
+            AccessRequest req;
+            req.data_class = DataClass::RefWindow;
+            req.offset = window_offset;
+            req.bytes = window_bytes;
+            step.compute_cycles = 4;
+            step.accesses.push_back(req);
+            phase = 1;
+            return step;
+          }
+          case 1:
+          default:
+            // Build the bit-vectors and decide.
+            step.compute_cycles =
+                engineStepCycles(EngineKind::Prealign);
+            step.done = true;
+            return step;
+        }
+    }
+
+  private:
+    std::uint64_t window_offset;
+    std::uint32_t window_bytes;
+    unsigned phase = 0;
+};
+
+} // namespace
+
+PrealignWorkload::PrealignWorkload(
+    const genomics::DatasetPreset &preset, unsigned edit_threshold,
+    unsigned candidates_per_read)
+    : name_(std::string("prealign/") + preset.name),
+      threshold(edit_threshold), cands_per_read(candidates_per_read)
+{
+    genome = genomics::makeGenome(preset.genome);
+    reads = genomics::makeReads(genome, preset.reads);
+    candidates = reads.size() * cands_per_read;
+}
+
+std::vector<StructureSpec>
+PrealignWorkload::structures() const
+{
+    StructureSpec ref;
+    ref.cls = DataClass::RefWindow;
+    // 2-bit packed reference.
+    ref.bytes = std::max<std::uint64_t>(genome.size() / 4, 64);
+    ref.spatial = true;
+    ref.read_only = true;
+    ref.access_granule = 64;
+    return {ref};
+}
+
+TaskPtr
+PrealignWorkload::makeTask(std::size_t idx,
+                           const WorkloadContext &) const
+{
+    const std::size_t read_idx = (idx / cands_per_read) % reads.size();
+    const DnaSequence &read = reads[read_idx];
+    // Candidate windows spread deterministically over the genome.
+    const std::uint64_t hash =
+        genomics::hashKmer(idx * 2654435761ull + read_idx);
+    const std::uint64_t window_pos =
+        hash % std::max<std::uint64_t>(genome.size() - read.size(), 1);
+    const std::uint64_t offset = window_pos / 4; // 2-bit packed
+    const std::uint32_t bytes =
+        std::uint32_t(read.size() / 4 + 1);
+    return std::make_unique<PrealignTask>(offset, bytes);
+}
+
+} // namespace beacon

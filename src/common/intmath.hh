@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the simulator.
+ */
+
+#ifndef BEACON_COMMON_INTMATH_HH
+#define BEACON_COMMON_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace beacon
+{
+
+/** True if @p n is a power of two (0 is not). */
+template <typename T>
+constexpr bool
+isPowerOf2(T n)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); @p n must be non-zero. */
+template <typename T>
+constexpr unsigned
+floorLog2(T n)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return std::bit_width(n) - 1;
+}
+
+/** Ceiling of log2(n); @p n must be non-zero. */
+template <typename T>
+constexpr unsigned
+ceilLog2(T n)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return n <= 1 ? 0 : std::bit_width(n - 1);
+}
+
+/** Ceiling division: divCeil(7, 2) == 4. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p align. */
+template <typename T>
+constexpr T
+roundUp(T a, T align)
+{
+    return divCeil(a, align) * align;
+}
+
+/** Round @p a down to a multiple of @p align. */
+template <typename T>
+constexpr T
+roundDown(T a, T align)
+{
+    return (a / align) * align;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (value >> first) & mask;
+}
+
+/** Insert @p field into bits [first, last] of @p value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (value & ~(mask << first)) | ((field & mask) << first);
+}
+
+} // namespace beacon
+
+#endif // BEACON_COMMON_INTMATH_HH

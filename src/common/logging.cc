@@ -1,0 +1,62 @@
+#include "logging.hh"
+
+#include <exception>
+
+namespace beacon
+{
+
+namespace
+{
+
+LogLevel global_log_level = LogLevel::Inform;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_log_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_log_level = level;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (global_log_level >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (global_log_level >= LogLevel::Inform)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace beacon

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator and the synthetic dataset
+ * generators draws from this xoshiro256** implementation so that runs
+ * are reproducible from a single seed, independent of the standard
+ * library implementation.
+ */
+
+#ifndef BEACON_COMMON_RNG_HH
+#define BEACON_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace beacon
+{
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * used with standard distributions when convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit draw. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound); @p bound must be non-zero. */
+    std::uint64_t next(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+} // namespace beacon
+
+#endif // BEACON_COMMON_RNG_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Size and time unit helpers.
+ *
+ * The simulation kernel counts time in integer picoseconds (Tick);
+ * capacities are counted in bytes.
+ */
+
+#ifndef BEACON_COMMON_UNITS_HH
+#define BEACON_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace beacon
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no deadline / never". */
+constexpr Tick max_tick = ~Tick{0};
+
+constexpr Tick
+picoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+constexpr Tick
+nanoseconds(double n)
+{
+    return static_cast<Tick>(n * 1e3);
+}
+
+constexpr Tick
+microseconds(double n)
+{
+    return static_cast<Tick>(n * 1e6);
+}
+
+constexpr Tick
+milliseconds(double n)
+{
+    return static_cast<Tick>(n * 1e9);
+}
+
+/** Convert ticks to seconds for reporting. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+constexpr std::uint64_t operator""_KiB(unsigned long long n)
+{
+    return n << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long n)
+{
+    return n << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long n)
+{
+    return n << 30;
+}
+
+/**
+ * Serialisation time of @p bytes over a link of @p gbps gigabytes per
+ * second, in ticks (picoseconds).
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double gb_per_s)
+{
+    // bytes / (GB/s) = ns; x1000 -> ps.
+    return static_cast<Tick>(
+        static_cast<double>(bytes) / gb_per_s * 1e3 + 0.5);
+}
+
+} // namespace beacon
+
+#endif // BEACON_COMMON_UNITS_HH

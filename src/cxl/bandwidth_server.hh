@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Occupancy-based bandwidth server.
+ *
+ * Models any serial resource with a fixed byte rate (a CXL link
+ * direction, a switch-internal bus, a DDR command/data channel): a
+ * transfer of B bytes occupies the resource for B / bandwidth and
+ * transfers queue behind each other in arrival order.
+ */
+
+#ifndef BEACON_CXL_BANDWIDTH_SERVER_HH
+#define BEACON_CXL_BANDWIDTH_SERVER_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace beacon
+{
+
+/** A FIFO resource with a fixed service rate in GB/s. */
+class BandwidthServer
+{
+  public:
+    /**
+     * @param gb_per_s service rate; <= 0 means infinite bandwidth
+     *        (used for the paper's idealized-communication mode).
+     */
+    explicit BandwidthServer(double gb_per_s)
+        : rate(gb_per_s)
+    {}
+
+    /** True when this server models idealized (infinite) bandwidth. */
+    bool ideal() const { return rate <= 0; }
+
+    double rateGBps() const { return rate; }
+
+    /**
+     * Reserve the server for @p bytes starting no earlier than
+     * @p ready.
+     * @return the tick at which the last byte has been serviced.
+     */
+    Tick
+    accept(Tick ready, std::uint64_t bytes)
+    {
+        total_bytes += bytes;
+        ++transfers;
+        if (ideal())
+            return ready;
+        const Tick start = std::max(ready, busy_until);
+        const Tick duration = transferTime(bytes, rate);
+        busy_until = start + duration;
+        busy_ticks += duration;
+        return busy_until;
+    }
+
+    /** Tick at which the server next becomes free. */
+    Tick busyUntil() const { return busy_until; }
+
+    std::uint64_t totalBytes() const { return total_bytes; }
+    std::uint64_t totalTransfers() const { return transfers; }
+    Tick busyTicks() const { return busy_ticks; }
+
+  private:
+    double rate;
+    Tick busy_until = 0;
+    Tick busy_ticks = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t transfers = 0;
+};
+
+} // namespace beacon
+
+#endif // BEACON_CXL_BANDWIDTH_SERVER_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Data Packer model (Section IV-B of the paper).
+ *
+ * Genome-analysis kernels issue fine-grained accesses (32 B seeding
+ * fetches, single-counter Bloom updates) while CXL moves data in 64 B
+ * flits. The Data Packer batches fine-grained payloads heading to the
+ * same destination into shared flits: wire traffic shrinks from one
+ * flit per payload to ceil(sum(payload + header) / flit).
+ *
+ * The packer flushes when a flit fills or when a timeout expires
+ * after the first pending payload, so packing trades a bounded
+ * staging delay for bandwidth.
+ */
+
+#ifndef BEACON_CXL_DATA_PACKER_HH
+#define BEACON_CXL_DATA_PACKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace beacon
+{
+
+/** Data Packer tunables. */
+struct PackerParams
+{
+    unsigned flit_bytes = 64;
+    unsigned header_bytes = 4;   //!< routing tag per packed payload
+    Tick flush_timeout = 15000;  //!< 15 ns staging bound
+    bool enabled = true;
+};
+
+/**
+ * Batches fine-grained payloads into flits.
+ *
+ * The packer is transport-agnostic: when a batch is ready it hands
+ * (wire_bytes, delivery callbacks) to the flush function supplied by
+ * its owner, which routes the packed unit and invokes every delivery
+ * callback when it arrives.
+ */
+class DataPacker
+{
+  public:
+    using Deliver = std::function<void(Tick)>;
+    using FlushFn =
+        std::function<void(std::uint64_t wire_bytes,
+                           std::vector<Deliver> batch)>;
+
+    DataPacker(EventQueue &eq, const PackerParams &params,
+               FlushFn flush_fn)
+        : eq(eq), p(params), flush(std::move(flush_fn))
+    {}
+
+    /**
+     * Submit one payload of @p useful_bytes. Non-fine-grained
+     * payloads, or any payload when packing is disabled, are flushed
+     * immediately at full-flit granularity.
+     */
+    void
+    submit(std::uint64_t useful_bytes, bool fine_grained,
+           Deliver deliver)
+    {
+        const std::uint64_t framed = useful_bytes + p.header_bytes;
+        if (!p.enabled || !fine_grained) {
+            std::vector<Deliver> batch;
+            batch.push_back(std::move(deliver));
+            flush(roundUp<std::uint64_t>(framed, p.flit_bytes),
+                  std::move(batch));
+            ++unpacked_messages;
+            return;
+        }
+        pending.push_back(std::move(deliver));
+        pending_bytes += framed;
+        ++packed_messages;
+        if (pending_bytes >= p.flit_bytes) {
+            flushNow();
+        } else if (!timeout_armed) {
+            timeout_armed = true;
+            timeout_ev = eq.scheduleIn(p.flush_timeout, [this] {
+                timeout_armed = false;
+                if (!pending.empty())
+                    flushNow();
+            });
+        }
+    }
+
+    /** Payloads currently staged. */
+    std::size_t pendingCount() const { return pending.size(); }
+
+    std::uint64_t packedMessages() const { return packed_messages; }
+    std::uint64_t unpackedMessages() const { return unpacked_messages; }
+    std::uint64_t flitsFlushed() const { return flits_flushed; }
+
+  private:
+    void
+    flushNow()
+    {
+        if (timeout_armed) {
+            eq.cancel(timeout_ev);
+            timeout_armed = false;
+        }
+        const std::uint64_t wire =
+            roundUp<std::uint64_t>(pending_bytes, p.flit_bytes);
+        flits_flushed += wire / p.flit_bytes;
+        flush(wire, std::move(pending));
+        pending.clear();
+        pending_bytes = 0;
+    }
+
+    EventQueue &eq;
+    PackerParams p;
+    FlushFn flush;
+
+    std::vector<Deliver> pending;
+    std::uint64_t pending_bytes = 0;
+    bool timeout_armed = false;
+    EventId timeout_ev = 0;
+
+    std::uint64_t packed_messages = 0;
+    std::uint64_t unpacked_messages = 0;
+    std::uint64_t flits_flushed = 0;
+};
+
+} // namespace beacon
+
+#endif // BEACON_CXL_DATA_PACKER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Abstract communication fabric interface.
+ *
+ * Both the CXL pool fabric (PoolFabric) and the DDR-channel fabric
+ * used by the MEDAL/NEST baselines (DdrFabric) implement this
+ * interface, so the accelerator systems are fabric-agnostic.
+ */
+
+#ifndef BEACON_CXL_FABRIC_HH
+#define BEACON_CXL_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hh"
+#include "cxl/node.hh"
+
+namespace beacon
+{
+
+/** Message-passing interface of a fabric. */
+class Fabric
+{
+  public:
+    using Deliver = std::function<void(Tick)>;
+
+    virtual ~Fabric() = default;
+
+    /**
+     * Move @p useful_bytes from @p src to @p dst; @p deliver fires at
+     * full arrival. @p fine_grained marks payloads eligible for data
+     * packing (where the fabric supports it).
+     */
+    virtual void send(NodeId src, NodeId dst,
+                      std::uint64_t useful_bytes, bool fine_grained,
+                      Deliver deliver) = 0;
+
+    /** Total wire bytes moved (for communication energy). */
+    virtual std::uint64_t totalWireBytes() const = 0;
+};
+
+} // namespace beacon
+
+#endif // BEACON_CXL_FABRIC_HH

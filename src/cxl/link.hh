@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Full-duplex point-to-point link (CXL lane bundle or DDR channel).
+ */
+
+#ifndef BEACON_CXL_LINK_HH
+#define BEACON_CXL_LINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cxl/bandwidth_server.hh"
+#include "sim/sim_object.hh"
+
+namespace beacon
+{
+
+/** Direction over a full-duplex link. */
+enum class LinkDir
+{
+    Downstream, //!< towards the device / DIMM
+    Upstream,   //!< towards the host / switch root
+};
+
+/** Link configuration. */
+struct LinkParams
+{
+    double gb_per_s = 32.0;  //!< per-direction bandwidth
+    Tick latency = 25000;    //!< propagation + PHY latency (25 ns)
+    /** Idealized communication: infinite bandwidth, zero latency. */
+    bool ideal = false;
+};
+
+/**
+ * A full-duplex link with independent per-direction occupancy.
+ *
+ * send() reserves the direction's bandwidth and invokes the callback
+ * at arrival time (serialisation + propagation latency).
+ */
+class CxlLink : public SimObject
+{
+  public:
+    CxlLink(const std::string &name, EventQueue &eq,
+            StatRegistry &stats, const LinkParams &params)
+        : SimObject(name, eq, stats),
+          p(params),
+          down(params.ideal ? -1.0 : params.gb_per_s),
+          up(params.ideal ? -1.0 : params.gb_per_s),
+          stat_bytes(stat("bytes")),
+          stat_transfers(stat("transfers"))
+    {}
+
+    /**
+     * Transfer @p bytes in direction @p dir; @p on_arrival fires when
+     * the last byte arrives at the far end.
+     */
+    void
+    send(LinkDir dir, std::uint64_t bytes,
+         std::function<void(Tick)> on_arrival)
+    {
+        BandwidthServer &server =
+            dir == LinkDir::Downstream ? down : up;
+        const Tick serialized = server.accept(curTick(), bytes);
+        const Tick arrive = serialized + (p.ideal ? 0 : p.latency);
+        stat_bytes += double(bytes);
+        ++stat_transfers;
+        eq.schedule(arrive,
+                    [cb = std::move(on_arrival), arrive] { cb(arrive); });
+    }
+
+    /** Earliest tick a new transfer in @p dir would finish arriving. */
+    Tick
+    nextArrival(LinkDir dir, std::uint64_t bytes) const
+    {
+        const BandwidthServer &server =
+            dir == LinkDir::Downstream ? down : up;
+        if (server.ideal())
+            return curTick();
+        const Tick start = std::max(curTick(), server.busyUntil());
+        return start + transferTime(bytes, server.rateGBps()) +
+               p.latency;
+    }
+
+    const LinkParams &params() const { return p; }
+    const BandwidthServer &downstream() const { return down; }
+    const BandwidthServer &upstream() const { return up; }
+
+    /** Total bytes moved in both directions. */
+    std::uint64_t
+    totalBytes() const
+    {
+        return down.totalBytes() + up.totalBytes();
+    }
+
+  private:
+    LinkParams p;
+    BandwidthServer down;
+    BandwidthServer up;
+    Counter &stat_bytes;
+    Counter &stat_transfers;
+};
+
+} // namespace beacon
+
+#endif // BEACON_CXL_LINK_HH

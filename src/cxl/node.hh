@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Node addressing within the CXL memory pool.
+ */
+
+#ifndef BEACON_CXL_NODE_HH
+#define BEACON_CXL_NODE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace beacon
+{
+
+/**
+ * Identifies an endpoint in the pool: the host, one CXL-Switch, or
+ * one DIMM (addressed as switch-local index).
+ */
+struct NodeId
+{
+    enum class Kind : std::uint8_t { Host, Switch, Dimm };
+
+    Kind kind = Kind::Host;
+    std::uint16_t sw = 0;    //!< switch index (Switch and Dimm kinds)
+    std::uint16_t dimm = 0;  //!< DIMM index within the switch
+
+    static NodeId host() { return NodeId{Kind::Host, 0, 0}; }
+
+    static NodeId
+    switchNode(unsigned s)
+    {
+        return NodeId{Kind::Switch, std::uint16_t(s), 0};
+    }
+
+    static NodeId
+    dimmNode(unsigned s, unsigned d)
+    {
+        return NodeId{Kind::Dimm, std::uint16_t(s), std::uint16_t(d)};
+    }
+
+    bool
+    operator==(const NodeId &o) const
+    {
+        return kind == o.kind && sw == o.sw && dimm == o.dimm;
+    }
+
+    bool isHost() const { return kind == Kind::Host; }
+    bool isSwitch() const { return kind == Kind::Switch; }
+    bool isDimm() const { return kind == Kind::Dimm; }
+
+    /** Compact key usable in hash maps. */
+    std::uint32_t
+    key() const
+    {
+        return (std::uint32_t(kind) << 24) | (std::uint32_t(sw) << 12) |
+               dimm;
+    }
+
+    std::string
+    str() const
+    {
+        switch (kind) {
+          case Kind::Host:
+            return "host";
+          case Kind::Switch:
+            return "switch" + std::to_string(sw);
+          case Kind::Dimm:
+            return "dimm" + std::to_string(sw) + "." +
+                   std::to_string(dimm);
+        }
+        return "?";
+    }
+};
+
+} // namespace beacon
+
+#endif // BEACON_CXL_NODE_HH

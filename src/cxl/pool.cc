@@ -1,0 +1,230 @@
+#include "pool.hh"
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+PoolFabric::PoolFabric(const std::string &name, EventQueue &eq,
+                       StatRegistry &stats, const PoolParams &params)
+    : SimObject(name, eq, stats),
+      p(params),
+      stat_messages(stat("messages")),
+      stat_host_round_trips(stat("hostRoundTrips"))
+{
+    if (p.ideal) {
+        p.dimm_link.ideal = true;
+        p.host_link.ideal = true;
+        p.switch_latency = 0;
+        p.host_latency = 0;
+    }
+    switches.resize(p.num_switches);
+    for (unsigned s = 0; s < p.num_switches; ++s) {
+        SwitchState &sw = switches[s];
+        sw.bus = std::make_unique<BandwidthServer>(
+            p.ideal ? -1.0 : p.switch_bus_gbps);
+        sw.host_link = std::make_unique<CxlLink>(
+            name + ".hostLink" + std::to_string(s), eq, stats,
+            p.host_link);
+        for (unsigned d = 0; d < p.dimms_per_switch; ++d) {
+            sw.dimm_links.push_back(std::make_unique<CxlLink>(
+                name + ".sw" + std::to_string(s) + ".dimmLink" +
+                    std::to_string(d),
+                eq, stats, p.dimm_link));
+        }
+    }
+}
+
+const CxlLink &
+PoolFabric::dimmLink(unsigned sw, unsigned dimm) const
+{
+    return *switches.at(sw).dimm_links.at(dimm);
+}
+
+const CxlLink &
+PoolFabric::hostLink(unsigned sw) const
+{
+    return *switches.at(sw).host_link;
+}
+
+std::uint64_t
+PoolFabric::dimmLinkBytes() const
+{
+    std::uint64_t total = 0;
+    for (const SwitchState &sw : switches)
+        for (const auto &link : sw.dimm_links)
+            total += link->totalBytes();
+    return total;
+}
+
+std::uint64_t
+PoolFabric::hostLinkBytes() const
+{
+    std::uint64_t total = 0;
+    for (const SwitchState &sw : switches)
+        total += sw.host_link->totalBytes();
+    return total;
+}
+
+std::uint64_t
+PoolFabric::switchBusBytes() const
+{
+    std::uint64_t total = 0;
+    for (const SwitchState &sw : switches)
+        total += sw.bus->totalBytes();
+    return total;
+}
+
+std::uint64_t
+PoolFabric::totalWireBytes() const
+{
+    return dimmLinkBytes() + hostLinkBytes() + switchBusBytes();
+}
+
+DataPacker &
+PoolFabric::packerFor(NodeId src, NodeId dst)
+{
+    const std::uint64_t key =
+        (std::uint64_t(src.key()) << 32) | dst.key();
+    auto it = packers.find(key);
+    if (it == packers.end()) {
+        auto packer = std::make_unique<DataPacker>(
+            eq, p.packer,
+            [this, src, dst](std::uint64_t wire,
+                             std::vector<Deliver> batch) {
+                routeWire(src, dst, wire, std::move(batch));
+            });
+        it = packers.emplace(key, std::move(packer)).first;
+    }
+    return *it->second;
+}
+
+void
+PoolFabric::send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
+                 bool fine_grained, Deliver deliver)
+{
+    ++stat_messages;
+    packerFor(src, dst).submit(useful_bytes, fine_grained,
+                               std::move(deliver));
+}
+
+void
+PoolFabric::hopBus(unsigned sw, std::uint64_t bytes,
+                   std::function<void()> next)
+{
+    const Tick done = switches[sw].bus->accept(curTick(), bytes);
+    eq.schedule(done + p.switch_latency,
+                [fn = std::move(next)] { fn(); });
+}
+
+void
+PoolFabric::hopLink(CxlLink &link, LinkDir dir, std::uint64_t bytes,
+                    std::function<void()> next)
+{
+    link.send(dir, bytes, [fn = std::move(next)](Tick) { fn(); });
+}
+
+void
+PoolFabric::routeWire(NodeId src, NodeId dst, std::uint64_t wire,
+                      std::vector<Deliver> batch)
+{
+    auto deliver_all = [this, batch = std::move(batch)]() {
+        const Tick t = curTick();
+        for (const Deliver &d : batch)
+            d(t);
+    };
+
+    if (src == dst) {
+        eq.scheduleIn(0, deliver_all);
+        return;
+    }
+
+    const bool src_is_host = src.isHost();
+    const bool dst_is_host = dst.isHost();
+    const unsigned ssw = src_is_host ? 0 : src.sw;
+    const unsigned dsw = dst_is_host ? 0 : dst.sw;
+    const bool cross_fabric =
+        src_is_host || dst_is_host || ssw != dsw;
+    // The host is involved whenever the message leaves its switch, or
+    // (host-bias mode) whenever it targets pooled device memory and
+    // the host must resolve coherence (Fig. 9 a/c).
+    const bool needs_host_hop = !src_is_host && !dst_is_host &&
+                                (!p.device_bias || ssw != dsw);
+    const bool full_coherence = needs_host_hop && !p.device_bias;
+
+    // Build the ordered hop plan. Each entry reserves one resource.
+    struct Hop
+    {
+        enum class Kind { Link, Bus, Delay } kind;
+        CxlLink *link = nullptr;
+        LinkDir dir = LinkDir::Downstream;
+        unsigned sw = 0;
+        Tick delay = 0;
+    };
+    std::vector<Hop> plan;
+
+    if (src.isDimm()) {
+        plan.push_back({Hop::Kind::Link,
+                        switches[ssw].dimm_links[src.dimm].get(),
+                        LinkDir::Upstream, 0, 0});
+    }
+    if (!src_is_host)
+        plan.push_back({Hop::Kind::Bus, nullptr, LinkDir::Upstream,
+                        ssw, 0});
+    if (cross_fabric || needs_host_hop) {
+        if (!src_is_host) {
+            plan.push_back({Hop::Kind::Link,
+                            switches[ssw].host_link.get(),
+                            LinkDir::Upstream, 0, 0});
+        }
+        // Host processing: full coherence resolution latency when the
+        // host owns the access, pure forwarding latency otherwise.
+        plan.push_back({Hop::Kind::Delay, nullptr, LinkDir::Upstream,
+                        0,
+                        full_coherence ? p.host_latency
+                                       : p.host_latency / 4});
+        if (full_coherence) {
+            ++host_round_trips;
+            ++stat_host_round_trips;
+        }
+        if (!dst_is_host) {
+            plan.push_back({Hop::Kind::Link,
+                            switches[dsw].host_link.get(),
+                            LinkDir::Downstream, 0, 0});
+            plan.push_back({Hop::Kind::Bus, nullptr,
+                            LinkDir::Downstream, dsw, 0});
+        }
+    }
+    if (dst.isDimm()) {
+        plan.push_back({Hop::Kind::Link,
+                        switches[dsw].dimm_links[dst.dimm].get(),
+                        LinkDir::Downstream, 0, 0});
+    }
+
+    // Execute the plan hop by hop.
+    auto plan_ptr = std::make_shared<std::vector<Hop>>(std::move(plan));
+    auto step = std::make_shared<std::function<void(std::size_t)>>();
+    *step = [this, plan_ptr, wire, step,
+             done = std::move(deliver_all)](std::size_t i) {
+        if (i >= plan_ptr->size()) {
+            done();
+            return;
+        }
+        const Hop &hop = (*plan_ptr)[i];
+        auto next = [step, i]() { (*step)(i + 1); };
+        switch (hop.kind) {
+          case Hop::Kind::Link:
+            hopLink(*hop.link, hop.dir, wire, next);
+            break;
+          case Hop::Kind::Bus:
+            hopBus(hop.sw, wire, next);
+            break;
+          case Hop::Kind::Delay:
+            eq.scheduleIn(hop.delay, next);
+            break;
+        }
+    };
+    (*step)(0);
+}
+
+} // namespace beacon

@@ -1,0 +1,41 @@
+#include "energy.hh"
+
+namespace beacon
+{
+
+DramEnergyBreakdown
+computeDramEnergy(const DimmTimingModel &model, Tick elapsed,
+                  const DramEnergyParams &params)
+{
+    DramEnergyBreakdown out;
+    out.act_pre_pj =
+        double(model.numActChipOps()) * params.act_pj_per_chip +
+        double(model.numPreChipOps()) * params.pre_pj_per_chip;
+
+    std::uint64_t col_chip_ops = 0;
+    for (std::uint64_t per_chip : model.chipAccesses())
+        col_chip_ops += per_chip;
+    // chipAccesses() counts both reads and writes; split by the
+    // command ratio.
+    const double total_cmds =
+        double(model.numReadBursts() + model.numWriteBursts());
+    const double rd_frac =
+        total_cmds > 0 ? double(model.numReadBursts()) / total_cmds : 0;
+    out.rd_wr_pj =
+        double(col_chip_ops) *
+        (rd_frac * params.rd_pj_per_burst_chip +
+         (1.0 - rd_frac) * params.wr_pj_per_burst_chip);
+
+    out.refresh_pj =
+        double(model.numRefreshes()) * params.ref_pj_per_rank;
+
+    const double chips =
+        double(model.geometry().ranks) *
+        double(model.geometry().chips_per_rank);
+    // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
+    out.background_pj = params.background_mw_per_chip * chips *
+                        double(elapsed) * 1e-3;
+    return out;
+}
+
+} // namespace beacon

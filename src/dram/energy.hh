@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRAMPower-style command-counting energy model.
+ *
+ * Energy is computed from the activity counters of a DimmTimingModel:
+ * per-chip ACT/PRE/RD/WR operation energies, per-rank refresh energy,
+ * and a background power term over elapsed simulated time. The
+ * constants are representative of 8 Gb x4 DDR4 devices; as in the
+ * paper, only relative comparisons between configurations matter.
+ */
+
+#ifndef BEACON_DRAM_ENERGY_HH
+#define BEACON_DRAM_ENERGY_HH
+
+#include "dram/dimm_timing.hh"
+
+namespace beacon
+{
+
+/** Per-operation DRAM energy constants. */
+struct DramEnergyParams
+{
+    double act_pj_per_chip = 110.0;  //!< row activate, one device
+    double pre_pj_per_chip = 60.0;   //!< precharge, one device
+    double rd_pj_per_burst_chip = 55.0;  //!< BL8 read, one device
+    double wr_pj_per_burst_chip = 60.0;  //!< BL8 write, one device
+    double ref_pj_per_rank = 28000.0;    //!< all-bank refresh
+    /** Idle/background power per device; controllers aggressively
+     *  use power-down modes between accesses. */
+    double background_mw_per_chip = 12.0;
+
+    /** Defaults for the Table I DIMM (8 Gb x4 DDR4-1600). */
+    static DramEnergyParams ddr4_8gb_x4() { return {}; }
+};
+
+/** Energy broken out by source, in picojoules. */
+struct DramEnergyBreakdown
+{
+    double act_pre_pj = 0;
+    double rd_wr_pj = 0;
+    double refresh_pj = 0;
+    double background_pj = 0;
+
+    double
+    totalPj() const
+    {
+        return act_pre_pj + rd_wr_pj + refresh_pj + background_pj;
+    }
+};
+
+/**
+ * Compute the energy consumed by one DIMM over @p elapsed ticks of
+ * simulated time, given its activity counters.
+ */
+DramEnergyBreakdown computeDramEnergy(const DimmTimingModel &model,
+                                      Tick elapsed,
+                                      const DramEnergyParams &params =
+                                          DramEnergyParams::ddr4_8gb_x4());
+
+} // namespace beacon
+
+#endif // BEACON_DRAM_ENERGY_HH

@@ -1,0 +1,51 @@
+#include "timing.hh"
+
+namespace beacon
+{
+
+DramTimingParams
+DramTimingParams::ddr4_1600_22()
+{
+    DramTimingParams p{};
+    p.t_ck_ps = 1250;   // 1600 MT/s -> 800 MHz bus clock
+    p.t_cl = 22;        // Table I: 22-22-22
+    p.t_rcd = 22;
+    p.t_rp = 22;
+    p.t_ras = 52;
+    p.t_rc = p.t_ras + p.t_rp;
+    p.t_rrd_s = 4;
+    p.t_rrd_l = 6;
+    p.t_ccd_s = 4;
+    p.t_ccd_l = 6;
+    p.t_faw = 28;
+    p.t_wr = 12;        // 15 ns
+    p.t_wtr = 8;
+    p.t_rtp = 8;
+    p.t_cwl = 16;
+    p.t_bl = 4;         // BL8 on a double data rate bus
+    p.t_refi = 6240;    // 7.8 us
+    p.t_rfc = 280;      // 350 ns for 8 Gb devices
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::ddr4_3200_22()
+{
+    DramTimingParams p = ddr4_1600_22();
+    p.t_ck_ps = 625;    // 3200 MT/s -> 1600 MHz bus clock
+    // Same cycle-count CAS chain (JEDEC DDR4-3200AA is 22-22-22);
+    // analog-limited windows double in cycles to hold in time.
+    p.t_ras = 68;       // ~42.5 ns
+    p.t_rc = p.t_ras + p.t_rp;
+    p.t_rrd_s = 8;
+    p.t_rrd_l = 12;
+    p.t_faw = 48;       // 30 ns
+    p.t_wr = 24;        // 15 ns
+    p.t_wtr = 12;
+    p.t_rtp = 12;
+    p.t_refi = 12480;   // 7.8 us
+    p.t_rfc = 560;      // 350 ns
+    return p;
+}
+
+} // namespace beacon

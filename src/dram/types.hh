@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Core DRAM request/coordinate types.
+ */
+
+#ifndef BEACON_DRAM_TYPES_HH
+#define BEACON_DRAM_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hh"
+
+namespace beacon
+{
+
+/**
+ * Physical coordinates of an access within one DIMM.
+ *
+ * The chip group [chip_first, chip_first + chip_count) selects which
+ * devices in the rank participate. A conventional access uses the
+ * whole rank (chip_count == chips_per_rank); MEDAL-style fine-grained
+ * access uses chip_count == 1; BEACON's multi-chip coalescing uses an
+ * intermediate group size.
+ */
+struct DramCoord
+{
+    unsigned rank = 0;
+    unsigned bank_group = 0;
+    unsigned bank = 0;          //!< bank within the group
+    unsigned row = 0;
+    unsigned column = 0;        //!< starting column of the access
+    unsigned chip_first = 0;
+    unsigned chip_count = 1;
+
+    /** Flat bank index within the DIMM geometry. */
+    unsigned
+    flatBank(unsigned banks_per_group) const
+    {
+        return bank_group * banks_per_group + bank;
+    }
+
+    bool
+    sameRow(const DramCoord &o) const
+    {
+        return rank == o.rank && bank_group == o.bank_group &&
+               bank == o.bank && row == o.row &&
+               chip_first == o.chip_first && chip_count == o.chip_count;
+    }
+};
+
+/** A read or write handed to a DRAM controller. */
+struct MemRequest
+{
+    DramCoord coord;
+    bool is_write = false;
+    /** Useful payload bytes (for bandwidth-utilisation stats). */
+    std::uint64_t bytes = 0;
+    /** Number of BL8 column commands needed to move the payload. */
+    unsigned bursts = 1;
+    /** Invoked at data-completion time. */
+    std::function<void(Tick)> on_complete;
+    /** Arrival time, filled in by the controller. */
+    Tick enqueue_tick = 0;
+};
+
+} // namespace beacon
+
+#endif // BEACON_DRAM_TYPES_HH

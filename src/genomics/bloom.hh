@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Counting Bloom filter for k-mer counting (BFCounter / NEST style).
+ *
+ * Each inserted k-mer increments h saturating 8-bit counters chosen
+ * by independent hashes; the multiplicity estimate is the minimum of
+ * the h counters (an upper bound on the true count). The counter
+ * array is the memory structure the KMC engine updates with 1-byte
+ * read-modify-write operations — the RMW data race the paper's
+ * Atomic Engine resolves.
+ */
+
+#ifndef BEACON_GENOMICS_BLOOM_HH
+#define BEACON_GENOMICS_BLOOM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "genomics/kmer.hh"
+
+namespace beacon::genomics
+{
+
+/** Saturating counting Bloom filter. */
+class CountingBloomFilter
+{
+  public:
+    /**
+     * @param num_counters number of 8-bit counters (any positive
+     *        value; indices are taken modulo this)
+     * @param num_hashes   counters touched per insert
+     */
+    CountingBloomFilter(std::size_t num_counters, unsigned num_hashes,
+                        std::uint64_t seed = 7)
+        : counters(num_counters, 0), hashes(num_hashes), seed(seed)
+    {
+        BEACON_ASSERT(num_counters > 0, "empty filter");
+        BEACON_ASSERT(num_hashes >= 1, "need at least one hash");
+    }
+
+    std::size_t size() const { return counters.size(); }
+    unsigned numHashes() const { return hashes; }
+
+    /** Counter index touched by hash @p h of @p kmer. */
+    std::size_t
+    counterIndex(std::uint64_t kmer, unsigned h) const
+    {
+        return hashKmer(kmer, seed + h) % counters.size();
+    }
+
+    /** Insert one occurrence. */
+    void
+    add(std::uint64_t kmer)
+    {
+        for (unsigned h = 0; h < hashes; ++h) {
+            std::uint8_t &c = counters[counterIndex(kmer, h)];
+            if (c != 255)
+                ++c;
+        }
+    }
+
+    /** Upper-bound estimate of the k-mer's multiplicity. */
+    std::uint8_t
+    count(std::uint64_t kmer) const
+    {
+        std::uint8_t m = 255;
+        for (unsigned h = 0; h < hashes; ++h)
+            m = std::min(m, counters[counterIndex(kmer, h)]);
+        return m;
+    }
+
+    /** Merge another filter (saturating elementwise add). */
+    void
+    merge(const CountingBloomFilter &other)
+    {
+        BEACON_ASSERT(other.counters.size() == counters.size() &&
+                          other.hashes == hashes &&
+                          other.seed == seed,
+                      "merging incompatible filters");
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            const unsigned sum =
+                unsigned(counters[i]) + unsigned(other.counters[i]);
+            counters[i] = std::uint8_t(std::min(sum, 255u));
+        }
+    }
+
+    /** Raw storage footprint in bytes. */
+    std::size_t footprintBytes() const { return counters.size(); }
+
+  private:
+    std::vector<std::uint8_t> counters;
+    unsigned hashes;
+    std::uint64_t seed;
+};
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_BLOOM_HH

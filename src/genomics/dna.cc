@@ -1,0 +1,219 @@
+#include "dna.hh"
+
+#include "common/logging.hh"
+
+namespace beacon::genomics
+{
+
+Base
+baseFromChar(char c)
+{
+    switch (c) {
+      case 'A': case 'a':
+        return BaseA;
+      case 'C': case 'c':
+        return BaseC;
+      case 'G': case 'g':
+        return BaseG;
+      case 'T': case 't':
+        return BaseT;
+      default:
+        BEACON_FATAL("invalid DNA character '", c, "'");
+    }
+}
+
+char
+charFromBase(Base b)
+{
+    static const char table[4] = {'A', 'C', 'G', 'T'};
+    return table[b & 3];
+}
+
+DnaSequence::DnaSequence(const std::string &acgt)
+{
+    words.reserve((acgt.size() + 31) / 32);
+    for (char c : acgt)
+        push_back(baseFromChar(c));
+}
+
+void
+DnaSequence::push_back(Base b)
+{
+    if ((length & 31) == 0)
+        words.push_back(0);
+    words[length >> 5] |=
+        std::uint64_t(b & 3) << ((length & 31) * 2);
+    ++length;
+}
+
+DnaSequence
+DnaSequence::substr(std::size_t pos, std::size_t len) const
+{
+    BEACON_ASSERT(pos + len <= length, "substr out of range");
+    DnaSequence out;
+    for (std::size_t i = 0; i < len; ++i)
+        out.push_back(at(pos + i));
+    return out;
+}
+
+DnaSequence
+DnaSequence::reverseComplement() const
+{
+    DnaSequence out;
+    for (std::size_t i = length; i > 0; --i)
+        out.push_back(complement(at(i - 1)));
+    return out;
+}
+
+std::string
+DnaSequence::str() const
+{
+    std::string out;
+    out.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        out.push_back(charFromBase(at(i)));
+    return out;
+}
+
+bool
+DnaSequence::operator==(const DnaSequence &o) const
+{
+    if (length != o.length)
+        return false;
+    for (std::size_t i = 0; i < length; ++i) {
+        if (at(i) != o.at(i))
+            return false;
+    }
+    return true;
+}
+
+DnaSequence
+makeGenome(const GenomeParams &p)
+{
+    Rng rng(p.seed);
+    DnaSequence genome;
+
+    // Random backbone with the requested GC bias.
+    const double p_gc = p.gc_content / 2.0;
+    const double p_at = (1.0 - p.gc_content) / 2.0;
+    for (std::size_t i = 0; i < p.length; ++i) {
+        const double r = rng.nextDouble();
+        Base b;
+        if (r < p_at)
+            b = BaseA;
+        else if (r < 2 * p_at)
+            b = BaseT;
+        else if (r < 2 * p_at + p_gc)
+            b = BaseC;
+        else
+            b = BaseG;
+        genome.push_back(b);
+    }
+
+    if (p.repeat_fraction <= 0 || p.length < 4 * p.repeat_length)
+        return genome;
+
+    // Overwrite stretches with mutated copies of earlier segments.
+    // Rebuild through a mutable buffer for simplicity.
+    std::string buf = genome.str();
+    const std::size_t target =
+        std::size_t(double(p.length) * p.repeat_fraction);
+    std::size_t copied = 0;
+    while (copied < target) {
+        const std::size_t src =
+            rng.next(p.length - p.repeat_length);
+        const std::size_t dst =
+            rng.next(p.length - p.repeat_length);
+        for (std::size_t i = 0; i < p.repeat_length; ++i) {
+            char c = buf[src + i];
+            if (rng.chance(p.repeat_divergence))
+                c = charFromBase(Base(rng.next(4)));
+            buf[dst + i] = c;
+        }
+        copied += p.repeat_length;
+    }
+    return DnaSequence(buf);
+}
+
+std::vector<DnaSequence>
+makeReads(const DnaSequence &genome, const ReadParams &p)
+{
+    BEACON_ASSERT(genome.size() >= p.read_length,
+                  "genome shorter than read length");
+    Rng rng(p.seed);
+    std::vector<DnaSequence> reads;
+    reads.reserve(p.num_reads);
+    for (std::size_t r = 0; r < p.num_reads; ++r) {
+        const std::size_t pos =
+            rng.next(genome.size() - p.read_length + 1);
+        DnaSequence read = genome.substr(pos, p.read_length);
+        if (rng.chance(p.reverse_fraction))
+            read = read.reverseComplement();
+        // Apply substitution errors.
+        DnaSequence noisy;
+        for (std::size_t i = 0; i < read.size(); ++i) {
+            Base b = read.at(i);
+            if (rng.chance(p.error_rate))
+                b = Base((b + 1 + rng.next(3)) & 3);
+            noisy.push_back(b);
+        }
+        reads.push_back(std::move(noisy));
+    }
+    return reads;
+}
+
+std::vector<DatasetPreset>
+seedingPresets(std::size_t scale)
+{
+    // Names follow the paper's five genomes; sizes/repeat structure
+    // differ per preset so that per-dataset bars are not identical.
+    std::vector<DatasetPreset> out;
+    const struct
+    {
+        const char *name;
+        std::size_t len;
+        double repeats;
+        double gc;
+        std::uint64_t seed;
+    } defs[] = {
+        {"Pt", 1u << 20, 0.45, 0.38, 11},
+        {"Pg", 3u << 18, 0.40, 0.39, 12},
+        {"Ss", 1u << 19, 0.35, 0.42, 13},
+        {"Am", 3u << 17, 0.25, 0.46, 14},
+        {"Nf", 1u << 18, 0.20, 0.44, 15},
+    };
+    for (const auto &d : defs) {
+        DatasetPreset preset;
+        preset.name = d.name;
+        preset.genome.length = d.len * scale;
+        preset.genome.repeat_fraction = d.repeats;
+        preset.genome.gc_content = d.gc;
+        preset.genome.seed = d.seed;
+        preset.reads.read_length = 100;
+        preset.reads.num_reads = 400;
+        preset.reads.error_rate = 0.01;
+        preset.reads.seed = d.seed + 100;
+        out.push_back(preset);
+    }
+    return out;
+}
+
+DatasetPreset
+kmerCountingPreset(std::size_t scale)
+{
+    DatasetPreset preset;
+    preset.name = "human50x";
+    preset.genome.length = (1u << 20) * scale;
+    preset.genome.repeat_fraction = 0.30;
+    preset.genome.gc_content = 0.41;
+    preset.genome.seed = 21;
+    preset.reads.read_length = 100;
+    // 50x coverage over the genome.
+    preset.reads.num_reads =
+        preset.genome.length * 50 / preset.reads.read_length;
+    preset.reads.error_rate = 0.01;
+    preset.reads.seed = 121;
+    return preset;
+}
+
+} // namespace beacon::genomics

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * DNA alphabet, packed sequences, synthetic genomes, and reads.
+ *
+ * The paper evaluates on five NCBI genomes and human 50x reads; this
+ * reproduction substitutes synthetic genomes with controlled repeat
+ * structure (see DESIGN.md). The accelerators only observe the
+ * memory-access pattern of the index structures, which synthetic
+ * sequences with realistic repeat content exercise identically.
+ */
+
+#ifndef BEACON_GENOMICS_DNA_HH
+#define BEACON_GENOMICS_DNA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace beacon::genomics
+{
+
+/** 2-bit DNA base codes. */
+enum Base : std::uint8_t
+{
+    BaseA = 0,
+    BaseC = 1,
+    BaseG = 2,
+    BaseT = 3,
+};
+
+/** Number of plain DNA symbols. */
+constexpr unsigned alphabet_size = 4;
+
+/** Convert 'A'/'C'/'G'/'T' (either case) to a Base code. */
+Base baseFromChar(char c);
+
+/** Convert a Base code to its upper-case character. */
+char charFromBase(Base b);
+
+/** Complement of a base (A<->T, C<->G). */
+inline Base
+complement(Base b)
+{
+    return Base(3 - b);
+}
+
+/**
+ * A DNA sequence stored two bits per base.
+ */
+class DnaSequence
+{
+  public:
+    DnaSequence() = default;
+
+    /** Parse from an ACGT string. */
+    explicit DnaSequence(const std::string &acgt);
+
+    std::size_t size() const { return length; }
+    bool empty() const { return length == 0; }
+
+    Base
+    at(std::size_t i) const
+    {
+        return Base((words[i >> 5] >> ((i & 31) * 2)) & 3);
+    }
+
+    void push_back(Base b);
+
+    /** Extract the substring [pos, pos + len). */
+    DnaSequence substr(std::size_t pos, std::size_t len) const;
+
+    /** Reverse complement of the whole sequence. */
+    DnaSequence reverseComplement() const;
+
+    /** Render as an ACGT string (for tests and debugging). */
+    std::string str() const;
+
+    bool operator==(const DnaSequence &o) const;
+
+  private:
+    std::vector<std::uint64_t> words;
+    std::size_t length = 0;
+};
+
+/** Parameters for the synthetic genome generator. */
+struct GenomeParams
+{
+    std::size_t length = 1 << 20;
+    /** Fraction of the genome covered by copied repeats. */
+    double repeat_fraction = 0.3;
+    /** Length of each injected repeat segment. */
+    std::size_t repeat_length = 500;
+    /** Per-base mutation rate applied to repeat copies. */
+    double repeat_divergence = 0.02;
+    /** GC bias in [0,1]; 0.5 is uniform. */
+    double gc_content = 0.45;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a synthetic genome: a random backbone with mutated copies
+ * of earlier segments pasted over @p repeat_fraction of the length,
+ * mimicking the repeat structure that makes conifer genomes (the
+ * paper's Pt/Pg/Ss datasets) hard for seeding.
+ */
+DnaSequence makeGenome(const GenomeParams &params);
+
+/** Parameters for the read simulator. */
+struct ReadParams
+{
+    std::size_t read_length = 100;
+    std::size_t num_reads = 1000;
+    /** Per-base substitution error rate. */
+    double error_rate = 0.01;
+    /** Fraction of reads taken from the reverse-complement strand. */
+    double reverse_fraction = 0.5;
+    std::uint64_t seed = 2;
+};
+
+/**
+ * Sample reads uniformly from @p genome with substitution errors,
+ * emulating NGS short reads.
+ */
+std::vector<DnaSequence> makeReads(const DnaSequence &genome,
+                                   const ReadParams &params);
+
+/**
+ * Named dataset presets standing in for the paper's five genomes
+ * (Pt, Pg, Ss, Am, Nf). Sizes are scaled to simulator-tractable
+ * values; relative sizes and repeat content differ per preset.
+ */
+struct DatasetPreset
+{
+    const char *name;
+    GenomeParams genome;
+    ReadParams reads;
+};
+
+/** The five seeding/pre-alignment presets used by the benches. */
+std::vector<DatasetPreset> seedingPresets(std::size_t scale = 1);
+
+/** The k-mer counting preset ("human 50x", scaled). */
+DatasetPreset kmerCountingPreset(std::size_t scale = 1);
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_DNA_HH

@@ -1,0 +1,113 @@
+#include "fm_index.hh"
+
+#include "common/logging.hh"
+
+namespace beacon::genomics
+{
+
+FmIndex::FmIndex(const DnaSequence &text, unsigned sa_sample_rate)
+    : sample_rate(sa_sample_rate)
+{
+    BEACON_ASSERT(sa_sample_rate > 0, "sample rate must be positive");
+    const std::vector<std::uint32_t> sa = buildSuffixArray(text);
+    bwt = buildBwt(text, sa);
+    n = bwt.size();
+
+    // C array: number of symbols strictly smaller than each symbol.
+    std::array<std::uint64_t, 5> freq{};
+    for (std::size_t i = 0; i < n; ++i) {
+        if (bwt[i] == 4)
+            sentinel_pos = i;
+        else
+            ++freq[bwt[i]];
+    }
+    // Symbol order: sentinel < A < C < G < T.
+    c_counts[0] = 1; // one sentinel precedes base A
+    for (unsigned c = 1; c < 5; ++c)
+        c_counts[c] = c_counts[c - 1] + freq[c - 1];
+
+    // Occ checkpoints every block_symbols positions.
+    const std::uint64_t blocks = numBlocks();
+    checkpoints.resize(blocks);
+    std::array<std::uint32_t, 4> running{};
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (i % block_symbols == 0)
+            checkpoints[i / block_symbols] = running;
+        if (bwt[i] != 4)
+            ++running[bwt[i]];
+    }
+    // Tail checkpoint so occ(n) also has a block.
+    if (n % block_symbols == 0)
+        checkpoints[n / block_symbols] = running;
+    else
+        checkpoints[blocks - 1] = running;
+
+    // SA samples for locate().
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (sa[i] % sample_rate == 0)
+            sa_samples.emplace(i, sa[i]);
+    }
+}
+
+std::uint64_t
+FmIndex::occ(Base c, std::uint64_t i) const
+{
+    BEACON_ASSERT(i <= n, "occ index out of range");
+    const std::uint64_t block = i / block_symbols;
+    std::uint64_t count = checkpoints[block][c];
+    for (std::uint64_t j = block * block_symbols; j < i; ++j) {
+        if (bwt[j] == c)
+            ++count;
+    }
+    return count;
+}
+
+SaRange
+FmIndex::extend(const SaRange &range, Base c) const
+{
+    if (range.empty())
+        return SaRange{0, 0};
+    return SaRange{c_counts[c] + occ(c, range.lo),
+                   c_counts[c] + occ(c, range.hi)};
+}
+
+SaRange
+FmIndex::search(const DnaSequence &pattern) const
+{
+    SaRange range = wholeRange();
+    for (std::size_t i = pattern.size(); i > 0 && !range.empty(); --i)
+        range = extend(range, pattern.at(i - 1));
+    return range;
+}
+
+std::uint64_t
+FmIndex::lf(std::uint64_t i) const
+{
+    if (i == sentinel_pos)
+        return 0;
+    const Base c = Base(bwt[i]);
+    return c_counts[c] + occ(c, i);
+}
+
+std::vector<std::uint32_t>
+FmIndex::locate(const SaRange &range, std::size_t max_hits) const
+{
+    std::vector<std::uint32_t> hits;
+    for (std::uint64_t i = range.lo;
+         i < range.hi && hits.size() < max_hits; ++i) {
+        std::uint64_t pos = i;
+        std::uint32_t steps = 0;
+        for (;;) {
+            auto it = sa_samples.find(pos);
+            if (it != sa_samples.end()) {
+                hits.push_back(it->second + steps);
+                break;
+            }
+            pos = lf(pos);
+            ++steps;
+        }
+    }
+    return hits;
+}
+
+} // namespace beacon::genomics

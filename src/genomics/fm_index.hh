@@ -1,0 +1,115 @@
+/**
+ * @file
+ * FM-index with sampled occurrence table and SA samples.
+ *
+ * The layout mirrors what the FM-index engine in MEDAL/BEACON
+ * accesses: the Occ structure is organised in 32-byte blocks (a
+ * 16-byte checkpoint of four base counters plus 64 packed BWT
+ * symbols), and one backward-search step fetches the blocks holding
+ * the low and high pointers — the fine-grained 32 B accesses the
+ * paper's Data Packer and multi-chip coalescing optimise.
+ */
+
+#ifndef BEACON_GENOMICS_FM_INDEX_HH
+#define BEACON_GENOMICS_FM_INDEX_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/dna.hh"
+#include "genomics/suffix_array.hh"
+
+namespace beacon::genomics
+{
+
+/** Half-open suffix-array interval [lo, hi). */
+struct SaRange
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool empty() const { return hi <= lo; }
+    std::uint64_t count() const { return empty() ? 0 : hi - lo; }
+
+    bool
+    operator==(const SaRange &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+/** FM-index over a DNA text. */
+class FmIndex
+{
+  public:
+    /** Occ checkpoint spacing in BWT symbols. */
+    static constexpr unsigned block_symbols = 64;
+    /** Bytes fetched per Occ block access (checkpoint + symbols). */
+    static constexpr unsigned block_bytes = 32;
+
+    /**
+     * Build the index.
+     * @param text the genome
+     * @param sa_sample_rate keep SA[i] samples for text positions
+     *        divisible by this rate (for locate()).
+     */
+    explicit FmIndex(const DnaSequence &text,
+                     unsigned sa_sample_rate = 32);
+
+    /** Size of the indexed text including the sentinel. */
+    std::uint64_t size() const { return n; }
+
+    /** The range covering every suffix. */
+    SaRange wholeRange() const { return SaRange{0, n}; }
+
+    /** Occurrences of base @p c in BWT[0, i). */
+    std::uint64_t occ(Base c, std::uint64_t i) const;
+
+    /** One backward-search step: prepend base @p c to the pattern. */
+    SaRange extend(const SaRange &range, Base c) const;
+
+    /** Full backward search; returns the range of exact matches. */
+    SaRange search(const DnaSequence &pattern) const;
+
+    /**
+     * Text positions of matches in @p range (up to @p max_hits),
+     * recovered by LF-stepping to the nearest SA sample.
+     */
+    std::vector<std::uint32_t> locate(const SaRange &range,
+                                      std::size_t max_hits) const;
+
+    /** Occ block holding BWT position @p i. */
+    std::uint64_t blockOf(std::uint64_t i) const
+    {
+        return i / block_symbols;
+    }
+
+    /** Number of Occ blocks (the accelerator's index footprint). */
+    std::uint64_t
+    numBlocks() const
+    {
+        return (n + block_symbols - 1) / block_symbols + 1;
+    }
+
+    /** Total index bytes as laid out in accelerator memory. */
+    std::uint64_t indexBytes() const { return numBlocks() * block_bytes; }
+
+  private:
+    /** LF mapping (one backward step for a single BWT position). */
+    std::uint64_t lf(std::uint64_t i) const;
+
+    std::uint64_t n = 0;             //!< text size + 1
+    std::uint64_t sentinel_pos = 0;  //!< BWT index of the sentinel
+    std::array<std::uint64_t, 5> c_counts{}; //!< C[] array
+    std::vector<std::uint8_t> bwt;   //!< BWT symbols (0..3, 4=sentinel)
+    /** Checkpoints: counts of each base before each block. */
+    std::vector<std::array<std::uint32_t, 4>> checkpoints;
+    unsigned sample_rate;
+    std::unordered_map<std::uint64_t, std::uint32_t> sa_samples;
+};
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_FM_INDEX_HH

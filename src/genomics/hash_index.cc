@@ -1,0 +1,54 @@
+#include "hash_index.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace beacon::genomics
+{
+
+HashIndex::HashIndex(const DnaSequence &genome, unsigned k,
+                     unsigned buckets_log2, unsigned max_hits_per_seed)
+    : k_(k)
+{
+    BEACON_ASSERT(k >= 1 && k <= 32, "k out of range");
+    BEACON_ASSERT(buckets_log2 >= 1 && buckets_log2 < 32,
+                  "bucket table size out of range");
+    const std::size_t num_buckets = std::size_t{1} << buckets_log2;
+    bucket_table.resize(num_buckets);
+
+    // Two passes: count per bucket, then fill.
+    std::vector<std::uint32_t> counts(num_buckets, 0);
+    forEachKmer(genome, k, [&](std::uint64_t kmer, std::size_t) {
+        ++counts[bucketOf(kmer)];
+    });
+
+    std::uint32_t offset = 0;
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+        const std::uint32_t len =
+            std::min(counts[b], max_hits_per_seed);
+        bucket_table[b].offset = offset;
+        bucket_table[b].length = 0; // filled below
+        offset += len;
+        counts[b] = len;
+    }
+    locations.resize(offset);
+
+    forEachKmer(genome, k, [&](std::uint64_t kmer, std::size_t pos) {
+        BucketDesc &bucket = bucket_table[bucketOf(kmer)];
+        if (bucket.length < counts[bucketOf(kmer)]) {
+            locations[bucket.offset + bucket.length] =
+                std::uint32_t(pos);
+            ++bucket.length;
+        }
+    });
+}
+
+std::span<const std::uint32_t>
+HashIndex::lookup(std::uint64_t kmer) const
+{
+    const BucketDesc &bucket = bucket_table[bucketOf(kmer)];
+    return std::span<const std::uint32_t>(
+        locations.data() + bucket.offset, bucket.length);
+}
+
+} // namespace beacon::genomics

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hash-based seeding index (SMALT style).
+ *
+ * Maps every k-mer of the reference to its occurrence positions. The
+ * flattened layout mirrors the accelerator's memory image: a bucket
+ * table (one 8-byte descriptor per bucket: offset + length) and a
+ * contiguous location array. Matching locations of one seed are
+ * stored consecutively — the spatial locality the paper's data
+ * placement scheme maps row-by-row into DRAM.
+ */
+
+#ifndef BEACON_GENOMICS_HASH_INDEX_HH
+#define BEACON_GENOMICS_HASH_INDEX_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "genomics/dna.hh"
+#include "genomics/kmer.hh"
+
+namespace beacon::genomics
+{
+
+/** Hash-index over a reference genome. */
+class HashIndex
+{
+  public:
+    /**
+     * @param genome reference to index
+     * @param k seed length (<= 32)
+     * @param buckets_log2 log2 of the bucket-table size
+     * @param max_hits_per_seed drop ultra-repetitive seeds beyond
+     *        this many occurrences (standard seeding practice)
+     */
+    HashIndex(const DnaSequence &genome, unsigned k = 15,
+              unsigned buckets_log2 = 18,
+              unsigned max_hits_per_seed = 64);
+
+    unsigned k() const { return k_; }
+    std::size_t numBuckets() const { return bucket_table.size(); }
+
+    /** Bucket holding @p kmer (strand-invariant: canonical form). */
+    std::size_t
+    bucketOf(std::uint64_t kmer) const
+    {
+        return hashKmer(canonicalKmer(kmer, k_), 17) &
+               (bucket_table.size() - 1);
+    }
+
+    /**
+     * Positions whose k-mer hashes to the same bucket as @p kmer
+     * (bucket-level collisions are possible, as in the real layout;
+     * callers verify candidates downstream).
+     */
+    std::span<const std::uint32_t> lookup(std::uint64_t kmer) const;
+
+    /** Number of locations stored for @p kmer's bucket. */
+    std::size_t
+    hitCount(std::uint64_t kmer) const
+    {
+        return lookup(kmer).size();
+    }
+
+    /** Bytes of the bucket descriptor table. */
+    std::size_t
+    bucketTableBytes() const
+    {
+        return bucket_table.size() * sizeof(BucketDesc);
+    }
+
+    /** Bytes of the flattened location array. */
+    std::size_t
+    locationBytes() const
+    {
+        return locations.size() * sizeof(std::uint32_t);
+    }
+
+    /** Byte offset of a bucket's locations in the location array. */
+    std::uint64_t
+    locationOffsetBytes(std::uint64_t kmer) const
+    {
+        return bucket_table[bucketOf(kmer)].offset *
+               sizeof(std::uint32_t);
+    }
+
+  private:
+    struct BucketDesc
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t length = 0;
+    };
+
+    unsigned k_;
+    std::vector<BucketDesc> bucket_table;
+    std::vector<std::uint32_t> locations;
+};
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_HASH_INDEX_HH

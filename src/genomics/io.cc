@@ -1,0 +1,194 @@
+#include "io.hh"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace beacon::genomics
+{
+
+namespace
+{
+
+/** True for symbols we accept verbatim. */
+bool
+isPlainBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a': case 'C': case 'c':
+      case 'G': case 'g': case 'T': case 't':
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Deterministic substitution for ambiguity codes (as indexers do). */
+Base
+substituteBase(char c, std::size_t position)
+{
+    // IUPAC codes map to one of their candidates; anything else
+    // rotates by position so long N-runs don't create fake repeats.
+    switch (c) {
+      case 'R': case 'r':
+        return position % 2 ? BaseA : BaseG;
+      case 'Y': case 'y':
+        return position % 2 ? BaseC : BaseT;
+      case 'S': case 's':
+        return position % 2 ? BaseG : BaseC;
+      case 'W': case 'w':
+        return position % 2 ? BaseA : BaseT;
+      case 'K': case 'k':
+        return position % 2 ? BaseG : BaseT;
+      case 'M': case 'm':
+        return position % 2 ? BaseA : BaseC;
+      default:
+        return Base(position & 3);
+    }
+}
+
+[[noreturn]] void
+malformed(std::size_t line, const std::string &what)
+{
+    throw std::runtime_error("line " + std::to_string(line) + ": " +
+                             what);
+}
+
+void
+appendSequenceLine(const std::string &text, std::size_t line_no,
+                   DnaSequence &sequence,
+                   std::uint64_t &substituted)
+{
+    for (char c : text) {
+        if (c == '\r' || c == ' ' || c == '\t')
+            continue;
+        if (isPlainBase(c)) {
+            sequence.push_back(baseFromChar(c));
+        } else if (std::isalpha(static_cast<unsigned char>(c))) {
+            sequence.push_back(substituteBase(c, sequence.size()));
+            ++substituted;
+        } else {
+            malformed(line_no, std::string("invalid symbol '") + c +
+                                   "' in sequence");
+        }
+    }
+}
+
+} // namespace
+
+std::vector<FastaRecord>
+parseFasta(std::istream &in)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    std::size_t line_no = 0;
+    bool in_record = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line == "\r")
+            continue;
+        if (line[0] == '>') {
+            FastaRecord record;
+            record.name = line.substr(1);
+            while (!record.name.empty() &&
+                   (record.name.back() == '\r')) {
+                record.name.pop_back();
+            }
+            records.push_back(std::move(record));
+            in_record = true;
+            continue;
+        }
+        if (!in_record)
+            malformed(line_no, "sequence data before any '>' header");
+        appendSequenceLine(line, line_no, records.back().sequence,
+                           records.back().substituted_bases);
+    }
+    for (const FastaRecord &record : records) {
+        if (record.sequence.empty()) {
+            throw std::runtime_error("record '" + record.name +
+                                     "' has no sequence");
+        }
+    }
+    return records;
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+           std::size_t width)
+{
+    for (const FastaRecord &record : records) {
+        out << '>' << record.name << '\n';
+        const std::string text = record.sequence.str();
+        for (std::size_t i = 0; i < text.size(); i += width)
+            out << text.substr(i, width) << '\n';
+    }
+}
+
+std::vector<FastqRecord>
+parseFastq(std::istream &in)
+{
+    std::vector<FastqRecord> records;
+    std::string header, seq, plus, quality;
+    std::size_t line_no = 0;
+    while (std::getline(in, header)) {
+        ++line_no;
+        if (header.empty() || header == "\r")
+            continue;
+        if (header[0] != '@')
+            malformed(line_no, "expected '@' record header");
+        if (!std::getline(in, seq))
+            malformed(line_no + 1, "missing sequence line");
+        if (!std::getline(in, plus))
+            malformed(line_no + 2, "missing '+' separator");
+        if (plus.empty() || plus[0] != '+')
+            malformed(line_no + 2, "expected '+' separator");
+        if (!std::getline(in, quality))
+            malformed(line_no + 3, "missing quality line");
+
+        FastqRecord record;
+        record.name = header.substr(1);
+        while (!record.name.empty() && record.name.back() == '\r')
+            record.name.pop_back();
+        appendSequenceLine(seq, line_no + 1, record.sequence,
+                           record.substituted_bases);
+        record.quality = quality;
+        while (!record.quality.empty() &&
+               record.quality.back() == '\r') {
+            record.quality.pop_back();
+        }
+        if (record.quality.size() != record.sequence.size()) {
+            malformed(line_no + 3,
+                      "quality length " +
+                          std::to_string(record.quality.size()) +
+                          " != sequence length " +
+                          std::to_string(record.sequence.size()));
+        }
+        records.push_back(std::move(record));
+        line_no += 3;
+    }
+    return records;
+}
+
+void
+writeFastq(std::ostream &out, const std::vector<FastqRecord> &records)
+{
+    for (const FastqRecord &record : records) {
+        out << '@' << record.name << '\n'
+            << record.sequence.str() << '\n'
+            << "+\n"
+            << record.quality << '\n';
+    }
+}
+
+std::vector<DnaSequence>
+sequencesOf(const std::vector<FastqRecord> &records)
+{
+    std::vector<DnaSequence> out;
+    out.reserve(records.size());
+    for (const FastqRecord &record : records)
+        out.push_back(record.sequence);
+    return out;
+}
+
+} // namespace beacon::genomics

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FASTA / FASTQ input and output.
+ *
+ * Lets the workloads run on real sequence data instead of the
+ * synthetic generators. Non-ACGT symbols (N, IUPAC ambiguity codes)
+ * are substituted deterministically and counted, as common aligners
+ * do for indexing. Malformed records raise std::runtime_error with a
+ * line-numbered message.
+ */
+
+#ifndef BEACON_GENOMICS_IO_HH
+#define BEACON_GENOMICS_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genomics/dna.hh"
+
+namespace beacon::genomics
+{
+
+/** One FASTA record. */
+struct FastaRecord
+{
+    std::string name;    //!< header without the leading '>'
+    DnaSequence sequence;
+    /** Non-ACGT symbols replaced during parsing. */
+    std::uint64_t substituted_bases = 0;
+};
+
+/** One FASTQ record. */
+struct FastqRecord
+{
+    std::string name;    //!< header without the leading '@'
+    DnaSequence sequence;
+    std::string quality; //!< Phred string, same length as sequence
+    std::uint64_t substituted_bases = 0;
+};
+
+/**
+ * Parse every record of a FASTA stream (multi-line sequences,
+ * blank-line tolerant).
+ * @throws std::runtime_error on malformed input.
+ */
+std::vector<FastaRecord> parseFasta(std::istream &in);
+
+/** Write records in FASTA format with @p width bases per line. */
+void writeFasta(std::ostream &out,
+                const std::vector<FastaRecord> &records,
+                std::size_t width = 70);
+
+/**
+ * Parse every record of a FASTQ stream (4-line records).
+ * @throws std::runtime_error on malformed input.
+ */
+std::vector<FastqRecord> parseFastq(std::istream &in);
+
+/** Write records in FASTQ format. */
+void writeFastq(std::ostream &out,
+                const std::vector<FastqRecord> &records);
+
+/** Extract just the sequences (for the workload constructors). */
+std::vector<DnaSequence>
+sequencesOf(const std::vector<FastqRecord> &records);
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_IO_HH

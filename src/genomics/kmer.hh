@@ -1,0 +1,71 @@
+/**
+ * @file
+ * k-mer extraction and canonicalisation.
+ */
+
+#ifndef BEACON_GENOMICS_KMER_HH
+#define BEACON_GENOMICS_KMER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "genomics/dna.hh"
+
+namespace beacon::genomics
+{
+
+/** Reverse complement of a 2-bit packed k-mer. */
+inline std::uint64_t
+reverseComplementKmer(std::uint64_t kmer, unsigned k)
+{
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < k; ++i) {
+        out = (out << 2) | (3 - (kmer & 3));
+        kmer >>= 2;
+    }
+    return out;
+}
+
+/** Canonical form: min(kmer, reverse complement). */
+inline std::uint64_t
+canonicalKmer(std::uint64_t kmer, unsigned k)
+{
+    const std::uint64_t rc = reverseComplementKmer(kmer, k);
+    return kmer < rc ? kmer : rc;
+}
+
+/**
+ * Invoke @p fn(kmer, position) for every k-mer of @p seq in packed
+ * 2-bit form (not canonicalised; callers canonicalise if needed).
+ */
+template <typename Fn>
+void
+forEachKmer(const DnaSequence &seq, unsigned k, Fn &&fn)
+{
+    BEACON_ASSERT(k >= 1 && k <= 32, "k must be in [1,32]");
+    if (seq.size() < k)
+        return;
+    const std::uint64_t mask =
+        k == 32 ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << (2 * k)) - 1);
+    std::uint64_t kmer = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        kmer = ((kmer << 2) | seq.at(i)) & mask;
+        if (i + 1 >= k)
+            fn(kmer, i + 1 - k);
+    }
+}
+
+/** 64-bit mix hash (splitmix64 finaliser) for k-mer hashing. */
+inline std::uint64_t
+hashKmer(std::uint64_t x, std::uint64_t seed = 0)
+{
+    x += 0x9E3779B97F4A7C15ull + seed * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_KMER_HH

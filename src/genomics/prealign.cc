@@ -1,0 +1,110 @@
+#include "prealign.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace beacon::genomics
+{
+
+PrealignResult
+shoujiFilter(const DnaSequence &read, const DnaSequence &ref_window,
+             unsigned threshold)
+{
+    BEACON_ASSERT(read.size() == ref_window.size(),
+                  "read/window length mismatch");
+    const std::size_t len = read.size();
+    const int band = int(threshold);
+
+    // Match bit-vector per diagonal: match[d][i] == 1 when
+    // read[i] == ref[i + d] for d in [-band, band].
+    const unsigned diagonals = 2 * threshold + 1;
+    std::vector<std::vector<std::uint8_t>> match(
+        diagonals, std::vector<std::uint8_t>(len, 0));
+    for (unsigned di = 0; di < diagonals; ++di) {
+        const int d = int(di) - band;
+        for (std::size_t i = 0; i < len; ++i) {
+            const std::int64_t j = std::int64_t(i) + d;
+            if (j >= 0 && j < std::int64_t(len) &&
+                read.at(i) == ref_window.at(std::size_t(j))) {
+                match[di][i] = 1;
+            }
+        }
+    }
+
+    // Sliding 4-bit window: keep, per window, the diagonal segment
+    // with the most matches (Shouji's greedy common-subsequence
+    // construction).
+    constexpr std::size_t window = 4;
+    std::vector<std::uint8_t> assembled(len, 0);
+    for (std::size_t w = 0; w < len; w += window) {
+        const std::size_t end = std::min(w + window, len);
+        unsigned best_matches = 0;
+        unsigned best_diag = 0;
+        for (unsigned di = 0; di < diagonals; ++di) {
+            unsigned m = 0;
+            for (std::size_t i = w; i < end; ++i)
+                m += match[di][i];
+            if (m > best_matches) {
+                best_matches = m;
+                best_diag = di;
+            }
+        }
+        for (std::size_t i = w; i < end; ++i)
+            assembled[i] = match[best_diag][i];
+    }
+
+    // Count zeros; consecutive zeros within one window stem from a
+    // single edit, so compress runs of up to `window` zeros into one.
+    unsigned edits = 0;
+    std::size_t i = 0;
+    while (i < len) {
+        if (assembled[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t run = 0;
+        while (i < len && !assembled[i] && run < window) {
+            ++run;
+            ++i;
+        }
+        ++edits;
+    }
+
+    PrealignResult result;
+    result.estimated_edits = edits;
+    result.accepted = edits <= threshold;
+    return result;
+}
+
+unsigned
+bandedEditDistance(const DnaSequence &a, const DnaSequence &b,
+                   unsigned band)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const unsigned inf = band + 1;
+    std::vector<unsigned> prev(m + 1, inf), cur(m + 1, inf);
+    for (std::size_t j = 0; j <= std::min<std::size_t>(m, band); ++j)
+        prev[j] = unsigned(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::fill(cur.begin(), cur.end(), inf);
+        const std::size_t lo =
+            i > band ? i - band : 0;
+        const std::size_t hi = std::min(m, i + band);
+        if (lo == 0)
+            cur[0] = unsigned(i) <= band ? unsigned(i) : inf;
+        for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi;
+             ++j) {
+            const unsigned sub =
+                prev[j - 1] + (a.at(i - 1) == b.at(j - 1) ? 0 : 1);
+            const unsigned del = prev[j] == inf ? inf : prev[j] + 1;
+            const unsigned ins = cur[j - 1] == inf ? inf : cur[j - 1] + 1;
+            cur[j] = std::min({sub, del, ins, inf});
+        }
+        prev.swap(cur);
+    }
+    return std::min(prev[m], inf);
+}
+
+} // namespace beacon::genomics

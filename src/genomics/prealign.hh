@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DNA pre-alignment filtering (Shouji style).
+ *
+ * A pre-alignment filter cheaply rejects (read, reference-window)
+ * candidate pairs that cannot align within an edit-distance
+ * threshold, sparing the expensive dynamic-programming aligner. The
+ * Shouji algorithm builds one match bit-vector per diagonal of the
+ * banded alignment matrix, then slides a 4-bit window and keeps the
+ * best (most-matching) diagonal segment per window; the number of
+ * zeros in the assembled vector lower-bounds the edit count.
+ */
+
+#ifndef BEACON_GENOMICS_PREALIGN_HH
+#define BEACON_GENOMICS_PREALIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dna.hh"
+
+namespace beacon::genomics
+{
+
+/** Result of the filter together with its edit lower bound. */
+struct PrealignResult
+{
+    bool accepted = false;
+    unsigned estimated_edits = 0;
+};
+
+/**
+ * Shouji-style pre-alignment filter.
+ *
+ * @param read       the query sequence
+ * @param ref_window a reference window of the same length
+ * @param threshold  maximum tolerated edits
+ *
+ * Guarantee (tested): a pair whose true banded edit distance is
+ * <= threshold is never rejected; pairs far beyond the threshold are
+ * rejected with high probability.
+ */
+PrealignResult shoujiFilter(const DnaSequence &read,
+                            const DnaSequence &ref_window,
+                            unsigned threshold);
+
+/**
+ * Banded edit distance (Levenshtein) between @p a and @p b, exploring
+ * +-@p band diagonals; values above @p band are reported as band + 1.
+ * Used as ground truth in tests and by the CPU baseline model.
+ */
+unsigned bandedEditDistance(const DnaSequence &a, const DnaSequence &b,
+                            unsigned band);
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_PREALIGN_HH

@@ -1,0 +1,71 @@
+#include "spectrum.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "genomics/kmer.hh"
+
+namespace beacon::genomics
+{
+
+unsigned
+KmerSpectrum::coveragePeak() const
+{
+    unsigned peak = 2;
+    std::uint64_t best = 0;
+    for (unsigned m = 2; m < bins.size(); ++m) {
+        if (bins[m] > best) {
+            best = bins[m];
+            peak = m;
+        }
+    }
+    return peak;
+}
+
+std::uint64_t
+KmerSpectrum::estimatedGenomeSize() const
+{
+    const unsigned peak = coveragePeak();
+    if (peak == 0)
+        return 0;
+    // Exclude multiplicity-1 (error) k-mers from the mass.
+    std::uint64_t mass = 0;
+    for (unsigned m = 2; m < bins.size(); ++m)
+        mass += bins[m] * m;
+    return mass / peak;
+}
+
+double
+KmerSpectrum::singletonFraction() const
+{
+    if (distinct_kmers == 0)
+        return 0;
+    return double(bins.size() > 1 ? bins[1] : 0) /
+           double(distinct_kmers);
+}
+
+KmerSpectrum
+computeKmerSpectrum(const std::vector<DnaSequence> &reads, unsigned k,
+                    unsigned max_multiplicity)
+{
+    BEACON_ASSERT(max_multiplicity >= 1, "need at least one bin");
+    std::unordered_map<std::uint64_t, std::uint32_t> counts;
+    KmerSpectrum spectrum;
+    for (const DnaSequence &read : reads) {
+        forEachKmer(read, k, [&](std::uint64_t kmer, std::size_t) {
+            ++counts[canonicalKmer(kmer, k)];
+            ++spectrum.total_kmers;
+        });
+    }
+    spectrum.bins.assign(max_multiplicity + 1, 0);
+    spectrum.distinct_kmers = counts.size();
+    for (const auto &[kmer, count] : counts) {
+        const unsigned bin =
+            std::min<std::uint32_t>(count, max_multiplicity);
+        ++spectrum.bins[bin];
+    }
+    return spectrum;
+}
+
+} // namespace beacon::genomics

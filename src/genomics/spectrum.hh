@@ -1,0 +1,52 @@
+/**
+ * @file
+ * k-mer spectrum analysis.
+ *
+ * The downstream consumer of k-mer counting (the paper's third
+ * application) is usually a spectrum: the histogram of k-mer
+ * multiplicities, from which genome size and coverage are estimated
+ * and sequencing errors separated (error k-mers pile up at
+ * multiplicity 1, genomic k-mers peak near the coverage depth).
+ */
+
+#ifndef BEACON_GENOMICS_SPECTRUM_HH
+#define BEACON_GENOMICS_SPECTRUM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dna.hh"
+
+namespace beacon::genomics
+{
+
+/** Histogram of canonical k-mer multiplicities. */
+struct KmerSpectrum
+{
+    /** spectrum[m] = number of distinct k-mers seen exactly m times
+     *  (index 0 unused; the last bin saturates). */
+    std::vector<std::uint64_t> bins;
+    std::uint64_t distinct_kmers = 0;
+    std::uint64_t total_kmers = 0;
+
+    /** Multiplicity of the non-error peak (argmax for m >= 2). */
+    unsigned coveragePeak() const;
+
+    /** Genome-size estimate: total k-mers / peak multiplicity. */
+    std::uint64_t estimatedGenomeSize() const;
+
+    /** Fraction of distinct k-mers at multiplicity 1 (error-ish). */
+    double singletonFraction() const;
+};
+
+/**
+ * Exact spectrum of the canonical @p k-mers of @p reads, with
+ * multiplicities capped at @p max_multiplicity.
+ */
+KmerSpectrum
+computeKmerSpectrum(const std::vector<DnaSequence> &reads, unsigned k,
+                    unsigned max_multiplicity = 255);
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_SPECTRUM_HH

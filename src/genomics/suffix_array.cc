@@ -1,0 +1,220 @@
+#include "suffix_array.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace beacon::genomics
+{
+
+namespace
+{
+
+/**
+ * SA-IS core over an integer string that ends with a unique smallest
+ * sentinel (value 0). Returns the suffix array of @p s.
+ */
+std::vector<std::uint32_t>
+saisCore(const std::vector<std::uint32_t> &s, std::uint32_t alphabet)
+{
+    const std::size_t n = s.size();
+    std::vector<std::uint32_t> sa(n, std::uint32_t(-1));
+    if (n == 1) {
+        sa[0] = 0;
+        return sa;
+    }
+
+    // Suffix types: true = S-type (suffix smaller than successor).
+    std::vector<bool> is_s(n);
+    is_s[n - 1] = true;
+    for (std::size_t i = n - 1; i-- > 0;) {
+        is_s[i] =
+            s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    auto is_lms = [&](std::size_t i) {
+        return i > 0 && is_s[i] && !is_s[i - 1];
+    };
+
+    // Bucket boundaries per symbol.
+    std::vector<std::uint32_t> counts(alphabet, 0);
+    for (std::uint32_t c : s)
+        ++counts[c];
+    std::vector<std::uint32_t> heads(alphabet), tails(alphabet);
+    auto reset_buckets = [&] {
+        std::uint32_t sum = 0;
+        for (std::uint32_t c = 0; c < alphabet; ++c) {
+            heads[c] = sum;
+            sum += counts[c];
+            tails[c] = sum; // one past the end
+        }
+    };
+
+    auto induce = [&] {
+        // Induce L-type suffixes left to right.
+        reset_buckets();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t j = sa[i];
+            if (j == std::uint32_t(-1) || j == 0)
+                continue;
+            if (!is_s[j - 1])
+                sa[heads[s[j - 1]]++] = j - 1;
+        }
+        // Induce S-type suffixes right to left.
+        reset_buckets();
+        for (std::size_t i = n; i-- > 0;) {
+            const std::uint32_t j = sa[i];
+            if (j == std::uint32_t(-1) || j == 0)
+                continue;
+            if (is_s[j - 1])
+                sa[--tails[s[j - 1]]] = j - 1;
+        }
+    };
+
+    // --- Step 1: approximately sort LMS suffixes ---
+    reset_buckets();
+    std::vector<std::uint32_t> lms_positions;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (is_lms(i))
+            lms_positions.push_back(std::uint32_t(i));
+    }
+    for (std::uint32_t p : lms_positions)
+        sa[--tails[s[p]]] = p;
+    induce();
+
+    // Collect LMS suffixes in their induced order.
+    std::vector<std::uint32_t> lms_sorted;
+    lms_sorted.reserve(lms_positions.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (sa[i] != std::uint32_t(-1) && is_lms(sa[i]))
+            lms_sorted.push_back(sa[i]);
+    }
+
+    // Name LMS substrings.
+    std::vector<std::uint32_t> name_of(n, std::uint32_t(-1));
+    std::uint32_t names = 0;
+    std::uint32_t prev = std::uint32_t(-1);
+    auto lms_equal = [&](std::uint32_t a, std::uint32_t b) {
+        for (std::size_t k = 0;; ++k) {
+            const bool a_end = k > 0 && is_lms(a + k);
+            const bool b_end = k > 0 && is_lms(b + k);
+            if (a_end && b_end)
+                return true;
+            if (a_end != b_end)
+                return false;
+            if (a + k >= n || b + k >= n)
+                return false;
+            if (s[a + k] != s[b + k] ||
+                is_s[a + k] != is_s[b + k]) {
+                return false;
+            }
+        }
+    };
+    for (std::uint32_t p : lms_sorted) {
+        if (prev != std::uint32_t(-1) && !lms_equal(prev, p))
+            ++names;
+        name_of[p] = names;
+        prev = p;
+    }
+    ++names; // count, not last index
+
+    // --- Step 2: order LMS suffixes exactly ---
+    std::vector<std::uint32_t> lms_order;
+    if (names == lms_positions.size()) {
+        // All names unique: the induced order is already exact.
+        lms_order = lms_sorted;
+    } else {
+        // Recurse on the reduced string of LMS names.
+        std::vector<std::uint32_t> reduced;
+        reduced.reserve(lms_positions.size());
+        for (std::uint32_t p : lms_positions)
+            reduced.push_back(name_of[p]);
+        const std::vector<std::uint32_t> sa1 =
+            saisCore(reduced, names);
+        lms_order.reserve(lms_positions.size());
+        for (std::uint32_t r : sa1)
+            lms_order.push_back(lms_positions[r]);
+    }
+
+    // --- Step 3: induce the full order from the sorted LMS set ---
+    std::fill(sa.begin(), sa.end(), std::uint32_t(-1));
+    reset_buckets();
+    for (std::size_t i = lms_order.size(); i-- > 0;)
+        sa[--tails[s[lms_order[i]]]] = lms_order[i];
+    induce();
+    return sa;
+}
+
+std::vector<std::uint32_t>
+toIntString(const DnaSequence &seq)
+{
+    // Bases map to 1..4; the appended sentinel is 0.
+    std::vector<std::uint32_t> s(seq.size() + 1);
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        s[i] = seq.at(i) + 1;
+    s[seq.size()] = 0;
+    return s;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+buildSuffixArray(const DnaSequence &seq)
+{
+    return saisCore(toIntString(seq), 5);
+}
+
+std::vector<std::uint32_t>
+buildSuffixArrayDoubling(const DnaSequence &seq)
+{
+    const std::size_t n = seq.size() + 1; // with sentinel
+    std::vector<std::uint32_t> sa(n);
+    std::iota(sa.begin(), sa.end(), 0u);
+
+    // Initial ranks: sentinel (position n-1) ranks 0, bases 1..4.
+    std::vector<std::uint32_t> rank(n), tmp(n);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        rank[i] = seq.at(i) + 1;
+    rank[n - 1] = 0;
+
+    for (std::size_t k = 1;; k <<= 1) {
+        auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+            if (rank[a] != rank[b])
+                return rank[a] < rank[b];
+            const std::uint32_t ra =
+                a + k < n ? rank[a + k] + 1 : 0;
+            const std::uint32_t rb =
+                b + k < n ? rank[b + k] + 1 : 0;
+            return ra < rb;
+        };
+        std::sort(sa.begin(), sa.end(), cmp);
+
+        tmp[sa[0]] = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            tmp[sa[i]] =
+                tmp[sa[i - 1]] + (cmp(sa[i - 1], sa[i]) ? 1 : 0);
+        }
+        rank.swap(tmp);
+        if (rank[sa[n - 1]] == n - 1)
+            break;
+    }
+    return sa;
+}
+
+std::vector<std::uint8_t>
+buildBwt(const DnaSequence &seq,
+         const std::vector<std::uint32_t> &sa)
+{
+    const std::size_t n = sa.size();
+    BEACON_ASSERT(n == seq.size() + 1, "suffix array size mismatch");
+    std::vector<std::uint8_t> bwt(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (sa[i] == 0)
+            bwt[i] = 4; // sentinel
+        else
+            bwt[i] = seq.at(sa[i] - 1);
+    }
+    return bwt;
+}
+
+} // namespace beacon::genomics

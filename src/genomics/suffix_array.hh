@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Suffix-array construction over DNA sequences.
+ */
+
+#ifndef BEACON_GENOMICS_SUFFIX_ARRAY_HH
+#define BEACON_GENOMICS_SUFFIX_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dna.hh"
+
+namespace beacon::genomics
+{
+
+/**
+ * Build the suffix array of @p seq with an implicit sentinel that
+ * sorts before every base (the returned array has size
+ * seq.size() + 1 and position seq.size() — the empty suffix — first).
+ *
+ * Linear-time SA-IS (induced sorting).
+ */
+std::vector<std::uint32_t> buildSuffixArray(const DnaSequence &seq);
+
+/**
+ * Prefix-doubling construction, O(n log^2 n). Kept as an independent
+ * oracle for property tests of the SA-IS implementation.
+ */
+std::vector<std::uint32_t>
+buildSuffixArrayDoubling(const DnaSequence &seq);
+
+/**
+ * Burrows-Wheeler transform derived from a suffix array. Symbols are
+ * 0..3 for bases and 4 for the sentinel.
+ */
+std::vector<std::uint8_t>
+buildBwt(const DnaSequence &seq,
+         const std::vector<std::uint32_t> &suffix_array);
+
+} // namespace beacon::genomics
+
+#endif // BEACON_GENOMICS_SUFFIX_ARRAY_HH

@@ -1,0 +1,91 @@
+#include "csr.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace beacon::graph
+{
+
+CsrGraph::CsrGraph(std::vector<std::uint32_t> offs,
+                   std::vector<std::uint32_t> edgs)
+    : offsets(std::move(offs)), edges(std::move(edgs))
+{
+    BEACON_ASSERT(!offsets.empty(), "offsets must have n+1 entries");
+    BEACON_ASSERT(offsets.front() == 0 &&
+                      offsets.back() == edges.size(),
+                  "malformed CSR offsets");
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        BEACON_ASSERT(offsets[i - 1] <= offsets[i],
+                      "offsets must be non-decreasing");
+    for (std::uint32_t e : edges)
+        BEACON_ASSERT(e < numVertices(), "edge endpoint out of range");
+}
+
+std::vector<std::uint32_t>
+CsrGraph::bfs(std::uint32_t source) const
+{
+    std::vector<std::uint32_t> dist(numVertices(),
+                                    std::uint32_t(-1));
+    std::deque<std::uint32_t> frontier;
+    dist[source] = 0;
+    frontier.push_back(source);
+    while (!frontier.empty()) {
+        const std::uint32_t v = frontier.front();
+        frontier.pop_front();
+        const std::uint32_t deg = degree(v);
+        const std::uint32_t *nbrs = neighbors(v);
+        for (std::uint32_t i = 0; i < deg; ++i) {
+            const std::uint32_t u = nbrs[i];
+            if (dist[u] == std::uint32_t(-1)) {
+                dist[u] = dist[v] + 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return dist;
+}
+
+CsrGraph
+makeGraph(const GraphParams &p)
+{
+    BEACON_ASSERT(p.num_vertices >= 2, "graph too small");
+    Rng rng(p.seed);
+    const std::uint64_t target_edges = std::uint64_t(
+        double(p.num_vertices) * std::max(1.0, p.avg_degree));
+
+    std::vector<std::vector<std::uint32_t>> adjacency(
+        p.num_vertices);
+    // A ring backbone keeps the graph connected.
+    for (std::uint32_t v = 0; v < p.num_vertices; ++v)
+        adjacency[v].push_back((v + 1) % p.num_vertices);
+
+    // Remaining edges: uniform or hub-biased endpoints.
+    std::vector<std::uint32_t> hubs;
+    for (unsigned i = 0; i < 32; ++i)
+        hubs.push_back(std::uint32_t(rng.next(p.num_vertices)));
+    for (std::uint64_t e = p.num_vertices; e < target_edges; ++e) {
+        const std::uint32_t src =
+            std::uint32_t(rng.next(p.num_vertices));
+        std::uint32_t dst;
+        if (rng.chance(p.hub_bias))
+            dst = hubs[rng.next(hubs.size())];
+        else
+            dst = std::uint32_t(rng.next(p.num_vertices));
+        adjacency[src].push_back(dst);
+    }
+
+    std::vector<std::uint32_t> offsets(p.num_vertices + 1, 0);
+    for (std::uint32_t v = 0; v < p.num_vertices; ++v)
+        offsets[v + 1] = offsets[v] +
+                         std::uint32_t(adjacency[v].size());
+    std::vector<std::uint32_t> edges;
+    edges.reserve(offsets.back());
+    for (std::uint32_t v = 0; v < p.num_vertices; ++v)
+        edges.insert(edges.end(), adjacency[v].begin(),
+                     adjacency[v].end());
+    return CsrGraph(std::move(offsets), std::move(edges));
+}
+
+} // namespace beacon::graph

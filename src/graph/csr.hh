@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Compressed-sparse-row graph substrate.
+ *
+ * Supports the paper's Section V claim that BEACON extends to other
+ * memory-bound applications (graph processing) by replacing the PEs:
+ * the GraphBfs extension workload traverses a real CSR graph and
+ * replays its offset/edge accesses through the pool.
+ */
+
+#ifndef BEACON_GRAPH_CSR_HH
+#define BEACON_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace beacon::graph
+{
+
+/** Immutable CSR directed graph. */
+class CsrGraph
+{
+  public:
+    CsrGraph(std::vector<std::uint32_t> offsets,
+             std::vector<std::uint32_t> edges);
+
+    std::uint32_t numVertices() const
+    {
+        return std::uint32_t(offsets.size() - 1);
+    }
+    std::uint64_t numEdges() const { return edges.size(); }
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+
+    /** Neighbour list of @p v. */
+    const std::uint32_t *
+    neighbors(std::uint32_t v) const
+    {
+        return edges.data() + offsets[v];
+    }
+
+    /** Byte offset of v's slot in the offset array (8 B slots). */
+    std::uint64_t
+    offsetSlotBytes(std::uint32_t v) const
+    {
+        return std::uint64_t(v) * 8;
+    }
+
+    /** Byte offset / length of v's edge list (4 B per edge). */
+    std::uint64_t
+    edgeSlotBytes(std::uint32_t v) const
+    {
+        return std::uint64_t(offsets[v]) * 4;
+    }
+
+    std::uint64_t offsetArrayBytes() const
+    {
+        return std::uint64_t(offsets.size()) * 8;
+    }
+    std::uint64_t edgeArrayBytes() const
+    {
+        return std::uint64_t(edges.size()) * 4;
+    }
+
+    /** Reference BFS: distance per vertex (UINT32_MAX if unreached). */
+    std::vector<std::uint32_t> bfs(std::uint32_t source) const;
+
+  private:
+    std::vector<std::uint32_t> offsets; //!< size numVertices + 1
+    std::vector<std::uint32_t> edges;
+};
+
+/** Synthetic graph parameters (power-law-ish degree skew). */
+struct GraphParams
+{
+    std::uint32_t num_vertices = 1 << 14;
+    double avg_degree = 8.0;
+    /** Fraction of edges attached preferentially (hub formation). */
+    double hub_bias = 0.5;
+    std::uint64_t seed = 33;
+};
+
+/** Generate a connected-ish synthetic graph. */
+CsrGraph makeGraph(const GraphParams &params);
+
+} // namespace beacon::graph
+
+#endif // BEACON_GRAPH_CSR_HH

@@ -1,0 +1,159 @@
+#include "framework.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+MemoryFramework::MemoryFramework(std::vector<PoolDimm> dimms)
+    : pool(std::move(dimms)),
+      usage(pool.size()),
+      non_cacheable(pool.size(), false)
+{
+    BEACON_ASSERT(!pool.empty(), "empty pool");
+}
+
+std::uint64_t
+MemoryFramework::replicatedBytes(const AllocationRequest &request)
+{
+    std::uint64_t ro = 0;
+    std::uint64_t rw = 0;
+    for (const StructureSpec &s : request.structures) {
+        if (s.read_only)
+            ro += s.bytes;
+        else
+            rw += s.bytes;
+    }
+    const unsigned copies = request.policy.placement_opt
+                                ? request.policy.partitions
+                                : 1;
+    return ro * copies + rw;
+}
+
+AllocationResponse
+MemoryFramework::allocate(const AllocationRequest &request)
+{
+    AllocationResponse response;
+    if (request.app.empty()) {
+        response.error = "missing application name";
+        return response;
+    }
+    for (const auto &per_dimm : usage) {
+        if (per_dimm.count(request.app)) {
+            response.error =
+                "application '" + request.app + "' already allocated";
+            return response;
+        }
+    }
+
+    // Build the layout first: it decides which DIMMs are touched.
+    auto layout = std::make_shared<MemoryLayout>(
+        pool, request.structures, request.policy);
+
+    // Which DIMMs participate, and the footprint per DIMM.
+    std::vector<std::uint64_t> needed(pool.size(), 0);
+    const std::uint64_t total = replicatedBytes(request);
+    std::vector<bool> touched(pool.size(), false);
+    // Approximate an even spread over every DIMM any partition uses.
+    unsigned touched_count = 0;
+    for (unsigned part = 0; part < request.policy.partitions; ++part) {
+        for (const StructureSpec &s : request.structures) {
+            // One probe access discovers the partition's DIMM list.
+            for (const ResolvedAccess &acc : layout->resolve(
+                     s.cls, 0, std::max<std::uint32_t>(1, 1), part)) {
+                if (!touched[acc.dimm_index]) {
+                    touched[acc.dimm_index] = true;
+                    ++touched_count;
+                }
+            }
+        }
+    }
+    // The stripe touches every DIMM in each partition list; refine
+    // by marking the full lists via per-granule probing.
+    for (unsigned part = 0; part < request.policy.partitions; ++part) {
+        for (const StructureSpec &s : request.structures) {
+            for (std::uint64_t probe = 0; probe < 64; ++probe) {
+                const std::uint64_t off =
+                    probe * 64 % std::max<std::uint64_t>(s.bytes, 1);
+                for (const ResolvedAccess &acc :
+                     layout->resolve(s.cls, off, 1, part)) {
+                    if (!touched[acc.dimm_index]) {
+                        touched[acc.dimm_index] = true;
+                        ++touched_count;
+                    }
+                }
+            }
+        }
+    }
+    BEACON_ASSERT(touched_count > 0, "allocation touched no DIMM");
+    for (unsigned i = 0; i < pool.size(); ++i) {
+        if (touched[i])
+            needed[i] = total / touched_count;
+    }
+
+    // Capacity check and memory clean.
+    std::uint64_t migrated = 0;
+    for (unsigned i = 0; i < pool.size(); ++i) {
+        if (!touched[i])
+            continue;
+        const std::uint64_t capacity = pool[i].geom.capacityBytes();
+        std::uint64_t resident = 0;
+        for (const auto &[app, bytes] : usage[i])
+            resident += bytes;
+        if (needed[i] > capacity) {
+            response.error = "insufficient capacity on " +
+                             pool[i].node.str();
+            return response;
+        }
+        if (resident + needed[i] > capacity) {
+            // Memory clean: migrate other applications' data away.
+            migrated += resident;
+            usage[i].clear();
+        }
+    }
+
+    for (unsigned i = 0; i < pool.size(); ++i) {
+        if (touched[i]) {
+            usage[i][request.app] = needed[i];
+            non_cacheable[i] = true;
+            response.allocated_dimms.push_back(i);
+        }
+    }
+
+    response.success = true;
+    response.layout = std::move(layout);
+    response.migrated_bytes = migrated;
+    return response;
+}
+
+bool
+MemoryFramework::deallocate(const std::string &app)
+{
+    bool found = false;
+    for (unsigned i = 0; i < pool.size(); ++i) {
+        if (usage[i].erase(app))
+            found = true;
+        if (usage[i].empty())
+            non_cacheable[i] = false;
+    }
+    return found;
+}
+
+bool
+MemoryFramework::isNonCacheable(unsigned dimm_index) const
+{
+    return non_cacheable.at(dimm_index);
+}
+
+std::uint64_t
+MemoryFramework::residentBytes(unsigned dimm_index) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[app, bytes] : usage.at(dimm_index))
+        total += bytes;
+    return total;
+}
+
+} // namespace beacon

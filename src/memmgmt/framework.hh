@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-facing memory-management framework (Fig. 8).
+ *
+ * The host sends an allocation request describing the application,
+ * its data structures, and the desired policy; the framework (the
+ * CXL-Switches in the paper) chooses DIMMs, performs memory clean
+ * (migrating other applications' resident data off the chosen
+ * DIMMs), marks the region non-cacheable for the host, and returns a
+ * MemoryLayout the accelerator uses for address translation.
+ */
+
+#ifndef BEACON_MEMMGMT_FRAMEWORK_HH
+#define BEACON_MEMMGMT_FRAMEWORK_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memmgmt/layout.hh"
+
+namespace beacon
+{
+
+/** Allocation request sent over the framework interface. */
+struct AllocationRequest
+{
+    std::string app;
+    std::vector<StructureSpec> structures;
+    PlacementPolicy policy;
+};
+
+/** Framework response. */
+struct AllocationResponse
+{
+    bool success = false;
+    std::string error;
+    std::shared_ptr<MemoryLayout> layout;
+    /** Bytes of other applications' data migrated (memory clean). */
+    std::uint64_t migrated_bytes = 0;
+    /** DIMMs now dedicated (non-cacheable for the host). */
+    std::vector<unsigned> allocated_dimms;
+};
+
+/** The memory-management framework. */
+class MemoryFramework
+{
+  public:
+    explicit MemoryFramework(std::vector<PoolDimm> dimms);
+
+    /** Allocate memory for an application (Fig. 8 left flow). */
+    AllocationResponse allocate(const AllocationRequest &request);
+
+    /** De-allocate an application (Fig. 8 right flow). */
+    bool deallocate(const std::string &app);
+
+    /** Host-visible cacheability of a DIMM. */
+    bool isNonCacheable(unsigned dimm_index) const;
+
+    /** Bytes currently resident on a DIMM (all applications). */
+    std::uint64_t residentBytes(unsigned dimm_index) const;
+
+    const std::vector<PoolDimm> &dimms() const { return pool; }
+
+  private:
+    /** Footprint each structure set needs per partition copy. */
+    static std::uint64_t
+    replicatedBytes(const AllocationRequest &request);
+
+    std::vector<PoolDimm> pool;
+    /** Per DIMM: bytes used by each application. */
+    std::vector<std::map<std::string, std::uint64_t>> usage;
+    std::vector<bool> non_cacheable;
+};
+
+} // namespace beacon
+
+#endif // BEACON_MEMMGMT_FRAMEWORK_HH

@@ -1,0 +1,208 @@
+#include "layout.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+namespace
+{
+
+/** Deterministic per-structure row offset to decorrelate layouts. */
+unsigned
+structureBaseRow(DataClass cls, unsigned rows)
+{
+    return (unsigned(cls) * 7919u + 131u) % rows;
+}
+
+} // namespace
+
+MemoryLayout::MemoryLayout(std::vector<PoolDimm> dimms,
+                           std::vector<StructureSpec> structures,
+                           PlacementPolicy policy)
+    : pool(std::move(dimms)), pol(std::move(policy))
+{
+    BEACON_ASSERT(!pool.empty(), "empty pool");
+    BEACON_ASSERT(pol.partitions >= 1, "need at least one partition");
+    if (pol.placement_opt) {
+        BEACON_ASSERT(pol.partition_switch.size() == pol.partitions,
+                      "partition switch map size mismatch");
+    }
+
+    for (const StructureSpec &spec : structures) {
+        StructurePlan plan;
+        plan.spec = spec;
+
+        // --- Which DIMMs hold the structure, per partition ---
+        plan.partition_slots.resize(pol.partitions);
+        plan.partition_counts.resize(pol.partitions);
+        for (unsigned part = 0; part < pol.partitions; ++part) {
+            std::vector<unsigned> list;
+            if (spec.partition_local) {
+                BEACON_ASSERT(part < pol.partition_primary.size(),
+                              "partition-local structure without "
+                              "primary DIMM map");
+                list = pol.partition_primary[part];
+            } else if (pol.placement_opt && pol.replicate_read_only &&
+                       spec.read_only) {
+                // Replicate near the partition's NDP module: every
+                // DIMM on its switch. CXLG-DIMMs receive extra
+                // stripe slots (hot data migrates closest to the
+                // NDP module).
+                const unsigned home_sw = pol.partition_switch[part];
+                for (unsigned i = 0; i < pool.size(); ++i) {
+                    if (pool[i].node.sw == home_sw &&
+                        pool[i].kind == DimmKind::Cxlg) {
+                        for (unsigned w = 0;
+                             w < std::max(1u, pol.cxlg_stripe_weight);
+                             ++w) {
+                            list.push_back(i);
+                        }
+                    }
+                }
+                for (unsigned i = 0; i < pool.size(); ++i) {
+                    if (pool[i].node.sw == home_sw &&
+                        pool[i].kind == DimmKind::Unmodified) {
+                        list.push_back(i);
+                    }
+                }
+            } else {
+                // Single copy striped over the whole pool.
+                for (unsigned i = 0; i < pool.size(); ++i)
+                    list.push_back(i);
+            }
+            BEACON_ASSERT(!list.empty(),
+                          "no DIMMs available for a partition");
+            std::map<unsigned, unsigned> &counts =
+                plan.partition_counts[part];
+            for (unsigned dimm : list) {
+                plan.partition_slots[part].push_back(
+                    StripeSlot{dimm, counts[dimm]});
+                ++counts[dimm];
+            }
+        }
+
+        // --- Stripe granule and per-DIMM mapping ---
+        const DimmGeometry &geom0 = pool.front().geom;
+        const std::uint64_t rank_row_bytes =
+            geom0.rowBytesPerChip() * geom0.chips_per_rank;
+        if (!pol.placement_opt) {
+            plan.granule = 64;
+        } else if (spec.spatial) {
+            // Whole rows per DIMM: multi-element reads stay in one
+            // row buffer.
+            plan.granule = std::uint32_t(rank_row_bytes);
+        } else {
+            // Fine-grained: one access granule per stripe unit,
+            // rounded up to the chip-group burst size.
+            plan.granule = std::max<std::uint32_t>(
+                spec.access_granule,
+                std::uint32_t(geom0.device_width_bits)); // >= 4 B
+        }
+
+        for (unsigned i = 0; i < pool.size(); ++i) {
+            const PoolDimm &dimm = pool[i];
+            MappingPolicy mp;
+            mp.granule_bytes = plan.granule;
+            mp.base_row =
+                structureBaseRow(spec.cls, dimm.geom.rows);
+            if (!pol.placement_opt) {
+                mp.chip_group = dimm.geom.chips_per_rank;
+                mp.row_major = false;
+            } else if (spec.spatial) {
+                mp.chip_group = dimm.geom.chips_per_rank;
+                mp.row_major = true;
+            } else if (dimm.kind == DimmKind::Cxlg) {
+                mp.chip_group =
+                    std::max(1u, std::min(pol.coalesce_chips,
+                                          dimm.geom.chips_per_rank));
+                mp.row_major = false;
+            } else {
+                mp.chip_group = dimm.geom.chips_per_rank;
+                mp.row_major = false;
+            }
+            // Granule must not exceed one row of the chip group.
+            const std::uint64_t group_row_bytes =
+                dimm.geom.rowBytesPerChip() * mp.chip_group;
+            mp.granule_bytes = std::uint32_t(std::min<std::uint64_t>(
+                mp.granule_bytes, group_row_bytes));
+            plan.mappers.emplace(
+                i, DimmAddressMapper(dimm.geom, mp));
+        }
+
+        plans.emplace(spec.cls, std::move(plan));
+    }
+}
+
+const MemoryLayout::StructurePlan &
+MemoryLayout::planFor(DataClass cls) const
+{
+    auto it = plans.find(cls);
+    BEACON_ASSERT(it != plans.end(), "unplanned data class ",
+                  unsigned(cls));
+    return it->second;
+}
+
+std::vector<ResolvedAccess>
+MemoryLayout::resolve(DataClass cls, std::uint64_t offset,
+                      std::uint32_t bytes, unsigned partition) const
+{
+    BEACON_ASSERT(partition < pol.partitions, "bad partition");
+    BEACON_ASSERT(bytes > 0, "zero-byte access");
+    const StructurePlan &plan = planFor(cls);
+    const std::vector<StripeSlot> &slots =
+        plan.partition_slots[partition];
+    const std::map<unsigned, unsigned> &counts =
+        plan.partition_counts[partition];
+
+    std::vector<ResolvedAccess> pieces;
+    std::uint64_t cur = offset;
+    std::uint64_t end = offset + bytes;
+    while (cur < end) {
+        const std::uint64_t granule_idx = cur / plan.granule;
+        const std::uint64_t granule_end =
+            (granule_idx + 1) * std::uint64_t{plan.granule};
+        const std::uint32_t piece =
+            std::uint32_t(std::min<std::uint64_t>(end, granule_end) -
+                          cur);
+
+        const StripeSlot &slot =
+            slots[std::size_t(granule_idx % slots.size())];
+        const unsigned dimm_idx = slot.dimm;
+        // Collision-free per-DIMM index: a DIMM with k stripe slots
+        // takes k local granules per full stripe round.
+        const std::uint64_t local_idx =
+            (granule_idx / slots.size()) * counts.at(dimm_idx) +
+            slot.occurrence;
+        const DimmAddressMapper &mapper = plan.mappers.at(dimm_idx);
+
+        ResolvedAccess acc;
+        acc.dimm_index = dimm_idx;
+        acc.node = pool[dimm_idx].node;
+        acc.coord = mapper.mapGranule(local_idx);
+        acc.bursts = mapper.burstsFor(piece);
+        acc.bytes = piece;
+        pieces.push_back(acc);
+
+        cur += piece;
+    }
+    return pieces;
+}
+
+unsigned
+MemoryLayout::homeSwitch(DataClass cls, std::uint64_t offset) const
+{
+    const StructurePlan &plan = planFor(cls);
+    // Writable structures have one copy shared by every partition,
+    // so partition 0's list is authoritative.
+    const std::vector<StripeSlot> &slots = plan.partition_slots[0];
+    const std::uint64_t granule_idx = offset / plan.granule;
+    const unsigned dimm_idx =
+        slots[std::size_t(granule_idx % slots.size())].dimm;
+    return pool[dimm_idx].node.sw;
+}
+
+} // namespace beacon

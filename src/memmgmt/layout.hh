@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Pool-level data placement (Section IV-C).
+ *
+ * The memory-management framework manages memory at CXL-DIMM
+ * granularity and decides, per data structure, which DIMMs hold it
+ * and how its granules map to DRAM coordinates:
+ *
+ *  - naive placement (CXL-vanilla): one copy of every structure,
+ *    striped over all DIMMs of the pool in 64-byte granules with
+ *    rank-level access;
+ *  - proximity-aware placement (the paper's "data placement and
+ *    address mapping"): read-only index structures are replicated
+ *    per NDP partition onto the DIMMs nearest the NDP module (the
+ *    same CXL-Switch — the pool's capacity dwarfs the index), with
+ *    architecture- and data-aware mapping: chip-level granules on
+ *    CXLG-DIMMs, row-major layout for spatially local data. Writable
+ *    structures (Bloom counters) keep a single global copy.
+ *
+ * Multi-chip coalescing widens the chip group of fine-grained
+ * structures on CXLG-DIMMs from 1 chip to `coalesce_chips`.
+ */
+
+#ifndef BEACON_MEMMGMT_LAYOUT_HH
+#define BEACON_MEMMGMT_LAYOUT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cxl/node.hh"
+#include "dram/timing.hh"
+#include "dram/types.hh"
+#include "memmgmt/mapper.hh"
+#include "ndp/task.hh"
+
+namespace beacon
+{
+
+/** Kind of a pooled DIMM. */
+enum class DimmKind : std::uint8_t
+{
+    Cxlg,       //!< computation + fine-grained access enabled
+    Unmodified, //!< stock CXL-DIMM
+};
+
+/** One DIMM in the pool inventory. */
+struct PoolDimm
+{
+    NodeId node;
+    DimmKind kind = DimmKind::Unmodified;
+    DimmGeometry geom;
+};
+
+/** Declared properties of one application data structure. */
+struct StructureSpec
+{
+    DataClass cls = DataClass::FmOcc;
+    std::uint64_t bytes = 0;
+    bool spatial = false;    //!< benefits from row-major layout
+    bool read_only = true;   //!< replicable per partition
+    std::uint32_t access_granule = 32; //!< typical access size
+    /**
+     * Algorithmically partition-private data (e.g., the per-DIMM
+     * counting Bloom filters of multi-pass k-mer counting): each
+     * partition's copy lives on its primary DIMM(s) regardless of
+     * the placement policy.
+     */
+    bool partition_local = false;
+};
+
+/** Placement/mapping policy knobs (the paper's optimizations). */
+struct PlacementPolicy
+{
+    /** Proximity placement + architecture/data-aware mapping. */
+    bool placement_opt = false;
+    /**
+     * Replicate read-only structures per partition (BEACON's pool
+     * has capacity to spare; the DDR baselines keep a single copy
+     * striped across their DIMMs and pay the remote traffic).
+     */
+    bool replicate_read_only = false;
+    /** Chip group for fine-grained structures on CXLG-DIMMs
+     *  (1 = per-chip fine-grained; >1 = multi-chip coalescing). */
+    unsigned coalesce_chips = 1;
+    /**
+     * Stripe weight of a CXLG-DIMM in proximity placement: the
+     * paper's data-migration policy keeps frequently accessed data
+     * closest to the NDP module, so the module's own DIMM receives
+     * this many stripe slots for every one slot of a same-switch
+     * unmodified DIMM.
+     */
+    unsigned cxlg_stripe_weight = 5;
+    /** Number of NDP partitions (modules). */
+    unsigned partitions = 1;
+    /** Home switch of each partition's NDP module. */
+    std::vector<unsigned> partition_switch;
+    /** Primary DIMM indices of each partition (for partition-local
+     *  structures; the NDP module's own DIMM(s)). */
+    std::vector<std::vector<unsigned>> partition_primary;
+};
+
+/** A physical piece of one logical access. */
+struct ResolvedAccess
+{
+    unsigned dimm_index = 0; //!< index into the pool inventory
+    NodeId node;             //!< the DIMM's node id
+    DramCoord coord;
+    unsigned bursts = 1;
+    std::uint32_t bytes = 0;
+};
+
+/**
+ * Placement and mapping decisions for one application run.
+ */
+class MemoryLayout
+{
+  public:
+    MemoryLayout(std::vector<PoolDimm> dimms,
+                 std::vector<StructureSpec> structures,
+                 PlacementPolicy policy);
+
+    /**
+     * Resolve a logical access by partition @p partition's NDP
+     * module into physical pieces (an access that straddles stripe
+     * granules yields several pieces).
+     */
+    std::vector<ResolvedAccess> resolve(DataClass cls,
+                                        std::uint64_t offset,
+                                        std::uint32_t bytes,
+                                        unsigned partition) const;
+
+    /** Switch owning the (single-copy) word for atomic routing. */
+    unsigned
+    homeSwitch(DataClass cls, std::uint64_t offset) const;
+
+    const PlacementPolicy &policy() const { return pol; }
+    const std::vector<PoolDimm> &dimms() const { return pool; }
+
+  private:
+    /** One stripe slot: a DIMM and its occurrence rank within the
+     *  stripe list (weighted DIMMs occupy several slots). */
+    struct StripeSlot
+    {
+        unsigned dimm = 0;
+        unsigned occurrence = 0;
+    };
+
+    struct StructurePlan
+    {
+        StructureSpec spec;
+        /** Effective stripe granule in bytes. */
+        std::uint32_t granule = 64;
+        /** Stripe slots per partition. */
+        std::vector<std::vector<StripeSlot>> partition_slots;
+        /** Occurrences of each DIMM in a partition's stripe list. */
+        std::vector<std::map<unsigned, unsigned>> partition_counts;
+        /** Mapper per DIMM kind. */
+        std::map<unsigned, DimmAddressMapper> mappers; //!< by dimm idx
+    };
+
+    const StructurePlan &planFor(DataClass cls) const;
+
+    std::vector<PoolDimm> pool;
+    PlacementPolicy pol;
+    std::map<DataClass, StructurePlan> plans;
+};
+
+} // namespace beacon
+
+#endif // BEACON_MEMMGMT_LAYOUT_HH

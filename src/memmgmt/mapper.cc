@@ -1,0 +1,95 @@
+#include "mapper.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+DimmAddressMapper::DimmAddressMapper(const DimmGeometry &g,
+                                     const MappingPolicy &policy)
+    : geom(g), p(policy)
+{
+    BEACON_ASSERT(p.chip_group >= 1 &&
+                      p.chip_group <= geom.chips_per_rank &&
+                      geom.chips_per_rank % p.chip_group == 0,
+                  "chip group must evenly divide the rank");
+    BEACON_ASSERT(p.granule_bytes > 0, "zero granule");
+    groups_per_rank = geom.chips_per_rank / p.chip_group;
+    bursts_per_granule = burstsFor(p.granule_bytes);
+    // Each burst consumes 8 column addresses (BL8).
+    const unsigned columns_per_granule = bursts_per_granule * 8;
+    BEACON_ASSERT(columns_per_granule <= geom.columns,
+                  "granule larger than a row");
+    slots_per_row = geom.columns / columns_per_granule;
+}
+
+unsigned
+DimmAddressMapper::burstsFor(std::uint32_t bytes) const
+{
+    const std::uint32_t bytes_per_burst =
+        p.chip_group * geom.device_width_bits * 8 / 8;
+    return divCeil(bytes, bytes_per_burst);
+}
+
+std::uint64_t
+DimmAddressMapper::granuleCapacity() const
+{
+    return std::uint64_t{slots_per_row} * geom.bank_groups *
+           geom.banks_per_group * groups_per_rank * geom.ranks *
+           geom.rows;
+}
+
+DramCoord
+DimmAddressMapper::mapGranule(std::uint64_t granule_idx) const
+{
+    const std::uint64_t idx = granule_idx % granuleCapacity();
+    const unsigned bg_count = geom.bank_groups;
+    const unsigned bank_count = geom.banks_per_group;
+
+    std::uint64_t rest = idx;
+    unsigned slot, bg, bank, group, rank;
+    std::uint64_t row;
+    if (p.row_major) {
+        // Fill a row before moving to the next bank: spatial data
+        // keeps consecutive granules inside one row buffer.
+        slot = unsigned(rest % slots_per_row);
+        rest /= slots_per_row;
+        bg = unsigned(rest % bg_count);
+        rest /= bg_count;
+        bank = unsigned(rest % bank_count);
+        rest /= bank_count;
+        group = unsigned(rest % groups_per_rank);
+        rest /= groups_per_rank;
+        rank = unsigned(rest % geom.ranks);
+        rest /= geom.ranks;
+        row = rest;
+    } else {
+        // Spread consecutive granules across bank groups, banks, and
+        // ranks first: random fine-grained accesses gain bank-level
+        // parallelism.
+        bg = unsigned(rest % bg_count);
+        rest /= bg_count;
+        bank = unsigned(rest % bank_count);
+        rest /= bank_count;
+        rank = unsigned(rest % geom.ranks);
+        rest /= geom.ranks;
+        group = unsigned(rest % groups_per_rank);
+        rest /= groups_per_rank;
+        slot = unsigned(rest % slots_per_row);
+        rest /= slots_per_row;
+        row = rest;
+    }
+
+    DramCoord coord;
+    coord.rank = rank;
+    coord.bank_group = bg;
+    coord.bank = bank;
+    coord.row = unsigned((row + p.base_row) % geom.rows);
+    coord.column = slot * bursts_per_granule * 8;
+    coord.chip_first = group * p.chip_group;
+    coord.chip_count = p.chip_group;
+    return coord;
+}
+
+} // namespace beacon

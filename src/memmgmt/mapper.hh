@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Architecture- and data-aware address mapping (Fig. 10).
+ *
+ * Maps a per-DIMM granule index to DRAM coordinates under two
+ * ordering principles from the paper:
+ *
+ *  1. interleave according to the DIMM architecture — chip-level
+ *     groups on CXLG-DIMMs (individual chip select), rank-level
+ *     groups on unmodified CXL-DIMMs;
+ *  2. place spatially local data row-by-row so multi-element reads
+ *     stay inside one DRAM row.
+ *
+ * Non-spatial (random) data instead spreads consecutive granules
+ * across bank groups and banks to maximise bank-level parallelism.
+ */
+
+#ifndef BEACON_MEMMGMT_MAPPER_HH
+#define BEACON_MEMMGMT_MAPPER_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+#include "dram/types.hh"
+
+namespace beacon
+{
+
+/** Address-mapping policy for one data structure on one DIMM kind. */
+struct MappingPolicy
+{
+    /** Chips accessed together; chips_per_rank = rank-level. */
+    unsigned chip_group = 16;
+    /** Bytes covered by one granule (one mapped unit). */
+    std::uint32_t granule_bytes = 64;
+    /** Row-major (spatial) ordering instead of bank-interleaved. */
+    bool row_major = false;
+    /** Row offset to decorrelate co-resident structures. */
+    unsigned base_row = 0;
+};
+
+/** Granule-index to DRAM-coordinate mapper for one DIMM. */
+class DimmAddressMapper
+{
+  public:
+    DimmAddressMapper(const DimmGeometry &geom,
+                      const MappingPolicy &policy);
+
+    /** Bursts needed to move @p bytes with this chip group. */
+    unsigned burstsFor(std::uint32_t bytes) const;
+
+    /** Bursts needed for one full granule. */
+    unsigned burstsPerGranule() const { return bursts_per_granule; }
+
+    /** Granule slots per row within one chip group. */
+    unsigned slotsPerRow() const { return slots_per_row; }
+
+    /** Total granules addressable on the DIMM. */
+    std::uint64_t granuleCapacity() const;
+
+    /**
+     * Coordinates of granule @p granule_idx. chip_count is the
+     * policy's chip group; the column points at the granule's first
+     * burst.
+     */
+    DramCoord mapGranule(std::uint64_t granule_idx) const;
+
+  private:
+    DimmGeometry geom;
+    MappingPolicy p;
+    unsigned groups_per_rank;
+    unsigned bursts_per_granule;
+    unsigned slots_per_row;
+};
+
+} // namespace beacon
+
+#endif // BEACON_MEMMGMT_MAPPER_HH

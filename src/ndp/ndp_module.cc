@@ -1,0 +1,108 @@
+#include "ndp_module.hh"
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+NdpModule::NdpModule(const std::string &name, EventQueue &eq,
+                     StatRegistry &stats,
+                     const NdpModuleParams &params, IssueFn issue_fn)
+    : SimObject(name, eq, stats),
+      p(params),
+      issue(std::move(issue_fn)),
+      stat_tasks(stat("tasksCompleted")),
+      stat_accesses(stat("accessesIssued")),
+      stat_steps(stat("steps"))
+{
+    BEACON_ASSERT(p.num_pes > 0, "NDP module needs at least one PE");
+    BEACON_ASSERT(issue, "NDP module needs a memory path");
+}
+
+void
+NdpModule::submit(TaskPtr task)
+{
+    BEACON_ASSERT(canAccept(), "NDP module over capacity");
+    ++resident_tasks;
+    auto pending = std::make_unique<PendingTask>();
+    pending->task = std::move(task);
+    ready_queue.push_back(std::move(pending));
+    dispatch();
+}
+
+void
+NdpModule::dispatch()
+{
+    while (busy_pes < p.num_pes && !ready_queue.empty()) {
+        std::unique_ptr<PendingTask> pending =
+            std::move(ready_queue.front());
+        ready_queue.pop_front();
+        runStep(std::move(pending));
+    }
+}
+
+void
+NdpModule::runStep(std::unique_ptr<PendingTask> pending)
+{
+    ++busy_pes;
+    ++stat_steps;
+    const TaskStep step = pending->task->next();
+    const Tick compute = step.compute_cycles * p.pe_clock_ps;
+    pe_busy_ticks += compute;
+
+    // The PE is occupied for the step's arithmetic; afterwards the
+    // task either finishes, continues immediately, or parks in the
+    // incoming queue until its operands arrive. The shared holder
+    // keeps the callback copyable for std::function.
+    auto held = std::make_shared<std::unique_ptr<PendingTask>>(
+        std::move(pending));
+    eq.scheduleIn(compute, [this, step, held]() mutable {
+        std::unique_ptr<PendingTask> pending = std::move(*held);
+        --busy_pes;
+        if (step.done) {
+            BEACON_ASSERT(step.accesses.empty(),
+                          "finished task requested operands");
+            --resident_tasks;
+            ++tasks_completed;
+            ++stat_tasks;
+            pending.reset();
+            if (task_done)
+                task_done();
+            dispatch();
+            return;
+        }
+        if (step.accesses.empty()) {
+            // No operands needed: the task is immediately ready.
+            ready_queue.push_back(std::move(pending));
+            dispatch();
+            return;
+        }
+        pending->outstanding_accesses =
+            unsigned(step.accesses.size());
+        // Hand the raw pointer around; ownership parks in a shared
+        // holder until the last access completes.
+        auto holder = std::make_shared<std::unique_ptr<PendingTask>>(
+            std::move(pending));
+        for (const AccessRequest &req : step.accesses) {
+            ++accesses_issued;
+            ++stat_accesses;
+            issue(req, [this, holder](Tick) {
+                PendingTask *pt = holder->get();
+                BEACON_ASSERT(pt && pt->outstanding_accesses > 0,
+                              "stray access completion");
+                if (--pt->outstanding_accesses == 0)
+                    operandsReady(std::move(*holder));
+            });
+        }
+        dispatch();
+    });
+}
+
+void
+NdpModule::operandsReady(std::unique_ptr<PendingTask> pending)
+{
+    ready_queue.push_back(std::move(pending));
+    dispatch();
+}
+
+} // namespace beacon

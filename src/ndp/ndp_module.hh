@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The NDP module (Fig. 5 b): PEs, Task Scheduler, and I/O buffer.
+ *
+ * One NDP module sits on each CXLG-DIMM (BEACON-D) or inside each
+ * CXL-Switch's Switch-Logic (BEACON-S). It owns a pool of
+ * fixed-function PEs and a Task Scheduler with incoming (waiting for
+ * operands) and outgoing (ready to run) queues.
+ *
+ * Memory accesses are delegated to the owner through an IssueFn so
+ * the module stays independent of the fabric and address-mapping
+ * layers: the owner implements the Address Translator + MC path and
+ * calls the completion callback when the operand is back.
+ */
+
+#ifndef BEACON_NDP_NDP_MODULE_HH
+#define BEACON_NDP_NDP_MODULE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "ndp/task.hh"
+#include "sim/sim_object.hh"
+
+namespace beacon
+{
+
+/** NDP module configuration. */
+struct NdpModuleParams
+{
+    unsigned num_pes = 128;      //!< 128 per CXLG-DIMM, 256 per switch
+    Tick pe_clock_ps = 1250;     //!< PE clock = DRAM bus clock
+    /** Max tasks resident (incoming + outgoing + running). */
+    unsigned max_inflight_tasks = 512;
+};
+
+/**
+ * The NDP module: schedules tasks over PEs and issues their memory
+ * accesses through the owner-provided path.
+ */
+class NdpModule : public SimObject
+{
+  public:
+    /**
+     * Owner-side memory path: perform @p request for this module and
+     * invoke the callback when the data is available / the write or
+     * atomic has been acknowledged.
+     */
+    using IssueFn =
+        std::function<void(const AccessRequest &request,
+                           std::function<void(Tick)> on_complete)>;
+
+    /** Called whenever a task finishes (for workload refill). */
+    using TaskDoneFn = std::function<void()>;
+
+    NdpModule(const std::string &name, EventQueue &eq,
+              StatRegistry &stats, const NdpModuleParams &params,
+              IssueFn issue_fn);
+
+    /** True if the module can accept another task right now. */
+    bool
+    canAccept() const
+    {
+        return resident_tasks < p.max_inflight_tasks;
+    }
+
+    /** Submit a task; the scheduler will dispatch it to a PE. */
+    void submit(TaskPtr task);
+
+    /** Register a completion observer (single observer). */
+    void setTaskDoneFn(TaskDoneFn fn) { task_done = std::move(fn); }
+
+    std::uint64_t tasksCompleted() const { return tasks_completed; }
+    std::uint64_t accessesIssued() const { return accesses_issued; }
+    unsigned residentTasks() const { return resident_tasks; }
+
+    /** Total PE-busy ticks (for PE energy accounting). */
+    Tick peBusyTicks() const { return pe_busy_ticks; }
+
+    const NdpModuleParams &params() const { return p; }
+
+  private:
+    struct PendingTask
+    {
+        TaskPtr task;
+        unsigned outstanding_accesses = 0;
+    };
+
+    /** Dispatch ready tasks onto idle PEs. */
+    void dispatch();
+
+    /** Run one step of @p pending on a PE (consumes a PE slot). */
+    void runStep(std::unique_ptr<PendingTask> pending);
+
+    /** A step's accesses have all completed: task is ready again. */
+    void operandsReady(std::unique_ptr<PendingTask> pending);
+
+    NdpModuleParams p;
+    IssueFn issue;
+    TaskDoneFn task_done;
+
+    /** Outgoing queue: ready-to-run tasks. */
+    std::deque<std::unique_ptr<PendingTask>> ready_queue;
+    unsigned busy_pes = 0;
+    unsigned resident_tasks = 0;
+
+    std::uint64_t tasks_completed = 0;
+    std::uint64_t accesses_issued = 0;
+    Tick pe_busy_ticks = 0;
+
+    Counter &stat_tasks;
+    Counter &stat_accesses;
+    Counter &stat_steps;
+};
+
+} // namespace beacon
+
+#endif // BEACON_NDP_NDP_MODULE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The task abstraction processed by BEACON's PEs.
+ *
+ * The paper defines a task as "a DNA sequence to be processed with
+ * related information, e.g., algorithm and current processing
+ * status". A task alternates between compute phases on a PE and
+ * memory waits: next() returns the compute cost of the step it just
+ * performed plus the accesses whose operands the task needs before
+ * it can continue. The Task Scheduler re-queues the task when every
+ * operand has arrived.
+ */
+
+#ifndef BEACON_NDP_TASK_HH
+#define BEACON_NDP_TASK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/clock_domain.hh"
+
+namespace beacon
+{
+
+/** Which application engine a task runs on (fixed-function PEs). */
+enum class EngineKind : std::uint8_t
+{
+    FmIndex,
+    HashIndex,
+    KmerCounting,
+    Prealign,
+    // Section V extension engines (PE replacement): BEACON as a
+    // general NDP platform for other memory-bound applications.
+    GraphTraversal,
+    IndexProbe,
+};
+
+/** Compute latency of one step on each engine, in DRAM cycles
+ *  (Section VI-A of the paper: 16 / 10 / 59 / 82). */
+constexpr Cycles
+engineStepCycles(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::FmIndex:
+        return 16;
+      case EngineKind::HashIndex:
+        return 10;
+      case EngineKind::KmerCounting:
+        return 59;
+      case EngineKind::Prealign:
+        return 82;
+      case EngineKind::GraphTraversal:
+        return 12;
+      case EngineKind::IndexProbe:
+        return 14;
+    }
+    return 16;
+}
+
+/** Logical data structures an access may target. */
+enum class DataClass : std::uint8_t
+{
+    FmOcc,          //!< FM-index Occ blocks (fine-grained, random)
+    HashBucket,     //!< hash-index bucket descriptors (fine, random)
+    HashLocations,  //!< location lists (spatial locality)
+    BloomCounter,   //!< global counting-Bloom counters (fine, RMW)
+    BloomLocal,     //!< per-partition Bloom filters (multi-pass KMC)
+    ReadData,       //!< input reads (streamed, spatial)
+    RefWindow,      //!< reference windows (spatial)
+    GraphOffsets,   //!< CSR offset array (fine, random)
+    GraphEdges,     //!< CSR edge lists (spatial)
+    IndexBuckets,   //!< database hash-bucket heads (fine, random)
+    IndexNodes,     //!< database chain nodes (fine, random)
+};
+
+/** One memory access requested by a task step. */
+struct AccessRequest
+{
+    DataClass data_class = DataClass::FmOcc;
+    /** Byte offset within the data structure's logical space. */
+    std::uint64_t offset = 0;
+    std::uint32_t bytes = 0;
+    bool is_write = false;
+    /** Atomic read-modify-write (resolved by the Atomic Engine). */
+    bool is_atomic = false;
+};
+
+/** Result of advancing a task by one step. */
+struct TaskStep
+{
+    bool done = false;
+    /** PE-cycles consumed by the step's arithmetic. */
+    Cycles compute_cycles = 0;
+    /** Operands to fetch/update before next() may be called again. */
+    std::vector<AccessRequest> accesses;
+};
+
+/**
+ * Interface implemented by the per-application task generators in
+ * src/accel.
+ */
+class Task
+{
+  public:
+    virtual ~Task() = default;
+
+    /** Engine this task runs on. */
+    virtual EngineKind engine() const = 0;
+
+    /**
+     * Advance the task. Must not be called again until every access
+     * of the previous step has completed.
+     */
+    virtual TaskStep next() = 0;
+};
+
+using TaskPtr = std::unique_ptr<Task>;
+
+} // namespace beacon
+
+#endif // BEACON_NDP_TASK_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Clock domain: converts between cycles and picosecond ticks.
+ */
+
+#ifndef BEACON_SIM_CLOCK_DOMAIN_HH
+#define BEACON_SIM_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace beacon
+{
+
+/** Cycle count within a clock domain. */
+using Cycles = std::uint64_t;
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * DRAM devices, CXL links, and PEs each run in their own domain; the
+ * event queue itself is clockless (picosecond ticks).
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ps clock period in picoseconds (> 0). */
+    explicit ClockDomain(Tick period_ps)
+        : _period(period_ps)
+    {
+        BEACON_ASSERT(period_ps > 0, "zero clock period");
+    }
+
+    /** Clock period in ticks. */
+    Tick period() const { return _period; }
+
+    /** Frequency in MHz (for reporting). */
+    double frequencyMHz() const { return 1e6 / double(_period); }
+
+    /** Duration of @p n cycles in ticks. */
+    Tick cyclesToTicks(Cycles n) const { return n * _period; }
+
+    /** Number of whole cycles elapsed by @p t. */
+    Cycles ticksToCycles(Tick t) const { return t / _period; }
+
+    /**
+     * First rising edge at or after @p t (ticks are aligned to
+     * multiples of the period, treating tick 0 as an edge).
+     */
+    Tick
+    nextEdgeAtOrAfter(Tick t) const
+    {
+        const Tick rem = t % _period;
+        return rem == 0 ? t : t + (_period - rem);
+    }
+
+  private:
+    Tick _period;
+};
+
+} // namespace beacon
+
+#endif // BEACON_SIM_CLOCK_DOMAIN_HH

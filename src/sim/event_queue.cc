@@ -1,0 +1,89 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    BEACON_ASSERT(when >= _now, "scheduling into the past: when=", when,
+                  " now=", _now);
+    const EventId id = next_seq;
+    queue.push(Entry{when, next_seq, id});
+    ++next_seq;
+    live.insert(id);
+    callbacks.emplace(id, std::move(cb));
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delta, Callback cb)
+{
+    return schedule(_now + delta, std::move(cb));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    live.erase(id);
+    callbacks.erase(id);
+}
+
+bool
+EventQueue::scheduled(EventId id) const
+{
+    return live.count(id) != 0;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue.empty()) {
+        const Entry top = queue.top();
+        queue.pop();
+        auto it = callbacks.find(top.id);
+        if (it == callbacks.end())
+            continue; // cancelled
+        BEACON_ASSERT(top.when >= _now, "time went backwards");
+        _now = top.when;
+        Callback cb = std::move(it->second);
+        callbacks.erase(it);
+        live.erase(top.id);
+        ++executed;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue.empty()) {
+        // Skip over cancelled entries without advancing time.
+        const Entry top = queue.top();
+        if (callbacks.find(top.id) == callbacks.end()) {
+            queue.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        runOne();
+    }
+    return _now;
+}
+
+void
+EventQueue::reset()
+{
+    queue = {};
+    callbacks.clear();
+    live.clear();
+    _now = 0;
+    executed = 0;
+    next_seq = 0;
+}
+
+} // namespace beacon

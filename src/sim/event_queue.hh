@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Global discrete-event simulation kernel.
+ *
+ * The queue orders events by (tick, insertion sequence) so that events
+ * scheduled for the same tick execute in schedule order, which keeps
+ * runs deterministic.
+ */
+
+#ifndef BEACON_SIM_EVENT_QUEUE_HH
+#define BEACON_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace beacon
+{
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Components schedule callbacks at absolute ticks; the driver runs the
+ * queue until it is empty, a tick limit is reached, or an event count
+ * budget is exhausted.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+    /** Number of events currently pending (including cancelled). */
+    std::size_t pending() const { return queue.size(); }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= now()).
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    EventId scheduleIn(Tick delta, Callback cb);
+
+    /** Cancel a pending event; cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** True if the event has not fired and is not cancelled. */
+    bool scheduled(EventId id) const;
+
+    /**
+     * Execute the next event, if any.
+     * @return false when the queue is empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or until the next event would fire
+     * after @p limit.
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = max_tick);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    std::unordered_set<EventId> live;
+    // Callbacks stored separately so Entry stays cheap to copy.
+    std::unordered_map<EventId, Callback> callbacks;
+};
+
+} // namespace beacon
+
+#endif // BEACON_SIM_EVENT_QUEUE_HH

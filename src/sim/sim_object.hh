@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ */
+
+#ifndef BEACON_SIM_SIM_OBJECT_HH
+#define BEACON_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace beacon
+{
+
+/**
+ * A named component bound to an event queue and a stat registry.
+ *
+ * Every modelled hardware block (DIMM, switch, PE, ...) derives from
+ * SimObject so that its statistics land in a shared registry under a
+ * hierarchical name.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &event_queue,
+              StatRegistry &stat_registry)
+        : _name(std::move(name)), eq(event_queue), stats(stat_registry)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    Tick curTick() const { return eq.now(); }
+
+  protected:
+    /** Counter in the shared registry, prefixed with this object. */
+    Counter &
+    stat(const std::string &suffix)
+    {
+        return stats.counter(_name + "." + suffix);
+    }
+
+    std::string _name;
+    EventQueue &eq;
+    StatRegistry &stats;
+};
+
+} // namespace beacon
+
+#endif // BEACON_SIM_SIM_OBJECT_HH

@@ -1,0 +1,155 @@
+#include "stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+double
+VectorCounter::total() const
+{
+    double t = 0;
+    for (double v : values)
+        t += v;
+    return t;
+}
+
+double
+VectorCounter::mean() const
+{
+    return values.empty() ? 0 : total() / double(values.size());
+}
+
+double
+VectorCounter::maxValue() const
+{
+    double m = 0;
+    for (double v : values)
+        m = std::max(m, v);
+    return m;
+}
+
+double
+VectorCounter::minValue() const
+{
+    if (values.empty())
+        return 0;
+    double m = values.front();
+    for (double v : values)
+        m = std::min(m, v);
+    return m;
+}
+
+double
+VectorCounter::cov()  const
+{
+    if (values.empty())
+        return 0;
+    const double mu = mean();
+    if (mu == 0)
+        return 0;
+    double acc = 0;
+    for (double v : values)
+        acc += (v - mu) * (v - mu);
+    return std::sqrt(acc / double(values.size())) / mu;
+}
+
+void
+SampleStat::sample(double v)
+{
+    if (n == 0) {
+        mn = v;
+        mx = v;
+    } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+    }
+    ++n;
+    sum += v;
+    sumsq += v * v;
+}
+
+double
+SampleStat::variance() const
+{
+    if (n == 0)
+        return 0;
+    const double mu = mean();
+    return sumsq / double(n) - mu * mu;
+}
+
+double
+SampleStat::stddev() const
+{
+    return std::sqrt(std::max(0.0, variance()));
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return scalar_stats[name];
+}
+
+VectorCounter &
+StatRegistry::vectorCounter(const std::string &name, std::size_t size)
+{
+    auto [it, inserted] = vector_stats.try_emplace(name, size);
+    if (inserted || it->second.size() != size)
+        it->second.resize(size);
+    return it->second;
+}
+
+SampleStat &
+StatRegistry::sampleStat(const std::string &name)
+{
+    return sample_stats[name];
+}
+
+double
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = scalar_stats.find(name);
+    return it == scalar_stats.end() ? 0 : it->second.value();
+}
+
+double
+StatRegistry::sumMatching(const std::string &substring) const
+{
+    double total = 0;
+    for (const auto &[name, c] : scalar_stats) {
+        if (name.find(substring) != std::string::npos)
+            total += c.value();
+    }
+    return total;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : scalar_stats)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, v] : vector_stats) {
+        os << name << " total=" << v.total() << " mean=" << v.mean()
+           << " cov=" << v.cov() << "\n";
+    }
+    for (const auto &[name, s] : sample_stats) {
+        os << name << " n=" << s.count() << " mean=" << s.mean()
+           << " min=" << s.minValue() << " max=" << s.maxValue()
+           << " sd=" << s.stddev() << "\n";
+    }
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : scalar_stats)
+        c.reset();
+    for (auto &[name, v] : vector_stats)
+        v.reset();
+    for (auto &[name, s] : sample_stats)
+        s.reset();
+}
+
+} // namespace beacon

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for src/common: integer math, RNG, units, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace beacon
+{
+namespace
+{
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0u));
+    EXPECT_TRUE(isPowerOf2(1u));
+    EXPECT_TRUE(isPowerOf2(2u));
+    EXPECT_FALSE(isPowerOf2(3u));
+    EXPECT_TRUE(isPowerOf2(1024u));
+    EXPECT_FALSE(isPowerOf2(1023u));
+}
+
+TEST(IntMath, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1u), 0u);
+    EXPECT_EQ(floorLog2(2u), 1u);
+    EXPECT_EQ(floorLog2(3u), 1u);
+    EXPECT_EQ(floorLog2(1u << 17), 17u);
+    EXPECT_EQ(ceilLog2(1u), 0u);
+    EXPECT_EQ(ceilLog2(3u), 2u);
+    EXPECT_EQ(ceilLog2(4u), 2u);
+    EXPECT_EQ(ceilLog2(5u), 3u);
+}
+
+TEST(IntMath, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(7u, 2u), 4u);
+    EXPECT_EQ(divCeil(8u, 2u), 4u);
+    EXPECT_EQ(divCeil(1u, 64u), 1u);
+    EXPECT_EQ(roundUp(10u, 8u), 16u);
+    EXPECT_EQ(roundUp(16u, 8u), 16u);
+    EXPECT_EQ(roundDown(10u, 8u), 8u);
+}
+
+TEST(IntMath, BitExtractionRoundTrip)
+{
+    const std::uint64_t value = 0xDEADBEEFCAFEBABEull;
+    for (unsigned first = 0; first < 60; first += 7) {
+        const unsigned last = first + 3;
+        const std::uint64_t field = bits(value, last, first);
+        const std::uint64_t rebuilt =
+            insertBits(value, last, first, field);
+        EXPECT_EQ(rebuilt, value);
+    }
+    EXPECT_EQ(bits(0xF0u, 7, 4), 0xFu);
+    EXPECT_EQ(insertBits(0, 7, 4, 0xF), 0xF0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        if (va != c())
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundedDrawStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    double mean = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        mean += d;
+    }
+    mean /= n;
+    EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.02);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(nanoseconds(1), 1000u);
+    EXPECT_EQ(microseconds(1.0), 1000000u);
+    EXPECT_EQ(milliseconds(1.0), 1000000000u);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(nanoseconds(1)), 1e-9);
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(64_MiB, 64ull << 20);
+    EXPECT_EQ(64_GiB, 64ull << 30);
+}
+
+TEST(Units, TransferTime)
+{
+    // 64 bytes at 32 GB/s = 2 ns = 2000 ps.
+    EXPECT_EQ(transferTime(64, 32.0), 2000u);
+    // 1 GB at 1 GB/s = 1 s.
+    EXPECT_EQ(transferTime(1000000000ull, 1.0), Tick(1e12));
+}
+
+TEST(Logging, LevelGate)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // warn/inform at silent level must not crash (output suppressed).
+    BEACON_WARN("suppressed warning");
+    BEACON_INFORM("suppressed info");
+    setLogLevel(before);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    BEACON_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(BEACON_PANIC("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeath, AssertAborts)
+{
+    EXPECT_DEATH(BEACON_ASSERT(false, "ouch"), "ouch");
+}
+
+} // namespace
+} // namespace beacon

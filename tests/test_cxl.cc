@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the CXL fabric substrate: bandwidth server occupancy,
+ * links, the Data Packer, and PoolFabric routing (device vs host
+ * bias, cross-switch paths, idealized mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cxl/bandwidth_server.hh"
+#include "cxl/data_packer.hh"
+#include "cxl/link.hh"
+#include "cxl/pool.hh"
+
+namespace beacon
+{
+namespace
+{
+
+TEST(BandwidthServer, SerialisesBackToBack)
+{
+    BandwidthServer server(32.0); // 32 GB/s
+    const Tick end1 = server.accept(0, 64);
+    EXPECT_EQ(end1, 2000u); // 64 B / 32 GB/s = 2 ns
+    const Tick end2 = server.accept(0, 64);
+    EXPECT_EQ(end2, 4000u); // queues behind the first
+    const Tick end3 = server.accept(10000, 64);
+    EXPECT_EQ(end3, 12000u); // idle gap then service
+    EXPECT_EQ(server.totalBytes(), 192u);
+    EXPECT_EQ(server.totalTransfers(), 3u);
+}
+
+TEST(BandwidthServer, IdealModeIsInstant)
+{
+    BandwidthServer server(-1.0);
+    EXPECT_TRUE(server.ideal());
+    EXPECT_EQ(server.accept(123, 1 << 20), 123u);
+}
+
+TEST(CxlLink, DirectionsAreIndependent)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    LinkParams params{32.0, 25000, false};
+    CxlLink link("link", eq, stats, params);
+
+    Tick down_arrival = 0, up_arrival = 0;
+    link.send(LinkDir::Downstream, 64,
+              [&](Tick t) { down_arrival = t; });
+    link.send(LinkDir::Upstream, 64, [&](Tick t) { up_arrival = t; });
+    eq.run();
+    // Both see serialisation (2 ns) + latency (25 ns), no queueing
+    // across directions.
+    EXPECT_EQ(down_arrival, 27000u);
+    EXPECT_EQ(up_arrival, 27000u);
+    EXPECT_EQ(link.totalBytes(), 128u);
+}
+
+TEST(CxlLink, QueueingWithinDirection)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    CxlLink link("link", eq, stats, LinkParams{32.0, 25000, false});
+    Tick first = 0, second = 0;
+    link.send(LinkDir::Downstream, 6400, [&](Tick t) { first = t; });
+    link.send(LinkDir::Downstream, 64, [&](Tick t) { second = t; });
+    eq.run();
+    EXPECT_GT(second, first - 25000); // second waited for the first
+    EXPECT_EQ(first, 200000u + 25000u);
+}
+
+TEST(DataPacker, DisabledSendsFullFlits)
+{
+    EventQueue eq;
+    PackerParams params;
+    params.enabled = false;
+    std::uint64_t sent_bytes = 0;
+    unsigned flushes = 0;
+    DataPacker packer(eq, params,
+                      [&](std::uint64_t wire,
+                          std::vector<DataPacker::Deliver> batch) {
+                          sent_bytes += wire;
+                          flushes += unsigned(batch.size());
+                          for (auto &d : batch)
+                              d(eq.now());
+                      });
+    int delivered = 0;
+    for (int i = 0; i < 4; ++i)
+        packer.submit(8, true, [&](Tick) { ++delivered; });
+    eq.run();
+    EXPECT_EQ(delivered, 4);
+    EXPECT_EQ(sent_bytes, 4u * 64u); // one flit each
+}
+
+TEST(DataPacker, PacksFineGrainedPayloads)
+{
+    EventQueue eq;
+    PackerParams params; // enabled, 64 B flits, 4 B headers
+    std::uint64_t sent_bytes = 0;
+    DataPacker packer(eq, params,
+                      [&](std::uint64_t wire,
+                          std::vector<DataPacker::Deliver> batch) {
+                          sent_bytes += wire;
+                          for (auto &d : batch)
+                              d(eq.now());
+                      });
+    int delivered = 0;
+    // 5 x (8+4) = 60 B staged; the 6th crosses 64 B and flushes.
+    for (int i = 0; i < 6; ++i)
+        packer.submit(8, true, [&](Tick) { ++delivered; });
+    EXPECT_EQ(delivered, 6);
+    EXPECT_EQ(sent_bytes, 128u); // 72 B rounded up to 2 flits
+    EXPECT_EQ(packer.packedMessages(), 6u);
+}
+
+TEST(DataPacker, TimeoutFlushesPartialFlit)
+{
+    EventQueue eq;
+    PackerParams params;
+    std::uint64_t sent_bytes = 0;
+    DataPacker packer(eq, params,
+                      [&](std::uint64_t wire,
+                          std::vector<DataPacker::Deliver> batch) {
+                          sent_bytes += wire;
+                          for (auto &d : batch)
+                              d(eq.now());
+                      });
+    Tick delivered_at = 0;
+    packer.submit(8, true, [&](Tick t) { delivered_at = t; });
+    EXPECT_EQ(packer.pendingCount(), 1u);
+    eq.run();
+    EXPECT_EQ(delivered_at, params.flush_timeout);
+    EXPECT_EQ(sent_bytes, 64u);
+    EXPECT_EQ(packer.pendingCount(), 0u);
+}
+
+TEST(DataPacker, CoarsePayloadBypassesStaging)
+{
+    EventQueue eq;
+    PackerParams params;
+    std::uint64_t sent_bytes = 0;
+    DataPacker packer(eq, params,
+                      [&](std::uint64_t wire,
+                          std::vector<DataPacker::Deliver> batch) {
+                          sent_bytes += wire;
+                          for (auto &d : batch)
+                              d(eq.now());
+                      });
+    int delivered = 0;
+    packer.submit(256, false, [&](Tick) { ++delivered; });
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(sent_bytes, 320u); // 260 B framed -> 5 flits
+    EXPECT_EQ(packer.unpackedMessages(), 1u);
+}
+
+struct PoolHarness
+{
+    EventQueue eq;
+    StatRegistry stats;
+    std::unique_ptr<PoolFabric> fabric;
+
+    explicit PoolHarness(bool device_bias, bool packing = false,
+                         bool ideal = false)
+    {
+        PoolParams params;
+        params.num_switches = 2;
+        params.dimms_per_switch = 4;
+        params.device_bias = device_bias;
+        params.packer.enabled = packing;
+        params.ideal = ideal;
+        fabric = std::make_unique<PoolFabric>("pool", eq, stats,
+                                              params);
+    }
+
+    Tick
+    roundTrip(NodeId a, NodeId b, std::uint64_t bytes)
+    {
+        Tick arrive = 0;
+        fabric->send(a, b, bytes, false,
+                     [&](Tick t) { arrive = t; });
+        eq.run();
+        return arrive;
+    }
+};
+
+TEST(PoolFabric, DeviceBiasSkipsHostForSameSwitch)
+{
+    PoolHarness biased(true);
+    PoolHarness naive(false);
+    const NodeId a = NodeId::dimmNode(0, 0);
+    const NodeId b = NodeId::dimmNode(0, 1);
+    const Tick t_biased = biased.roundTrip(a, b, 64);
+    const Tick t_naive = naive.roundTrip(a, b, 64);
+    EXPECT_LT(t_biased, t_naive);
+    EXPECT_EQ(biased.fabric->hostLinkBytes(), 0u);
+    EXPECT_GT(naive.fabric->hostLinkBytes(), 0u);
+    EXPECT_EQ(biased.fabric->hostRoundTrips(), 0u);
+    EXPECT_EQ(naive.fabric->hostRoundTrips(), 1u);
+}
+
+TEST(PoolFabric, CrossSwitchUsesHostLinksInBothModes)
+{
+    PoolHarness biased(true);
+    const NodeId a = NodeId::dimmNode(0, 0);
+    const NodeId b = NodeId::dimmNode(1, 2);
+    biased.roundTrip(a, b, 64);
+    EXPECT_GT(biased.fabric->hostLinkBytes(), 0u);
+    // Device bias avoids the full coherence stall even cross-switch.
+    EXPECT_EQ(biased.fabric->hostRoundTrips(), 0u);
+}
+
+TEST(PoolFabric, SwitchLogicPathsTouchOneBusOnly)
+{
+    PoolHarness h(true);
+    const NodeId sw = NodeId::switchNode(0);
+    const NodeId d = NodeId::dimmNode(0, 3);
+    // 60 B payload + 4 B header = exactly one 64 B flit.
+    h.roundTrip(sw, d, 60);
+    EXPECT_EQ(h.fabric->switchBusBytes(), 64u);
+    EXPECT_EQ(h.fabric->dimmLinkBytes(), 64u);
+    EXPECT_EQ(h.fabric->hostLinkBytes(), 0u);
+}
+
+TEST(PoolFabric, SameSwitchDimmToDimmBusOnce)
+{
+    PoolHarness h(true);
+    h.roundTrip(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 60);
+    EXPECT_EQ(h.fabric->switchBusBytes(), 64u);
+    EXPECT_EQ(h.fabric->dimmLinkBytes(), 128u); // up + down
+}
+
+TEST(PoolFabric, HostBiasSameSwitchBusTwice)
+{
+    PoolHarness h(false);
+    h.roundTrip(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 60);
+    EXPECT_EQ(h.fabric->switchBusBytes(), 128u);
+    EXPECT_EQ(h.fabric->hostLinkBytes(), 128u); // up + down
+}
+
+TEST(PoolFabric, HostToDimmNeverCountsCoherenceTrip)
+{
+    PoolHarness h(false);
+    h.roundTrip(NodeId::host(), NodeId::dimmNode(1, 1), 64);
+    EXPECT_EQ(h.fabric->hostRoundTrips(), 0u);
+    EXPECT_GT(h.fabric->hostLinkBytes(), 0u);
+}
+
+TEST(PoolFabric, IdealModeZeroLatency)
+{
+    PoolHarness h(false, false, true);
+    const Tick t = h.roundTrip(NodeId::dimmNode(0, 0),
+                               NodeId::dimmNode(1, 3), 4096);
+    EXPECT_EQ(t, 0u);
+}
+
+TEST(PoolFabric, SelfSendDeliversImmediately)
+{
+    PoolHarness h(true);
+    const Tick t = h.roundTrip(NodeId::dimmNode(0, 2),
+                               NodeId::dimmNode(0, 2), 64);
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(h.fabric->totalWireBytes(), 0u);
+}
+
+TEST(PoolFabric, PackingReducesWireBytes)
+{
+    PoolHarness packed(true, true);
+    PoolHarness plain(true, false);
+    const NodeId a = NodeId::dimmNode(0, 0);
+    const NodeId b = NodeId::dimmNode(0, 1);
+    int remaining = 2 * 16;
+    for (int i = 0; i < 16; ++i) {
+        packed.fabric->send(a, b, 8, true,
+                            [&](Tick) { --remaining; });
+        plain.fabric->send(a, b, 8, true,
+                           [&](Tick) { --remaining; });
+    }
+    packed.eq.run();
+    plain.eq.run();
+    EXPECT_EQ(remaining, 0);
+    EXPECT_LT(packed.fabric->totalWireBytes(),
+              plain.fabric->totalWireBytes());
+}
+
+TEST(PoolFabric, PackerStreamsAreDestinationIsolated)
+{
+    // Payloads to different destinations must not share flits (a
+    // packed flit travels one route); per-destination streams each
+    // round up separately.
+    PoolHarness h(true, true);
+    const NodeId src = NodeId::dimmNode(0, 0);
+    int remaining = 2;
+    // Two 8 B payloads to two different DIMMs: 2 flits, not 1.
+    h.fabric->send(src, NodeId::dimmNode(0, 1), 8, true,
+                   [&](Tick) { --remaining; });
+    h.fabric->send(src, NodeId::dimmNode(0, 2), 8, true,
+                   [&](Tick) { --remaining; });
+    h.eq.run();
+    EXPECT_EQ(remaining, 0);
+    EXPECT_EQ(h.fabric->dimmLinkBytes(), 4u * 64u)
+        << "one flit up + one down per destination stream";
+}
+
+TEST(PoolFabric, PackedBatchDeliversAllPayloadsTogether)
+{
+    PoolHarness h(true, true);
+    const NodeId src = NodeId::dimmNode(0, 0);
+    const NodeId dst = NodeId::dimmNode(0, 1);
+    std::vector<Tick> arrivals;
+    for (int i = 0; i < 5; ++i) {
+        h.fabric->send(src, dst, 8, true,
+                       [&](Tick t) { arrivals.push_back(t); });
+    }
+    h.eq.run();
+    ASSERT_EQ(arrivals.size(), 5u);
+    for (Tick t : arrivals)
+        EXPECT_EQ(t, arrivals.front())
+            << "payloads sharing a flit arrive together";
+}
+
+TEST(NodeIdTest, KeysAndStrings)
+{
+    EXPECT_TRUE(NodeId::host().isHost());
+    EXPECT_EQ(NodeId::dimmNode(1, 2).str(), "dimm1.2");
+    EXPECT_EQ(NodeId::switchNode(3).str(), "switch3");
+    EXPECT_NE(NodeId::dimmNode(0, 1).key(),
+              NodeId::dimmNode(1, 0).key());
+    EXPECT_NE(NodeId::switchNode(0).key(), NodeId::host().key());
+    EXPECT_EQ(NodeId::dimmNode(2, 3), NodeId::dimmNode(2, 3));
+}
+
+} // namespace
+} // namespace beacon

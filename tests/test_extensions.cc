@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the Section V extension path: the CSR graph substrate,
+ * the GraphBfs and DbProbe workloads, and their end-to-end runs on
+ * the BEACON systems (PE replacement).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/experiment.hh"
+#include "accel/extension_workloads.hh"
+#include "graph/csr.hh"
+
+namespace beacon
+{
+namespace
+{
+
+// --- CSR substrate ---
+
+TEST(CsrGraph, HandBuiltGraphBfs)
+{
+    // 0 -> 1 -> 2, 0 -> 2, 3 isolated (no out edges, unreachable).
+    std::vector<std::uint32_t> offsets = {0, 2, 3, 3, 3};
+    std::vector<std::uint32_t> edges = {1, 2, 2};
+    graph::CsrGraph g(std::move(offsets), std::move(edges));
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(3), 0u);
+
+    const auto dist = g.bfs(0);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 1u);
+    EXPECT_EQ(dist[2], 1u);
+    EXPECT_EQ(dist[3], std::uint32_t(-1));
+}
+
+TEST(CsrGraph, GeneratorProducesConnectedRing)
+{
+    graph::GraphParams params;
+    params.num_vertices = 1 << 10;
+    params.avg_degree = 4;
+    const graph::CsrGraph g = graph::makeGraph(params);
+    EXPECT_EQ(g.numVertices(), params.num_vertices);
+    EXPECT_GE(g.numEdges(), std::uint64_t(params.num_vertices));
+    // The ring backbone reaches every vertex from vertex 0.
+    const auto dist = g.bfs(0);
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v)
+        EXPECT_NE(dist[v], std::uint32_t(-1)) << v;
+}
+
+TEST(CsrGraph, HubBiasSkewsDegrees)
+{
+    graph::GraphParams uniform;
+    uniform.num_vertices = 1 << 12;
+    uniform.hub_bias = 0.0;
+    graph::GraphParams hubby = uniform;
+    hubby.hub_bias = 0.9;
+
+    auto max_in_degree = [](const graph::CsrGraph &g) {
+        std::vector<std::uint32_t> in(g.numVertices(), 0);
+        for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+            for (std::uint32_t i = 0; i < g.degree(v); ++i)
+                ++in[g.neighbors(v)[i]];
+        }
+        std::uint32_t mx = 0;
+        for (std::uint32_t d : in)
+            mx = std::max(mx, d);
+        return mx;
+    };
+    EXPECT_GT(max_in_degree(graph::makeGraph(hubby)),
+              4 * max_in_degree(graph::makeGraph(uniform)));
+}
+
+TEST(CsrGraphDeath, MalformedOffsetsPanic)
+{
+    std::vector<std::uint32_t> offsets = {0, 2, 1};
+    std::vector<std::uint32_t> edges = {1};
+    EXPECT_DEATH(
+        graph::CsrGraph(std::move(offsets), std::move(edges)),
+        "non-decreasing");
+}
+
+// --- GraphBfs workload ---
+
+TEST(GraphBfsWorkload, ProtocolAlternatesOffsetsAndEdges)
+{
+    graph::GraphParams params;
+    params.num_vertices = 1 << 10;
+    GraphBfsWorkload workload(params, 8, 64);
+    EXPECT_EQ(workload.engine(), EngineKind::GraphTraversal);
+    ASSERT_EQ(workload.structures().size(), 2u);
+
+    TaskPtr task = workload.makeTask(0, WorkloadContext{});
+    bool saw_offsets = false, saw_edges = false;
+    for (int guard = 0; guard < 10000; ++guard) {
+        const TaskStep step = task->next();
+        for (const AccessRequest &a : step.accesses) {
+            if (a.data_class == DataClass::GraphOffsets) {
+                EXPECT_EQ(a.bytes, 8u);
+                saw_offsets = true;
+            } else {
+                EXPECT_EQ(a.data_class, DataClass::GraphEdges);
+                EXPECT_GE(a.bytes, 4u);
+                saw_edges = true;
+            }
+        }
+        if (step.done)
+            break;
+    }
+    EXPECT_TRUE(saw_offsets);
+    EXPECT_TRUE(saw_edges);
+}
+
+TEST(GraphBfsWorkload, VisitBudgetBoundsWork)
+{
+    graph::GraphParams params;
+    params.num_vertices = 1 << 12;
+    GraphBfsWorkload small(params, 4, 16);
+    GraphBfsWorkload large(params, 4, 256);
+    const auto fp_small =
+        measureFootprint(small, WorkloadContext{});
+    const auto fp_large =
+        measureFootprint(large, WorkloadContext{});
+    EXPECT_LT(fp_small.accesses, fp_large.accesses);
+    // <= 2 steps (offset + edges) per visited vertex, + done steps.
+    EXPECT_LE(fp_small.steps, 4u * (2 * 16 + 2));
+}
+
+TEST(GraphBfsWorkload, RunsOnBeaconSystems)
+{
+    graph::GraphParams params;
+    params.num_vertices = 1 << 11;
+    GraphBfsWorkload workload(params, 32, 64);
+    const RunResult d =
+        runSystem(SystemParams::beaconD(), workload, 0);
+    EXPECT_EQ(d.tasks, 32u);
+    EXPECT_GT(d.dram_reads, 0u);
+    const RunResult s =
+        runSystem(SystemParams::beaconS(), workload, 0);
+    EXPECT_EQ(s.tasks, 32u);
+}
+
+// --- DbProbe workload ---
+
+TEST(DbProbeWorkload, ReferenceSemantics)
+{
+    DbProbeWorkload workload(1 << 12, 10, 16, 8);
+    // A key drawn from the table must be contained; random keys
+    // mostly are not.
+    EXPECT_EQ(workload.engine(), EngineKind::IndexProbe);
+    Rng rng(4);
+    int misses = 0;
+    for (int i = 0; i < 100; ++i)
+        misses += !workload.contains(rng());
+    EXPECT_GT(misses, 90);
+}
+
+TEST(DbProbeWorkload, ChainWalkProtocol)
+{
+    DbProbeWorkload workload(1 << 12, 8, 4, 4);
+    TaskPtr task = workload.makeTask(0, WorkloadContext{});
+    bool saw_bucket = false, saw_node = false;
+    for (int guard = 0; guard < 10000; ++guard) {
+        const TaskStep step = task->next();
+        for (const AccessRequest &a : step.accesses) {
+            if (a.data_class == DataClass::IndexBuckets) {
+                EXPECT_EQ(a.bytes, 8u);
+                saw_bucket = true;
+            } else {
+                EXPECT_EQ(a.data_class, DataClass::IndexNodes);
+                EXPECT_EQ(a.bytes, 16u);
+                saw_node = true;
+            }
+            EXPECT_FALSE(a.is_write);
+        }
+        if (step.done)
+            break;
+    }
+    EXPECT_TRUE(saw_bucket);
+    EXPECT_TRUE(saw_node);
+}
+
+TEST(DbProbeWorkload, RunsOnBeaconAndBaseline)
+{
+    DbProbeWorkload workload(1 << 12, 10, 64, 16);
+    const RunResult vanilla =
+        runSystem(SystemParams::cxlVanillaS(), workload, 0);
+    const RunResult beacon =
+        runSystem(SystemParams::beaconS(), workload, 0);
+    EXPECT_EQ(vanilla.tasks, 64u);
+    EXPECT_LT(beacon.ticks, vanilla.ticks)
+        << "optimizations must carry over to the extension app";
+}
+
+TEST(ExtensionEngines, LatenciesDefined)
+{
+    EXPECT_EQ(engineStepCycles(EngineKind::GraphTraversal), 12u);
+    EXPECT_EQ(engineStepCycles(EngineKind::IndexProbe), 14u);
+}
+
+} // namespace
+} // namespace beacon

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Correctness tests for the genomics kernels: DNA sequences,
+ * synthetic data generators, suffix array / BWT, k-mers, counting
+ * Bloom filter, and hash index. The FM-index and pre-alignment have
+ * their own suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/rng.hh"
+#include "genomics/bloom.hh"
+#include "genomics/dna.hh"
+#include "genomics/hash_index.hh"
+#include "genomics/kmer.hh"
+#include "genomics/suffix_array.hh"
+
+namespace beacon::genomics
+{
+namespace
+{
+
+TEST(Dna, CharRoundTrip)
+{
+    for (char c : std::string("ACGT"))
+        EXPECT_EQ(charFromBase(baseFromChar(c)), c);
+    EXPECT_EQ(baseFromChar('a'), BaseA);
+    EXPECT_EQ(baseFromChar('t'), BaseT);
+}
+
+TEST(Dna, SequenceRoundTrip)
+{
+    const std::string s = "ACGTACGTTTGCAGTACCCGGGAAATTT";
+    DnaSequence seq(s);
+    EXPECT_EQ(seq.size(), s.size());
+    EXPECT_EQ(seq.str(), s);
+}
+
+TEST(Dna, SequenceCrossesWordBoundary)
+{
+    std::string s;
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        s.push_back(charFromBase(Base(rng.next(4))));
+    DnaSequence seq(s);
+    EXPECT_EQ(seq.str(), s);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_EQ(charFromBase(seq.at(i)), s[i]);
+}
+
+TEST(Dna, Substr)
+{
+    DnaSequence seq(std::string("ACGTACGTACGT"));
+    EXPECT_EQ(seq.substr(4, 4).str(), "ACGT");
+    EXPECT_EQ(seq.substr(0, 0).str(), "");
+    EXPECT_EQ(seq.substr(11, 1).str(), "T");
+}
+
+TEST(Dna, ReverseComplement)
+{
+    DnaSequence seq(std::string("AACGT"));
+    EXPECT_EQ(seq.reverseComplement().str(), "ACGTT");
+    // Double reverse complement is identity.
+    EXPECT_TRUE(seq.reverseComplement().reverseComplement() == seq);
+}
+
+TEST(Dna, GenomeGeneratorDeterministicAndSized)
+{
+    GenomeParams params;
+    params.length = 10000;
+    params.seed = 17;
+    const DnaSequence a = makeGenome(params);
+    const DnaSequence b = makeGenome(params);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.size(), params.length);
+    params.seed = 18;
+    EXPECT_FALSE(makeGenome(params) == a);
+}
+
+TEST(Dna, GenomeGcContentRoughlyHonoured)
+{
+    GenomeParams params;
+    params.length = 50000;
+    params.gc_content = 0.3;
+    params.repeat_fraction = 0;
+    const DnaSequence g = makeGenome(params);
+    std::size_t gc = 0;
+    for (std::size_t i = 0; i < g.size(); ++i)
+        gc += (g.at(i) == BaseC || g.at(i) == BaseG);
+    EXPECT_NEAR(double(gc) / double(g.size()), 0.3, 0.02);
+}
+
+TEST(Dna, RepeatsIncreaseKmerMultiplicity)
+{
+    GenomeParams flat;
+    flat.length = 1 << 16;
+    flat.repeat_fraction = 0;
+    GenomeParams repeaty = flat;
+    repeaty.repeat_fraction = 0.5;
+
+    auto max_mult = [](const DnaSequence &g) {
+        std::map<std::uint64_t, unsigned> counts;
+        forEachKmer(g, 16, [&](std::uint64_t k, std::size_t) {
+            ++counts[k];
+        });
+        unsigned m = 0;
+        for (const auto &[k, c] : counts)
+            m = std::max(m, c);
+        return m;
+    };
+    EXPECT_GT(max_mult(makeGenome(repeaty)),
+              max_mult(makeGenome(flat)));
+}
+
+TEST(Dna, ReadsComeFromGenome)
+{
+    GenomeParams gp;
+    gp.length = 20000;
+    const DnaSequence genome = makeGenome(gp);
+    ReadParams rp;
+    rp.read_length = 50;
+    rp.num_reads = 20;
+    rp.error_rate = 0; // exact reads
+    rp.reverse_fraction = 0;
+    const auto reads = makeReads(genome, rp);
+    ASSERT_EQ(reads.size(), 20u);
+    const std::string g = genome.str();
+    for (const DnaSequence &read : reads) {
+        EXPECT_EQ(read.size(), 50u);
+        EXPECT_NE(g.find(read.str()), std::string::npos)
+            << "error-free read must be a genome substring";
+    }
+}
+
+TEST(Dna, PresetsAreDistinct)
+{
+    const auto presets = seedingPresets();
+    ASSERT_EQ(presets.size(), 5u);
+    EXPECT_STREQ(presets[0].name, "Pt");
+    EXPECT_STREQ(presets[4].name, "Nf");
+    for (std::size_t i = 1; i < presets.size(); ++i)
+        EXPECT_NE(presets[i].genome.seed, presets[0].genome.seed);
+    const auto kmc = kmerCountingPreset();
+    EXPECT_GT(kmc.reads.num_reads, 1000u);
+}
+
+// --- Suffix array / BWT ---
+
+std::vector<std::uint32_t>
+naiveSuffixArray(const std::string &s)
+{
+    // Sentinel smaller than every character.
+    std::vector<std::uint32_t> sa(s.size() + 1);
+    for (std::size_t i = 0; i <= s.size(); ++i)
+        sa[i] = std::uint32_t(i);
+    std::sort(sa.begin(), sa.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return s.substr(a) + "\0" < s.substr(b) + "\0";
+              });
+    return sa;
+}
+
+TEST(SuffixArray, MatchesNaiveOnSmallInputs)
+{
+    for (const char *text :
+         {"BANANA", "ACGTACGT", "AAAA", "A", "ACACACAC"}) {
+        // Map arbitrary letters into ACGT space first.
+        std::string s;
+        for (const char *p = text; *p; ++p)
+            s.push_back("ACGT"[(*p) % 4]);
+        const DnaSequence seq(s);
+        const auto sa = buildSuffixArray(seq);
+        const auto naive = naiveSuffixArray(s);
+        EXPECT_EQ(sa, naive) << s;
+    }
+}
+
+TEST(SuffixArray, RandomInputsSortedProperty)
+{
+    Rng rng(31);
+    std::string s;
+    for (int i = 0; i < 500; ++i)
+        s.push_back(charFromBase(Base(rng.next(4))));
+    const DnaSequence seq(s);
+    const auto sa = buildSuffixArray(seq);
+    ASSERT_EQ(sa.size(), s.size() + 1);
+    EXPECT_EQ(sa[0], s.size()); // empty suffix first
+    for (std::size_t i = 1; i < sa.size(); ++i) {
+        EXPECT_LT(s.substr(sa[i - 1]), s.substr(sa[i]))
+            << "suffixes must be in strictly increasing order";
+    }
+}
+
+TEST(SuffixArray, BwtIsPermutationWithSentinel)
+{
+    const std::string s = "ACGTTGCAACGT";
+    const DnaSequence seq(s);
+    const auto sa = buildSuffixArray(seq);
+    const auto bwt = buildBwt(seq, sa);
+    ASSERT_EQ(bwt.size(), s.size() + 1);
+    std::map<int, int> text_counts, bwt_counts;
+    int sentinels = 0;
+    for (std::size_t i = 0; i < s.size(); ++i)
+        ++text_counts[seq.at(i)];
+    for (std::uint8_t sym : bwt) {
+        if (sym == 4)
+            ++sentinels;
+        else
+            ++bwt_counts[sym];
+    }
+    EXPECT_EQ(sentinels, 1);
+    EXPECT_EQ(text_counts, bwt_counts);
+}
+
+// --- k-mers ---
+
+TEST(Kmer, ReverseComplementInvolution)
+{
+    Rng rng(3);
+    for (unsigned k : {1u, 4u, 15u, 21u, 31u, 32u}) {
+        for (int i = 0; i < 50; ++i) {
+            const std::uint64_t mask =
+                k == 32 ? ~0ull : ((1ull << (2 * k)) - 1);
+            const std::uint64_t kmer = rng() & mask;
+            EXPECT_EQ(reverseComplementKmer(
+                          reverseComplementKmer(kmer, k), k),
+                      kmer);
+        }
+    }
+}
+
+TEST(Kmer, CanonicalIsStrandInvariant)
+{
+    Rng rng(4);
+    const unsigned k = 21;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t mask = (1ull << (2 * k)) - 1;
+        const std::uint64_t kmer = rng() & mask;
+        EXPECT_EQ(canonicalKmer(kmer, k),
+                  canonicalKmer(reverseComplementKmer(kmer, k), k));
+    }
+}
+
+TEST(Kmer, ForEachKmerEnumeratesAll)
+{
+    const DnaSequence seq(std::string("ACGTAC"));
+    std::vector<std::pair<std::uint64_t, std::size_t>> seen;
+    forEachKmer(seq, 3, [&](std::uint64_t k, std::size_t pos) {
+        seen.emplace_back(k, pos);
+    });
+    ASSERT_EQ(seen.size(), 4u);
+    // ACG = 0b000110 = 6.
+    EXPECT_EQ(seen[0].first, 0b000110u);
+    EXPECT_EQ(seen[0].second, 0u);
+    EXPECT_EQ(seen[3].second, 3u);
+}
+
+TEST(Kmer, ShortSequenceYieldsNothing)
+{
+    const DnaSequence seq(std::string("AC"));
+    int n = 0;
+    forEachKmer(seq, 3, [&](std::uint64_t, std::size_t) { ++n; });
+    EXPECT_EQ(n, 0);
+}
+
+// --- Counting Bloom filter ---
+
+TEST(Bloom, NeverUndercounts)
+{
+    CountingBloomFilter filter(1 << 12, 3);
+    std::map<std::uint64_t, unsigned> truth;
+    Rng rng(8);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t kmer = rng.next(500);
+        filter.add(kmer);
+        ++truth[kmer];
+    }
+    for (const auto &[kmer, count] : truth) {
+        EXPECT_GE(unsigned(filter.count(kmer)),
+                  std::min(count, 255u))
+            << "counting Bloom filters upper-bound true counts";
+    }
+}
+
+TEST(Bloom, MostAbsentKeysReadZeroWhenSparse)
+{
+    CountingBloomFilter filter(1 << 16, 3);
+    for (std::uint64_t k = 0; k < 200; ++k)
+        filter.add(k);
+    int false_positive = 0;
+    for (std::uint64_t k = 1000000; k < 1002000; ++k)
+        false_positive += filter.count(k) > 0;
+    EXPECT_LT(false_positive, 20); // < 1% at this load factor
+}
+
+TEST(Bloom, SaturatesAt255)
+{
+    CountingBloomFilter filter(16, 1);
+    for (int i = 0; i < 300; ++i)
+        filter.add(7);
+    EXPECT_EQ(filter.count(7), 255);
+}
+
+TEST(Bloom, MergeMatchesSequentialInserts)
+{
+    CountingBloomFilter a(1 << 10, 3), b(1 << 10, 3),
+        combined(1 << 10, 3);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        a.add(k);
+        combined.add(k);
+    }
+    for (std::uint64_t k = 50; k < 150; ++k) {
+        b.add(k);
+        combined.add(k);
+    }
+    a.merge(b);
+    for (std::uint64_t k = 0; k < 150; ++k)
+        EXPECT_EQ(a.count(k), combined.count(k)) << k;
+}
+
+TEST(Bloom, CounterIndexDeterministicAndInRange)
+{
+    CountingBloomFilter filter(12345, 4);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        for (unsigned h = 0; h < 4; ++h) {
+            const std::size_t idx = filter.counterIndex(k, h);
+            EXPECT_LT(idx, filter.size());
+            EXPECT_EQ(idx, filter.counterIndex(k, h));
+        }
+    }
+}
+
+// --- Hash index ---
+
+TEST(HashIndex, FindsAllTruePositions)
+{
+    GenomeParams gp;
+    gp.length = 1 << 14;
+    gp.repeat_fraction = 0.2;
+    const DnaSequence genome = makeGenome(gp);
+    const unsigned k = 15;
+    HashIndex index(genome, k, 14, 1024);
+
+    Rng rng(12);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t pos = rng.next(genome.size() - k);
+        std::uint64_t kmer = 0;
+        for (unsigned i = 0; i < k; ++i)
+            kmer = (kmer << 2) | genome.at(pos + i);
+        const auto hits = index.lookup(kmer);
+        EXPECT_NE(std::find(hits.begin(), hits.end(),
+                            std::uint32_t(pos)),
+                  hits.end())
+            << "position " << pos << " missing from its bucket";
+    }
+}
+
+TEST(HashIndex, HitCapRespected)
+{
+    // A genome of one repeated letter has a single ultra-repetitive
+    // k-mer; its bucket must be capped.
+    DnaSequence genome;
+    for (int i = 0; i < 5000; ++i)
+        genome.push_back(BaseA);
+    HashIndex index(genome, 15, 10, 64);
+    std::uint64_t kmer = 0; // AAAA... = 0
+    EXPECT_EQ(index.hitCount(kmer), 64u);
+}
+
+TEST(HashIndex, LayoutAccountingConsistent)
+{
+    GenomeParams gp;
+    gp.length = 1 << 12;
+    const DnaSequence genome = makeGenome(gp);
+    HashIndex index(genome, 15, 12, 16);
+    EXPECT_EQ(index.numBuckets(), std::size_t{1} << 12);
+    EXPECT_EQ(index.bucketTableBytes(), (std::size_t{1} << 12) * 8);
+    EXPECT_GT(index.locationBytes(), 0u);
+    // Offsets must lie inside the flattened array.
+    std::uint64_t kmer = 0;
+    for (unsigned i = 0; i < 15; ++i)
+        kmer = (kmer << 2) | genome.at(i);
+    EXPECT_LT(index.locationOffsetBytes(kmer),
+              index.locationBytes() + 1);
+}
+
+} // namespace
+} // namespace beacon::genomics

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for FASTA/FASTQ I/O and the SA-IS suffix-array construction
+ * (cross-checked against the independent prefix-doubling oracle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "genomics/io.hh"
+#include "genomics/suffix_array.hh"
+
+namespace beacon::genomics
+{
+namespace
+{
+
+// --- SA-IS ---
+
+TEST(Sais, MatchesDoublingOnFixedStrings)
+{
+    for (const char *text :
+         {"A", "AC", "ACGT", "AAAA", "ACACACAC", "GATTACA",
+          "TTTTTTTTTA", "ACGTACGTACGTACGT"}) {
+        const DnaSequence seq{std::string(text)};
+        EXPECT_EQ(buildSuffixArray(seq),
+                  buildSuffixArrayDoubling(seq))
+            << text;
+    }
+}
+
+TEST(Sais, MatchesDoublingOnRandomStrings)
+{
+    Rng rng(2025);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t len = 1 + rng.next(2000);
+        DnaSequence seq;
+        for (std::size_t i = 0; i < len; ++i)
+            seq.push_back(Base(rng.next(4)));
+        ASSERT_EQ(buildSuffixArray(seq),
+                  buildSuffixArrayDoubling(seq))
+            << "length " << len << " trial " << trial;
+    }
+}
+
+TEST(Sais, MatchesDoublingOnRepeatHeavyGenome)
+{
+    GenomeParams params;
+    params.length = 20000;
+    params.repeat_fraction = 0.6;
+    const DnaSequence genome = makeGenome(params);
+    EXPECT_EQ(buildSuffixArray(genome),
+              buildSuffixArrayDoubling(genome));
+}
+
+TEST(Sais, EmptySequence)
+{
+    const DnaSequence empty;
+    const auto sa = buildSuffixArray(empty);
+    ASSERT_EQ(sa.size(), 1u);
+    EXPECT_EQ(sa[0], 0u);
+}
+
+// --- FASTA ---
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<FastaRecord> records(2);
+    records[0].name = "chr1 test";
+    records[0].sequence = DnaSequence(std::string(200, 'A') + "CGT");
+    records[1].name = "chr2";
+    records[1].sequence = DnaSequence(std::string("GATTACA"));
+
+    std::ostringstream out;
+    writeFasta(out, records, 60);
+    std::istringstream in(out.str());
+    const auto parsed = parseFasta(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].name, "chr1 test");
+    EXPECT_TRUE(parsed[0].sequence == records[0].sequence);
+    EXPECT_TRUE(parsed[1].sequence == records[1].sequence);
+    EXPECT_EQ(parsed[0].substituted_bases, 0u);
+}
+
+TEST(Fasta, MultilineAndBlankLines)
+{
+    std::istringstream in(">r1\nACGT\n\nACGT\n>r2\n\nTTTT\n");
+    const auto records = parseFasta(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].sequence.str(), "ACGTACGT");
+    EXPECT_EQ(records[1].sequence.str(), "TTTT");
+}
+
+TEST(Fasta, AmbiguityCodesSubstitutedAndCounted)
+{
+    std::istringstream in(">r\nACGTNNRYACGT\n");
+    const auto records = parseFasta(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence.size(), 12u);
+    EXPECT_EQ(records[0].substituted_bases, 4u);
+}
+
+TEST(Fasta, LowercaseAccepted)
+{
+    std::istringstream in(">r\nacgt\n");
+    EXPECT_EQ(parseFasta(in)[0].sequence.str(), "ACGT");
+}
+
+TEST(Fasta, RejectsLeadingSequence)
+{
+    std::istringstream in("ACGT\n>r\nACGT\n");
+    EXPECT_THROW(parseFasta(in), std::runtime_error);
+}
+
+TEST(Fasta, RejectsGarbageSymbols)
+{
+    std::istringstream in(">r\nAC-GT\n");
+    EXPECT_THROW(parseFasta(in), std::runtime_error);
+}
+
+TEST(Fasta, RejectsEmptyRecord)
+{
+    std::istringstream in(">r1\n>r2\nACGT\n");
+    EXPECT_THROW(parseFasta(in), std::runtime_error);
+}
+
+// --- FASTQ ---
+
+TEST(Fastq, RoundTrip)
+{
+    std::vector<FastqRecord> records(1);
+    records[0].name = "read/1";
+    records[0].sequence = DnaSequence(std::string("ACGTACGT"));
+    records[0].quality = "IIIIIIII";
+
+    std::ostringstream out;
+    writeFastq(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = parseFastq(in);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].name, "read/1");
+    EXPECT_TRUE(parsed[0].sequence == records[0].sequence);
+    EXPECT_EQ(parsed[0].quality, "IIIIIIII");
+}
+
+TEST(Fastq, MultipleRecords)
+{
+    std::istringstream in("@a\nACGT\n+\nIIII\n@b\nTT\n+anything\nII\n");
+    const auto records = parseFastq(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].sequence.str(), "TT");
+}
+
+TEST(Fastq, SequencesOfHelper)
+{
+    std::istringstream in("@a\nACGT\n+\nIIII\n@b\nTT\n+\nII\n");
+    const auto seqs = sequencesOf(parseFastq(in));
+    ASSERT_EQ(seqs.size(), 2u);
+    EXPECT_EQ(seqs[0].str(), "ACGT");
+}
+
+TEST(Fastq, RejectsQualityLengthMismatch)
+{
+    std::istringstream in("@a\nACGT\n+\nII\n");
+    EXPECT_THROW(parseFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, RejectsMissingSeparator)
+{
+    std::istringstream in("@a\nACGT\nIIII\n@b\n");
+    EXPECT_THROW(parseFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, RejectsTruncatedRecord)
+{
+    std::istringstream in("@a\nACGT\n+\n");
+    EXPECT_THROW(parseFastq(in), std::runtime_error);
+}
+
+TEST(Fastq, CrLfTolerated)
+{
+    std::istringstream in("@a\r\nACGT\r\n+\r\nIIII\r\n");
+    const auto records = parseFastq(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence.str(), "ACGT");
+    EXPECT_EQ(records[0].quality, "IIII");
+}
+
+} // namespace
+} // namespace beacon::genomics

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Memory-management tests: address-mapping bijectivity and locality
+ * properties, pool placement (replication, partition locality,
+ * stripe weighting), and the host allocation framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "memmgmt/framework.hh"
+#include "memmgmt/layout.hh"
+#include "memmgmt/mapper.hh"
+
+namespace beacon
+{
+namespace
+{
+
+using CoordKey =
+    std::tuple<unsigned, unsigned, unsigned, unsigned, unsigned,
+               unsigned>;
+
+CoordKey
+keyOf(const DramCoord &c)
+{
+    return {c.rank, c.bank_group, c.bank, c.row, c.column,
+            c.chip_first};
+}
+
+struct MapperCase
+{
+    unsigned chip_group;
+    std::uint32_t granule;
+    bool row_major;
+};
+
+class MapperTest : public ::testing::TestWithParam<MapperCase>
+{
+};
+
+TEST_P(MapperTest, MappingIsInjective)
+{
+    const MapperCase param = GetParam();
+    DimmGeometry geom;
+    MappingPolicy policy;
+    policy.chip_group = param.chip_group;
+    policy.granule_bytes = param.granule;
+    policy.row_major = param.row_major;
+    DimmAddressMapper mapper(geom, policy);
+
+    std::set<CoordKey> seen;
+    const std::uint64_t n = 20000;
+    for (std::uint64_t idx = 0; idx < n; ++idx) {
+        const DramCoord coord = mapper.mapGranule(idx);
+        EXPECT_LT(coord.rank, geom.ranks);
+        EXPECT_LT(coord.bank_group, geom.bank_groups);
+        EXPECT_LT(coord.bank, geom.banks_per_group);
+        EXPECT_LT(coord.row, geom.rows);
+        EXPECT_LT(coord.column, geom.columns);
+        EXPECT_EQ(coord.chip_count, param.chip_group);
+        EXPECT_EQ(coord.chip_first % param.chip_group, 0u);
+        EXPECT_TRUE(seen.insert(keyOf(coord)).second)
+            << "granule " << idx << " collides";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MapperTest,
+    ::testing::Values(MapperCase{16, 64, false},
+                      MapperCase{1, 32, false},
+                      MapperCase{8, 32, false},
+                      MapperCase{16, 8192, true},
+                      MapperCase{4, 64, true},
+                      MapperCase{2, 8, false}),
+    [](const auto &info) {
+        const MapperCase &c = info.param;
+        return "g" + std::to_string(c.chip_group) + "_b" +
+               std::to_string(c.granule) +
+               (c.row_major ? "_row" : "_bank");
+    });
+
+TEST(Mapper, RowMajorKeepsConsecutiveGranulesInOneRow)
+{
+    DimmGeometry geom;
+    MappingPolicy policy;
+    policy.chip_group = 16;
+    policy.granule_bytes = 64;
+    policy.row_major = true;
+    DimmAddressMapper mapper(geom, policy);
+    const DramCoord first = mapper.mapGranule(0);
+    for (std::uint64_t i = 1; i < mapper.slotsPerRow(); ++i) {
+        const DramCoord c = mapper.mapGranule(i);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.bank, first.bank);
+        EXPECT_EQ(c.rank, first.rank);
+    }
+}
+
+TEST(Mapper, BankInterleavedSpreadsConsecutiveGranules)
+{
+    DimmGeometry geom;
+    MappingPolicy policy;
+    policy.chip_group = 16;
+    policy.granule_bytes = 64;
+    policy.row_major = false;
+    DimmAddressMapper mapper(geom, policy);
+    const DramCoord a = mapper.mapGranule(0);
+    const DramCoord b = mapper.mapGranule(1);
+    EXPECT_NE(a.bank_group, b.bank_group);
+}
+
+TEST(Mapper, BurstsForMatchesChipGroupWidth)
+{
+    DimmGeometry geom;
+    MappingPolicy policy;
+    policy.chip_group = 8; // 32 B per burst
+    policy.granule_bytes = 32;
+    DimmAddressMapper mapper(geom, policy);
+    EXPECT_EQ(mapper.burstsFor(32), 1u);
+    EXPECT_EQ(mapper.burstsFor(33), 2u);
+    policy.chip_group = 1; // 4 B per burst
+    DimmAddressMapper fine(geom, policy);
+    EXPECT_EQ(fine.burstsFor(32), 8u);
+}
+
+TEST(Mapper, BaseRowShiftsRows)
+{
+    DimmGeometry geom;
+    MappingPolicy a;
+    a.chip_group = 16;
+    a.granule_bytes = 64;
+    MappingPolicy b = a;
+    b.base_row = 1000;
+    const DramCoord ca = DimmAddressMapper(geom, a).mapGranule(3);
+    const DramCoord cb = DimmAddressMapper(geom, b).mapGranule(3);
+    EXPECT_EQ((ca.row + 1000) % geom.rows, cb.row);
+}
+
+// --- Pool layout ---
+
+std::vector<PoolDimm>
+makePool(unsigned switches, unsigned per_switch,
+         const std::set<unsigned> &cxlg)
+{
+    std::vector<PoolDimm> pool;
+    for (unsigned s = 0; s < switches; ++s) {
+        for (unsigned d = 0; d < per_switch; ++d) {
+            PoolDimm dimm;
+            dimm.node = NodeId::dimmNode(s, d);
+            const unsigned global = s * per_switch + d;
+            dimm.kind = cxlg.count(global) ? DimmKind::Cxlg
+                                           : DimmKind::Unmodified;
+            if (dimm.kind == DimmKind::Cxlg) {
+                dimm.geom.per_rank_lanes = true;
+                dimm.geom.per_rank_cmd_bus = true;
+            }
+            pool.push_back(dimm);
+        }
+    }
+    return pool;
+}
+
+StructureSpec
+occSpec(std::uint64_t bytes = 1 << 20)
+{
+    StructureSpec spec;
+    spec.cls = DataClass::FmOcc;
+    spec.bytes = bytes;
+    spec.read_only = true;
+    spec.access_granule = 32;
+    return spec;
+}
+
+TEST(Layout, NaivePlacementStripesOverWholePool)
+{
+    PlacementPolicy policy;
+    policy.partitions = 2;
+    policy.partition_switch = {0, 1};
+    MemoryLayout layout(makePool(2, 4, {0, 4}), {occSpec()}, policy);
+
+    std::set<unsigned> dimms;
+    for (std::uint64_t off = 0; off < 64 * 64; off += 64) {
+        for (const auto &acc :
+             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+            dimms.insert(acc.dimm_index);
+        }
+    }
+    EXPECT_EQ(dimms.size(), 8u) << "single copy across every DIMM";
+}
+
+TEST(Layout, ProximityPlacementKeepsPartitionOnItsSwitch)
+{
+    PlacementPolicy policy;
+    policy.placement_opt = true;
+    policy.replicate_read_only = true;
+    policy.partitions = 2;
+    policy.partition_switch = {0, 1};
+    MemoryLayout layout(makePool(2, 4, {0, 4}), {occSpec()}, policy);
+
+    for (unsigned part = 0; part < 2; ++part) {
+        for (std::uint64_t off = 0; off < 4096; off += 32) {
+            for (const auto &acc :
+                 layout.resolve(DataClass::FmOcc, off, 32, part)) {
+                EXPECT_EQ(acc.node.sw, part)
+                    << "partition data must stay on its switch";
+            }
+        }
+    }
+}
+
+TEST(Layout, CxlgStripeWeightConcentratesAccesses)
+{
+    PlacementPolicy policy;
+    policy.placement_opt = true;
+    policy.replicate_read_only = true;
+    policy.partitions = 2;
+    policy.partition_switch = {0, 1};
+    policy.cxlg_stripe_weight = 5;
+    MemoryLayout layout(makePool(2, 4, {0, 4}), {occSpec()}, policy);
+
+    unsigned local = 0, total = 0;
+    for (std::uint64_t off = 0; off < 32 * 8000; off += 32) {
+        for (const auto &acc :
+             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+            ++total;
+            if (acc.dimm_index == 0)
+                ++local;
+        }
+    }
+    // Weight 5 vs 3 unmodified DIMMs: 5/8 of accesses are local.
+    EXPECT_NEAR(double(local) / total, 5.0 / 8.0, 0.02);
+}
+
+TEST(Layout, WeightedStripeRemainsInjectivePerDimm)
+{
+    PlacementPolicy policy;
+    policy.placement_opt = true;
+    policy.replicate_read_only = true;
+    policy.partitions = 1;
+    policy.partition_switch = {0};
+    policy.cxlg_stripe_weight = 5;
+    MemoryLayout layout(makePool(1, 4, {0}), {occSpec()}, policy);
+
+    std::set<std::tuple<unsigned, CoordKey>> seen;
+    for (std::uint64_t off = 0; off < 32 * 20000; off += 32) {
+        for (const auto &acc :
+             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+            EXPECT_TRUE(
+                seen.insert({acc.dimm_index, keyOf(acc.coord)})
+                    .second)
+                << "offset " << off << " collides on DIMM "
+                << acc.dimm_index;
+        }
+    }
+}
+
+TEST(Layout, ChipLevelOnCxlgRankLevelOnUnmodified)
+{
+    PlacementPolicy policy;
+    policy.placement_opt = true;
+    policy.replicate_read_only = true;
+    policy.partitions = 1;
+    policy.partition_switch = {0};
+    policy.coalesce_chips = 8;
+    MemoryLayout layout(makePool(1, 4, {0}), {occSpec()}, policy);
+
+    bool saw_cxlg = false, saw_unmodified = false;
+    for (std::uint64_t off = 0; off < 32 * 2000; off += 32) {
+        for (const auto &acc :
+             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+            if (acc.dimm_index == 0) {
+                EXPECT_EQ(acc.coord.chip_count, 8u);
+                saw_cxlg = true;
+            } else {
+                EXPECT_EQ(acc.coord.chip_count, 16u);
+                saw_unmodified = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_cxlg);
+    EXPECT_TRUE(saw_unmodified);
+}
+
+TEST(Layout, SpatialAccessStaysWithinOneRowPiece)
+{
+    StructureSpec locations;
+    locations.cls = DataClass::HashLocations;
+    locations.bytes = 1 << 20;
+    locations.spatial = true;
+    locations.read_only = true;
+    locations.access_granule = 64;
+
+    PlacementPolicy policy;
+    policy.placement_opt = true;
+    policy.replicate_read_only = true;
+    policy.partitions = 1;
+    policy.partition_switch = {0};
+    MemoryLayout layout(makePool(1, 4, {0}), {locations}, policy);
+
+    // A 256 B spatial access lands in one piece (one row), because
+    // the stripe granule is a whole rank-row.
+    const auto pieces =
+        layout.resolve(DataClass::HashLocations, 8192, 256, 0);
+    EXPECT_EQ(pieces.size(), 1u);
+    EXPECT_EQ(pieces[0].bytes, 256u);
+}
+
+TEST(Layout, NaiveStripeSplitsLargeAccesses)
+{
+    StructureSpec locations;
+    locations.cls = DataClass::HashLocations;
+    locations.bytes = 1 << 20;
+    locations.spatial = true;
+    locations.read_only = true;
+
+    PlacementPolicy policy; // naive: 64 B stripe
+    policy.partitions = 1;
+    policy.partition_switch = {0};
+    MemoryLayout layout(makePool(1, 4, {0}), {locations}, policy);
+
+    const auto pieces =
+        layout.resolve(DataClass::HashLocations, 0, 256, 0);
+    EXPECT_EQ(pieces.size(), 4u);
+}
+
+TEST(Layout, PartitionLocalStructuresUsePrimaryDimms)
+{
+    StructureSpec bloom;
+    bloom.cls = DataClass::BloomLocal;
+    bloom.bytes = 1 << 16;
+    bloom.read_only = false;
+    bloom.partition_local = true;
+    bloom.access_granule = 8;
+
+    PlacementPolicy policy;
+    policy.partitions = 2;
+    policy.partition_switch = {0, 1};
+    policy.partition_primary = {{1}, {6}};
+    MemoryLayout layout(makePool(2, 4, {}), {bloom}, policy);
+
+    for (unsigned part = 0; part < 2; ++part) {
+        for (std::uint64_t off = 0; off < 4096; off += 8) {
+            for (const auto &acc : layout.resolve(
+                     DataClass::BloomLocal, off, 1, part)) {
+                EXPECT_EQ(acc.dimm_index, part == 0 ? 1u : 6u);
+            }
+        }
+    }
+}
+
+TEST(Layout, HomeSwitchConsistentWithResolve)
+{
+    StructureSpec bloom;
+    bloom.cls = DataClass::BloomCounter;
+    bloom.bytes = 1 << 16;
+    bloom.read_only = false;
+    bloom.access_granule = 8;
+
+    PlacementPolicy policy;
+    policy.partitions = 2;
+    policy.partition_switch = {0, 1};
+    MemoryLayout layout(makePool(2, 4, {}), {bloom}, policy);
+
+    for (std::uint64_t off = 0; off < 4096; off += 8) {
+        const auto pieces =
+            layout.resolve(DataClass::BloomCounter, off, 1, 0);
+        ASSERT_EQ(pieces.size(), 1u);
+        EXPECT_EQ(layout.homeSwitch(DataClass::BloomCounter, off),
+                  pieces[0].node.sw);
+    }
+}
+
+TEST(LayoutDeath, UnplannedClassPanics)
+{
+    PlacementPolicy policy;
+    policy.partitions = 1;
+    policy.partition_switch = {0};
+    MemoryLayout layout(makePool(1, 2, {}), {occSpec()}, policy);
+    EXPECT_DEATH(layout.resolve(DataClass::BloomCounter, 0, 1, 0),
+                 "unplanned");
+}
+
+// --- Framework ---
+
+TEST(Framework, AllocateAndDeallocate)
+{
+    MemoryFramework framework(makePool(2, 4, {0, 4}));
+    AllocationRequest request;
+    request.app = "fm-seeding";
+    request.structures = {occSpec()};
+    request.policy.partitions = 2;
+    request.policy.partition_switch = {0, 1};
+
+    const AllocationResponse response = framework.allocate(request);
+    ASSERT_TRUE(response.success) << response.error;
+    ASSERT_NE(response.layout, nullptr);
+    EXPECT_FALSE(response.allocated_dimms.empty());
+    for (unsigned dimm : response.allocated_dimms) {
+        EXPECT_TRUE(framework.isNonCacheable(dimm));
+        EXPECT_GT(framework.residentBytes(dimm), 0u);
+    }
+    EXPECT_TRUE(framework.deallocate("fm-seeding"));
+    for (unsigned dimm : response.allocated_dimms)
+        EXPECT_FALSE(framework.isNonCacheable(dimm));
+    EXPECT_FALSE(framework.deallocate("fm-seeding"));
+}
+
+TEST(Framework, DuplicateAllocationRejected)
+{
+    MemoryFramework framework(makePool(1, 4, {0}));
+    AllocationRequest request;
+    request.app = "app";
+    request.structures = {occSpec()};
+    request.policy.partitions = 1;
+    request.policy.partition_switch = {0};
+    EXPECT_TRUE(framework.allocate(request).success);
+    const AllocationResponse again = framework.allocate(request);
+    EXPECT_FALSE(again.success);
+    EXPECT_NE(again.error.find("already"), std::string::npos);
+}
+
+TEST(Framework, MemoryCleanMigratesPriorTenant)
+{
+    MemoryFramework framework(makePool(1, 4, {0}));
+    AllocationRequest first;
+    first.app = "tenant-a";
+    // Nearly fill the pool.
+    first.structures = {occSpec(200ull << 30)};
+    first.policy.partitions = 1;
+    first.policy.partition_switch = {0};
+    ASSERT_TRUE(framework.allocate(first).success);
+
+    AllocationRequest second;
+    second.app = "tenant-b";
+    second.structures = {occSpec(200ull << 30)};
+    second.policy.partitions = 1;
+    second.policy.partition_switch = {0};
+    const AllocationResponse response = framework.allocate(second);
+    ASSERT_TRUE(response.success) << response.error;
+    EXPECT_GT(response.migrated_bytes, 0u)
+        << "memory clean should migrate tenant-a's data";
+}
+
+TEST(Framework, OversizedAllocationFails)
+{
+    MemoryFramework framework(makePool(1, 2, {}));
+    AllocationRequest request;
+    request.app = "huge";
+    request.structures = {occSpec(1ull << 40)}; // 1 TiB > 128 GiB
+    request.policy.partitions = 1;
+    request.policy.partition_switch = {0};
+    const AllocationResponse response = framework.allocate(request);
+    EXPECT_FALSE(response.success);
+    EXPECT_NE(response.error.find("capacity"), std::string::npos);
+}
+
+TEST(Framework, MissingAppNameRejected)
+{
+    MemoryFramework framework(makePool(1, 2, {}));
+    AllocationRequest request;
+    request.structures = {occSpec()};
+    request.policy.partitions = 1;
+    request.policy.partition_switch = {0};
+    EXPECT_FALSE(framework.allocate(request).success);
+}
+
+} // namespace
+} // namespace beacon

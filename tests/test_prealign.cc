@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Pre-alignment filter tests: the Shouji-style filter must never
+ * reject a candidate whose true edit distance is within the
+ * threshold (on substitution-dominated data) and must reject most
+ * unrelated pairs; the banded edit distance is verified against full
+ * dynamic programming.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "genomics/prealign.hh"
+
+namespace beacon::genomics
+{
+namespace
+{
+
+DnaSequence
+randomSeq(Rng &rng, std::size_t len)
+{
+    DnaSequence out;
+    for (std::size_t i = 0; i < len; ++i)
+        out.push_back(Base(rng.next(4)));
+    return out;
+}
+
+DnaSequence
+mutate(const DnaSequence &seq, Rng &rng, unsigned substitutions)
+{
+    std::string s = seq.str();
+    for (unsigned i = 0; i < substitutions; ++i) {
+        const std::size_t pos = rng.next(s.size());
+        const Base old = baseFromChar(s[pos]);
+        s[pos] = charFromBase(Base((old + 1 + rng.next(3)) & 3));
+    }
+    return DnaSequence(s);
+}
+
+unsigned
+fullEditDistance(const DnaSequence &a, const DnaSequence &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<unsigned> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = unsigned(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = unsigned(i);
+        for (std::size_t j = 1; j <= m; ++j) {
+            const unsigned sub =
+                prev[j - 1] + (a.at(i - 1) == b.at(j - 1) ? 0 : 1);
+            cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+        }
+        prev.swap(cur);
+    }
+    return prev[m];
+}
+
+TEST(BandedEditDistance, MatchesFullDpWithinBand)
+{
+    Rng rng(71);
+    for (int trial = 0; trial < 100; ++trial) {
+        const DnaSequence a = randomSeq(rng, 40);
+        const DnaSequence b = mutate(a, rng, unsigned(rng.next(5)));
+        const unsigned band = 6;
+        const unsigned full = fullEditDistance(a, b);
+        const unsigned banded = bandedEditDistance(a, b, band);
+        if (full <= band)
+            EXPECT_EQ(banded, full);
+        else
+            EXPECT_EQ(banded, band + 1);
+    }
+}
+
+TEST(BandedEditDistance, IdenticalIsZero)
+{
+    Rng rng(5);
+    const DnaSequence a = randomSeq(rng, 64);
+    EXPECT_EQ(bandedEditDistance(a, a, 3), 0u);
+}
+
+TEST(BandedEditDistance, FarPairsSaturate)
+{
+    Rng rng(6);
+    const DnaSequence a = randomSeq(rng, 64);
+    const DnaSequence b = randomSeq(rng, 64);
+    EXPECT_EQ(bandedEditDistance(a, b, 4), 5u);
+}
+
+class ShoujiTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ShoujiTest, NeverRejectsWithinThresholdSubstitutions)
+{
+    const unsigned threshold = GetParam();
+    Rng rng(100 + threshold);
+    for (int trial = 0; trial < 200; ++trial) {
+        const DnaSequence read = randomSeq(rng, 100);
+        const unsigned edits = unsigned(rng.next(threshold + 1));
+        const DnaSequence window = mutate(read, rng, edits);
+        const PrealignResult result =
+            shoujiFilter(read, window, threshold);
+        EXPECT_TRUE(result.accepted)
+            << edits << " substitutions vs threshold " << threshold;
+        EXPECT_LE(result.estimated_edits, threshold);
+    }
+}
+
+TEST_P(ShoujiTest, RejectsMostRandomPairs)
+{
+    const unsigned threshold = GetParam();
+    Rng rng(200 + threshold);
+    int rejected = 0;
+    const int trials = 200;
+    for (int trial = 0; trial < trials; ++trial) {
+        const DnaSequence read = randomSeq(rng, 100);
+        const DnaSequence window = randomSeq(rng, 100);
+        if (!shoujiFilter(read, window, threshold).accepted)
+            ++rejected;
+    }
+    EXPECT_GT(rejected, trials * 8 / 10)
+        << "filter should reject most unrelated candidates";
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ShoujiTest,
+                         ::testing::Values(2u, 5u, 8u),
+                         [](const auto &info) {
+                             return "e" + std::to_string(info.param);
+                         });
+
+TEST(Shouji, EstimateLowerBoundsTrueDistance)
+{
+    // The zero-count construction is a lower bound on edits for
+    // substitution-only pairs: estimated <= true edit count.
+    Rng rng(17);
+    for (int trial = 0; trial < 100; ++trial) {
+        const DnaSequence read = randomSeq(rng, 80);
+        const unsigned edits = unsigned(rng.next(10));
+        const DnaSequence window = mutate(read, rng, edits);
+        const PrealignResult r = shoujiFilter(read, window, 10);
+        EXPECT_LE(r.estimated_edits, edits + 1)
+            << "estimate should not wildly overshoot substitutions";
+    }
+}
+
+TEST(Shouji, IdenticalPairEstimatesZero)
+{
+    Rng rng(18);
+    const DnaSequence read = randomSeq(rng, 100);
+    const PrealignResult r = shoujiFilter(read, read, 3);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(r.estimated_edits, 0u);
+}
+
+TEST(ShoujiDeath, MismatchedLengthsPanic)
+{
+    Rng rng(19);
+    const DnaSequence a = randomSeq(rng, 10);
+    const DnaSequence b = randomSeq(rng, 11);
+    EXPECT_DEATH(shoujiFilter(a, b, 2), "length mismatch");
+}
+
+} // namespace
+} // namespace beacon::genomics

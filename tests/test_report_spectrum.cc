@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the run-report writers (JSON / CSV) and the k-mer
+ * spectrum analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/report.hh"
+#include "genomics/spectrum.hh"
+
+namespace beacon
+{
+namespace
+{
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.system = "BEACON-D";
+    r.workload = "fm-seeding/Pt";
+    r.ticks = 1000;
+    r.seconds = 1e-9;
+    r.tasks = 42;
+    r.tasks_per_second = 4.2e10;
+    r.energy.dram_pj = 10;
+    r.energy.comm_pj = 20;
+    r.energy.pe_pj = 30;
+    r.wire_bytes = 12345;
+    r.host_round_trips = 7;
+    r.dram_reads = 99;
+    r.dram_writes = 11;
+    r.chip_accesses = {1.0, 2.0};
+    r.chip_access_cov = 0.5;
+    return r;
+}
+
+TEST(Report, JsonContainsEveryField)
+{
+    std::ostringstream out;
+    writeRunResultJson(out, sampleResult());
+    const std::string json = out.str();
+    for (const char *needle :
+         {"\"system\": \"BEACON-D\"",
+          "\"workload\": \"fm-seeding/Pt\"", "\"ticks\": 1000",
+          "\"tasks\": 42", "\"total\": 60", "\"wire_bytes\": 12345",
+          "\"host_round_trips\": 7", "\"dram_reads\": 99",
+          "\"chip_accesses\": [1, 2]"}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+    // Balanced braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Report, JsonArrayOfResults)
+{
+    std::ostringstream out;
+    writeRunResultsJson(out, {sampleResult(), sampleResult()});
+    const std::string json = out.str();
+    EXPECT_EQ(json.front(), '[');
+    // Two results x (result object + nested energy object).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 4);
+    EXPECT_NE(json.find("},"), std::string::npos);
+}
+
+TEST(Report, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    std::ostringstream out;
+    writeRunResultCsv(out, sampleResult());
+    const std::string row = out.str();
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(row), commas(runResultCsvHeader()));
+    EXPECT_NE(row.find("BEACON-D,fm-seeding/Pt,"),
+              std::string::npos);
+}
+
+// --- k-mer spectrum ---
+
+TEST(Spectrum, UniformCoverageProducesPeak)
+{
+    // 10 identical copies of one read: every k-mer has
+    // multiplicity 10.
+    genomics::DnaSequence read(
+        std::string("ACGTTGCAAGGCTTACCGGATGCA"));
+    std::vector<genomics::DnaSequence> reads(10, read);
+    const auto spectrum =
+        genomics::computeKmerSpectrum(reads, 11, 64);
+    EXPECT_EQ(spectrum.coveragePeak(), 10u);
+    EXPECT_EQ(spectrum.bins[10], spectrum.distinct_kmers);
+    EXPECT_DOUBLE_EQ(spectrum.singletonFraction(), 0.0);
+    EXPECT_EQ(spectrum.total_kmers,
+              10u * (read.size() - 11 + 1));
+}
+
+TEST(Spectrum, GenomeSizeEstimateInRightBallpark)
+{
+    genomics::GenomeParams gp;
+    gp.length = 1 << 15;
+    gp.repeat_fraction = 0.0;
+    const auto genome = genomics::makeGenome(gp);
+    genomics::ReadParams rp;
+    rp.read_length = 100;
+    rp.num_reads = gp.length * 20 / rp.read_length; // 20x coverage
+    rp.error_rate = 0.0;
+    const auto reads = genomics::makeReads(genome, rp);
+    const auto spectrum =
+        genomics::computeKmerSpectrum(reads, 21, 64);
+    const double estimate =
+        double(spectrum.estimatedGenomeSize());
+    EXPECT_GT(estimate, 0.5 * double(gp.length));
+    EXPECT_LT(estimate, 1.5 * double(gp.length));
+}
+
+TEST(Spectrum, ErrorsInflateSingletons)
+{
+    genomics::GenomeParams gp;
+    gp.length = 1 << 14;
+    gp.repeat_fraction = 0.0;
+    const auto genome = genomics::makeGenome(gp);
+    genomics::ReadParams clean;
+    clean.read_length = 100;
+    clean.num_reads = 2000;
+    clean.error_rate = 0.0;
+    genomics::ReadParams noisy = clean;
+    noisy.error_rate = 0.02;
+    const auto s_clean = genomics::computeKmerSpectrum(
+        genomics::makeReads(genome, clean), 21, 64);
+    const auto s_noisy = genomics::computeKmerSpectrum(
+        genomics::makeReads(genome, noisy), 21, 64);
+    EXPECT_GT(s_noisy.singletonFraction(),
+              2 * s_clean.singletonFraction());
+}
+
+TEST(Spectrum, MultiplicitySaturatesAtCap)
+{
+    genomics::DnaSequence read(std::string("ACGTACGTACGTACGT"));
+    std::vector<genomics::DnaSequence> reads(300, read);
+    const auto spectrum =
+        genomics::computeKmerSpectrum(reads, 11, 16);
+    ASSERT_EQ(spectrum.bins.size(), 17u);
+    EXPECT_EQ(spectrum.bins[16], spectrum.distinct_kmers);
+}
+
+} // namespace
+} // namespace beacon

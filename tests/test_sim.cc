@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, clock domains,
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace beacon
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+    EXPECT_EQ(eq.eventsExecuted(), 3u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(50, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.scheduled(id));
+    eq.cancel(id);
+    EXPECT_FALSE(eq.scheduled(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recur = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(10, recur);
+    };
+    eq.schedule(0, recur);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueueDeath, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    bool fired = false;
+    eq.schedule(5, [&] { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain clk(1250); // DDR4-1600 bus clock
+    EXPECT_EQ(clk.period(), 1250u);
+    EXPECT_EQ(clk.cyclesToTicks(22), 27500u);
+    EXPECT_EQ(clk.ticksToCycles(27500), 22u);
+    EXPECT_NEAR(clk.frequencyMHz(), 800.0, 1e-9);
+}
+
+TEST(ClockDomain, NextEdge)
+{
+    ClockDomain clk(1000);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(0), 0u);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(1), 1000u);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(1000), 1000u);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(1001), 2000u);
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("a.b");
+    c += 2.5;
+    ++c;
+    EXPECT_DOUBLE_EQ(reg.counterValue("a.b"), 3.5);
+    EXPECT_DOUBLE_EQ(reg.counterValue("missing"), 0.0);
+}
+
+TEST(Stats, SameNameSameCounter)
+{
+    StatRegistry reg;
+    reg.counter("x") += 1;
+    reg.counter("x") += 1;
+    EXPECT_DOUBLE_EQ(reg.counterValue("x"), 2.0);
+}
+
+TEST(Stats, SumMatching)
+{
+    StatRegistry reg;
+    reg.counter("dimm0.reads") += 5;
+    reg.counter("dimm1.reads") += 7;
+    reg.counter("dimm0.writes") += 100;
+    EXPECT_DOUBLE_EQ(reg.sumMatching(".reads"), 12.0);
+}
+
+TEST(Stats, VectorCounterStatistics)
+{
+    StatRegistry reg;
+    VectorCounter &v = reg.vectorCounter("chips", 4);
+    v[0] = 10;
+    v[1] = 10;
+    v[2] = 10;
+    v[3] = 10;
+    EXPECT_DOUBLE_EQ(v.total(), 40.0);
+    EXPECT_DOUBLE_EQ(v.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(v.cov(), 0.0);
+    v[3] = 40;
+    EXPECT_GT(v.cov(), 0.5);
+    EXPECT_DOUBLE_EQ(v.maxValue(), 40.0);
+    EXPECT_DOUBLE_EQ(v.minValue(), 10.0);
+}
+
+TEST(Stats, SampleStatMoments)
+{
+    SampleStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 4.0);
+    EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    StatRegistry reg;
+    reg.counter("c") += 5;
+    reg.vectorCounter("v", 2)[0] = 3;
+    reg.sampleStat("s").sample(9);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(reg.counterValue("c"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.vectorCounters().at("v").total(), 0.0);
+}
+
+TEST(SimObject, NamesAndStats)
+{
+    EventQueue eq;
+    StatRegistry reg;
+
+    struct Widget : SimObject
+    {
+        Widget(EventQueue &eq, StatRegistry &reg)
+            : SimObject("widget", eq, reg)
+        {}
+        void bump() { ++stat("bumps"); }
+    } widget(eq, reg);
+
+    widget.bump();
+    widget.bump();
+    EXPECT_EQ(widget.name(), "widget");
+    EXPECT_DOUBLE_EQ(reg.counterValue("widget.bumps"), 2.0);
+}
+
+} // namespace
+} // namespace beacon

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Invariant grid: run a small workload across the cross product of
+ * optimization flags and check the properties that must hold in
+ * every configuration — conservation (every task completes exactly
+ * once; every atomic's write reaches DRAM), monotonicity (idealized
+ * communication never slower; more in-flight tasks never increase
+ * total DRAM work), and accounting consistency (energy components
+ * non-negative; wire bytes zero only for fully local traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "accel/experiment.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+
+namespace beacon
+{
+namespace
+{
+
+const FmSeedingWorkload &
+gridWorkload()
+{
+    static const FmSeedingWorkload workload = [] {
+        genomics::DatasetPreset preset =
+            genomics::seedingPresets()[2];
+        preset.genome.length = 1 << 14;
+        preset.reads.num_reads = 32;
+        return FmSeedingWorkload(preset);
+    }();
+    return workload;
+}
+
+using GridParam = std::tuple<bool /*ndp_in_switch*/,
+                             bool /*packing*/, bool /*bias*/,
+                             bool /*placement*/, bool /*coalesce*/>;
+
+class SystemGridTest : public ::testing::TestWithParam<GridParam>
+{
+  protected:
+    SystemParams
+    params() const
+    {
+        const auto [in_switch, packing, bias, placement, coalesce] =
+            GetParam();
+        SystemParams p = in_switch ? SystemParams::cxlVanillaS()
+                                   : SystemParams::cxlVanillaD();
+        p.opts.data_packing = packing;
+        p.opts.mem_access_opt = bias;
+        p.opts.placement_mapping = placement;
+        p.opts.coalesce_chips = coalesce ? 8 : 1;
+        return p;
+    }
+};
+
+TEST_P(SystemGridTest, ConservationAndAccounting)
+{
+    NdpSystem system(params(), gridWorkload());
+    const RunResult r = system.run(0);
+
+    // Every task completes exactly once.
+    EXPECT_EQ(r.tasks, gridWorkload().numTasks());
+    EXPECT_EQ(system.stats().sumMatching("tasksCompleted"),
+              double(r.tasks));
+
+    // Energy components are all non-negative and total consistently.
+    EXPECT_GE(r.energy.dram_pj, 0.0);
+    EXPECT_GE(r.energy.comm_pj, 0.0);
+    EXPECT_GT(r.energy.pe_pj, 0.0);
+    EXPECT_NEAR(r.energy.totalPj(),
+                r.energy.dram_pj + r.energy.comm_pj + r.energy.pe_pj,
+                1e-9);
+
+    // DRAM activity exists and reads dominate (read-only workload).
+    EXPECT_GT(r.dram_reads, 0u);
+    EXPECT_EQ(r.dram_writes, 0u);
+
+    // Host round trips only exist in host-bias mode.
+    const auto [in_switch, packing, bias, placement, coalesce] =
+        GetParam();
+    if (bias)
+        EXPECT_EQ(r.host_round_trips, 0u);
+    else
+        EXPECT_GT(r.host_round_trips, 0u);
+
+    // Task-input streaming always crosses the fabric.
+    EXPECT_GT(r.wire_bytes, 0u);
+}
+
+TEST_P(SystemGridTest, IdealizedNeverSlower)
+{
+    const RunResult real =
+        runSystem(params(), gridWorkload(), 0);
+    const RunResult ideal =
+        runSystem(params().idealized(), gridWorkload(), 0);
+    EXPECT_LE(ideal.ticks, real.ticks);
+    // Same logical work either way.
+    EXPECT_EQ(ideal.dram_reads, real.dram_reads);
+}
+
+TEST_P(SystemGridTest, RepeatRunsIdentical)
+{
+    const RunResult a = runSystem(params(), gridWorkload(), 0);
+    const RunResult b = runSystem(params(), gridWorkload(), 0);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+    EXPECT_EQ(a.dram_reads, b.dram_reads);
+    EXPECT_DOUBLE_EQ(a.energy.totalPj(), b.energy.totalPj());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flags, SystemGridTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        // std::get instead of structured bindings: the commas in a
+        // structured binding confuse macro argument splitting.
+        std::string name = std::get<0>(info.param) ? "S" : "D";
+        name += std::get<1>(info.param) ? "_pack" : "_nopack";
+        name += std::get<2>(info.param) ? "_dev" : "_host";
+        name += std::get<3>(info.param) ? "_place" : "_naive";
+        name += std::get<4>(info.param) ? "_co8" : "_co1";
+        return name;
+    });
+
+} // namespace
+} // namespace beacon

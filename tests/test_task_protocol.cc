@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cross-workload protocol conformance: every workload's tasks must
+ * (1) only touch data classes they declared, (2) stay within the
+ * declared structure sizes, (3) finish without trailing operand
+ * requests, and (4) be deterministic for a given (index, context).
+ * Catching an out-of-bounds offset here is what keeps the address
+ * mapping honest for every application at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "accel/extension_workloads.hh"
+#include "accel/workload.hh"
+
+namespace beacon
+{
+namespace
+{
+
+std::vector<std::unique_ptr<Workload>>
+allWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    genomics::DatasetPreset preset = genomics::seedingPresets()[1];
+    preset.genome.length = 1 << 14;
+    preset.reads.num_reads = 24;
+    out.push_back(std::make_unique<FmSeedingWorkload>(preset));
+    out.push_back(std::make_unique<HashSeedingWorkload>(preset));
+    genomics::DatasetPreset kp = genomics::kmerCountingPreset();
+    kp.genome.length = 1 << 14;
+    out.push_back(std::make_unique<KmerCountingWorkload>(
+        kp, 21, 3, 1 << 12, 16));
+    out.push_back(std::make_unique<PrealignWorkload>(preset));
+    graph::GraphParams gp;
+    gp.num_vertices = 1 << 10;
+    out.push_back(
+        std::make_unique<GraphBfsWorkload>(gp, 12, 64));
+    out.push_back(
+        std::make_unique<DbProbeWorkload>(1 << 10, 8, 12, 8));
+    return out;
+}
+
+std::vector<WorkloadContext>
+contextsFor(const Workload &workload)
+{
+    if (!workload.multiPassCapable())
+        return {WorkloadContext{true, 0}};
+    return {WorkloadContext{true, 0}, WorkloadContext{false, 0},
+            WorkloadContext{false, 1}};
+}
+
+TEST(TaskProtocol, AccessesStayWithinDeclaredStructures)
+{
+    for (const auto &workload : allWorkloads()) {
+        std::map<DataClass, std::uint64_t> declared;
+        for (const StructureSpec &spec : workload->structures())
+            declared[spec.cls] = spec.bytes;
+        for (const WorkloadContext &ctx : contextsFor(*workload)) {
+            for (std::size_t i = 0; i < workload->numTasks(); ++i) {
+                TaskPtr task = workload->makeTask(i, ctx);
+                for (int guard = 0; guard < 200000; ++guard) {
+                    const TaskStep step = task->next();
+                    for (const AccessRequest &a : step.accesses) {
+                        auto it = declared.find(a.data_class);
+                        ASSERT_NE(it, declared.end())
+                            << workload->name()
+                            << ": undeclared data class "
+                            << unsigned(a.data_class);
+                        EXPECT_LE(a.offset + a.bytes, it->second)
+                            << workload->name() << " task " << i
+                            << " overruns class "
+                            << unsigned(a.data_class);
+                    }
+                    if (step.done) {
+                        EXPECT_TRUE(step.accesses.empty())
+                            << workload->name();
+                        break;
+                    }
+                    ASSERT_LT(guard, 199999)
+                        << workload->name() << " task " << i
+                        << " never finished";
+                }
+            }
+        }
+    }
+}
+
+TEST(TaskProtocol, WorkStepsChargeCompute)
+{
+    for (const auto &workload : allWorkloads()) {
+        TaskPtr task =
+            workload->makeTask(0, contextsFor(*workload).front());
+        bool charged = false;
+        for (int guard = 0; guard < 200000; ++guard) {
+            const TaskStep step = task->next();
+            charged |= step.compute_cycles > 0;
+            if (step.done)
+                break;
+        }
+        EXPECT_TRUE(charged) << workload->name()
+                             << " never charged PE cycles";
+    }
+}
+
+TEST(TaskProtocol, TasksAreDeterministic)
+{
+    for (const auto &workload : allWorkloads()) {
+        const WorkloadContext ctx = contextsFor(*workload).front();
+        auto trace = [&](TaskPtr task) {
+            std::vector<std::uint64_t> out;
+            for (int guard = 0; guard < 200000; ++guard) {
+                const TaskStep step = task->next();
+                out.push_back(step.compute_cycles);
+                for (const AccessRequest &a : step.accesses)
+                    out.push_back(a.offset ^
+                                  (std::uint64_t(a.bytes) << 48));
+                if (step.done)
+                    break;
+            }
+            return out;
+        };
+        EXPECT_EQ(trace(workload->makeTask(3, ctx)),
+                  trace(workload->makeTask(3, ctx)))
+            << workload->name();
+    }
+}
+
+TEST(TaskProtocol, FootprintConsistentWithStructures)
+{
+    // Total bytes accessed can exceed structure sizes (re-reads),
+    // but every workload must actually exercise its structures.
+    for (const auto &workload : allWorkloads()) {
+        const WorkloadFootprint fp = measureFootprint(
+            *workload, contextsFor(*workload).front());
+        EXPECT_GT(fp.accesses, 0u) << workload->name();
+        EXPECT_GT(fp.compute_cycles, 0u) << workload->name();
+        EXPECT_EQ(fp.tasks, workload->numTasks());
+    }
+}
+
+} // namespace
+} // namespace beacon

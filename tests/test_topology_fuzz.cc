@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Topology fuzzing: the presets cover the paper's configuration;
+ * this suite sweeps irregular pool shapes (1..3 switches, 1..4
+ * DIMMs each, varying CXLG placement and PE counts) and checks that
+ * every machine still completes its workload, conserves tasks, and
+ * stays deterministic. Guards the system-composition code against
+ * assumptions that only hold for the 2x4 preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/experiment.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+#include "common/rng.hh"
+
+namespace beacon
+{
+namespace
+{
+
+const FmSeedingWorkload &
+fuzzWorkload()
+{
+    static const FmSeedingWorkload workload = [] {
+        genomics::DatasetPreset preset =
+            genomics::seedingPresets()[3];
+        preset.genome.length = 1 << 13;
+        preset.reads.num_reads = 16;
+        return FmSeedingWorkload(preset);
+    }();
+    return workload;
+}
+
+SystemParams
+randomPool(Rng &rng)
+{
+    SystemParams p = SystemParams::cxlVanillaD();
+    p.num_groups = 1 + unsigned(rng.next(3));
+    p.dimms_per_group = 1 + unsigned(rng.next(4));
+    p.pool.num_switches = p.num_groups;
+    p.pool.dimms_per_switch = p.dimms_per_group;
+
+    const bool in_switch = rng.chance(0.4);
+    p.ndp_in_switch = in_switch;
+    p.cxlg_dimms.clear();
+    if (!in_switch) {
+        // One CXLG-DIMM per switch, at a random slot.
+        for (unsigned s = 0; s < p.num_groups; ++s) {
+            p.cxlg_dimms.push_back(
+                s * p.dimms_per_group +
+                unsigned(rng.next(p.dimms_per_group)));
+        }
+    }
+    p.pes_per_module = 8u << rng.next(4); // 8..64
+    p.max_inflight_tasks = 32u << rng.next(3);
+
+    p.opts.data_packing = rng.chance(0.5);
+    p.opts.mem_access_opt = rng.chance(0.5);
+    p.opts.placement_mapping = rng.chance(0.5);
+    p.opts.coalesce_chips = 1u << rng.next(4); // 1..8 (or 16)
+    p.opts.kmc_single_pass = true;
+    p.name = "fuzz";
+    return p;
+}
+
+SystemParams
+randomDdr(Rng &rng)
+{
+    SystemParams p = SystemParams::medal();
+    p.num_groups = 1 + unsigned(rng.next(4));
+    p.dimms_per_group = 1 + unsigned(rng.next(3));
+    p.ddr.num_channels = p.num_groups;
+    p.ddr.dimms_per_channel = p.dimms_per_group;
+    p.cxlg_dimms.clear();
+    for (unsigned d = 0; d < p.num_groups * p.dimms_per_group; ++d)
+        p.cxlg_dimms.push_back(d);
+    p.pes_per_module = 8u << rng.next(3);
+    p.name = "fuzz-ddr";
+    return p;
+}
+
+class TopologyFuzzTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TopologyFuzzTest, PoolShapeCompletesAndConserves)
+{
+    Rng rng(1000 + GetParam());
+    const SystemParams params = randomPool(rng);
+    NdpSystem system(params, fuzzWorkload());
+    const RunResult r = system.run(0);
+    EXPECT_EQ(r.tasks, fuzzWorkload().numTasks());
+    EXPECT_GT(r.dram_reads, 0u);
+    EXPECT_GT(r.energy.totalPj(), 0.0);
+}
+
+TEST_P(TopologyFuzzTest, PoolShapeDeterministic)
+{
+    Rng rng(2000 + GetParam());
+    const SystemParams params = randomPool(rng);
+    const RunResult a = runSystem(params, fuzzWorkload(), 8);
+    const RunResult b = runSystem(params, fuzzWorkload(), 8);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+}
+
+TEST_P(TopologyFuzzTest, DdrShapeCompletes)
+{
+    Rng rng(3000 + GetParam());
+    const SystemParams params = randomDdr(rng);
+    NdpSystem system(params, fuzzWorkload());
+    const RunResult r = system.run(0);
+    EXPECT_EQ(r.tasks, fuzzWorkload().numTasks());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyFuzzTest,
+                         ::testing::Range(0u, 8u),
+                         [](const auto &info) {
+                             return "seed" +
+                                    std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace beacon

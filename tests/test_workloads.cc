@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Workload-layer tests: task step protocols, structure declarations,
+ * footprint measurement, k-mer counting passes, and the CPU baseline
+ * and energy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/cpu_baseline.hh"
+#include "accel/energy_model.hh"
+#include "accel/workload.hh"
+
+namespace beacon
+{
+namespace
+{
+
+genomics::DatasetPreset
+tinyPreset()
+{
+    genomics::DatasetPreset preset = genomics::seedingPresets()[4];
+    preset.genome.length = 1 << 14;
+    preset.reads.num_reads = 16;
+    return preset;
+}
+
+/** Run a task to completion, checking the step protocol. */
+WorkloadFootprint
+drain(Task &task)
+{
+    WorkloadFootprint fp;
+    fp.tasks = 1;
+    for (int guard = 0; guard < 100000; ++guard) {
+        const TaskStep step = task.next();
+        ++fp.steps;
+        fp.compute_cycles += step.compute_cycles;
+        for (const AccessRequest &a : step.accesses) {
+            ++fp.accesses;
+            fp.access_bytes += a.bytes;
+            EXPECT_GT(a.bytes, 0u);
+        }
+        if (step.done) {
+            EXPECT_TRUE(step.accesses.empty())
+                << "a finishing step must not request operands";
+            return fp;
+        }
+    }
+    ADD_FAILURE() << "task never finished";
+    return fp;
+}
+
+TEST(FmSeedingWorkload, TasksTouchOccBlocksOnly)
+{
+    FmSeedingWorkload workload(tinyPreset());
+    EXPECT_EQ(workload.engine(), EngineKind::FmIndex);
+    const auto structures = workload.structures();
+    ASSERT_EQ(structures.size(), 1u);
+    EXPECT_EQ(structures[0].cls, DataClass::FmOcc);
+    EXPECT_EQ(structures[0].bytes, workload.index().indexBytes());
+
+    WorkloadContext ctx;
+    for (std::size_t i = 0; i < workload.numTasks(); ++i) {
+        TaskPtr task = workload.makeTask(i, ctx);
+        TaskStep step = task->next();
+        for (const AccessRequest &a : step.accesses) {
+            EXPECT_EQ(a.data_class, DataClass::FmOcc);
+            EXPECT_EQ(a.bytes, genomics::FmIndex::block_bytes);
+            EXPECT_FALSE(a.is_write);
+            EXPECT_LT(a.offset, workload.index().indexBytes());
+        }
+    }
+}
+
+TEST(FmSeedingWorkload, StepsBoundedByReadLength)
+{
+    FmSeedingWorkload workload(tinyPreset());
+    WorkloadContext ctx;
+    for (std::size_t i = 0; i < 8; ++i) {
+        TaskPtr task = workload.makeTask(i, ctx);
+        const WorkloadFootprint fp = drain(*task);
+        // <= read length extensions plus the final empty step.
+        EXPECT_LE(fp.steps, 101u);
+        EXPECT_GE(fp.steps, 2u);
+        EXPECT_LE(fp.accesses, 2 * fp.steps);
+    }
+}
+
+TEST(HashSeedingWorkload, BucketThenLocationsProtocol)
+{
+    HashSeedingWorkload workload(tinyPreset());
+    const auto structures = workload.structures();
+    ASSERT_EQ(structures.size(), 2u);
+    EXPECT_TRUE(structures[1].spatial);
+
+    WorkloadContext ctx;
+    TaskPtr task = workload.makeTask(0, ctx);
+    bool saw_bucket = false, saw_locations = false;
+    for (int guard = 0; guard < 10000; ++guard) {
+        const TaskStep step = task->next();
+        for (const AccessRequest &a : step.accesses) {
+            if (a.data_class == DataClass::HashBucket) {
+                EXPECT_EQ(a.bytes, 8u);
+                saw_bucket = true;
+            } else {
+                EXPECT_EQ(a.data_class, DataClass::HashLocations);
+                EXPECT_GT(a.bytes, 0u);
+                saw_locations = true;
+            }
+        }
+        if (step.done)
+            break;
+    }
+    EXPECT_TRUE(saw_bucket);
+    EXPECT_TRUE(saw_locations);
+}
+
+TEST(KmerCountingWorkload, SinglePassUsesGlobalAtomics)
+{
+    genomics::DatasetPreset preset = genomics::kmerCountingPreset();
+    preset.genome.length = 1 << 14;
+    KmerCountingWorkload workload(preset, 21, 3, 1 << 14, 8);
+    WorkloadContext ctx;
+    ctx.kmc_single_pass = true;
+    TaskPtr task = workload.makeTask(0, ctx);
+    const TaskStep step = task->next();
+    ASSERT_EQ(step.accesses.size(), 3u); // one per hash
+    for (const AccessRequest &a : step.accesses) {
+        EXPECT_EQ(a.data_class, DataClass::BloomCounter);
+        EXPECT_TRUE(a.is_atomic);
+        EXPECT_TRUE(a.is_write);
+        EXPECT_EQ(a.bytes, 1u);
+        EXPECT_LT(a.offset, std::uint64_t(1) << 14);
+    }
+}
+
+TEST(KmerCountingWorkload, MultiPassSwitchesClassAndMode)
+{
+    genomics::DatasetPreset preset = genomics::kmerCountingPreset();
+    preset.genome.length = 1 << 14;
+    KmerCountingWorkload workload(preset, 21, 3, 1 << 14, 8);
+    WorkloadContext ctx;
+    ctx.kmc_single_pass = false;
+
+    ctx.pass = 0;
+    {
+        TaskPtr task = workload.makeTask(0, ctx);
+        const TaskStep step = task->next();
+        for (const AccessRequest &a : step.accesses) {
+            EXPECT_EQ(a.data_class, DataClass::BloomLocal);
+            EXPECT_TRUE(a.is_atomic);
+        }
+    }
+    ctx.pass = 1;
+    {
+        TaskPtr task = workload.makeTask(0, ctx);
+        const TaskStep step = task->next();
+        for (const AccessRequest &a : step.accesses) {
+            EXPECT_EQ(a.data_class, DataClass::BloomLocal);
+            EXPECT_FALSE(a.is_atomic);
+            EXPECT_FALSE(a.is_write);
+        }
+    }
+}
+
+TEST(KmerCountingWorkload, TaskOffsetsMatchReferenceFilter)
+{
+    // The offsets a task touches must be exactly the counter indices
+    // the functional filter uses, so the simulated traffic counts
+    // the same k-mers the reference implementation counts.
+    genomics::DatasetPreset preset = genomics::kmerCountingPreset();
+    preset.genome.length = 1 << 14;
+    KmerCountingWorkload workload(preset, 21, 3, 1 << 14, 4);
+    const auto filter = workload.buildReferenceFilter();
+    EXPECT_EQ(filter.size(), std::size_t{1} << 14);
+    EXPECT_EQ(filter.numHashes(), 3u);
+
+    WorkloadContext ctx;
+    std::set<std::uint64_t> offsets;
+    for (std::size_t i = 0; i < workload.numTasks(); ++i) {
+        TaskPtr task = workload.makeTask(i, ctx);
+        for (int guard = 0; guard < 100000; ++guard) {
+            const TaskStep step = task->next();
+            for (const AccessRequest &a : step.accesses)
+                offsets.insert(a.offset);
+            if (step.done)
+                break;
+        }
+    }
+    EXPECT_GT(offsets.size(), 100u);
+}
+
+TEST(PrealignWorkload, WindowFetchThenDecide)
+{
+    PrealignWorkload workload(tinyPreset());
+    EXPECT_EQ(workload.numTasks(), 16u * 4u);
+    WorkloadContext ctx;
+    TaskPtr task = workload.makeTask(0, ctx);
+    const TaskStep fetch = task->next();
+    ASSERT_EQ(fetch.accesses.size(), 1u);
+    EXPECT_EQ(fetch.accesses[0].data_class, DataClass::RefWindow);
+    const TaskStep decide = task->next();
+    EXPECT_TRUE(decide.done);
+    EXPECT_EQ(decide.compute_cycles,
+              engineStepCycles(EngineKind::Prealign));
+}
+
+TEST(Workload, FootprintAggregatesAllTasks)
+{
+    FmSeedingWorkload workload(tinyPreset());
+    const WorkloadFootprint fp =
+        measureFootprint(workload, WorkloadContext{});
+    EXPECT_EQ(fp.tasks, workload.numTasks());
+    EXPECT_GT(fp.steps, fp.tasks);
+    EXPECT_GT(fp.accesses, 0u);
+    EXPECT_GT(fp.compute_cycles, 0u);
+    EXPECT_GT(fp.access_bytes, fp.accesses); // >1 byte per access
+}
+
+TEST(CpuBaseline, ScalesWithFootprint)
+{
+    WorkloadFootprint fp;
+    fp.tasks = 100;
+    fp.steps = 1000;
+    fp.accesses = 2000;
+    const CpuBaselineResult one = cpuBaseline(fp);
+    WorkloadFootprint fp2 = fp;
+    fp2.steps *= 2;
+    fp2.accesses *= 2;
+    const CpuBaselineResult two = cpuBaseline(fp2);
+    EXPECT_NEAR(two.seconds, 2 * one.seconds, 1e-12);
+    EXPECT_GT(one.energy_pj, 0.0);
+    EXPECT_GT(one.tasks_per_second, 0.0);
+}
+
+TEST(CpuBaseline, MoreThreadsGoFaster)
+{
+    WorkloadFootprint fp;
+    fp.tasks = 10;
+    fp.steps = 1000;
+    fp.accesses = 1000;
+    CpuBaselineParams few;
+    few.threads = 1;
+    CpuBaselineParams many;
+    many.threads = 48;
+    EXPECT_GT(cpuBaseline(fp, few).seconds,
+              cpuBaseline(fp, many).seconds * 40);
+}
+
+TEST(EnergyModel, TableMatchesPaperValues)
+{
+    const auto table = peOverheadTable();
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(peOverheadFor("MEDAL").area_um2, 8941.39);
+    EXPECT_EQ(peOverheadFor("NEST").area_um2, 16721.12);
+    EXPECT_EQ(peOverheadFor("BEACON").area_um2, 14090.23);
+    EXPECT_EQ(peOverheadFor("BEACON").dynamic_power_mw, 9.48);
+    EXPECT_EQ(peOverheadFor("BEACON").leakage_power_uw, 18.97);
+}
+
+TEST(EnergyModelDeath, UnknownArchitectureFatal)
+{
+    EXPECT_DEATH(peOverheadFor("TPU"), "unknown architecture");
+}
+
+TEST(EnergyModel, PeEnergyComposition)
+{
+    const PeOverhead &pe = peOverheadFor("BEACON");
+    // 1 us busy, 2 us elapsed, 100 PEs.
+    const double pj = peEnergyPj(pe, 1000000, 2000000, 100);
+    const double expected_dynamic = 9.48 * 1e6 * 1e-3;
+    const double expected_leak = 18.97 * 2e6 * 100 * 1e-6;
+    EXPECT_NEAR(pj, expected_dynamic + expected_leak, 1e-6);
+}
+
+TEST(EnergyModel, SystemEnergyFractions)
+{
+    SystemEnergy energy;
+    energy.dram_pj = 50;
+    energy.comm_pj = 30;
+    energy.pe_pj = 20;
+    EXPECT_DOUBLE_EQ(energy.totalPj(), 100.0);
+    EXPECT_DOUBLE_EQ(energy.commFraction(), 0.3);
+    EXPECT_DOUBLE_EQ(energy.peFraction(), 0.2);
+}
+
+TEST(EnergyModel, CommEnergyPerBit)
+{
+    EXPECT_DOUBLE_EQ(commEnergyPj(1, 1.0), 8.0);
+    EXPECT_DOUBLE_EQ(commEnergyPj(64, 6.0), 64 * 8 * 6.0);
+}
+
+} // namespace
+} // namespace beacon
