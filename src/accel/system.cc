@@ -145,6 +145,7 @@ NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
         pp.device_bias = p.opts.mem_access_opt;
         pp.packer.enabled = p.opts.data_packing;
         pp.ideal = p.ideal_comm;
+        pp.checkers = p.checkers;
         pool_fabric = std::make_unique<PoolFabric>("pool", eq,
                                                    registry, pp);
         fabric = pool_fabric.get();
@@ -160,6 +161,7 @@ NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
         geom.per_rank_cmd_bus = is_cxlg(d);
         DramControllerParams ctrl_params;
         ctrl_params.page_policy = p.page_policy;
+        ctrl_params.checkers = p.checkers;
         controllers.push_back(std::make_unique<DramController>(
             "dimm" + std::to_string(d), eq, registry, geom, timing,
             ctrl_params));
@@ -171,6 +173,7 @@ NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
     np.num_pes = p.pes_per_module;
     np.pe_clock_ps = timing.t_ck_ps;
     np.max_inflight_tasks = p.max_inflight_tasks;
+    np.checkers = p.checkers;
     pe_clock_ps = timing.t_ck_ps;
 
     std::vector<unsigned> partition_group;
@@ -625,6 +628,17 @@ NdpSystem::run(std::size_t num_tasks)
     }
 
     const Tick end = eq.now();
+
+    // End-of-run verification: the run must leave every checker's
+    // shadow model balanced.
+    if (p.checkers.any()) {
+        for (const auto &ctrl : controllers)
+            ctrl->finalizeCheck();
+        if (pool_fabric)
+            pool_fabric->finalizeCheck();
+        for (const auto &ndp : ndps)
+            ndp->finalizeCheck();
+    }
 
     RunResult result;
     result.system = p.name;

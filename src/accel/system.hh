@@ -26,6 +26,7 @@
 #include "accel/ddr_fabric.hh"
 #include "accel/energy_model.hh"
 #include "accel/workload.hh"
+#include "check/checker_config.hh"
 #include "cxl/pool.hh"
 #include "dram/controller.hh"
 #include "dram/energy.hh"
@@ -83,6 +84,13 @@ struct SystemParams
     OptimizationFlags opts;
     /** Idealized communication (infinite bandwidth, zero latency). */
     bool ideal_comm = false;
+
+    /**
+     * Runtime verification (src/check): defaults to the
+     * BEACON_CHECKERS environment toggle so CI can arm every
+     * checker fleet-wide; harnesses may also set it explicitly.
+     */
+    CheckerConfig checkers = CheckerConfig::fromEnv();
 
     PoolParams pool;          //!< used when !ddr_fabric
     DdrFabricParams ddr;      //!< used when ddr_fabric

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Toggles for the runtime verification layer.
+ *
+ * Checkers are independent shadow models that re-validate what the
+ * timing models already enforce; they cost time and exist to catch
+ * simulator bugs, so they default to off and are switched on by the
+ * fuzz/CI harnesses (or globally via the BEACON_CHECKERS environment
+ * variable).
+ */
+
+#ifndef BEACON_CHECK_CHECKER_CONFIG_HH
+#define BEACON_CHECK_CHECKER_CONFIG_HH
+
+#include <cstdlib>
+
+namespace beacon
+{
+
+/** Which checkers a component should instantiate. */
+struct CheckerConfig
+{
+    /** Shadow-validate every DRAM command against JEDEC timings. */
+    bool dram_protocol = false;
+    /** FIFO ordering / bandwidth conservation on CXL links. */
+    bool cxl_link = false;
+    /** Task and access accounting invariants in NDP modules. */
+    bool ndp_accounting = false;
+    /** Command-history ring kept for violation dumps. */
+    unsigned history_depth = 64;
+    /**
+     * Refreshes a rank may postpone before the checker flags a tREFI
+     * violation (JEDEC DDR4 allows postponing up to 8).
+     */
+    unsigned max_postponed_refreshes = 8;
+
+    /** True when any checker is requested. */
+    bool
+    any() const
+    {
+        return dram_protocol || cxl_link || ndp_accounting;
+    }
+
+    /** Every checker enabled. */
+    static CheckerConfig
+    all()
+    {
+        CheckerConfig c;
+        c.dram_protocol = true;
+        c.cxl_link = true;
+        c.ndp_accounting = true;
+        return c;
+    }
+
+    /** Everything off (the default-constructed state, spelled out). */
+    static CheckerConfig
+    none()
+    {
+        return CheckerConfig{};
+    }
+
+    /**
+     * all() when the BEACON_CHECKERS environment variable is set to a
+     * non-empty value other than "0", none() otherwise. Lets CI runs
+     * arm every checker without touching individual harnesses.
+     */
+    static CheckerConfig
+    fromEnv()
+    {
+        const char *v = std::getenv("BEACON_CHECKERS");
+        if (v != nullptr && v[0] != '\0' &&
+            !(v[0] == '0' && v[1] == '\0')) {
+            return all();
+        }
+        return none();
+    }
+};
+
+} // namespace beacon
+
+#endif // BEACON_CHECK_CHECKER_CONFIG_HH

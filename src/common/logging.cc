@@ -1,6 +1,6 @@
 #include "logging.hh"
 
-#include <exception>
+#include <cstdlib>
 
 namespace beacon
 {

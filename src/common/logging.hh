@@ -88,4 +88,32 @@ void informImpl(const std::string &msg);
         }                                                                  \
     } while (0)
 
+/**
+ * Always-on invariant check. Unlike BEACON_ASSERT (whose wording
+ * targets internal simulator bugs), BEACON_CHECK is the macro of the
+ * verification layer (src/check): protocol checkers use it so that a
+ * JEDEC/CXL violation aborts with a diagnosable message in every
+ * build type, including Release.
+ */
+#define BEACON_CHECK(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            BEACON_PANIC("check '", #cond, "' failed: ",                   \
+                         ::beacon::detail::formatMessage(__VA_ARGS__));    \
+        }                                                                  \
+    } while (0)
+
+/**
+ * Debug-only invariant check; compiled out (condition not evaluated)
+ * when NDEBUG is defined, so hot-path checks cost nothing in
+ * Release/RelWithDebInfo builds.
+ */
+#ifdef NDEBUG
+#define BEACON_DCHECK(cond, ...)                                           \
+    do {                                                                   \
+    } while (0)
+#else
+#define BEACON_DCHECK(cond, ...) BEACON_CHECK(cond, __VA_ARGS__)
+#endif
+
 #endif // BEACON_COMMON_LOGGING_HH

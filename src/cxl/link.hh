@@ -10,6 +10,7 @@
 #include <functional>
 #include <string>
 
+#include "check/link_checker.hh"
 #include "cxl/bandwidth_server.hh"
 #include "sim/sim_object.hh"
 
@@ -61,12 +62,42 @@ class CxlLink : public SimObject
     {
         BandwidthServer &server =
             dir == LinkDir::Downstream ? down : up;
-        const Tick serialized = server.accept(curTick(), bytes);
+        const Tick depart = curTick();
+        const Tick serialized = server.accept(depart, bytes);
         const Tick arrive = serialized + (p.ideal ? 0 : p.latency);
+        if (checker) {
+            checker->onTransfer(dir == LinkDir::Downstream
+                                    ? checker_chan_down
+                                    : checker_chan_up,
+                                depart, serialized, arrive, bytes,
+                                server.rateGBps(), server.ideal());
+        }
         stat_bytes += double(bytes);
         ++stat_transfers;
         eq.schedule(arrive,
                     [cb = std::move(on_arrival), arrive] { cb(arrive); });
+    }
+
+    /**
+     * Attach the verification layer: both directions register as
+     * shadow channels and every transfer is cross-checked.
+     */
+    void
+    attachChecker(CxlLinkChecker &link_checker)
+    {
+        checker = &link_checker;
+        checker_chan_down = link_checker.registerChannel(name() + ".down");
+        checker_chan_up = link_checker.registerChannel(name() + ".up");
+    }
+
+    /** Re-validate cumulative per-direction busy time (end of run). */
+    void
+    checkConservation() const
+    {
+        if (!checker || p.ideal)
+            return;
+        checker->checkBusyTicks(checker_chan_down, down.busyTicks());
+        checker->checkBusyTicks(checker_chan_up, up.busyTicks());
     }
 
     /** Earliest tick a new transfer in @p dir would finish arriving. */
@@ -97,6 +128,9 @@ class CxlLink : public SimObject
     LinkParams p;
     BandwidthServer down;
     BandwidthServer up;
+    CxlLinkChecker *checker = nullptr;
+    unsigned checker_chan_down = 0;
+    unsigned checker_chan_up = 0;
     Counter &stat_bytes;
     Counter &stat_transfers;
 };

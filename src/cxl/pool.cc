@@ -18,6 +18,10 @@ PoolFabric::PoolFabric(const std::string &name, EventQueue &eq,
         p.switch_latency = 0;
         p.host_latency = 0;
     }
+    if (p.checkers.cxl_link) {
+        link_checker =
+            std::make_unique<CxlLinkChecker>(name, p.checkers);
+    }
     switches.resize(p.num_switches);
     for (unsigned s = 0; s < p.num_switches; ++s) {
         SwitchState &sw = switches[s];
@@ -31,6 +35,13 @@ PoolFabric::PoolFabric(const std::string &name, EventQueue &eq,
                 name + ".sw" + std::to_string(s) + ".dimmLink" +
                     std::to_string(d),
                 eq, stats, p.dimm_link));
+        }
+        if (link_checker) {
+            sw.host_link->attachChecker(*link_checker);
+            for (auto &link : sw.dimm_links)
+                link->attachChecker(*link_checker);
+            bus_channels.push_back(link_checker->registerChannel(
+                name + ".sw" + std::to_string(s) + ".bus"));
         }
     }
 }
@@ -104,6 +115,14 @@ PoolFabric::send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
                  bool fine_grained, Deliver deliver)
 {
     ++stat_messages;
+    if (link_checker) {
+        link_checker->onSubmit(curTick());
+        // Wrap the delivery so the checker sees the matching exit.
+        deliver = [this, inner = std::move(deliver)](Tick t) {
+            link_checker->onDeliver(t);
+            inner(t);
+        };
+    }
     packerFor(src, dst).submit(useful_bytes, fine_grained,
                                std::move(deliver));
 }
@@ -112,9 +131,34 @@ void
 PoolFabric::hopBus(unsigned sw, std::uint64_t bytes,
                    std::function<void()> next)
 {
-    const Tick done = switches[sw].bus->accept(curTick(), bytes);
+    const Tick depart = curTick();
+    const Tick done = switches[sw].bus->accept(depart, bytes);
+    if (link_checker) {
+        link_checker->onTransfer(bus_channels[sw], depart, done,
+                                 done + p.switch_latency, bytes,
+                                 switches[sw].bus->rateGBps(),
+                                 switches[sw].bus->ideal());
+    }
     eq.schedule(done + p.switch_latency,
                 [fn = std::move(next)] { fn(); });
+}
+
+void
+PoolFabric::finalizeCheck() const
+{
+    if (!link_checker)
+        return;
+    link_checker->finalize();
+    for (unsigned s = 0; s < switches.size(); ++s) {
+        const SwitchState &sw = switches[s];
+        sw.host_link->checkConservation();
+        for (const auto &link : sw.dimm_links)
+            link->checkConservation();
+        if (!sw.bus->ideal()) {
+            link_checker->checkBusyTicks(bus_channels[s],
+                                         sw.bus->busyTicks());
+        }
+    }
 }
 
 void
@@ -201,17 +245,22 @@ PoolFabric::routeWire(NodeId src, NodeId dst, std::uint64_t wire,
                         LinkDir::Downstream, 0, 0});
     }
 
-    // Execute the plan hop by hop.
+    // Execute the plan hop by hop. The stored function must not hold
+    // a strong reference to itself (that cycle would leak the whole
+    // state machine); instead each pending continuation owns the
+    // strong reference, so the machine lives exactly as long as a
+    // hop is in flight.
     auto plan_ptr = std::make_shared<std::vector<Hop>>(std::move(plan));
     auto step = std::make_shared<std::function<void(std::size_t)>>();
-    *step = [this, plan_ptr, wire, step,
+    std::weak_ptr<std::function<void(std::size_t)>> weak_step = step;
+    *step = [this, plan_ptr, wire, weak_step,
              done = std::move(deliver_all)](std::size_t i) {
         if (i >= plan_ptr->size()) {
             done();
             return;
         }
         const Hop &hop = (*plan_ptr)[i];
-        auto next = [step, i]() { (*step)(i + 1); };
+        auto next = [self = weak_step.lock(), i]() { (*self)(i + 1); };
         switch (hop.kind) {
           case Hop::Kind::Link:
             hopLink(*hop.link, hop.dir, wire, next);

@@ -27,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker_config.hh"
+#include "check/link_checker.hh"
 #include "cxl/bandwidth_server.hh"
 #include "cxl/data_packer.hh"
 #include "cxl/fabric.hh"
@@ -57,6 +59,9 @@ struct PoolParams
 
     /** Idealized communication: infinite bandwidth, zero latency. */
     bool ideal = false;
+
+    /** Verification toggles; cxl_link arms the link checker. */
+    CheckerConfig checkers;
 };
 
 /**
@@ -101,6 +106,15 @@ class PoolFabric : public SimObject, public Fabric
     const CxlLink &dimmLink(unsigned sw, unsigned dimm) const;
     const CxlLink &hostLink(unsigned sw) const;
 
+    /** The link checker, or nullptr when not armed. */
+    const CxlLinkChecker *checker() const { return link_checker.get(); }
+
+    /**
+     * End-of-run validation: message balance and per-channel
+     * bandwidth conservation. No-op when the checker is off.
+     */
+    void finalizeCheck() const;
+
   private:
     struct SwitchState
     {
@@ -124,6 +138,8 @@ class PoolFabric : public SimObject, public Fabric
     PoolParams p;
     std::vector<SwitchState> switches;
     std::map<std::uint64_t, std::unique_ptr<DataPacker>> packers;
+    std::unique_ptr<CxlLinkChecker> link_checker;
+    std::vector<unsigned> bus_channels; //!< checker id per switch bus
 
     std::uint64_t host_round_trips = 0;
     Counter &stat_messages;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/dram_protocol_checker.hh"
 #include "common/logging.hh"
 
 namespace beacon
@@ -22,6 +23,13 @@ DramController::DramController(const std::string &name, EventQueue &eq,
       stat_row_conflicts(stat("rowConflicts")),
       stat_latency(stats.sampleStat(name + ".requestLatency"))
 {
+    if (params.checkers.dram_protocol) {
+        protocol_checker = std::make_unique<DramProtocolChecker>(
+            name, geom, timing, params.checkers);
+        model.setCommandTap([this](const DramCommand &cmd) {
+            protocol_checker->observe(cmd);
+        });
+    }
     if (params.enable_refresh) {
         const Tick refi = timing.t_refi * timing.t_ck_ps;
         for (unsigned r = 0; r < geom.ranks; ++r) {
@@ -31,6 +39,8 @@ DramController::DramController(const std::string &name, EventQueue &eq,
         }
     }
 }
+
+DramController::~DramController() = default;
 
 void
 DramController::enqueue(MemRequest req)
@@ -180,6 +190,13 @@ DramController::decideOnce()
       }
     }
     return true;
+}
+
+void
+DramController::finalizeCheck() const
+{
+    if (protocol_checker && params.enable_refresh)
+        protocol_checker->finalize(curTick());
 }
 
 void

@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
+#include "check/checker_config.hh"
 #include "dram/dimm_timing.hh"
 #include "dram/types.hh"
 #include "sim/sim_object.hh"
@@ -34,12 +36,16 @@ enum class PagePolicy : std::uint8_t
     Closed, //!< auto-precharge with the last burst of each request
 };
 
+class DramProtocolChecker;
+
 /** Tunables for a DramController. */
 struct DramControllerParams
 {
     unsigned scan_window = 32;   //!< FR-FCFS lookahead depth
     bool enable_refresh = true;
     PagePolicy page_policy = PagePolicy::Open;
+    /** Verification toggles; dram_protocol arms the shadow checker. */
+    CheckerConfig checkers;
 };
 
 /** FR-FCFS controller in front of one DIMM. */
@@ -50,6 +56,7 @@ class DramController : public SimObject
                    StatRegistry &stats, const DimmGeometry &geom,
                    const DramTimingParams &timing,
                    const DramControllerParams &params = {});
+    ~DramController() override;
 
     /** Hand a request to the controller; callback fires on data end. */
     void enqueue(MemRequest req);
@@ -63,6 +70,18 @@ class DramController : public SimObject
     /** Completed read/write request counts. */
     std::uint64_t readsCompleted() const { return reads_done; }
     std::uint64_t writesCompleted() const { return writes_done; }
+
+    /** The protocol checker, or nullptr when not armed. */
+    const DramProtocolChecker *checker() const
+    {
+        return protocol_checker.get();
+    }
+
+    /**
+     * End-of-run checker validation (refresh staleness); a no-op
+     * when the checker is off or refresh is disabled.
+     */
+    void finalizeCheck() const;
 
   private:
     struct ActiveRequest
@@ -88,6 +107,7 @@ class DramController : public SimObject
 
     DimmTimingModel model;
     DramControllerParams params;
+    std::unique_ptr<DramProtocolChecker> protocol_checker;
 
     std::deque<ActiveRequest> queue;
     bool decision_pending = false;

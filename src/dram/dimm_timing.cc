@@ -199,6 +199,7 @@ DimmTimingModel::issueAct(const DramCoord &coord, Tick t)
         std::max(ranks[coord.rank].busy_until, t + tp.t_rc * ck);
     ++n_act;
     n_act_chips += coord.chip_count;
+    reportCommand(DramCommandKind::Act, coord, t);
 }
 
 void
@@ -214,6 +215,7 @@ DimmTimingModel::issuePre(const DramCoord &coord, Tick t)
     occupyCmdBus(coord.rank, t + ck);
     ++n_pre;
     n_pre_chips += coord.chip_count;
+    reportCommand(DramCommandKind::Pre, coord, t);
 }
 
 Tick
@@ -269,6 +271,11 @@ DimmTimingModel::issueColumn(const DramCoord &coord, bool is_write,
         std::max(ranks[coord.rank].busy_until, data_end);
     raw_bytes += std::uint64_t{coord.chip_count} *
                  geom.bytesPerChipBurst();
+    reportCommand(is_write ? (auto_precharge ? DramCommandKind::WriteAp
+                                             : DramCommandKind::Write)
+                           : (auto_precharge ? DramCommandKind::ReadAp
+                                             : DramCommandKind::Read),
+                  coord, t);
     return data_end;
 }
 
@@ -296,6 +303,9 @@ DimmTimingModel::issueRefresh(unsigned rank, Tick t)
         }
     }
     ++n_ref;
+    DramCoord ref_coord;
+    ref_coord.rank = rank;
+    reportCommand(DramCommandKind::Refresh, ref_coord, t);
     return done;
 }
 

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dram/timing.hh"
@@ -37,6 +38,17 @@ class DimmTimingModel
 
     const DimmGeometry &geometry() const { return geom; }
     const DramTimingParams &timing() const { return tp; }
+
+    /**
+     * Observer invoked for every committed command, in issue order.
+     * The verification layer taps this to shadow-validate the
+     * command stream (see src/check/dram_protocol_checker.hh); an
+     * unset tap costs one branch per command.
+     */
+    using CommandTap = std::function<void(const DramCommand &)>;
+
+    /** Install (or clear, by passing nullptr) the command tap. */
+    void setCommandTap(CommandTap tap) { command_tap = std::move(tap); }
 
     /** Clock period in ticks. */
     Tick tCK() const { return tp.t_ck_ps; }
@@ -154,8 +166,18 @@ class DimmTimingModel
     /** Align @p t to the next bus-clock edge. */
     Tick align(Tick t) const;
 
+    /** Report a committed command to the tap, if one is installed. */
+    void
+    reportCommand(DramCommandKind kind, const DramCoord &coord,
+                  Tick t) const
+    {
+        if (command_tap)
+            command_tap(DramCommand{kind, coord, t});
+    }
+
     DimmGeometry geom;
     DramTimingParams tp;
+    CommandTap command_tap;
 
     std::vector<BankState> banks;      //!< [rank][chip][flat_bank]
     std::vector<ChipState> chips;      //!< [rank][chip]

@@ -49,6 +49,53 @@ struct DramCoord
     }
 };
 
+/** DRAM command kinds observable on the C/A bus. */
+enum class DramCommandKind : std::uint8_t
+{
+    Act,
+    Pre,
+    Read,
+    ReadAp,  //!< read with auto-precharge
+    Write,
+    WriteAp, //!< write with auto-precharge
+    Refresh,
+};
+
+/** Printable mnemonic for a command kind. */
+constexpr const char *
+dramCommandName(DramCommandKind kind)
+{
+    switch (kind) {
+      case DramCommandKind::Act:
+        return "ACT";
+      case DramCommandKind::Pre:
+        return "PRE";
+      case DramCommandKind::Read:
+        return "RD";
+      case DramCommandKind::ReadAp:
+        return "RDA";
+      case DramCommandKind::Write:
+        return "WR";
+      case DramCommandKind::WriteAp:
+        return "WRA";
+      case DramCommandKind::Refresh:
+        return "REF";
+    }
+    return "?";
+}
+
+/**
+ * One command as issued on the command bus, reported to observers
+ * tapped onto the DimmTimingModel command path. For Refresh only
+ * @c tick and @c coord.rank are meaningful.
+ */
+struct DramCommand
+{
+    DramCommandKind kind = DramCommandKind::Act;
+    DramCoord coord;
+    Tick tick = 0;
+};
+
 /** A read or write handed to a DRAM controller. */
 struct MemRequest
 {

@@ -42,10 +42,33 @@ NdpModule::dispatch()
 }
 
 void
+NdpModule::finalizeCheck() const
+{
+    if (!p.checkers.ndp_accounting)
+        return;
+    BEACON_CHECK(resident_tasks == 0, name(), ": ", resident_tasks,
+                 " tasks still resident at end of run");
+    BEACON_CHECK(busy_pes == 0, name(), ": ", busy_pes,
+                 " PEs still busy at end of run");
+    BEACON_CHECK(accesses_completed == accesses_issued, name(),
+                 ": access imbalance at end of run, ",
+                 accesses_issued, " issued but ", accesses_completed,
+                 " completed");
+}
+
+void
 NdpModule::runStep(std::unique_ptr<PendingTask> pending)
 {
     ++busy_pes;
     ++stat_steps;
+    if (p.checkers.ndp_accounting) {
+        BEACON_CHECK(busy_pes <= p.num_pes, name(),
+                     ": PE overcommit, ", busy_pes, " busy of ",
+                     p.num_pes);
+        BEACON_CHECK(resident_tasks <= p.max_inflight_tasks, name(),
+                     ": resident-task overflow, ", resident_tasks,
+                     " of ", p.max_inflight_tasks);
+    }
     const TaskStep step = pending->task->next();
     const Tick compute = step.compute_cycles * p.pe_clock_ps;
     pe_busy_ticks += compute;
@@ -83,10 +106,20 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
         // holder until the last access completes.
         auto holder = std::make_shared<std::unique_ptr<PendingTask>>(
             std::move(pending));
+        const Tick issue_tick = curTick();
+        const bool check = p.checkers.ndp_accounting;
         for (const AccessRequest &req : step.accesses) {
             ++accesses_issued;
             ++stat_accesses;
-            issue(req, [this, holder](Tick) {
+            issue(req, [this, holder, issue_tick, check](Tick t) {
+                if (check) {
+                    BEACON_CHECK(t >= issue_tick,
+                                 name(),
+                                 ": access completed at t=", t,
+                                 " before it was issued at t=",
+                                 issue_tick);
+                }
+                ++accesses_completed;
                 PendingTask *pt = holder->get();
                 BEACON_ASSERT(pt && pt->outstanding_accesses > 0,
                               "stray access completion");

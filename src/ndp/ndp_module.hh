@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/checker_config.hh"
 #include "ndp/task.hh"
 #include "sim/sim_object.hh"
 
@@ -34,6 +35,8 @@ struct NdpModuleParams
     Tick pe_clock_ps = 1250;     //!< PE clock = DRAM bus clock
     /** Max tasks resident (incoming + outgoing + running). */
     unsigned max_inflight_tasks = 512;
+    /** Verification toggles; ndp_accounting arms invariant checks. */
+    CheckerConfig checkers;
 };
 
 /**
@@ -74,7 +77,18 @@ class NdpModule : public SimObject
 
     std::uint64_t tasksCompleted() const { return tasks_completed; }
     std::uint64_t accessesIssued() const { return accesses_issued; }
+    std::uint64_t accessesCompleted() const
+    {
+        return accesses_completed;
+    }
     unsigned residentTasks() const { return resident_tasks; }
+
+    /**
+     * End-of-run accounting validation (checkers.ndp_accounting):
+     * once every dispatched task has completed, the module must be
+     * empty and every issued access must have completed.
+     */
+    void finalizeCheck() const;
 
     /** Total PE-busy ticks (for PE energy accounting). */
     Tick peBusyTicks() const { return pe_busy_ticks; }
@@ -108,6 +122,7 @@ class NdpModule : public SimObject
 
     std::uint64_t tasks_completed = 0;
     std::uint64_t accesses_issued = 0;
+    std::uint64_t accesses_completed = 0;
     Tick pe_busy_ticks = 0;
 
     Counter &stat_tasks;

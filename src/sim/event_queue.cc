@@ -47,6 +47,21 @@ EventQueue::runOne()
         if (it == callbacks.end())
             continue; // cancelled
         BEACON_ASSERT(top.when >= _now, "time went backwards");
+        // Determinism: events must leave the queue in (tick, seq)
+        // order — same-tick events run in schedule order, so a run
+        // is a pure function of the schedule calls.
+        BEACON_DCHECK(!has_executed || top.when > last_when ||
+                          (top.when == last_when &&
+                           top.seq > last_seq),
+                      "tie-break order violated: event (t=", top.when,
+                      ", seq=", top.seq,
+                      ") popped after (t=", last_when, ", seq=",
+                      last_seq, ")");
+        BEACON_DCHECK(top.seq < next_seq,
+                      "executing an event that was never scheduled");
+        last_when = top.when;
+        last_seq = top.seq;
+        has_executed = true;
         _now = top.when;
         Callback cb = std::move(it->second);
         callbacks.erase(it);
@@ -84,6 +99,9 @@ EventQueue::reset()
     _now = 0;
     executed = 0;
     next_seq = 0;
+    last_when = 0;
+    last_seq = 0;
+    has_executed = false;
 }
 
 } // namespace beacon

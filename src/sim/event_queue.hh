@@ -101,6 +101,10 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t executed = 0;
+    // Causality/determinism guards (validated with BEACON_DCHECK).
+    Tick last_when = 0;
+    std::uint64_t last_seq = 0;
+    bool has_executed = false;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
     std::unordered_set<EventId> live;
     // Callbacks stored separately so Entry stays cheap to copy.

@@ -43,7 +43,7 @@ VectorCounter::minValue() const
 }
 
 double
-VectorCounter::cov()  const
+VectorCounter::cov() const
 {
     if (values.empty())
         return 0;

@@ -13,6 +13,7 @@
 #include "accel/experiment.hh"
 #include "accel/system.hh"
 #include "accel/workload.hh"
+#include "check/checker_config.hh"
 #include "common/rng.hh"
 
 namespace beacon
@@ -62,6 +63,9 @@ randomPool(Rng &rng)
     p.opts.coalesce_chips = 1u << rng.next(4); // 1..8 (or 16)
     p.opts.kmc_single_pass = true;
     p.name = "fuzz";
+    // Fuzzing is the validation harness: every run is shadow-checked
+    // (DRAM protocol, link FIFO/bandwidth, NDP accounting).
+    p.checkers = CheckerConfig::all();
     return p;
 }
 
@@ -78,6 +82,7 @@ randomDdr(Rng &rng)
         p.cxlg_dimms.push_back(d);
     p.pes_per_module = 8u << rng.next(3);
     p.name = "fuzz-ddr";
+    p.checkers = CheckerConfig::all();
     return p;
 }
 
