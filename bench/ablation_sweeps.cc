@@ -7,6 +7,10 @@
  *  3. PE count per NDP module (compute vs memory balance),
  *  4. CXLG-DIMM stripe weight (hot-data proximity placement),
  *  5. in-flight task depth (memory-level parallelism).
+ *
+ * Every configuration point of every sweep is one SweepRunner job;
+ * all sections run as a single parallel sweep and print from the
+ * merged outcomes.
  */
 
 #include "bench_util.hh"
@@ -15,50 +19,44 @@ using namespace beacon;
 using namespace beacon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Ablation sweeps (FM seeding, Pt preset, "
                 "BEACON-D) ===\n\n");
     const auto preset = benchSeedingPresets()[0];
     FmSeedingWorkload workload(preset);
 
-    std::printf("--- coalescing width (chips per access) ---\n");
-    printHeader("chips", {"time(us)", "cov", "energy(uJ)"});
-    for (unsigned chips : {1u, 2u, 4u, 8u, 16u}) {
+    SweepRunner runner;
+    SweepReport report = makeReport("ablation_sweeps", runner);
+
+    const std::vector<unsigned> chip_widths = {1, 2, 4, 8, 16};
+    for (unsigned chips : chip_widths) {
         SystemParams params = SystemParams::beaconD();
         params.opts.coalesce_chips = chips;
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(std::to_string(chips),
-                 {r.seconds * 1e6, r.chip_access_cov,
-                  r.energy.totalPj() * 1e-6},
-                 "%.3f");
+        runner.enqueueRun(
+            {"coalescing", std::to_string(chips)}, params, workload,
+            0);
     }
 
-    std::printf("\n--- Data Packer flush timeout ---\n");
-    printHeader("timeout(ns)", {"time(us)", "wire(MB)"});
-    for (Tick timeout_ns : {5u, 15u, 50u, 200u}) {
+    const std::vector<Tick> flush_timeouts = {5, 15, 50, 200};
+    for (Tick timeout_ns : flush_timeouts) {
         SystemParams params = SystemParams::beaconD();
         params.pool.packer.flush_timeout = timeout_ns * 1000;
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(std::to_string(timeout_ns),
-                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
-                 "%.3f");
+        runner.enqueueRun(
+            {"flush_timeout_ns", std::to_string(timeout_ns)}, params,
+            workload, 0);
     }
 
-    std::printf("\n--- PEs per NDP module ---\n");
-    printHeader("PEs", {"time(us)", "tasks/s(M)"});
-    for (unsigned pes : {16u, 32u, 64u, 128u, 256u}) {
+    const std::vector<unsigned> pe_counts = {16, 32, 64, 128, 256};
+    for (unsigned pes : pe_counts) {
         SystemParams params = SystemParams::beaconD();
         params.pes_per_module = pes;
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(std::to_string(pes),
-                 {r.seconds * 1e6, r.tasks_per_second / 1e6},
-                 "%.3f");
+        runner.enqueueRun({"pes_per_module", std::to_string(pes)},
+                          params, workload, 0);
     }
 
-    std::printf("\n--- function shipping (MEDAL-style task "
-                "forwarding) ---\n");
-    printHeader("mode", {"time(us)", "wire(MB)"});
     for (bool shipping : {false, true}) {
         // Packed pool without proximity placement: remote requests
         // reach NDP-capable CXLG-DIMMs sub-flit.
@@ -66,22 +64,84 @@ main()
         params.opts.data_packing = true;
         params.opts.mem_access_opt = true;
         params.opts.function_shipping = shipping;
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(shipping ? "ship-compute" : "fetch-data",
+        runner.enqueueRun({"function_shipping",
+                           shipping ? "ship-compute" : "fetch-data"},
+                          params, workload, 0);
+    }
+
+    for (PagePolicy policy : {PagePolicy::Open, PagePolicy::Closed}) {
+        SystemParams params = SystemParams::beaconD();
+        params.page_policy = policy;
+        runner.enqueueRun(
+            {"page_policy",
+             policy == PagePolicy::Open ? "open" : "closed"},
+            params, workload, 0, {"rowHits"});
+    }
+
+    const std::vector<unsigned> stripe_weights = {1, 3, 5, 9};
+    for (unsigned weight : stripe_weights) {
+        SystemParams params = SystemParams::beaconD();
+        params.opts.cxlg_stripe_weight = weight;
+        runner.enqueueRun({"stripe_weight", std::to_string(weight)},
+                          params, workload, 0);
+    }
+
+    const std::vector<unsigned> depths = {16, 64, 256, 1024};
+    for (unsigned depth : depths) {
+        SystemParams params = SystemParams::beaconD();
+        params.max_inflight_tasks = depth;
+        runner.enqueueRun({"inflight_depth", std::to_string(depth)},
+                          params, workload, 0);
+    }
+
+    const std::vector<SweepOutcome> outcomes = runner.run();
+    report.add(outcomes);
+    auto next = outcomes.begin();
+
+    std::printf("--- coalescing width (chips per access) ---\n");
+    printHeader("chips", {"time(us)", "cov", "energy(uJ)"});
+    for (std::size_t i = 0; i < chip_widths.size(); ++i, ++next) {
+        const RunResult &r = next->result;
+        printRow(next->key.label,
+                 {r.seconds * 1e6, r.chip_access_cov,
+                  r.energy.totalPj() * 1e-6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- Data Packer flush timeout ---\n");
+    printHeader("timeout(ns)", {"time(us)", "wire(MB)"});
+    for (std::size_t i = 0; i < flush_timeouts.size(); ++i, ++next) {
+        const RunResult &r = next->result;
+        printRow(next->key.label,
+                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- PEs per NDP module ---\n");
+    printHeader("PEs", {"time(us)", "tasks/s(M)"});
+    for (std::size_t i = 0; i < pe_counts.size(); ++i, ++next) {
+        const RunResult &r = next->result;
+        printRow(next->key.label,
+                 {r.seconds * 1e6, r.tasks_per_second / 1e6},
+                 "%.3f");
+    }
+
+    std::printf("\n--- function shipping (MEDAL-style task "
+                "forwarding) ---\n");
+    printHeader("mode", {"time(us)", "wire(MB)"});
+    for (int i = 0; i < 2; ++i, ++next) {
+        const RunResult &r = next->result;
+        printRow(next->key.label,
                  {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
                  "%.3f");
     }
 
     std::printf("\n--- DRAM page policy ---\n");
     printHeader("policy", {"time(us)", "rowHits", "energy(uJ)"});
-    for (PagePolicy policy : {PagePolicy::Open, PagePolicy::Closed}) {
-        SystemParams params = SystemParams::beaconD();
-        params.page_policy = policy;
-        NdpSystem system(params, workload);
-        const RunResult r = system.run(0);
-        printRow(policy == PagePolicy::Open ? "open" : "closed",
-                 {r.seconds * 1e6,
-                  system.stats().sumMatching("rowHits"),
+    for (int i = 0; i < 2; ++i, ++next) {
+        const RunResult &r = next->result;
+        printRow(next->key.label,
+                 {r.seconds * 1e6, statOf(*next, "rowHits"),
                   r.energy.totalPj() * 1e-6},
                  "%.2f");
     }
@@ -89,22 +149,19 @@ main()
     std::printf("\n--- CXLG-DIMM stripe weight (hot-data "
                 "proximity) ---\n");
     printHeader("weight", {"time(us)", "wire(MB)"});
-    for (unsigned weight : {1u, 3u, 5u, 9u}) {
-        SystemParams params = SystemParams::beaconD();
-        params.opts.cxlg_stripe_weight = weight;
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(std::to_string(weight),
+    for (std::size_t i = 0; i < stripe_weights.size(); ++i, ++next) {
+        const RunResult &r = next->result;
+        printRow(next->key.label,
                  {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
                  "%.3f");
     }
 
     std::printf("\n--- in-flight task depth per module ---\n");
     printHeader("inflight", {"time(us)"});
-    for (unsigned depth : {16u, 64u, 256u, 1024u}) {
-        SystemParams params = SystemParams::beaconD();
-        params.max_inflight_tasks = depth;
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(std::to_string(depth), {r.seconds * 1e6}, "%.3f");
-    }
+    for (std::size_t i = 0; i < depths.size(); ++i, ++next)
+        printRow(next->key.label, {next->result.seconds * 1e6},
+                 "%.3f");
+
+    emitJson(report, opts, timer);
     return 0;
 }

@@ -7,21 +7,34 @@
  * hardware baselines). Dataset sizes are scaled for simulator
  * tractability; set BEACON_BENCH_SCALE=<n> to multiply genome sizes
  * and read counts.
+ *
+ * Harnesses run their independent simulations through SweepRunner
+ * (accel/sweep.hh): BEACON_BENCH_JOBS workers execute sweep points
+ * concurrently, and results are merged in submission order so the
+ * printed tables and emitted JSON are bit-identical to a serial run.
+ * Every harness accepts `--json <path>` and writes the
+ * beacon-bench-1 schema (see EXPERIMENTS.md); with
+ * BEACON_BENCH_JSON_NO_WALL=1 the wall-clock fields are omitted so
+ * two emissions of the same sweep compare byte-for-byte.
  */
 
 #ifndef BEACON_BENCH_BENCH_UTIL_HH
 #define BEACON_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "accel/cpu_baseline.hh"
 #include "accel/experiment.hh"
+#include "accel/sweep.hh"
 #include "accel/system.hh"
 #include "accel/workload.hh"
+#include "common/logging.hh"
 
 namespace beacon::bench
 {
@@ -105,28 +118,121 @@ printRow(const std::string &label, const std::vector<double> &values,
     std::printf("\n");
 }
 
-/** Run and normalise one ladder against a CPU baseline. */
-struct LadderResult
+// ---------------------------------------------------------------
+// Harness plumbing: arguments, timing, JSON emission
+// ---------------------------------------------------------------
+
+/** Options common to every harness. */
+struct BenchOptions
 {
-    std::vector<double> speedup_vs_cpu;   //!< one per rung
-    std::vector<double> energy_vs_cpu;    //!< CPU energy / rung energy
-    std::vector<RunResult> runs;
+    std::string json_path; //!< empty = no JSON emission
 };
 
-inline LadderResult
-runLadder(const std::vector<LadderStep> &ladder,
-          const Workload &workload, const CpuBaselineResult &cpu,
-          std::size_t tasks = 0)
+/** Parse `--json <path>`; exits with usage on anything else. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
 {
-    LadderResult out;
-    for (const LadderStep &step : ladder) {
-        const RunResult r = runSystem(step.params, workload, tasks);
-        out.speedup_vs_cpu.push_back(cpu.seconds / r.seconds);
-        out.energy_vs_cpu.push_back(cpu.energy_pj /
-                                    r.energy.totalPj());
-        out.runs.push_back(r);
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            opts.json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json <path>]\n",
+                         argv[0]);
+            std::exit(2);
+        }
     }
-    return out;
+    return opts;
+}
+
+/** Wall-clock stopwatch for the whole-harness timing field. */
+class BenchTimer
+{
+  public:
+    BenchTimer() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Fresh report stamped with harness name, scale, and job count. */
+inline SweepReport
+makeReport(const char *harness, const SweepRunner &runner)
+{
+    SweepReport report;
+    report.harness = harness;
+    report.bench_scale = benchScale();
+    report.jobs = runner.jobs();
+    return report;
+}
+
+/**
+ * Write the report to opts.json_path (if set). Honours
+ * BEACON_BENCH_JSON_NO_WALL=1 by omitting the non-deterministic
+ * wall-clock fields.
+ */
+inline void
+emitJson(SweepReport &report, const BenchOptions &opts,
+         const BenchTimer &timer)
+{
+    report.wall_seconds = timer.seconds();
+    if (opts.json_path.empty())
+        return;
+    const char *no_wall = std::getenv("BEACON_BENCH_JSON_NO_WALL");
+    const bool include_runtime =
+        !(no_wall && no_wall[0] && no_wall[0] != '0');
+    std::ofstream out(opts.json_path);
+    if (!out)
+        BEACON_FATAL("cannot open --json path '", opts.json_path,
+                     "'");
+    writeSweepJson(out, report, include_runtime);
+    std::fprintf(stderr, "bench JSON written to %s\n",
+                 opts.json_path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Ladder panels (Figs. 12/14/15)
+// ---------------------------------------------------------------
+
+/** Stat keys carried by the CPU-baseline pseudo-record. */
+inline constexpr const char *cpu_seconds_key = "cpu.seconds";
+inline constexpr const char *cpu_energy_key = "cpu.energy_pj";
+
+/** Enqueue the analytic CPU baseline as one sweep job. */
+inline std::size_t
+enqueueCpuBaseline(SweepRunner &runner, const std::string &dataset,
+                   const Workload &workload, bool kmc_single_pass)
+{
+    return runner.enqueue(
+        {dataset, "cpu-48t"},
+        [&workload, kmc_single_pass](RunContext &) {
+            SweepOutcome out;
+            const CpuBaselineResult cpu = cpuBaseline(
+                measureFootprint(workload,
+                                 WorkloadContext{kmc_single_pass, 0}));
+            out.stats.emplace_back(cpu_seconds_key, cpu.seconds);
+            out.stats.emplace_back(cpu_energy_key, cpu.energy_pj);
+            return out;
+        });
+}
+
+/** First stats value recorded under @p key (0 when absent). */
+inline double
+statOf(const SweepOutcome &outcome, const char *key)
+{
+    for (const auto &[name, value] : outcome.stats)
+        if (name == key)
+            return value;
+    return 0;
 }
 
 /**
@@ -136,15 +242,36 @@ runLadder(const std::vector<LadderStep> &ladder,
  * over that baseline, and the fraction of the idealized design's
  * performance. A second table reports energy reduction over the CPU
  * baseline per rung.
+ *
+ * All (dataset x {cpu, rungs, baseline, ideal}) points run through
+ * @p runner concurrently; the tables print from the merged outcomes
+ * and are appended to @p report.
  */
 inline void
 ladderPanel(
+    SweepRunner &runner, SweepReport &report,
     const std::string &title,
     const std::vector<std::pair<std::string, const Workload *>>
         &datasets,
     const SystemParams &hw_baseline,
     const std::vector<LadderStep> &ladder, std::size_t tasks = 0)
 {
+    // Submission order per dataset: cpu, rungs..., baseline, ideal.
+    const std::size_t stride = ladder.size() + 3;
+    for (const auto &[name, workload] : datasets) {
+        enqueueCpuBaseline(runner, name, *workload,
+                           ladder.back().params.opts.kmc_single_pass);
+        for (const LadderStep &step : ladder)
+            runner.enqueueRun({name, step.label}, step.params,
+                              *workload, tasks);
+        runner.enqueueRun({name, hw_baseline.name}, hw_baseline,
+                          *workload, tasks);
+        runner.enqueueRun({name, ladder.back().params.name + "-ideal"},
+                          ladder.back().params.idealized(), *workload,
+                          tasks);
+    }
+    const std::vector<SweepOutcome> outcomes = runner.run();
+
     std::printf("--- %s ---\n", title.c_str());
     std::vector<std::string> columns;
     for (const LadderStep &step : ladder)
@@ -156,37 +283,40 @@ ladderPanel(
 
     std::vector<std::vector<double>> energy_rows;
     std::vector<double> final_vs_base, pct_ideal;
-    for (const auto &[name, workload] : datasets) {
-        const CpuBaselineResult cpu = cpuBaseline(measureFootprint(
-            *workload,
-            WorkloadContext{ladder.back()
-                                .params.opts.kmc_single_pass,
-                            0}));
-        const LadderResult lr =
-            runLadder(ladder, *workload, cpu, tasks);
-        const RunResult base =
-            runSystem(hw_baseline, *workload, tasks);
-        const RunResult ideal = runSystem(
-            ladder.back().params.idealized(), *workload, tasks);
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+        const SweepOutcome &cpu = outcomes[d * stride];
+        const double cpu_seconds = statOf(cpu, cpu_seconds_key);
+        const double cpu_energy = statOf(cpu, cpu_energy_key);
+        const SweepOutcome *rungs = &outcomes[d * stride + 1];
+        const RunResult &final_run =
+            rungs[ladder.size() - 1].result;
+        const RunResult &base =
+            outcomes[d * stride + 1 + ladder.size()].result;
+        const RunResult &ideal =
+            outcomes[d * stride + 2 + ladder.size()].result;
 
-        std::vector<double> row = lr.speedup_vs_cpu;
-        row.push_back(cpu.seconds / base.seconds);
+        std::vector<double> row, erow;
+        for (std::size_t s = 0; s < ladder.size(); ++s) {
+            row.push_back(cpu_seconds / rungs[s].result.seconds);
+            erow.push_back(cpu_energy /
+                           rungs[s].result.energy.totalPj());
+        }
+        row.push_back(cpu_seconds / base.seconds);
         const double vs_base =
-            double(base.ticks) / double(lr.runs.back().ticks);
+            double(base.ticks) / double(final_run.ticks);
         row.push_back(vs_base);
         const double ideal_pct = 100.0 * double(ideal.ticks) /
-                                 double(lr.runs.back().ticks);
+                                 double(final_run.ticks);
         row.push_back(ideal_pct);
         final_vs_base.push_back(vs_base);
         pct_ideal.push_back(ideal_pct);
-        printRow(name, row, "%.2f", 14);
+        printRow(datasets[d].first, row, "%.2f", 14);
 
-        std::vector<double> erow = lr.energy_vs_cpu;
-        erow.push_back(cpu.energy_pj / base.energy.totalPj());
+        erow.push_back(cpu_energy / base.energy.totalPj());
         erow.push_back(base.energy.totalPj() /
-                       lr.runs.back().energy.totalPj());
+                       final_run.energy.totalPj());
         erow.push_back(100.0 * ideal.energy.totalPj() /
-                       lr.runs.back().energy.totalPj());
+                       final_run.energy.totalPj());
         energy_rows.push_back(std::move(erow));
     }
     std::printf("%-14s final vs %s: %s (geomean), "
@@ -201,6 +331,12 @@ ladderPanel(
     for (std::size_t i = 0; i < datasets.size(); ++i)
         printRow(datasets[i].first, energy_rows[i], "%.2f", 14);
     std::printf("\n");
+
+    report.add(outcomes);
+    report.derive(title + " :: final_vs_base_geomean",
+                  geomean(final_vs_base));
+    report.derive(title + " :: pct_of_ideal_geomean",
+                  geomean(pct_ideal));
 }
 
 } // namespace beacon::bench

@@ -19,34 +19,47 @@ namespace
 {
 
 void
-panel(const char *title, const Workload &workload)
+panel(SweepRunner &runner, SweepReport &report, const char *title,
+      const Workload &workload)
 {
+    // Submission order: the normalisation baseline, then the four
+    // reported systems.
+    const SystemParams vanilla_base =
+        workload.engine() == EngineKind::GraphTraversal
+            ? SystemParams::cxlVanillaD()
+            : SystemParams::cxlVanillaS();
+    runner.enqueueRun({workload.name(), "baseline"}, vanilla_base,
+                      workload, 0);
+    for (const SystemParams &params :
+         {SystemParams::cxlVanillaD(), SystemParams::cxlVanillaS(),
+          SystemParams::beaconD(), SystemParams::beaconS()})
+        runner.enqueueRun({workload.name(), params.name}, params,
+                          workload, 0);
+    const std::vector<SweepOutcome> outcomes = runner.run();
+
     std::printf("--- %s ---\n", title);
     printHeader("system", {"time(us)", "wire(MB)", "energy(uJ)",
                            "vs vanilla"});
-    const RunResult vanilla = runSystem(
-        workload.engine() == EngineKind::GraphTraversal
-            ? SystemParams::cxlVanillaD()
-            : SystemParams::cxlVanillaS(),
-        workload, 0);
-    for (const SystemParams &params :
-         {SystemParams::cxlVanillaD(), SystemParams::cxlVanillaS(),
-          SystemParams::beaconD(), SystemParams::beaconS()}) {
-        const RunResult r = runSystem(params, workload, 0);
-        printRow(params.name,
+    const RunResult &vanilla = outcomes[0].result;
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        printRow(outcomes[i].key.label,
                  {r.seconds * 1e6, double(r.wire_bytes) / 1e6,
                   r.energy.totalPj() * 1e-6,
                   double(vanilla.ticks) / double(r.ticks)},
                  "%.2f");
     }
     std::printf("\n");
+    report.add(outcomes);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Section V: extension to other memory-bound "
                 "applications ===\n\n");
 
@@ -54,14 +67,20 @@ main()
     gp.num_vertices = 1 << 14;
     gp.avg_degree = 8;
     GraphBfsWorkload bfs(gp, 256, 256);
-    panel("graph processing: BFS over a power-law CSR graph", bfs);
-
     DbProbeWorkload probe(1 << 16, 14, 512, 32);
-    panel("database searching: hash-join index probing", probe);
+
+    SweepRunner runner;
+    SweepReport report = makeReport("extension_apps", runner);
+
+    panel(runner, report,
+          "graph processing: BFS over a power-law CSR graph", bfs);
+    panel(runner, report,
+          "database searching: hash-join index probing", probe);
 
     std::printf("paper (Section V): BEACON extends to image/graph "
                 "processing and database searching by replacing the "
                 "PEs; placement and mapping adapt per data "
                 "structure.\n");
+    emitJson(report, opts, timer);
     return 0;
 }

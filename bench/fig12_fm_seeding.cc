@@ -19,8 +19,10 @@ using namespace beacon;
 using namespace beacon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Fig. 12: FM-index based DNA seeding ===\n\n");
 
     std::vector<std::unique_ptr<FmSeedingWorkload>> owners;
@@ -30,16 +32,22 @@ main()
         datasets.emplace_back(preset.name, owners.back().get());
     }
 
-    ladderPanel("Fig. 12(a,b): BEACON-D (speedup over 48-thread CPU)",
+    SweepRunner runner;
+    SweepReport report = makeReport("fig12_fm_seeding", runner);
+
+    ladderPanel(runner, report,
+                "Fig. 12(a,b): BEACON-D (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconDLadder(/*with_coalescing=*/true));
 
-    ladderPanel("Fig. 12(c,d): BEACON-S (speedup over 48-thread CPU)",
+    ladderPanel(runner, report,
+                "Fig. 12(c,d): BEACON-S (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconSLadder(/*with_single_pass=*/false));
 
     std::printf("paper: BEACON-D 525.73x CPU / 4.36x MEDAL "
                 "(96.52%% of ideal); BEACON-S 291.62x CPU / 2.42x "
                 "MEDAL (98.48%% of ideal)\n");
+    emitJson(report, opts, timer);
     return 0;
 }

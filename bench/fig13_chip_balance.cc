@@ -40,26 +40,40 @@ histogram(const char *title, const RunResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Fig. 13: per-chip access balance, FM-index "
                 "seeding on BEACON-D ===\n\n");
     // The repeat-heavy Pt preset exhibits the hot-block skew.
     const auto preset = benchSeedingPresets()[0];
     FmSeedingWorkload workload(preset);
 
+    SweepRunner runner;
+    SweepReport report = makeReport("fig13_chip_balance", runner);
+
     SystemParams fine = SystemParams::beaconD();
     fine.opts.coalesce_chips = 1;
     fine.name = "BEACON-D (no coalescing)";
-    const RunResult without = runSystem(fine, workload, 0);
-    histogram("(a) without multi-chip coalescing", without);
+    runner.enqueueRun({preset.name, "no-coalescing"}, fine, workload,
+                      0);
+    runner.enqueueRun({preset.name, "coalescing-8"},
+                      SystemParams::beaconD(), workload, 0);
+    const std::vector<SweepOutcome> outcomes = runner.run();
 
-    const RunResult with_coalescing =
-        runSystem(SystemParams::beaconD(), workload, 0);
+    histogram("(a) without multi-chip coalescing",
+              outcomes[0].result);
     histogram("(b) with multi-chip coalescing (8 chips)",
-              with_coalescing);
+              outcomes[1].result);
 
     std::printf("paper: (a) unevenly distributed accesses, (b) "
                 "well-balanced accesses\n");
+    report.add(outcomes);
+    report.derive("cov_without_coalescing",
+                  outcomes[0].result.chip_access_cov);
+    report.derive("cov_with_coalescing",
+                  outcomes[1].result.chip_access_cov);
+    emitJson(report, opts, timer);
     return 0;
 }

@@ -17,8 +17,10 @@ using namespace beacon;
 using namespace beacon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Fig. 14: Hash-index based DNA seeding ===\n\n");
 
     std::vector<std::unique_ptr<HashSeedingWorkload>> owners;
@@ -29,15 +31,21 @@ main()
         datasets.emplace_back(preset.name, owners.back().get());
     }
 
-    ladderPanel("Fig. 14(a,b): BEACON-D (speedup over 48-thread CPU)",
+    SweepRunner runner;
+    SweepReport report = makeReport("fig14_hash_seeding", runner);
+
+    ladderPanel(runner, report,
+                "Fig. 14(a,b): BEACON-D (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconDLadder(/*with_coalescing=*/false));
 
-    ladderPanel("Fig. 14(c,d): BEACON-S (speedup over 48-thread CPU)",
+    ladderPanel(runner, report,
+                "Fig. 14(c,d): BEACON-S (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconSLadder(/*with_single_pass=*/false));
 
     std::printf("paper: BEACON-D 572.17x CPU / 4.70x MEDAL; "
                 "BEACON-S 556.66x CPU / 4.57x MEDAL\n");
+    emitJson(report, opts, timer);
     return 0;
 }

@@ -17,8 +17,10 @@ using namespace beacon;
 using namespace beacon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Fig. 15: k-mer counting (human-style 50x "
                 "preset) ===\n\n");
 
@@ -26,15 +28,21 @@ main()
     std::vector<std::pair<std::string, const Workload *>> datasets =
         {{"human50x", &workload}};
 
-    ladderPanel("Fig. 15(a,b): BEACON-D (speedup over 48-thread CPU)",
+    SweepRunner runner;
+    SweepReport report = makeReport("fig15_kmer_counting", runner);
+
+    ladderPanel(runner, report,
+                "Fig. 15(a,b): BEACON-D (speedup over 48-thread CPU)",
                 datasets, SystemParams::nest(),
                 beaconDLadder(/*with_coalescing=*/false));
 
-    ladderPanel("Fig. 15(c,d): BEACON-S (speedup over 48-thread CPU)",
+    ladderPanel(runner, report,
+                "Fig. 15(c,d): BEACON-S (speedup over 48-thread CPU)",
                 datasets, SystemParams::nest(),
                 beaconSLadder(/*with_single_pass=*/true));
 
     std::printf("paper: BEACON-D 443.08x CPU / 5.19x NEST; BEACON-S "
                 "527.99x CPU / 6.19x NEST (single-pass: 1.48x)\n");
+    emitJson(report, opts, timer);
     return 0;
 }

@@ -16,26 +16,44 @@ using namespace beacon;
 using namespace beacon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Fig. 16: DNA pre-alignment ===\n\n");
+
+    const auto presets = benchSeedingPresets();
+    std::vector<std::unique_ptr<PrealignWorkload>> owners;
+    for (const auto &preset : presets)
+        owners.push_back(std::make_unique<PrealignWorkload>(preset));
+
+    // Per dataset: cpu, BEACON-D, BEACON-S (submission order).
+    SweepRunner runner;
+    SweepReport report = makeReport("fig16_prealign", runner);
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        enqueueCpuBaseline(runner, presets[i].name, *owners[i],
+                           /*kmc_single_pass=*/true);
+        runner.enqueueRun({presets[i].name, "BEACON-D"},
+                          SystemParams::beaconD(), *owners[i], 0);
+        runner.enqueueRun({presets[i].name, "BEACON-S"},
+                          SystemParams::beaconS(), *owners[i], 0);
+    }
+    const std::vector<SweepOutcome> outcomes = runner.run();
+
     printHeader("dataset", {"D perf-x", "S perf-x", "D energy-x",
                             "S energy-x"});
-
     std::vector<double> d_perf, s_perf, d_energy, s_energy;
-    for (const auto &preset : benchSeedingPresets()) {
-        PrealignWorkload workload(preset);
-        const CpuBaselineResult cpu = cpuBaseline(
-            measureFootprint(workload, WorkloadContext{}));
-        const RunResult d =
-            runSystem(SystemParams::beaconD(), workload, 0);
-        const RunResult s =
-            runSystem(SystemParams::beaconS(), workload, 0);
-        d_perf.push_back(cpu.seconds / d.seconds);
-        s_perf.push_back(cpu.seconds / s.seconds);
-        d_energy.push_back(cpu.energy_pj / d.energy.totalPj());
-        s_energy.push_back(cpu.energy_pj / s.energy.totalPj());
-        printRow(preset.name,
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const SweepOutcome &cpu = outcomes[i * 3];
+        const RunResult &d = outcomes[i * 3 + 1].result;
+        const RunResult &s = outcomes[i * 3 + 2].result;
+        const double cpu_seconds = statOf(cpu, cpu_seconds_key);
+        const double cpu_energy = statOf(cpu, cpu_energy_key);
+        d_perf.push_back(cpu_seconds / d.seconds);
+        s_perf.push_back(cpu_seconds / s.seconds);
+        d_energy.push_back(cpu_energy / d.energy.totalPj());
+        s_energy.push_back(cpu_energy / s.energy.totalPj());
+        printRow(presets[i].name,
                  {d_perf.back(), s_perf.back(), d_energy.back(),
                   s_energy.back()});
     }
@@ -44,5 +62,12 @@ main()
                          geomean(d_energy), geomean(s_energy)});
     std::printf("\npaper: D 362.04x / S 359.36x perf; D 387.05x / "
                 "S 382.80x energy\n");
+
+    report.add(outcomes);
+    report.derive("beacon_d_perf_geomean", geomean(d_perf));
+    report.derive("beacon_s_perf_geomean", geomean(s_perf));
+    report.derive("beacon_d_energy_geomean", geomean(d_energy));
+    report.derive("beacon_s_energy_geomean", geomean(s_energy));
+    emitJson(report, opts, timer);
     return 0;
 }

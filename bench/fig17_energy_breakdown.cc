@@ -21,33 +21,51 @@ namespace
 {
 
 void
-breakdownPanel(const char *title,
+breakdownPanel(SweepRunner &runner, SweepReport &report,
+               const char *title,
                const std::vector<LadderStep> &ladder,
-               const std::vector<const Workload *> &workloads)
+               const std::vector<std::pair<std::string,
+                                           const Workload *>>
+                   &workloads)
 {
+    // Submission order: for each rung, every workload.
+    for (const LadderStep &step : ladder)
+        for (const auto &[name, workload] : workloads)
+            runner.enqueueRun({name, step.label}, step.params,
+                              *workload, 0);
+    const std::vector<SweepOutcome> outcomes = runner.run();
+
     std::printf("--- %s ---\n", title);
     printHeader("step", {"comm %", "dram %", "PE %"}, 10);
-    for (const LadderStep &step : ladder) {
+    const double n = double(workloads.size());
+    for (std::size_t s = 0; s < ladder.size(); ++s) {
         double comm = 0, dram = 0, pe = 0;
-        for (const Workload *workload : workloads) {
-            const RunResult r = runSystem(step.params, *workload, 0);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const RunResult &r =
+                outcomes[s * workloads.size() + w].result;
             const double total = r.energy.totalPj();
             comm += 100.0 * r.energy.comm_pj / total;
             dram += 100.0 * r.energy.dram_pj / total;
             pe += 100.0 * r.energy.pe_pj / total;
         }
-        const double n = double(workloads.size());
-        printRow(step.label, {comm / n, dram / n, pe / n}, "%.2f",
-                 10);
+        printRow(ladder[s].label, {comm / n, dram / n, pe / n},
+                 "%.2f", 10);
+        if (s == 0 || s + 1 == ladder.size())
+            report.derive(std::string(title) + " :: " +
+                              ladder[s].label + " comm_share_pct",
+                          comm / n);
     }
     std::printf("\n");
+    report.add(outcomes);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Fig. 17: energy breakdown by optimization "
                 "step ===\n\n");
 
@@ -55,14 +73,22 @@ main()
     FmSeedingWorkload fm(presets[0]);
     HashSeedingWorkload hash(presets[2]);
     KmerCountingWorkload kmc(benchKmcPreset());
-    const std::vector<const Workload *> workloads = {&fm, &hash,
-                                                     &kmc};
+    const std::vector<std::pair<std::string, const Workload *>>
+        workloads = {{fm.name(), &fm},
+                     {hash.name(), &hash},
+                     {kmc.name(), &kmc}};
 
-    breakdownPanel("(a) BEACON-D", beaconDLadder(true), workloads);
-    breakdownPanel("(b) BEACON-S", beaconSLadder(true), workloads);
+    SweepRunner runner;
+    SweepReport report = makeReport("fig17_energy_breakdown", runner);
+
+    breakdownPanel(runner, report, "(a) BEACON-D", beaconDLadder(true),
+                   workloads);
+    breakdownPanel(runner, report, "(b) BEACON-S", beaconSLadder(true),
+                   workloads);
 
     std::printf("paper: vanilla comm share 60.68%% (D) / 52.35%% "
                 "(S); fully optimized 14.01%% / 13.17%%; compute "
                 "<1%%\n");
+    emitJson(report, opts, timer);
     return 0;
 }

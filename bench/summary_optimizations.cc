@@ -20,16 +20,25 @@ namespace
 {
 
 void
-summary(const char *design, const std::vector<LadderStep> &ladder,
-        const std::vector<const Workload *> &workloads)
+summary(SweepRunner &runner, SweepReport &report, const char *design,
+        const std::vector<LadderStep> &ladder,
+        const std::vector<std::pair<std::string, const Workload *>>
+            &workloads)
 {
+    // Submission order: per workload, vanilla then fully optimized.
+    for (const auto &[name, workload] : workloads) {
+        runner.enqueueRun({name, ladder.front().label},
+                          ladder.front().params, *workload, 0);
+        runner.enqueueRun({name, ladder.back().label},
+                          ladder.back().params, *workload, 0);
+    }
+    const std::vector<SweepOutcome> outcomes = runner.run();
+
     std::vector<double> perf_gain, energy_gain;
     double comm_before = 0, comm_after = 0;
-    for (const Workload *workload : workloads) {
-        const RunResult vanilla =
-            runSystem(ladder.front().params, *workload, 0);
-        const RunResult full =
-            runSystem(ladder.back().params, *workload, 0);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const RunResult &vanilla = outcomes[w * 2].result;
+        const RunResult &full = outcomes[w * 2 + 1].result;
         perf_gain.push_back(double(vanilla.ticks) /
                             double(full.ticks));
         energy_gain.push_back(vanilla.energy.totalPj() /
@@ -43,27 +52,47 @@ summary(const char *design, const std::vector<LadderStep> &ladder,
                 design, formatX(geomean(perf_gain)).c_str(),
                 formatX(geomean(energy_gain)).c_str(),
                 comm_before / n, comm_after / n);
+
+    report.add(outcomes);
+    report.derive(std::string(design) + " :: perf_geomean",
+                  geomean(perf_gain));
+    report.derive(std::string(design) + " :: energy_geomean",
+                  geomean(energy_gain));
+    report.derive(std::string(design) + " :: comm_share_before_pct",
+                  comm_before / n);
+    report.derive(std::string(design) + " :: comm_share_after_pct",
+                  comm_after / n);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
     std::printf("=== Section VI-G: improvements from the proposed "
                 "optimizations ===\n\n");
     const auto presets = benchSeedingPresets();
     FmSeedingWorkload fm(presets[0]);
     HashSeedingWorkload hash(presets[2]);
     KmerCountingWorkload kmc(benchKmcPreset());
-    const std::vector<const Workload *> workloads = {&fm, &hash,
-                                                     &kmc};
+    const std::vector<std::pair<std::string, const Workload *>>
+        workloads = {{fm.name(), &fm},
+                     {hash.name(), &hash},
+                     {kmc.name(), &kmc}};
 
-    summary("BEACON-D", beaconDLadder(true), workloads);
-    summary("BEACON-S", beaconSLadder(true), workloads);
+    SweepRunner runner;
+    SweepReport report = makeReport("summary_optimizations", runner);
+
+    summary(runner, report, "BEACON-D", beaconDLadder(true),
+            workloads);
+    summary(runner, report, "BEACON-S", beaconSLadder(true),
+            workloads);
 
     std::printf("\npaper: BEACON-D 2.21x perf / 3.70x energy, "
                 "60.68%% -> 14.01%%; BEACON-S 1.99x perf / 2.04x "
                 "energy, 52.35%% -> 13.17%%\n");
+    emitJson(report, opts, timer);
     return 0;
 }

@@ -3,18 +3,28 @@
  * Table II: hardware overhead of the PEs in MEDAL, NEST, and BEACON
  * (28 nm synthesis constants the evaluation consumes), plus the
  * per-engine computational latencies of Section VI-A.
+ *
+ * No simulations run here; --json emits the synthesis constants and
+ * latencies as derived values of an empty sweep.
  */
 
 #include <cstdio>
 
 #include "accel/energy_model.hh"
+#include "bench_util.hh"
 #include "ndp/task.hh"
 
 using namespace beacon;
+using namespace beacon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const BenchTimer timer;
+    SweepRunner runner;
+    SweepReport report = makeReport("table2_pe_overhead", runner);
+
     std::printf("=== Table II: PE hardware overhead ===\n\n");
     std::printf("%-14s %12s %18s %18s\n", "architecture",
                 "area (um^2)", "dyn. power (mW)",
@@ -23,20 +33,29 @@ main()
         std::printf("%-14s %12.2f %18.2f %18.2f\n",
                     row.architecture.c_str(), row.area_um2,
                     row.dynamic_power_mw, row.leakage_power_uw);
+        report.derive(row.architecture + ".area_um2", row.area_um2);
+        report.derive(row.architecture + ".dynamic_power_mw",
+                      row.dynamic_power_mw);
+        report.derive(row.architecture + ".leakage_power_uw",
+                      row.leakage_power_uw);
     }
 
     std::printf("\nPer-step computational latencies (DRAM cycles)\n");
-    std::printf("  FM-index seeding      %lu\n",
-                static_cast<unsigned long>(
-                    engineStepCycles(EngineKind::FmIndex)));
-    std::printf("  Hash-index seeding    %lu\n",
-                static_cast<unsigned long>(
-                    engineStepCycles(EngineKind::HashIndex)));
-    std::printf("  k-mer counting        %lu\n",
-                static_cast<unsigned long>(
-                    engineStepCycles(EngineKind::KmerCounting)));
-    std::printf("  DNA pre-alignment     %lu\n",
-                static_cast<unsigned long>(
-                    engineStepCycles(EngineKind::Prealign)));
+    const std::pair<const char *, EngineKind> engines[] = {
+        {"fm_index", EngineKind::FmIndex},
+        {"hash_index", EngineKind::HashIndex},
+        {"kmer_counting", EngineKind::KmerCounting},
+        {"prealign", EngineKind::Prealign},
+    };
+    const char *labels[] = {"FM-index seeding", "Hash-index seeding",
+                            "k-mer counting", "DNA pre-alignment"};
+    for (std::size_t i = 0; i < std::size(engines); ++i) {
+        const auto cycles = engineStepCycles(engines[i].second);
+        std::printf("  %-20s  %lu\n", labels[i],
+                    static_cast<unsigned long>(cycles));
+        report.derive(std::string("step_cycles.") + engines[i].first,
+                      double(cycles));
+    }
+    emitJson(report, opts, timer);
     return 0;
 }

@@ -1,0 +1,234 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <ostream>
+#include <sstream>
+
+#include "accel/report.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace beacon
+{
+
+namespace
+{
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** splitmix64 finaliser decorrelating per-job seeds. */
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned jobs, std::uint64_t seed)
+    : num_jobs(jobs ? jobs : 1), base_seed(seed)
+{
+}
+
+unsigned
+SweepRunner::jobsFromEnv()
+{
+    const char *env = std::getenv("BEACON_BENCH_JOBS");
+    if (env) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return unsigned(v);
+        BEACON_WARN("ignoring invalid BEACON_BENCH_JOBS='", env,
+                    "'");
+    }
+    return ThreadPool::defaultThreads();
+}
+
+std::size_t
+SweepRunner::enqueue(SweepKey key, JobFn fn)
+{
+    pending.push_back({std::move(key), std::move(fn)});
+    return pending.size() - 1;
+}
+
+std::size_t
+SweepRunner::enqueueRun(SweepKey key, const SystemParams &params,
+                        const Workload &workload, std::size_t tasks,
+                        std::vector<std::string> stat_keys)
+{
+    return enqueue(
+        std::move(key),
+        [params, &workload, tasks,
+         stat_keys = std::move(stat_keys)](RunContext &) {
+            SweepOutcome out;
+            NdpSystem system(params, workload);
+            out.result = system.run(tasks);
+            for (const std::string &stat : stat_keys)
+                out.stats.emplace_back(
+                    stat, system.stats().sumMatching(stat));
+            return out;
+        });
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run()
+{
+    std::vector<Pending> jobs_to_run;
+    jobs_to_run.swap(pending);
+
+    std::vector<SweepOutcome> outcomes(jobs_to_run.size());
+    std::vector<std::exception_ptr> errors(jobs_to_run.size());
+    std::atomic<bool> cancelled{false};
+
+    auto execute = [&](std::size_t i) {
+        outcomes[i].key = jobs_to_run[i].key;
+        if (cancelled.load(std::memory_order_acquire)) {
+            outcomes[i].skipped = true;
+            return;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        RunContext ctx;
+        ctx.index = i;
+        ctx.rng = Rng(mixSeed(base_seed, i));
+        try {
+            SweepOutcome out = jobs_to_run[i].fn(ctx);
+            out.key = jobs_to_run[i].key;
+            out.wall_seconds = elapsedSeconds(start);
+            outcomes[i] = std::move(out);
+        } catch (...) {
+            errors[i] = std::current_exception();
+            cancelled.store(true, std::memory_order_release);
+        }
+    };
+
+    const unsigned workers = unsigned(std::min<std::size_t>(
+        num_jobs, std::max<std::size_t>(jobs_to_run.size(), 1)));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs_to_run.size(); ++i)
+            execute(i);
+    } else {
+        // The pool joins before run() returns: no detached threads
+        // survive a sweep, even one aborted by a worker exception.
+        ThreadPool pool(workers);
+        std::vector<std::future<void>> done;
+        done.reserve(jobs_to_run.size());
+        for (std::size_t i = 0; i < jobs_to_run.size(); ++i)
+            done.push_back(pool.submit([&execute, i] { execute(i); }));
+        for (auto &future : done)
+            future.get();
+    }
+
+    // Serial-equivalent error surfacing: the recorded failure with
+    // the lowest submission index wins.
+    for (std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+    return outcomes;
+}
+
+// ---------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Shortest round-trippable decimal form of @p v. */
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+writeStatPairs(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, double>> &pairs,
+    const std::string &pad)
+{
+    os << "{";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << pad << "  \"" << jsonEscape(pairs[i].first)
+           << "\": " << jsonNumber(pairs[i].second);
+    }
+    if (!pairs.empty())
+        os << "\n" << pad;
+    os << "}";
+}
+
+} // namespace
+
+void
+writeSweepJson(std::ostream &os, const SweepReport &report,
+               bool include_runtime)
+{
+    // writeRunResultJson prints doubles via operator<<; raise the
+    // stream precision so values round-trip exactly.
+    const auto saved_precision = os.precision(17);
+
+    os << "{\n";
+    os << "  \"schema\": \"beacon-bench-1\",\n";
+    os << "  \"harness\": \"" << jsonEscape(report.harness)
+       << "\",\n";
+    os << "  \"bench_scale\": " << report.bench_scale << ",\n";
+    if (include_runtime) {
+        os << "  \"jobs\": " << report.jobs << ",\n";
+        os << "  \"wall_seconds\": "
+           << jsonNumber(report.wall_seconds) << ",\n";
+    }
+    os << "  \"records\": [";
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+        const SweepOutcome &rec = report.records[i];
+        if (i)
+            os << ",";
+        os << "\n    {\n";
+        os << "      \"dataset\": \"" << jsonEscape(rec.key.dataset)
+           << "\",\n";
+        os << "      \"label\": \"" << jsonEscape(rec.key.label)
+           << "\",\n";
+        if (include_runtime)
+            os << "      \"wall_seconds\": "
+               << jsonNumber(rec.wall_seconds) << ",\n";
+        os << "      \"stats\": ";
+        writeStatPairs(os, rec.stats, "      ");
+        os << ",\n";
+        os << "      \"run\":\n";
+        writeRunResultJson(os, rec.result, 6);
+        os << "\n    }";
+    }
+    if (!report.records.empty())
+        os << "\n  ";
+    os << "],\n";
+    os << "  \"derived\": ";
+    writeStatPairs(os, report.derived, "  ");
+    os << "\n}\n";
+
+    os.precision(saved_precision);
+}
+
+std::string
+sweepJsonString(const SweepReport &report, bool include_runtime)
+{
+    std::ostringstream os;
+    writeSweepJson(os, report, include_runtime);
+    return os.str();
+}
+
+} // namespace beacon

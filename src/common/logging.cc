@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 
 namespace beacon
@@ -8,20 +9,22 @@ namespace beacon
 namespace
 {
 
-LogLevel global_log_level = LogLevel::Inform;
+// Atomic: parallel sweep workers (accel/sweep.hh) may warn while
+// another thread adjusts verbosity; a plain global would race.
+std::atomic<LogLevel> global_log_level{LogLevel::Inform};
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return global_log_level;
+    return global_log_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    global_log_level = level;
+    global_log_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail
@@ -46,14 +49,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (global_log_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (global_log_level >= LogLevel::Inform)
+    if (logLevel() >= LogLevel::Inform)
         std::cout << "info: " << msg << std::endl;
 }
 

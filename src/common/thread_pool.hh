@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool.
+ *
+ * The pool is the execution substrate of the parallel experiment
+ * sweeps (accel/sweep.hh): workers pull submitted tasks from a FIFO
+ * queue; submit() returns a std::future carrying the task's result
+ * or exception. The destructor drains every queued task and joins
+ * all workers, so a pool can never leave detached threads behind.
+ */
+
+#ifndef BEACON_COMMON_THREAD_POOL_HH
+#define BEACON_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+/** A fixed set of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; @p threads must be >= 1. */
+    explicit ThreadPool(unsigned threads)
+    {
+        BEACON_ASSERT(threads >= 1,
+                      "thread pool needs at least one worker");
+        workers.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drain the queue, then join every worker. */
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            stopping = true;
+        }
+        cv.notify_all();
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+
+    unsigned size() const { return unsigned(workers.size()); }
+
+    /**
+     * Enqueue @p fn; the returned future delivers its result (or
+     * rethrows whatever it threw).
+     */
+    template <typename F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::move(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            BEACON_ASSERT(!stopping,
+                          "submit() on a stopping thread pool");
+            queue.emplace_back([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return result;
+    }
+
+    /** hardware_concurrency, clamped to at least one. */
+    static unsigned
+    defaultThreads()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                cv.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (queue.empty())
+                    return; // stopping and drained
+                task = std::move(queue.front());
+                queue.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+};
+
+} // namespace beacon
+
+#endif // BEACON_COMMON_THREAD_POOL_HH

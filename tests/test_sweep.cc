@@ -1,0 +1,329 @@
+/**
+ * @file
+ * ThreadPool and SweepRunner: scheduling, per-run isolation,
+ * deterministic merge order, exception semantics, and the
+ * serial-vs-parallel equivalence the bench harnesses rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "accel/sweep.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+#include "check/checker_config.hh"
+#include "common/thread_pool.hh"
+
+namespace beacon
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskAndDeliversResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    int sum = 0;
+    for (auto &f : futures)
+        sum += f.get();
+    int expect = 0;
+    for (int i = 0; i < 32; ++i)
+        expect += i * i;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPoolTest, FuturePropagatesTaskException)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(
+        {
+            try {
+                f.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "task failed");
+                throw;
+            }
+        },
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        // Destructor must run every queued task, then join.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPoolDeathTest, ZeroWorkersPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(ThreadPool pool(0), "at least one worker");
+}
+
+// ---------------------------------------------------------------
+// SweepRunner scheduling
+// ---------------------------------------------------------------
+
+TEST(SweepRunnerTest, EmptySweepReturnsEmpty)
+{
+    SweepRunner runner(4);
+    EXPECT_TRUE(runner.run().empty());
+    // The runner stays usable after an empty run.
+    runner.enqueue({"d", "l"}, [](RunContext &) {
+        return SweepOutcome{};
+    });
+    EXPECT_EQ(runner.run().size(), 1u);
+}
+
+TEST(SweepRunnerTest, MoreWorkersThanJobs)
+{
+    SweepRunner runner(16);
+    for (int i = 0; i < 3; ++i)
+        runner.enqueue({"d", std::to_string(i)},
+                       [i](RunContext &) {
+                           SweepOutcome out;
+                           out.stats.emplace_back("i", double(i));
+                           return out;
+                       });
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(outcomes[i].key.label, std::to_string(i));
+        EXPECT_EQ(outcomes[i].stats[0].second, double(i));
+    }
+}
+
+TEST(SweepRunnerTest, OutcomesMergeInSubmissionOrder)
+{
+    // Jobs finish in scrambled wall-clock order (later submissions
+    // sleep less); the merged vector must still follow submission
+    // order, and ctx.index must equal the submission index.
+    SweepRunner runner(4);
+    for (std::size_t i = 0; i < 8; ++i)
+        runner.enqueue({"order", std::to_string(i)},
+                       [i](RunContext &ctx) {
+                           SweepOutcome out;
+                           out.stats.emplace_back(
+                               "ctx_index", double(ctx.index));
+                           out.stats.emplace_back("job", double(i));
+                           return out;
+                       });
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(outcomes[i].key.label, std::to_string(i));
+        EXPECT_EQ(outcomes[i].stats[0].second, double(i));
+        EXPECT_EQ(outcomes[i].stats[1].second, double(i));
+    }
+}
+
+/** Record each job's first Rng draws for a given worker count. */
+std::vector<std::vector<std::uint64_t>>
+rngDraws(unsigned workers)
+{
+    SweepRunner runner(workers, /*base_seed=*/42);
+    for (int i = 0; i < 6; ++i)
+        runner.enqueue({"rng", std::to_string(i)},
+                       [](RunContext &ctx) {
+                           SweepOutcome out;
+                           for (int d = 0; d < 4; ++d)
+                               out.stats.emplace_back(
+                                   "draw",
+                                   double(ctx.rng.next(1u << 30)));
+                           return out;
+                       });
+    std::vector<std::vector<std::uint64_t>> draws;
+    for (const SweepOutcome &out : runner.run()) {
+        std::vector<std::uint64_t> row;
+        for (const auto &[k, v] : out.stats)
+            row.push_back(std::uint64_t(v));
+        draws.push_back(std::move(row));
+    }
+    return draws;
+}
+
+TEST(SweepRunnerTest, RngStreamDependsOnIndexNotWorker)
+{
+    const auto serial = rngDraws(1);
+    const auto parallel = rngDraws(8);
+    EXPECT_EQ(serial, parallel);
+    // Streams are decorrelated across jobs.
+    EXPECT_NE(serial[0], serial[1]);
+}
+
+// ---------------------------------------------------------------
+// Exception semantics
+// ---------------------------------------------------------------
+
+TEST(SweepRunnerTest, LowestIndexExceptionWins)
+{
+    // All four jobs hold at a latch until everyone has started, so
+    // both throwing jobs (indices 1 and 3) really run; the rethrown
+    // error must be index 1's, exactly as a serial loop would fail.
+    SweepRunner runner(4);
+    std::latch ready(4);
+    for (int i = 0; i < 4; ++i)
+        runner.enqueue({"err", std::to_string(i)},
+                       [i, &ready](RunContext &) -> SweepOutcome {
+                           ready.arrive_and_wait();
+                           if (i == 1 || i == 3)
+                               throw std::runtime_error(
+                                   "job " + std::to_string(i));
+                           return {};
+                       });
+    try {
+        runner.run();
+        FAIL() << "run() should have rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 1");
+    }
+}
+
+TEST(SweepRunnerTest, SerialCancellationSkipsLaterJobs)
+{
+    // jobs=1: job 0 throws, so jobs 1..3 must never execute.
+    SweepRunner runner(1);
+    std::atomic<int> executed{0};
+    for (int i = 0; i < 4; ++i)
+        runner.enqueue({"cancel", std::to_string(i)},
+                       [i, &executed](RunContext &) -> SweepOutcome {
+                           executed.fetch_add(1);
+                           if (i == 0)
+                               throw std::runtime_error("first");
+                           return {};
+                       });
+    EXPECT_THROW(runner.run(), std::runtime_error);
+    EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(SweepRunnerTest, ParallelFailureJoinsAllWorkers)
+{
+    // run() must not leave detached threads after a worker throws:
+    // every started job observes its side effect before run()
+    // returns, and the runner can be reused immediately.
+    SweepRunner runner(4);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 16; ++i)
+        runner.enqueue({"join", std::to_string(i)},
+                       [i, &completed](RunContext &) -> SweepOutcome {
+                           if (i == 0)
+                               throw std::runtime_error("abort");
+                           completed.fetch_add(1);
+                           return {};
+                       });
+    EXPECT_THROW(runner.run(), std::runtime_error);
+    const int after_run = completed.load();
+    // Nothing keeps running once run() has returned.
+    EXPECT_EQ(completed.load(), after_run);
+    runner.enqueue({"join", "again"}, [](RunContext &) {
+        return SweepOutcome{};
+    });
+    EXPECT_EQ(runner.run().size(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Per-run isolation of full simulations
+// ---------------------------------------------------------------
+
+const FmSeedingWorkload &
+smallWorkload()
+{
+    static const FmSeedingWorkload workload = [] {
+        genomics::DatasetPreset preset =
+            genomics::seedingPresets()[3];
+        preset.genome.length = 1 << 13;
+        preset.reads.num_reads = 16;
+        return FmSeedingWorkload(preset);
+    }();
+    return workload;
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.tasks, b.tasks);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+    EXPECT_EQ(a.host_round_trips, b.host_round_trips);
+    EXPECT_EQ(a.dram_reads, b.dram_reads);
+    EXPECT_EQ(a.dram_writes, b.dram_writes);
+    EXPECT_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_EQ(a.chip_accesses, b.chip_accesses);
+}
+
+TEST(SweepIsolationTest, ConcurrentSystemsDoNotInterleaveStats)
+{
+    // Regression test for shared mutable state between NdpSystem
+    // instances: two different machines simulated concurrently must
+    // produce exactly the results they produce when run alone.
+    SystemParams d = SystemParams::beaconD();
+    SystemParams s = SystemParams::cxlVanillaD();
+    d.checkers = CheckerConfig::all();
+    s.checkers = CheckerConfig::all();
+
+    NdpSystem alone_d(d, smallWorkload());
+    const RunResult serial_d = alone_d.run(8);
+    NdpSystem alone_s(s, smallWorkload());
+    const RunResult serial_s = alone_s.run(8);
+
+    SweepRunner runner(2);
+    runner.enqueueRun({"iso", "beacon-d"}, d, smallWorkload(), 8);
+    runner.enqueueRun({"iso", "vanilla"}, s, smallWorkload(), 8);
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 2u);
+    expectSameRun(outcomes[0].result, serial_d);
+    expectSameRun(outcomes[1].result, serial_s);
+}
+
+TEST(SweepIsolationTest, JsonIdenticalAcrossWorkerCounts)
+{
+    auto sweepJson = [](unsigned workers) {
+        SweepRunner runner(workers);
+        for (const SystemParams &params :
+             {SystemParams::cxlVanillaD(), SystemParams::beaconD()})
+            runner.enqueueRun({"json", params.name}, params,
+                              smallWorkload(), 8,
+                              {"rowHits"});
+        SweepReport report;
+        report.harness = "test_sweep";
+        report.jobs = runner.jobs();
+        report.add(runner.run());
+        report.derive("answer", 42.0);
+        return sweepJsonString(report, /*include_runtime=*/false);
+    };
+    const std::string serial = sweepJson(1);
+    const std::string parallel = sweepJson(8);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("\"schema\": \"beacon-bench-1\""),
+              std::string::npos);
+    EXPECT_EQ(serial.find("wall_seconds"), std::string::npos);
+    EXPECT_EQ(serial.find("\"jobs\""), std::string::npos);
+}
+
+} // namespace
+} // namespace beacon

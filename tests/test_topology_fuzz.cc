@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/experiment.hh"
+#include "accel/sweep.hh"
 #include "accel/system.hh"
 #include "accel/workload.hh"
 #include "check/checker_config.hh"
@@ -126,6 +127,68 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TopologyFuzzTest,
                              return "seed" +
                                     std::to_string(info.param);
                          });
+
+/**
+ * Sweep @p count random topologies through a SweepRunner with
+ * @p workers workers. Each job draws its pool shape from the
+ * runner-provided per-index Rng stream, so the sampled topologies —
+ * not just their results — must be identical across worker counts.
+ */
+std::vector<SweepOutcome>
+fuzzSweep(unsigned workers, unsigned count)
+{
+    SweepRunner runner(workers, /*base_seed=*/0xF022ull);
+    for (unsigned i = 0; i < count; ++i)
+        runner.enqueue(
+            {"fuzz", "topo" + std::to_string(i)},
+            [](RunContext &ctx) {
+                const SystemParams params = randomPool(ctx.rng);
+                SweepOutcome out;
+                NdpSystem system(params, fuzzWorkload());
+                out.result = system.run(8);
+                out.stats.emplace_back(
+                    "groups", double(params.num_groups));
+                out.stats.emplace_back(
+                    "dimms", double(params.dimms_per_group));
+                return out;
+            });
+    return runner.run();
+}
+
+TEST(SweepDeterminismTest, SerialAndParallelSweepsAreBitIdentical)
+{
+    // The determinism property behind the bench harnesses: the same
+    // base seed produces bit-identical RunResults (checkers armed)
+    // whether the sweep runs on one worker or eight.
+    const auto serial = fuzzSweep(1, 10);
+    const auto parallel = fuzzSweep(8, 10);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        const RunResult &a = serial[i].result;
+        const RunResult &b = parallel[i].result;
+        EXPECT_EQ(serial[i].stats, parallel[i].stats);
+        EXPECT_EQ(a.ticks, b.ticks);
+        EXPECT_EQ(a.tasks, b.tasks);
+        EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+        EXPECT_EQ(a.host_round_trips, b.host_round_trips);
+        EXPECT_EQ(a.dram_reads, b.dram_reads);
+        EXPECT_EQ(a.dram_writes, b.dram_writes);
+        EXPECT_EQ(a.energy.dram_pj, b.energy.dram_pj);
+        EXPECT_EQ(a.energy.comm_pj, b.energy.comm_pj);
+        EXPECT_EQ(a.energy.pe_pj, b.energy.pe_pj);
+        EXPECT_EQ(a.chip_accesses, b.chip_accesses);
+        EXPECT_EQ(a.chip_access_cov, b.chip_access_cov);
+    }
+
+    // And the serialised form is byte-identical too.
+    SweepReport ra, rb;
+    ra.harness = rb.harness = "fuzz_sweep";
+    ra.add(serial);
+    rb.add(parallel);
+    EXPECT_EQ(sweepJsonString(ra, /*include_runtime=*/false),
+              sweepJsonString(rb, /*include_runtime=*/false));
+}
 
 } // namespace
 } // namespace beacon
