@@ -29,6 +29,7 @@ main(int argc, char **argv)
     FmSeedingWorkload workload(preset);
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("ablation_sweeps", runner);
 
     const std::vector<unsigned> chip_widths = {1, 2, 4, 8, 16};
@@ -96,6 +97,8 @@ main(int argc, char **argv)
 
     const std::vector<SweepOutcome> outcomes = runner.run();
     report.add(outcomes);
+    if (runner.listOnly())
+        return 0;
     auto next = outcomes.begin();
 
     std::printf("--- coalescing width (chips per access) ---\n");

@@ -126,9 +126,16 @@ printRow(const std::string &label, const std::vector<double> &values,
 struct BenchOptions
 {
     std::string json_path; //!< empty = no JSON emission
+    /** Enumerate sweep points (one "dataset/label" line each)
+     *  without running any simulation. */
+    bool list = false;
+    /** Regex over "dataset/label"; non-matching points are skipped
+     *  (empty = run everything). */
+    std::string filter;
 };
 
-/** Parse `--json <path>`; exits with usage on anything else. */
+/** Parse `--json <path>`, `--list`, `--filter <regex>`; exits with
+ *  usage on anything else. */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
@@ -137,13 +144,28 @@ parseBenchArgs(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             opts.json_path = argv[++i];
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--filter" && i + 1 < argc) {
+            opts.filter = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--json <path>]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] [--list] "
+                         "[--filter <regex>]\n",
                          argv[0]);
             std::exit(2);
         }
     }
     return opts;
+}
+
+/** Hand the sweep-point controls (--list / --filter) to a runner. */
+inline void
+applyBenchControls(SweepRunner &runner, const BenchOptions &opts)
+{
+    runner.setListOnly(opts.list);
+    if (!opts.filter.empty())
+        runner.setFilter(opts.filter);
 }
 
 /** Wall-clock stopwatch for the whole-harness timing field. */
@@ -185,7 +207,8 @@ emitJson(SweepReport &report, const BenchOptions &opts,
          const BenchTimer &timer)
 {
     report.wall_seconds = timer.seconds();
-    if (opts.json_path.empty())
+    // List mode enumerates points; nothing ran, so nothing to emit.
+    if (opts.json_path.empty() || opts.list)
         return;
     const char *no_wall = std::getenv("BEACON_BENCH_JSON_NO_WALL");
     const bool include_runtime =
@@ -271,6 +294,11 @@ ladderPanel(
                           tasks);
     }
     const std::vector<SweepOutcome> outcomes = runner.run();
+    if (runner.listOnly()) {
+        // Enumeration only: the points were printed by run().
+        report.add(outcomes);
+        return;
+    }
 
     std::printf("--- %s ---\n", title.c_str());
     std::vector<std::string> columns;
@@ -281,9 +309,15 @@ ladderPanel(
     columns.push_back("%of-ideal");
     printHeader("dataset", columns, 14);
 
+    std::vector<std::string> printed_datasets;
     std::vector<std::vector<double>> energy_rows;
     std::vector<double> final_vs_base, pct_ideal;
     for (std::size_t d = 0; d < datasets.size(); ++d) {
+        bool row_filtered = false;
+        for (std::size_t s = 0; s < stride; ++s)
+            row_filtered |= outcomes[d * stride + s].skipped;
+        if (row_filtered)
+            continue; // --filter removed part of this ladder
         const SweepOutcome &cpu = outcomes[d * stride];
         const double cpu_seconds = statOf(cpu, cpu_seconds_key);
         const double cpu_energy = statOf(cpu, cpu_energy_key);
@@ -318,6 +352,7 @@ ladderPanel(
         erow.push_back(100.0 * ideal.energy.totalPj() /
                        final_run.energy.totalPj());
         energy_rows.push_back(std::move(erow));
+        printed_datasets.push_back(datasets[d].first);
     }
     std::printf("%-14s final vs %s: %s (geomean), "
                 "%.1f%% of idealized design\n",
@@ -328,8 +363,8 @@ ladderPanel(
     std::printf("\nenergy reduction vs CPU (and final/base, "
                 "ideal%%):\n");
     printHeader("dataset", columns, 14);
-    for (std::size_t i = 0; i < datasets.size(); ++i)
-        printRow(datasets[i].first, energy_rows[i], "%.2f", 14);
+    for (std::size_t i = 0; i < printed_datasets.size(); ++i)
+        printRow(printed_datasets[i], energy_rows[i], "%.2f", 14);
     std::printf("\n");
 
     report.add(outcomes);

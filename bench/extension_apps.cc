@@ -36,6 +36,10 @@ panel(SweepRunner &runner, SweepReport &report, const char *title,
         runner.enqueueRun({workload.name(), params.name}, params,
                           workload, 0);
     const std::vector<SweepOutcome> outcomes = runner.run();
+    if (runner.listOnly()) {
+        report.add(outcomes);
+        return;
+    }
 
     std::printf("--- %s ---\n", title);
     printHeader("system", {"time(us)", "wire(MB)", "energy(uJ)",
@@ -70,6 +74,7 @@ main(int argc, char **argv)
     DbProbeWorkload probe(1 << 16, 14, 512, 32);
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("extension_apps", runner);
 
     panel(runner, report,

@@ -33,6 +33,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig12_fm_seeding", runner);
 
     ladderPanel(runner, report,

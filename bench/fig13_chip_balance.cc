@@ -51,6 +51,7 @@ main(int argc, char **argv)
     FmSeedingWorkload workload(preset);
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig13_chip_balance", runner);
 
     SystemParams fine = SystemParams::beaconD();
@@ -61,6 +62,10 @@ main(int argc, char **argv)
     runner.enqueueRun({preset.name, "coalescing-8"},
                       SystemParams::beaconD(), workload, 0);
     const std::vector<SweepOutcome> outcomes = runner.run();
+    if (runner.listOnly()) {
+        report.add(outcomes);
+        return 0;
+    }
 
     histogram("(a) without multi-chip coalescing",
               outcomes[0].result);

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig14_hash_seeding", runner);
 
     ladderPanel(runner, report,

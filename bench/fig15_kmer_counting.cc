@@ -29,6 +29,7 @@ main(int argc, char **argv)
         {{"human50x", &workload}};
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig15_kmer_counting", runner);
 
     ladderPanel(runner, report,

@@ -29,6 +29,7 @@ main(int argc, char **argv)
 
     // Per dataset: cpu, BEACON-D, BEACON-S (submission order).
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig16_prealign", runner);
     for (std::size_t i = 0; i < presets.size(); ++i) {
         enqueueCpuBaseline(runner, presets[i].name, *owners[i],
@@ -39,6 +40,10 @@ main(int argc, char **argv)
                           SystemParams::beaconS(), *owners[i], 0);
     }
     const std::vector<SweepOutcome> outcomes = runner.run();
+    if (runner.listOnly()) {
+        report.add(outcomes);
+        return 0;
+    }
 
     printHeader("dataset", {"D perf-x", "S perf-x", "D energy-x",
                             "S energy-x"});

@@ -34,6 +34,10 @@ breakdownPanel(SweepRunner &runner, SweepReport &report,
             runner.enqueueRun({name, step.label}, step.params,
                               *workload, 0);
     const std::vector<SweepOutcome> outcomes = runner.run();
+    if (runner.listOnly()) {
+        report.add(outcomes);
+        return;
+    }
 
     std::printf("--- %s ---\n", title);
     printHeader("step", {"comm %", "dram %", "PE %"}, 10);
@@ -79,6 +83,7 @@ main(int argc, char **argv)
                      {kmc.name(), &kmc}};
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig17_energy_breakdown", runner);
 
     breakdownPanel(runner, report, "(a) BEACON-D", beaconDLadder(true),

@@ -33,6 +33,10 @@ summary(SweepRunner &runner, SweepReport &report, const char *design,
                           ladder.back().params, *workload, 0);
     }
     const std::vector<SweepOutcome> outcomes = runner.run();
+    if (runner.listOnly()) {
+        report.add(outcomes);
+        return;
+    }
 
     std::vector<double> perf_gain, energy_gain;
     double comm_before = 0, comm_after = 0;
@@ -83,6 +87,7 @@ main(int argc, char **argv)
                      {kmc.name(), &kmc}};
 
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("summary_optimizations", runner);
 
     summary(runner, report, "BEACON-D", beaconDLadder(true),

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const BenchTimer timer;
     SweepRunner runner;
+    applyBenchControls(runner, opts);
     SweepReport report = makeReport("table2_pe_overhead", runner);
 
     std::printf("=== Table II: PE hardware overhead ===\n\n");

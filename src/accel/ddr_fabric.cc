@@ -11,7 +11,8 @@ DdrFabric::DdrFabric(const std::string &name, EventQueue &eq,
                      const DdrFabricParams &params)
     : SimObject(name, eq, stats),
       p(params),
-      stat_messages(stat("messages"))
+      stat_messages(stat("messages")),
+      stat_useful_bytes(stat("usefulBytesTotal"))
 {
     for (unsigned c = 0; c < p.num_channels; ++c) {
         channels.push_back(std::make_unique<BandwidthServer>(
@@ -43,13 +44,29 @@ DdrFabric::hopChannel(unsigned channel, std::uint64_t bytes,
     eq.schedule(done + latency, [fn = std::move(next)] { fn(); });
 }
 
+Counter &
+DdrFabric::tenantBytesStat(TenantId tenant)
+{
+    auto it = tenant_bytes_stats.find(tenant);
+    if (it == tenant_bytes_stats.end()) {
+        Counter &counter =
+            stat("tenant" + std::to_string(tenant) + ".usefulBytes");
+        it = tenant_bytes_stats.emplace(tenant, &counter).first;
+    }
+    return *it->second;
+}
+
 void
-DdrFabric::send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
-                bool /*fine_grained*/, Deliver deliver)
+DdrFabric::sendTagged(NodeId src, NodeId dst,
+                      std::uint64_t useful_bytes,
+                      bool /*fine_grained*/, TenantId tenant,
+                      Deliver deliver)
 {
     BEACON_ASSERT(!src.isSwitch() && !dst.isSwitch(),
                   "DDR fabric has no switches");
     ++stat_messages;
+    stat_useful_bytes += double(useful_bytes);
+    tenantBytesStat(tenant) += double(useful_bytes);
     const std::uint64_t wire =
         roundUp<std::uint64_t>(useful_bytes, p.granule_bytes);
     auto finish = [this, deliver = std::move(deliver)]() {

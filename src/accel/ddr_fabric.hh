@@ -17,6 +17,7 @@
 #ifndef BEACON_ACCEL_DDR_FABRIC_HH
 #define BEACON_ACCEL_DDR_FABRIC_HH
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -49,8 +50,9 @@ class DdrFabric : public SimObject, public Fabric
     DdrFabric(const std::string &name, EventQueue &eq,
               StatRegistry &stats, const DdrFabricParams &params);
 
-    void send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
-              bool fine_grained, Deliver deliver) override;
+    void sendTagged(NodeId src, NodeId dst,
+                    std::uint64_t useful_bytes, bool fine_grained,
+                    TenantId tenant, Deliver deliver) override;
 
     std::uint64_t totalWireBytes() const override;
 
@@ -67,6 +69,9 @@ class DdrFabric : public SimObject, public Fabric
     DdrFabricParams p;
     std::vector<std::unique_ptr<BandwidthServer>> channels;
     Counter &stat_messages;
+    Counter &stat_useful_bytes;
+    Counter &tenantBytesStat(TenantId tenant);
+    std::map<TenantId, Counter *> tenant_bytes_stats;
 };
 
 } // namespace beacon

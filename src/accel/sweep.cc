@@ -83,6 +83,13 @@ SweepRunner::enqueueRun(SweepKey key, const SystemParams &params,
         });
 }
 
+void
+SweepRunner::setFilter(const std::string &pattern)
+{
+    filter = std::regex(pattern);
+    have_filter = true;
+}
+
 std::vector<SweepOutcome>
 SweepRunner::run()
 {
@@ -90,12 +97,39 @@ SweepRunner::run()
     jobs_to_run.swap(pending);
 
     std::vector<SweepOutcome> outcomes(jobs_to_run.size());
+
+    if (list_only) {
+        // Enumerate without executing: every point one stdout line,
+        // every outcome skipped.
+        for (std::size_t i = 0; i < jobs_to_run.size(); ++i) {
+            outcomes[i].key = jobs_to_run[i].key;
+            outcomes[i].skipped = true;
+            std::printf("%s/%s\n",
+                        jobs_to_run[i].key.dataset.c_str(),
+                        jobs_to_run[i].key.label.c_str());
+        }
+        return outcomes;
+    }
+
+    // Filter decisions are made serially up front so worker threads
+    // never touch the shared regex.
+    std::vector<char> filtered_out(jobs_to_run.size(), 0);
+    if (have_filter) {
+        for (std::size_t i = 0; i < jobs_to_run.size(); ++i) {
+            const std::string identity = jobs_to_run[i].key.dataset +
+                                         "/" +
+                                         jobs_to_run[i].key.label;
+            filtered_out[i] = !std::regex_search(identity, filter);
+        }
+    }
+
     std::vector<std::exception_ptr> errors(jobs_to_run.size());
     std::atomic<bool> cancelled{false};
 
     auto execute = [&](std::size_t i) {
         outcomes[i].key = jobs_to_run[i].key;
-        if (cancelled.load(std::memory_order_acquire)) {
+        if (filtered_out[i] ||
+            cancelled.load(std::memory_order_acquire)) {
             outcomes[i].skipped = true;
             return;
         }
@@ -203,6 +237,10 @@ writeSweepJson(std::ostream &os, const SweepReport &report,
            << "\",\n";
         os << "      \"label\": \"" << jsonEscape(rec.key.label)
            << "\",\n";
+        // Emitted only when set, so pre-existing golden files keep
+        // their exact byte shape.
+        if (rec.skipped)
+            os << "      \"skipped\": true,\n";
         if (include_runtime)
             os << "      \"wall_seconds\": "
                << jsonNumber(rec.wall_seconds) << ",\n";

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <regex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -107,6 +108,22 @@ class SweepRunner
      */
     std::vector<SweepOutcome> run();
 
+    /**
+     * List mode: run() prints every queued point as one
+     * "dataset/label" line and returns all outcomes skipped, without
+     * executing anything.
+     */
+    void setListOnly(bool on) { list_only = on; }
+    bool listOnly() const { return list_only; }
+
+    /**
+     * Only execute points whose "dataset/label" identity matches
+     * @p pattern (ECMAScript regex, partial match); everything else
+     * is returned skipped. The outcome vector keeps its shape, so
+     * positional consumers (ladder panels) stay valid.
+     */
+    void setFilter(const std::string &pattern);
+
   private:
     struct Pending
     {
@@ -117,6 +134,9 @@ class SweepRunner
     unsigned num_jobs;
     std::uint64_t base_seed;
     std::vector<Pending> pending;
+    bool list_only = false;
+    bool have_filter = false;
+    std::regex filter;
 };
 
 /**

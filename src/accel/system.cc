@@ -121,7 +121,33 @@ SystemParams::idealized() const
 // ---------------------------------------------------------------
 
 NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
-    : p(params), workload(wl)
+    : p(params), workload(&wl)
+{
+    buildMachine();
+
+    AllocationRequest request;
+    request.app = workload->name();
+    request.structures = workload->structures();
+    request.policy = policy_proto;
+
+    AllocationResponse response = framework->allocate(request);
+    if (!response.success)
+        BEACON_FATAL("allocation failed: ", response.error);
+    mem_layout = response.layout;
+
+    ctx.kmc_single_pass = p.opts.kmc_single_pass;
+    ctx.pass = 0;
+}
+
+NdpSystem::NdpSystem(const SystemParams &params) : p(params)
+{
+    buildMachine();
+    ctx.kmc_single_pass = p.opts.kmc_single_pass;
+    ctx.pass = 0;
+}
+
+void
+NdpSystem::buildMachine()
 {
     const unsigned num_dimms = p.num_groups * p.dimms_per_group;
     auto is_cxlg = [&](unsigned dimm) {
@@ -223,6 +249,8 @@ NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
             BEACON_ASSERT(inflight[part] > 0, "inflight underflow");
             --inflight[part];
             pump();
+            if (slot_freed)
+                slot_freed();
         });
     }
 
@@ -249,29 +277,20 @@ NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
     }
     framework = std::make_unique<MemoryFramework>(inventory);
 
-    AllocationRequest request;
-    request.app = workload.name();
-    request.structures = workload.structures();
-    request.policy.placement_opt = p.opts.placement_mapping;
+    policy_proto.placement_opt = p.opts.placement_mapping;
     // Replication rides on the pool's spare capacity; the DDR
     // baselines keep single copies (their design cannot lean on
     // unmodified-DIMM expansion, Section III).
-    request.policy.replicate_read_only =
+    policy_proto.replicate_read_only =
         p.opts.placement_mapping && !p.ddr_fabric;
-    request.policy.coalesce_chips = std::max(1u, p.opts.coalesce_chips);
-    request.policy.cxlg_stripe_weight =
+    policy_proto.coalesce_chips = std::max(1u, p.opts.coalesce_chips);
+    policy_proto.cxlg_stripe_weight =
         std::max(1u, p.opts.cxlg_stripe_weight);
-    request.policy.partitions = unsigned(ndps.size());
-    request.policy.partition_switch = partition_group;
-    request.policy.partition_primary = partition_primary;
+    policy_proto.partitions = unsigned(ndps.size());
+    policy_proto.partition_switch = partition_group;
+    policy_proto.partition_primary = partition_primary;
 
-    AllocationResponse response = framework->allocate(request);
-    if (!response.success)
-        BEACON_FATAL("allocation failed: ", response.error);
-    mem_layout = response.layout;
-
-    ctx.kmc_single_pass = p.opts.kmc_single_pass;
-    ctx.pass = 0;
+    stat_dram_bytes = &registry.counter("system.dramBytesTotal");
 }
 
 NdpSystem::~NdpSystem() = default;
@@ -299,12 +318,55 @@ NdpSystem::localDram(unsigned dimm, const ResolvedAccess &piece,
     controllers.at(dimm)->enqueue(std::move(req));
 }
 
+const MemoryLayout &
+NdpSystem::layoutFor(TenantId tenant) const
+{
+    if (tenant != 0) {
+        auto it = tenant_layouts.find(tenant);
+        BEACON_ASSERT(it != tenant_layouts.end(),
+                      "access from unregistered tenant ", tenant);
+        return *it->second;
+    }
+    BEACON_ASSERT(mem_layout,
+                  "untenanted access without a workload layout");
+    return *mem_layout;
+}
+
+Counter &
+NdpSystem::tenantDramStat(TenantId tenant)
+{
+    auto it = tenant_dram_stats.find(tenant);
+    if (it == tenant_dram_stats.end()) {
+        Counter &counter = registry.counter(
+            "system.tenant" + std::to_string(tenant) + ".dramBytes");
+        it = tenant_dram_stats.emplace(tenant, &counter).first;
+    }
+    return *it->second;
+}
+
+void
+NdpSystem::setTenantLayout(TenantId tenant,
+                           std::shared_ptr<MemoryLayout> layout)
+{
+    BEACON_ASSERT(tenant != 0, "tenant 0 is the untenanted default");
+    tenant_layouts[tenant] = std::move(layout);
+}
+
+void
+NdpSystem::dropTenantLayout(TenantId tenant)
+{
+    tenant_layouts.erase(tenant);
+}
+
 void
 NdpSystem::issueAccess(unsigned partition, const AccessRequest &req,
                        std::function<void(Tick)> done)
 {
-    const std::vector<ResolvedAccess> pieces = mem_layout->resolve(
-        req.data_class, req.offset, req.bytes, partition);
+    *stat_dram_bytes += double(req.bytes);
+    tenantDramStat(req.tenant) += double(req.bytes);
+    const std::vector<ResolvedAccess> pieces =
+        layoutFor(req.tenant).resolve(req.data_class, req.offset,
+                                      req.bytes, partition);
     BEACON_ASSERT(!pieces.empty(), "access resolved to nothing");
     if (pieces.size() == 1) {
         issuePiece(partition, req, pieces[0], std::move(done));
@@ -359,11 +421,12 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
     const bool target_has_ndp =
         std::find(p.cxlg_dimms.begin(), p.cxlg_dimms.end(),
                   piece.dimm_index) != p.cxlg_dimms.end();
-    if (p.opts.function_shipping && target_has_ndp && fine) {
+    if (p.opts.function_shipping && target_has_ndp && fine &&
+        workload) {
         auto cb = std::make_shared<std::function<void(Tick)>>(
             std::move(done));
         const Tick remote_compute =
-            engineStepCycles(workload.engine()) * pe_clock_ps;
+            engineStepCycles(workload->engine()) * pe_clock_ps;
         fabric->send(src, dst, 24, true, [this, src, dst, piece,
                                           remote_compute,
                                           cb](Tick) {
@@ -528,7 +591,7 @@ NdpSystem::pump()
             if (inflight[part] < p.max_inflight_tasks) {
                 ++inflight[part];
                 next_partition = (part + 1) % unsigned(ndps.size());
-                TaskPtr task = workload.makeTask(next_task, ctx);
+                TaskPtr task = workload->makeTask(next_task, ctx);
                 ++next_task;
                 // Input streaming: the task (read + metadata)
                 // arrives from the host before it can start.
@@ -547,6 +610,45 @@ NdpSystem::pump()
         if (!found)
             return;
     }
+}
+
+bool
+NdpSystem::hasFreeSlot() const
+{
+    for (unsigned part = 0; part < ndps.size(); ++part) {
+        if (inflight[part] < p.max_inflight_tasks)
+            return true;
+    }
+    return false;
+}
+
+bool
+NdpSystem::serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done)
+{
+    for (unsigned probe = 0; probe < ndps.size(); ++probe) {
+        const unsigned part =
+            (next_partition + probe) % unsigned(ndps.size());
+        if (inflight[part] >= p.max_inflight_tasks)
+            continue;
+        ++inflight[part];
+        next_partition = (part + 1) % unsigned(ndps.size());
+        const TenantId tenant = task->tenant();
+        // Input streaming, as in pump(), but attributed to the
+        // task's tenant.
+        auto shared_task = std::make_shared<TaskPtr>(std::move(task));
+        auto shared_done =
+            std::make_shared<NdpModule::TaskDoneFn>(
+                std::move(on_done));
+        NdpModule *module = ndps[part].get();
+        fabric->sendTagged(
+            NodeId::host(), ndp_nodes[part], 32, false, tenant,
+            [module, shared_task, shared_done](Tick) {
+                module->submit(std::move(*shared_task),
+                               std::move(*shared_done));
+            });
+        return true;
+    }
+    return false;
 }
 
 void
@@ -571,7 +673,7 @@ NdpSystem::mergeFilters()
     if (parts <= 1)
         return;
     std::uint64_t filter_bytes = 0;
-    for (const StructureSpec &s : workload.structures()) {
+    for (const StructureSpec &s : workload->structures()) {
         if (s.cls == DataClass::BloomLocal)
             filter_bytes = s.bytes;
     }
@@ -579,7 +681,7 @@ NdpSystem::mergeFilters()
         return;
     filter_bytes = std::max<std::uint64_t>(
         1, std::uint64_t(double(filter_bytes) *
-                         workload.sampleFraction()));
+                         workload->sampleFraction()));
 
     unsigned pending = 0;
     bool done = false;
@@ -604,13 +706,16 @@ NdpSystem::mergeFilters()
 RunResult
 NdpSystem::run(std::size_t num_tasks)
 {
+    BEACON_ASSERT(workload,
+                  "run() needs a bound workload; service-mode "
+                  "systems are driven through serveTask()");
     const std::size_t total =
-        num_tasks == 0 ? workload.numTasks()
-                       : std::min(num_tasks, workload.numTasks());
+        num_tasks == 0 ? workload->numTasks()
+                       : std::min(num_tasks, workload->numTasks());
     target_tasks = total;
 
     const bool multi_pass =
-        workload.multiPassCapable() && !p.opts.kmc_single_pass;
+        workload->multiPassCapable() && !p.opts.kmc_single_pass;
 
     ctx.pass = 0;
     next_task = 0;
@@ -629,6 +734,17 @@ NdpSystem::run(std::size_t num_tasks)
 
     const Tick end = eq.now();
 
+    RunResult result = machineResult(end);
+    result.workload = workload->name();
+    result.tasks = total;
+    result.tasks_per_second =
+        result.seconds > 0 ? double(total) / result.seconds : 0;
+    return result;
+}
+
+RunResult
+NdpSystem::machineResult(Tick end)
+{
     // End-of-run verification: the run must leave every checker's
     // shadow model balanced.
     if (p.checkers.any()) {
@@ -642,12 +758,8 @@ NdpSystem::run(std::size_t num_tasks)
 
     RunResult result;
     result.system = p.name;
-    result.workload = workload.name();
     result.ticks = end;
     result.seconds = ticksToSeconds(end);
-    result.tasks = total;
-    result.tasks_per_second =
-        result.seconds > 0 ? double(total) / result.seconds : 0;
 
     // --- Energy ---
     for (const auto &ctrl : controllers) {

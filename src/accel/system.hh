@@ -19,6 +19,8 @@
 #define BEACON_ACCEL_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -130,11 +132,29 @@ struct RunResult
     double chip_access_cov = 0;
 };
 
-/** One fully instantiated machine bound to one workload. */
+/**
+ * One fully instantiated machine.
+ *
+ * Two modes of operation:
+ *  - bound to one Workload (the classic construction): run() drives
+ *    the workload's tasks to completion and reports metrics;
+ *  - service mode (workload-less construction): an external
+ *    orchestrator (src/service) admits tenants through the memory
+ *    framework, registers their layouts, and dispatches tasks via
+ *    serveTask() — many concurrent jobs share this one machine.
+ */
 class NdpSystem
 {
   public:
     NdpSystem(const SystemParams &params, const Workload &workload);
+
+    /**
+     * Service mode: build the machine with no bound workload. Tasks
+     * arrive through serveTask() and memory through per-tenant
+     * allocations (see placementPolicy() / setTenantLayout()).
+     */
+    explicit NdpSystem(const SystemParams &params);
+
     ~NdpSystem();
 
     /**
@@ -158,7 +178,80 @@ class NdpSystem
 
     unsigned numPartitions() const { return unsigned(ndps.size()); }
 
+    /** @name Service mode (multi-tenant orchestration) @{ */
+
+    /** The memory framework, for tenant admission decisions. */
+    MemoryFramework &memoryFramework() { return *framework; }
+
+    /** Event queue, for orchestrators driving the loop directly. */
+    EventQueue &eventQueue() { return eq; }
+
+    /** Mutable registry access (orchestrator-level statistics). */
+    StatRegistry &statsMutable() { return registry; }
+
+    /**
+     * Placement-policy prototype matching this machine's topology
+     * and optimization flags; tenants start from it when building
+     * their AllocationRequests so every tenant layout agrees with
+     * the machine on partition count and NDP placement.
+     */
+    const PlacementPolicy &placementPolicy() const
+    {
+        return policy_proto;
+    }
+
+    /** Register / drop the layout backing a tenant's accesses. */
+    void setTenantLayout(TenantId tenant,
+                         std::shared_ptr<MemoryLayout> layout);
+    void dropTenantLayout(TenantId tenant);
+
+    /** True when some NDP module can accept another task. */
+    bool hasFreeSlot() const;
+
+    /**
+     * Dispatch one externally built task: input streaming from the
+     * host (tagged with the task's tenant) followed by submission to
+     * an NDP module with room. @p on_done fires at task completion.
+     * Returns false — without consuming the task's slot — when every
+     * module is full.
+     */
+    bool serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done);
+
+    /** Observer invoked whenever a task slot frees up. */
+    void setSlotFreedFn(std::function<void()> fn)
+    {
+        slot_freed = std::move(fn);
+    }
+
+    /**
+     * Machine-level metrics as of @p end, including end-of-run
+     * checker finalization. run() uses this internally; service-mode
+     * orchestrators call it once their job mix has drained.
+     */
+    RunResult machineResult(Tick end);
+
+    unsigned maxInflightTasks() const { return p.max_inflight_tasks; }
+    Tick peClockPs() const { return pe_clock_ps; }
+    const SystemParams &params() const { return p; }
+
+    /** NDP module of a partition (per-tenant stat inspection). */
+    const NdpModule &ndpModule(unsigned partition) const
+    {
+        return *ndps.at(partition);
+    }
+
+    /** @} */
+
   private:
+    /** Instantiate fabric, DRAM, NDP modules, engines, framework. */
+    void buildMachine();
+
+    /** The layout backing accesses of @p tenant. */
+    const MemoryLayout &layoutFor(TenantId tenant) const;
+
+    /** Lazily created per-tenant logical DRAM byte counter. */
+    Counter &tenantDramStat(TenantId tenant);
+
     /** NodeId hosting partition @p p's NDP module. */
     NodeId ndpNode(unsigned partition) const;
 
@@ -190,7 +283,8 @@ class NdpSystem
     void mergeFilters();
 
     SystemParams p;
-    const Workload &workload;
+    /** Bound workload; nullptr in service mode. */
+    const Workload *workload = nullptr;
     WorkloadContext ctx;
 
     EventQueue eq;
@@ -208,6 +302,16 @@ class NdpSystem
 
     std::unique_ptr<MemoryFramework> framework;
     std::shared_ptr<MemoryLayout> mem_layout;
+    /** Topology-derived policy prototype (see placementPolicy()). */
+    PlacementPolicy policy_proto;
+    /** Layouts registered by service-mode tenants. */
+    std::map<TenantId, std::shared_ptr<MemoryLayout>> tenant_layouts;
+    /** Logical bytes requested of DRAM, untagged total + per tenant
+     *  (conservation: the tenant counters sum to the total). */
+    Counter *stat_dram_bytes = nullptr;
+    std::map<TenantId, Counter *> tenant_dram_stats;
+    /** Service-mode observer: a module slot became free. */
+    std::function<void()> slot_freed;
 
     // Task driver state.
     std::size_t next_task = 0;

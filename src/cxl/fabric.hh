@@ -15,6 +15,7 @@
 
 #include "common/units.hh"
 #include "cxl/node.hh"
+#include "ndp/task.hh"
 
 namespace beacon
 {
@@ -30,11 +31,28 @@ class Fabric
     /**
      * Move @p useful_bytes from @p src to @p dst; @p deliver fires at
      * full arrival. @p fine_grained marks payloads eligible for data
-     * packing (where the fabric supports it).
+     * packing (where the fabric supports it). Traffic submitted this
+     * way is accounted to tenant 0 (untenanted).
      */
-    virtual void send(NodeId src, NodeId dst,
-                      std::uint64_t useful_bytes, bool fine_grained,
-                      Deliver deliver) = 0;
+    void
+    send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
+         bool fine_grained, Deliver deliver)
+    {
+        sendTagged(src, dst, useful_bytes, fine_grained, 0,
+                   std::move(deliver));
+    }
+
+    /**
+     * send() with per-tenant attribution: the fabric accounts
+     * @p useful_bytes to @p tenant at the injection point, so
+     * multi-tenant runs can split link occupancy (and with it
+     * communication energy) by tenant. Timing is identical to an
+     * untagged send.
+     */
+    virtual void sendTagged(NodeId src, NodeId dst,
+                            std::uint64_t useful_bytes,
+                            bool fine_grained, TenantId tenant,
+                            Deliver deliver) = 0;
 
     /** Total wire bytes moved (for communication energy). */
     virtual std::uint64_t totalWireBytes() const = 0;

@@ -10,7 +10,8 @@ PoolFabric::PoolFabric(const std::string &name, EventQueue &eq,
     : SimObject(name, eq, stats),
       p(params),
       stat_messages(stat("messages")),
-      stat_host_round_trips(stat("hostRoundTrips"))
+      stat_host_round_trips(stat("hostRoundTrips")),
+      stat_useful_bytes(stat("usefulBytesTotal"))
 {
     if (p.ideal) {
         p.dimm_link.ideal = true;
@@ -110,11 +111,26 @@ PoolFabric::packerFor(NodeId src, NodeId dst)
     return *it->second;
 }
 
+Counter &
+PoolFabric::tenantBytesStat(TenantId tenant)
+{
+    auto it = tenant_bytes_stats.find(tenant);
+    if (it == tenant_bytes_stats.end()) {
+        Counter &counter =
+            stat("tenant" + std::to_string(tenant) + ".usefulBytes");
+        it = tenant_bytes_stats.emplace(tenant, &counter).first;
+    }
+    return *it->second;
+}
+
 void
-PoolFabric::send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
-                 bool fine_grained, Deliver deliver)
+PoolFabric::sendTagged(NodeId src, NodeId dst,
+                       std::uint64_t useful_bytes, bool fine_grained,
+                       TenantId tenant, Deliver deliver)
 {
     ++stat_messages;
+    stat_useful_bytes += double(useful_bytes);
+    tenantBytesStat(tenant) += double(useful_bytes);
     if (link_checker) {
         link_checker->onSubmit(curTick());
         // Wrap the delivery so the checker sees the matching exit.
@@ -146,6 +162,15 @@ PoolFabric::hopBus(unsigned sw, std::uint64_t bytes,
 void
 PoolFabric::finalizeCheck() const
 {
+    // A drained event queue must leave no payload staged in any Data
+    // Packer: the flush timeout is a scheduled event, so a stranded
+    // payload means the timeout was lost (or the run ended before
+    // the queue drained) and its delivery callback never fired.
+    for (const auto &[key, packer] : packers) {
+        BEACON_ASSERT(packer->pendingCount() == 0,
+                      "Data Packer stranded ", packer->pendingCount(),
+                      " staged payload(s) at end of run");
+    }
     if (!link_checker)
         return;
     link_checker->finalize();

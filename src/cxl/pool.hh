@@ -86,12 +86,14 @@ class PoolFabric : public SimObject, public Fabric
     }
 
     /**
-     * Send @p useful_bytes from @p src to @p dst. Fine-grained
-     * payloads are eligible for packing. @p deliver fires when the
-     * payload has fully arrived.
+     * Send @p useful_bytes from @p src to @p dst, accounted to
+     * @p tenant at the injection point. Fine-grained payloads are
+     * eligible for packing. @p deliver fires when the payload has
+     * fully arrived.
      */
-    void send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
-              bool fine_grained, Deliver deliver) override;
+    void sendTagged(NodeId src, NodeId dst,
+                    std::uint64_t useful_bytes, bool fine_grained,
+                    TenantId tenant, Deliver deliver) override;
 
     /** Bytes moved over DIMM links, host links, and switch buses. */
     std::uint64_t dimmLinkBytes() const;
@@ -144,6 +146,11 @@ class PoolFabric : public SimObject, public Fabric
     std::uint64_t host_round_trips = 0;
     Counter &stat_messages;
     Counter &stat_host_round_trips;
+    /** Untenanted ingress total; per-tenant counters must sum to
+     *  exactly this value (conservation, test-enforced). */
+    Counter &stat_useful_bytes;
+    Counter &tenantBytesStat(TenantId tenant);
+    std::map<TenantId, Counter *> tenant_bytes_stats;
 };
 
 } // namespace beacon

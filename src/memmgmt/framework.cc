@@ -47,10 +47,29 @@ MemoryFramework::allocate(const AllocationRequest &request)
             return response;
         }
     }
+    if (replicatedBytes(request) == 0) {
+        response.error = "zero-byte allocation for '" + request.app +
+                         "' (no quota)";
+        return response;
+    }
+
+    // Offset the application's region past the rows already resident
+    // so co-tenants occupy disjoint row ranges on shared DIMMs. An
+    // empty pool yields offset 0, preserving single-tenant layouts.
+    PlacementPolicy policy = request.policy;
+    for (unsigned i = 0; i < pool.size(); ++i) {
+        const std::uint64_t rank_row_bytes =
+            pool[i].geom.rowBytesPerChip() * pool[i].geom.chips_per_rank;
+        const std::uint64_t rows_used =
+            (residentBytes(i) + rank_row_bytes - 1) / rank_row_bytes;
+        policy.region_row_offset = std::max(
+            policy.region_row_offset,
+            unsigned(rows_used % pool[i].geom.rows));
+    }
 
     // Build the layout first: it decides which DIMMs are touched.
     auto layout = std::make_shared<MemoryLayout>(
-        pool, request.structures, request.policy);
+        pool, request.structures, policy);
 
     // Which DIMMs participate, and the footprint per DIMM.
     std::vector<std::uint64_t> needed(pool.size(), 0);
@@ -108,6 +127,12 @@ MemoryFramework::allocate(const AllocationRequest &request)
             return response;
         }
         if (resident + needed[i] > capacity) {
+            if (!request.allow_clean) {
+                response.error = "insufficient free capacity on " +
+                                 pool[i].node.str() +
+                                 " (memory clean disallowed)";
+                return response;
+            }
             // Memory clean: migrate other applications' data away.
             migrated += resident;
             usage[i].clear();
@@ -153,6 +178,24 @@ MemoryFramework::residentBytes(unsigned dimm_index) const
     std::uint64_t total = 0;
     for (const auto &[app, bytes] : usage.at(dimm_index))
         total += bytes;
+    return total;
+}
+
+std::uint64_t
+MemoryFramework::freeBytes(unsigned dimm_index) const
+{
+    const std::uint64_t capacity =
+        pool.at(dimm_index).geom.capacityBytes();
+    const std::uint64_t resident = residentBytes(dimm_index);
+    return capacity > resident ? capacity - resident : 0;
+}
+
+std::uint64_t
+MemoryFramework::poolFreeBytes() const
+{
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < pool.size(); ++i)
+        total += freeBytes(i);
     return total;
 }
 

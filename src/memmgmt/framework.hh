@@ -30,6 +30,14 @@ struct AllocationRequest
     std::string app;
     std::vector<StructureSpec> structures;
     PlacementPolicy policy;
+    /**
+     * Permit memory clean (migrating other applications off the
+     * chosen DIMMs) to make room. Single-workload runs keep the
+     * paper's default; a multi-tenant admission controller sets this
+     * false so an oversubscribed request fails instead of evicting a
+     * co-tenant.
+     */
+    bool allow_clean = true;
 };
 
 /** Framework response. */
@@ -61,6 +69,12 @@ class MemoryFramework
 
     /** Bytes currently resident on a DIMM (all applications). */
     std::uint64_t residentBytes(unsigned dimm_index) const;
+
+    /** Unused capacity remaining on a DIMM. */
+    std::uint64_t freeBytes(unsigned dimm_index) const;
+
+    /** Unused capacity summed over the whole pool. */
+    std::uint64_t poolFreeBytes() const;
 
     const std::vector<PoolDimm> &dimms() const { return pool; }
 

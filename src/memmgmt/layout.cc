@@ -108,7 +108,9 @@ MemoryLayout::MemoryLayout(std::vector<PoolDimm> dimms,
             MappingPolicy mp;
             mp.granule_bytes = plan.granule;
             mp.base_row =
-                structureBaseRow(spec.cls, dimm.geom.rows);
+                (structureBaseRow(spec.cls, dimm.geom.rows) +
+                 pol.region_row_offset) %
+                dimm.geom.rows;
             if (!pol.placement_opt) {
                 mp.chip_group = dimm.geom.chips_per_rank;
                 mp.row_major = false;

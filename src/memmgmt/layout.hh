@@ -91,6 +91,13 @@ struct PlacementPolicy
      * unmodified DIMM.
      */
     unsigned cxlg_stripe_weight = 5;
+    /**
+     * Row offset of this application's region on every DIMM. The
+     * framework sets it from the pool's current occupancy so
+     * concurrent tenants land in disjoint row ranges instead of
+     * aliasing each other's rows.
+     */
+    unsigned region_row_offset = 0;
     /** Number of NDP partitions (modules). */
     unsigned partitions = 1;
     /** Home switch of each partition's NDP module. */

@@ -13,21 +13,35 @@ NdpModule::NdpModule(const std::string &name, EventQueue &eq,
       issue(std::move(issue_fn)),
       stat_tasks(stat("tasksCompleted")),
       stat_accesses(stat("accessesIssued")),
-      stat_steps(stat("steps"))
+      stat_steps(stat("steps")),
+      stat_pe_busy(stat("peBusyTotalTicks"))
 {
     BEACON_ASSERT(p.num_pes > 0, "NDP module needs at least one PE");
     BEACON_ASSERT(issue, "NDP module needs a memory path");
 }
 
 void
-NdpModule::submit(TaskPtr task)
+NdpModule::submit(TaskPtr task, TaskDoneFn on_done)
 {
     BEACON_ASSERT(canAccept(), "NDP module over capacity");
     ++resident_tasks;
     auto pending = std::make_unique<PendingTask>();
     pending->task = std::move(task);
+    pending->on_done = std::move(on_done);
     ready_queue.push_back(std::move(pending));
     dispatch();
+}
+
+Counter &
+NdpModule::tenantBusyStat(TenantId tenant)
+{
+    auto it = tenant_busy_stats.find(tenant);
+    if (it == tenant_busy_stats.end()) {
+        Counter &counter =
+            stat("tenant" + std::to_string(tenant) + ".peBusyTicks");
+        it = tenant_busy_stats.emplace(tenant, &counter).first;
+    }
+    return *it->second;
 }
 
 void
@@ -69,9 +83,13 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
                      ": resident-task overflow, ", resident_tasks,
                      " of ", p.max_inflight_tasks);
     }
+    const TenantId tid = pending->task->tenant();
     const TaskStep step = pending->task->next();
     const Tick compute = step.compute_cycles * p.pe_clock_ps;
     pe_busy_ticks += compute;
+    pe_busy_by_tenant[tid] += compute;
+    stat_pe_busy += double(compute);
+    tenantBusyStat(tid) += double(compute);
 
     // The PE is occupied for the step's arithmetic; afterwards the
     // task either finishes, continues immediately, or parks in the
@@ -79,7 +97,7 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
     // keeps the callback copyable for std::function.
     auto held = std::make_shared<std::unique_ptr<PendingTask>>(
         std::move(pending));
-    eq.scheduleIn(compute, [this, step, held]() mutable {
+    eq.scheduleIn(compute, [this, step, held, tid]() mutable {
         std::unique_ptr<PendingTask> pending = std::move(*held);
         --busy_pes;
         if (step.done) {
@@ -88,7 +106,10 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
             --resident_tasks;
             ++tasks_completed;
             ++stat_tasks;
+            TaskDoneFn on_done = std::move(pending->on_done);
             pending.reset();
+            if (on_done)
+                on_done();
             if (task_done)
                 task_done();
             dispatch();
@@ -108,9 +129,14 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
             std::move(pending));
         const Tick issue_tick = curTick();
         const bool check = p.checkers.ndp_accounting;
-        for (const AccessRequest &req : step.accesses) {
+        for (const AccessRequest &raw : step.accesses) {
             ++accesses_issued;
             ++stat_accesses;
+            // Stamp the owning tenant here so the memory path and
+            // fabric attribute the access without trusting every
+            // task generator to do it.
+            AccessRequest req = raw;
+            req.tenant = tid;
             issue(req, [this, holder, issue_tick, check](Tick t) {
                 if (check) {
                     BEACON_CHECK(t >= issue_tick,

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "check/checker_config.hh"
@@ -69,8 +70,13 @@ class NdpModule : public SimObject
         return resident_tasks < p.max_inflight_tasks;
     }
 
-    /** Submit a task; the scheduler will dispatch it to a PE. */
-    void submit(TaskPtr task);
+    /**
+     * Submit a task; the scheduler will dispatch it to a PE.
+     * @p on_done (optional) fires when this particular task
+     * completes, before the module-level observer — the hook the
+     * multi-tenant orchestrator uses for per-job accounting.
+     */
+    void submit(TaskPtr task, TaskDoneFn on_done = nullptr);
 
     /** Register a completion observer (single observer). */
     void setTaskDoneFn(TaskDoneFn fn) { task_done = std::move(fn); }
@@ -93,12 +99,20 @@ class NdpModule : public SimObject
     /** Total PE-busy ticks (for PE energy accounting). */
     Tick peBusyTicks() const { return pe_busy_ticks; }
 
+    /** PE-busy ticks attributed to each tenant that ran here. */
+    const std::map<TenantId, Tick> &
+    peBusyByTenant() const
+    {
+        return pe_busy_by_tenant;
+    }
+
     const NdpModuleParams &params() const { return p; }
 
   private:
     struct PendingTask
     {
         TaskPtr task;
+        TaskDoneFn on_done;
         unsigned outstanding_accesses = 0;
     };
 
@@ -124,10 +138,18 @@ class NdpModule : public SimObject
     std::uint64_t accesses_issued = 0;
     std::uint64_t accesses_completed = 0;
     Tick pe_busy_ticks = 0;
+    /** Per-tenant PE-busy attribution; the conservation invariant
+     *  (sum over tenants == pe_busy_ticks) is test-enforced. */
+    std::map<TenantId, Tick> pe_busy_by_tenant;
 
     Counter &stat_tasks;
     Counter &stat_accesses;
     Counter &stat_steps;
+    Counter &stat_pe_busy;
+
+    /** Lazily created "tenant<k>.peBusyTicks" registry counters. */
+    Counter &tenantBusyStat(TenantId tenant);
+    std::map<TenantId, Counter *> tenant_busy_stats;
 };
 
 } // namespace beacon

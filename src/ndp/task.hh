@@ -74,6 +74,14 @@ enum class DataClass : std::uint8_t
     IndexNodes,     //!< database chain nodes (fine, random)
 };
 
+/**
+ * Identifies the tenant a task (and every access it issues) belongs
+ * to in multi-tenant service runs (src/service). Tenant 0 is the
+ * untenanted default used by single-workload runs and infrastructure
+ * traffic (input streaming handshakes, filter merges).
+ */
+using TenantId = std::uint32_t;
+
 /** One memory access requested by a task step. */
 struct AccessRequest
 {
@@ -84,6 +92,8 @@ struct AccessRequest
     bool is_write = false;
     /** Atomic read-modify-write (resolved by the Atomic Engine). */
     bool is_atomic = false;
+    /** Owning tenant; stamped by the NDP module from the task. */
+    TenantId tenant = 0;
 };
 
 /** Result of advancing a task by one step. */
@@ -113,6 +123,9 @@ class Task
      * of the previous step has completed.
      */
     virtual TaskStep next() = 0;
+
+    /** Tenant this task is accounted to (0 = untenanted). */
+    virtual TenantId tenant() const { return 0; }
 };
 
 using TaskPtr = std::unique_ptr<Task>;

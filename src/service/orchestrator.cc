@@ -1,0 +1,419 @@
+#include "orchestrator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace beacon
+{
+
+namespace
+{
+
+/** Latency quantile of a sorted sample, deterministic index rule. */
+double
+quantileMs(const std::vector<Tick> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t n = sorted.size();
+    const std::size_t rank = std::size_t(std::ceil(q * double(n)));
+    const std::size_t idx = rank == 0 ? 0 : std::min(n - 1, rank - 1);
+    return double(sorted[idx]) * 1e-9; // ps -> ms
+}
+
+double
+meanMs(const std::vector<Tick> &samples)
+{
+    if (samples.empty())
+        return 0;
+    double sum = 0;
+    for (Tick t : samples)
+        sum += double(t);
+    return sum / double(samples.size()) * 1e-9;
+}
+
+} // namespace
+
+PoolOrchestrator::PoolOrchestrator(NdpSystem &sys,
+                                   const OrchestratorParams &params)
+    : system(sys), p(params), scheduler(makeScheduler(p.scheduler))
+{
+}
+
+PoolOrchestrator::~PoolOrchestrator()
+{
+    // The machine may outlive us; never leave it a dangling observer.
+    system.setSlotFreedFn(nullptr);
+}
+
+PoolOrchestrator::TenantState &
+PoolOrchestrator::stateOf(TenantId tenant)
+{
+    BEACON_ASSERT(tenant >= 1 && tenant <= tenants.size(),
+                  "unknown tenant ", tenant);
+    return tenants[tenant - 1];
+}
+
+TenantId
+PoolOrchestrator::addTenant(const TenantSpec &spec)
+{
+    BEACON_ASSERT(!ran, "tenants must be admitted before run()");
+    BEACON_ASSERT(spec.workload, "tenant without a workload");
+    const TenantId id = TenantId(tenants.size() + 1);
+
+    AllocationRequest request;
+    request.app = spec.name.empty()
+                      ? "tenant" + std::to_string(id)
+                      : spec.name;
+    request.structures = spec.workload->structures();
+    request.policy = system.placementPolicy();
+    // A tenant that does not fit must be rejected, not squeezed in
+    // by migrating a co-tenant's resident data.
+    request.allow_clean = false;
+
+    AllocationResponse response =
+        system.memoryFramework().allocate(request);
+    if (!response.success) {
+        last_error = response.error;
+        return 0;
+    }
+    system.setTenantLayout(id, response.layout);
+
+    TenantState state;
+    state.spec = spec;
+    state.spec.name = request.app;
+    state.id = id;
+    tenants.push_back(std::move(state));
+    return id;
+}
+
+bool
+PoolOrchestrator::admitJob(TenantState &tenant,
+                           const std::shared_ptr<Job> &job)
+{
+    if (tenant.spec.scratch_bytes_per_job > 0) {
+        AllocationRequest request;
+        request.app = tenant.spec.name + ".job" +
+                      std::to_string(job->id);
+        StructureSpec scratch;
+        scratch.cls = DataClass::ReadData;
+        scratch.bytes = tenant.spec.scratch_bytes_per_job;
+        scratch.spatial = true;
+        scratch.read_only = false;
+        request.structures = {scratch};
+        request.policy = system.placementPolicy();
+        request.allow_clean = false;
+
+        AllocationResponse response =
+            system.memoryFramework().allocate(request);
+        if (!response.success) {
+            last_error = response.error;
+            return false;
+        }
+        job->scratch_app = request.app;
+    }
+
+    // Admitted: the job's tasks become schedulable now.
+    for (unsigned i = 0; i < tenant.spec.tasks_per_job; ++i) {
+        ReadyTask ready;
+        ready.seq = next_seq++;
+        ready.workload_index =
+            tenant.next_workload_task %
+            std::max<std::size_t>(1, tenant.spec.workload->numTasks());
+        ++tenant.next_workload_task;
+        ready.job = job;
+        tenant.ready.push_back(std::move(ready));
+    }
+    return true;
+}
+
+void
+PoolOrchestrator::submitJob(TenantState &tenant)
+{
+    auto job = std::make_shared<Job>();
+    job->id = next_job_id++;
+    job->submit_tick = system.eventQueue().now();
+    job->tasks_remaining = tenant.spec.tasks_per_job;
+    ++tenant.jobs_submitted;
+    ++jobs_outstanding;
+
+    if (admitJob(tenant, job))
+        return;
+    // "memory clean disallowed" means a co-tenant's transient
+    // reservation is in the way: wait for a release. Anything else
+    // (the scratch quota alone exceeds a DIMM) can never succeed.
+    if (last_error.find("memory clean disallowed") !=
+        std::string::npos) {
+        tenant.admission_wait.push_back(job);
+    } else {
+        ++tenant.jobs_rejected;
+        --jobs_outstanding;
+    }
+}
+
+void
+PoolOrchestrator::retryAdmissions()
+{
+    for (TenantState &tenant : tenants) {
+        while (!tenant.admission_wait.empty()) {
+            if (!admitJob(tenant, tenant.admission_wait.front()))
+                break;
+            tenant.admission_wait.pop_front();
+        }
+    }
+}
+
+void
+PoolOrchestrator::replenishClosedLoop(TenantState &tenant)
+{
+    if (tenant.spec.arrival.kind != ArrivalKind::ClosedLoop)
+        return;
+    const unsigned concurrency =
+        std::max(1u, tenant.spec.arrival.concurrency);
+    while (tenant.jobs_submitted < tenant.spec.num_jobs &&
+           tenant.jobs_submitted - tenant.jobs_completed -
+                   tenant.jobs_rejected <
+               concurrency) {
+        submitJob(tenant);
+    }
+}
+
+void
+PoolOrchestrator::dispatch()
+{
+    while (system.hasFreeSlot()) {
+        std::vector<SchedCandidate> candidates;
+        for (const TenantState &tenant : tenants) {
+            if (tenant.ready.empty())
+                continue;
+            SchedCandidate c;
+            c.tenant = tenant.id;
+            c.head_seq = tenant.ready.front().seq;
+            c.priority = tenant.spec.priority;
+            c.weight = tenant.spec.weight;
+            candidates.push_back(c);
+        }
+        if (candidates.empty())
+            return;
+
+        const TenantId picked_id = scheduler->pick(candidates);
+        const SchedCandidate *picked = nullptr;
+        for (const SchedCandidate &c : candidates) {
+            if (c.tenant == picked_id)
+                picked = &c;
+        }
+        BEACON_ASSERT(picked, "scheduler picked a non-candidate");
+
+        TenantState &tenant = stateOf(picked_id);
+        ReadyTask ready = std::move(tenant.ready.front());
+        tenant.ready.pop_front();
+
+        const Workload &wl = *tenant.spec.workload;
+        scheduler->onDispatch(*picked,
+                              double(engineStepCycles(wl.engine())));
+
+        if (!ready.job->dispatched_any) {
+            ready.job->dispatched_any = true;
+            ready.job->first_dispatch_tick =
+                system.eventQueue().now();
+            tenant.queue_waits.push_back(
+                ready.job->first_dispatch_tick -
+                ready.job->submit_tick);
+        }
+
+        WorkloadContext ctx;
+        ctx.kmc_single_pass = true; // multi-pass is single-tenant only
+        ctx.pass = 0;
+        auto task = std::make_unique<TenantTask>(
+            wl.makeTask(ready.workload_index, ctx), picked_id);
+        const bool served = system.serveTask(
+            std::move(task),
+            [this, id = picked_id, job = ready.job] {
+                onTaskDone(id, job);
+            });
+        BEACON_ASSERT(served, "free slot vanished mid-dispatch");
+    }
+}
+
+void
+PoolOrchestrator::onTaskDone(TenantId tenant_id,
+                             const std::shared_ptr<Job> &job)
+{
+    TenantState &tenant = stateOf(tenant_id);
+    ++tenant.tasks_completed;
+    BEACON_ASSERT(job->tasks_remaining > 0, "job task underflow");
+    if (--job->tasks_remaining > 0)
+        return;
+
+    // Job complete.
+    const Tick now = system.eventQueue().now();
+    tenant.job_latencies.push_back(now - job->submit_tick);
+    ++tenant.jobs_completed;
+    --jobs_outstanding;
+    if (!job->scratch_app.empty())
+        system.memoryFramework().deallocate(job->scratch_app);
+    retryAdmissions();
+    replenishClosedLoop(tenant);
+    // New tasks are picked up by the machine's slot-freed observer,
+    // which fires right after this callback.
+}
+
+ServiceReport
+PoolOrchestrator::run()
+{
+    BEACON_ASSERT(!ran, "run() may only be called once");
+    ran = true;
+    BEACON_ASSERT(!tenants.empty(), "no admitted tenants");
+
+    EventQueue &eq = system.eventQueue();
+    system.setSlotFreedFn([this] { dispatch(); });
+
+    std::uint64_t target_jobs = 0;
+    for (TenantState &tenant : tenants) {
+        target_jobs += tenant.spec.num_jobs;
+        if (tenant.spec.arrival.kind == ArrivalKind::ClosedLoop) {
+            replenishClosedLoop(tenant);
+        } else {
+            const double rate = tenant.spec.arrival.jobs_per_second;
+            BEACON_ASSERT(rate > 0,
+                          "open-loop tenant needs a positive rate");
+            // Pre-draw every exponential gap from a per-tenant
+            // stream, so arrivals are independent of execution
+            // interleaving.
+            Rng arrivals(p.seed ^
+                         (0x9E3779B97F4A7C15ull * (tenant.id + 1)));
+            Tick at = 0;
+            for (unsigned j = 0; j < tenant.spec.num_jobs; ++j) {
+                const double u = arrivals.nextDouble();
+                const double gap_s = -std::log1p(-u) / rate;
+                at += Tick(gap_s * 1e12);
+                eq.schedule(at, [this, id = tenant.id] {
+                    submitJob(stateOf(id));
+                    dispatch();
+                });
+            }
+        }
+    }
+    dispatch();
+
+    auto finished = [this, target_jobs] {
+        std::uint64_t done = 0;
+        for (const TenantState &tenant : tenants)
+            done += tenant.jobs_completed + tenant.jobs_rejected;
+        return done >= target_jobs;
+    };
+    while (!finished()) {
+        if (!eq.runOne()) {
+            BEACON_PANIC("service run stalled with ",
+                         jobs_outstanding,
+                         " jobs outstanding (admission deadlock?)");
+        }
+    }
+
+    const Tick end = eq.now();
+    ServiceReport report;
+    report.machine = system.machineResult(end);
+
+    if (system.params().checkers.any())
+        verifyConservation();
+
+    // Machine-wide denominators for the energy split.
+    const StatRegistry &reg = system.stats();
+    double total_pe = 0;
+    for (unsigned part = 0; part < system.numPartitions(); ++part)
+        total_pe += double(system.ndpModule(part).peBusyTicks());
+    const double total_fabric = reg.sumMatching("usefulBytesTotal");
+    const double total_dram =
+        reg.counterValue("system.dramBytesTotal");
+
+    for (TenantState &tenant : tenants) {
+        TenantReport out;
+        out.tenant = tenant.id;
+        out.name = tenant.spec.name;
+        out.jobs_completed = tenant.jobs_completed;
+        out.jobs_rejected = tenant.jobs_rejected;
+        out.tasks_completed = tenant.tasks_completed;
+
+        std::sort(tenant.job_latencies.begin(),
+                  tenant.job_latencies.end());
+        out.p50_latency_ms = quantileMs(tenant.job_latencies, 0.50);
+        out.p99_latency_ms = quantileMs(tenant.job_latencies, 0.99);
+        out.mean_latency_ms = meanMs(tenant.job_latencies);
+        out.mean_queue_ms = meanMs(tenant.queue_waits);
+        out.jobs_per_second =
+            report.machine.seconds > 0
+                ? double(tenant.jobs_completed) /
+                      report.machine.seconds
+                : 0;
+
+        const std::string tag = "tenant" + std::to_string(tenant.id);
+        for (unsigned part = 0; part < system.numPartitions();
+             ++part) {
+            const auto &by_tenant =
+                system.ndpModule(part).peBusyByTenant();
+            auto it = by_tenant.find(tenant.id);
+            if (it != by_tenant.end())
+                out.pe_busy_ticks += it->second;
+        }
+        out.fabric_bytes = std::uint64_t(
+            reg.sumMatching(tag + ".usefulBytes"));
+        out.dram_bytes = std::uint64_t(
+            reg.counterValue("system." + tag + ".dramBytes"));
+
+        const SystemEnergy &energy = report.machine.energy;
+        if (total_pe > 0) {
+            out.energy_pj += energy.pe_pj *
+                             double(out.pe_busy_ticks) / total_pe;
+        }
+        if (total_fabric > 0) {
+            out.energy_pj += energy.comm_pj *
+                             double(out.fabric_bytes) / total_fabric;
+        }
+        if (total_dram > 0) {
+            out.energy_pj += energy.dram_pj *
+                             double(out.dram_bytes) / total_dram;
+        }
+        report.tenants.push_back(std::move(out));
+    }
+
+    system.setSlotFreedFn(nullptr);
+    return report;
+}
+
+void
+PoolOrchestrator::verifyConservation() const
+{
+    const StatRegistry &reg = system.stats();
+    auto check = [](double total, double by_tenant,
+                    const char *what) {
+        BEACON_ASSERT(std::abs(total - by_tenant) <= 1e-6,
+                      "per-tenant ", what,
+                      " do not sum to the untagged total: ",
+                      by_tenant, " vs ", total);
+    };
+
+    double fabric_by_tenant =
+        reg.sumMatching("tenant0.usefulBytes");
+    double pe_by_tenant = reg.sumMatching("tenant0.peBusyTicks");
+    double dram_by_tenant =
+        reg.counterValue("system.tenant0.dramBytes");
+    for (const TenantState &tenant : tenants) {
+        const std::string tag =
+            "tenant" + std::to_string(tenant.id);
+        fabric_by_tenant += reg.sumMatching(tag + ".usefulBytes");
+        pe_by_tenant += reg.sumMatching(tag + ".peBusyTicks");
+        dram_by_tenant +=
+            reg.counterValue("system." + tag + ".dramBytes");
+    }
+    check(reg.sumMatching("usefulBytesTotal"), fabric_by_tenant,
+          "fabric bytes");
+    check(reg.sumMatching("peBusyTotalTicks"), pe_by_tenant,
+          "PE busy ticks");
+    check(reg.counterValue("system.dramBytesTotal"), dram_by_tenant,
+          "DRAM bytes");
+}
+
+} // namespace beacon

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Pool orchestrator: many concurrent genomics jobs on one shared
+ * NdpSystem.
+ *
+ * The orchestrator plays the role of the pool's service frontend:
+ *  - admission: each tenant's index structures are allocated through
+ *    the memory-management framework with memory clean disabled, so
+ *    a tenant that does not fit is rejected instead of evicting a
+ *    co-tenant; per-job scratch reservations additionally gate job
+ *    concurrency on remaining pool capacity;
+ *  - scheduling: whenever the machine has a free task slot, a
+ *    pluggable policy (scheduler.hh) picks which tenant's ready task
+ *    runs next;
+ *  - attribution: every dispatched task is tagged with its tenant id
+ *    (job.hh), so the fabric, the DRAM path, and the NDP modules
+ *    split their counters by tenant — the per-tenant values must sum
+ *    to the untagged totals (conservation, test-enforced);
+ *  - reporting: per-tenant job-completion latency percentiles,
+ *    throughput, queueing delay, and energy shares.
+ *
+ * Determinism: every decision derives from the event-queue order and
+ * one seed, so runs are bit-identical across hosts and thread counts
+ * (the orchestrator itself is single-threaded; SweepRunner provides
+ * the parallelism across sweep points).
+ */
+
+#ifndef BEACON_SERVICE_ORCHESTRATOR_HH
+#define BEACON_SERVICE_ORCHESTRATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/system.hh"
+#include "service/job.hh"
+#include "service/scheduler.hh"
+
+namespace beacon
+{
+
+/** Orchestrator configuration. */
+struct OrchestratorParams
+{
+    SchedulerKind scheduler = SchedulerKind::Fcfs;
+    /** Seeds the arrival processes (open-loop Poisson draws). */
+    std::uint64_t seed = 1;
+};
+
+/** Per-tenant outcome of a service run. */
+struct TenantReport
+{
+    TenantId tenant = 0;
+    std::string name;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_rejected = 0;
+    std::uint64_t tasks_completed = 0;
+    /** Job-completion latency (submission to last task retired). */
+    double p50_latency_ms = 0;
+    double p99_latency_ms = 0;
+    double mean_latency_ms = 0;
+    /** Mean wait from submission to first task dispatch. */
+    double mean_queue_ms = 0;
+    double jobs_per_second = 0;
+    /** Attribution pulled from the tenant-tagged counters. */
+    Tick pe_busy_ticks = 0;
+    std::uint64_t fabric_bytes = 0;
+    std::uint64_t dram_bytes = 0;
+    /** Energy share: each component split by the tenant's fraction
+     *  of PE busy time / fabric bytes / DRAM bytes. */
+    double energy_pj = 0;
+};
+
+/** Whole-run outcome: the machine plus every tenant. */
+struct ServiceReport
+{
+    RunResult machine;
+    std::vector<TenantReport> tenants;
+};
+
+/** The orchestrator; owns scheduling state, not the machine. */
+class PoolOrchestrator
+{
+  public:
+    PoolOrchestrator(NdpSystem &system,
+                     const OrchestratorParams &params);
+    ~PoolOrchestrator();
+
+    /**
+     * Admit a tenant: allocate its workload's structures in a
+     * disjoint pool region (no memory clean) and register the layout
+     * with the machine. Returns the tenant id, or 0 when admission
+     * fails — see lastError().
+     */
+    TenantId addTenant(const TenantSpec &spec);
+
+    /** Failure reason of the last rejected addTenant() call. */
+    const std::string &lastError() const { return last_error; }
+
+    /**
+     * Run every admitted tenant's job mix to completion and report.
+     * Call once.
+     */
+    ServiceReport run();
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        Tick submit_tick = 0;
+        Tick first_dispatch_tick = 0;
+        bool dispatched_any = false;
+        unsigned tasks_remaining = 0;
+        /** Scratch reservation held until completion ("" = none). */
+        std::string scratch_app;
+    };
+
+    /** One ready task: generator index plus owning job. */
+    struct ReadyTask
+    {
+        std::uint64_t seq = 0;       //!< global arrival sequence
+        std::size_t workload_index = 0;
+        std::shared_ptr<Job> job;
+    };
+
+    struct TenantState
+    {
+        TenantSpec spec;
+        TenantId id = 0;
+        std::uint64_t jobs_submitted = 0;
+        std::uint64_t jobs_completed = 0;
+        std::uint64_t jobs_rejected = 0;
+        std::uint64_t tasks_completed = 0;
+        std::size_t next_workload_task = 0;
+        std::deque<ReadyTask> ready;
+        /** Jobs waiting for a scratch reservation. */
+        std::deque<std::shared_ptr<Job>> admission_wait;
+        std::vector<Tick> job_latencies;
+        std::vector<Tick> queue_waits;
+    };
+
+    /** Submit one job of @p tenant at the current tick. */
+    void submitJob(TenantState &tenant);
+
+    /** Try to reserve @p job's scratch; queue the tasks on success. */
+    bool admitJob(TenantState &tenant,
+                  const std::shared_ptr<Job> &job);
+
+    /** Move ready tasks onto the machine while slots are free. */
+    void dispatch();
+
+    /** One task of @p tenant's @p job retired. */
+    void onTaskDone(TenantId tenant, const std::shared_ptr<Job> &job);
+
+    /** Closed-loop tenants top up their outstanding jobs. */
+    void replenishClosedLoop(TenantState &tenant);
+
+    /** Retry admission-blocked jobs after capacity was released. */
+    void retryAdmissions();
+
+    /** All counters by tenant must sum to the untagged totals. */
+    void verifyConservation() const;
+
+    TenantState &stateOf(TenantId tenant);
+
+    NdpSystem &system;
+    OrchestratorParams p;
+    std::vector<TenantState> tenants; //!< index = tenant id - 1
+    std::string last_error;
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_job_id = 0;
+    std::uint64_t jobs_outstanding = 0;
+    bool ran = false;
+    std::unique_ptr<Scheduler> scheduler;
+};
+
+} // namespace beacon
+
+#endif // BEACON_SERVICE_ORCHESTRATOR_HH

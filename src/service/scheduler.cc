@@ -1,0 +1,143 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace beacon
+{
+
+void
+Scheduler::onDispatch(const SchedCandidate &, double)
+{
+}
+
+const char *
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return "fcfs";
+      case SchedulerKind::Priority:
+        return "priority";
+      case SchedulerKind::FairShare:
+        return "fair";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Global FIFO: the oldest ready task goes first, whoever owns it. */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    SchedulerKind kind() const override { return SchedulerKind::Fcfs; }
+
+    TenantId
+    pick(const std::vector<SchedCandidate> &ready) override
+    {
+        BEACON_ASSERT(!ready.empty(), "pick() with no candidates");
+        const SchedCandidate *best = &ready.front();
+        for (const SchedCandidate &c : ready) {
+            if (c.head_seq < best->head_seq)
+                best = &c;
+        }
+        return best->tenant;
+    }
+};
+
+/** Strict priority levels; FIFO among equals. */
+class PriorityScheduler : public Scheduler
+{
+  public:
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::Priority;
+    }
+
+    TenantId
+    pick(const std::vector<SchedCandidate> &ready) override
+    {
+        BEACON_ASSERT(!ready.empty(), "pick() with no candidates");
+        const SchedCandidate *best = &ready.front();
+        for (const SchedCandidate &c : ready) {
+            if (c.priority > best->priority ||
+                (c.priority == best->priority &&
+                 c.head_seq < best->head_seq)) {
+                best = &c;
+            }
+        }
+        return best->tenant;
+    }
+};
+
+/**
+ * Weighted fair queueing at PE-slot granularity: each tenant
+ * accumulates virtual service (dispatched task cost divided by its
+ * weight); the tenant with the least virtual service goes next. A
+ * monotone virtual clock tracks the least-served backlogged tenant,
+ * and a tenant re-entering after an idle stretch is lifted to that
+ * clock first — the standard start-time fairness correction, so
+ * idleness does not bank a catch-up burst.
+ */
+class FairShareScheduler : public Scheduler
+{
+  public:
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::FairShare;
+    }
+
+    TenantId
+    pick(const std::vector<SchedCandidate> &ready) override
+    {
+        BEACON_ASSERT(!ready.empty(), "pick() with no candidates");
+        const SchedCandidate *best = nullptr;
+        double best_service = 0;
+        double next_clock = -1;
+        for (const SchedCandidate &c : ready) {
+            double &s = virtual_service[c.tenant];
+            s = std::max(s, clock);
+            if (next_clock < 0 || s < next_clock)
+                next_clock = s;
+            if (!best || s < best_service ||
+                (s == best_service && c.head_seq < best->head_seq)) {
+                best = &c;
+                best_service = s;
+            }
+        }
+        clock = next_clock; // >= old clock: every s was lifted first
+        return best->tenant;
+    }
+
+    void
+    onDispatch(const SchedCandidate &picked, double cost) override
+    {
+        virtual_service[picked.tenant] +=
+            cost / std::max(1e-9, picked.weight);
+    }
+
+  private:
+    std::map<TenantId, double> virtual_service;
+    double clock = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::Priority:
+        return std::make_unique<PriorityScheduler>();
+      case SchedulerKind::FairShare:
+        return std::make_unique<FairShareScheduler>();
+    }
+    BEACON_PANIC("unknown scheduler kind");
+}
+
+} // namespace beacon

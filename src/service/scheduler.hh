@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pluggable task schedulers for the pool orchestrator.
+ *
+ * Whenever the shared machine has a free PE slot, the orchestrator
+ * builds one Candidate per tenant with ready tasks and asks the
+ * scheduler to pick. All three policies are deterministic: ties
+ * break on the head task's global arrival sequence, then on the
+ * tenant id, so a run is reproducible from its seed alone.
+ */
+
+#ifndef BEACON_SERVICE_SCHEDULER_HH
+#define BEACON_SERVICE_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ndp/task.hh"
+
+namespace beacon
+{
+
+/** One tenant eligible for the next free task slot. */
+struct SchedCandidate
+{
+    TenantId tenant = 0;
+    /** Global arrival sequence of the tenant's oldest ready task. */
+    std::uint64_t head_seq = 0;
+    /** Strict-priority level (higher first). */
+    unsigned priority = 0;
+    /** Fair-share weight. */
+    double weight = 1.0;
+};
+
+/** The selectable policies. */
+enum class SchedulerKind : std::uint8_t
+{
+    Fcfs,      //!< global first-come-first-served over tasks
+    Priority,  //!< strict priority, FIFO within a level
+    FairShare, //!< weighted fair queueing over PE-slot service
+};
+
+/** Human-readable policy name ("fcfs" / "priority" / "fair"). */
+const char *schedulerName(SchedulerKind kind);
+
+/** Scheduling-policy interface. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual SchedulerKind kind() const = 0;
+
+    /**
+     * Choose the tenant whose head task takes the next free slot.
+     * @p ready is non-empty and sorted by tenant id.
+     */
+    virtual TenantId pick(const std::vector<SchedCandidate> &ready) = 0;
+
+    /**
+     * Account one dispatched task of the candidate chosen by the
+     * last pick(), costing @p cost nominal PE cycles. Only the
+     * fair-share policy uses it.
+     */
+    virtual void onDispatch(const SchedCandidate &picked, double cost);
+};
+
+/** Build a scheduler of the requested policy. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+} // namespace beacon
+
+#endif // BEACON_SERVICE_SCHEDULER_HH

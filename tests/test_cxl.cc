@@ -318,6 +318,53 @@ TEST(PoolFabric, PackedBatchDeliversAllPayloadsTogether)
             << "payloads sharing a flit arrive together";
 }
 
+TEST(DataPacker, PartialBatchDrainsWhenQueueRuns)
+{
+    EventQueue eq;
+    PackerParams params; // enabled, 64 B flits, 4 B headers
+    std::uint64_t sent_bytes = 0;
+    DataPacker packer(eq, params,
+                      [&](std::uint64_t wire,
+                          std::vector<DataPacker::Deliver> batch) {
+                          sent_bytes += wire;
+                          for (auto &d : batch)
+                              d(eq.now());
+                      });
+    int delivered = 0;
+    // 3 x (8+4) = 36 B stay below the 64 B flit boundary, so only
+    // the flush timeout can move this batch.
+    for (int i = 0; i < 3; ++i)
+        packer.submit(8, true, [&](Tick) { ++delivered; });
+    EXPECT_EQ(packer.pendingCount(), 3u);
+    eq.run();
+    EXPECT_EQ(delivered, 3);
+    EXPECT_EQ(sent_bytes, 64u);
+    EXPECT_EQ(packer.pendingCount(), 0u);
+    EXPECT_EQ(packer.flitsFlushed(), 1u);
+}
+
+TEST(PoolFabricDeath, FinalizeCatchesStrandedPackerPayload)
+{
+    // Ending a run while a partially filled batch is still staged
+    // (the event queue was never drained, so the flush timeout did
+    // not fire) must be flagged, not silently dropped.
+    PoolHarness h(true, /*packing=*/true);
+    h.fabric->send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 8,
+                   true, [](Tick) {});
+    EXPECT_DEATH(h.fabric->finalizeCheck(), "stranded");
+}
+
+TEST(PoolFabric, FinalizePassesAfterQueueDrains)
+{
+    PoolHarness h(true, /*packing=*/true);
+    int delivered = 0;
+    h.fabric->send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 8,
+                   true, [&](Tick) { ++delivered; });
+    h.eq.run();
+    EXPECT_EQ(delivered, 1);
+    h.fabric->finalizeCheck(); // packers drained: no panic
+}
+
 TEST(NodeIdTest, KeysAndStrings)
 {
     EXPECT_TRUE(NodeId::host().isHost());

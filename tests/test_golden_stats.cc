@@ -29,6 +29,7 @@
 #include "accel/sweep.hh"
 #include "accel/system.hh"
 #include "accel/workload.hh"
+#include "service/orchestrator.hh"
 
 #ifndef BEACON_GOLDEN_DIR
 #error "BEACON_GOLDEN_DIR must point at tests/golden"
@@ -224,6 +225,84 @@ TEST(GoldenStatsTest, Fig15KmerCountingSmall)
                   beaconSLadder(/*with_single_pass=*/true));
     checkAgainstGolden(reportFor("fig15_kmer_counting_small", runner),
                        "fig15_small.json");
+}
+
+// ---------------------------------------------------------------
+// Multi-tenant QoS ladder (the shape of bench/multi_tenant_qos)
+// ---------------------------------------------------------------
+
+TEST(GoldenStatsTest, MultiTenantQosSmall)
+{
+    genomics::DatasetPreset bulk_preset = smallSeedingPreset();
+    const FmSeedingWorkload bulk(bulk_preset);
+    genomics::DatasetPreset small_preset = smallSeedingPreset();
+    small_preset.genome.length = 1 << 12;
+    small_preset.reads.num_reads = 8;
+    const HashSeedingWorkload small(small_preset);
+
+    SweepRunner runner;
+    for (SchedulerKind policy :
+         {SchedulerKind::Fcfs, SchedulerKind::Priority,
+          SchedulerKind::FairShare}) {
+        const SweepKey key{"small", schedulerName(policy)};
+        runner.enqueue(key, [&, key, policy](RunContext &ctx) {
+            SystemParams params = SystemParams::beaconD();
+            params.name = "BEACON-D (service)";
+            params.pes_per_module = 4;
+            params.max_inflight_tasks = 2;
+            NdpSystem system(params);
+
+            OrchestratorParams op;
+            op.scheduler = policy;
+            op.seed = 0xBEACC0DEull ^ ctx.index;
+            PoolOrchestrator orchestrator(system, op);
+
+            TenantSpec bulk_spec;
+            bulk_spec.name = "bulk";
+            bulk_spec.workload = &bulk;
+            bulk_spec.num_jobs = 6;
+            bulk_spec.tasks_per_job = 4;
+            bulk_spec.scratch_bytes_per_job = 1 << 20;
+            bulk_spec.arrival.concurrency = 3;
+            EXPECT_NE(orchestrator.addTenant(bulk_spec), 0u)
+                << orchestrator.lastError();
+
+            TenantSpec small_spec;
+            small_spec.name = "small";
+            small_spec.workload = &small;
+            small_spec.num_jobs = 4;
+            small_spec.tasks_per_job = 2;
+            small_spec.priority = 1;
+            small_spec.weight = 4.0;
+            EXPECT_NE(orchestrator.addTenant(small_spec), 0u)
+                << orchestrator.lastError();
+
+            const ServiceReport report = orchestrator.run();
+            SweepOutcome out;
+            out.key = key;
+            out.result = report.machine;
+            for (const TenantReport &tenant : report.tenants) {
+                const std::string tag =
+                    "tenant" + std::to_string(tenant.tenant);
+                out.stats.emplace_back(tag + ".p50_ms",
+                                       tenant.p50_latency_ms);
+                out.stats.emplace_back(tag + ".p99_ms",
+                                       tenant.p99_latency_ms);
+                out.stats.emplace_back(tag + ".mean_queue_ms",
+                                       tenant.mean_queue_ms);
+                out.stats.emplace_back(tag + ".jobs_per_second",
+                                       tenant.jobs_per_second);
+                out.stats.emplace_back(
+                    tag + ".jobs_completed",
+                    double(tenant.jobs_completed));
+                out.stats.emplace_back(tag + ".energy_pj",
+                                       tenant.energy_pj);
+            }
+            return out;
+        });
+    }
+    checkAgainstGolden(reportFor("multi_tenant_qos_small", runner),
+                       "qos_small.json");
 }
 
 } // namespace

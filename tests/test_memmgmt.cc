@@ -467,5 +467,96 @@ TEST(Framework, MissingAppNameRejected)
     EXPECT_FALSE(framework.allocate(request).success);
 }
 
+// --- Multi-tenant partitioning edge cases ---
+
+TEST(Framework, ZeroQuotaTenantRejected)
+{
+    MemoryFramework framework(makePool(1, 2, {}));
+    AllocationRequest request;
+    request.app = "freeloader";
+    request.structures = {occSpec(0)};
+    request.policy.partitions = 1;
+    request.policy.partition_switch = {0};
+    const AllocationResponse response = framework.allocate(request);
+    EXPECT_FALSE(response.success);
+    EXPECT_NE(response.error.find("no quota"), std::string::npos);
+}
+
+TEST(Framework, QuotaExactlyEqualToDimmCapacity)
+{
+    const auto pool = makePool(1, 1, {});
+    const std::uint64_t capacity = pool[0].geom.capacityBytes();
+    MemoryFramework framework(pool);
+
+    AllocationRequest request;
+    request.app = "exact-fit";
+    request.structures = {occSpec(capacity)};
+    request.policy.partitions = 1;
+    request.policy.partition_switch = {0};
+    const AllocationResponse response = framework.allocate(request);
+    ASSERT_TRUE(response.success) << response.error;
+    EXPECT_EQ(framework.freeBytes(0), 0u);
+
+    // The pool is now exactly full: a co-tenant that refuses memory
+    // clean must be rejected with the transient-failure wording...
+    AllocationRequest blocked;
+    blocked.app = "late-tenant";
+    blocked.structures = {occSpec(1 << 10)};
+    blocked.policy = request.policy;
+    blocked.allow_clean = false;
+    const AllocationResponse denied = framework.allocate(blocked);
+    EXPECT_FALSE(denied.success);
+    EXPECT_NE(denied.error.find("memory clean disallowed"),
+              std::string::npos);
+
+    // ...while the default allow_clean migrates and succeeds.
+    blocked.app = "clean-tenant";
+    blocked.allow_clean = true;
+    EXPECT_TRUE(framework.allocate(blocked).success);
+}
+
+TEST(Framework, ReleaseReturnsCapacity)
+{
+    MemoryFramework framework(makePool(1, 2, {}));
+    const std::uint64_t initial = framework.poolFreeBytes();
+
+    AllocationRequest request;
+    request.app = "job-scratch";
+    request.structures = {occSpec(1 << 20)};
+    request.policy.partitions = 1;
+    request.policy.partition_switch = {0};
+    ASSERT_TRUE(framework.allocate(request).success);
+    EXPECT_LT(framework.poolFreeBytes(), initial);
+
+    EXPECT_TRUE(framework.deallocate("job-scratch"));
+    EXPECT_EQ(framework.poolFreeBytes(), initial);
+}
+
+TEST(Framework, ConcurrentTenantsGetDisjointRowRegions)
+{
+    MemoryFramework framework(makePool(1, 2, {}));
+    AllocationRequest first;
+    first.app = "tenant-a";
+    first.structures = {occSpec(64 << 20)};
+    first.policy.partitions = 1;
+    first.policy.partition_switch = {0};
+    const AllocationResponse a = framework.allocate(first);
+    ASSERT_TRUE(a.success) << a.error;
+
+    AllocationRequest second = first;
+    second.app = "tenant-b";
+    const AllocationResponse b = framework.allocate(second);
+    ASSERT_TRUE(b.success) << b.error;
+
+    // The framework offsets the second tenant's base row past the
+    // rows the first tenant occupies, so the same (class, offset)
+    // resolves to different rows for the two layouts.
+    const auto piece_a =
+        a.layout->resolve(DataClass::FmOcc, 0, 32, 0).at(0);
+    const auto piece_b =
+        b.layout->resolve(DataClass::FmOcc, 0, 32, 0).at(0);
+    EXPECT_NE(piece_a.coord.row, piece_b.coord.row);
+}
+
 } // namespace
 } // namespace beacon
