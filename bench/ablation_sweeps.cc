@@ -107,7 +107,7 @@ main(int argc, char **argv)
         const RunResult &r = next->result;
         printRow(next->key.label,
                  {r.seconds * 1e6, r.chip_access_cov,
-                  r.energy.totalPj() * 1e-6},
+                  r.energy.totalPj().value() * 1e-6},
                  "%.3f");
     }
 
@@ -116,7 +116,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < flush_timeouts.size(); ++i, ++next) {
         const RunResult &r = next->result;
         printRow(next->key.label,
-                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 {r.seconds * 1e6, double(r.wire_bytes.value()) / 1e6},
                  "%.3f");
     }
 
@@ -135,7 +135,7 @@ main(int argc, char **argv)
     for (int i = 0; i < 2; ++i, ++next) {
         const RunResult &r = next->result;
         printRow(next->key.label,
-                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 {r.seconds * 1e6, double(r.wire_bytes.value()) / 1e6},
                  "%.3f");
     }
 
@@ -145,7 +145,7 @@ main(int argc, char **argv)
         const RunResult &r = next->result;
         printRow(next->key.label,
                  {r.seconds * 1e6, statOf(*next, "rowHits"),
-                  r.energy.totalPj() * 1e-6},
+                  r.energy.totalPj().value() * 1e-6},
                  "%.2f");
     }
 
@@ -155,7 +155,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < stripe_weights.size(); ++i, ++next) {
         const RunResult &r = next->result;
         printRow(next->key.label,
-                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6},
+                 {r.seconds * 1e6, double(r.wire_bytes.value()) / 1e6},
                  "%.3f");
     }
 

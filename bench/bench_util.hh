@@ -168,7 +168,9 @@ applyBenchControls(SweepRunner &runner, const BenchOptions &opts)
         runner.setFilter(opts.filter);
 }
 
-/** Wall-clock stopwatch for the whole-harness timing field. */
+/** Wall-clock stopwatch for the whole-harness timing field (the
+ *  JSON wall_seconds value, excluded from determinism diffs).
+ *  beacon-lint: allow-file(determinism-wallclock) */
 class BenchTimer
 {
   public:
@@ -243,7 +245,8 @@ enqueueCpuBaseline(SweepRunner &runner, const std::string &dataset,
                 measureFootprint(workload,
                                  WorkloadContext{kmc_single_pass, 0}));
             out.stats.emplace_back(cpu_seconds_key, cpu.seconds);
-            out.stats.emplace_back(cpu_energy_key, cpu.energy_pj);
+            out.stats.emplace_back(cpu_energy_key,
+                                   cpu.energy_pj.value());
             return out;
         });
 }
@@ -333,7 +336,7 @@ ladderPanel(
         for (std::size_t s = 0; s < ladder.size(); ++s) {
             row.push_back(cpu_seconds / rungs[s].result.seconds);
             erow.push_back(cpu_energy /
-                           rungs[s].result.energy.totalPj());
+                           rungs[s].result.energy.totalPj().value());
         }
         row.push_back(cpu_seconds / base.seconds);
         const double vs_base =
@@ -346,11 +349,11 @@ ladderPanel(
         pct_ideal.push_back(ideal_pct);
         printRow(datasets[d].first, row, "%.2f", 14);
 
-        erow.push_back(cpu_energy / base.energy.totalPj());
-        erow.push_back(base.energy.totalPj() /
-                       final_run.energy.totalPj());
-        erow.push_back(100.0 * ideal.energy.totalPj() /
-                       final_run.energy.totalPj());
+        erow.push_back(cpu_energy / base.energy.totalPj().value());
+        erow.push_back(base.energy.totalPj().value() /
+                       final_run.energy.totalPj().value());
+        erow.push_back(100.0 * ideal.energy.totalPj().value() /
+                       final_run.energy.totalPj().value());
         energy_rows.push_back(std::move(erow));
         printed_datasets.push_back(datasets[d].first);
     }

@@ -48,8 +48,8 @@ panel(SweepRunner &runner, SweepReport &report, const char *title,
     for (std::size_t i = 1; i < outcomes.size(); ++i) {
         const RunResult &r = outcomes[i].result;
         printRow(outcomes[i].key.label,
-                 {r.seconds * 1e6, double(r.wire_bytes) / 1e6,
-                  r.energy.totalPj() * 1e-6,
+                 {r.seconds * 1e6, double(r.wire_bytes.value()) / 1e6,
+                  r.energy.totalPj().value() * 1e-6,
                   double(vanilla.ticks) / double(r.ticks)},
                  "%.2f");
     }

@@ -45,11 +45,11 @@ intraDimmBandwidth()
         req.coord.chip_first = ((i / 4) % 2) * 8;
         req.coord.bank_group = (i / 8) % 4;
         req.coord.bank = (i / 32) % 4;
-        req.coord.row = 7;
+        req.coord.row = RowId{7};
         req.coord.column = ((i / 128) * 8) % 1024;
         req.coord.chip_count = 8; // coalesced 32 B access
         req.bursts = 1;
-        req.bytes = 32;
+        req.bytes = Bytes{32};
         ctrl.enqueue(std::move(req));
     }
     eq.run();
@@ -68,7 +68,8 @@ interDimmDdrBandwidth()
     unsigned remaining = n;
     for (unsigned i = 0; i < n; ++i) {
         fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
-                    32, true, [&remaining](Tick) { --remaining; });
+                    Bytes{32}, true,
+                    [&remaining](Tick) { --remaining; });
     }
     eq.run();
     return double(n) * 32.0 / ticksToSeconds(eq.now()) / 1e9;
@@ -88,7 +89,8 @@ interDimmCxlBandwidth()
     unsigned remaining = n;
     for (unsigned i = 0; i < n; ++i) {
         fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
-                    32, true, [&remaining](Tick) { --remaining; });
+                    Bytes{32}, true,
+                    [&remaining](Tick) { --remaining; });
     }
     eq.run();
     return double(n) * 32.0 / ticksToSeconds(eq.now()) / 1e9;

@@ -32,7 +32,7 @@ main()
         const double perf =
             double(real.ticks) / double(ideal.ticks);
         const double energy =
-            real.energy.totalPj() / ideal.energy.totalPj();
+            real.energy.totalPj().value() / ideal.energy.totalPj().value();
         perf_gains.push_back(perf);
         energy_gains.push_back(energy);
         printRow(label,

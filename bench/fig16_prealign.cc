@@ -56,8 +56,8 @@ main(int argc, char **argv)
         const double cpu_energy = statOf(cpu, cpu_energy_key);
         d_perf.push_back(cpu_seconds / d.seconds);
         s_perf.push_back(cpu_seconds / s.seconds);
-        d_energy.push_back(cpu_energy / d.energy.totalPj());
-        s_energy.push_back(cpu_energy / s.energy.totalPj());
+        d_energy.push_back(cpu_energy / d.energy.totalPj().value());
+        s_energy.push_back(cpu_energy / s.energy.totalPj().value());
         printRow(presets[i].name,
                  {d_perf.back(), s_perf.back(), d_energy.back(),
                   s_energy.back()});

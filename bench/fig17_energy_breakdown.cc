@@ -47,10 +47,10 @@ breakdownPanel(SweepRunner &runner, SweepReport &report,
         for (std::size_t w = 0; w < workloads.size(); ++w) {
             const RunResult &r =
                 outcomes[s * workloads.size() + w].result;
-            const double total = r.energy.totalPj();
-            comm += 100.0 * r.energy.comm_pj / total;
-            dram += 100.0 * r.energy.dram_pj / total;
-            pe += 100.0 * r.energy.pe_pj / total;
+            const double total = r.energy.totalPj().value();
+            comm += 100.0 * r.energy.comm_pj.value() / total;
+            dram += 100.0 * r.energy.dram_pj.value() / total;
+            pe += 100.0 * r.energy.pe_pj.value() / total;
         }
         printRow(ladder[s].label, {comm / n, dram / n, pe / n},
                  "%.2f", 10);

@@ -41,7 +41,7 @@ BM_DramControllerRandomReads(benchmark::State &state)
             req.coord.rank = unsigned(rng.next(4));
             req.coord.bank_group = unsigned(rng.next(4));
             req.coord.bank = unsigned(rng.next(4));
-            req.coord.row = unsigned(rng.next(1u << 17));
+            req.coord.row = RowId{unsigned(rng.next(1u << 17))};
             req.coord.chip_count = 16;
             req.bursts = 1;
             ctrl.enqueue(std::move(req));
@@ -67,7 +67,8 @@ BM_PoolFabricMessages(benchmark::State &state)
         int pending = 2048;
         for (int i = 0; i < 2048; ++i) {
             fabric.send(NodeId::dimmNode(0, i % 4),
-                        NodeId::dimmNode(1, (i + 1) % 4), 32, true,
+                        NodeId::dimmNode(1, (i + 1) % 4), Bytes{32},
+                        true,
                         [&pending](Tick) { --pending; });
         }
         eq.run();

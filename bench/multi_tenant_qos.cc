@@ -58,7 +58,7 @@ bulkSpec(const Workload &workload)
     spec.tasks_per_job = 8;
     spec.priority = 0;
     spec.weight = 1.0;
-    spec.scratch_bytes_per_job = 1u << 20;
+    spec.scratch_bytes_per_job = Bytes{1u << 20};
     spec.arrival.kind = ArrivalKind::ClosedLoop;
     spec.arrival.concurrency = 4;
     return spec;
@@ -74,7 +74,7 @@ smallSpec(const Workload &workload, unsigned index)
     spec.tasks_per_job = 2;
     spec.priority = 1;
     spec.weight = 4.0;
-    spec.scratch_bytes_per_job = 1u << 18;
+    spec.scratch_bytes_per_job = Bytes{1u << 18};
     spec.arrival.kind = ArrivalKind::ClosedLoop;
     spec.arrival.concurrency = 1;
     return spec;
@@ -91,11 +91,12 @@ runPoint(const SweepKey &key, const QosPoint &point,
     params.seed = seed;
     PoolOrchestrator orchestrator(system, params);
 
-    if (!orchestrator.addTenant(bulkSpec(bulk)))
+    if (orchestrator.addTenant(bulkSpec(bulk)) == untenanted_id)
         BEACON_PANIC("bulk tenant rejected: ",
                      orchestrator.lastError());
     for (unsigned i = 1; i <= point.small_tenants; ++i)
-        if (!orchestrator.addTenant(smallSpec(small, i)))
+        if (orchestrator.addTenant(smallSpec(small, i)) ==
+            untenanted_id)
             BEACON_PANIC("small tenant rejected: ",
                          orchestrator.lastError());
 
@@ -106,7 +107,7 @@ runPoint(const SweepKey &key, const QosPoint &point,
     out.result = report.machine;
     for (const TenantReport &tenant : report.tenants) {
         const std::string tag =
-            "tenant" + std::to_string(tenant.tenant);
+            "tenant" + std::to_string(tenant.tenant.value());
         out.stats.emplace_back(tag + ".p50_ms",
                                tenant.p50_latency_ms);
         out.stats.emplace_back(tag + ".p99_ms",
@@ -118,7 +119,7 @@ runPoint(const SweepKey &key, const QosPoint &point,
         out.stats.emplace_back(tag + ".jobs_completed",
                                double(tenant.jobs_completed));
         out.stats.emplace_back(tag + ".energy_pj",
-                               tenant.energy_pj);
+                               tenant.energy_pj.value());
     }
     return out;
 }

@@ -45,8 +45,8 @@ summary(SweepRunner &runner, SweepReport &report, const char *design,
         const RunResult &full = outcomes[w * 2 + 1].result;
         perf_gain.push_back(double(vanilla.ticks) /
                             double(full.ticks));
-        energy_gain.push_back(vanilla.energy.totalPj() /
-                              full.energy.totalPj());
+        energy_gain.push_back(vanilla.energy.totalPj().value() /
+                              full.energy.totalPj().value());
         comm_before += 100.0 * vanilla.energy.commFraction();
         comm_after += 100.0 * full.energy.commFraction();
     }

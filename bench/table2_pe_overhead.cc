@@ -53,9 +53,9 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < std::size(engines); ++i) {
         const auto cycles = engineStepCycles(engines[i].second);
         std::printf("  %-20s  %lu\n", labels[i],
-                    static_cast<unsigned long>(cycles));
+                    static_cast<unsigned long>(cycles.value()));
         report.derive(std::string("step_cycles.") + engines[i].first,
-                      double(cycles));
+                      double(cycles.value()));
     }
     emitJson(report, opts, timer);
     return 0;

@@ -49,8 +49,8 @@ main(int argc, char **argv)
         const RunResult r = runSystem(params, workload, 0);
         std::printf("%-24s %9.1f us   %7.2f MB wire   %8.1f uJ\n",
                     label, r.seconds * 1e6,
-                    double(r.wire_bytes) / 1e6,
-                    r.energy.totalPj() * 1e-6);
+                    double(r.wire_bytes.value()) / 1e6,
+                    r.energy.totalPj().value() * 1e-6);
         return r;
     };
 

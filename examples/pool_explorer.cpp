@@ -45,7 +45,7 @@ indexStructure(std::uint64_t bytes)
 {
     StructureSpec spec;
     spec.cls = DataClass::FmOcc;
-    spec.bytes = bytes;
+    spec.bytes = Bytes{bytes};
     spec.read_only = true;
     spec.access_granule = 32;
     return spec;
@@ -64,7 +64,8 @@ describe(const MemoryFramework &framework,
     for (unsigned dimm : response.allocated_dimms)
         std::printf("%s ", framework.dimms()[dimm].node.str().c_str());
     std::printf("\n  memory clean migrated %.1f GiB\n",
-                double(response.migrated_bytes) / double(1ull << 30));
+                double(response.migrated_bytes.value()) /
+                    double(1ull << 30));
 }
 
 } // namespace
@@ -81,7 +82,7 @@ main()
     smufin.app = "smufin-kmer";
     StructureSpec filter;
     filter.cls = DataClass::BloomCounter;
-    filter.bytes = 180ull << 30; // ~180 GiB of counters
+    filter.bytes = Bytes{180ull << 30}; // ~180 GiB of counters
     filter.read_only = false;
     filter.access_granule = 8;
     smufin.structures = {filter};
@@ -105,14 +106,14 @@ main()
     std::printf("\nresolving FM-index offsets for partition 0:\n");
     for (std::uint64_t offset : {0ull, 32ull, 64ull, 4096ull}) {
         const auto pieces = response.layout->resolve(
-            DataClass::FmOcc, offset, 32, 0);
+            DataClass::FmOcc, offset, Bytes{32}, 0);
         for (const ResolvedAccess &acc : pieces) {
             std::printf("  offset %5llu -> %s rank %u bg %u bank "
                         "%u row %u col %u chips [%u..%u)\n",
                         static_cast<unsigned long long>(offset),
                         acc.node.str().c_str(), acc.coord.rank,
                         acc.coord.bank_group, acc.coord.bank,
-                        acc.coord.row, acc.coord.column,
+                        acc.coord.row.value(), acc.coord.column,
                         acc.coord.chip_first,
                         acc.coord.chip_first +
                             acc.coord.chip_count);

@@ -46,8 +46,8 @@ main()
         std::printf("%-16s %12.1f %12s %10.3f %12.2f\n",
                     r.system.c_str(), r.seconds * 1e6,
                     formatX(cpu.seconds / r.seconds).c_str(),
-                    double(r.wire_bytes) / 1e6,
-                    r.energy.totalPj() * 1e-6);
+                    double(r.wire_bytes.value()) / 1e6,
+                    r.energy.totalPj().value() * 1e-6);
     }
     return 0;
 }

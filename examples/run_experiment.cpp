@@ -156,13 +156,13 @@ main(int argc, char **argv)
                 result.tasks_per_second / 1e6);
     std::printf("  energy          %.2f uJ (comm %.1f%%, dram "
                 "%.1f%%, PE %.1f%%)\n",
-                result.energy.totalPj() * 1e-6,
+                result.energy.totalPj().value() * 1e-6,
                 100 * result.energy.commFraction(),
-                100 * result.energy.dram_pj /
-                    result.energy.totalPj(),
+                100 * result.energy.dram_pj.value() /
+                    result.energy.totalPj().value(),
                 100 * result.energy.peFraction());
     std::printf("  wire traffic    %.3f MB, host round trips %llu\n",
-                double(result.wire_bytes) / 1e6,
+                double(result.wire_bytes.value()) / 1e6,
                 static_cast<unsigned long long>(
                     result.host_round_trips));
     std::printf("  DRAM            %llu reads, %llu writes, chip "

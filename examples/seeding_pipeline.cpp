@@ -53,8 +53,8 @@ main(int argc, char **argv)
                     system.stats().sumMatching("rowConflicts"));
         std::printf("  wire traffic: %.2f MB, energy: %.1f uJ "
                     "(%.0f%% communication)\n",
-                    double(r.wire_bytes) / 1e6,
-                    r.energy.totalPj() * 1e-6,
+                    double(r.wire_bytes.value()) / 1e6,
+                    r.energy.totalPj().value() * 1e-6,
                     100 * r.energy.commFraction());
     }
 
@@ -74,8 +74,8 @@ main(int argc, char **argv)
                     hash.index().numBuckets(),
                     hash.index().locationBytes() >> 10);
         std::printf("  wire traffic: %.2f MB, energy: %.1f uJ\n",
-                    double(r.wire_bytes) / 1e6,
-                    r.energy.totalPj() * 1e-6);
+                    double(r.wire_bytes.value()) / 1e6,
+                    r.energy.totalPj().value() * 1e-6);
     }
     return 0;
 }

@@ -15,7 +15,7 @@ cpuBaseline(const WorkloadFootprint &footprint,
     CpuBaselineResult out;
     out.seconds = total_ns * 1e-9;
     // W x s = J = 1e12 pJ.
-    out.energy_pj = p.power_w * out.seconds * 1e12;
+    out.energy_pj = Picojoules{p.power_w * out.seconds * 1e12};
     out.tasks_per_second =
         out.seconds > 0 ? double(footprint.tasks) / out.seconds : 0;
     return out;

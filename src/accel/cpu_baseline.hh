@@ -37,7 +37,7 @@ struct CpuBaselineParams
 struct CpuBaselineResult
 {
     double seconds = 0;
-    double energy_pj = 0;
+    Picojoules energy_pj;
     double tasks_per_second = 0;
 };
 

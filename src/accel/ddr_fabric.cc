@@ -20,23 +20,23 @@ DdrFabric::DdrFabric(const std::string &name, EventQueue &eq,
     }
 }
 
-std::uint64_t
+Bytes
 DdrFabric::totalWireBytes() const
 {
-    std::uint64_t total = 0;
+    Bytes total;
     for (const auto &ch : channels)
         total += ch->totalBytes();
     return total;
 }
 
-std::uint64_t
+Bytes
 DdrFabric::channelBytes(unsigned channel) const
 {
     return channels.at(channel)->totalBytes();
 }
 
 void
-DdrFabric::hopChannel(unsigned channel, std::uint64_t bytes,
+DdrFabric::hopChannel(unsigned channel, Bytes bytes,
                       std::function<void()> next)
 {
     const Tick done = channels.at(channel)->accept(curTick(), bytes);
@@ -50,7 +50,7 @@ DdrFabric::tenantBytesStat(TenantId tenant)
     auto it = tenant_bytes_stats.find(tenant);
     if (it == tenant_bytes_stats.end()) {
         Counter &counter =
-            stat("tenant" + std::to_string(tenant) + ".usefulBytes");
+            stat("tenant" + std::to_string(tenant.value()) + ".usefulBytes");
         it = tenant_bytes_stats.emplace(tenant, &counter).first;
     }
     return *it->second;
@@ -58,17 +58,17 @@ DdrFabric::tenantBytesStat(TenantId tenant)
 
 void
 DdrFabric::sendTagged(NodeId src, NodeId dst,
-                      std::uint64_t useful_bytes,
+                      Bytes useful_bytes,
                       bool /*fine_grained*/, TenantId tenant,
                       Deliver deliver)
 {
     BEACON_ASSERT(!src.isSwitch() && !dst.isSwitch(),
                   "DDR fabric has no switches");
     ++stat_messages;
-    stat_useful_bytes += double(useful_bytes);
-    tenantBytesStat(tenant) += double(useful_bytes);
-    const std::uint64_t wire =
-        roundUp<std::uint64_t>(useful_bytes, p.granule_bytes);
+    stat_useful_bytes += double(useful_bytes.value());
+    tenantBytesStat(tenant) += double(useful_bytes.value());
+    const Bytes wire = Bytes{
+        roundUp<std::uint64_t>(useful_bytes.value(), p.granule_bytes)};
     auto finish = [this, deliver = std::move(deliver)]() {
         deliver(curTick());
     };

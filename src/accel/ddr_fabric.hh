@@ -51,19 +51,19 @@ class DdrFabric : public SimObject, public Fabric
               StatRegistry &stats, const DdrFabricParams &params);
 
     void sendTagged(NodeId src, NodeId dst,
-                    std::uint64_t useful_bytes, bool fine_grained,
+                    Bytes useful_bytes, bool fine_grained,
                     TenantId tenant, Deliver deliver) override;
 
-    std::uint64_t totalWireBytes() const override;
+    Bytes totalWireBytes() const override;
 
     const DdrFabricParams &params() const { return p; }
 
     /** Bytes moved on one channel. */
-    std::uint64_t channelBytes(unsigned channel) const;
+    Bytes channelBytes(unsigned channel) const;
 
   private:
     /** One hop over a channel; @p next runs at arrival. */
-    void hopChannel(unsigned channel, std::uint64_t bytes,
+    void hopChannel(unsigned channel, Bytes bytes,
                     std::function<void()> next);
 
     DdrFabricParams p;

@@ -26,7 +26,7 @@ peOverheadFor(const std::string &architecture)
     BEACON_FATAL("unknown architecture '", architecture, "'");
 }
 
-double
+Picojoules
 peEnergyPj(const PeOverhead &pe, Tick busy_ticks, Tick elapsed,
            unsigned total_pes)
 {
@@ -35,7 +35,7 @@ peEnergyPj(const PeOverhead &pe, Tick busy_ticks, Tick elapsed,
         pe.dynamic_power_mw * double(busy_ticks) * 1e-3;
     const double leakage = pe.leakage_power_uw * double(elapsed) *
                            double(total_pes) * 1e-6;
-    return dynamic + leakage;
+    return Picojoules{dynamic + leakage};
 }
 
 } // namespace beacon

@@ -42,27 +42,27 @@ std::vector<PeOverhead> peOverheadTable();
 /** Row for a given architecture name ("MEDAL", "NEST", "BEACON"). */
 const PeOverhead &peOverheadFor(const std::string &architecture);
 
-/** Energy broken out by source, in picojoules. */
+/** Energy broken out by source. */
 struct SystemEnergy
 {
-    double dram_pj = 0;
-    double comm_pj = 0;
-    double pe_pj = 0;
+    Picojoules dram_pj;
+    Picojoules comm_pj;
+    Picojoules pe_pj;
 
-    double totalPj() const { return dram_pj + comm_pj + pe_pj; }
+    Picojoules totalPj() const { return dram_pj + comm_pj + pe_pj; }
 
     double
     commFraction() const
     {
-        const double t = totalPj();
-        return t > 0 ? comm_pj / t : 0;
+        const double t = totalPj().value();
+        return t > 0 ? comm_pj.value() / t : 0;
     }
 
     double
     peFraction() const
     {
-        const double t = totalPj();
-        return t > 0 ? pe_pj / t : 0;
+        const double t = totalPj().value();
+        return t > 0 ? pe_pj.value() / t : 0;
     }
 };
 
@@ -70,14 +70,14 @@ struct SystemEnergy
  * PE energy over a run: dynamic power while busy plus leakage for
  * the whole population over the elapsed time.
  */
-double peEnergyPj(const PeOverhead &pe, Tick busy_ticks,
-                  Tick elapsed, unsigned total_pes);
+Picojoules peEnergyPj(const PeOverhead &pe, Tick busy_ticks,
+                      Tick elapsed, unsigned total_pes);
 
 /** Communication energy for @p bytes over a medium. */
-inline double
-commEnergyPj(std::uint64_t bytes, double pj_per_bit)
+inline Picojoules
+commEnergyPj(Bytes bytes, double pj_per_bit)
 {
-    return double(bytes) * 8.0 * pj_per_bit;
+    return Picojoules{double(bytes.value()) * 8.0 * pj_per_bit};
 }
 
 } // namespace beacon

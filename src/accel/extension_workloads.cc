@@ -50,7 +50,7 @@ class GraphBfsTask : public Task
             AccessRequest req;
             req.data_class = DataClass::GraphOffsets;
             req.offset = csr.offsetSlotBytes(current);
-            req.bytes = 8;
+            req.bytes = Bytes{8};
             step.accesses.push_back(req);
             phase = Phase::FetchEdges;
             return step;
@@ -64,7 +64,7 @@ class GraphBfsTask : public Task
             AccessRequest req;
             req.data_class = DataClass::GraphEdges;
             req.offset = csr.edgeSlotBytes(current);
-            req.bytes = std::min<std::uint32_t>(deg * 4, 512);
+            req.bytes = Bytes{std::min<std::uint32_t>(deg * 4, 512)};
             step.accesses.push_back(req);
             const std::uint32_t *nbrs = csr.neighbors(current);
             for (std::uint32_t i = 0; i < deg; ++i) {
@@ -114,14 +114,14 @@ GraphBfsWorkload::structures() const
 {
     StructureSpec offsets;
     offsets.cls = DataClass::GraphOffsets;
-    offsets.bytes = csr.offsetArrayBytes();
+    offsets.bytes = Bytes{csr.offsetArrayBytes()};
     offsets.spatial = false;
     offsets.read_only = true;
     offsets.access_granule = 8;
 
     StructureSpec edges;
     edges.cls = DataClass::GraphEdges;
-    edges.bytes = std::max<std::uint64_t>(csr.edgeArrayBytes(), 64);
+    edges.bytes = Bytes{std::max<std::uint64_t>(csr.edgeArrayBytes(), 64)};
     edges.spatial = true;
     edges.read_only = true;
     edges.access_granule = 64;
@@ -177,7 +177,7 @@ class DbProbeTask : public Task
             AccessRequest req;
             req.data_class = DataClass::IndexBuckets;
             req.offset = probe.bucket * 8;
-            req.bytes = 8;
+            req.bytes = Bytes{8};
             step.accesses.push_back(req);
             if (probe.chain.empty()) {
                 ++probe_idx; // empty bucket: probe resolved
@@ -191,7 +191,7 @@ class DbProbeTask : public Task
         req.data_class = DataClass::IndexNodes;
         req.offset =
             std::uint64_t(probe.chain[chain_pos - 1]) * 16;
-        req.bytes = 16;
+        req.bytes = Bytes{16};
         step.accesses.push_back(req);
         if (chain_pos >= probe.chain.size()) {
             chain_pos = 0;
@@ -254,14 +254,14 @@ DbProbeWorkload::structures() const
 {
     StructureSpec bucket_heads;
     bucket_heads.cls = DataClass::IndexBuckets;
-    bucket_heads.bytes = num_buckets * 8;
+    bucket_heads.bytes = Bytes{num_buckets * 8};
     bucket_heads.spatial = false;
     bucket_heads.read_only = true;
     bucket_heads.access_granule = 8;
 
     StructureSpec nodes;
     nodes.cls = DataClass::IndexNodes;
-    nodes.bytes = std::max<std::uint64_t>(node_keys.size() * 16, 64);
+    nodes.bytes = Bytes{std::max<std::uint64_t>(node_keys.size() * 16, 64)};
     nodes.spatial = false;
     nodes.read_only = true;
     nodes.access_granule = 16;

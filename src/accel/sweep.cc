@@ -18,10 +18,15 @@ namespace beacon
 namespace
 {
 
+// Wall-clock elapsed time feeds only the wall_seconds field, which
+// the golden gate and cross-worker-count diffs exclude
+// (BEACON_BENCH_JSON_NO_WALL).
 double
+// beacon-lint: allow(determinism-wallclock)
 elapsedSeconds(std::chrono::steady_clock::time_point since)
 {
     return std::chrono::duration<double>(
+               // beacon-lint: allow(determinism-wallclock)
                std::chrono::steady_clock::now() - since)
         .count();
 }
@@ -133,6 +138,7 @@ SweepRunner::run()
             outcomes[i].skipped = true;
             return;
         }
+        // beacon-lint: allow(determinism-wallclock) wall_seconds only
         const auto start = std::chrono::steady_clock::now();
         RunContext ctx;
         ctx.index = i;

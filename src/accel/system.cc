@@ -321,7 +321,7 @@ NdpSystem::localDram(unsigned dimm, const ResolvedAccess &piece,
 const MemoryLayout &
 NdpSystem::layoutFor(TenantId tenant) const
 {
-    if (tenant != 0) {
+    if (tenant != untenanted_id) {
         auto it = tenant_layouts.find(tenant);
         BEACON_ASSERT(it != tenant_layouts.end(),
                       "access from unregistered tenant ", tenant);
@@ -338,7 +338,8 @@ NdpSystem::tenantDramStat(TenantId tenant)
     auto it = tenant_dram_stats.find(tenant);
     if (it == tenant_dram_stats.end()) {
         Counter &counter = registry.counter(
-            "system.tenant" + std::to_string(tenant) + ".dramBytes");
+            "system.tenant" + std::to_string(tenant.value()) +
+                ".dramBytes");
         it = tenant_dram_stats.emplace(tenant, &counter).first;
     }
     return *it->second;
@@ -348,7 +349,8 @@ void
 NdpSystem::setTenantLayout(TenantId tenant,
                            std::shared_ptr<MemoryLayout> layout)
 {
-    BEACON_ASSERT(tenant != 0, "tenant 0 is the untenanted default");
+    BEACON_ASSERT(tenant != untenanted_id,
+                  "tenant 0 is the untenanted default");
     tenant_layouts[tenant] = std::move(layout);
 }
 
@@ -362,8 +364,8 @@ void
 NdpSystem::issueAccess(unsigned partition, const AccessRequest &req,
                        std::function<void(Tick)> done)
 {
-    *stat_dram_bytes += double(req.bytes);
-    tenantDramStat(req.tenant) += double(req.bytes);
+    *stat_dram_bytes += double(req.bytes.value());
+    tenantDramStat(req.tenant) += double(req.bytes.value());
     const std::vector<ResolvedAccess> pieces =
         layoutFor(req.tenant).resolve(req.data_class, req.offset,
                                       req.bytes, partition);
@@ -395,7 +397,7 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
     }
     const NodeId src = ndpNode(partition);
     const NodeId dst = piece.node;
-    const bool fine = piece.bytes < 64;
+    const bool fine = piece.bytes < Bytes{64};
 
     if (src == dst) {
         // BEACON-D/MEDAL local access: straight to the on-DIMM MC.
@@ -407,7 +409,7 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
         // Command + data one way; complete at DRAM write completion.
         auto cb = std::make_shared<std::function<void(Tick)>>(
             std::move(done));
-        fabric->send(src, dst, 16 + piece.bytes, fine,
+        fabric->send(src, dst, Bytes{16} + piece.bytes, fine,
                      [this, piece, cb](Tick) {
                          localDram(piece.dimm_index, piece, true,
                                    [cb](Tick t) { (*cb)(t); });
@@ -426,15 +428,16 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
         auto cb = std::make_shared<std::function<void(Tick)>>(
             std::move(done));
         const Tick remote_compute =
-            engineStepCycles(workload->engine()) * pe_clock_ps;
-        fabric->send(src, dst, 24, true, [this, src, dst, piece,
+            cyclesToTicks(engineStepCycles(workload->engine()),
+                          pe_clock_ps);
+        fabric->send(src, dst, Bytes{24}, true, [this, src, dst, piece,
                                           remote_compute,
                                           cb](Tick) {
             localDram(piece.dimm_index, piece, false,
                       [this, src, dst, remote_compute, cb](Tick) {
                           eq.scheduleIn(remote_compute, [this, src,
                                                          dst, cb] {
-                              fabric->send(dst, src, 8, true,
+                              fabric->send(dst, src, Bytes{8}, true,
                                            [cb](Tick t) {
                                                (*cb)(t);
                                            });
@@ -446,13 +449,12 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
     // Remote read: request message, DRAM read, data response.
     auto cb =
         std::make_shared<std::function<void(Tick)>>(std::move(done));
-    fabric->send(src, dst, 16, true, [this, src, dst, piece, fine,
+    fabric->send(src, dst, Bytes{16}, true, [this, src, dst, piece, fine,
                                       cb](Tick) {
         localDram(piece.dimm_index, piece, false,
                   [this, src, dst, piece, fine, cb](Tick) {
                       fabric->send(dst, src,
-                                   std::max<std::uint64_t>(
-                                       piece.bytes, 1),
+                                   std::max(piece.bytes, Bytes{1}),
                                    fine, [cb](Tick t) { (*cb)(t); });
                   });
     });
@@ -493,7 +495,8 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
     if (p.ddr_fabric) {
         // Ship the op to the owning DIMM's NDP module, RMW locally
         // there, acknowledge back.
-        fabric->send(src, dimm_node, 16, true, [this, src, dimm_node,
+        fabric->send(src, dimm_node, Bytes{16}, true, [this, src,
+                                                       dimm_node,
                                                 piece, word_key,
                                                 cb](Tick) {
             AtomicEngine &engine = *atomic_engines.at(
@@ -509,7 +512,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                               std::move(k));
                 },
                 [this, src, dimm_node, cb](Tick) {
-                    fabric->send(dimm_node, src, 8, true,
+                    fabric->send(dimm_node, src, Bytes{8}, true,
                                  [cb](Tick t) { (*cb)(t); });
                 });
         });
@@ -532,7 +535,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                     std::make_shared<std::function<void(Tick)>>(
                         std::move(k));
                 fabric->send(
-                    sw_node, piece.node, 8, true,
+                    sw_node, piece.node, Bytes{8}, true,
                     [this, piece, sw_node, kk](Tick) {
                         localDram(
                             piece.dimm_index, piece, false,
@@ -549,8 +552,9 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                 auto kk =
                     std::make_shared<std::function<void(Tick)>>(
                         std::move(k));
-                fabric->send(sw_node, piece.node, 8 + piece.bytes,
-                             true, [this, piece, kk](Tick) {
+                fabric->send(sw_node, piece.node,
+                             Bytes{8} + piece.bytes, true,
+                             [this, piece, kk](Tick) {
                                  localDram(piece.dimm_index, piece,
                                            true, [kk](Tick t) {
                                                (*kk)(t);
@@ -561,7 +565,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                 if (co_located) {
                     (*cb)(t);
                 } else {
-                    fabric->send(sw_node, src, 8, true,
+                    fabric->send(sw_node, src, Bytes{8}, true,
                                  [cb](Tick tt) { (*cb)(tt); });
                 }
             });
@@ -570,7 +574,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
     if (src == sw_node) {
         perform();
     } else {
-        fabric->send(src, sw_node, 16, true,
+        fabric->send(src, sw_node, Bytes{16}, true,
                      [perform](Tick) { perform(); });
     }
 }
@@ -598,8 +602,9 @@ NdpSystem::pump()
                 auto shared_task =
                     std::make_shared<TaskPtr>(std::move(task));
                 NdpModule *module = ndps[part].get();
-                fabric->send(NodeId::host(), ndp_nodes[part], 32,
-                             false, [module, shared_task](Tick) {
+                fabric->send(NodeId::host(), ndp_nodes[part],
+                             Bytes{32}, false,
+                             [module, shared_task](Tick) {
                                  module->submit(
                                      std::move(*shared_task));
                              });
@@ -641,7 +646,8 @@ NdpSystem::serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done)
                 std::move(on_done));
         NdpModule *module = ndps[part].get();
         fabric->sendTagged(
-            NodeId::host(), ndp_nodes[part], 32, false, tenant,
+            NodeId::host(), ndp_nodes[part], Bytes{32}, false,
+            tenant,
             [module, shared_task, shared_done](Tick) {
                 module->submit(std::move(*shared_task),
                                std::move(*shared_done));
@@ -675,7 +681,7 @@ NdpSystem::mergeFilters()
     std::uint64_t filter_bytes = 0;
     for (const StructureSpec &s : workload->structures()) {
         if (s.cls == DataClass::BloomLocal)
-            filter_bytes = s.bytes;
+            filter_bytes = s.bytes.value();
     }
     if (filter_bytes == 0)
         return;
@@ -694,7 +700,7 @@ NdpSystem::mergeFilters()
             const unsigned next = (part + round) % parts;
             ++pending;
             fabric->send(ndp_nodes[part], ndp_nodes[next],
-                         filter_bytes, false, on_done);
+                         Bytes{filter_bytes}, false, on_done);
         }
     }
     while (!done) {

@@ -122,7 +122,7 @@ struct RunResult
     std::uint64_t tasks = 0;
     double tasks_per_second = 0;
     SystemEnergy energy;
-    std::uint64_t wire_bytes = 0;
+    Bytes wire_bytes;
     std::uint64_t host_round_trips = 0;
     std::uint64_t dram_reads = 0;
     std::uint64_t dram_writes = 0;

@@ -39,8 +39,8 @@ struct WorkloadFootprint
     std::uint64_t tasks = 0;
     std::uint64_t steps = 0;
     std::uint64_t accesses = 0;
-    std::uint64_t access_bytes = 0;
-    std::uint64_t compute_cycles = 0;
+    Bytes access_bytes;
+    Cycles compute_cycles;
 };
 
 /** An application workload bound to one dataset. */

@@ -86,7 +86,7 @@ class FmSeedingTask : public Task
         AccessRequest req;
         req.data_class = DataClass::FmOcc;
         req.offset = blk_lo * FmIndex::block_bytes;
-        req.bytes = FmIndex::block_bytes;
+        req.bytes = Bytes{FmIndex::block_bytes};
         step.accesses.push_back(req);
         if (blk_hi != blk_lo) {
             req.offset = blk_hi * FmIndex::block_bytes;
@@ -151,7 +151,7 @@ FmSeedingWorkload::structures() const
 {
     StructureSpec occ;
     occ.cls = DataClass::FmOcc;
-    occ.bytes = fm->indexBytes();
+    occ.bytes = Bytes{fm->indexBytes()};
     occ.spatial = false;
     occ.read_only = true;
     occ.access_granule = FmIndex::block_bytes;
@@ -209,7 +209,7 @@ class HashSeedingTask : public Task
             AccessRequest req;
             req.data_class = DataClass::HashBucket;
             req.offset = hidx.bucketOf(kmer) * 8;
-            req.bytes = 8;
+            req.bytes = Bytes{8};
             step.accesses.push_back(req);
             phase = Phase::Locations;
             return step;
@@ -224,7 +224,7 @@ class HashSeedingTask : public Task
             AccessRequest req;
             req.data_class = DataClass::HashLocations;
             req.offset = hidx.locationOffsetBytes(kmer);
-            req.bytes = std::uint32_t(hits * 4);
+            req.bytes = Bytes{hits * 4};
             step.accesses.push_back(req);
         }
         if (step.accesses.empty() && seed_idx >= seeds.size())
@@ -258,14 +258,15 @@ HashSeedingWorkload::structures() const
 {
     StructureSpec buckets;
     buckets.cls = DataClass::HashBucket;
-    buckets.bytes = hidx->bucketTableBytes();
+    buckets.bytes = Bytes{hidx->bucketTableBytes()};
     buckets.spatial = false;
     buckets.read_only = true;
     buckets.access_granule = 8;
 
     StructureSpec locations;
     locations.cls = DataClass::HashLocations;
-    locations.bytes = std::max<std::uint64_t>(hidx->locationBytes(), 64);
+    locations.bytes =
+        Bytes{std::max<std::uint64_t>(hidx->locationBytes(), 64)};
     locations.spatial = true;
     locations.read_only = true;
     locations.access_granule = 64;
@@ -330,7 +331,7 @@ class KmerCountTask : public Task
                                          : DataClass::BloomLocal;
             req.offset =
                 genomics::hashKmer(kmer, 7 + h) % num_counters;
-            req.bytes = 1;
+            req.bytes = Bytes{1};
             req.is_write = update;
             req.is_atomic = update;
             step.accesses.push_back(req);
@@ -373,7 +374,7 @@ KmerCountingWorkload::structures() const
 {
     StructureSpec global;
     global.cls = DataClass::BloomCounter;
-    global.bytes = filter_counters;
+    global.bytes = Bytes{filter_counters};
     global.spatial = false;
     global.read_only = false;
     global.access_granule = 8;
@@ -442,8 +443,8 @@ class PrealignTask : public Task
             AccessRequest req;
             req.data_class = DataClass::RefWindow;
             req.offset = window_offset;
-            req.bytes = window_bytes;
-            step.compute_cycles = 4;
+            req.bytes = Bytes{window_bytes};
+            step.compute_cycles = Cycles{4};
             step.accesses.push_back(req);
             phase = 1;
             return step;
@@ -483,7 +484,7 @@ PrealignWorkload::structures() const
     StructureSpec ref;
     ref.cls = DataClass::RefWindow;
     // 2-bit packed reference.
-    ref.bytes = std::max<std::uint64_t>(genome.size() / 4, 64);
+    ref.bytes = Bytes{std::max<std::uint64_t>(genome.size() / 4, 64)};
     ref.spatial = true;
     ref.read_only = true;
     ref.access_granule = 64;

@@ -161,7 +161,7 @@ DramProtocolChecker::checkAct(const DramCommand &cmd)
                           cs.act_times[cs.act_times.size() - 4],
                           ", window ", ck(tp.t_faw), " ps)"));
         }
-        b.open_row = c.row;
+        b.open_row = std::int64_t{c.row.value()};
         b.last_act = t;
         b.has_act = true;
         b.act_legal = t + ck(tp.t_rc);
@@ -241,7 +241,7 @@ DramProtocolChecker::checkColumn(const DramCommand &cmd)
                           "(chip ",
                           ch, ")"));
         }
-        if (b.open_row != std::int64_t{c.row}) {
+        if (b.open_row != std::int64_t{c.row.value()}) {
             fail(cmd, detail::formatMessage(
                           "column command to the wrong row: chip ",
                           ch, " has row ", b.open_row,

@@ -23,7 +23,7 @@ CxlLinkChecker::registerChannel(const std::string &label)
 void
 CxlLinkChecker::onTransfer(unsigned channel, Tick depart,
                            Tick serialized, Tick arrive,
-                           std::uint64_t bytes, double rate_gbps,
+                           Bytes bytes, double rate_gbps,
                            bool ideal)
 {
     BEACON_CHECK(channel < channels.size(), name,

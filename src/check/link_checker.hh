@@ -48,7 +48,7 @@ class CxlLinkChecker
      * reported times disagree with the shadow reservation.
      */
     void onTransfer(unsigned channel, Tick depart, Tick serialized,
-                    Tick arrive, std::uint64_t bytes, double rate_gbps,
+                    Tick arrive, Bytes bytes, double rate_gbps,
                     bool ideal);
 
     /**

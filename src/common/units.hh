@@ -1,15 +1,35 @@
 /**
  * @file
- * Size and time unit helpers.
+ * Size, time, energy, and identifier unit types.
  *
  * The simulation kernel counts time in integer picoseconds (Tick);
- * capacities are counted in bytes.
+ * all other bookkeeping quantities are strong types so that mixing
+ * dimensions (cycles + bytes, tenant-id vs row-id, ...) is a
+ * compile-time error instead of a silently wrong statistic:
+ *
+ *  - Cycles      clock cycles within some clock domain
+ *  - Bytes       data sizes / capacities / traffic volumes
+ *  - Picojoules  accumulated energy
+ *  - RowId       a DRAM row address within a bank
+ *  - TenantId    a tenant of the multi-tenant pool service
+ *
+ * Quantities (Cycles, Bytes, Picojoules) support same-type additive
+ * arithmetic and dimensionless scaling; identifiers (RowId, TenantId)
+ * support only comparison and hashing. Every type exposes the raw
+ * representation via value() for boundary code (JSON emission,
+ * dimension-crossing math) — the lint check `unit-mix`
+ * (tools/beacon-lint) keeps value() escapes from spreading back into
+ * the model layers.
  */
 
 #ifndef BEACON_COMMON_UNITS_HH
 #define BEACON_COMMON_UNITS_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
 
 namespace beacon
 {
@@ -51,19 +71,247 @@ ticksToSeconds(Tick t)
     return static_cast<double>(t) * 1e-12;
 }
 
-constexpr std::uint64_t operator""_KiB(unsigned long long n)
+namespace detail
 {
-    return n << 10;
+
+/**
+ * CRTP base of an additive physical quantity. @p Derived is its own
+ * tag: two distinct Derived types never interoperate, so a
+ * `Cycles + Bytes` expression has no viable operator and fails to
+ * compile.
+ */
+template <class Derived, class Rep>
+class Quantity
+{
+  public:
+    using rep = Rep;
+
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(Rep v) : _v(v) {}
+
+    /** Raw representation, for boundary code only. */
+    constexpr Rep value() const { return _v; }
+
+    /** @name Same-dimension additive arithmetic @{ */
+    friend constexpr Derived
+    operator+(Derived a, Derived b)
+    {
+        return Derived{static_cast<Rep>(a._v + b._v)};
+    }
+
+    friend constexpr Derived
+    operator-(Derived a, Derived b)
+    {
+        return Derived{static_cast<Rep>(a._v - b._v)};
+    }
+
+    constexpr Derived &
+    operator+=(Derived other)
+    {
+        _v = static_cast<Rep>(_v + other._v);
+        return derived();
+    }
+
+    constexpr Derived &
+    operator-=(Derived other)
+    {
+        _v = static_cast<Rep>(_v - other._v);
+        return derived();
+    }
+    /** @} */
+
+    /** @name Dimensionless scaling @{ */
+    template <class Scalar,
+              class = std::enable_if_t<std::is_arithmetic_v<Scalar>>>
+    friend constexpr Derived
+    operator*(Derived a, Scalar s)
+    {
+        return Derived{static_cast<Rep>(a._v * s)};
+    }
+
+    template <class Scalar,
+              class = std::enable_if_t<std::is_arithmetic_v<Scalar>>>
+    friend constexpr Derived
+    operator*(Scalar s, Derived a)
+    {
+        return Derived{static_cast<Rep>(s * a._v)};
+    }
+
+    template <class Scalar,
+              class = std::enable_if_t<std::is_arithmetic_v<Scalar>>>
+    friend constexpr Derived
+    operator/(Derived a, Scalar s)
+    {
+        return Derived{static_cast<Rep>(a._v / s)};
+    }
+    /** @} */
+
+    /** Dimensionless ratio of two same-unit quantities. */
+    friend constexpr double
+    ratio(Derived a, Derived b)
+    {
+        return static_cast<double>(a._v) / static_cast<double>(b._v);
+    }
+
+    friend constexpr bool
+    operator==(Derived a, Derived b)
+    {
+        return a._v == b._v;
+    }
+
+    friend constexpr bool
+    operator!=(Derived a, Derived b)
+    {
+        return a._v != b._v;
+    }
+
+    friend constexpr bool
+    operator<(Derived a, Derived b)
+    {
+        return a._v < b._v;
+    }
+
+    friend constexpr bool
+    operator<=(Derived a, Derived b)
+    {
+        return a._v <= b._v;
+    }
+
+    friend constexpr bool
+    operator>(Derived a, Derived b)
+    {
+        return a._v > b._v;
+    }
+
+    friend constexpr bool
+    operator>=(Derived a, Derived b)
+    {
+        return a._v >= b._v;
+    }
+
+    /** Prints the bare number (keeps report output byte-stable). */
+    friend std::ostream &
+    operator<<(std::ostream &out, Derived q)
+    {
+        return out << q._v;
+    }
+
+  private:
+    constexpr Derived &derived() { return static_cast<Derived &>(*this); }
+
+    Rep _v{};
+};
+
+/**
+ * CRTP base of an opaque identifier: comparable and hashable, no
+ * arithmetic. Construction from the raw representation is explicit,
+ * so a loop index or a RowId cannot silently become a TenantId.
+ */
+template <class Derived, class Rep>
+class Identifier
+{
+  public:
+    using rep = Rep;
+
+    constexpr Identifier() = default;
+    constexpr explicit Identifier(Rep v) : _v(v) {}
+
+    /** Raw representation, for boundary code only. */
+    constexpr Rep value() const { return _v; }
+
+    friend constexpr bool
+    operator==(Derived a, Derived b)
+    {
+        return a._v == b._v;
+    }
+
+    friend constexpr bool
+    operator!=(Derived a, Derived b)
+    {
+        return a._v != b._v;
+    }
+
+    /** Ordering so the type can key a std::map (deterministic
+     *  iteration, unlike the unordered containers beacon-lint
+     *  flags on emission paths). */
+    friend constexpr bool
+    operator<(Derived a, Derived b)
+    {
+        return a._v < b._v;
+    }
+
+    friend std::ostream &
+    operator<<(std::ostream &out, Derived id)
+    {
+        return out << id._v;
+    }
+
+  private:
+    Rep _v{};
+};
+
+} // namespace detail
+
+/** Cycle count within a clock domain. */
+class Cycles : public detail::Quantity<Cycles, std::uint64_t>
+{
+    using Quantity::Quantity;
+};
+
+/** Byte count: sizes, capacities, traffic volumes. */
+class Bytes : public detail::Quantity<Bytes, std::uint64_t>
+{
+    using Quantity::Quantity;
+};
+
+/** Accumulated energy in picojoules. */
+class Picojoules : public detail::Quantity<Picojoules, double>
+{
+    using Quantity::Quantity;
+};
+
+/** DRAM row address within a bank. */
+class RowId : public detail::Identifier<RowId, std::uint32_t>
+{
+    using Identifier::Identifier;
+};
+
+/**
+ * Identifies a tenant of the multi-tenant pool service. The
+ * default-constructed id is the untenanted tenant 0 used by
+ * single-workload runs and infrastructure traffic.
+ */
+class TenantId : public detail::Identifier<TenantId, std::uint32_t>
+{
+    using Identifier::Identifier;
+};
+
+/** Tenant 0: single-workload runs and infrastructure traffic. */
+inline constexpr TenantId untenanted_id{};
+
+/**
+ * Duration of @p n cycles of a clock with period @p period_ps — the
+ * one sanctioned Cycles -> Tick crossing outside ClockDomain.
+ */
+constexpr Tick
+cyclesToTicks(Cycles n, Tick period_ps)
+{
+    return n.value() * period_ps;
 }
 
-constexpr std::uint64_t operator""_MiB(unsigned long long n)
+constexpr Bytes operator""_KiB(unsigned long long n)
 {
-    return n << 20;
+    return Bytes{n << 10};
 }
 
-constexpr std::uint64_t operator""_GiB(unsigned long long n)
+constexpr Bytes operator""_MiB(unsigned long long n)
 {
-    return n << 30;
+    return Bytes{n << 20};
+}
+
+constexpr Bytes operator""_GiB(unsigned long long n)
+{
+    return Bytes{n << 30};
 }
 
 /**
@@ -71,13 +319,38 @@ constexpr std::uint64_t operator""_GiB(unsigned long long n)
  * second, in ticks (picoseconds).
  */
 constexpr Tick
-transferTime(std::uint64_t bytes, double gb_per_s)
+transferTime(Bytes bytes, double gb_per_s)
 {
     // bytes / (GB/s) = ns; x1000 -> ps.
     return static_cast<Tick>(
-        static_cast<double>(bytes) / gb_per_s * 1e3 + 0.5);
+        static_cast<double>(bytes.value()) / gb_per_s * 1e3 + 0.5);
 }
 
 } // namespace beacon
+
+namespace std
+{
+
+template <>
+struct hash<beacon::RowId>
+{
+    size_t
+    operator()(beacon::RowId id) const noexcept
+    {
+        return hash<beacon::RowId::rep>{}(id.value());
+    }
+};
+
+template <>
+struct hash<beacon::TenantId>
+{
+    size_t
+    operator()(beacon::TenantId id) const noexcept
+    {
+        return hash<beacon::TenantId::rep>{}(id.value());
+    }
+};
+
+} // namespace std
 
 #endif // BEACON_COMMON_UNITS_HH

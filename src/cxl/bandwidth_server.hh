@@ -43,7 +43,7 @@ class BandwidthServer
      * @return the tick at which the last byte has been serviced.
      */
     Tick
-    accept(Tick ready, std::uint64_t bytes)
+    accept(Tick ready, Bytes bytes)
     {
         total_bytes += bytes;
         ++transfers;
@@ -59,7 +59,7 @@ class BandwidthServer
     /** Tick at which the server next becomes free. */
     Tick busyUntil() const { return busy_until; }
 
-    std::uint64_t totalBytes() const { return total_bytes; }
+    Bytes totalBytes() const { return total_bytes; }
     std::uint64_t totalTransfers() const { return transfers; }
     Tick busyTicks() const { return busy_ticks; }
 
@@ -67,7 +67,7 @@ class BandwidthServer
     double rate;
     Tick busy_until = 0;
     Tick busy_ticks = 0;
-    std::uint64_t total_bytes = 0;
+    Bytes total_bytes;
     std::uint64_t transfers = 0;
 };
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/intmath.hh"
+#include "common/units.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -50,7 +51,7 @@ class DataPacker
   public:
     using Deliver = std::function<void(Tick)>;
     using FlushFn =
-        std::function<void(std::uint64_t wire_bytes,
+        std::function<void(Bytes wire_bytes,
                            std::vector<Deliver> batch)>;
 
     DataPacker(EventQueue &eq, const PackerParams &params,
@@ -64,14 +65,15 @@ class DataPacker
      * immediately at full-flit granularity.
      */
     void
-    submit(std::uint64_t useful_bytes, bool fine_grained,
+    submit(Bytes useful_bytes, bool fine_grained,
            Deliver deliver)
     {
-        const std::uint64_t framed = useful_bytes + p.header_bytes;
+        const Bytes framed = useful_bytes + Bytes{p.header_bytes};
         if (!p.enabled || !fine_grained) {
             std::vector<Deliver> batch;
             batch.push_back(std::move(deliver));
-            flush(roundUp<std::uint64_t>(framed, p.flit_bytes),
+            flush(Bytes{roundUp<std::uint64_t>(framed.value(),
+                                               p.flit_bytes)},
                   std::move(batch));
             ++unpacked_messages;
             return;
@@ -79,7 +81,7 @@ class DataPacker
         pending.push_back(std::move(deliver));
         pending_bytes += framed;
         ++packed_messages;
-        if (pending_bytes >= p.flit_bytes) {
+        if (pending_bytes >= Bytes{p.flit_bytes}) {
             flushNow();
         } else if (!timeout_armed) {
             timeout_armed = true;
@@ -106,12 +108,12 @@ class DataPacker
             eq.cancel(timeout_ev);
             timeout_armed = false;
         }
-        const std::uint64_t wire =
-            roundUp<std::uint64_t>(pending_bytes, p.flit_bytes);
-        flits_flushed += wire / p.flit_bytes;
+        const Bytes wire = Bytes{
+            roundUp<std::uint64_t>(pending_bytes.value(), p.flit_bytes)};
+        flits_flushed += wire.value() / p.flit_bytes;
         flush(wire, std::move(pending));
         pending.clear();
-        pending_bytes = 0;
+        pending_bytes = Bytes{};
     }
 
     EventQueue &eq;
@@ -119,7 +121,7 @@ class DataPacker
     FlushFn flush;
 
     std::vector<Deliver> pending;
-    std::uint64_t pending_bytes = 0;
+    Bytes pending_bytes;
     bool timeout_armed = false;
     EventId timeout_ev = 0;
 

@@ -35,11 +35,11 @@ class Fabric
      * way is accounted to tenant 0 (untenanted).
      */
     void
-    send(NodeId src, NodeId dst, std::uint64_t useful_bytes,
+    send(NodeId src, NodeId dst, Bytes useful_bytes,
          bool fine_grained, Deliver deliver)
     {
-        sendTagged(src, dst, useful_bytes, fine_grained, 0,
-                   std::move(deliver));
+        sendTagged(src, dst, useful_bytes, fine_grained,
+                   untenanted_id, std::move(deliver));
     }
 
     /**
@@ -50,12 +50,12 @@ class Fabric
      * untagged send.
      */
     virtual void sendTagged(NodeId src, NodeId dst,
-                            std::uint64_t useful_bytes,
+                            Bytes useful_bytes,
                             bool fine_grained, TenantId tenant,
                             Deliver deliver) = 0;
 
     /** Total wire bytes moved (for communication energy). */
-    virtual std::uint64_t totalWireBytes() const = 0;
+    virtual Bytes totalWireBytes() const = 0;
 };
 
 } // namespace beacon

@@ -57,7 +57,7 @@ class CxlLink : public SimObject
      * the last byte arrives at the far end.
      */
     void
-    send(LinkDir dir, std::uint64_t bytes,
+    send(LinkDir dir, Bytes bytes,
          std::function<void(Tick)> on_arrival)
     {
         BandwidthServer &server =
@@ -72,7 +72,7 @@ class CxlLink : public SimObject
                                 depart, serialized, arrive, bytes,
                                 server.rateGBps(), server.ideal());
         }
-        stat_bytes += double(bytes);
+        stat_bytes += double(bytes.value());
         ++stat_transfers;
         eq.schedule(arrive,
                     [cb = std::move(on_arrival), arrive] { cb(arrive); });
@@ -102,7 +102,7 @@ class CxlLink : public SimObject
 
     /** Earliest tick a new transfer in @p dir would finish arriving. */
     Tick
-    nextArrival(LinkDir dir, std::uint64_t bytes) const
+    nextArrival(LinkDir dir, Bytes bytes) const
     {
         const BandwidthServer &server =
             dir == LinkDir::Downstream ? down : up;
@@ -118,7 +118,7 @@ class CxlLink : public SimObject
     const BandwidthServer &upstream() const { return up; }
 
     /** Total bytes moved in both directions. */
-    std::uint64_t
+    Bytes
     totalBytes() const
     {
         return down.totalBytes() + up.totalBytes();

@@ -59,35 +59,35 @@ PoolFabric::hostLink(unsigned sw) const
     return *switches.at(sw).host_link;
 }
 
-std::uint64_t
+Bytes
 PoolFabric::dimmLinkBytes() const
 {
-    std::uint64_t total = 0;
+    Bytes total;
     for (const SwitchState &sw : switches)
         for (const auto &link : sw.dimm_links)
             total += link->totalBytes();
     return total;
 }
 
-std::uint64_t
+Bytes
 PoolFabric::hostLinkBytes() const
 {
-    std::uint64_t total = 0;
+    Bytes total;
     for (const SwitchState &sw : switches)
         total += sw.host_link->totalBytes();
     return total;
 }
 
-std::uint64_t
+Bytes
 PoolFabric::switchBusBytes() const
 {
-    std::uint64_t total = 0;
+    Bytes total;
     for (const SwitchState &sw : switches)
         total += sw.bus->totalBytes();
     return total;
 }
 
-std::uint64_t
+Bytes
 PoolFabric::totalWireBytes() const
 {
     return dimmLinkBytes() + hostLinkBytes() + switchBusBytes();
@@ -102,7 +102,7 @@ PoolFabric::packerFor(NodeId src, NodeId dst)
     if (it == packers.end()) {
         auto packer = std::make_unique<DataPacker>(
             eq, p.packer,
-            [this, src, dst](std::uint64_t wire,
+            [this, src, dst](Bytes wire,
                              std::vector<Deliver> batch) {
                 routeWire(src, dst, wire, std::move(batch));
             });
@@ -117,7 +117,7 @@ PoolFabric::tenantBytesStat(TenantId tenant)
     auto it = tenant_bytes_stats.find(tenant);
     if (it == tenant_bytes_stats.end()) {
         Counter &counter =
-            stat("tenant" + std::to_string(tenant) + ".usefulBytes");
+            stat("tenant" + std::to_string(tenant.value()) + ".usefulBytes");
         it = tenant_bytes_stats.emplace(tenant, &counter).first;
     }
     return *it->second;
@@ -125,12 +125,12 @@ PoolFabric::tenantBytesStat(TenantId tenant)
 
 void
 PoolFabric::sendTagged(NodeId src, NodeId dst,
-                       std::uint64_t useful_bytes, bool fine_grained,
+                       Bytes useful_bytes, bool fine_grained,
                        TenantId tenant, Deliver deliver)
 {
     ++stat_messages;
-    stat_useful_bytes += double(useful_bytes);
-    tenantBytesStat(tenant) += double(useful_bytes);
+    stat_useful_bytes += double(useful_bytes.value());
+    tenantBytesStat(tenant) += double(useful_bytes.value());
     if (link_checker) {
         link_checker->onSubmit(curTick());
         // Wrap the delivery so the checker sees the matching exit.
@@ -144,7 +144,7 @@ PoolFabric::sendTagged(NodeId src, NodeId dst,
 }
 
 void
-PoolFabric::hopBus(unsigned sw, std::uint64_t bytes,
+PoolFabric::hopBus(unsigned sw, Bytes bytes,
                    std::function<void()> next)
 {
     const Tick depart = curTick();
@@ -187,14 +187,14 @@ PoolFabric::finalizeCheck() const
 }
 
 void
-PoolFabric::hopLink(CxlLink &link, LinkDir dir, std::uint64_t bytes,
+PoolFabric::hopLink(CxlLink &link, LinkDir dir, Bytes bytes,
                     std::function<void()> next)
 {
     link.send(dir, bytes, [fn = std::move(next)](Tick) { fn(); });
 }
 
 void
-PoolFabric::routeWire(NodeId src, NodeId dst, std::uint64_t wire,
+PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
                       std::vector<Deliver> batch)
 {
     auto deliver_all = [this, batch = std::move(batch)]() {

@@ -92,14 +92,14 @@ class PoolFabric : public SimObject, public Fabric
      * fully arrived.
      */
     void sendTagged(NodeId src, NodeId dst,
-                    std::uint64_t useful_bytes, bool fine_grained,
+                    Bytes useful_bytes, bool fine_grained,
                     TenantId tenant, Deliver deliver) override;
 
     /** Bytes moved over DIMM links, host links, and switch buses. */
-    std::uint64_t dimmLinkBytes() const;
-    std::uint64_t hostLinkBytes() const;
-    std::uint64_t switchBusBytes() const;
-    std::uint64_t totalWireBytes() const override;
+    Bytes dimmLinkBytes() const;
+    Bytes hostLinkBytes() const;
+    Bytes switchBusBytes() const;
+    Bytes totalWireBytes() const override;
 
     /** Messages that traversed the host for coherence resolution. */
     std::uint64_t hostRoundTrips() const { return host_round_trips; }
@@ -126,13 +126,13 @@ class PoolFabric : public SimObject, public Fabric
     };
 
     /** Route an already-packed wire unit along the physical path. */
-    void routeWire(NodeId src, NodeId dst, std::uint64_t wire_bytes,
+    void routeWire(NodeId src, NodeId dst, Bytes wire_bytes,
                    std::vector<Deliver> batch);
 
     /** Hop helpers: schedule continuation after a resource. */
-    void hopBus(unsigned sw, std::uint64_t bytes,
+    void hopBus(unsigned sw, Bytes bytes,
                 std::function<void()> next);
-    void hopLink(CxlLink &link, LinkDir dir, std::uint64_t bytes,
+    void hopLink(CxlLink &link, LinkDir dir, Bytes bytes,
                  std::function<void()> next);
 
     DataPacker &packerFor(NodeId src, NodeId dst);

@@ -81,7 +81,7 @@ DimmTimingModel::rowHit(const DramCoord &coord,
 {
     for (unsigned c = 0; c < coord.chip_count; ++c) {
         if (bank(coord, coord.chip_first + c).open_row !=
-            std::int64_t{coord.row}) {
+            std::int64_t{coord.row.value()}) {
             return false;
         }
     }
@@ -150,7 +150,7 @@ DimmTimingModel::earliestColumn(const DramCoord &coord, bool is_write,
     for (unsigned c = 0; c < coord.chip_count; ++c) {
         const unsigned chip = coord.chip_first + c;
         const BankState &b = bank(coord, chip);
-        BEACON_ASSERT(b.open_row == std::int64_t{coord.row},
+        BEACON_ASSERT(b.open_row == std::int64_t{coord.row.value()},
                       "column command to a closed/mismatched row");
         earliest = std::max(earliest, b.col_allowed);
         const ChipState &cs = chipState(coord.rank, chip);
@@ -182,7 +182,7 @@ DimmTimingModel::issueAct(const DramCoord &coord, Tick t)
         const unsigned chip = coord.chip_first + c;
         BankState &b = bank(coord, chip);
         BEACON_ASSERT(b.open_row == -1, "ACT to an open bank");
-        b.open_row = coord.row;
+        b.open_row = std::int64_t{coord.row.value()};
         b.act_allowed = t + tp.t_rc * ck;
         b.pre_allowed = std::max(b.pre_allowed, t + tp.t_ras * ck);
         b.col_allowed = t + tp.t_rcd * ck;
@@ -269,8 +269,8 @@ DimmTimingModel::issueColumn(const DramCoord &coord, bool is_write,
     occupyCmdBus(coord.rank, t + ck);
     ranks[coord.rank].busy_until =
         std::max(ranks[coord.rank].busy_until, data_end);
-    raw_bytes += std::uint64_t{coord.chip_count} *
-                 geom.bytesPerChipBurst();
+    raw_bytes += Bytes{std::uint64_t{coord.chip_count} *
+                       geom.bytesPerChipBurst()};
     reportCommand(is_write ? (auto_precharge ? DramCommandKind::WriteAp
                                              : DramCommandKind::Write)
                            : (auto_precharge ? DramCommandKind::ReadAp

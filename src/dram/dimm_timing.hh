@@ -119,7 +119,7 @@ class DimmTimingModel
     std::uint64_t numWriteBursts() const { return n_wr; }
     std::uint64_t numRefreshes() const { return n_ref; }
     /** Raw bytes moved on the data lanes (useful or not). */
-    std::uint64_t rawBytes() const { return raw_bytes; }
+    Bytes rawBytes() const { return raw_bytes; }
     /** Column-command count per chip position (Fig. 13). */
     const std::vector<std::uint64_t> &chipAccesses() const
     {
@@ -208,7 +208,7 @@ class DimmTimingModel
     std::uint64_t n_rd = 0;
     std::uint64_t n_wr = 0;
     std::uint64_t n_ref = 0;
-    std::uint64_t raw_bytes = 0;
+    Bytes raw_bytes;
     std::vector<std::uint64_t> chip_accesses;
 };
 

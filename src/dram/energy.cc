@@ -8,9 +8,9 @@ computeDramEnergy(const DimmTimingModel &model, Tick elapsed,
                   const DramEnergyParams &params)
 {
     DramEnergyBreakdown out;
-    out.act_pre_pj =
+    out.act_pre_pj = Picojoules{
         double(model.numActChipOps()) * params.act_pj_per_chip +
-        double(model.numPreChipOps()) * params.pre_pj_per_chip;
+        double(model.numPreChipOps()) * params.pre_pj_per_chip};
 
     std::uint64_t col_chip_ops = 0;
     for (std::uint64_t per_chip : model.chipAccesses())
@@ -21,20 +21,20 @@ computeDramEnergy(const DimmTimingModel &model, Tick elapsed,
         double(model.numReadBursts() + model.numWriteBursts());
     const double rd_frac =
         total_cmds > 0 ? double(model.numReadBursts()) / total_cmds : 0;
-    out.rd_wr_pj =
+    out.rd_wr_pj = Picojoules{
         double(col_chip_ops) *
         (rd_frac * params.rd_pj_per_burst_chip +
-         (1.0 - rd_frac) * params.wr_pj_per_burst_chip);
+         (1.0 - rd_frac) * params.wr_pj_per_burst_chip)};
 
-    out.refresh_pj =
-        double(model.numRefreshes()) * params.ref_pj_per_rank;
+    out.refresh_pj = Picojoules{
+        double(model.numRefreshes()) * params.ref_pj_per_rank};
 
     const double chips =
         double(model.geometry().ranks) *
         double(model.geometry().chips_per_rank);
     // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
-    out.background_pj = params.background_mw_per_chip * chips *
-                        double(elapsed) * 1e-3;
+    out.background_pj = Picojoules{params.background_mw_per_chip *
+                                   chips * double(elapsed) * 1e-3};
     return out;
 }
 

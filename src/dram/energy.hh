@@ -12,6 +12,7 @@
 #ifndef BEACON_DRAM_ENERGY_HH
 #define BEACON_DRAM_ENERGY_HH
 
+#include "common/units.hh"
 #include "dram/dimm_timing.hh"
 
 namespace beacon
@@ -33,15 +34,15 @@ struct DramEnergyParams
     static DramEnergyParams ddr4_8gb_x4() { return {}; }
 };
 
-/** Energy broken out by source, in picojoules. */
+/** Energy broken out by source. */
 struct DramEnergyBreakdown
 {
-    double act_pre_pj = 0;
-    double rd_wr_pj = 0;
-    double refresh_pj = 0;
-    double background_pj = 0;
+    Picojoules act_pre_pj;
+    Picojoules rd_wr_pj;
+    Picojoules refresh_pj;
+    Picojoules background_pj;
 
-    double
+    Picojoules
     totalPj() const
     {
         return act_pre_pj + rd_wr_pj + refresh_pj + background_pj;

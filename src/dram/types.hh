@@ -28,7 +28,7 @@ struct DramCoord
     unsigned rank = 0;
     unsigned bank_group = 0;
     unsigned bank = 0;          //!< bank within the group
-    unsigned row = 0;
+    RowId row;
     unsigned column = 0;        //!< starting column of the access
     unsigned chip_first = 0;
     unsigned chip_count = 1;
@@ -102,7 +102,7 @@ struct MemRequest
     DramCoord coord;
     bool is_write = false;
     /** Useful payload bytes (for bandwidth-utilisation stats). */
-    std::uint64_t bytes = 0;
+    Bytes bytes;
     /** Number of BL8 column commands needed to move the payload. */
     unsigned bursts = 1;
     /** Invoked at data-completion time. */

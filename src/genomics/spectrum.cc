@@ -60,6 +60,11 @@ computeKmerSpectrum(const std::vector<DnaSequence> &reads, unsigned k,
     }
     spectrum.bins.assign(max_multiplicity + 1, 0);
     spectrum.distinct_kmers = counts.size();
+    // Iteration order is hash-seed-dependent, but the loop only
+    // increments integer bins — a commutative reduction, so the
+    // emitted spectrum is order-independent (regression-tested by
+    // SpectrumDeterminism.* in tests/test_report_spectrum.cc).
+    // beacon-lint: allow(determinism-unordered-iter)
     for (const auto &[kmer, count] : counts) {
         const unsigned bin =
             std::min<std::uint32_t>(count, max_multiplicity);

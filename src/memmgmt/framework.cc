@@ -15,11 +15,11 @@ MemoryFramework::MemoryFramework(std::vector<PoolDimm> dimms)
     BEACON_ASSERT(!pool.empty(), "empty pool");
 }
 
-std::uint64_t
+Bytes
 MemoryFramework::replicatedBytes(const AllocationRequest &request)
 {
-    std::uint64_t ro = 0;
-    std::uint64_t rw = 0;
+    Bytes ro;
+    Bytes rw;
     for (const StructureSpec &s : request.structures) {
         if (s.read_only)
             ro += s.bytes;
@@ -47,7 +47,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
             return response;
         }
     }
-    if (replicatedBytes(request) == 0) {
+    if (replicatedBytes(request) == Bytes{}) {
         response.error = "zero-byte allocation for '" + request.app +
                          "' (no quota)";
         return response;
@@ -61,7 +61,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
         const std::uint64_t rank_row_bytes =
             pool[i].geom.rowBytesPerChip() * pool[i].geom.chips_per_rank;
         const std::uint64_t rows_used =
-            (residentBytes(i) + rank_row_bytes - 1) / rank_row_bytes;
+            (residentBytes(i).value() + rank_row_bytes - 1) / rank_row_bytes;
         policy.region_row_offset = std::max(
             policy.region_row_offset,
             unsigned(rows_used % pool[i].geom.rows));
@@ -73,7 +73,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
 
     // Which DIMMs participate, and the footprint per DIMM.
     std::vector<std::uint64_t> needed(pool.size(), 0);
-    const std::uint64_t total = replicatedBytes(request);
+    const std::uint64_t total = replicatedBytes(request).value();
     std::vector<bool> touched(pool.size(), false);
     // Approximate an even spread over every DIMM any partition uses.
     unsigned touched_count = 0;
@@ -81,7 +81,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
         for (const StructureSpec &s : request.structures) {
             // One probe access discovers the partition's DIMM list.
             for (const ResolvedAccess &acc : layout->resolve(
-                     s.cls, 0, std::max<std::uint32_t>(1, 1), part)) {
+                     s.cls, 0, Bytes{1}, part)) {
                 if (!touched[acc.dimm_index]) {
                     touched[acc.dimm_index] = true;
                     ++touched_count;
@@ -95,9 +95,9 @@ MemoryFramework::allocate(const AllocationRequest &request)
         for (const StructureSpec &s : request.structures) {
             for (std::uint64_t probe = 0; probe < 64; ++probe) {
                 const std::uint64_t off =
-                    probe * 64 % std::max<std::uint64_t>(s.bytes, 1);
+                    probe * 64 % std::max<std::uint64_t>(s.bytes.value(), 1);
                 for (const ResolvedAccess &acc :
-                     layout->resolve(s.cls, off, 1, part)) {
+                     layout->resolve(s.cls, off, Bytes{1}, part)) {
                     if (!touched[acc.dimm_index]) {
                         touched[acc.dimm_index] = true;
                         ++touched_count;
@@ -120,7 +120,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
         const std::uint64_t capacity = pool[i].geom.capacityBytes();
         std::uint64_t resident = 0;
         for (const auto &[app, bytes] : usage[i])
-            resident += bytes;
+            resident += bytes.value();
         if (needed[i] > capacity) {
             response.error = "insufficient capacity on " +
                              pool[i].node.str();
@@ -141,7 +141,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
 
     for (unsigned i = 0; i < pool.size(); ++i) {
         if (touched[i]) {
-            usage[i][request.app] = needed[i];
+            usage[i][request.app] = Bytes{needed[i]};
             non_cacheable[i] = true;
             response.allocated_dimms.push_back(i);
         }
@@ -149,7 +149,7 @@ MemoryFramework::allocate(const AllocationRequest &request)
 
     response.success = true;
     response.layout = std::move(layout);
-    response.migrated_bytes = migrated;
+    response.migrated_bytes = Bytes{migrated};
     return response;
 }
 
@@ -172,28 +172,28 @@ MemoryFramework::isNonCacheable(unsigned dimm_index) const
     return non_cacheable.at(dimm_index);
 }
 
-std::uint64_t
+Bytes
 MemoryFramework::residentBytes(unsigned dimm_index) const
 {
-    std::uint64_t total = 0;
+    Bytes total;
     for (const auto &[app, bytes] : usage.at(dimm_index))
         total += bytes;
     return total;
 }
 
-std::uint64_t
+Bytes
 MemoryFramework::freeBytes(unsigned dimm_index) const
 {
     const std::uint64_t capacity =
         pool.at(dimm_index).geom.capacityBytes();
-    const std::uint64_t resident = residentBytes(dimm_index);
-    return capacity > resident ? capacity - resident : 0;
+    const std::uint64_t resident = residentBytes(dimm_index).value();
+    return Bytes{capacity > resident ? capacity - resident : 0};
 }
 
-std::uint64_t
+Bytes
 MemoryFramework::poolFreeBytes() const
 {
-    std::uint64_t total = 0;
+    Bytes total;
     for (unsigned i = 0; i < pool.size(); ++i)
         total += freeBytes(i);
     return total;

@@ -47,7 +47,7 @@ struct AllocationResponse
     std::string error;
     std::shared_ptr<MemoryLayout> layout;
     /** Bytes of other applications' data migrated (memory clean). */
-    std::uint64_t migrated_bytes = 0;
+    Bytes migrated_bytes;
     /** DIMMs now dedicated (non-cacheable for the host). */
     std::vector<unsigned> allocated_dimms;
 };
@@ -68,24 +68,24 @@ class MemoryFramework
     bool isNonCacheable(unsigned dimm_index) const;
 
     /** Bytes currently resident on a DIMM (all applications). */
-    std::uint64_t residentBytes(unsigned dimm_index) const;
+    Bytes residentBytes(unsigned dimm_index) const;
 
     /** Unused capacity remaining on a DIMM. */
-    std::uint64_t freeBytes(unsigned dimm_index) const;
+    Bytes freeBytes(unsigned dimm_index) const;
 
     /** Unused capacity summed over the whole pool. */
-    std::uint64_t poolFreeBytes() const;
+    Bytes poolFreeBytes() const;
 
     const std::vector<PoolDimm> &dimms() const { return pool; }
 
   private:
     /** Footprint each structure set needs per partition copy. */
-    static std::uint64_t
+    static Bytes
     replicatedBytes(const AllocationRequest &request);
 
     std::vector<PoolDimm> pool;
     /** Per DIMM: bytes used by each application. */
-    std::vector<std::map<std::string, std::uint64_t>> usage;
+    std::vector<std::map<std::string, Bytes>> usage;
     std::vector<bool> non_cacheable;
 };
 

@@ -150,10 +150,10 @@ MemoryLayout::planFor(DataClass cls) const
 
 std::vector<ResolvedAccess>
 MemoryLayout::resolve(DataClass cls, std::uint64_t offset,
-                      std::uint32_t bytes, unsigned partition) const
+                      Bytes bytes, unsigned partition) const
 {
     BEACON_ASSERT(partition < pol.partitions, "bad partition");
-    BEACON_ASSERT(bytes > 0, "zero-byte access");
+    BEACON_ASSERT(bytes.value() > 0, "zero-byte access");
     const StructurePlan &plan = planFor(cls);
     const std::vector<StripeSlot> &slots =
         plan.partition_slots[partition];
@@ -162,7 +162,7 @@ MemoryLayout::resolve(DataClass cls, std::uint64_t offset,
 
     std::vector<ResolvedAccess> pieces;
     std::uint64_t cur = offset;
-    std::uint64_t end = offset + bytes;
+    std::uint64_t end = offset + bytes.value();
     while (cur < end) {
         const std::uint64_t granule_idx = cur / plan.granule;
         const std::uint64_t granule_end =
@@ -186,7 +186,7 @@ MemoryLayout::resolve(DataClass cls, std::uint64_t offset,
         acc.node = pool[dimm_idx].node;
         acc.coord = mapper.mapGranule(local_idx);
         acc.bursts = mapper.burstsFor(piece);
-        acc.bytes = piece;
+        acc.bytes = Bytes{piece};
         pieces.push_back(acc);
 
         cur += piece;

@@ -56,7 +56,7 @@ struct PoolDimm
 struct StructureSpec
 {
     DataClass cls = DataClass::FmOcc;
-    std::uint64_t bytes = 0;
+    Bytes bytes;
     bool spatial = false;    //!< benefits from row-major layout
     bool read_only = true;   //!< replicable per partition
     std::uint32_t access_granule = 32; //!< typical access size
@@ -114,7 +114,7 @@ struct ResolvedAccess
     NodeId node;             //!< the DIMM's node id
     DramCoord coord;
     unsigned bursts = 1;
-    std::uint32_t bytes = 0;
+    Bytes bytes;
 };
 
 /**
@@ -134,7 +134,7 @@ class MemoryLayout
      */
     std::vector<ResolvedAccess> resolve(DataClass cls,
                                         std::uint64_t offset,
-                                        std::uint32_t bytes,
+                                        Bytes bytes,
                                         unsigned partition) const;
 
     /** Switch owning the (single-copy) word for atomic routing. */

@@ -85,7 +85,7 @@ DimmAddressMapper::mapGranule(std::uint64_t granule_idx) const
     coord.rank = rank;
     coord.bank_group = bg;
     coord.bank = bank;
-    coord.row = unsigned((row + p.base_row) % geom.rows);
+    coord.row = RowId{unsigned((row + p.base_row) % geom.rows)};
     coord.column = slot * bursts_per_granule * 8;
     coord.chip_first = group * p.chip_group;
     coord.chip_count = p.chip_group;

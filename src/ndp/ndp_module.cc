@@ -38,7 +38,7 @@ NdpModule::tenantBusyStat(TenantId tenant)
     auto it = tenant_busy_stats.find(tenant);
     if (it == tenant_busy_stats.end()) {
         Counter &counter =
-            stat("tenant" + std::to_string(tenant) + ".peBusyTicks");
+            stat("tenant" + std::to_string(tenant.value()) + ".peBusyTicks");
         it = tenant_busy_stats.emplace(tenant, &counter).first;
     }
     return *it->second;
@@ -85,7 +85,8 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
     }
     const TenantId tid = pending->task->tenant();
     const TaskStep step = pending->task->next();
-    const Tick compute = step.compute_cycles * p.pe_clock_ps;
+    const Tick compute =
+        cyclesToTicks(step.compute_cycles, p.pe_clock_ps);
     pe_busy_ticks += compute;
     pe_busy_by_tenant[tid] += compute;
     stat_pe_busy += double(compute);

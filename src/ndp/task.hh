@@ -43,19 +43,19 @@ engineStepCycles(EngineKind kind)
 {
     switch (kind) {
       case EngineKind::FmIndex:
-        return 16;
+        return Cycles{16};
       case EngineKind::HashIndex:
-        return 10;
+        return Cycles{10};
       case EngineKind::KmerCounting:
-        return 59;
+        return Cycles{59};
       case EngineKind::Prealign:
-        return 82;
+        return Cycles{82};
       case EngineKind::GraphTraversal:
-        return 12;
+        return Cycles{12};
       case EngineKind::IndexProbe:
-        return 14;
+        return Cycles{14};
     }
-    return 16;
+    return Cycles{16};
 }
 
 /** Logical data structures an access may target. */
@@ -74,26 +74,19 @@ enum class DataClass : std::uint8_t
     IndexNodes,     //!< database chain nodes (fine, random)
 };
 
-/**
- * Identifies the tenant a task (and every access it issues) belongs
- * to in multi-tenant service runs (src/service). Tenant 0 is the
- * untenanted default used by single-workload runs and infrastructure
- * traffic (input streaming handshakes, filter merges).
- */
-using TenantId = std::uint32_t;
-
 /** One memory access requested by a task step. */
 struct AccessRequest
 {
     DataClass data_class = DataClass::FmOcc;
     /** Byte offset within the data structure's logical space. */
     std::uint64_t offset = 0;
-    std::uint32_t bytes = 0;
+    Bytes bytes;
     bool is_write = false;
     /** Atomic read-modify-write (resolved by the Atomic Engine). */
     bool is_atomic = false;
-    /** Owning tenant; stamped by the NDP module from the task. */
-    TenantId tenant = 0;
+    /** Owning tenant (units.hh TenantId); stamped by the NDP module
+     *  from the task. */
+    TenantId tenant;
 };
 
 /** Result of advancing a task by one step. */
@@ -101,7 +94,7 @@ struct TaskStep
 {
     bool done = false;
     /** PE-cycles consumed by the step's arithmetic. */
-    Cycles compute_cycles = 0;
+    Cycles compute_cycles;
     /** Operands to fetch/update before next() may be called again. */
     std::vector<AccessRequest> accesses;
 };
@@ -125,7 +118,7 @@ class Task
     virtual TaskStep next() = 0;
 
     /** Tenant this task is accounted to (0 = untenanted). */
-    virtual TenantId tenant() const { return 0; }
+    virtual TenantId tenant() const { return untenanted_id; }
 };
 
 using TaskPtr = std::unique_ptr<Task>;

@@ -62,9 +62,9 @@ struct TenantSpec
     /**
      * Transient per-job scratch footprint the admission controller
      * reserves from pool capacity for each in-flight job and
-     * releases at job completion; 0 disables per-job gating.
+     * releases at job completion; zero disables per-job gating.
      */
-    std::uint64_t scratch_bytes_per_job = 0;
+    Bytes scratch_bytes_per_job;
     ArrivalProcess arrival;
 };
 

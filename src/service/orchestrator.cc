@@ -52,9 +52,10 @@ PoolOrchestrator::~PoolOrchestrator()
 PoolOrchestrator::TenantState &
 PoolOrchestrator::stateOf(TenantId tenant)
 {
-    BEACON_ASSERT(tenant >= 1 && tenant <= tenants.size(),
+    BEACON_ASSERT(tenant.value() >= 1 &&
+                      tenant.value() <= tenants.size(),
                   "unknown tenant ", tenant);
-    return tenants[tenant - 1];
+    return tenants[tenant.value() - 1];
 }
 
 TenantId
@@ -66,7 +67,7 @@ PoolOrchestrator::addTenant(const TenantSpec &spec)
 
     AllocationRequest request;
     request.app = spec.name.empty()
-                      ? "tenant" + std::to_string(id)
+                      ? "tenant" + std::to_string(id.value())
                       : spec.name;
     request.structures = spec.workload->structures();
     request.policy = system.placementPolicy();
@@ -78,7 +79,7 @@ PoolOrchestrator::addTenant(const TenantSpec &spec)
         system.memoryFramework().allocate(request);
     if (!response.success) {
         last_error = response.error;
-        return 0;
+        return untenanted_id;
     }
     system.setTenantLayout(id, response.layout);
 
@@ -94,7 +95,7 @@ bool
 PoolOrchestrator::admitJob(TenantState &tenant,
                            const std::shared_ptr<Job> &job)
 {
-    if (tenant.spec.scratch_bytes_per_job > 0) {
+    if (tenant.spec.scratch_bytes_per_job > Bytes{}) {
         AllocationRequest request;
         request.app = tenant.spec.name + ".job" +
                       std::to_string(job->id);
@@ -212,8 +213,9 @@ PoolOrchestrator::dispatch()
         tenant.ready.pop_front();
 
         const Workload &wl = *tenant.spec.workload;
-        scheduler->onDispatch(*picked,
-                              double(engineStepCycles(wl.engine())));
+        scheduler->onDispatch(
+            *picked,
+            double(engineStepCycles(wl.engine()).value()));
 
         if (!ready.job->dispatched_any) {
             ready.job->dispatched_any = true;
@@ -284,7 +286,8 @@ PoolOrchestrator::run()
             // stream, so arrivals are independent of execution
             // interleaving.
             Rng arrivals(p.seed ^
-                         (0x9E3779B97F4A7C15ull * (tenant.id + 1)));
+                         (0x9E3779B97F4A7C15ull *
+                          (tenant.id.value() + 1)));
             Tick at = 0;
             for (unsigned j = 0; j < tenant.spec.num_jobs; ++j) {
                 const double u = arrivals.nextDouble();
@@ -349,7 +352,8 @@ PoolOrchestrator::run()
                       report.machine.seconds
                 : 0;
 
-        const std::string tag = "tenant" + std::to_string(tenant.id);
+        const std::string tag =
+            "tenant" + std::to_string(tenant.id.value());
         for (unsigned part = 0; part < system.numPartitions();
              ++part) {
             const auto &by_tenant =
@@ -358,10 +362,10 @@ PoolOrchestrator::run()
             if (it != by_tenant.end())
                 out.pe_busy_ticks += it->second;
         }
-        out.fabric_bytes = std::uint64_t(
-            reg.sumMatching(tag + ".usefulBytes"));
-        out.dram_bytes = std::uint64_t(
-            reg.counterValue("system." + tag + ".dramBytes"));
+        out.fabric_bytes = Bytes{std::uint64_t(
+            reg.sumMatching(tag + ".usefulBytes"))};
+        out.dram_bytes = Bytes{std::uint64_t(
+            reg.counterValue("system." + tag + ".dramBytes"))};
 
         const SystemEnergy &energy = report.machine.energy;
         if (total_pe > 0) {
@@ -369,12 +373,14 @@ PoolOrchestrator::run()
                              double(out.pe_busy_ticks) / total_pe;
         }
         if (total_fabric > 0) {
-            out.energy_pj += energy.comm_pj *
-                             double(out.fabric_bytes) / total_fabric;
+            out.energy_pj +=
+                energy.comm_pj *
+                (double(out.fabric_bytes.value()) / total_fabric);
         }
         if (total_dram > 0) {
-            out.energy_pj += energy.dram_pj *
-                             double(out.dram_bytes) / total_dram;
+            out.energy_pj +=
+                energy.dram_pj *
+                (double(out.dram_bytes.value()) / total_dram);
         }
         report.tenants.push_back(std::move(out));
     }
@@ -402,7 +408,7 @@ PoolOrchestrator::verifyConservation() const
         reg.counterValue("system.tenant0.dramBytes");
     for (const TenantState &tenant : tenants) {
         const std::string tag =
-            "tenant" + std::to_string(tenant.id);
+            "tenant" + std::to_string(tenant.id.value());
         fabric_by_tenant += reg.sumMatching(tag + ".usefulBytes");
         pe_by_tenant += reg.sumMatching(tag + ".peBusyTicks");
         dram_by_tenant +=

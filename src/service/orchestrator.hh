@@ -52,7 +52,7 @@ struct OrchestratorParams
 /** Per-tenant outcome of a service run. */
 struct TenantReport
 {
-    TenantId tenant = 0;
+    TenantId tenant;
     std::string name;
     std::uint64_t jobs_completed = 0;
     std::uint64_t jobs_rejected = 0;
@@ -66,11 +66,11 @@ struct TenantReport
     double jobs_per_second = 0;
     /** Attribution pulled from the tenant-tagged counters. */
     Tick pe_busy_ticks = 0;
-    std::uint64_t fabric_bytes = 0;
-    std::uint64_t dram_bytes = 0;
+    Bytes fabric_bytes;
+    Bytes dram_bytes;
     /** Energy share: each component split by the tenant's fraction
      *  of PE busy time / fabric bytes / DRAM bytes. */
-    double energy_pj = 0;
+    Picojoules energy_pj;
 };
 
 /** Whole-run outcome: the machine plus every tenant. */
@@ -128,7 +128,7 @@ class PoolOrchestrator
     struct TenantState
     {
         TenantSpec spec;
-        TenantId id = 0;
+        TenantId id;
         std::uint64_t jobs_submitted = 0;
         std::uint64_t jobs_completed = 0;
         std::uint64_t jobs_rejected = 0;

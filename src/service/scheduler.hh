@@ -26,7 +26,7 @@ namespace beacon
 /** One tenant eligible for the next free task slot. */
 struct SchedCandidate
 {
-    TenantId tenant = 0;
+    TenantId tenant;
     /** Global arrival sequence of the tenant's oldest ready task. */
     std::uint64_t head_seq = 0;
     /** Strict-priority level (higher first). */

@@ -14,9 +14,6 @@
 namespace beacon
 {
 
-/** Cycle count within a clock domain. */
-using Cycles = std::uint64_t;
-
 /**
  * A fixed-frequency clock domain.
  *
@@ -40,10 +37,10 @@ class ClockDomain
     double frequencyMHz() const { return 1e6 / double(_period); }
 
     /** Duration of @p n cycles in ticks. */
-    Tick cyclesToTicks(Cycles n) const { return n * _period; }
+    Tick cyclesToTicks(Cycles n) const { return n.value() * _period; }
 
     /** Number of whole cycles elapsed by @p t. */
-    Cycles ticksToCycles(Tick t) const { return t / _period; }
+    Cycles ticksToCycles(Tick t) const { return Cycles{t / _period}; }
 
     /**
      * First rising edge at or after @p t (ticks are aligned to

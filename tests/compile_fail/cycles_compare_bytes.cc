@@ -1,0 +1,10 @@
+// Expected-failure: ordering comparisons across dimensions are
+// meaningless and must not compile.
+
+#include "common/units.hh"
+
+int
+main()
+{
+    return beacon::Cycles{100} < beacon::Bytes{100} ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// Expected-failure: adding Cycles to Bytes is a dimension error and
+// must not compile (ctest runs this under WILL_FAIL).
+
+#include "common/units.hh"
+
+int
+main()
+{
+    const auto broken = beacon::Cycles{16} + beacon::Bytes{64};
+    return int(broken.value());
+}

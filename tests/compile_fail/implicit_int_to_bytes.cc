@@ -1,0 +1,21 @@
+// Expected-failure: a raw integer must not implicitly become a
+// Bytes quantity (construction is explicit).
+
+#include "common/units.hh"
+
+namespace
+{
+
+beacon::Bytes
+payload()
+{
+    return 64; // must fail: explicit Bytes{64} required
+}
+
+} // namespace
+
+int
+main()
+{
+    return int(payload().value());
+}

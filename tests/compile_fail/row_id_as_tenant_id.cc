@@ -1,0 +1,22 @@
+// Expected-failure: a RowId is not a TenantId; passing one where the
+// other is expected must not compile even though both wrap uint32.
+
+#include "common/units.hh"
+
+namespace
+{
+
+bool
+isUntenanted(beacon::TenantId tenant)
+{
+    return tenant == beacon::untenanted_id;
+}
+
+} // namespace
+
+int
+main()
+{
+    const beacon::RowId row{7};
+    return isUntenanted(row) ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Positive control for the expected-failure harness: this file USES
+// the strong unit types correctly and must keep compiling. If it
+// ever breaks, the WILL_FAIL tests below it prove nothing (a harness
+// that fails for the wrong reason — missing header, bad flag — would
+// still "pass").
+
+#include "common/units.hh"
+
+namespace
+{
+
+beacon::Bytes
+totalTraffic(beacon::Bytes a, beacon::Bytes b)
+{
+    return a + b;
+}
+
+beacon::Tick
+latency(beacon::Cycles compute, beacon::Tick period_ps,
+        beacon::Bytes payload)
+{
+    return beacon::cyclesToTicks(compute, period_ps) +
+           beacon::transferTime(payload, 64.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    const beacon::Bytes total =
+        totalTraffic(beacon::Bytes{32}, beacon::Bytes{32});
+    return latency(beacon::Cycles{16}, 1250, total) > 0 ? 0 : 1;
+}

@@ -56,7 +56,7 @@ act(unsigned bg, unsigned bank, unsigned row, Tick t)
     c.kind = DramCommandKind::Act;
     c.coord.bank_group = bg;
     c.coord.bank = bank;
-    c.coord.row = row;
+    c.coord.row = RowId{row};
     c.tick = t;
     return c;
 }
@@ -69,7 +69,7 @@ column(DramCommandKind kind, unsigned bg, unsigned bank, unsigned row,
     c.kind = kind;
     c.coord.bank_group = bg;
     c.coord.bank = bank;
-    c.coord.row = row;
+    c.coord.row = RowId{row};
     c.tick = t;
     return c;
 }
@@ -190,8 +190,10 @@ TEST(LinkCheckerDeathTest, PacketOvertakingFires)
             const unsigned chan = checker.registerChannel("link.down");
             // Ideal channel (no serialisation shadow): the second
             // packet arrives before the first — overtaking.
-            checker.onTransfer(chan, 0, 0, 1000, 64, 64.0, true);
-            checker.onTransfer(chan, 100, 100, 500, 64, 64.0, true);
+            checker.onTransfer(chan, 0, 0, 1000, Bytes{64}, 64.0,
+                               true);
+            checker.onTransfer(chan, 100, 100, 500, Bytes{64},
+                               64.0, true);
         },
         "overtaking");
 }
@@ -204,7 +206,8 @@ TEST(LinkCheckerDeathTest, BandwidthViolationFires)
             const unsigned chan = checker.registerChannel("link.up");
             // The channel claims a 256 B transfer at 64 GB/s
             // finished serialising instantly.
-            checker.onTransfer(chan, 0, 0, 0, 256, 64.0, false);
+            checker.onTransfer(chan, 0, 0, 0, Bytes{256}, 64.0,
+                               false);
         },
         "bandwidth violation");
 }
@@ -226,13 +229,14 @@ TEST(LinkCheckerDeathTest, LegalTransfersAreQuiet)
 {
     CxlLinkChecker checker("pool");
     const unsigned chan = checker.registerChannel("link.down");
-    const Tick first = transferTime(256, 64.0);
-    checker.onTransfer(chan, 0, first, first + 500, 256, 64.0, false);
+    const Tick first = transferTime(Bytes{256}, 64.0);
+    checker.onTransfer(chan, 0, first, first + 500, Bytes{256},
+                       64.0, false);
     // Departs while the channel is still busy: queued FIFO behind
     // the first transfer.
-    const Tick second = first + transferTime(64, 64.0);
-    checker.onTransfer(chan, 10, second, second + 500, 64, 64.0,
-                       false);
+    const Tick second = first + transferTime(Bytes{64}, 64.0);
+    checker.onTransfer(chan, 10, second, second + 500, Bytes{64},
+                       64.0, false);
     checker.checkBusyTicks(chan, second);
     checker.onSubmit(0);
     checker.onSubmit(10);

@@ -130,17 +130,17 @@ TEST(Units, Conversions)
     EXPECT_EQ(microseconds(1.0), 1000000u);
     EXPECT_EQ(milliseconds(1.0), 1000000000u);
     EXPECT_DOUBLE_EQ(ticksToSeconds(nanoseconds(1)), 1e-9);
-    EXPECT_EQ(1_KiB, 1024u);
-    EXPECT_EQ(64_MiB, 64ull << 20);
-    EXPECT_EQ(64_GiB, 64ull << 30);
+    EXPECT_EQ(1_KiB, Bytes{1024});
+    EXPECT_EQ(64_MiB, Bytes{64ull << 20});
+    EXPECT_EQ(64_GiB, Bytes{64ull << 30});
 }
 
 TEST(Units, TransferTime)
 {
     // 64 bytes at 32 GB/s = 2 ns = 2000 ps.
-    EXPECT_EQ(transferTime(64, 32.0), 2000u);
+    EXPECT_EQ(transferTime(Bytes{64}, 32.0), 2000u);
     // 1 GB at 1 GB/s = 1 s.
-    EXPECT_EQ(transferTime(1000000000ull, 1.0), Tick(1e12));
+    EXPECT_EQ(transferTime(Bytes{1000000000ull}, 1.0), Tick(1e12));
 }
 
 TEST(Logging, LevelGate)

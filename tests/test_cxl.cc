@@ -20,13 +20,13 @@ namespace
 TEST(BandwidthServer, SerialisesBackToBack)
 {
     BandwidthServer server(32.0); // 32 GB/s
-    const Tick end1 = server.accept(0, 64);
+    const Tick end1 = server.accept(0, Bytes{64});
     EXPECT_EQ(end1, 2000u); // 64 B / 32 GB/s = 2 ns
-    const Tick end2 = server.accept(0, 64);
+    const Tick end2 = server.accept(0, Bytes{64});
     EXPECT_EQ(end2, 4000u); // queues behind the first
-    const Tick end3 = server.accept(10000, 64);
+    const Tick end3 = server.accept(10000, Bytes{64});
     EXPECT_EQ(end3, 12000u); // idle gap then service
-    EXPECT_EQ(server.totalBytes(), 192u);
+    EXPECT_EQ(server.totalBytes(), Bytes{192});
     EXPECT_EQ(server.totalTransfers(), 3u);
 }
 
@@ -34,7 +34,7 @@ TEST(BandwidthServer, IdealModeIsInstant)
 {
     BandwidthServer server(-1.0);
     EXPECT_TRUE(server.ideal());
-    EXPECT_EQ(server.accept(123, 1 << 20), 123u);
+    EXPECT_EQ(server.accept(123, Bytes{1 << 20}), 123u);
 }
 
 TEST(CxlLink, DirectionsAreIndependent)
@@ -45,15 +45,16 @@ TEST(CxlLink, DirectionsAreIndependent)
     CxlLink link("link", eq, stats, params);
 
     Tick down_arrival = 0, up_arrival = 0;
-    link.send(LinkDir::Downstream, 64,
+    link.send(LinkDir::Downstream, Bytes{64},
               [&](Tick t) { down_arrival = t; });
-    link.send(LinkDir::Upstream, 64, [&](Tick t) { up_arrival = t; });
+    link.send(LinkDir::Upstream, Bytes{64},
+              [&](Tick t) { up_arrival = t; });
     eq.run();
     // Both see serialisation (2 ns) + latency (25 ns), no queueing
     // across directions.
     EXPECT_EQ(down_arrival, 27000u);
     EXPECT_EQ(up_arrival, 27000u);
-    EXPECT_EQ(link.totalBytes(), 128u);
+    EXPECT_EQ(link.totalBytes(), Bytes{128});
 }
 
 TEST(CxlLink, QueueingWithinDirection)
@@ -62,8 +63,10 @@ TEST(CxlLink, QueueingWithinDirection)
     StatRegistry stats;
     CxlLink link("link", eq, stats, LinkParams{32.0, 25000, false});
     Tick first = 0, second = 0;
-    link.send(LinkDir::Downstream, 6400, [&](Tick t) { first = t; });
-    link.send(LinkDir::Downstream, 64, [&](Tick t) { second = t; });
+    link.send(LinkDir::Downstream, Bytes{6400},
+              [&](Tick t) { first = t; });
+    link.send(LinkDir::Downstream, Bytes{64},
+              [&](Tick t) { second = t; });
     eq.run();
     EXPECT_GT(second, first - 25000); // second waited for the first
     EXPECT_EQ(first, 200000u + 25000u);
@@ -77,16 +80,16 @@ TEST(DataPacker, DisabledSendsFullFlits)
     std::uint64_t sent_bytes = 0;
     unsigned flushes = 0;
     DataPacker packer(eq, params,
-                      [&](std::uint64_t wire,
+                      [&](Bytes wire,
                           std::vector<DataPacker::Deliver> batch) {
-                          sent_bytes += wire;
+                          sent_bytes += wire.value();
                           flushes += unsigned(batch.size());
                           for (auto &d : batch)
                               d(eq.now());
                       });
     int delivered = 0;
     for (int i = 0; i < 4; ++i)
-        packer.submit(8, true, [&](Tick) { ++delivered; });
+        packer.submit(Bytes{8}, true, [&](Tick) { ++delivered; });
     eq.run();
     EXPECT_EQ(delivered, 4);
     EXPECT_EQ(sent_bytes, 4u * 64u); // one flit each
@@ -98,16 +101,16 @@ TEST(DataPacker, PacksFineGrainedPayloads)
     PackerParams params; // enabled, 64 B flits, 4 B headers
     std::uint64_t sent_bytes = 0;
     DataPacker packer(eq, params,
-                      [&](std::uint64_t wire,
+                      [&](Bytes wire,
                           std::vector<DataPacker::Deliver> batch) {
-                          sent_bytes += wire;
+                          sent_bytes += wire.value();
                           for (auto &d : batch)
                               d(eq.now());
                       });
     int delivered = 0;
     // 5 x (8+4) = 60 B staged; the 6th crosses 64 B and flushes.
     for (int i = 0; i < 6; ++i)
-        packer.submit(8, true, [&](Tick) { ++delivered; });
+        packer.submit(Bytes{8}, true, [&](Tick) { ++delivered; });
     EXPECT_EQ(delivered, 6);
     EXPECT_EQ(sent_bytes, 128u); // 72 B rounded up to 2 flits
     EXPECT_EQ(packer.packedMessages(), 6u);
@@ -119,14 +122,15 @@ TEST(DataPacker, TimeoutFlushesPartialFlit)
     PackerParams params;
     std::uint64_t sent_bytes = 0;
     DataPacker packer(eq, params,
-                      [&](std::uint64_t wire,
+                      [&](Bytes wire,
                           std::vector<DataPacker::Deliver> batch) {
-                          sent_bytes += wire;
+                          sent_bytes += wire.value();
                           for (auto &d : batch)
                               d(eq.now());
                       });
     Tick delivered_at = 0;
-    packer.submit(8, true, [&](Tick t) { delivered_at = t; });
+    packer.submit(Bytes{8}, true,
+                  [&](Tick t) { delivered_at = t; });
     EXPECT_EQ(packer.pendingCount(), 1u);
     eq.run();
     EXPECT_EQ(delivered_at, params.flush_timeout);
@@ -140,14 +144,14 @@ TEST(DataPacker, CoarsePayloadBypassesStaging)
     PackerParams params;
     std::uint64_t sent_bytes = 0;
     DataPacker packer(eq, params,
-                      [&](std::uint64_t wire,
+                      [&](Bytes wire,
                           std::vector<DataPacker::Deliver> batch) {
-                          sent_bytes += wire;
+                          sent_bytes += wire.value();
                           for (auto &d : batch)
                               d(eq.now());
                       });
     int delivered = 0;
-    packer.submit(256, false, [&](Tick) { ++delivered; });
+    packer.submit(Bytes{256}, false, [&](Tick) { ++delivered; });
     EXPECT_EQ(delivered, 1);
     EXPECT_EQ(sent_bytes, 320u); // 260 B framed -> 5 flits
     EXPECT_EQ(packer.unpackedMessages(), 1u);
@@ -173,7 +177,7 @@ struct PoolHarness
     }
 
     Tick
-    roundTrip(NodeId a, NodeId b, std::uint64_t bytes)
+    roundTrip(NodeId a, NodeId b, Bytes bytes)
     {
         Tick arrive = 0;
         fabric->send(a, b, bytes, false,
@@ -189,11 +193,11 @@ TEST(PoolFabric, DeviceBiasSkipsHostForSameSwitch)
     PoolHarness naive(false);
     const NodeId a = NodeId::dimmNode(0, 0);
     const NodeId b = NodeId::dimmNode(0, 1);
-    const Tick t_biased = biased.roundTrip(a, b, 64);
-    const Tick t_naive = naive.roundTrip(a, b, 64);
+    const Tick t_biased = biased.roundTrip(a, b, Bytes{64});
+    const Tick t_naive = naive.roundTrip(a, b, Bytes{64});
     EXPECT_LT(t_biased, t_naive);
-    EXPECT_EQ(biased.fabric->hostLinkBytes(), 0u);
-    EXPECT_GT(naive.fabric->hostLinkBytes(), 0u);
+    EXPECT_EQ(biased.fabric->hostLinkBytes(), Bytes{});
+    EXPECT_GT(naive.fabric->hostLinkBytes(), Bytes{});
     EXPECT_EQ(biased.fabric->hostRoundTrips(), 0u);
     EXPECT_EQ(naive.fabric->hostRoundTrips(), 1u);
 }
@@ -203,8 +207,8 @@ TEST(PoolFabric, CrossSwitchUsesHostLinksInBothModes)
     PoolHarness biased(true);
     const NodeId a = NodeId::dimmNode(0, 0);
     const NodeId b = NodeId::dimmNode(1, 2);
-    biased.roundTrip(a, b, 64);
-    EXPECT_GT(biased.fabric->hostLinkBytes(), 0u);
+    biased.roundTrip(a, b, Bytes{64});
+    EXPECT_GT(biased.fabric->hostLinkBytes(), Bytes{});
     // Device bias avoids the full coherence stall even cross-switch.
     EXPECT_EQ(biased.fabric->hostRoundTrips(), 0u);
 }
@@ -215,41 +219,43 @@ TEST(PoolFabric, SwitchLogicPathsTouchOneBusOnly)
     const NodeId sw = NodeId::switchNode(0);
     const NodeId d = NodeId::dimmNode(0, 3);
     // 60 B payload + 4 B header = exactly one 64 B flit.
-    h.roundTrip(sw, d, 60);
-    EXPECT_EQ(h.fabric->switchBusBytes(), 64u);
-    EXPECT_EQ(h.fabric->dimmLinkBytes(), 64u);
-    EXPECT_EQ(h.fabric->hostLinkBytes(), 0u);
+    h.roundTrip(sw, d, Bytes{60});
+    EXPECT_EQ(h.fabric->switchBusBytes(), Bytes{64});
+    EXPECT_EQ(h.fabric->dimmLinkBytes(), Bytes{64});
+    EXPECT_EQ(h.fabric->hostLinkBytes(), Bytes{});
 }
 
 TEST(PoolFabric, SameSwitchDimmToDimmBusOnce)
 {
     PoolHarness h(true);
-    h.roundTrip(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 60);
-    EXPECT_EQ(h.fabric->switchBusBytes(), 64u);
-    EXPECT_EQ(h.fabric->dimmLinkBytes(), 128u); // up + down
+    h.roundTrip(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                Bytes{60});
+    EXPECT_EQ(h.fabric->switchBusBytes(), Bytes{64});
+    EXPECT_EQ(h.fabric->dimmLinkBytes(), Bytes{128}); // up + down
 }
 
 TEST(PoolFabric, HostBiasSameSwitchBusTwice)
 {
     PoolHarness h(false);
-    h.roundTrip(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 60);
-    EXPECT_EQ(h.fabric->switchBusBytes(), 128u);
-    EXPECT_EQ(h.fabric->hostLinkBytes(), 128u); // up + down
+    h.roundTrip(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                Bytes{60});
+    EXPECT_EQ(h.fabric->switchBusBytes(), Bytes{128});
+    EXPECT_EQ(h.fabric->hostLinkBytes(), Bytes{128}); // up + down
 }
 
 TEST(PoolFabric, HostToDimmNeverCountsCoherenceTrip)
 {
     PoolHarness h(false);
-    h.roundTrip(NodeId::host(), NodeId::dimmNode(1, 1), 64);
+    h.roundTrip(NodeId::host(), NodeId::dimmNode(1, 1), Bytes{64});
     EXPECT_EQ(h.fabric->hostRoundTrips(), 0u);
-    EXPECT_GT(h.fabric->hostLinkBytes(), 0u);
+    EXPECT_GT(h.fabric->hostLinkBytes(), Bytes{});
 }
 
 TEST(PoolFabric, IdealModeZeroLatency)
 {
     PoolHarness h(false, false, true);
     const Tick t = h.roundTrip(NodeId::dimmNode(0, 0),
-                               NodeId::dimmNode(1, 3), 4096);
+                               NodeId::dimmNode(1, 3), Bytes{4096});
     EXPECT_EQ(t, 0u);
 }
 
@@ -257,9 +263,9 @@ TEST(PoolFabric, SelfSendDeliversImmediately)
 {
     PoolHarness h(true);
     const Tick t = h.roundTrip(NodeId::dimmNode(0, 2),
-                               NodeId::dimmNode(0, 2), 64);
+                               NodeId::dimmNode(0, 2), Bytes{64});
     EXPECT_EQ(t, 0u);
-    EXPECT_EQ(h.fabric->totalWireBytes(), 0u);
+    EXPECT_EQ(h.fabric->totalWireBytes(), Bytes{});
 }
 
 TEST(PoolFabric, PackingReducesWireBytes)
@@ -270,9 +276,9 @@ TEST(PoolFabric, PackingReducesWireBytes)
     const NodeId b = NodeId::dimmNode(0, 1);
     int remaining = 2 * 16;
     for (int i = 0; i < 16; ++i) {
-        packed.fabric->send(a, b, 8, true,
+        packed.fabric->send(a, b, Bytes{8}, true,
                             [&](Tick) { --remaining; });
-        plain.fabric->send(a, b, 8, true,
+        plain.fabric->send(a, b, Bytes{8}, true,
                            [&](Tick) { --remaining; });
     }
     packed.eq.run();
@@ -291,13 +297,13 @@ TEST(PoolFabric, PackerStreamsAreDestinationIsolated)
     const NodeId src = NodeId::dimmNode(0, 0);
     int remaining = 2;
     // Two 8 B payloads to two different DIMMs: 2 flits, not 1.
-    h.fabric->send(src, NodeId::dimmNode(0, 1), 8, true,
+    h.fabric->send(src, NodeId::dimmNode(0, 1), Bytes{8}, true,
                    [&](Tick) { --remaining; });
-    h.fabric->send(src, NodeId::dimmNode(0, 2), 8, true,
+    h.fabric->send(src, NodeId::dimmNode(0, 2), Bytes{8}, true,
                    [&](Tick) { --remaining; });
     h.eq.run();
     EXPECT_EQ(remaining, 0);
-    EXPECT_EQ(h.fabric->dimmLinkBytes(), 4u * 64u)
+    EXPECT_EQ(h.fabric->dimmLinkBytes(), Bytes{4 * 64})
         << "one flit up + one down per destination stream";
 }
 
@@ -308,7 +314,7 @@ TEST(PoolFabric, PackedBatchDeliversAllPayloadsTogether)
     const NodeId dst = NodeId::dimmNode(0, 1);
     std::vector<Tick> arrivals;
     for (int i = 0; i < 5; ++i) {
-        h.fabric->send(src, dst, 8, true,
+        h.fabric->send(src, dst, Bytes{8}, true,
                        [&](Tick t) { arrivals.push_back(t); });
     }
     h.eq.run();
@@ -324,9 +330,9 @@ TEST(DataPacker, PartialBatchDrainsWhenQueueRuns)
     PackerParams params; // enabled, 64 B flits, 4 B headers
     std::uint64_t sent_bytes = 0;
     DataPacker packer(eq, params,
-                      [&](std::uint64_t wire,
+                      [&](Bytes wire,
                           std::vector<DataPacker::Deliver> batch) {
-                          sent_bytes += wire;
+                          sent_bytes += wire.value();
                           for (auto &d : batch)
                               d(eq.now());
                       });
@@ -334,7 +340,7 @@ TEST(DataPacker, PartialBatchDrainsWhenQueueRuns)
     // 3 x (8+4) = 36 B stay below the 64 B flit boundary, so only
     // the flush timeout can move this batch.
     for (int i = 0; i < 3; ++i)
-        packer.submit(8, true, [&](Tick) { ++delivered; });
+        packer.submit(Bytes{8}, true, [&](Tick) { ++delivered; });
     EXPECT_EQ(packer.pendingCount(), 3u);
     eq.run();
     EXPECT_EQ(delivered, 3);
@@ -349,8 +355,8 @@ TEST(PoolFabricDeath, FinalizeCatchesStrandedPackerPayload)
     // (the event queue was never drained, so the flush timeout did
     // not fire) must be flagged, not silently dropped.
     PoolHarness h(true, /*packing=*/true);
-    h.fabric->send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 8,
-                   true, [](Tick) {});
+    h.fabric->send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                   Bytes{8}, true, [](Tick) {});
     EXPECT_DEATH(h.fabric->finalizeCheck(), "stranded");
 }
 
@@ -358,8 +364,8 @@ TEST(PoolFabric, FinalizePassesAfterQueueDrains)
 {
     PoolHarness h(true, /*packing=*/true);
     int delivered = 0;
-    h.fabric->send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 8,
-                   true, [&](Tick) { ++delivered; });
+    h.fabric->send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                   Bytes{8}, true, [&](Tick) { ++delivered; });
     h.eq.run();
     EXPECT_EQ(delivered, 1);
     h.fabric->finalizeCheck(); // packers drained: no panic

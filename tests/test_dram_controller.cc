@@ -46,11 +46,11 @@ struct ControllerHarness
         req.coord.rank = rank;
         req.coord.bank_group = bg;
         req.coord.bank = bank;
-        req.coord.row = row;
+        req.coord.row = RowId{row};
         req.coord.chip_first = chip_first;
         req.coord.chip_count = chip_count;
         req.bursts = bursts;
-        req.bytes = bursts * chip_count * 4;
+        req.bytes = Bytes{bursts * chip_count * 4};
         return req;
     }
 };
@@ -218,7 +218,7 @@ TEST(DramController, ClosedPagePolicyLeavesBanksClosed)
     DramController ctrl("dimm", eq, stats, geom,
                         DramTimingParams::ddr4_1600_22(), params);
     MemRequest req;
-    req.coord.row = 5;
+    req.coord.row = RowId{5};
     req.coord.chip_count = 16;
     req.bursts = 1;
     ctrl.enqueue(std::move(req));
@@ -246,7 +246,7 @@ TEST(DramController, OpenPageBeatsClosedOnRowLocality)
         // A streaming pattern through one row.
         for (unsigned i = 0; i < 64; ++i) {
             MemRequest req;
-            req.coord.row = 9;
+            req.coord.row = RowId{9};
             req.coord.column = (i * 8) % 1024;
             req.coord.chip_count = 16;
             req.bursts = 1;
@@ -270,18 +270,19 @@ TEST(DramEnergy, CountsScaleWithActivity)
     const Tick end = h.eq.now();
     const DramEnergyBreakdown e =
         computeDramEnergy(h.ctrl->device(), end);
-    EXPECT_GT(e.act_pre_pj, 0.0);
-    EXPECT_GT(e.rd_wr_pj, 0.0);
-    EXPECT_GT(e.background_pj, 0.0);
-    EXPECT_DOUBLE_EQ(e.refresh_pj, 0.0);
+    EXPECT_GT(e.act_pre_pj, Picojoules{});
+    EXPECT_GT(e.rd_wr_pj, Picojoules{});
+    EXPECT_GT(e.background_pj, Picojoules{});
+    EXPECT_DOUBLE_EQ(e.refresh_pj.value(), 0.0);
     EXPECT_GT(e.totalPj(), e.background_pj);
 
     // Twice the elapsed time doubles only the background term.
     const DramEnergyBreakdown e2 =
         computeDramEnergy(h.ctrl->device(), end * 2);
-    EXPECT_DOUBLE_EQ(e2.act_pre_pj, e.act_pre_pj);
-    EXPECT_NEAR(e2.background_pj, 2 * e.background_pj,
-                1e-6 * e.background_pj);
+    EXPECT_DOUBLE_EQ(e2.act_pre_pj.value(), e.act_pre_pj.value());
+    EXPECT_NEAR(e2.background_pj.value(),
+                2 * e.background_pj.value(),
+                1e-6 * e.background_pj.value());
 }
 
 TEST(DramEnergy, FineGrainedAccessCostsFewerChipOps)
@@ -300,11 +301,11 @@ TEST(DramEnergy, FineGrainedAccessCostsFewerChipOps)
         wide.ctrl->enqueue(std::move(req));
         wide.eq.run();
     }
-    EXPECT_EQ(fine.ctrl->device().rawBytes(), 32u);
-    EXPECT_EQ(wide.ctrl->device().rawBytes(), 64u);
-    const double fine_pj =
+    EXPECT_EQ(fine.ctrl->device().rawBytes(), Bytes{32});
+    EXPECT_EQ(wide.ctrl->device().rawBytes(), Bytes{64});
+    const Picojoules fine_pj =
         computeDramEnergy(fine.ctrl->device(), 1).rd_wr_pj;
-    const double wide_pj =
+    const Picojoules wide_pj =
         computeDramEnergy(wide.ctrl->device(), 1).rd_wr_pj;
     EXPECT_LT(fine_pj, wide_pj);
 }

@@ -40,7 +40,7 @@ coordOf(unsigned rank, unsigned bg, unsigned bank, unsigned row,
     c.rank = rank;
     c.bank_group = bg;
     c.bank = bank;
-    c.row = row;
+    c.row = RowId{row};
     c.column = col;
     c.chip_first = chip_first;
     c.chip_count = chip_count;
@@ -97,7 +97,7 @@ TEST_P(DramTimingTest, SameBankActToActHonoursTrc)
     const Tick pre_at = model.earliestPre(c, 0);
     model.issuePre(c, pre_at);
     DramCoord c2 = c;
-    c2.row = 6;
+    c2.row = RowId{6};
     const Tick act2 = model.earliestAct(c2, 0);
     EXPECT_GE(act2, tp.t_rc * ck);
 }
@@ -177,7 +177,7 @@ TEST_P(DramTimingTest, RefreshClosesRowsAndBlocks)
     EXPECT_EQ(done, start + tp.t_rfc * ck);
     EXPECT_EQ(model.openRow(2, 0, 0), -1);
     DramCoord c2 = c;
-    c2.row = 43;
+    c2.row = RowId{43};
     EXPECT_GE(model.earliestAct(c2, start), done);
     // Other ranks are unaffected.
     const DramCoord other = coordOf(0, 0, 0, 1);
@@ -211,7 +211,7 @@ TEST_P(DramTimingTest, ChipAccessCountersTrackColumns)
         const bool in_group = chip >= 4 && chip < 12;
         EXPECT_EQ(per_chip[chip], in_group ? 1u : 0u) << chip;
     }
-    EXPECT_EQ(model.rawBytes(), 8u * 4u);
+    EXPECT_EQ(model.rawBytes(), Bytes{8 * 4});
     EXPECT_EQ(model.numActChipOps(), 8u);
 }
 
@@ -291,7 +291,7 @@ TEST(DramTimingPresets, Ddr3200IsFasterButSameNanoseconds)
     auto stream_time = [](const DramTimingParams &tp) {
         DimmTimingModel model(DimmGeometry{}, tp);
         DramCoord c;
-        c.row = 1;
+        c.row = RowId{1};
         c.chip_count = 16;
         model.issueAct(c, 0);
         Tick t = model.earliestColumn(c, false, 0);
@@ -319,7 +319,7 @@ TEST(DramTimingRandom, EarliestQueriesAreMonotoneAndLegal)
         c.rank = unsigned(rng.next(4));
         c.bank_group = unsigned(rng.next(4));
         c.bank = unsigned(rng.next(4));
-        c.row = unsigned(rng.next(1u << 17));
+        c.row = RowId{unsigned(rng.next(1u << 17))};
         const unsigned widths[] = {1, 2, 4, 8, 16};
         c.chip_count = widths[rng.next(5)];
         c.chip_first =

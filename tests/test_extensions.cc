@@ -100,11 +100,11 @@ TEST(GraphBfsWorkload, ProtocolAlternatesOffsetsAndEdges)
         const TaskStep step = task->next();
         for (const AccessRequest &a : step.accesses) {
             if (a.data_class == DataClass::GraphOffsets) {
-                EXPECT_EQ(a.bytes, 8u);
+                EXPECT_EQ(a.bytes, Bytes{8});
                 saw_offsets = true;
             } else {
                 EXPECT_EQ(a.data_class, DataClass::GraphEdges);
-                EXPECT_GE(a.bytes, 4u);
+                EXPECT_GE(a.bytes, Bytes{4});
                 saw_edges = true;
             }
         }
@@ -168,11 +168,11 @@ TEST(DbProbeWorkload, ChainWalkProtocol)
         const TaskStep step = task->next();
         for (const AccessRequest &a : step.accesses) {
             if (a.data_class == DataClass::IndexBuckets) {
-                EXPECT_EQ(a.bytes, 8u);
+                EXPECT_EQ(a.bytes, Bytes{8});
                 saw_bucket = true;
             } else {
                 EXPECT_EQ(a.data_class, DataClass::IndexNodes);
-                EXPECT_EQ(a.bytes, 16u);
+                EXPECT_EQ(a.bytes, Bytes{16});
                 saw_node = true;
             }
             EXPECT_FALSE(a.is_write);
@@ -198,8 +198,9 @@ TEST(DbProbeWorkload, RunsOnBeaconAndBaseline)
 
 TEST(ExtensionEngines, LatenciesDefined)
 {
-    EXPECT_EQ(engineStepCycles(EngineKind::GraphTraversal), 12u);
-    EXPECT_EQ(engineStepCycles(EngineKind::IndexProbe), 14u);
+    EXPECT_EQ(engineStepCycles(EngineKind::GraphTraversal),
+              Cycles{12});
+    EXPECT_EQ(engineStepCycles(EngineKind::IndexProbe), Cycles{14});
 }
 
 } // namespace

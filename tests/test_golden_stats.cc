@@ -262,9 +262,10 @@ TEST(GoldenStatsTest, MultiTenantQosSmall)
             bulk_spec.workload = &bulk;
             bulk_spec.num_jobs = 6;
             bulk_spec.tasks_per_job = 4;
-            bulk_spec.scratch_bytes_per_job = 1 << 20;
+            bulk_spec.scratch_bytes_per_job = Bytes{1 << 20};
             bulk_spec.arrival.concurrency = 3;
-            EXPECT_NE(orchestrator.addTenant(bulk_spec), 0u)
+            EXPECT_NE(orchestrator.addTenant(bulk_spec),
+                      untenanted_id)
                 << orchestrator.lastError();
 
             TenantSpec small_spec;
@@ -274,7 +275,8 @@ TEST(GoldenStatsTest, MultiTenantQosSmall)
             small_spec.tasks_per_job = 2;
             small_spec.priority = 1;
             small_spec.weight = 4.0;
-            EXPECT_NE(orchestrator.addTenant(small_spec), 0u)
+            EXPECT_NE(orchestrator.addTenant(small_spec),
+                      untenanted_id)
                 << orchestrator.lastError();
 
             const ServiceReport report = orchestrator.run();
@@ -283,7 +285,8 @@ TEST(GoldenStatsTest, MultiTenantQosSmall)
             out.result = report.machine;
             for (const TenantReport &tenant : report.tenants) {
                 const std::string tag =
-                    "tenant" + std::to_string(tenant.tenant);
+                    "tenant" +
+                    std::to_string(tenant.tenant.value());
                 out.stats.emplace_back(tag + ".p50_ms",
                                        tenant.p50_latency_ms);
                 out.stats.emplace_back(tag + ".p99_ms",
@@ -296,7 +299,7 @@ TEST(GoldenStatsTest, MultiTenantQosSmall)
                     tag + ".jobs_completed",
                     double(tenant.jobs_completed));
                 out.stats.emplace_back(tag + ".energy_pj",
-                                       tenant.energy_pj);
+                                       tenant.energy_pj.value());
             }
             return out;
         });

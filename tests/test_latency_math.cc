@@ -30,7 +30,7 @@ TEST(LatencyMath, IdleBankReadLatencyExact)
 
     Tick done = 0;
     MemRequest req;
-    req.coord.row = 1;
+    req.coord.row = RowId{1};
     req.coord.chip_count = 16;
     req.bursts = 1;
     req.on_complete = [&](Tick t) { done = t; };
@@ -53,7 +53,7 @@ TEST(LatencyMath, RowHitReadLatencyExact)
 
     // Warm the row.
     MemRequest warm;
-    warm.coord.row = 1;
+    warm.coord.row = RowId{1};
     warm.coord.chip_count = 16;
     ctrl.enqueue(std::move(warm));
     eq.run();
@@ -61,7 +61,7 @@ TEST(LatencyMath, RowHitReadLatencyExact)
 
     Tick done = 0;
     MemRequest hit;
-    hit.coord.row = 1;
+    hit.coord.row = RowId{1};
     hit.coord.column = 64;
     hit.coord.chip_count = 16;
     hit.on_complete = [&](Tick t) { done = t; };
@@ -87,11 +87,11 @@ TEST(LatencyMath, PoolDeviceBiasPathExact)
     // link up (2 ns serialise + 25 ns) + bus (0.25 ns + 15 ns)
     // + link down (2 ns + 25 ns).
     Tick arrive = 0;
-    fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 60,
-                false, [&](Tick t) { arrive = t; });
+    fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                Bytes{60}, false, [&](Tick t) { arrive = t; });
     eq.run();
-    const Tick link_ser = transferTime(64, 32.0);
-    const Tick bus_ser = transferTime(64, 256.0);
+    const Tick link_ser = transferTime(Bytes{64}, 32.0);
+    const Tick bus_ser = transferTime(Bytes{64}, 256.0);
     EXPECT_EQ(arrive, 2 * (link_ser + params.dimm_link.latency) +
                           bus_ser + params.switch_latency);
 }
@@ -106,12 +106,12 @@ TEST(LatencyMath, PoolHostBiasAddsHostRoundTrip)
     PoolFabric fabric("pool", eq, stats, params);
 
     Tick arrive = 0;
-    fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 60,
-                false, [&](Tick t) { arrive = t; });
+    fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                Bytes{60}, false, [&](Tick t) { arrive = t; });
     eq.run();
-    const Tick link_ser = transferTime(64, 32.0);
-    const Tick host_ser = transferTime(64, 64.0);
-    const Tick bus_ser = transferTime(64, 256.0);
+    const Tick link_ser = transferTime(Bytes{64}, 32.0);
+    const Tick host_ser = transferTime(Bytes{64}, 64.0);
+    const Tick bus_ser = transferTime(Bytes{64}, 256.0);
     const Tick expected =
         // dimm link up + bus + host link up
         link_ser + params.dimm_link.latency + bus_ser +
@@ -134,10 +134,10 @@ TEST(LatencyMath, DdrDimmToDimmExact)
     DdrFabric fabric("ddr", eq, stats, params);
 
     Tick arrive = 0;
-    fabric.send(NodeId::dimmNode(2, 0), NodeId::dimmNode(2, 1), 32,
-                true, [&](Tick t) { arrive = t; });
+    fabric.send(NodeId::dimmNode(2, 0), NodeId::dimmNode(2, 1),
+                Bytes{32}, true, [&](Tick t) { arrive = t; });
     eq.run();
-    const Tick ser = transferTime(32, params.channel_gb_per_s);
+    const Tick ser = transferTime(Bytes{32}, params.channel_gb_per_s);
     EXPECT_EQ(arrive, 2 * (ser + params.channel_latency) +
                           params.host_forward_latency);
 }
@@ -154,11 +154,11 @@ TEST(LatencyMath, PackerTimeoutAddsExactStagingDelay)
     Tick arrive = 0;
     // One lone fine-grained payload: waits out the flush timeout,
     // then takes the physical path as a single flit.
-    fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1), 8,
-                true, [&](Tick t) { arrive = t; });
+    fabric.send(NodeId::dimmNode(0, 0), NodeId::dimmNode(0, 1),
+                Bytes{8}, true, [&](Tick t) { arrive = t; });
     eq.run();
-    const Tick link_ser = transferTime(64, 32.0);
-    const Tick bus_ser = transferTime(64, 256.0);
+    const Tick link_ser = transferTime(Bytes{64}, 32.0);
+    const Tick bus_ser = transferTime(Bytes{64}, 256.0);
     EXPECT_EQ(arrive, params.packer.flush_timeout +
                           2 * (link_ser + params.dimm_link.latency) +
                           bus_ser + params.switch_latency);

@@ -26,7 +26,7 @@ using CoordKey =
 CoordKey
 keyOf(const DramCoord &c)
 {
-    return {c.rank, c.bank_group, c.bank, c.row, c.column,
+    return {c.rank, c.bank_group, c.bank, c.row.value(), c.column,
             c.chip_first};
 }
 
@@ -58,7 +58,7 @@ TEST_P(MapperTest, MappingIsInjective)
         EXPECT_LT(coord.rank, geom.ranks);
         EXPECT_LT(coord.bank_group, geom.bank_groups);
         EXPECT_LT(coord.bank, geom.banks_per_group);
-        EXPECT_LT(coord.row, geom.rows);
+        EXPECT_LT(coord.row.value(), geom.rows);
         EXPECT_LT(coord.column, geom.columns);
         EXPECT_EQ(coord.chip_count, param.chip_group);
         EXPECT_EQ(coord.chip_first % param.chip_group, 0u);
@@ -136,7 +136,7 @@ TEST(Mapper, BaseRowShiftsRows)
     b.base_row = 1000;
     const DramCoord ca = DimmAddressMapper(geom, a).mapGranule(3);
     const DramCoord cb = DimmAddressMapper(geom, b).mapGranule(3);
-    EXPECT_EQ((ca.row + 1000) % geom.rows, cb.row);
+    EXPECT_EQ((ca.row.value() + 1000) % geom.rows, cb.row.value());
 }
 
 // --- Pool layout ---
@@ -168,7 +168,7 @@ occSpec(std::uint64_t bytes = 1 << 20)
 {
     StructureSpec spec;
     spec.cls = DataClass::FmOcc;
-    spec.bytes = bytes;
+    spec.bytes = Bytes{bytes};
     spec.read_only = true;
     spec.access_granule = 32;
     return spec;
@@ -184,7 +184,7 @@ TEST(Layout, NaivePlacementStripesOverWholePool)
     std::set<unsigned> dimms;
     for (std::uint64_t off = 0; off < 64 * 64; off += 64) {
         for (const auto &acc :
-             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+             layout.resolve(DataClass::FmOcc, off, Bytes{32}, 0)) {
             dimms.insert(acc.dimm_index);
         }
     }
@@ -203,7 +203,7 @@ TEST(Layout, ProximityPlacementKeepsPartitionOnItsSwitch)
     for (unsigned part = 0; part < 2; ++part) {
         for (std::uint64_t off = 0; off < 4096; off += 32) {
             for (const auto &acc :
-                 layout.resolve(DataClass::FmOcc, off, 32, part)) {
+                 layout.resolve(DataClass::FmOcc, off, Bytes{32}, part)) {
                 EXPECT_EQ(acc.node.sw, part)
                     << "partition data must stay on its switch";
             }
@@ -224,7 +224,7 @@ TEST(Layout, CxlgStripeWeightConcentratesAccesses)
     unsigned local = 0, total = 0;
     for (std::uint64_t off = 0; off < 32 * 8000; off += 32) {
         for (const auto &acc :
-             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+             layout.resolve(DataClass::FmOcc, off, Bytes{32}, 0)) {
             ++total;
             if (acc.dimm_index == 0)
                 ++local;
@@ -247,7 +247,7 @@ TEST(Layout, WeightedStripeRemainsInjectivePerDimm)
     std::set<std::tuple<unsigned, CoordKey>> seen;
     for (std::uint64_t off = 0; off < 32 * 20000; off += 32) {
         for (const auto &acc :
-             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+             layout.resolve(DataClass::FmOcc, off, Bytes{32}, 0)) {
             EXPECT_TRUE(
                 seen.insert({acc.dimm_index, keyOf(acc.coord)})
                     .second)
@@ -270,7 +270,7 @@ TEST(Layout, ChipLevelOnCxlgRankLevelOnUnmodified)
     bool saw_cxlg = false, saw_unmodified = false;
     for (std::uint64_t off = 0; off < 32 * 2000; off += 32) {
         for (const auto &acc :
-             layout.resolve(DataClass::FmOcc, off, 32, 0)) {
+             layout.resolve(DataClass::FmOcc, off, Bytes{32}, 0)) {
             if (acc.dimm_index == 0) {
                 EXPECT_EQ(acc.coord.chip_count, 8u);
                 saw_cxlg = true;
@@ -288,7 +288,7 @@ TEST(Layout, SpatialAccessStaysWithinOneRowPiece)
 {
     StructureSpec locations;
     locations.cls = DataClass::HashLocations;
-    locations.bytes = 1 << 20;
+    locations.bytes = Bytes{1 << 20};
     locations.spatial = true;
     locations.read_only = true;
     locations.access_granule = 64;
@@ -303,16 +303,16 @@ TEST(Layout, SpatialAccessStaysWithinOneRowPiece)
     // A 256 B spatial access lands in one piece (one row), because
     // the stripe granule is a whole rank-row.
     const auto pieces =
-        layout.resolve(DataClass::HashLocations, 8192, 256, 0);
+        layout.resolve(DataClass::HashLocations, 8192, Bytes{256}, 0);
     EXPECT_EQ(pieces.size(), 1u);
-    EXPECT_EQ(pieces[0].bytes, 256u);
+    EXPECT_EQ(pieces[0].bytes, Bytes{256});
 }
 
 TEST(Layout, NaiveStripeSplitsLargeAccesses)
 {
     StructureSpec locations;
     locations.cls = DataClass::HashLocations;
-    locations.bytes = 1 << 20;
+    locations.bytes = Bytes{1 << 20};
     locations.spatial = true;
     locations.read_only = true;
 
@@ -322,7 +322,7 @@ TEST(Layout, NaiveStripeSplitsLargeAccesses)
     MemoryLayout layout(makePool(1, 4, {0}), {locations}, policy);
 
     const auto pieces =
-        layout.resolve(DataClass::HashLocations, 0, 256, 0);
+        layout.resolve(DataClass::HashLocations, 0, Bytes{256}, 0);
     EXPECT_EQ(pieces.size(), 4u);
 }
 
@@ -330,7 +330,7 @@ TEST(Layout, PartitionLocalStructuresUsePrimaryDimms)
 {
     StructureSpec bloom;
     bloom.cls = DataClass::BloomLocal;
-    bloom.bytes = 1 << 16;
+    bloom.bytes = Bytes{1 << 16};
     bloom.read_only = false;
     bloom.partition_local = true;
     bloom.access_granule = 8;
@@ -344,7 +344,7 @@ TEST(Layout, PartitionLocalStructuresUsePrimaryDimms)
     for (unsigned part = 0; part < 2; ++part) {
         for (std::uint64_t off = 0; off < 4096; off += 8) {
             for (const auto &acc : layout.resolve(
-                     DataClass::BloomLocal, off, 1, part)) {
+                     DataClass::BloomLocal, off, Bytes{1}, part)) {
                 EXPECT_EQ(acc.dimm_index, part == 0 ? 1u : 6u);
             }
         }
@@ -355,7 +355,7 @@ TEST(Layout, HomeSwitchConsistentWithResolve)
 {
     StructureSpec bloom;
     bloom.cls = DataClass::BloomCounter;
-    bloom.bytes = 1 << 16;
+    bloom.bytes = Bytes{1 << 16};
     bloom.read_only = false;
     bloom.access_granule = 8;
 
@@ -366,7 +366,7 @@ TEST(Layout, HomeSwitchConsistentWithResolve)
 
     for (std::uint64_t off = 0; off < 4096; off += 8) {
         const auto pieces =
-            layout.resolve(DataClass::BloomCounter, off, 1, 0);
+            layout.resolve(DataClass::BloomCounter, off, Bytes{1}, 0);
         ASSERT_EQ(pieces.size(), 1u);
         EXPECT_EQ(layout.homeSwitch(DataClass::BloomCounter, off),
                   pieces[0].node.sw);
@@ -379,7 +379,7 @@ TEST(LayoutDeath, UnplannedClassPanics)
     policy.partitions = 1;
     policy.partition_switch = {0};
     MemoryLayout layout(makePool(1, 2, {}), {occSpec()}, policy);
-    EXPECT_DEATH(layout.resolve(DataClass::BloomCounter, 0, 1, 0),
+    EXPECT_DEATH(layout.resolve(DataClass::BloomCounter, 0, Bytes{1}, 0),
                  "unplanned");
 }
 
@@ -400,7 +400,7 @@ TEST(Framework, AllocateAndDeallocate)
     EXPECT_FALSE(response.allocated_dimms.empty());
     for (unsigned dimm : response.allocated_dimms) {
         EXPECT_TRUE(framework.isNonCacheable(dimm));
-        EXPECT_GT(framework.residentBytes(dimm), 0u);
+        EXPECT_GT(framework.residentBytes(dimm), Bytes{});
     }
     EXPECT_TRUE(framework.deallocate("fm-seeding"));
     for (unsigned dimm : response.allocated_dimms)
@@ -440,7 +440,7 @@ TEST(Framework, MemoryCleanMigratesPriorTenant)
     second.policy.partition_switch = {0};
     const AllocationResponse response = framework.allocate(second);
     ASSERT_TRUE(response.success) << response.error;
-    EXPECT_GT(response.migrated_bytes, 0u)
+    EXPECT_GT(response.migrated_bytes, Bytes{})
         << "memory clean should migrate tenant-a's data";
 }
 
@@ -495,7 +495,7 @@ TEST(Framework, QuotaExactlyEqualToDimmCapacity)
     request.policy.partition_switch = {0};
     const AllocationResponse response = framework.allocate(request);
     ASSERT_TRUE(response.success) << response.error;
-    EXPECT_EQ(framework.freeBytes(0), 0u);
+    EXPECT_EQ(framework.freeBytes(0), Bytes{});
 
     // The pool is now exactly full: a co-tenant that refuses memory
     // clean must be rejected with the transient-failure wording...
@@ -518,7 +518,7 @@ TEST(Framework, QuotaExactlyEqualToDimmCapacity)
 TEST(Framework, ReleaseReturnsCapacity)
 {
     MemoryFramework framework(makePool(1, 2, {}));
-    const std::uint64_t initial = framework.poolFreeBytes();
+    const Bytes initial = framework.poolFreeBytes();
 
     AllocationRequest request;
     request.app = "job-scratch";
@@ -552,9 +552,9 @@ TEST(Framework, ConcurrentTenantsGetDisjointRowRegions)
     // rows the first tenant occupies, so the same (class, offset)
     // resolves to different rows for the two layouts.
     const auto piece_a =
-        a.layout->resolve(DataClass::FmOcc, 0, 32, 0).at(0);
+        a.layout->resolve(DataClass::FmOcc, 0, Bytes{32}, 0).at(0);
     const auto piece_b =
-        b.layout->resolve(DataClass::FmOcc, 0, 32, 0).at(0);
+        b.layout->resolve(DataClass::FmOcc, 0, Bytes{32}, 0).at(0);
     EXPECT_NE(piece_a.coord.row, piece_b.coord.row);
 }
 

@@ -22,7 +22,7 @@ class ScriptedTask : public Task
 {
   public:
     ScriptedTask(unsigned steps, unsigned accesses_per_step,
-                 Cycles cycles = 16)
+                 Cycles cycles = Cycles{16})
         : steps_left(steps), accesses(accesses_per_step),
           cycles(cycles)
     {}
@@ -42,7 +42,7 @@ class ScriptedTask : public Task
         for (unsigned i = 0; i < accesses; ++i) {
             AccessRequest req;
             req.offset = i * 32;
-            req.bytes = 32;
+            req.bytes = Bytes{32};
             step.accesses.push_back(req);
         }
         return step;
@@ -113,7 +113,7 @@ TEST(NdpModule, PeParallelismBoundsComputeThroughput)
         NdpHarness h(pes, 256);
         for (int i = 0; i < 32; ++i)
             h.module->submit(
-                std::make_unique<ScriptedTask>(4, 0, 100));
+                std::make_unique<ScriptedTask>(4, 0, Cycles{100}));
         h.eq.run();
         return h.eq.now();
     };
@@ -125,7 +125,8 @@ TEST(NdpModule, PeParallelismBoundsComputeThroughput)
 TEST(NdpModule, PeBusyTicksAccumulate)
 {
     NdpHarness h;
-    h.module->submit(std::make_unique<ScriptedTask>(5, 0, 10));
+    h.module->submit(
+        std::make_unique<ScriptedTask>(5, 0, Cycles{10}));
     h.eq.run();
     // 6 next() calls (5 work + 1 done), 5 with compute cycles.
     EXPECT_EQ(h.module->peBusyTicks(), 5u * 10u * 1250u);
@@ -156,8 +157,10 @@ TEST(NdpModule, TasksInterleaveDuringMemoryWaits)
     // overlap them, so the makespan is far below the serial sum.
     NdpHarness h(1, 8);
     h.access_latency = 1000000; // 1 us
-    h.module->submit(std::make_unique<ScriptedTask>(4, 1, 1));
-    h.module->submit(std::make_unique<ScriptedTask>(4, 1, 1));
+    h.module->submit(
+        std::make_unique<ScriptedTask>(4, 1, Cycles{1}));
+    h.module->submit(
+        std::make_unique<ScriptedTask>(4, 1, Cycles{1}));
     h.eq.run();
     const Tick serial_sum = 2 * 4 * h.access_latency;
     EXPECT_LT(h.eq.now(), serial_sum * 3 / 4);

@@ -26,10 +26,10 @@ sampleResult()
     r.seconds = 1e-9;
     r.tasks = 42;
     r.tasks_per_second = 4.2e10;
-    r.energy.dram_pj = 10;
-    r.energy.comm_pj = 20;
-    r.energy.pe_pj = 30;
-    r.wire_bytes = 12345;
+    r.energy.dram_pj = Picojoules{10};
+    r.energy.comm_pj = Picojoules{20};
+    r.energy.pe_pj = Picojoules{30};
+    r.wire_bytes = Bytes{12345};
     r.host_round_trips = 7;
     r.dram_reads = 99;
     r.dram_writes = 11;
@@ -124,6 +124,67 @@ TEST(Spectrum, GenomeSizeEstimateInRightBallpark)
         double(spectrum.estimatedGenomeSize());
     EXPECT_GT(estimate, 0.5 * double(gp.length));
     EXPECT_LT(estimate, 1.5 * double(gp.length));
+}
+
+// Regression for the determinism-unordered-iter audit
+// (beacon-lint): the spectrum is accumulated by iterating an
+// unordered_map, which visits k-mers in a hash- and
+// insertion-history-dependent order. The emitted histogram must not
+// depend on that order, so two runs whose maps grew in different
+// orders (and therefore iterate differently) must agree bin-level.
+TEST(SpectrumDeterminism, InsertionOrderInvariant)
+{
+    genomics::GenomeParams gp;
+    gp.length = 1 << 14;
+    const auto genome = genomics::makeGenome(gp);
+    genomics::ReadParams rp;
+    rp.read_length = 80;
+    rp.num_reads = 256;
+    const auto reads = genomics::makeReads(genome, rp);
+
+    std::vector<genomics::DnaSequence> reversed(reads.rbegin(),
+                                                reads.rend());
+    std::vector<genomics::DnaSequence> rotated(
+        reads.begin() + reads.size() / 2, reads.end());
+    rotated.insert(rotated.end(), reads.begin(),
+                   reads.begin() + reads.size() / 2);
+
+    const auto base = genomics::computeKmerSpectrum(reads, 17, 32);
+    for (const auto *order : {&reversed, &rotated}) {
+        const auto other =
+            genomics::computeKmerSpectrum(*order, 17, 32);
+        EXPECT_EQ(other.bins, base.bins);
+        EXPECT_EQ(other.distinct_kmers, base.distinct_kmers);
+        EXPECT_EQ(other.total_kmers, base.total_kmers);
+    }
+}
+
+TEST(SpectrumDeterminism, RepeatedRunsEmitIdenticalReports)
+{
+    // Byte-level stability of the emission boundary itself: two
+    // independent computations of the same input must serialise to
+    // identical JSON (this is what the golden ladders rely on).
+    genomics::GenomeParams gp;
+    gp.length = 1 << 13;
+    const auto genome = genomics::makeGenome(gp);
+    genomics::ReadParams rp;
+    rp.read_length = 64;
+    rp.num_reads = 128;
+    const auto reads = genomics::makeReads(genome, rp);
+
+    auto emit = [&] {
+        const auto spectrum =
+            genomics::computeKmerSpectrum(reads, 15, 16);
+        std::ostringstream out;
+        out << "{\"distinct\": " << spectrum.distinct_kmers
+            << ", \"total\": " << spectrum.total_kmers
+            << ", \"bins\": [";
+        for (std::size_t i = 0; i < spectrum.bins.size(); ++i)
+            out << (i ? "," : "") << spectrum.bins[i];
+        out << "]}";
+        return out.str();
+    };
+    EXPECT_EQ(emit(), emit());
 }
 
 TEST(Spectrum, ErrorsInflateSingletons)

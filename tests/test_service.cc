@@ -26,11 +26,11 @@ namespace
 // ---------------------------------------------------------------
 
 SchedCandidate
-candidate(TenantId tenant, std::uint64_t head_seq, unsigned priority,
-          double weight)
+candidate(unsigned tenant, std::uint64_t head_seq,
+          unsigned priority, double weight)
 {
     SchedCandidate c;
-    c.tenant = tenant;
+    c.tenant = TenantId{tenant};
     c.head_seq = head_seq;
     c.priority = priority;
     c.weight = weight;
@@ -43,7 +43,7 @@ TEST(Scheduler, FcfsPicksOldestHead)
     const std::vector<SchedCandidate> ready = {
         candidate(1, 7, 0, 1), candidate(2, 3, 5, 1),
         candidate(3, 9, 9, 1)};
-    EXPECT_EQ(sched->pick(ready), 2u) << "ignores priority";
+    EXPECT_EQ(sched->pick(ready), TenantId{2}) << "ignores priority";
 }
 
 TEST(Scheduler, PriorityPicksHighestThenOldest)
@@ -52,7 +52,7 @@ TEST(Scheduler, PriorityPicksHighestThenOldest)
     const std::vector<SchedCandidate> ready = {
         candidate(1, 1, 0, 1), candidate(2, 8, 4, 1),
         candidate(3, 5, 4, 1)};
-    EXPECT_EQ(sched->pick(ready), 3u)
+    EXPECT_EQ(sched->pick(ready), TenantId{3})
         << "highest priority, ties broken by arrival";
 }
 
@@ -64,7 +64,7 @@ TEST(Scheduler, FairShareFollowsWeights)
     unsigned picks_heavy = 0;
     for (int i = 0; i < 40; ++i) {
         const TenantId picked = sched->pick(ready);
-        if (picked == 1)
+        if (picked == TenantId{1})
             ++picks_heavy;
         for (const SchedCandidate &c : ready)
             if (c.tenant == picked)
@@ -82,7 +82,7 @@ TEST(Scheduler, FairShareIdleTenantDoesNotBankCredit)
     // Tenant 1 runs alone for a while (each dispatch goes through
     // pick(), as the orchestrator's dispatch loop does).
     for (int i = 0; i < 50; ++i) {
-        EXPECT_EQ(sched->pick({busy}), 1u);
+        EXPECT_EQ(sched->pick({busy}), TenantId{1});
         sched->onDispatch(busy, 100.0);
     }
     // When tenant 2 shows up, its virtual clock jumps to the floor:
@@ -90,9 +90,10 @@ TEST(Scheduler, FairShareIdleTenantDoesNotBankCredit)
     unsigned picks_idle = 0;
     for (int i = 0; i < 10; ++i) {
         const TenantId picked = sched->pick({busy, idle});
-        if (picked == 2)
+        if (picked == TenantId{2})
             ++picks_idle;
-        sched->onDispatch(picked == 1 ? busy : idle, 100.0);
+        sched->onDispatch(picked == TenantId{1} ? busy : idle,
+                          100.0);
     }
     EXPECT_LE(picks_idle, 6u) << "no banked backlog burst";
     EXPECT_GE(picks_idle, 4u) << "still gets its fair half";
@@ -132,7 +133,7 @@ bulkSpec(const Workload &workload)
     spec.num_jobs = 6;
     spec.tasks_per_job = 4;
     spec.weight = 1.0;
-    spec.scratch_bytes_per_job = 1 << 20;
+    spec.scratch_bytes_per_job = Bytes{1 << 20};
     spec.arrival.concurrency = 3;
     return spec;
 }
@@ -159,9 +160,11 @@ runMix(SchedulerKind policy, const Workload &bulk,
     OrchestratorParams params;
     params.scheduler = policy;
     PoolOrchestrator orchestrator(system, params);
-    EXPECT_NE(orchestrator.addTenant(bulkSpec(bulk)), 0u)
+    EXPECT_NE(orchestrator.addTenant(bulkSpec(bulk)),
+              untenanted_id)
         << orchestrator.lastError();
-    EXPECT_NE(orchestrator.addTenant(smallTenantSpec(small)), 0u)
+    EXPECT_NE(orchestrator.addTenant(smallTenantSpec(small)),
+              untenanted_id)
         << orchestrator.lastError();
     return orchestrator.run();
 }
@@ -175,8 +178,10 @@ TEST(Orchestrator, ConservationAcrossTenantsWithCheckersArmed)
     OrchestratorParams params;
     params.scheduler = SchedulerKind::FairShare;
     PoolOrchestrator orchestrator(system, params);
-    ASSERT_NE(orchestrator.addTenant(bulkSpec(bulk)), 0u);
-    ASSERT_NE(orchestrator.addTenant(smallTenantSpec(small)), 0u);
+    ASSERT_NE(orchestrator.addTenant(bulkSpec(bulk)),
+              untenanted_id);
+    ASSERT_NE(orchestrator.addTenant(smallTenantSpec(small)),
+              untenanted_id);
     const ServiceReport report = orchestrator.run();
 
     // The orchestrator already self-checks; re-derive the sums here
@@ -185,7 +190,7 @@ TEST(Orchestrator, ConservationAcrossTenantsWithCheckersArmed)
     double fabric = reg.sumMatching("tenant0.usefulBytes");
     double pe = reg.sumMatching("tenant0.peBusyTicks");
     double dram = reg.counterValue("system.tenant0.dramBytes");
-    for (TenantId id = 1; id <= 2; ++id) {
+    for (unsigned id = 1; id <= 2; ++id) {
         const std::string tag = "tenant" + std::to_string(id);
         fabric += reg.sumMatching(tag + ".usefulBytes");
         pe += reg.sumMatching(tag + ".peBusyTicks");
@@ -199,8 +204,9 @@ TEST(Orchestrator, ConservationAcrossTenantsWithCheckersArmed)
     // Energy attribution never exceeds the machine total.
     double tenant_energy = 0;
     for (const TenantReport &tenant : report.tenants)
-        tenant_energy += tenant.energy_pj;
-    EXPECT_LE(tenant_energy, report.machine.energy.totalPj() + 1e-6);
+        tenant_energy += tenant.energy_pj.value();
+    EXPECT_LE(tenant_energy,
+              report.machine.energy.totalPj().value() + 1e-6);
 }
 
 TEST(Orchestrator, EveryTenantCompletesItsJobs)
@@ -281,7 +287,7 @@ class QuotaWorkload : public Workload
     {
         StructureSpec spec;
         spec.cls = DataClass::FmOcc;
-        spec.bytes = bytes;
+        spec.bytes = Bytes{bytes};
         spec.read_only = true;
         spec.access_granule = 32;
         return {spec};
@@ -308,7 +314,7 @@ TEST(Orchestrator, ZeroQuotaTenantRejectedAtAdmission)
     TenantSpec spec;
     spec.name = "empty";
     spec.workload = &empty;
-    EXPECT_EQ(orchestrator.addTenant(spec), 0u);
+    EXPECT_EQ(orchestrator.addTenant(spec), untenanted_id);
     EXPECT_NE(orchestrator.lastError().find("no quota"),
               std::string::npos);
 }
@@ -321,7 +327,7 @@ TEST(Orchestrator, OversizedTenantRejectedAtAdmission)
     TenantSpec spec;
     spec.name = "huge";
     spec.workload = &huge;
-    EXPECT_EQ(orchestrator.addTenant(spec), 0u);
+    EXPECT_EQ(orchestrator.addTenant(spec), untenanted_id);
     EXPECT_NE(orchestrator.lastError().find("capacity"),
               std::string::npos);
 }
@@ -334,8 +340,8 @@ TEST(Orchestrator, OversizedScratchRejectsJobsNotTheRun)
     TenantSpec spec = bulkSpec(workload);
     // A per-job scratch no DIMM can ever satisfy: every job is
     // rejected as a permanent failure, but the run still terminates.
-    spec.scratch_bytes_per_job = 1ull << 50;
-    ASSERT_NE(orchestrator.addTenant(spec), 0u)
+    spec.scratch_bytes_per_job = Bytes{1ull << 50};
+    ASSERT_NE(orchestrator.addTenant(spec), untenanted_id)
         << orchestrator.lastError();
     const ServiceReport report = orchestrator.run();
     EXPECT_EQ(report.tenants[0].jobs_completed, 0u);
@@ -347,9 +353,10 @@ TEST(Orchestrator, ScratchReleasedAfterRun)
     const FmSeedingWorkload workload(tinyPreset(1 << 13, 16));
     NdpSystem system(serviceParams());
     PoolOrchestrator orchestrator(system, {});
-    ASSERT_NE(orchestrator.addTenant(bulkSpec(workload)), 0u);
+    ASSERT_NE(orchestrator.addTenant(bulkSpec(workload)),
+              untenanted_id);
     // Tenant structures stay resident; job scratch must not.
-    const std::uint64_t free_after_admission =
+    const Bytes free_after_admission =
         system.memoryFramework().poolFreeBytes();
     orchestrator.run();
     EXPECT_EQ(system.memoryFramework().poolFreeBytes(),
@@ -367,7 +374,7 @@ TEST(Orchestrator, OpenPoissonArrivalsAllComplete)
     spec.arrival.kind = ArrivalKind::OpenPoisson;
     spec.arrival.jobs_per_second = 1e6; // ~1 us mean gap
     spec.num_jobs = 8;
-    ASSERT_NE(orchestrator.addTenant(spec), 0u)
+    ASSERT_NE(orchestrator.addTenant(spec), untenanted_id)
         << orchestrator.lastError();
     const ServiceReport report = orchestrator.run();
     EXPECT_EQ(report.tenants[0].jobs_completed, 8u);

@@ -116,8 +116,8 @@ TEST(ClockDomain, Conversions)
 {
     ClockDomain clk(1250); // DDR4-1600 bus clock
     EXPECT_EQ(clk.period(), 1250u);
-    EXPECT_EQ(clk.cyclesToTicks(22), 27500u);
-    EXPECT_EQ(clk.ticksToCycles(27500), 22u);
+    EXPECT_EQ(clk.cyclesToTicks(Cycles{22}), 27500u);
+    EXPECT_EQ(clk.ticksToCycles(27500), Cycles{22});
     EXPECT_NEAR(clk.frequencyMHz(), 800.0, 1e-9);
 }
 

@@ -72,8 +72,8 @@ TEST_P(SystemRunTest, FmSeedingRunsToCompletion)
     EXPECT_EQ(result.tasks, fmWorkload().numTasks());
     EXPECT_GT(result.ticks, 0u);
     EXPECT_GT(result.tasks_per_second, 0.0);
-    EXPECT_GT(result.energy.dram_pj, 0.0);
-    EXPECT_GT(result.energy.pe_pj, 0.0);
+    EXPECT_GT(result.energy.dram_pj, Picojoules{});
+    EXPECT_GT(result.energy.pe_pj, Picojoules{});
     EXPECT_GT(result.dram_reads, 0u);
 }
 
@@ -92,7 +92,8 @@ TEST_P(SystemRunTest, DeterministicAcrossRuns)
     const RunResult b = runSystem(params(), fmWorkload(), 16);
     EXPECT_EQ(a.ticks, b.ticks);
     EXPECT_EQ(a.wire_bytes, b.wire_bytes);
-    EXPECT_DOUBLE_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_DOUBLE_EQ(a.energy.totalPj().value(),
+                     b.energy.totalPj().value());
 }
 
 TEST_P(SystemRunTest, IdealizedCommunicationIsAnUpperBound)
@@ -101,7 +102,7 @@ TEST_P(SystemRunTest, IdealizedCommunicationIsAnUpperBound)
     const RunResult ideal =
         runSystem(params().idealized(), fmWorkload(), 32);
     EXPECT_LE(ideal.ticks, real.ticks);
-    EXPECT_DOUBLE_EQ(ideal.energy.comm_pj, 0.0);
+    EXPECT_DOUBLE_EQ(ideal.energy.comm_pj.value(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSystems, SystemRunTest,

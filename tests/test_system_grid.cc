@@ -68,11 +68,13 @@ TEST_P(SystemGridTest, ConservationAndAccounting)
               double(r.tasks));
 
     // Energy components are all non-negative and total consistently.
-    EXPECT_GE(r.energy.dram_pj, 0.0);
-    EXPECT_GE(r.energy.comm_pj, 0.0);
-    EXPECT_GT(r.energy.pe_pj, 0.0);
-    EXPECT_NEAR(r.energy.totalPj(),
-                r.energy.dram_pj + r.energy.comm_pj + r.energy.pe_pj,
+    EXPECT_GE(r.energy.dram_pj, Picojoules{});
+    EXPECT_GE(r.energy.comm_pj, Picojoules{});
+    EXPECT_GT(r.energy.pe_pj, Picojoules{});
+    EXPECT_NEAR(r.energy.totalPj().value(),
+                (r.energy.dram_pj + r.energy.comm_pj +
+                 r.energy.pe_pj)
+                    .value(),
                 1e-9);
 
     // DRAM activity exists and reads dominate (read-only workload).
@@ -88,7 +90,7 @@ TEST_P(SystemGridTest, ConservationAndAccounting)
         EXPECT_GT(r.host_round_trips, 0u);
 
     // Task-input streaming always crosses the fabric.
-    EXPECT_GT(r.wire_bytes, 0u);
+    EXPECT_GT(r.wire_bytes, Bytes{});
 }
 
 TEST_P(SystemGridTest, IdealizedNeverSlower)
@@ -109,7 +111,8 @@ TEST_P(SystemGridTest, RepeatRunsIdentical)
     EXPECT_EQ(a.ticks, b.ticks);
     EXPECT_EQ(a.wire_bytes, b.wire_bytes);
     EXPECT_EQ(a.dram_reads, b.dram_reads);
-    EXPECT_DOUBLE_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_DOUBLE_EQ(a.energy.totalPj().value(),
+                     b.energy.totalPj().value());
 }
 
 INSTANTIATE_TEST_SUITE_P(

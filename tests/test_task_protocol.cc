@@ -58,7 +58,7 @@ TEST(TaskProtocol, AccessesStayWithinDeclaredStructures)
     for (const auto &workload : allWorkloads()) {
         std::map<DataClass, std::uint64_t> declared;
         for (const StructureSpec &spec : workload->structures())
-            declared[spec.cls] = spec.bytes;
+            declared[spec.cls] = spec.bytes.value();
         for (const WorkloadContext &ctx : contextsFor(*workload)) {
             for (std::size_t i = 0; i < workload->numTasks(); ++i) {
                 TaskPtr task = workload->makeTask(i, ctx);
@@ -70,7 +70,8 @@ TEST(TaskProtocol, AccessesStayWithinDeclaredStructures)
                             << workload->name()
                             << ": undeclared data class "
                             << unsigned(a.data_class);
-                        EXPECT_LE(a.offset + a.bytes, it->second)
+                        EXPECT_LE(a.offset + a.bytes.value(),
+                                  it->second)
                             << workload->name() << " task " << i
                             << " overruns class "
                             << unsigned(a.data_class);
@@ -97,7 +98,7 @@ TEST(TaskProtocol, WorkStepsChargeCompute)
         bool charged = false;
         for (int guard = 0; guard < 200000; ++guard) {
             const TaskStep step = task->next();
-            charged |= step.compute_cycles > 0;
+            charged |= step.compute_cycles > Cycles{};
             if (step.done)
                 break;
         }
@@ -114,10 +115,10 @@ TEST(TaskProtocol, TasksAreDeterministic)
             std::vector<std::uint64_t> out;
             for (int guard = 0; guard < 200000; ++guard) {
                 const TaskStep step = task->next();
-                out.push_back(step.compute_cycles);
+                out.push_back(step.compute_cycles.value());
                 for (const AccessRequest &a : step.accesses)
                     out.push_back(a.offset ^
-                                  (std::uint64_t(a.bytes) << 48));
+                                  (a.bytes.value() << 48));
                 if (step.done)
                     break;
             }
@@ -137,7 +138,7 @@ TEST(TaskProtocol, FootprintConsistentWithStructures)
         const WorkloadFootprint fp = measureFootprint(
             *workload, contextsFor(*workload).front());
         EXPECT_GT(fp.accesses, 0u) << workload->name();
-        EXPECT_GT(fp.compute_cycles, 0u) << workload->name();
+        EXPECT_GT(fp.compute_cycles, Cycles{}) << workload->name();
         EXPECT_EQ(fp.tasks, workload->numTasks());
     }
 }

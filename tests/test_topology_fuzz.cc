@@ -99,7 +99,7 @@ TEST_P(TopologyFuzzTest, PoolShapeCompletesAndConserves)
     const RunResult r = system.run(0);
     EXPECT_EQ(r.tasks, fuzzWorkload().numTasks());
     EXPECT_GT(r.dram_reads, 0u);
-    EXPECT_GT(r.energy.totalPj(), 0.0);
+    EXPECT_GT(r.energy.totalPj(), Picojoules{});
 }
 
 TEST_P(TopologyFuzzTest, PoolShapeDeterministic)

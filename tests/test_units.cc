@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the strong unit types (src/common/units.hh):
+ * construction, explicit conversion, the allowed operator set, and —
+ * via requires-expressions evaluated at compile time — the forbidden
+ * operator set. The companion expected-failure harness
+ * (tests/compile_fail/) proves the same negatives against the real
+ * compiler driver, so a regression in either direction is caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+
+#include "common/units.hh"
+
+namespace beacon
+{
+namespace
+{
+
+// --- compile-time negative tests ------------------------------------
+// A requires-expression is the static_assert-friendly way to show an
+// expression does NOT compile: the assert fails (loudly, at compile
+// time) the moment someone adds a converting constructor or a
+// cross-unit operator.
+
+template <class A, class B>
+concept Addable = requires(A a, B b) { a + b; };
+
+template <class A, class B>
+concept Subtractable = requires(A a, B b) { a - b; };
+
+template <class A, class B>
+concept Comparable = requires(A a, B b) { a < b; };
+
+template <class A, class B>
+concept Assignable = requires(A a, B b) { a = b; };
+
+// Same-unit arithmetic stays available...
+static_assert(Addable<Cycles, Cycles>);
+static_assert(Addable<Bytes, Bytes>);
+static_assert(Addable<Picojoules, Picojoules>);
+static_assert(Subtractable<Bytes, Bytes>);
+static_assert(Comparable<Cycles, Cycles>);
+
+// ...but every cross-dimension combination is a compile error.
+static_assert(!Addable<Cycles, Bytes>);
+static_assert(!Addable<Bytes, Cycles>);
+static_assert(!Addable<Cycles, Picojoules>);
+static_assert(!Addable<Bytes, Picojoules>);
+static_assert(!Subtractable<Cycles, Bytes>);
+static_assert(!Comparable<Cycles, Bytes>);
+static_assert(!Comparable<Bytes, Picojoules>);
+static_assert(!Assignable<Cycles &, Bytes>);
+static_assert(!Assignable<Bytes &, std::uint64_t>);
+
+// Identifiers support no arithmetic at all, not even same-type.
+static_assert(!Addable<RowId, RowId>);
+static_assert(!Addable<TenantId, TenantId>);
+static_assert(!Addable<TenantId, int>);
+static_assert(!Subtractable<RowId, RowId>);
+// ...and identifiers of different kinds never compare equal-typed.
+static_assert(!Comparable<RowId, TenantId>);
+static_assert(!Assignable<TenantId &, RowId>);
+static_assert(!Assignable<RowId &, std::uint32_t>);
+
+// Raw integers do not implicitly become quantities or identifiers.
+static_assert(!std::is_convertible_v<std::uint64_t, Cycles>);
+static_assert(!std::is_convertible_v<std::uint64_t, Bytes>);
+static_assert(!std::is_convertible_v<double, Picojoules>);
+static_assert(!std::is_convertible_v<std::uint32_t, RowId>);
+static_assert(!std::is_convertible_v<std::uint32_t, TenantId>);
+// ...and quantities do not implicitly decay back to integers.
+static_assert(!std::is_convertible_v<Cycles, std::uint64_t>);
+static_assert(!std::is_convertible_v<Bytes, std::uint64_t>);
+
+// Explicit construction is the sanctioned way in.
+static_assert(std::is_constructible_v<Cycles, std::uint64_t>);
+static_assert(std::is_constructible_v<TenantId, std::uint32_t>);
+
+// --- construction and explicit conversion ---------------------------
+
+TEST(Units, DefaultConstructionIsZero)
+{
+    EXPECT_EQ(Cycles{}.value(), 0u);
+    EXPECT_EQ(Bytes{}.value(), 0u);
+    EXPECT_EQ(Picojoules{}.value(), 0.0);
+    EXPECT_EQ(RowId{}.value(), 0u);
+    EXPECT_EQ(TenantId{}, untenanted_id);
+}
+
+TEST(Units, ExplicitRoundTrip)
+{
+    const Cycles c{123};
+    EXPECT_EQ(c.value(), 123u);
+    const Bytes b{1ull << 40};
+    EXPECT_EQ(b.value(), 1ull << 40);
+    const Picojoules pj{2.5};
+    EXPECT_DOUBLE_EQ(pj.value(), 2.5);
+}
+
+TEST(Units, ByteLiterals)
+{
+    EXPECT_EQ((4_KiB).value(), 4096u);
+    EXPECT_EQ((2_MiB).value(), 2u << 20);
+    EXPECT_EQ((64_GiB).value(), 64ull << 30);
+}
+
+// --- allowed operator set -------------------------------------------
+
+TEST(Units, AdditiveArithmetic)
+{
+    Cycles c = Cycles{10} + Cycles{5};
+    EXPECT_EQ(c, Cycles{15});
+    c -= Cycles{5};
+    EXPECT_EQ(c, Cycles{10});
+    c += Cycles{1};
+    EXPECT_EQ(c, Cycles{11});
+    EXPECT_EQ(Bytes{64} - Bytes{16}, Bytes{48});
+}
+
+TEST(Units, ScalarScaling)
+{
+    EXPECT_EQ(Bytes{32} * 4, Bytes{128});
+    EXPECT_EQ(4 * Bytes{32}, Bytes{128});
+    EXPECT_EQ(Bytes{128} / 4, Bytes{32});
+    EXPECT_DOUBLE_EQ((Picojoules{3} * 0.5).value(), 1.5);
+}
+
+TEST(Units, RatioIsDimensionless)
+{
+    const double r = ratio(Bytes{100}, Bytes{8});
+    EXPECT_DOUBLE_EQ(r, 12.5);
+    static_assert(
+        std::is_same_v<decltype(ratio(Cycles{1}, Cycles{2})),
+                       double>);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(Cycles{1}, Cycles{2});
+    EXPECT_GE(Bytes{8}, Bytes{8});
+    EXPECT_NE(TenantId{1}, TenantId{2});
+    EXPECT_LT(RowId{7}, RowId{8}); // ordering for std::map keys
+}
+
+TEST(Units, StreamInsertionPrintsBareValue)
+{
+    // Golden JSON depends on this: promoting a field to a strong
+    // type must not change a single emitted byte.
+    std::ostringstream out;
+    out << Cycles{42} << ' ' << Bytes{64} << ' ' << Picojoules{1.5}
+        << ' ' << TenantId{3};
+    EXPECT_EQ(out.str(), "42 64 1.5 3");
+}
+
+TEST(Units, IdentifiersHashAndKeyContainers)
+{
+    std::unordered_map<TenantId, int> per_tenant;
+    per_tenant[TenantId{1}] = 10;
+    per_tenant[TenantId{2}] = 20;
+    EXPECT_EQ(per_tenant.at(TenantId{1}), 10);
+    std::unordered_map<RowId, int> per_row;
+    per_row[RowId{7}] = 1;
+    EXPECT_EQ(per_row.count(RowId{8}), 0u);
+}
+
+// --- dimension crossings --------------------------------------------
+
+TEST(Units, CyclesToTicksIsTheSanctionedCrossing)
+{
+    EXPECT_EQ(cyclesToTicks(Cycles{22}, 1250), 22u * 1250u);
+    EXPECT_EQ(cyclesToTicks(Cycles{}, 1250), 0u);
+}
+
+TEST(Units, TransferTimeCrossesBytesToTicks)
+{
+    // 64 B at 64 GB/s = 1 ns = 1000 ps.
+    EXPECT_EQ(transferTime(Bytes{64}, 64.0), 1000u);
+}
+
+// --- overflow-adjacent arithmetic -----------------------------------
+
+TEST(Units, NearOverflowAdditionWrapsLikeRep)
+{
+    // Quantity arithmetic is defined on the underlying uint64_t, so
+    // the wrap behaviour is the rep's — no UB, no silent promotion.
+    const std::uint64_t big = ~std::uint64_t{0} - 1;
+    const Bytes wrapped = Bytes{big} + Bytes{3};
+    EXPECT_EQ(wrapped.value(), std::uint64_t{1});
+    const Bytes underflow = Bytes{0} - Bytes{1};
+    EXPECT_EQ(underflow.value(), ~std::uint64_t{0});
+}
+
+TEST(Units, LargeByteCapacitiesSurviveScaling)
+{
+    // A 64-DIMM x 256 GiB pool: 16 TiB fits comfortably.
+    const Bytes pool = 256_GiB * 64;
+    EXPECT_EQ(pool.value(), 16ull << 40);
+    EXPECT_EQ(ratio(pool, 256_GiB), 64.0);
+}
+
+} // namespace
+} // namespace beacon

@@ -40,7 +40,7 @@ drain(Task &task)
         for (const AccessRequest &a : step.accesses) {
             ++fp.accesses;
             fp.access_bytes += a.bytes;
-            EXPECT_GT(a.bytes, 0u);
+            EXPECT_GT(a.bytes, Bytes{});
         }
         if (step.done) {
             EXPECT_TRUE(step.accesses.empty())
@@ -59,7 +59,8 @@ TEST(FmSeedingWorkload, TasksTouchOccBlocksOnly)
     const auto structures = workload.structures();
     ASSERT_EQ(structures.size(), 1u);
     EXPECT_EQ(structures[0].cls, DataClass::FmOcc);
-    EXPECT_EQ(structures[0].bytes, workload.index().indexBytes());
+    EXPECT_EQ(structures[0].bytes,
+              Bytes{workload.index().indexBytes()});
 
     WorkloadContext ctx;
     for (std::size_t i = 0; i < workload.numTasks(); ++i) {
@@ -67,7 +68,8 @@ TEST(FmSeedingWorkload, TasksTouchOccBlocksOnly)
         TaskStep step = task->next();
         for (const AccessRequest &a : step.accesses) {
             EXPECT_EQ(a.data_class, DataClass::FmOcc);
-            EXPECT_EQ(a.bytes, genomics::FmIndex::block_bytes);
+            EXPECT_EQ(a.bytes,
+                      Bytes{genomics::FmIndex::block_bytes});
             EXPECT_FALSE(a.is_write);
             EXPECT_LT(a.offset, workload.index().indexBytes());
         }
@@ -102,11 +104,11 @@ TEST(HashSeedingWorkload, BucketThenLocationsProtocol)
         const TaskStep step = task->next();
         for (const AccessRequest &a : step.accesses) {
             if (a.data_class == DataClass::HashBucket) {
-                EXPECT_EQ(a.bytes, 8u);
+                EXPECT_EQ(a.bytes, Bytes{8});
                 saw_bucket = true;
             } else {
                 EXPECT_EQ(a.data_class, DataClass::HashLocations);
-                EXPECT_GT(a.bytes, 0u);
+                EXPECT_GT(a.bytes, Bytes{});
                 saw_locations = true;
             }
         }
@@ -131,7 +133,7 @@ TEST(KmerCountingWorkload, SinglePassUsesGlobalAtomics)
         EXPECT_EQ(a.data_class, DataClass::BloomCounter);
         EXPECT_TRUE(a.is_atomic);
         EXPECT_TRUE(a.is_write);
-        EXPECT_EQ(a.bytes, 1u);
+        EXPECT_EQ(a.bytes, Bytes{1});
         EXPECT_LT(a.offset, std::uint64_t(1) << 14);
     }
 }
@@ -215,8 +217,9 @@ TEST(Workload, FootprintAggregatesAllTasks)
     EXPECT_EQ(fp.tasks, workload.numTasks());
     EXPECT_GT(fp.steps, fp.tasks);
     EXPECT_GT(fp.accesses, 0u);
-    EXPECT_GT(fp.compute_cycles, 0u);
-    EXPECT_GT(fp.access_bytes, fp.accesses); // >1 byte per access
+    EXPECT_GT(fp.compute_cycles, Cycles{});
+    EXPECT_GT(fp.access_bytes.value(),
+              fp.accesses); // >1 byte per access
 }
 
 TEST(CpuBaseline, ScalesWithFootprint)
@@ -231,7 +234,7 @@ TEST(CpuBaseline, ScalesWithFootprint)
     fp2.accesses *= 2;
     const CpuBaselineResult two = cpuBaseline(fp2);
     EXPECT_NEAR(two.seconds, 2 * one.seconds, 1e-12);
-    EXPECT_GT(one.energy_pj, 0.0);
+    EXPECT_GT(one.energy_pj, Picojoules{});
     EXPECT_GT(one.tasks_per_second, 0.0);
 }
 
@@ -269,7 +272,8 @@ TEST(EnergyModel, PeEnergyComposition)
 {
     const PeOverhead &pe = peOverheadFor("BEACON");
     // 1 us busy, 2 us elapsed, 100 PEs.
-    const double pj = peEnergyPj(pe, 1000000, 2000000, 100);
+    const double pj =
+        peEnergyPj(pe, 1000000, 2000000, 100).value();
     const double expected_dynamic = 9.48 * 1e6 * 1e-3;
     const double expected_leak = 18.97 * 2e6 * 100 * 1e-6;
     EXPECT_NEAR(pj, expected_dynamic + expected_leak, 1e-6);
@@ -278,18 +282,19 @@ TEST(EnergyModel, PeEnergyComposition)
 TEST(EnergyModel, SystemEnergyFractions)
 {
     SystemEnergy energy;
-    energy.dram_pj = 50;
-    energy.comm_pj = 30;
-    energy.pe_pj = 20;
-    EXPECT_DOUBLE_EQ(energy.totalPj(), 100.0);
+    energy.dram_pj = Picojoules{50};
+    energy.comm_pj = Picojoules{30};
+    energy.pe_pj = Picojoules{20};
+    EXPECT_DOUBLE_EQ(energy.totalPj().value(), 100.0);
     EXPECT_DOUBLE_EQ(energy.commFraction(), 0.3);
     EXPECT_DOUBLE_EQ(energy.peFraction(), 0.2);
 }
 
 TEST(EnergyModel, CommEnergyPerBit)
 {
-    EXPECT_DOUBLE_EQ(commEnergyPj(1, 1.0), 8.0);
-    EXPECT_DOUBLE_EQ(commEnergyPj(64, 6.0), 64 * 8 * 6.0);
+    EXPECT_DOUBLE_EQ(commEnergyPj(Bytes{1}, 1.0).value(), 8.0);
+    EXPECT_DOUBLE_EQ(commEnergyPj(Bytes{64}, 6.0).value(),
+                     64 * 8 * 6.0);
 }
 
 } // namespace

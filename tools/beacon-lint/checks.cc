@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Check implementations.
+ *
+ * beacon-lint works on a lexical (comment/string-stripped) view of
+ * each translation unit, not a full AST, so every check is an
+ * honest heuristic:
+ *
+ *  - declarations recognised only when they fit on one line;
+ *  - range-for headers matched on one line;
+ *  - capture lists matched within a bounded window after the
+ *    scheduling call.
+ *
+ * The strong unit types in src/common/units.hh carry the real
+ * compile-time enforcement; these checks exist to catch the escape
+ * hatches (value(), wall clocks, unordered iteration) that the type
+ * system cannot see. Keep them conservative: a check that cries wolf
+ * gets annotated away wholesale and protects nothing.
+ */
+
+#include "checks.hh"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+/** True if the normalised path contains "/<dir>/" or starts with
+ *  "<dir>/". */
+bool
+underDir(const std::string &path, const std::string &dir)
+{
+    if (path.rfind(dir + "/", 0) == 0)
+        return true;
+    return path.find("/" + dir + "/") != std::string::npos;
+}
+
+void
+addFinding(std::vector<Finding> &out, const SourceFile &file,
+           std::size_t line0, const std::string &check,
+           const std::string &message)
+{
+    out.push_back({file.path, line0 + 1, check, message});
+}
+
+// --- determinism-wallclock ------------------------------------------
+
+const char *const wallclock_name = "determinism-wallclock";
+
+void
+checkWallclock(const SourceFile &file, std::vector<Finding> &out)
+{
+    static const std::regex clock_re(
+        "\\b(system_clock|steady_clock|high_resolution_clock|"
+        "gettimeofday|clock_gettime|timespec_get)\\b");
+    // A call of the C library time(): the preceding character must
+    // not extend an identifier or qualify a member (run_time(),
+    // obj.time(), chrono::time_point are all fine).
+    static const std::regex time_re(
+        "(^|[^A-Za-z0-9_:.>])time\\s*\\(");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        const std::string &code = file.code[i];
+        std::smatch m;
+        if (std::regex_search(code, m, clock_re)) {
+            addFinding(out, file, i, wallclock_name,
+                       "wall-clock source '" + m[1].str() +
+                           "' in simulation code; results must not "
+                           "depend on host time");
+        } else if (std::regex_search(code, time_re)) {
+            addFinding(out, file, i, wallclock_name,
+                       "call of time() in simulation code; results "
+                       "must not depend on host time");
+        }
+    }
+}
+
+// --- determinism-rand -----------------------------------------------
+
+const char *const rand_name = "determinism-rand";
+
+void
+checkRand(const SourceFile &file, std::vector<Finding> &out)
+{
+    static const std::regex rand_re(
+        "\\b(rand|srand|drand48|lrand48|rand_r)\\s*\\(|"
+        "\\brandom_device\\b");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        if (std::regex_search(file.code[i], rand_re))
+            addFinding(out, file, i, rand_name,
+                       "non-seedable randomness; use the "
+                       "deterministic beacon::Rng instead");
+    }
+}
+
+// --- determinism-unordered-iter -------------------------------------
+
+const char *const unordered_name = "determinism-unordered-iter";
+
+/** Variables declared with an unordered container type on one line. */
+std::set<std::string>
+unorderedVars(const SourceFile &file)
+{
+    static const std::regex decl_re(
+        "\\bunordered_(?:map|set|multimap|multiset)\\s*<[^;{]*>\\s+"
+        "(\\w+)\\s*[;={(]");
+    std::set<std::string> vars;
+    for (const std::string &code : file.code) {
+        auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                          decl_re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            vars.insert((*it)[1].str());
+    }
+    return vars;
+}
+
+void
+checkUnorderedIter(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::set<std::string> vars = unorderedVars(file);
+    if (vars.empty())
+        return;
+    static const std::regex range_for_re(
+        "\\bfor\\s*\\([^;()]*:\\s*([^)]*)\\)");
+    static const std::regex ident_re("\\b(\\w+)\\b");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(file.code[i], m, range_for_re))
+            continue;
+        const std::string range = m[1].str();
+        auto begin = std::sregex_iterator(range.begin(), range.end(),
+                                          ident_re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            if (vars.count((*it)[1].str())) {
+                addFinding(
+                    out, file, i, unordered_name,
+                    "iteration over unordered container '" +
+                        (*it)[1].str() +
+                        "'; hash-seed-dependent order must not "
+                        "reach stats/report/golden emission");
+                break;
+            }
+        }
+    }
+}
+
+// --- sim-capture-ref ------------------------------------------------
+
+const char *const capture_name = "sim-capture-ref";
+
+/** True if @p text holds a lambda introducer capturing by
+ *  reference. */
+bool
+hasRefCapture(const std::string &text)
+{
+    static const std::regex lambda_re(
+        "\\[([A-Za-z0-9_,&=*\\s]*)\\]\\s*[({]");
+    auto begin =
+        std::sregex_iterator(text.begin(), text.end(), lambda_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string captures = (*it)[1].str();
+        if (captures.find('&') != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+checkCaptureRef(const SourceFile &file, std::vector<Finding> &out)
+{
+    static const std::regex sched_re(
+        "\\b(schedule|scheduleIn|scheduleAt)\\s*\\(");
+    constexpr std::size_t window = 12; // lines per call statement
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(file.code[i], m, sched_re))
+            continue;
+        // Collect the call's argument text: from the opening paren
+        // until the parens balance out (bounded window).
+        std::string args;
+        int depth = 0;
+        bool open_seen = false;
+        for (std::size_t j = i;
+             j < file.lines() && j < i + window && (depth > 0 ||
+                                                    !open_seen);
+             ++j) {
+            const std::string &code = file.code[j];
+            std::size_t k =
+                j == i ? std::size_t(m.position(0)) : 0;
+            for (; k < code.size(); ++k) {
+                if (code[k] == '(') {
+                    ++depth;
+                    open_seen = true;
+                } else if (code[k] == ')') {
+                    if (--depth == 0)
+                        break;
+                }
+                if (open_seen)
+                    args += code[k];
+            }
+            args += '\n';
+            if (open_seen && depth == 0)
+                break;
+        }
+        if (hasRefCapture(args))
+            addFinding(out, file, i, capture_name,
+                       "event callback captures by reference; the "
+                       "callback may outlive the scheduling scope");
+    }
+}
+
+// --- raw-new-delete -------------------------------------------------
+
+const char *const new_delete_name = "raw-new-delete";
+
+void
+checkNewDelete(const SourceFile &file, std::vector<Finding> &out)
+{
+    static const std::regex new_re("\\bnew\\s+[A-Za-z_(:]");
+    static const std::regex delete_re("\\bdelete\\b(?!\\s*;)");
+    static const std::regex deleted_fn_re("=\\s*delete\\b");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        const std::string &code = file.code[i];
+        if (std::regex_search(code, new_re))
+            addFinding(out, file, i, new_delete_name,
+                       "raw new in src/; use std::make_unique or a "
+                       "container");
+        std::smatch m;
+        if (std::regex_search(code, m, delete_re) &&
+            !std::regex_search(code, deleted_fn_re))
+            addFinding(out, file, i, new_delete_name,
+                       "raw delete in src/; prefer owning smart "
+                       "pointers");
+    }
+}
+
+// --- unit-mix -------------------------------------------------------
+
+const char *const unit_mix_name = "unit-mix";
+
+const char *const unit_types[] = {"Cycles", "Bytes", "Picojoules",
+                                  "RowId", "TenantId"};
+
+/** Variables declared with a strong unit type on one line. */
+std::map<std::string, std::string>
+unitVars(const SourceFile &file)
+{
+    static const std::regex decl_re(
+        "\\b(Cycles|Bytes|Picojoules|RowId|TenantId)\\s+"
+        "(\\w+)\\s*[;={,)]");
+    std::map<std::string, std::string> vars;
+    for (const std::string &code : file.code) {
+        auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                          decl_re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            vars[(*it)[2].str()] = (*it)[1].str();
+    }
+    return vars;
+}
+
+void
+checkUnitMix(const SourceFile &file, std::vector<Finding> &out)
+{
+    // Form 1: arithmetic directly between braced constructions of
+    // two different unit types (would not even compile, but the
+    // lint catches it before the compiler does and in fixtures).
+    static const std::regex ctor_mix_re(
+        "\\b(Cycles|Bytes|Picojoules|RowId|TenantId)\\s*\\{[^{}]*\\}"
+        "\\s*[-+*/%]\\s*"
+        "(Cycles|Bytes|Picojoules|RowId|TenantId)\\s*\\{");
+    // Form 2: the type system's escape hatch — value() of two
+    // different unit-typed variables recombined in one expression.
+    static const std::regex value_mix_re(
+        "\\b(\\w+)\\.value\\(\\)\\s*[-+*/%]\\s*"
+        "(\\w+)\\.value\\(\\)");
+
+    const std::map<std::string, std::string> vars = unitVars(file);
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        const std::string &code = file.code[i];
+        std::smatch m;
+        if (std::regex_search(code, m, ctor_mix_re) &&
+            m[1].str() != m[2].str()) {
+            addFinding(out, file, i, unit_mix_name,
+                       "arithmetic mixes " + m[1].str() + " and " +
+                           m[2].str());
+            continue;
+        }
+        if (std::regex_search(code, m, value_mix_re)) {
+            auto a = vars.find(m[1].str());
+            auto b = vars.find(m[2].str());
+            if (a != vars.end() && b != vars.end() &&
+                a->second != b->second) {
+                addFinding(out, file, i, unit_mix_name,
+                           "value() escape mixes " + a->second +
+                               " ('" + m[1].str() + "') with " +
+                               b->second + " ('" + m[2].str() +
+                               "')");
+            }
+        }
+    }
+}
+
+// --- annotations ----------------------------------------------------
+
+/** Parse every `beacon-lint: <verb>(a, b)` in @p comment. */
+void
+parseMarkers(const std::string &comment, const std::string &verb,
+             std::vector<std::string> &out)
+{
+    const std::regex marker_re("beacon-lint:\\s*" + verb +
+                               "\\s*\\(([^)]*)\\)");
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                      marker_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string list = (*it)[1].str();
+        static const std::regex item_re("[\\w-]+");
+        auto items = std::sregex_iterator(list.begin(), list.end(),
+                                          item_re);
+        for (auto jt = items; jt != std::sregex_iterator(); ++jt)
+            out.push_back(jt->str());
+    }
+}
+
+/** Checks allowed on line @p line0 (same line, line above, or
+ *  file-wide). */
+bool
+isAllowed(const SourceFile &file, std::size_t line0,
+          const std::string &check,
+          const std::vector<std::string> &file_allows)
+{
+    for (const std::string &c : file_allows)
+        if (c == check)
+            return true;
+    std::vector<std::string> allows;
+    parseMarkers(file.comments[line0], "allow", allows);
+    if (line0 > 0)
+        parseMarkers(file.comments[line0 - 1], "allow", allows);
+    return std::find(allows.begin(), allows.end(), check) !=
+           allows.end();
+}
+
+} // namespace
+
+Layer
+layerOf(const std::string &path)
+{
+    if (underDir(path, "src"))
+        return Layer::Src;
+    if (underDir(path, "bench"))
+        return Layer::Bench;
+    if (underDir(path, "examples"))
+        return Layer::Examples;
+    if (underDir(path, "tests"))
+        return Layer::Tests;
+    return Layer::Other;
+}
+
+const std::vector<Check> &
+allChecks()
+{
+    static const std::vector<Check> checks = {
+        {wallclock_name,
+         "wall-clock time sources in simulation code",
+         {Layer::Src, Layer::Bench, Layer::Examples},
+         checkWallclock},
+        {rand_name,
+         "non-seedable randomness (rand, std::random_device)",
+         {Layer::Src, Layer::Bench, Layer::Examples},
+         checkRand},
+        {unordered_name,
+         "iteration over unordered containers (hash-order leakage)",
+         {Layer::Src, Layer::Bench, Layer::Examples},
+         checkUnorderedIter},
+        {capture_name,
+         "EventQueue callbacks capturing by reference",
+         {Layer::Src},
+         checkCaptureRef},
+        {new_delete_name,
+         "raw new/delete in the simulator model",
+         {Layer::Src},
+         checkNewDelete},
+        {unit_mix_name,
+         "arithmetic mixing distinct strong unit types",
+         {Layer::Src, Layer::Bench, Layer::Examples},
+         checkUnitMix},
+    };
+    return checks;
+}
+
+std::vector<Finding>
+lintFile(const SourceFile &file,
+         const std::vector<std::string> &enabled,
+         bool respect_layers)
+{
+    const Layer layer = layerOf(file.path);
+
+    std::vector<std::string> file_allows;
+    for (const std::string &comment : file.comments)
+        parseMarkers(comment, "allow-file", file_allows);
+
+    std::vector<Finding> findings;
+    for (const Check &check : allChecks()) {
+        if (respect_layers && !check.appliesTo(layer))
+            continue;
+        if (!enabled.empty() &&
+            std::find(enabled.begin(), enabled.end(), check.name) ==
+                enabled.end())
+            continue;
+        check.run(file, findings);
+    }
+
+    std::vector<Finding> kept;
+    for (Finding &finding : findings) {
+        if (!isAllowed(file, finding.line - 1, finding.check,
+                       file_allows))
+            kept.push_back(std::move(finding));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.check < b.check;
+              });
+    return kept;
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+expectedFindings(const SourceFile &file)
+{
+    std::vector<std::pair<std::string, std::size_t>> expected;
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        std::vector<std::string> checks;
+        parseMarkers(file.comments[i], "expect", checks);
+        for (const std::string &check : checks)
+            expected.emplace_back(check, i + 1);
+    }
+    return expected;
+}
+
+} // namespace beacon_lint

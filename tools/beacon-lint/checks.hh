@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The beacon-lint check registry.
+ *
+ * Each check is a named pass over a SourceFile that appends Findings.
+ * Checks are scoped to repository layers (a determinism bug in tests
+ * is the test's business; raw new in src/ is not), and every finding
+ * can be suppressed with a `// beacon-lint: allow(<check>)` comment
+ * on the same line or the line above (or `allow-file(<check>)`
+ * anywhere in the file).
+ */
+
+#ifndef BEACON_LINT_CHECKS_HH
+#define BEACON_LINT_CHECKS_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "source_file.hh"
+
+namespace beacon_lint
+{
+
+/** One lint diagnostic. */
+struct Finding
+{
+    std::string path;
+    std::size_t line = 0; // 1-based
+    std::string check;
+    std::string message;
+};
+
+/** Repository layer a file belongs to (scopes the checks). */
+enum class Layer
+{
+    Src,      //!< simulator model code (src/)
+    Bench,    //!< paper-figure harnesses (bench/)
+    Examples, //!< example programs (examples/)
+    Tests,    //!< unit tests (tests/)
+    Other,    //!< tools/, docs/, fixtures, ...
+};
+
+/** Classify @p path (normalised, absolute or repo-relative). */
+Layer layerOf(const std::string &path);
+
+/** A registered check. */
+struct Check
+{
+    std::string name;
+    std::string description;
+    /** Layers the check runs on in normal (non-self-test) mode. */
+    std::vector<Layer> layers;
+    /** Appends findings for @p file (annotations not yet applied). */
+    std::function<void(const SourceFile &, std::vector<Finding> &)>
+        run;
+
+    bool
+    appliesTo(Layer layer) const
+    {
+        for (Layer l : layers)
+            if (l == layer)
+                return true;
+        return false;
+    }
+};
+
+/** All built-in checks, in reporting order. */
+const std::vector<Check> &allChecks();
+
+/**
+ * Run the selected checks over @p file and drop findings suppressed
+ * by allow()/allow-file() annotations. @p respect_layers is false in
+ * self-test mode, where every check runs on every fixture.
+ *
+ * @p enabled holds check names; empty means "all checks".
+ */
+std::vector<Finding>
+lintFile(const SourceFile &file,
+         const std::vector<std::string> &enabled,
+         bool respect_layers);
+
+/**
+ * Lines annotated `beacon-lint: expect(<check>)`, as (check, line)
+ * pairs — the fixture contract the self-test asserts against.
+ */
+std::vector<std::pair<std::string, std::size_t>>
+expectedFindings(const SourceFile &file);
+
+} // namespace beacon_lint
+
+#endif // BEACON_LINT_CHECKS_HH

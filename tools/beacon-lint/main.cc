@@ -1,0 +1,241 @@
+/**
+ * @file
+ * beacon-lint driver.
+ *
+ * Modes:
+ *   beacon-lint -p build/compile_commands.json [paths...]
+ *       Lint every translation unit in the compile database plus any
+ *       extra files/directories given (headers are not listed in the
+ *       database, so CI passes src/ as an extra path). Exit 1 when
+ *       any unsuppressed finding remains.
+ *
+ *   beacon-lint --self-test tools/beacon-lint/testdata
+ *       Run every check over the fixture files and assert that the
+ *       findings match the `// beacon-lint: expect(<check>)` markers
+ *       exactly — each check must both fire where expected and stay
+ *       quiet where an allow() annotation suppresses it.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hh"
+#include "source_file.hh"
+
+namespace fs = std::filesystem;
+using namespace beacon_lint;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [-p compile_commands.json] [--check NAME]...\n"
+        "          [--self-test DIR] [--list-checks] [paths...]\n",
+        argv0);
+    return 2;
+}
+
+bool
+lintableExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+/** Files named by a compile database (the "file" of each entry). */
+std::vector<std::string>
+compileDatabaseFiles(const std::string &db_path, std::string &error)
+{
+    std::ifstream in(db_path);
+    if (!in) {
+        error = "cannot open compile database " + db_path;
+        return {};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string json = text.str();
+
+    std::vector<std::string> files;
+    std::string directory;
+    static const std::regex kv_re(
+        "\"(directory|file)\"\\s*:\\s*\"([^\"]*)\"");
+    auto begin =
+        std::sregex_iterator(json.begin(), json.end(), kv_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string key = (*it)[1].str();
+        const std::string value = (*it)[2].str();
+        if (key == "directory") {
+            directory = value;
+        } else {
+            fs::path p(value);
+            if (p.is_relative() && !directory.empty())
+                p = fs::path(directory) / p;
+            files.push_back(
+                fs::absolute(p).lexically_normal().string());
+        }
+    }
+    return files;
+}
+
+/** Expand files/directories into lintable source files. */
+void
+collectPaths(const std::string &arg, std::set<std::string> &out)
+{
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(p)) {
+            if (entry.is_regular_file() &&
+                lintableExtension(entry.path()))
+                out.insert(fs::absolute(entry.path())
+                               .lexically_normal()
+                               .string());
+        }
+    } else {
+        out.insert(fs::absolute(p).lexically_normal().string());
+    }
+}
+
+int
+runSelfTest(const std::string &dir)
+{
+    std::set<std::string> paths;
+    collectPaths(dir, paths);
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "beacon-lint: no fixtures under %s\n",
+                     dir.c_str());
+        return 2;
+    }
+
+    int failures = 0;
+    for (const std::string &path : paths) {
+        SourceFile file;
+        std::string error;
+        if (!loadSourceFile(path, file, error)) {
+            std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
+            return 2;
+        }
+        // Self-test ignores layer scoping: fixtures exercise every
+        // check no matter where the testdata directory lives.
+        const std::vector<Finding> findings =
+            lintFile(file, {}, /*respect_layers=*/false);
+        std::set<std::pair<std::string, std::size_t>> actual;
+        for (const Finding &f : findings)
+            actual.insert({f.check, f.line});
+        std::set<std::pair<std::string, std::size_t>> expected;
+        for (const auto &e : expectedFindings(file))
+            expected.insert(e);
+
+        for (const auto &[check, line] : expected) {
+            if (!actual.count({check, line})) {
+                std::printf("FAIL %s:%zu: expected [%s] did not "
+                            "fire\n",
+                            path.c_str(), line, check.c_str());
+                ++failures;
+            }
+        }
+        for (const auto &[check, line] : actual) {
+            if (!expected.count({check, line})) {
+                std::printf("FAIL %s:%zu: unexpected [%s]\n",
+                            path.c_str(), line, check.c_str());
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0) {
+        std::printf("beacon-lint self-test: %zu fixture file(s) "
+                    "OK\n",
+                    paths.size());
+        return 0;
+    }
+    std::printf("beacon-lint self-test: %d mismatch(es)\n",
+                failures);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string db_path;
+    std::string self_test_dir;
+    std::vector<std::string> enabled;
+    std::set<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-p" && i + 1 < argc) {
+            db_path = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            enabled.push_back(argv[++i]);
+        } else if (arg == "--self-test" && i + 1 < argc) {
+            self_test_dir = argv[++i];
+        } else if (arg == "--list-checks") {
+            for (const Check &check : allChecks())
+                std::printf("%-26s %s\n", check.name.c_str(),
+                            check.description.c_str());
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            collectPaths(arg, paths);
+        }
+    }
+
+    if (!self_test_dir.empty())
+        return runSelfTest(self_test_dir);
+
+    if (!db_path.empty()) {
+        std::string error;
+        for (const std::string &file :
+             compileDatabaseFiles(db_path, error))
+            paths.insert(file);
+        if (!error.empty()) {
+            std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    if (paths.empty())
+        return usage(argv[0]);
+
+    std::size_t files = 0;
+    std::vector<Finding> all;
+    for (const std::string &path : paths) {
+        // The compile database may name generated or third-party
+        // files outside the repo layers; everything under Layer
+        // scoping simply has no applicable checks.
+        SourceFile file;
+        std::string error;
+        if (!loadSourceFile(path, file, error)) {
+            std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
+            return 2;
+        }
+        ++files;
+        for (Finding &f :
+             lintFile(file, enabled, /*respect_layers=*/true))
+            all.push_back(std::move(f));
+    }
+
+    for (const Finding &f : all)
+        std::printf("%s:%zu: warning: [%s] %s\n", f.path.c_str(),
+                    f.line, f.check.c_str(), f.message.c_str());
+    std::printf("beacon-lint: %zu file(s), %zu finding(s)\n", files,
+                all.size());
+    return all.empty() ? 0 : 1;
+}

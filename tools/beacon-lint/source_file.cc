@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Comment/string stripper: a small state machine over the raw text
+ * that produces the code view and the per-line comment text.
+ */
+
+#include "source_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+enum class State
+{
+    Code,
+    LineComment,
+    BlockComment,
+    String,
+    Char,
+    RawString,
+};
+
+} // namespace
+
+SourceFile
+scanSource(const std::string &path, const std::string &text)
+{
+    SourceFile out;
+    out.path = path;
+
+    // Split into raw lines (keeping an empty trailing line out).
+    {
+        std::string line;
+        std::istringstream in(text);
+        while (std::getline(in, line))
+            out.raw.push_back(line);
+    }
+    out.code.resize(out.raw.size());
+    out.comments.resize(out.raw.size());
+
+    State state = State::Code;
+    std::string raw_delim; // raw-string delimiter, e.g. )foo"
+
+    for (std::size_t li = 0; li < out.raw.size(); ++li) {
+        const std::string &src = out.raw[li];
+        std::string &code = out.code[li];
+        std::string &comment = out.comments[li];
+        code.assign(src.size(), ' ');
+
+        if (state == State::LineComment)
+            state = State::Code; // // comments end at the newline
+        if (state == State::String || state == State::Char)
+            state = State::Code; // unterminated literal: best effort
+
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            const char c = src[i];
+            const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+            switch (state) {
+              case State::Code:
+                if (c == '/' && next == '/') {
+                    state = State::LineComment;
+                    comment.append(src, i + 2,
+                                   src.size() - (i + 2));
+                    i = src.size(); // rest of line is comment
+                } else if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    ++i;
+                } else if (c == '"' && i >= 1 && src[i - 1] == 'R') {
+                    // R"delim( ... )delim"
+                    const std::size_t open = src.find('(', i + 1);
+                    raw_delim = ")";
+                    if (open != std::string::npos)
+                        raw_delim +=
+                            src.substr(i + 1, open - (i + 1));
+                    raw_delim += '"';
+                    state = State::RawString;
+                    code[i] = ' ';
+                } else if (c == '"') {
+                    state = State::String;
+                } else if (c == '\'') {
+                    state = State::Char;
+                } else {
+                    code[i] = c;
+                }
+                break;
+              case State::String:
+                if (c == '\\')
+                    ++i;
+                else if (c == '"')
+                    state = State::Code;
+                break;
+              case State::Char:
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'')
+                    state = State::Code;
+                break;
+              case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::Code;
+                    ++i;
+                } else {
+                    comment += c;
+                }
+                break;
+              case State::RawString:
+                if (src.compare(i, raw_delim.size(), raw_delim) ==
+                    0) {
+                    i += raw_delim.size() - 1;
+                    state = State::Code;
+                }
+                break;
+              case State::LineComment:
+                break; // unreachable within a line
+            }
+        }
+    }
+    return out;
+}
+
+bool
+loadSourceFile(const std::string &path, SourceFile &out,
+               std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = scanSource(path, text.str());
+    return true;
+}
+
+} // namespace beacon_lint

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lexical view of a C++ translation unit for beacon-lint.
+ *
+ * beacon-lint is deliberately a self-contained lexical analyser: the
+ * CI container builds it with nothing beyond the C++ toolchain, so
+ * checks work on a comment/string-stripped "code view" of each line
+ * plus the comment text (which carries the control annotations).
+ * The checks in checks.cc document the approximations this implies.
+ */
+
+#ifndef BEACON_LINT_SOURCE_FILE_HH
+#define BEACON_LINT_SOURCE_FILE_HH
+
+#include <string>
+#include <vector>
+
+namespace beacon_lint
+{
+
+/** One scanned file: raw text, code view, and per-line comments. */
+struct SourceFile
+{
+    std::string path;
+    /** Raw lines, 0-indexed (line N of the file is raw[N-1]). */
+    std::vector<std::string> raw;
+    /**
+     * Code view: comments and string/character-literal contents are
+     * replaced with spaces, so checks can pattern-match without
+     * tripping over prose or quoted text. Delimiters are blanked
+     * too; line count always equals raw.size().
+     */
+    std::vector<std::string> code;
+    /** Comment text attributed to each line (annotations live here). */
+    std::vector<std::string> comments;
+
+    /** Number of lines. */
+    std::size_t lines() const { return raw.size(); }
+};
+
+/**
+ * Load @p path and build the stripped views. Returns false (and sets
+ * @p error) if the file cannot be read.
+ */
+bool loadSourceFile(const std::string &path, SourceFile &out,
+                    std::string &error);
+
+/** Build a SourceFile from in-memory text (unit tests, self-test). */
+SourceFile scanSource(const std::string &path,
+                      const std::string &text);
+
+} // namespace beacon_lint
+
+#endif // BEACON_LINT_SOURCE_FILE_HH

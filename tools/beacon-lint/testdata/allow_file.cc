@@ -1,0 +1,15 @@
+// Fixture: allow-file() suppresses a check across the whole file —
+// no expect() markers here, so the self-test asserts silence.
+//
+// beacon-lint: allow-file(determinism-wallclock)
+
+#include <chrono>
+
+double
+progressTimer()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(t1 - t1).count() +
+           std::chrono::duration<double>(t0 - t0).count();
+}

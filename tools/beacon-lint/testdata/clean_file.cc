@@ -1,0 +1,21 @@
+// Fixture: a well-behaved file — no check may fire. Mentions of
+// rand(), new, delete, and system_clock inside comments and string
+// literals must be invisible to the lexical checks.
+
+#include <map>
+#include <memory>
+
+const char *const banner =
+    "system_clock rand() new delete for (x : unordered)";
+
+int
+wellBehaved()
+{
+    std::map<int, int> ordered;
+    ordered[1] = 2;
+    int total = 0;
+    for (const auto &kv : ordered)
+        total += kv.second;
+    auto owned = std::make_unique<int>(total);
+    return *owned;
+}

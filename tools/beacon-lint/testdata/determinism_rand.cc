@@ -1,0 +1,30 @@
+// Fixture: determinism-rand must flag non-seedable randomness.
+
+#include <cstdlib>
+#include <random>
+
+int
+badRandomness()
+{
+    std::srand(42); // beacon-lint: expect(determinism-rand)
+    int x = std::rand(); // beacon-lint: expect(determinism-rand)
+    std::random_device rd; // beacon-lint: expect(determinism-rand)
+    return x + int(rd());
+}
+
+int
+goodRandomness()
+{
+    // The repo's own deterministic generator is fine.
+    beacon::Rng rng(7);
+    // An identifier ending in "rand" must not fire.
+    int brand(int seed);
+    return int(rng()) + brand(3);
+}
+
+int
+auditedRandomness()
+{
+    std::srand(1); // beacon-lint: allow(determinism-rand)
+    return std::rand(); // beacon-lint: allow(determinism-rand)
+}

@@ -1,0 +1,38 @@
+// Fixture: determinism-unordered-iter must flag range-for over
+// unordered containers declared in the same file, and only those.
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+void
+emitStats()
+{
+    std::unordered_map<int, int> counts;
+    std::unordered_set<long> seen;
+    std::map<int, int> sorted;
+
+    for (const auto &kv : counts) { // beacon-lint: expect(determinism-unordered-iter)
+        (void)kv;
+    }
+    for (long v : seen) { // beacon-lint: expect(determinism-unordered-iter)
+        (void)v;
+    }
+    for (const auto &kv : sorted) { // ordered: fine
+        (void)kv;
+    }
+    for (int i = 0; i < 4; ++i) { // classic for: fine
+        (void)i;
+    }
+}
+
+void
+auditedIteration()
+{
+    std::unordered_map<int, int> histogram;
+    // Order-independent accumulation (commutative integer sums).
+    // beacon-lint: allow(determinism-unordered-iter)
+    for (const auto &kv : histogram) {
+        (void)kv;
+    }
+}

@@ -1,0 +1,39 @@
+// Fixture: determinism-wallclock must flag host-time sources and
+// honour allow() annotations. Not compiled — scanned by --self-test.
+
+#include <chrono>
+#include <ctime>
+
+double
+wallSeconds()
+{
+    auto t0 = std::chrono::system_clock::now(); // beacon-lint: expect(determinism-wallclock)
+    auto t1 = std::chrono::steady_clock::now(); // beacon-lint: expect(determinism-wallclock)
+    std::time_t now = time(nullptr); // beacon-lint: expect(determinism-wallclock)
+    (void)t0;
+    (void)t1;
+    return double(now);
+}
+
+double
+falsePositives()
+{
+    // Identifiers that merely contain "time" must not fire.
+    double run_time = runTime();
+    double uptime = lifetime(run_time);
+    const char *msg = "system_clock in a string is fine";
+    (void)msg;
+    return uptime;
+}
+
+double
+auditedWallClock()
+{
+    // Progress reporting that never reaches golden output.
+    // beacon-lint: allow(determinism-wallclock)
+    auto t = std::chrono::steady_clock::now();
+    auto u = std::chrono::steady_clock::now(); // beacon-lint: allow(determinism-wallclock)
+    (void)t;
+    (void)u;
+    return 0;
+}

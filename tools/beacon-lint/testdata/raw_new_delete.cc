@@ -1,0 +1,37 @@
+// Fixture: raw-new-delete must flag manual allocation but leave
+// deleted special members and identifiers alone.
+
+#include <memory>
+
+struct Widget
+{
+    Widget(const Widget &) = delete; // deleted member: fine
+    Widget &operator=(const Widget &) = delete; // fine
+};
+
+void
+manualAllocation()
+{
+    int *p = new int[4]; // beacon-lint: expect(raw-new-delete)
+    delete[] p; // beacon-lint: expect(raw-new-delete)
+    Widget *w = new Widget; // beacon-lint: expect(raw-new-delete)
+    delete w; // beacon-lint: expect(raw-new-delete)
+}
+
+void
+ownedAllocation()
+{
+    auto w = std::make_unique<Widget>();
+    // Words embedding "new"/"delete" must not fire: renewal,
+    // undeleted.
+    int renewal = 0;
+    int undeleted = renewal;
+    (void)undeleted;
+}
+
+void
+auditedAllocation(Widget *arena)
+{
+    // Placement-style arena handoff, audited.
+    delete arena; // beacon-lint: allow(raw-new-delete)
+}

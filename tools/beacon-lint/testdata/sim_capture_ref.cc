@@ -1,0 +1,30 @@
+// Fixture: sim-capture-ref must flag EventQueue callbacks that
+// capture by reference (the callback can outlive the scheduling
+// scope), including lambdas on a continuation line.
+
+void
+scheduleCallbacks(EventQueue &eq)
+{
+    int local = 0;
+
+    eq.scheduleIn(10, [&] { ++local; }); // beacon-lint: expect(sim-capture-ref)
+    eq.scheduleIn(10, [&local] { ++local; }); // beacon-lint: expect(sim-capture-ref)
+    eq.schedule(20, // beacon-lint: expect(sim-capture-ref)
+                [&local](Tick now) { local += int(now); });
+
+    // By-value captures are safe.
+    eq.scheduleIn(10, [local] { consume(local); });
+    eq.scheduleAt(30, [](Tick now) { consume(int(now)); });
+
+    // Moved-in state is safe too.
+    auto cb = makeCallback();
+    eq.scheduleIn(10, [cb = std::move(cb)] { cb(); });
+}
+
+void
+auditedCapture(EventQueue &eq, Stats &stats)
+{
+    // 'stats' outlives the queue; audited and annotated.
+    // beacon-lint: allow(sim-capture-ref)
+    eq.scheduleIn(10, [&stats] { stats.bump(); });
+}

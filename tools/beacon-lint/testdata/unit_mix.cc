@@ -1,0 +1,45 @@
+// Fixture: unit-mix must flag arithmetic recombining distinct strong
+// unit types, both direct construction and via the value() escape
+// hatch. (The type system rejects the first form at compile time;
+// the lint reports it even in headers that never get compiled.)
+
+#include "common/units.hh"
+
+using namespace beacon;
+
+double
+mixedArithmetic()
+{
+    auto broken = Cycles{4} + Bytes{8}; // beacon-lint: expect(unit-mix)
+
+    Cycles cycles{100};
+    Bytes bytes{64};
+    Picojoules energy{2.5};
+
+    double a = cycles.value() + bytes.value(); // beacon-lint: expect(unit-mix)
+    double b = energy.value() / bytes.value(); // beacon-lint: expect(unit-mix)
+    return a + b + double(broken.value());
+}
+
+double
+sameUnitArithmetic()
+{
+    Cycles first{1};
+    Cycles second{2};
+    Bytes payload{32};
+    // Same dimension: fine (and ratio() is the idiomatic form).
+    double scale = first.value() + second.value();
+    // Scalar scaling keeps the dimension: fine.
+    Bytes doubled = payload * 2;
+    return scale + double(doubled.value());
+}
+
+double
+auditedCrossing(Cycles cycles, Bytes bytes)
+{
+    // Dimension-crossing math belongs in named helpers
+    // (cyclesToTicks, transferTime); this audited site predates
+    // them.
+    // beacon-lint: allow(unit-mix)
+    return cycles.value() * bytes.value();
+}
