@@ -13,7 +13,7 @@
  * concurrently, and results are merged in submission order so the
  * printed tables and emitted JSON are bit-identical to a serial run.
  * Every harness accepts `--json <path>` and writes the
- * beacon-bench-1 schema (see EXPERIMENTS.md); with
+ * beacon-bench-2 schema (see EXPERIMENTS.md); with
  * BEACON_BENCH_JSON_NO_WALL=1 the wall-clock fields are omitted so
  * two emissions of the same sweep compare byte-for-byte.
  */
@@ -22,6 +22,7 @@
 #define BEACON_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -132,14 +133,35 @@ struct BenchOptions
     /** Regex over "dataset/label"; non-matching points are skipped
      *  (empty = run everything). */
     std::string filter;
+    /** Directory for per-point Chrome traces ("" = tracing off). */
+    std::string trace_dir;
+    /** Directory for per-point time series ("" = sampling off). */
+    std::string timeseries_dir;
+    /** Sampling interval for --timeseries, in simulated ns. */
+    std::uint64_t sample_interval_ns = 10000; // 10 us
+    /** Report the host-side event-loop self-profile in the JSON. */
+    bool self_profile = false;
 };
 
-/** Parse `--json <path>`, `--list`, `--filter <regex>`; exits with
- *  usage on anything else. */
+/**
+ * Parse the shared harness flags; exits with usage on anything else.
+ * `--trace` / `--timeseries` take an optional directory (default:
+ * the current directory) and write one file per executed sweep
+ * point, named from the harness and the point's dataset/label — the
+ * names are a pure function of the sweep, so reruns and different
+ * BEACON_BENCH_JOBS values produce byte-identical artefacts.
+ */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
     BenchOptions opts;
+    // The optional directory operand: consume argv[i+1] unless it is
+    // absent or the next flag.
+    const auto dir_operand = [&](int &i) -> std::string {
+        if (i + 1 < argc && argv[i + 1][0] != '-')
+            return argv[++i];
+        return ".";
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
@@ -148,15 +170,116 @@ parseBenchArgs(int argc, char **argv)
             opts.list = true;
         } else if (arg == "--filter" && i + 1 < argc) {
             opts.filter = argv[++i];
+        } else if (arg == "--trace") {
+            opts.trace_dir = dir_operand(i);
+        } else if (arg == "--timeseries") {
+            opts.timeseries_dir = dir_operand(i);
+        } else if (arg == "--sample-interval-ns" && i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v >= 1)
+                opts.sample_interval_ns = std::uint64_t(v);
+        } else if (arg == "--self-profile") {
+            opts.self_profile = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json <path>] [--list] "
-                         "[--filter <regex>]\n",
+                         "[--filter <regex>] [--trace [dir]] "
+                         "[--timeseries [dir]] "
+                         "[--sample-interval-ns <n>] "
+                         "[--self-profile]\n",
                          argv[0]);
             std::exit(2);
         }
     }
     return opts;
+}
+
+/**
+ * The per-machine telemetry configuration the flags ask for, layered
+ * over the BEACON_TRACE / BEACON_TIMESERIES_NS / BEACON_SELF_PROFILE
+ * environment (flags only ever turn features on).
+ */
+inline obs::ObsConfig
+obsConfigFor(const BenchOptions &opts)
+{
+    obs::ObsConfig cfg = obs::ObsConfig::fromEnv();
+    if (!opts.trace_dir.empty())
+        cfg.trace = true;
+    if (!opts.timeseries_dir.empty() && cfg.sample_interval == 0)
+        cfg.sample_interval = opts.sample_interval_ns * 1000; // ->ps
+    if (opts.self_profile)
+        cfg.self_profile = true;
+    return cfg;
+}
+
+/** "harness_dataset_label" with non-filename characters mapped to
+ *  '-' — the deterministic per-point artefact stem. */
+inline std::string
+obsFileStem(const std::string &harness, const SweepKey &key)
+{
+    std::string stem = harness + "_" + key.dataset + "_" + key.label;
+    for (char &c : stem)
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '_' && c != '.')
+            c = '-';
+    return stem;
+}
+
+/**
+ * End-of-point telemetry emission: stop sampling (while the machine
+ * and any orchestrator series callbacks are still alive), write the
+ * per-point trace / time-series files, and snapshot the self-profile
+ * into the outcome. No stdout output — the determinism gates diff
+ * harness stdout byte-for-byte.
+ */
+inline void
+emitObsOutputs(NdpSystem &system, const BenchOptions &opts,
+               const std::string &harness, const SweepKey &key,
+               SweepOutcome &out)
+{
+    obs::Observability *o = system.observability();
+    if (!o)
+        return;
+    o->finish();
+    // The JSON records the artefact names relative to the --trace /
+    // --timeseries directory, keeping the report independent of
+    // where the caller pointed the output (determinism diffs compare
+    // reports from different directories).
+    if (!opts.trace_dir.empty() && o->trace()) {
+        out.trace_file = obsFileStem(harness, key) + ".trace.json";
+        o->writeTrace(opts.trace_dir + "/" + out.trace_file);
+    }
+    if (!opts.timeseries_dir.empty() && o->sampler()) {
+        out.timeseries_file =
+            obsFileStem(harness, key) + ".timeseries.json";
+        o->writeTimeseries(opts.timeseries_dir + "/" +
+                           out.timeseries_file);
+    }
+    if (o->selfProfiling())
+        out.self_profile = o->selfProfile();
+}
+
+/**
+ * enqueueRun with telemetry: the machine is built with the
+ * flag-derived ObsConfig and the point's artefacts are emitted
+ * before the outcome is returned.
+ */
+inline std::size_t
+enqueueRunObs(SweepRunner &runner, const std::string &harness,
+              const BenchOptions &opts, const SweepKey &key,
+              SystemParams params, const Workload &workload,
+              std::size_t tasks = 0)
+{
+    params.obs = obsConfigFor(opts);
+    return runner.enqueue(
+        key, [params, &workload, tasks, harness, opts,
+              key](RunContext &) {
+            SweepOutcome out;
+            NdpSystem system(params, workload);
+            out.result = system.run(tasks);
+            emitObsOutputs(system, opts, harness, key, out);
+            return out;
+        });
 }
 
 /** Hand the sweep-point controls (--list / --filter) to a runner. */
@@ -276,7 +399,7 @@ statOf(const SweepOutcome &outcome, const char *key)
 inline void
 ladderPanel(
     SweepRunner &runner, SweepReport &report,
-    const std::string &title,
+    const BenchOptions &opts, const std::string &title,
     const std::vector<std::pair<std::string, const Workload *>>
         &datasets,
     const SystemParams &hw_baseline,
@@ -288,13 +411,16 @@ ladderPanel(
         enqueueCpuBaseline(runner, name, *workload,
                            ladder.back().params.opts.kmc_single_pass);
         for (const LadderStep &step : ladder)
-            runner.enqueueRun({name, step.label}, step.params,
-                              *workload, tasks);
-        runner.enqueueRun({name, hw_baseline.name}, hw_baseline,
-                          *workload, tasks);
-        runner.enqueueRun({name, ladder.back().params.name + "-ideal"},
-                          ladder.back().params.idealized(), *workload,
+            enqueueRunObs(runner, report.harness, opts,
+                          {name, step.label}, step.params, *workload,
                           tasks);
+        enqueueRunObs(runner, report.harness, opts,
+                      {name, hw_baseline.name}, hw_baseline,
+                      *workload, tasks);
+        enqueueRunObs(runner, report.harness, opts,
+                      {name, ladder.back().params.name + "-ideal"},
+                      ladder.back().params.idealized(), *workload,
+                      tasks);
     }
     const std::vector<SweepOutcome> outcomes = runner.run();
     if (runner.listOnly()) {

@@ -36,12 +36,12 @@ main(int argc, char **argv)
     applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig12_fm_seeding", runner);
 
-    ladderPanel(runner, report,
+    ladderPanel(runner, report, opts,
                 "Fig. 12(a,b): BEACON-D (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconDLadder(/*with_coalescing=*/true));
 
-    ladderPanel(runner, report,
+    ladderPanel(runner, report, opts,
                 "Fig. 12(c,d): BEACON-S (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconSLadder(/*with_single_pass=*/false));

@@ -35,12 +35,12 @@ main(int argc, char **argv)
     applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig14_hash_seeding", runner);
 
-    ladderPanel(runner, report,
+    ladderPanel(runner, report, opts,
                 "Fig. 14(a,b): BEACON-D (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconDLadder(/*with_coalescing=*/false));
 
-    ladderPanel(runner, report,
+    ladderPanel(runner, report, opts,
                 "Fig. 14(c,d): BEACON-S (speedup over 48-thread CPU)",
                 datasets, SystemParams::medal(),
                 beaconSLadder(/*with_single_pass=*/false));

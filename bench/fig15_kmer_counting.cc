@@ -32,12 +32,12 @@ main(int argc, char **argv)
     applyBenchControls(runner, opts);
     SweepReport report = makeReport("fig15_kmer_counting", runner);
 
-    ladderPanel(runner, report,
+    ladderPanel(runner, report, opts,
                 "Fig. 15(a,b): BEACON-D (speedup over 48-thread CPU)",
                 datasets, SystemParams::nest(),
                 beaconDLadder(/*with_coalescing=*/false));
 
-    ladderPanel(runner, report,
+    ladderPanel(runner, report, opts,
                 "Fig. 15(c,d): BEACON-S (speedup over 48-thread CPU)",
                 datasets, SystemParams::nest(),
                 beaconSLadder(/*with_single_pass=*/true));

@@ -82,10 +82,12 @@ smallSpec(const Workload &workload, unsigned index)
 
 SweepOutcome
 runPoint(const SweepKey &key, const QosPoint &point,
-         const Workload &bulk, const Workload &small,
-         std::uint64_t seed)
+         const BenchOptions &opts, const Workload &bulk,
+         const Workload &small, std::uint64_t seed)
 {
-    NdpSystem system(serviceMachine());
+    SystemParams machine = serviceMachine();
+    machine.obs = obsConfigFor(opts);
+    NdpSystem system(machine);
     OrchestratorParams params;
     params.scheduler = point.policy;
     params.seed = seed;
@@ -121,6 +123,9 @@ runPoint(const SweepKey &key, const QosPoint &point,
         out.stats.emplace_back(tag + ".energy_pj",
                                tenant.energy_pj.value());
     }
+    // Telemetry while the orchestrator (whose sampler series
+    // callbacks reference it) is still alive.
+    emitObsOutputs(system, opts, "multi_tenant_qos", key, out);
     return out;
 }
 
@@ -163,7 +168,7 @@ main(int argc, char **argv)
         const SweepKey key{point.dataset,
                            schedulerName(point.policy)};
         runner.enqueue(key, [&, point, key](RunContext &ctx) {
-            return runPoint(key, point, bulk, small,
+            return runPoint(key, point, opts, bulk, small,
                             0xBEACC0DEull ^ ctx.index);
         });
     }

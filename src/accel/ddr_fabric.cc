@@ -41,7 +41,8 @@ DdrFabric::hopChannel(unsigned channel, Bytes bytes,
 {
     const Tick done = channels.at(channel)->accept(curTick(), bytes);
     const Tick latency = p.ideal ? 0 : p.channel_latency;
-    eq.schedule(done + latency, [fn = std::move(next)] { fn(); });
+    eq.schedule(done + latency, [fn = std::move(next)] { fn(); },
+                EventCat::Cxl);
 }
 
 Counter &
@@ -74,7 +75,7 @@ DdrFabric::sendTagged(NodeId src, NodeId dst,
     };
 
     if (src == dst) {
-        eq.scheduleIn(0, finish);
+        eq.scheduleIn(0, finish, EventCat::Cxl);
         return;
     }
 
@@ -92,10 +93,11 @@ DdrFabric::sendTagged(NodeId src, NodeId dst,
     hopChannel(src.sw, wire,
                [this, dst, wire, host_fwd,
                 fn = std::move(finish)]() mutable {
-                   eq.scheduleIn(host_fwd, [this, dst, wire,
-                                            fn = std::move(fn)]() mutable {
+                   eq.scheduleIn(host_fwd,
+                                 [this, dst, wire,
+                                  fn = std::move(fn)]() mutable {
                        hopChannel(dst.sw, wire, std::move(fn));
-                   });
+                   }, EventCat::Cxl);
                });
 }
 

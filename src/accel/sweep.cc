@@ -213,6 +213,45 @@ writeStatPairs(
     os << "}";
 }
 
+/**
+ * One record's "self_profile" object: totals, throughput, and the
+ * non-empty per-category breakdown (all wall-clock based, so only
+ * ever emitted under include_runtime).
+ */
+void
+writeSelfProfileJson(std::ostream &os, const obs::SelfProfileResult &sp)
+{
+    os << "      \"self_profile\": {\n";
+    os << "        \"events\": " << sp.events << ",\n";
+    os << "        \"wall_seconds\": "
+       << jsonNumber(sp.wall_seconds) << ",\n";
+    os << "        \"events_per_second\": "
+       << jsonNumber(sp.eventsPerSecond()) << ",\n";
+    os << "        \"top_categories\": [";
+    const std::vector<std::string> top = sp.topCategories();
+    for (std::size_t i = 0; i < top.size(); ++i)
+        os << (i ? ", " : "") << "\"" << top[i] << "\"";
+    os << "],\n";
+    os << "        \"categories\": {";
+    bool first = true;
+    for (std::size_t c = 0; c < sp.by_cat.size(); ++c) {
+        const obs::SelfProfileCat &cat = sp.by_cat[c];
+        if (!cat.events)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n          \"" << eventCatName(EventCat(c))
+           << "\": {\"events\": " << cat.events
+           << ", \"wall_seconds\": " << jsonNumber(cat.wall_seconds)
+           << ", \"max_event_seconds\": "
+           << jsonNumber(cat.max_event_seconds) << "}";
+    }
+    if (!first)
+        os << "\n        ";
+    os << "}\n      },\n";
+}
+
 } // namespace
 
 void
@@ -224,7 +263,7 @@ writeSweepJson(std::ostream &os, const SweepReport &report,
     const auto saved_precision = os.precision(17);
 
     os << "{\n";
-    os << "  \"schema\": \"beacon-bench-1\",\n";
+    os << "  \"schema\": \"beacon-bench-2\",\n";
     os << "  \"harness\": \"" << jsonEscape(report.harness)
        << "\",\n";
     os << "  \"bench_scale\": " << report.bench_scale << ",\n";
@@ -247,9 +286,18 @@ writeSweepJson(std::ostream &os, const SweepReport &report,
         // their exact byte shape.
         if (rec.skipped)
             os << "      \"skipped\": true,\n";
-        if (include_runtime)
+        if (!rec.trace_file.empty())
+            os << "      \"trace_file\": \""
+               << jsonEscape(rec.trace_file) << "\",\n";
+        if (!rec.timeseries_file.empty())
+            os << "      \"timeseries_file\": \""
+               << jsonEscape(rec.timeseries_file) << "\",\n";
+        if (include_runtime) {
             os << "      \"wall_seconds\": "
                << jsonNumber(rec.wall_seconds) << ",\n";
+            if (rec.self_profile.enabled)
+                writeSelfProfileJson(os, rec.self_profile);
+        }
         os << "      \"stats\": ";
         writeStatPairs(os, rec.stats, "      ");
         os << ",\n";

@@ -30,6 +30,7 @@
 #include "accel/system.hh"
 #include "accel/workload.hh"
 #include "common/rng.hh"
+#include "obs/self_profile.hh"
 
 namespace beacon
 {
@@ -54,6 +55,13 @@ struct SweepOutcome
     /** True when the job was cancelled before it ran (a previously
      *  submitted job threw). */
     bool skipped = false;
+    /** Telemetry artefacts written by this point ("" = none).
+     *  Deterministic paths: emitted even in no-wall JSON. */
+    std::string trace_file;
+    std::string timeseries_file;
+    /** Host-side event-loop profile (enabled=false when off;
+     *  wall-clock based, reported only with include_runtime). */
+    obs::SelfProfileResult self_profile;
 };
 
 /**

@@ -149,6 +149,12 @@ NdpSystem::NdpSystem(const SystemParams &params) : p(params)
 void
 NdpSystem::buildMachine()
 {
+    // Telemetry first: the trace sink must be attached to the queue
+    // before components construct (they cache the sink pointer).
+    if (p.obs.enabled())
+        observability_ =
+            std::make_unique<obs::Observability>(eq, p.obs);
+
     const unsigned num_dimms = p.num_groups * p.dimms_per_group;
     auto is_cxlg = [&](unsigned dimm) {
         return std::find(p.cxlg_dimms.begin(), p.cxlg_dimms.end(),
@@ -291,6 +297,24 @@ NdpSystem::buildMachine()
     policy_proto.partition_primary = partition_primary;
 
     stat_dram_bytes = &registry.counter("system.dramBytesTotal");
+
+    // Machine-level time series (per-tenant series are registered
+    // by setTenantLayout / the orchestrator as tenants arrive).
+    if (obs::Sampler *sampler = obsSampler()) {
+        // Every link byte counter is named "<link>.bytes"; the sum
+        // over them is total fabric traffic.
+        sampler->addCounterRate("fabric_gbps", registry, ".bytes",
+                                1e-9);
+        sampler->addCounterRate("dram_gbps", registry,
+                                "system.dramBytesTotal", 1e-9);
+        // peBusyTotalTicks advances by (busy PEs * ps); divided by
+        // the interval and the PE count it is mean utilisation.
+        const double total_pes =
+            double(ndps.size()) * double(p.pes_per_module);
+        sampler->addCounterRate("pe_util", registry,
+                                "peBusyTotalTicks",
+                                1e-12 / std::max(1.0, total_pes));
+    }
 }
 
 NdpSystem::~NdpSystem() = default;
@@ -351,7 +375,15 @@ NdpSystem::setTenantLayout(TenantId tenant,
 {
     BEACON_ASSERT(tenant != untenanted_id,
                   "tenant 0 is the untenanted default");
+    const bool known = tenant_layouts.count(tenant) != 0;
     tenant_layouts[tenant] = std::move(layout);
+    if (obs::Sampler *sampler = obsSampler(); sampler && !known) {
+        const std::string key = std::to_string(tenant.value());
+        sampler->addCounterRate("tenant" + key + ".dram_gbps",
+                                registry,
+                                "system.tenant" + key + ".dramBytes",
+                                1e-9);
+    }
 }
 
 void
@@ -441,7 +473,7 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
                                            [cb](Tick t) {
                                                (*cb)(t);
                                            });
-                          });
+                          }, EventCat::Ndp);
                       });
         });
         return;

@@ -35,6 +35,7 @@
 #include "memmgmt/framework.hh"
 #include "ndp/atomic_engine.hh"
 #include "ndp/ndp_module.hh"
+#include "obs/observability.hh"
 
 namespace beacon
 {
@@ -93,6 +94,14 @@ struct SystemParams
      * checker fleet-wide; harnesses may also set it explicitly.
      */
     CheckerConfig checkers = CheckerConfig::fromEnv();
+
+    /**
+     * Telemetry (src/obs): tracing, time-series sampling, and
+     * self-profiling. Defaults to the BEACON_TRACE /
+     * BEACON_TIMESERIES_NS / BEACON_SELF_PROFILE environment
+     * toggles; all-off (the default) builds no obs machinery.
+     */
+    obs::ObsConfig obs = obs::ObsConfig::fromEnv();
 
     PoolParams pool;          //!< used when !ddr_fabric
     DdrFabricParams ddr;      //!< used when ddr_fabric
@@ -234,6 +243,19 @@ class NdpSystem
     Tick peClockPs() const { return pe_clock_ps; }
     const SystemParams &params() const { return p; }
 
+    /** Telemetry bundle, or nullptr when ObsConfig is all-off. */
+    obs::Observability *observability()
+    {
+        return observability_.get();
+    }
+
+    /** Time-series sampler, or nullptr when sampling is off. */
+    obs::Sampler *
+    obsSampler()
+    {
+        return observability_ ? observability_->sampler() : nullptr;
+    }
+
     /** NDP module of a partition (per-tenant stat inspection). */
     const NdpModule &ndpModule(unsigned partition) const
     {
@@ -289,6 +311,10 @@ class NdpSystem
 
     EventQueue eq;
     StatRegistry registry;
+
+    /** Telemetry; constructed before any component so the trace
+     *  sink is attached when components cache it. */
+    std::unique_ptr<obs::Observability> observability_;
 
     std::unique_ptr<PoolFabric> pool_fabric;
     std::unique_ptr<DdrFabric> ddr_fabric;

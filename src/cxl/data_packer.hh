@@ -85,11 +85,14 @@ class DataPacker
             flushNow();
         } else if (!timeout_armed) {
             timeout_armed = true;
-            timeout_ev = eq.scheduleIn(p.flush_timeout, [this] {
-                timeout_armed = false;
-                if (!pending.empty())
-                    flushNow();
-            });
+            timeout_ev = eq.scheduleIn(
+                p.flush_timeout,
+                [this] {
+                    timeout_armed = false;
+                    if (!pending.empty())
+                        flushNow();
+                },
+                EventCat::Cxl);
         }
     }
 

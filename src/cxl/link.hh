@@ -12,6 +12,7 @@
 
 #include "check/link_checker.hh"
 #include "cxl/bandwidth_server.hh"
+#include "obs/trace.hh"
 #include "sim/sim_object.hh"
 
 namespace beacon
@@ -50,7 +51,13 @@ class CxlLink : public SimObject
           up(params.ideal ? -1.0 : params.gb_per_s),
           stat_bytes(stat("bytes")),
           stat_transfers(stat("transfers"))
-    {}
+    {
+        if (obs::TraceSink *sink = BEACON_TRACE_SINK(eq)) {
+            trace = sink;
+            trace_down = sink->track(name + ".down");
+            trace_up = sink->track(name + ".up");
+        }
+    }
 
     /**
      * Transfer @p bytes in direction @p dir; @p on_arrival fires when
@@ -74,8 +81,23 @@ class CxlLink : public SimObject
         }
         stat_bytes += double(bytes.value());
         ++stat_transfers;
+        if (trace) {
+            // Wire-occupancy span: the window the flit serialises
+            // over the lane bundle (zero length on ideal links).
+            const Tick busy_start =
+                server.ideal()
+                    ? serialized
+                    : serialized -
+                          transferTime(bytes, server.rateGBps());
+            trace->completeWithId(dir == LinkDir::Downstream
+                                      ? trace_down
+                                      : trace_up,
+                                  "flit", busy_start, serialized,
+                                  bytes.value());
+        }
         eq.schedule(arrive,
-                    [cb = std::move(on_arrival), arrive] { cb(arrive); });
+                    [cb = std::move(on_arrival), arrive] { cb(arrive); },
+                    EventCat::Cxl);
     }
 
     /**
@@ -131,6 +153,9 @@ class CxlLink : public SimObject
     CxlLinkChecker *checker = nullptr;
     unsigned checker_chan_down = 0;
     unsigned checker_chan_up = 0;
+    obs::TraceSink *trace = nullptr;
+    obs::TrackId trace_down = 0;
+    obs::TrackId trace_up = 0;
     Counter &stat_bytes;
     Counter &stat_transfers;
 };

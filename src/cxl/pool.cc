@@ -156,7 +156,7 @@ PoolFabric::hopBus(unsigned sw, Bytes bytes,
                                  switches[sw].bus->ideal());
     }
     eq.schedule(done + p.switch_latency,
-                [fn = std::move(next)] { fn(); });
+                [fn = std::move(next)] { fn(); }, EventCat::Cxl);
 }
 
 void
@@ -204,7 +204,7 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
     };
 
     if (src == dst) {
-        eq.scheduleIn(0, deliver_all);
+        eq.scheduleIn(0, deliver_all, EventCat::Cxl);
         return;
     }
 
@@ -294,7 +294,7 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
             hopBus(hop.sw, wire, next);
             break;
           case Hop::Kind::Delay:
-            eq.scheduleIn(hop.delay, next);
+            eq.scheduleIn(hop.delay, next, EventCat::Cxl);
             break;
         }
     };

@@ -26,8 +26,33 @@ DramController::DramController(const std::string &name, EventQueue &eq,
     if (params.checkers.dram_protocol) {
         protocol_checker = std::make_unique<DramProtocolChecker>(
             name, geom, timing, params.checkers);
+    }
+    if (obs::TraceSink *sink = BEACON_TRACE_SINK(eq)) {
+        trace = sink;
+        trace_ctrl = sink->track(name);
+        for (unsigned r = 0; r < geom.ranks; ++r) {
+            const std::string rank_name =
+                name + ".r" + std::to_string(r);
+            trace_rank.push_back(sink->track(rank_name));
+            for (unsigned g = 0; g < geom.bank_groups; ++g)
+                trace_bg.push_back(sink->track(
+                    rank_name + ".bg" + std::to_string(g)));
+        }
+        // Span lengths: the analytic occupancy each command implies
+        // (row open, precharge, data burst, refresh busy).
+        trace_dur_act = timing.t_rcd * timing.t_ck_ps;
+        trace_dur_pre = timing.t_rp * timing.t_ck_ps;
+        trace_dur_col = timing.t_bl * timing.t_ck_ps;
+        trace_dur_ref = timing.t_rfc * timing.t_ck_ps;
+    }
+    if (protocol_checker || trace) {
+        // Single tap on the C/A bus shared by the shadow checker and
+        // the tracer, in that order.
         model.setCommandTap([this](const DramCommand &cmd) {
-            protocol_checker->observe(cmd);
+            if (protocol_checker)
+                protocol_checker->observe(cmd);
+            if (trace)
+                traceCommand(cmd);
         });
     }
     if (params.enable_refresh) {
@@ -35,9 +60,34 @@ DramController::DramController(const std::string &name, EventQueue &eq,
         for (unsigned r = 0; r < geom.ranks; ++r) {
             // Stagger refreshes across ranks.
             const Tick first = refi + r * (refi / geom.ranks);
-            eq.schedule(first, [this, r] { refreshTick(r); });
+            eq.schedule(first, [this, r] { refreshTick(r); },
+                        EventCat::Dram);
         }
     }
+}
+
+void
+DramController::traceCommand(const DramCommand &cmd)
+{
+    Tick dur = trace_dur_col;
+    switch (cmd.kind) {
+      case DramCommandKind::Act:
+        dur = trace_dur_act;
+        break;
+      case DramCommandKind::Pre:
+        dur = trace_dur_pre;
+        break;
+      case DramCommandKind::Refresh:
+        trace->complete(trace_rank[cmd.coord.rank], "REF", cmd.tick,
+                        cmd.tick + trace_dur_ref);
+        return;
+      default:
+        break;
+    }
+    const unsigned groups = model.geometry().bank_groups;
+    trace->complete(
+        trace_bg[cmd.coord.rank * groups + cmd.coord.bank_group],
+        dramCommandName(cmd.kind), cmd.tick, cmd.tick + dur);
 }
 
 DramController::~DramController() = default;
@@ -51,6 +101,8 @@ DramController::enqueue(MemRequest req)
                   "chip group out of range");
     req.enqueue_tick = curTick();
     queue.push_back(ActiveRequest{std::move(req), 0});
+    if (trace)
+        trace->counter(trace_ctrl, "queue", double(queue.size()));
     scheduleDecision(curTick());
 }
 
@@ -63,11 +115,14 @@ DramController::scheduleDecision(Tick t)
         eq.cancel(decision_event);
     decision_pending = true;
     decision_time = std::max(t, curTick());
-    decision_event = eq.schedule(decision_time, [this] {
-        decision_pending = false;
-        decision_time = max_tick;
-        decide();
-    });
+    decision_event = eq.schedule(
+        decision_time,
+        [this] {
+            decision_pending = false;
+            decision_time = max_tick;
+            decide();
+        },
+        EventCat::Dram);
 }
 
 void
@@ -171,6 +226,9 @@ DramController::decideOnce()
             // Request complete at data end.
             MemRequest done = std::move(ar.req);
             queue.erase(queue.begin() + best_ready.idx);
+            if (trace)
+                trace->counter(trace_ctrl, "queue",
+                               double(queue.size()));
             if (done.is_write) {
                 ++writes_done;
                 ++stat_writes;
@@ -183,7 +241,8 @@ DramController::decideOnce()
             if (done.on_complete) {
                 eq.schedule(data_end,
                             [cb = std::move(done.on_complete),
-                             data_end] { cb(data_end); });
+                             data_end] { cb(data_end); },
+                            EventCat::Dram);
             }
         }
         break;
@@ -205,13 +264,15 @@ DramController::refreshTick(unsigned rank)
     const Tick now = curTick();
     const Tick start = model.earliestRefresh(rank, now);
     if (start > now) {
-        eq.schedule(start, [this, rank] { refreshTick(rank); });
+        eq.schedule(start, [this, rank] { refreshTick(rank); },
+                    EventCat::Dram);
         return;
     }
     model.issueRefresh(rank, now);
     const Tick refi =
         model.timing().t_refi * model.timing().t_ck_ps;
-    eq.schedule(now + refi, [this, rank] { refreshTick(rank); });
+    eq.schedule(now + refi, [this, rank] { refreshTick(rank); },
+                EventCat::Dram);
     // Refresh may unblock nothing, but banks it closed need an ACT;
     // make sure a decision happens afterwards.
     scheduleDecision(model.refreshBusyUntil(rank));

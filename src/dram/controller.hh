@@ -24,6 +24,7 @@
 #include "check/checker_config.hh"
 #include "dram/dimm_timing.hh"
 #include "dram/types.hh"
+#include "obs/trace.hh"
 #include "sim/sim_object.hh"
 
 namespace beacon
@@ -105,6 +106,9 @@ class DramController : public SimObject
     /** Per-rank refresh bookkeeping. */
     void refreshTick(unsigned rank);
 
+    /** Emit a trace span for one C/A bus command. */
+    void traceCommand(const DramCommand &cmd);
+
     DimmTimingModel model;
     DramControllerParams params;
     std::unique_ptr<DramProtocolChecker> protocol_checker;
@@ -116,6 +120,18 @@ class DramController : public SimObject
 
     std::uint64_t reads_done = 0;
     std::uint64_t writes_done = 0;
+
+    // Tracing (null when off): one track per (rank, bank group) for
+    // ACT/PRE/column spans, one per rank for refresh, one for the
+    // controller's queue-depth counter.
+    obs::TraceSink *trace = nullptr;
+    obs::TrackId trace_ctrl = 0;
+    std::vector<obs::TrackId> trace_bg;
+    std::vector<obs::TrackId> trace_rank;
+    Tick trace_dur_act = 0;
+    Tick trace_dur_pre = 0;
+    Tick trace_dur_col = 0;
+    Tick trace_dur_ref = 0;
 
     Counter &stat_reads;
     Counter &stat_writes;

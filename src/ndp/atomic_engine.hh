@@ -88,12 +88,15 @@ class AtomicEngine : public SimObject
         Pending &op = word_queues.at(word_key).front();
         op.read([this, word_key](Tick) {
             // Data at the engine: perform the arithmetic.
-            eq.scheduleIn(p.compute_latency, [this, word_key] {
-                Pending &op2 = word_queues.at(word_key).front();
-                op2.write([this, word_key](Tick t) {
-                    finish(word_key, t);
-                });
-            });
+            eq.scheduleIn(
+                p.compute_latency,
+                [this, word_key] {
+                    Pending &op2 = word_queues.at(word_key).front();
+                    op2.write([this, word_key](Tick t) {
+                        finish(word_key, t);
+                    });
+                },
+                EventCat::Ndp);
         });
     }
 

@@ -18,6 +18,25 @@ NdpModule::NdpModule(const std::string &name, EventQueue &eq,
 {
     BEACON_ASSERT(p.num_pes > 0, "NDP module needs at least one PE");
     BEACON_ASSERT(issue, "NDP module needs a memory path");
+    if (obs::TraceSink *sink = BEACON_TRACE_SINK(eq)) {
+        trace = sink;
+        trace_mod = sink->track(name);
+    }
+}
+
+unsigned
+NdpModule::acquireSlot()
+{
+    for (unsigned i = 0; i < slot_busy.size(); ++i) {
+        if (!slot_busy[i]) {
+            slot_busy[i] = 1;
+            return i;
+        }
+    }
+    slot_busy.push_back(1);
+    slot_tracks.push_back(trace->track(
+        name() + ".slot" + std::to_string(slot_busy.size() - 1)));
+    return unsigned(slot_busy.size() - 1);
 }
 
 void
@@ -28,6 +47,13 @@ NdpModule::submit(TaskPtr task, TaskDoneFn on_done)
     auto pending = std::make_unique<PendingTask>();
     pending->task = std::move(task);
     pending->on_done = std::move(on_done);
+    if (trace) {
+        pending->slot = acquireSlot();
+        pending->span = obs::TraceSpan(
+            trace, slot_tracks[pending->slot], "task", submit_seq++);
+        trace->counter(trace_mod, "resident",
+                       double(resident_tasks));
+    }
     ready_queue.push_back(std::move(pending));
     dispatch();
 }
@@ -108,6 +134,11 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
             ++tasks_completed;
             ++stat_tasks;
             TaskDoneFn on_done = std::move(pending->on_done);
+            if (trace) {
+                slot_busy[pending->slot] = 0;
+                trace->counter(trace_mod, "resident",
+                               double(resident_tasks));
+            }
             pending.reset();
             if (on_done)
                 on_done();
@@ -155,7 +186,7 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
             });
         }
         dispatch();
-    });
+    }, EventCat::Ndp);
 }
 
 void

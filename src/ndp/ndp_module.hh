@@ -24,6 +24,7 @@
 
 #include "check/checker_config.hh"
 #include "ndp/task.hh"
+#include "obs/trace.hh"
 #include "sim/sim_object.hh"
 
 namespace beacon
@@ -114,6 +115,9 @@ class NdpModule : public SimObject
         TaskPtr task;
         TaskDoneFn on_done;
         unsigned outstanding_accesses = 0;
+        /** Residency span submit -> completion (no-op when off). */
+        obs::TraceSpan span;
+        unsigned slot = 0;
     };
 
     /** Dispatch ready tasks onto idle PEs. */
@@ -150,6 +154,17 @@ class NdpModule : public SimObject
     /** Lazily created "tenant<k>.peBusyTicks" registry counters. */
     Counter &tenantBusyStat(TenantId tenant);
     std::map<TenantId, Counter *> tenant_busy_stats;
+
+    // Tracing (null when off): tasks occupy numbered slot tracks so
+    // concurrent residency spans never overlap within one track.
+    obs::TraceSink *trace = nullptr;
+    obs::TrackId trace_mod = 0;
+    std::vector<char> slot_busy;
+    std::vector<obs::TrackId> slot_tracks;
+    std::uint64_t submit_seq = 0;
+
+    /** Lowest free slot track, growing the pool as needed. */
+    unsigned acquireSlot();
 };
 
 } // namespace beacon

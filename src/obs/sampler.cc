@@ -1,0 +1,194 @@
+#include "sampler.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace beacon::obs
+{
+
+namespace
+{
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+Sampler::Sampler(EventQueue &eq, Tick interval)
+    : eq(eq), interval_(interval)
+{
+    BEACON_ASSERT(interval > 0, "sampler interval must be positive");
+}
+
+Sampler::~Sampler()
+{
+    if (armed)
+        eq.cancel(pending_ev);
+}
+
+void
+Sampler::addLevel(std::string label, std::function<double()> read,
+                  double scale)
+{
+    BEACON_ASSERT(rows_.empty(),
+                  "series must be registered before sampling starts");
+    series.push_back({std::move(label), std::move(read),
+                      SeriesKind::Level, scale});
+}
+
+void
+Sampler::addRate(std::string label, std::function<double()> read,
+                 double scale)
+{
+    BEACON_ASSERT(rows_.empty(),
+                  "series must be registered before sampling starts");
+    Series s{std::move(label), std::move(read), SeriesKind::Rate,
+             scale};
+    s.prev = s.read();
+    series.push_back(std::move(s));
+}
+
+void
+Sampler::addCounterRate(std::string label, const StatRegistry &stats,
+                        std::string substring, double scale)
+{
+    addRate(std::move(label),
+            [&stats, substring = std::move(substring)] {
+                return stats.sumMatching(substring);
+            },
+            scale);
+}
+
+void
+Sampler::start()
+{
+    if (armed)
+        return;
+    armed = true;
+    last_sample_tick = eq.now();
+    reschedule();
+}
+
+void
+Sampler::reschedule()
+{
+    pending_ev = eq.scheduleIn(
+        interval_,
+        [this] {
+            sampleNow();
+            reschedule();
+        },
+        EventCat::Sampler);
+}
+
+void
+Sampler::sampleNow()
+{
+    const Tick now = eq.now();
+    const Tick dt = now - last_sample_tick;
+    if (dt == 0)
+        return;
+    const double dt_seconds = double(dt) * 1e-12; // ticks are ps
+    Row row;
+    row.tick = now;
+    row.values.reserve(series.size());
+    for (Series &s : series) {
+        const double cur = s.read();
+        if (s.kind == SeriesKind::Level) {
+            row.values.push_back(cur * s.scale);
+        } else {
+            row.values.push_back((cur - s.prev) * s.scale /
+                                 dt_seconds);
+            s.prev = cur;
+        }
+    }
+    rows_.push_back(std::move(row));
+    last_sample_tick = now;
+}
+
+void
+Sampler::finish()
+{
+    if (!armed)
+        return;
+    eq.cancel(pending_ev);
+    armed = false;
+    // Final partial interval so the tail of the run is not lost.
+    sampleNow();
+}
+
+std::vector<std::string>
+Sampler::labels() const
+{
+    std::vector<std::string> out;
+    out.reserve(series.size());
+    for (const Series &s : series)
+        out.push_back(s.label);
+    return out;
+}
+
+void
+Sampler::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"schema\": \"beacon-timeseries-1\",\n";
+    os << "  \"interval_ticks\": " << interval_ << ",\n";
+    os << "  \"series\": [";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << "\"" << escape(series[i].label) << "\"";
+    }
+    os << "],\n";
+    os << "  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r)
+            os << ",";
+        os << "\n    {\"tick\": " << rows_[r].tick << ", \"values\": [";
+        for (std::size_t i = 0; i < rows_[r].values.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << jsonNumber(rows_[r].values[i]);
+        }
+        os << "]}";
+    }
+    if (!rows_.empty())
+        os << "\n  ";
+    os << "]\n}\n";
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const Series &s : series)
+        os << "," << s.label;
+    os << "\n";
+    for (const Row &row : rows_) {
+        os << row.tick;
+        for (const double v : row.values)
+            os << "," << jsonNumber(v);
+        os << "\n";
+    }
+}
+
+} // namespace beacon::obs

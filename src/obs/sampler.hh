@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tick-driven time-series sampling of registered metrics.
+ *
+ * The Sampler schedules itself on the EventQueue every N ticks
+ * (EventCat::Sampler) and snapshots a set of registered series:
+ * either instantaneous levels (queue depth, utilisation read-outs) or
+ * per-interval rates derived from monotonically increasing counters
+ * (bytes -> GB/s). Being event-driven, sampling is part of the
+ * deterministic schedule and its output is bit-stable across hosts
+ * and worker counts.
+ *
+ * All run loops in the repo drain the queue through predicates
+ * (drainUntil / orchestrator completion), so the sampler's pending
+ * self-reschedule never stalls a run; finish() cancels it and records
+ * one final partial-interval row.
+ */
+
+#ifndef BEACON_OBS_SAMPLER_HH
+#define BEACON_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace beacon::obs
+{
+
+/** How a registered series turns readings into row values. */
+enum class SeriesKind
+{
+    /** Report read() * scale as-is. */
+    Level,
+    /** Report (read() - previous) * scale / interval_seconds. */
+    Rate,
+};
+
+class Sampler
+{
+  public:
+    /** One sampled row: absolute tick plus one value per series. */
+    struct Row
+    {
+        Tick tick = 0;
+        std::vector<double> values;
+    };
+
+    Sampler(EventQueue &eq, Tick interval);
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Register an instantaneous series; call before start(). */
+    void addLevel(std::string label, std::function<double()> read,
+                  double scale = 1.0);
+
+    /** Register a per-interval rate over a monotonic reading. */
+    void addRate(std::string label, std::function<double()> read,
+                 double scale = 1.0);
+
+    /**
+     * Rate series over StatRegistry::sumMatching(@p substring) —
+     * the common case for counter-backed bandwidth series.
+     */
+    void addCounterRate(std::string label, const StatRegistry &stats,
+                        std::string substring, double scale = 1.0);
+
+    /** Arm the first sample at now() + interval. Idempotent. */
+    void start();
+
+    /**
+     * Cancel the pending sample and record one final
+     * partial-interval row if time advanced since the last sample.
+     * Idempotent; called before reading rows()/writing output.
+     */
+    void finish();
+
+    Tick interval() const { return interval_; }
+    std::size_t numSeries() const { return series.size(); }
+    const std::vector<Row> &rows() const { return rows_; }
+    std::vector<std::string> labels() const;
+
+    /** Versioned JSON time series ("beacon-timeseries-1"). */
+    void writeJson(std::ostream &os) const;
+
+    /** CSV: header "tick,<label>..." then one line per row. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    struct Series
+    {
+        std::string label;
+        std::function<double()> read;
+        SeriesKind kind;
+        double scale;
+        double prev = 0;
+    };
+
+    void sampleNow();
+    void reschedule();
+
+    EventQueue &eq;
+    Tick interval_;
+    EventId pending_ev = 0;
+    bool armed = false;
+    Tick last_sample_tick = 0;
+    std::vector<Series> series;
+    std::vector<Row> rows_;
+};
+
+} // namespace beacon::obs
+
+#endif // BEACON_OBS_SAMPLER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The sanctioned wall-clock API for host-side self-profiling.
+ *
+ * Simulation code must never read a wall clock (beacon-lint's
+ * determinism-wallclock check enforces this repo-wide). Self-profiling
+ * the simulator itself is the one legitimate exception, and this
+ * header is the single funnel for it: anything built on obs::WallClock
+ * is non-deterministic by definition and must only feed runtime-only
+ * report sections (never stats, traces, or golden output).
+ */
+// beacon-lint: allow-file(determinism-wallclock)
+
+#ifndef BEACON_OBS_WALL_CLOCK_HH
+#define BEACON_OBS_WALL_CLOCK_HH
+
+#include <chrono>
+
+namespace beacon::obs
+{
+
+/** Monotonic host clock wrapper. */
+class WallClock
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    static TimePoint now() { return std::chrono::steady_clock::now(); }
+
+    /** Seconds elapsed since @p since. */
+    static double
+    secondsSince(TimePoint since)
+    {
+        return std::chrono::duration<double>(now() - since).count();
+    }
+};
+
+} // namespace beacon::obs
+
+#endif // BEACON_OBS_WALL_CLOCK_HH

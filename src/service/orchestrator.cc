@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/sampler.hh"
 
 namespace beacon
 {
@@ -12,16 +13,15 @@ namespace beacon
 namespace
 {
 
-/** Latency quantile of a sorted sample, deterministic index rule. */
+/**
+ * Latency quantile of an ascending Tick sample set via the shared
+ * exact ceil-rank rule (quantileSorted, sim/stats.hh).
+ */
 double
 quantileMs(const std::vector<Tick> &sorted, double q)
 {
-    if (sorted.empty())
-        return 0;
-    const std::size_t n = sorted.size();
-    const std::size_t rank = std::size_t(std::ceil(q * double(n)));
-    const std::size_t idx = rank == 0 ? 0 : std::min(n - 1, rank - 1);
-    return double(sorted[idx]) * 1e-9; // ps -> ms
+    std::vector<double> as_double(sorted.begin(), sorted.end());
+    return quantileSorted(as_double, q) * 1e-9; // ps -> ms
 }
 
 double
@@ -39,7 +39,8 @@ meanMs(const std::vector<Tick> &samples)
 
 PoolOrchestrator::PoolOrchestrator(NdpSystem &sys,
                                    const OrchestratorParams &params)
-    : system(sys), p(params), scheduler(makeScheduler(p.scheduler))
+    : system(sys), p(params), scheduler(makeScheduler(p.scheduler)),
+      trace(BEACON_TRACE_SINK(sys.eventQueue()))
 {
 }
 
@@ -87,6 +88,11 @@ PoolOrchestrator::addTenant(const TenantSpec &spec)
     state.spec = spec;
     state.spec.name = request.app;
     state.id = id;
+    const std::string tag = "tenant" + std::to_string(id.value());
+    state.latency_ms_stat = &system.statsMutable().sampleStat(
+        "service." + tag + ".jobLatencyMs");
+    if (trace)
+        state.track = trace->track(tag);
     tenants.push_back(std::move(state));
     return id;
 }
@@ -140,9 +146,18 @@ PoolOrchestrator::submitJob(TenantState &tenant)
     job->tasks_remaining = tenant.spec.tasks_per_job;
     ++tenant.jobs_submitted;
     ++jobs_outstanding;
+    if (trace) {
+        job->slot = acquireJobSlot(tenant);
+        job->span = obs::TraceSpan(
+            trace, tenant.slot_tracks[job->slot], "job", job->id);
+    }
 
-    if (admitJob(tenant, job))
+    if (admitJob(tenant, job)) {
+        if (trace)
+            trace->counter(tenant.track, "ready",
+                           double(tenant.ready.size()));
         return;
+    }
     // "memory clean disallowed" means a co-tenant's transient
     // reservation is in the way: wait for a release. Anything else
     // (the scratch quota alone exceeds a DIMM) can never succeed.
@@ -152,7 +167,28 @@ PoolOrchestrator::submitJob(TenantState &tenant)
     } else {
         ++tenant.jobs_rejected;
         --jobs_outstanding;
+        if (trace) {
+            // Rejected jobs never ran: no span, free the slot.
+            job->span.abandon();
+            tenant.slot_busy[job->slot] = 0;
+        }
     }
+}
+
+unsigned
+PoolOrchestrator::acquireJobSlot(TenantState &tenant)
+{
+    for (unsigned i = 0; i < tenant.slot_busy.size(); ++i) {
+        if (!tenant.slot_busy[i]) {
+            tenant.slot_busy[i] = 1;
+            return i;
+        }
+    }
+    tenant.slot_busy.push_back(1);
+    tenant.slot_tracks.push_back(trace->track(
+        "tenant" + std::to_string(tenant.id.value()) + ".job" +
+        std::to_string(tenant.slot_busy.size() - 1)));
+    return unsigned(tenant.slot_busy.size() - 1);
 }
 
 void
@@ -224,7 +260,13 @@ PoolOrchestrator::dispatch()
             tenant.queue_waits.push_back(
                 ready.job->first_dispatch_tick -
                 ready.job->submit_tick);
+            if (trace)
+                trace->instantWithId(tenant.track, "dispatch",
+                                     ready.job->id);
         }
+        if (trace)
+            trace->counter(tenant.track, "ready",
+                           double(tenant.ready.size()));
 
         WorkloadContext ctx;
         ctx.kmc_single_pass = true; // multi-pass is single-tenant only
@@ -253,6 +295,12 @@ PoolOrchestrator::onTaskDone(TenantId tenant_id,
     // Job complete.
     const Tick now = system.eventQueue().now();
     tenant.job_latencies.push_back(now - job->submit_tick);
+    tenant.latency_ms_stat->sample(double(now - job->submit_tick) *
+                                   1e-9);
+    if (trace) {
+        job->span.close();
+        tenant.slot_busy[job->slot] = 0;
+    }
     ++tenant.jobs_completed;
     --jobs_outstanding;
     if (!job->scratch_app.empty())
@@ -272,6 +320,25 @@ PoolOrchestrator::run()
 
     EventQueue &eq = system.eventQueue();
     system.setSlotFreedFn([this] { dispatch(); });
+
+    // Per-tenant time series: ready-queue depth (level) and a live
+    // p99 estimate from the streaming latency histogram. Registered
+    // here, before the first sampling interval can elapse.
+    if (obs::Sampler *sampler = system.obsSampler()) {
+        for (TenantState &tenant : tenants) {
+            const std::string tag =
+                "tenant" + std::to_string(tenant.id.value());
+            sampler->addLevel(tag + ".queue_depth",
+                              [this, id = tenant.id] {
+                                  return double(
+                                      stateOf(id).ready.size());
+                              });
+            sampler->addLevel(tag + ".p99_ms",
+                              [stat = tenant.latency_ms_stat] {
+                                  return stat->percentile(0.99);
+                              });
+        }
+    }
 
     std::uint64_t target_jobs = 0;
     for (TenantState &tenant : tenants) {
@@ -296,7 +363,7 @@ PoolOrchestrator::run()
                 eq.schedule(at, [this, id = tenant.id] {
                     submitJob(stateOf(id));
                     dispatch();
-                });
+                }, EventCat::Service);
             }
         }
     }

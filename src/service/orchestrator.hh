@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "accel/system.hh"
+#include "obs/trace.hh"
 #include "service/job.hh"
 #include "service/scheduler.hh"
 
@@ -115,6 +116,9 @@ class PoolOrchestrator
         unsigned tasks_remaining = 0;
         /** Scratch reservation held until completion ("" = none). */
         std::string scratch_app;
+        /** Queued -> completed trace span (no-op when off). */
+        obs::TraceSpan span;
+        unsigned slot = 0;
     };
 
     /** One ready task: generator index plus owning job. */
@@ -139,6 +143,15 @@ class PoolOrchestrator
         std::deque<std::shared_ptr<Job>> admission_wait;
         std::vector<Tick> job_latencies;
         std::vector<Tick> queue_waits;
+        /** Streaming latency histogram (registry-owned), feeding
+         *  live percentile series without retaining every sample. */
+        SampleStat *latency_ms_stat = nullptr;
+        // Tracing: a tenant summary track (queue-depth counter,
+        // dispatch instants) plus numbered job-slot tracks so
+        // concurrent job spans never overlap within one track.
+        obs::TrackId track = 0;
+        std::vector<char> slot_busy;
+        std::vector<obs::TrackId> slot_tracks;
     };
 
     /** Submit one job of @p tenant at the current tick. */
@@ -163,6 +176,9 @@ class PoolOrchestrator
     /** All counters by tenant must sum to the untagged totals. */
     void verifyConservation() const;
 
+    /** Lowest free job-slot track of @p tenant (tracing only). */
+    unsigned acquireJobSlot(TenantState &tenant);
+
     TenantState &stateOf(TenantId tenant);
 
     NdpSystem &system;
@@ -174,6 +190,8 @@ class PoolOrchestrator
     std::uint64_t jobs_outstanding = 0;
     bool ran = false;
     std::unique_ptr<Scheduler> scheduler;
+    /** Machine's trace sink (null when tracing is off). */
+    obs::TraceSink *trace = nullptr;
 };
 
 } // namespace beacon

@@ -6,12 +6,12 @@ namespace beacon
 {
 
 EventId
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, Callback cb, EventCat cat)
 {
     BEACON_ASSERT(when >= _now, "scheduling into the past: when=", when,
                   " now=", _now);
     const EventId id = next_seq;
-    queue.push(Entry{when, next_seq, id});
+    queue.push(Entry{when, next_seq, id, cat});
     ++next_seq;
     live.insert(id);
     callbacks.emplace(id, std::move(cb));
@@ -19,9 +19,9 @@ EventQueue::schedule(Tick when, Callback cb)
 }
 
 EventId
-EventQueue::scheduleIn(Tick delta, Callback cb)
+EventQueue::scheduleIn(Tick delta, Callback cb, EventCat cat)
 {
-    return schedule(_now + delta, std::move(cb));
+    return schedule(_now + delta, std::move(cb), cat);
 }
 
 void
@@ -67,7 +67,13 @@ EventQueue::runOne()
         callbacks.erase(it);
         live.erase(top.id);
         ++executed;
-        cb();
+        if (profiler) {
+            profiler->beginEvent(top.cat, top.when);
+            cb();
+            profiler->endEvent(top.cat);
+        } else {
+            cb();
+        }
         return true;
     }
     return false;

@@ -23,8 +23,64 @@
 namespace beacon
 {
 
+namespace obs
+{
+class TraceSink; // src/obs — the sim layer only carries a pointer.
+} // namespace obs
+
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
+
+/**
+ * Coarse component category an event is attributed to.
+ *
+ * Used only for observability (self-profiling attribution of host
+ * time per subsystem); it has no effect on scheduling order.
+ */
+enum class EventCat : std::uint8_t
+{
+    Other = 0,
+    Dram,
+    Cxl,
+    Ndp,
+    Service,
+    Sampler,
+};
+
+inline constexpr std::size_t num_event_cats = 6;
+
+/** Stable lower-case name for an event category. */
+constexpr const char *
+eventCatName(EventCat cat)
+{
+    switch (cat) {
+      case EventCat::Dram: return "dram";
+      case EventCat::Cxl: return "cxl";
+      case EventCat::Ndp: return "ndp";
+      case EventCat::Service: return "service";
+      case EventCat::Sampler: return "sampler";
+      case EventCat::Other: break;
+    }
+    return "other";
+}
+
+/**
+ * Observer notified around every callback the queue executes.
+ *
+ * The sim layer defines only the interface; obs::SelfProfiler is the
+ * one implementation and is the sanctioned place for wall-clock use.
+ */
+class EventProfiler
+{
+  public:
+    virtual ~EventProfiler() = default;
+
+    /** Called just before a callback runs. */
+    virtual void beginEvent(EventCat cat, Tick when) = 0;
+
+    /** Called just after the same callback returns. */
+    virtual void endEvent(EventCat cat) = 0;
+};
 
 /**
  * A deterministic discrete-event queue.
@@ -48,17 +104,32 @@ class EventQueue
     /** Number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed; }
 
-    /** Number of events currently pending (including cancelled). */
-    std::size_t pending() const { return queue.size(); }
+    /**
+     * Number of live pending events (cancelled events excluded, even
+     * while their queue entries await lazy removal).
+     */
+    std::size_t pending() const { return live.size(); }
+
+    /**
+     * Size of the internal heap: live events plus cancelled entries
+     * that have not been popped yet. Only interesting for capacity
+     * accounting; use pending() for "how much work is left".
+     */
+    std::size_t pendingIncludingCancelled() const
+    {
+        return queue.size();
+    }
 
     /**
      * Schedule @p cb at absolute time @p when (>= now()).
      * @return an id usable with cancel().
      */
-    EventId schedule(Tick when, Callback cb);
+    EventId schedule(Tick when, Callback cb,
+                     EventCat cat = EventCat::Other);
 
     /** Schedule @p cb @p delta ticks from now. */
-    EventId scheduleIn(Tick delta, Callback cb);
+    EventId scheduleIn(Tick delta, Callback cb,
+                       EventCat cat = EventCat::Other);
 
     /** Cancel a pending event; cancelling a fired event is a no-op. */
     void cancel(EventId id);
@@ -82,12 +153,29 @@ class EventQueue
     /** Drop all pending events and reset time to zero. */
     void reset();
 
+    /**
+     * Install (or clear, with nullptr) the host-side profiler that
+     * brackets every executed callback. Not owned.
+     */
+    void setProfiler(EventProfiler *p) { profiler = p; }
+
+    /**
+     * Attach (or clear) the trace sink components consult when they
+     * want to emit trace events. Not owned; components must treat a
+     * null sink as "tracing off".
+     */
+    void setTraceSink(obs::TraceSink *sink) { trace_sink = sink; }
+
+    /** Trace sink for this queue, or nullptr when tracing is off. */
+    obs::TraceSink *traceSink() const { return trace_sink; }
+
   private:
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
         EventId id;
+        EventCat cat;
 
         bool
         operator>(const Entry &other) const
@@ -105,6 +193,8 @@ class EventQueue
     Tick last_when = 0;
     std::uint64_t last_seq = 0;
     bool has_executed = false;
+    EventProfiler *profiler = nullptr;
+    obs::TraceSink *trace_sink = nullptr;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
     std::unordered_set<EventId> live;
     // Callbacks stored separately so Entry stays cheap to copy.

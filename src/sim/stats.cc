@@ -69,6 +69,73 @@ SampleStat::sample(double v)
     ++n;
     sum += v;
     sumsq += v * v;
+    ++hist[bucketIndex(v)];
+}
+
+std::size_t
+SampleStat::bucketIndex(double v)
+{
+    if (!(v > 0) || !std::isfinite(v))
+        return 0;
+    // frexp: v = m * 2^e with m in [0.5, 1) => v in [2^(e-1), 2^e).
+    int e = 0;
+    std::frexp(v, &e);
+    const long idx = long(e) - (bucket0_exp + 1) + 1;
+    if (idx <= 0)
+        return 0;
+    return std::min<std::size_t>(std::size_t(idx), num_buckets - 1);
+}
+
+double
+SampleStat::bucketLow(std::size_t b)
+{
+    if (b == 0)
+        return 0;
+    return std::ldexp(1.0, int(b) + bucket0_exp - 1);
+}
+
+double
+SampleStat::bucketHigh(std::size_t b)
+{
+    return std::ldexp(1.0, int(b) + bucket0_exp);
+}
+
+double
+SampleStat::percentile(double q) const
+{
+    if (n == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = std::uint64_t(std::ceil(q * double(n)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    std::size_t b = 0;
+    for (; b < num_buckets; ++b) {
+        seen += hist[b];
+        if (seen >= rank)
+            break;
+    }
+    if (b >= num_buckets)
+        b = num_buckets - 1;
+    const double lo = bucketLow(b);
+    const double hi = bucketHigh(b);
+    // Geometric midpoint of the bucket; bucket 0 has no positive
+    // lower edge, so report its upper edge scaled down instead.
+    const double mid = lo > 0 ? std::sqrt(lo * hi) : hi * 0.5;
+    return std::clamp(mid, minValue(), maxValue());
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t rank =
+        std::size_t(std::ceil(q * double(sorted.size())));
+    const std::size_t idx =
+        rank == 0 ? 0 : std::min(sorted.size() - 1, rank - 1);
+    return sorted[idx];
 }
 
 double

@@ -11,6 +11,7 @@
 #define BEACON_SIM_STATS_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,10 +63,23 @@ class VectorCounter
     std::vector<double> values;
 };
 
-/** Streaming sample statistics (count / mean / min / max / stddev). */
+/**
+ * Streaming sample statistics (count / mean / min / max / stddev)
+ * plus a fixed power-of-two bucket histogram for streaming
+ * percentile estimates.
+ *
+ * Bucket b holds samples in [2^(b-17), 2^(b-16)); bucket 0 also
+ * absorbs non-positive and underflowing samples, the last bucket
+ * absorbs overflow. The range 2^-17..2^47 comfortably covers both
+ * millisecond latencies and picosecond tick durations.
+ */
 class SampleStat
 {
   public:
+    static constexpr std::size_t num_buckets = 64;
+    /** Exponent of the upper edge of bucket 0 (2^bucket0_exp). */
+    static constexpr int bucket0_exp = -16;
+
     void sample(double v);
 
     std::uint64_t count() const { return n; }
@@ -74,6 +88,32 @@ class SampleStat
     double maxValue() const { return n ? mx : 0; }
     double variance() const;
     double stddev() const;
+
+    /** Histogram bucket index a sample of value @p v lands in. */
+    static std::size_t bucketIndex(double v);
+
+    /** Lower edge of bucket @p b (0 for bucket 0). */
+    static double bucketLow(std::size_t b);
+
+    /** Upper edge (exclusive) of bucket @p b. */
+    static double bucketHigh(std::size_t b);
+
+    const std::array<std::uint64_t, num_buckets> &buckets() const
+    {
+        return hist;
+    }
+
+    /**
+     * Streaming percentile estimate for quantile @p q in [0, 1].
+     *
+     * Finds the bucket holding the ceil(q*n)-th sample and returns
+     * its geometric midpoint, clamped into [minValue, maxValue] —
+     * accurate to within the power-of-two bucket width (a factor of
+     * sqrt(2)). Use quantileSorted() when the exact order statistic
+     * is required.
+     */
+    double percentile(double q) const;
+
     void reset() { *this = SampleStat{}; }
 
   private:
@@ -82,7 +122,15 @@ class SampleStat
     double sumsq = 0;
     double mn = 0;
     double mx = 0;
+    std::array<std::uint64_t, num_buckets> hist{};
 };
+
+/**
+ * Exact ceil-rank quantile of an ascending-sorted sample set: the
+ * element with rank ceil(q*n) (1-based), the historical rule used by
+ * the service-layer tenant reports. Returns 0 when empty.
+ */
+double quantileSorted(const std::vector<double> &sorted, double q);
 
 /**
  * Name-indexed registry of statistics.
@@ -113,6 +161,12 @@ class StatRegistry
     const std::map<std::string, VectorCounter> &vectorCounters() const
     {
         return vector_stats;
+    }
+
+    /** All sample stats, sorted by name. */
+    const std::map<std::string, SampleStat> &sampleStats() const
+    {
+        return sample_stats;
     }
 
     void dump(std::ostream &os) const;

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared golden-file comparison for determinism-gate tests.
+ *
+ * String tokens must match exactly; numeric tokens compare exactly
+ * when both are integers and to 1e-9 relative tolerance otherwise
+ * (tolerating residual libm variance across toolchains — the build
+ * compiles with -ffp-contract=off so FMA contraction cannot move
+ * results between build types).
+ *
+ * Goldens live in the source tree (BEACON_GOLDEN_DIR) so that
+ * BEACON_UPDATE_GOLDEN=1 regenerates them in place.
+ */
+
+#ifndef BEACON_TESTS_GOLDEN_COMPARE_HH
+#define BEACON_TESTS_GOLDEN_COMPARE_HH
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef BEACON_GOLDEN_DIR
+#error "BEACON_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace beacon::golden
+{
+
+inline std::string
+goldenPath(const std::string &name)
+{
+    return std::string(BEACON_GOLDEN_DIR) + "/" + name;
+}
+
+inline bool
+updateGoldens()
+{
+    const char *env = std::getenv("BEACON_UPDATE_GOLDEN");
+    return env && env[0] && env[0] != '0';
+}
+
+// ---------------------------------------------------------------
+// Numeric-tolerant comparison
+// ---------------------------------------------------------------
+
+inline bool
+numberStartsAt(const std::string &s, std::size_t i)
+{
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return true;
+    return c == '-' && i + 1 < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[i + 1]));
+}
+
+inline bool
+isIntegerToken(const std::string &token)
+{
+    return token.find_first_of(".eE") == std::string::npos;
+}
+
+/**
+ * Compare two JSON strings: non-numeric characters byte-for-byte,
+ * numbers exactly when both tokens are integers, else to 1e-9
+ * relative tolerance.
+ */
+inline void
+expectJsonNear(const std::string &got, const std::string &want,
+               const std::string &name)
+{
+    std::size_t i = 0, j = 0, numbers = 0;
+    while (i < got.size() && j < want.size()) {
+        if (numberStartsAt(got, i) && numberStartsAt(want, j)) {
+            std::size_t ni = 0, nj = 0;
+            const double a = std::stod(got.substr(i, 40), &ni);
+            const double b = std::stod(want.substr(j, 40), &nj);
+            const std::string ta = got.substr(i, ni);
+            const std::string tb = want.substr(j, nj);
+            if (isIntegerToken(ta) && isIntegerToken(tb)) {
+                ASSERT_EQ(a, b)
+                    << name << ": integer stat drifted near offset "
+                    << i << " ('" << ta << "' vs golden '" << tb
+                    << "')";
+            } else {
+                const double tol =
+                    1e-9 * std::max(std::abs(a), std::abs(b));
+                ASSERT_LE(std::abs(a - b), tol)
+                    << name << ": stat drifted near offset " << i
+                    << " ('" << ta << "' vs golden '" << tb << "')";
+            }
+            i += ni;
+            j += nj;
+            ++numbers;
+        } else {
+            ASSERT_EQ(got[i], want[j])
+                << name << ": structural mismatch at offset " << i
+                << "\ngot:    ..."
+                << got.substr(i > 20 ? i - 20 : 0, 60)
+                << "\ngolden: ..."
+                << want.substr(j > 20 ? j - 20 : 0, 60);
+            ++i;
+            ++j;
+        }
+    }
+    EXPECT_EQ(i, got.size()) << name << ": trailing output";
+    EXPECT_EQ(j, want.size()) << name << ": golden has more content";
+    EXPECT_GT(numbers, 0u) << name << ": no numbers compared";
+}
+
+/**
+ * Compare @p got against the checked-in golden @p file, or rewrite
+ * the golden in place under BEACON_UPDATE_GOLDEN=1.
+ */
+inline void
+checkGoldenString(const std::string &got, const std::string &file)
+{
+    const std::string path = goldenPath(file);
+    if (updateGoldens()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << got;
+        std::printf("updated golden %s\n", path.c_str());
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " — regenerate with BEACON_UPDATE_GOLDEN=1";
+    std::ostringstream want;
+    want << in.rdbuf();
+    expectJsonNear(got, want.str(), file);
+}
+
+} // namespace beacon::golden
+
+#endif // BEACON_TESTS_GOLDEN_COMPARE_HH

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Telemetry subsystem tests: TraceSink ring/span/JSON behaviour,
+ * tick-driven Sampler series, host-side self-profiling, the golden
+ * time series of a small fig12-shaped run, and the guarantee that
+ * turning tracing on does not perturb simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/report.hh"
+#include "accel/system.hh"
+#include "accel/workload.hh"
+#include "obs/observability.hh"
+#include "obs/sampler.hh"
+#include "obs/self_profile.hh"
+#include "obs/trace.hh"
+#include "service/orchestrator.hh"
+
+#include "golden_compare.hh"
+
+namespace beacon
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------
+
+TEST(TraceSink, RecordsEventsOldestFirst)
+{
+    EventQueue eq;
+    obs::TraceSink sink(eq, 8);
+    const obs::TrackId t = sink.track("t0");
+    EXPECT_EQ(sink.track("t0"), t); // same name, same track
+    sink.complete(t, "a", 0, 5);
+    eq.schedule(10, [&] {
+        sink.instant(t, "b");
+        sink.counter(t, "depth", 3.0);
+    });
+    eq.run();
+
+    const std::vector<obs::TraceEvent> evs = sink.snapshot();
+    ASSERT_EQ(evs.size(), 3u);
+    EXPECT_EQ(evs[0].phase, 'X');
+    EXPECT_EQ(evs[0].start, 0u);
+    EXPECT_EQ(evs[0].dur, 5u);
+    EXPECT_EQ(evs[1].phase, 'i');
+    EXPECT_EQ(evs[1].start, 10u);
+    EXPECT_EQ(evs[2].phase, 'C');
+    EXPECT_DOUBLE_EQ(evs[2].value, 3.0);
+    EXPECT_EQ(sink.numTracks(), 1u);
+    EXPECT_EQ(sink.droppedEvents(), 0u);
+}
+
+TEST(TraceSink, RingOverflowDropsOldestAndCountsIt)
+{
+    EventQueue eq;
+    obs::TraceSink sink(eq, 4);
+    const obs::TrackId t = sink.track("t0");
+    for (Tick i = 0; i < 6; ++i)
+        sink.complete(t, "e", i, i + 1);
+
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.capacity(), 4u);
+    EXPECT_EQ(sink.droppedEvents(), 2u);
+    // The ring keeps the most recent window: events 2..5 survive.
+    const std::vector<obs::TraceEvent> evs = sink.snapshot();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs.front().start, 2u);
+    EXPECT_EQ(evs.back().start, 5u);
+}
+
+TEST(TraceSpan, RaiiEmitsNestedSpans)
+{
+    EventQueue eq;
+    obs::TraceSink sink(eq);
+    const obs::TrackId t = sink.track("t0");
+    {
+        obs::TraceSpan outer(&sink, t, "outer");
+        eq.schedule(10, [] {});
+        eq.run();
+        {
+            obs::TraceSpan inner(&sink, t, "inner", 7);
+            eq.schedule(20, [] {});
+            eq.run();
+        } // inner closes at 20
+    }     // outer closes at 20
+
+    const std::vector<obs::TraceEvent> evs = sink.snapshot();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].start, 10u); // inner emitted first
+    EXPECT_EQ(evs[0].dur, 10u);
+    EXPECT_TRUE(evs[0].has_id);
+    EXPECT_EQ(evs[0].id, 7u);
+    EXPECT_EQ(evs[1].start, 0u);
+    EXPECT_EQ(evs[1].dur, 20u);
+}
+
+TEST(TraceSpan, MoveEmitsOnceAndAbandonEmitsNothing)
+{
+    EventQueue eq;
+    obs::TraceSink sink(eq);
+    const obs::TrackId t = sink.track("t0");
+    {
+        obs::TraceSpan a(&sink, t, "moved");
+        obs::TraceSpan b(std::move(a));
+        EXPECT_FALSE(a.active()); // NOLINT(bugprone-use-after-move)
+        EXPECT_TRUE(b.active());
+    }
+    EXPECT_EQ(sink.size(), 1u);
+    {
+        obs::TraceSpan c(&sink, t, "dropped");
+        c.abandon();
+    }
+    EXPECT_EQ(sink.size(), 1u);
+    // A default-constructed / null-sink span is inert.
+    obs::TraceSpan null_span(nullptr, 0, "x");
+    null_span.close();
+    EXPECT_EQ(sink.size(), 1u);
+}
+
+/** Brace/bracket balance outside string literals. */
+void
+expectBalancedJson(const std::string &json)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0);
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceSink, JsonIsWellFormedChromeFormat)
+{
+    EventQueue eq;
+    obs::TraceSink sink(eq);
+    const obs::TrackId t0 = sink.track("dimm0.r0.bg1");
+    const obs::TrackId t1 = sink.track("tenant1");
+    sink.complete(t0, "RD", 100, 200);
+    sink.completeWithId(t0, "flit", 200, 300, 42);
+    sink.instantWithId(t1, "dispatch", 7);
+    sink.counter(t1, "ready", 2.0);
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Metadata names both tracks inside pid 1.
+    EXPECT_NE(json.find("dimm0.r0.bg1"), std::string::npos);
+    EXPECT_NE(json.find("tenant1"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    // All four phases present.
+    for (const char *needle :
+         {"\"ph\":\"X\"", "\"ph\":\"i\"", "\"ph\":\"C\"",
+          "\"ph\":\"M\""})
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    // Ticks (ps) render as microseconds: 100 ps = 0.000100 us.
+    EXPECT_NE(json.find("0.000100"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------
+
+TEST(Sampler, LevelsAndRatesPerInterval)
+{
+    EventQueue eq;
+    obs::Sampler sampler(eq, 1000); // 1 ns interval
+    double level = 1.0;
+    double bytes = 0.0;
+    sampler.addLevel("depth", [&] { return level; });
+    sampler.addRate("gbps", [&] { return bytes; }, 1e-9);
+    sampler.start();
+
+    eq.schedule(500, [&] {
+        bytes = 1000;
+        level = 2;
+    });
+    eq.schedule(1500, [&] { bytes = 3000; });
+    eq.run(3000);
+    sampler.finish();
+
+    ASSERT_EQ(sampler.numSeries(), 2u);
+    const auto &rows = sampler.rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].tick, 1000u);
+    EXPECT_DOUBLE_EQ(rows[0].values[0], 2.0);
+    // 1000 bytes in 1 ns = 1000 GB/s at scale 1e-9.
+    EXPECT_DOUBLE_EQ(rows[0].values[1], 1000.0);
+    EXPECT_DOUBLE_EQ(rows[1].values[1], 2000.0);
+    EXPECT_DOUBLE_EQ(rows[2].values[1], 0.0);
+}
+
+TEST(Sampler, FinishRecordsPartialIntervalOnce)
+{
+    EventQueue eq;
+    obs::Sampler sampler(eq, 1000);
+    double bytes = 0.0;
+    sampler.addRate("gbps", [&] { return bytes; }, 1e-9);
+    sampler.start();
+    eq.run(1000); // one full interval
+    eq.schedule(1700, [&] { bytes = 700; });
+    while (eq.now() < 1700 && eq.runOne()) {
+    }
+    sampler.finish();
+    sampler.finish(); // idempotent
+
+    const auto &rows = sampler.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1].tick, 1700u);
+    // 700 bytes over the 0.7 ns partial interval = 1000 GB/s.
+    EXPECT_DOUBLE_EQ(rows[1].values[0], 1000.0);
+    // The cancelled self-reschedule must not linger in the queue.
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(Sampler, JsonAndCsvOutput)
+{
+    EventQueue eq;
+    obs::Sampler sampler(eq, 1000);
+    double v = 3.0;
+    sampler.addLevel("depth", [&] { return v; });
+    sampler.start();
+    eq.run(2000);
+    sampler.finish();
+
+    std::ostringstream json;
+    sampler.writeJson(json);
+    expectBalancedJson(json.str());
+    EXPECT_NE(json.str().find("\"beacon-timeseries-1\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"depth\""), std::string::npos);
+
+    std::ostringstream csv;
+    sampler.writeCsv(csv);
+    EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+              "tick,depth");
+}
+
+// ---------------------------------------------------------------
+// Self-profiling
+// ---------------------------------------------------------------
+
+TEST(SelfProfiler, AttributesEventsPerCategory)
+{
+    EventQueue eq;
+    obs::SelfProfiler prof;
+    eq.setProfiler(&prof);
+    eq.schedule(1, [] {}, EventCat::Dram);
+    eq.schedule(2, [] {}, EventCat::Dram);
+    eq.schedule(3, [] {}, EventCat::Cxl);
+    eq.schedule(4, [] {}); // EventCat::Other
+    eq.run();
+    eq.setProfiler(nullptr);
+
+    const obs::SelfProfileResult r = prof.result();
+    EXPECT_TRUE(r.enabled);
+    EXPECT_EQ(r.events, 4u);
+    EXPECT_EQ(r.by_cat[std::size_t(EventCat::Dram)].events, 2u);
+    EXPECT_EQ(r.by_cat[std::size_t(EventCat::Cxl)].events, 1u);
+    EXPECT_EQ(r.by_cat[std::size_t(EventCat::Other)].events, 1u);
+    EXPECT_GE(r.wall_seconds, 0.0);
+    const std::vector<std::string> top = r.topCategories();
+    EXPECT_LE(top.size(), 3u);
+    EXPECT_FALSE(top.empty());
+}
+
+// ---------------------------------------------------------------
+// Whole-machine behaviour
+// ---------------------------------------------------------------
+
+genomics::DatasetPreset
+smallPreset()
+{
+    genomics::DatasetPreset preset = genomics::seedingPresets()[3];
+    preset.genome.length = 1 << 13;
+    preset.reads.num_reads = 16;
+    return preset;
+}
+
+obs::ObsConfig
+allOnConfig()
+{
+    obs::ObsConfig cfg;
+    cfg.trace = true;
+    cfg.sample_interval = 1000000; // 1 us
+    cfg.self_profile = true;
+    return cfg;
+}
+
+TEST(Observability, TracingDoesNotPerturbTheSimulation)
+{
+#if !BEACON_OBS_ENABLED
+    GTEST_SKIP() << "telemetry compiled out (BEACON_OBS=OFF)";
+#endif
+    const FmSeedingWorkload workload(smallPreset());
+
+    SystemParams off = SystemParams::beaconD();
+    off.obs = obs::ObsConfig{}; // everything disabled
+    NdpSystem sys_off(off, workload);
+    const RunResult r_off = sys_off.run(8);
+
+    SystemParams on = SystemParams::beaconD();
+    on.obs = allOnConfig();
+    NdpSystem sys_on(on, workload);
+    const RunResult r_on = sys_on.run(8);
+
+    ASSERT_NE(sys_on.observability(), nullptr);
+    EXPECT_EQ(sys_off.observability(), nullptr);
+    EXPECT_GT(sys_on.observability()->trace()->size(), 0u);
+
+    // Bit-identical results and stats either way.
+    std::ostringstream json_off, json_on;
+    writeRunResultJson(json_off, r_off, 0);
+    writeRunResultJson(json_on, r_on, 0);
+    EXPECT_EQ(json_on.str(), json_off.str());
+    EXPECT_EQ(sys_on.stats().sumMatching("system.dramBytesTotal"),
+              sys_off.stats().sumMatching("system.dramBytesTotal"));
+    EXPECT_EQ(sys_on.stats().sumMatching(".bytes"),
+              sys_off.stats().sumMatching(".bytes"));
+}
+
+TEST(Observability, Fig12SmallTimeseriesGolden)
+{
+#if !BEACON_OBS_ENABLED
+    GTEST_SKIP() << "telemetry compiled out (BEACON_OBS=OFF)";
+#endif
+    const FmSeedingWorkload workload(smallPreset());
+    SystemParams params = SystemParams::beaconD();
+    params.obs = obs::ObsConfig{};
+    params.obs.sample_interval = 1000000; // 1 us
+    NdpSystem system(params, workload);
+    system.run(8);
+    ASSERT_NE(system.observability(), nullptr);
+    system.observability()->finish();
+
+    std::ostringstream os;
+    system.obsSampler()->writeJson(os);
+    golden::checkGoldenString(os.str(),
+                              "fig12_small_timeseries.json");
+}
+
+TEST(Observability, ServiceRunTracesTenants)
+{
+#if !BEACON_OBS_ENABLED
+    GTEST_SKIP() << "telemetry compiled out (BEACON_OBS=OFF)";
+#endif
+    const FmSeedingWorkload workload(smallPreset());
+    SystemParams params = SystemParams::beaconD();
+    params.name = "BEACON-D (service)";
+    params.pes_per_module = 4;
+    params.max_inflight_tasks = 2;
+    params.obs = allOnConfig();
+    NdpSystem system(params);
+
+    OrchestratorParams op;
+    op.seed = 0xBEACC0DEull;
+    PoolOrchestrator orchestrator(system, op);
+    TenantSpec spec;
+    spec.name = "bulk";
+    spec.workload = &workload;
+    spec.num_jobs = 3;
+    spec.tasks_per_job = 2;
+    spec.arrival.concurrency = 2;
+    ASSERT_NE(orchestrator.addTenant(spec), untenanted_id)
+        << orchestrator.lastError();
+    orchestrator.run();
+
+    obs::Observability *o = system.observability();
+    ASSERT_NE(o, nullptr);
+    o->finish();
+
+    std::ostringstream trace;
+    o->trace()->writeJson(trace);
+    expectBalancedJson(trace.str());
+    // Tenant job spans live on per-tenant slot tracks; dispatch
+    // instants on the tenant's own track.
+    EXPECT_NE(trace.str().find("tenant1.job0"), std::string::npos);
+    EXPECT_NE(trace.str().find("dispatch"), std::string::npos);
+
+    const std::vector<std::string> labels = o->sampler()->labels();
+    EXPECT_NE(std::find(labels.begin(), labels.end(),
+                        "tenant1.queue_depth"),
+              labels.end());
+    EXPECT_NE(std::find(labels.begin(), labels.end(),
+                        "tenant1.dram_gbps"),
+              labels.end());
+    EXPECT_FALSE(o->sampler()->rows().empty());
+    EXPECT_TRUE(o->selfProfiling());
+    EXPECT_GT(o->selfProfile().events, 0u);
+}
+
+} // namespace
+} // namespace beacon

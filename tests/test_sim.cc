@@ -54,6 +54,23 @@ TEST(EventQueue, CancelPreventsExecution)
     EXPECT_FALSE(fired);
 }
 
+TEST(EventQueue, PendingCountsLiveEventsOnly)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_EQ(eq.pendingIncludingCancelled(), 2u);
+    // A cancelled event leaves its queue entry behind until its tick
+    // is reached; pending() must not count it.
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.pendingIncludingCancelled(), 2u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.pendingIncludingCancelled(), 0u);
+}
+
 TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
 {
     EventQueue eq;
@@ -184,6 +201,58 @@ TEST(Stats, SampleStatMoments)
     EXPECT_DOUBLE_EQ(s.minValue(), 1.0);
     EXPECT_DOUBLE_EQ(s.maxValue(), 4.0);
     EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Stats, SampleStatHistogramPercentiles)
+{
+    SampleStat s;
+    for (int i = 1; i <= 1000; ++i)
+        s.sample(double(i));
+    // Power-of-two buckets: the estimate lands within the true
+    // value's bucket, i.e. within a factor of two.
+    const double p50 = s.percentile(0.50);
+    const double p99 = s.percentile(0.99);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+    EXPECT_GE(p99, 512.0);
+    EXPECT_LE(p99, 1000.0); // clamped to maxValue()
+    EXPECT_LE(p50, p99);
+    // Estimates stay inside the observed range (clamped to the
+    // true extremes) and within a 2x bucket of them.
+    EXPECT_GE(s.percentile(0.0), 1.0);
+    EXPECT_LE(s.percentile(0.0), 2.0);
+    EXPECT_GE(s.percentile(1.0), 512.0);
+    EXPECT_LE(s.percentile(1.0), 1000.0);
+}
+
+TEST(Stats, SampleStatHistogramEmptyAndSingle)
+{
+    SampleStat s;
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    s.sample(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 42.0);
+}
+
+TEST(Stats, SampleStatsAccessor)
+{
+    StatRegistry reg;
+    reg.sampleStat("a.latency").sample(1.0);
+    reg.sampleStat("b.latency").sample(2.0);
+    const auto &all = reg.sampleStats();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all.count("a.latency"), 1u);
+    EXPECT_DOUBLE_EQ(all.at("b.latency").mean(), 2.0);
+}
+
+TEST(Stats, QuantileSortedCeilRankRule)
+{
+    const std::vector<double> v{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.25), 10.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.5), 20.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.99), 40.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantileSorted({}, 0.5), 0.0);
 }
 
 TEST(Stats, ResetAllZeroes)
