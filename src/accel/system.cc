@@ -637,6 +637,10 @@ NdpSystem::pump()
                 fabric->send(NodeId::host(), ndp_nodes[part],
                              Bytes{32}, false,
                              [module, shared_task](Tick) {
+                                 // Runs inside the fabric delivery
+                                 // callback, so the mutation is
+                                 // already event-mediated.
+                                 // beacon-lint: shared-state(NdpModule.submit, event-queue-mediated)
                                  module->submit(
                                      std::move(*shared_task));
                              });
@@ -681,6 +685,9 @@ NdpSystem::serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done)
             NodeId::host(), ndp_nodes[part], Bytes{32}, false,
             tenant,
             [module, shared_task, shared_done](Tick) {
+                // Event-mediated: executes from the fabric
+                // delivery callback, not from the caller's stack.
+                // beacon-lint: shared-state(NdpModule.submit, event-queue-mediated)
                 module->submit(std::move(*shared_task),
                                std::move(*shared_done));
             });

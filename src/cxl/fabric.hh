@@ -15,7 +15,6 @@
 
 #include "common/units.hh"
 #include "cxl/node.hh"
-#include "ndp/task.hh"
 
 namespace beacon
 {

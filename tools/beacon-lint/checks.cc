@@ -98,6 +98,45 @@ checkRand(const SourceFile &file, std::vector<Finding> &out)
     }
 }
 
+// --- determinism-time-seed ------------------------------------------
+
+const char *const time_seed_name = "determinism-time-seed";
+
+/**
+ * Clock-seeded randomness. The wallclock/rand checks catch the raw
+ * ingredients; this one catches the *combination* that silently
+ * de-determinises a run even when each ingredient looks sanctioned:
+ * an RNG constructed or re-seeded from a time source.
+ */
+void
+checkTimeSeed(const SourceFile &file, std::vector<Finding> &out)
+{
+    // srand(time(...)) / srand(clock()) — the classic C idiom.
+    static const std::regex srand_re(
+        "\\bsrand\\s*\\(\\s*(?:unsigned\\s*\\(?\\s*)?"
+        "(time|clock)\\s*\\(");
+    // An engine constructed from a clock reading.
+    static const std::regex ctor_re(
+        "\\b(mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+        "ranlux(?:24|48)(?:_base)?|knuth_b|Rng)\\s+\\w+\\s*[({]"
+        "[^;]*(chrono|time_since_epoch|::now\\s*\\(|"
+        "\\btime\\s*\\(|\\bclock\\s*\\()");
+    // An engine re-seeded from a clock reading.
+    static const std::regex seed_re(
+        "[.>]\\s*seed\\s*\\([^;]*(chrono|time_since_epoch|"
+        "::now\\s*\\(|\\btime\\s*\\(|\\bclock\\s*\\()");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        const std::string &code = file.code[i];
+        if (std::regex_search(code, srand_re) ||
+            std::regex_search(code, ctor_re) ||
+            std::regex_search(code, seed_re))
+            addFinding(out, file, i, time_seed_name,
+                       "RNG seeded from a clock; seeds must come "
+                       "from the experiment configuration so runs "
+                       "replay bit-identically");
+    }
+}
+
 // --- determinism-unordered-iter -------------------------------------
 
 const char *const unordered_name = "determinism-unordered-iter";
@@ -346,6 +385,16 @@ isAllowed(const SourceFile &file, std::size_t line0,
 
 } // namespace
 
+bool
+findingAllowed(const SourceFile &file, std::size_t line,
+               const std::string &check)
+{
+    std::vector<std::string> file_allows;
+    for (const std::string &comment : file.comments)
+        parseMarkers(comment, "allow-file", file_allows);
+    return isAllowed(file, line - 1, check, file_allows);
+}
+
 Layer
 layerOf(const std::string &path)
 {
@@ -372,6 +421,10 @@ allChecks()
          "non-seedable randomness (rand, std::random_device)",
          {Layer::Src, Layer::Bench, Layer::Examples},
          checkRand},
+        {time_seed_name,
+         "RNG constructed or re-seeded from a time source",
+         {Layer::Src, Layer::Bench, Layer::Examples},
+         checkTimeSeed},
         {unordered_name,
          "iteration over unordered containers (hash-order leakage)",
          {Layer::Src, Layer::Bench, Layer::Examples},

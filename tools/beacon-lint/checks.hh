@@ -82,6 +82,15 @@ lintFile(const SourceFile &file,
          bool respect_layers);
 
 /**
+ * True when a finding of @p check on 1-based @p line is suppressed
+ * by an allow()/allow-file() annotation. lintFile applies this
+ * internally; the whole-program passes (analysis.hh) produce their
+ * findings outside lintFile and filter through this directly.
+ */
+bool findingAllowed(const SourceFile &file, std::size_t line,
+                    const std::string &check);
+
+/**
  * Lines annotated `beacon-lint: expect(<check>)`, as (check, line)
  * pairs — the fixture contract the self-test asserts against.
  */

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The include/layer dependency pass.
+ *
+ * Extracts every project-internal `#include "..."` edge, maps both
+ * endpoints to src/ modules, and enforces the architecture DAG:
+ * an edge whose target module is neither the source module itself,
+ * a tap module, nor in the source module's allowed dependency set is
+ * a `layer-back-edge`. File-level include cycles (impossible to
+ * compile headers aside, a cycle means the layering has collapsed)
+ * are reported as `include-cycle` once per cycle, at the
+ * lexicographically smallest participating file.
+ */
+
+#include "analysis.hh"
+
+#include <filesystem>
+#include <regex>
+
+namespace fs = std::filesystem;
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+const char *const back_edge_name = "layer-back-edge";
+const char *const cycle_name = "include-cycle";
+
+/** Resolve one quoted include to an existing file, or "". */
+std::string
+resolveInclude(const Project &project, const std::string &from,
+               const std::string &target)
+{
+    // Quoted project includes are spelled relative to src/ (the one
+    // include directory CMake exports); same-directory includes are
+    // the fallback for intra-module shorthand.
+    const fs::path as_src = fs::path(project.root) / "src" / target;
+    std::error_code ec;
+    if (fs::is_regular_file(as_src, ec))
+        return SourceCache::canonical(as_src.string());
+    const fs::path sibling = fs::path(from).parent_path() / target;
+    if (fs::is_regular_file(sibling, ec))
+        return SourceCache::canonical(sibling.string());
+    return "";
+}
+
+} // namespace
+
+std::vector<IncludeEdge>
+includeEdges(const Project &project)
+{
+    static const std::regex include_re(
+        "^\\s*#\\s*include\\s*\"([^\"]+)\"");
+    std::vector<IncludeEdge> edges;
+    for (const std::string &path : project.files) {
+        std::string error;
+        const SourceFile *file = project.cache->get(path, error);
+        if (!file)
+            continue;
+        for (std::size_t i = 0; i < file->lines(); ++i) {
+            // Match the raw line: the lexer blanks string literals
+            // in the code view, which hides the include target.
+            std::smatch m;
+            if (!std::regex_search(file->raw[i], m, include_re))
+                continue;
+            const std::string to =
+                resolveInclude(project, path, m[1].str());
+            if (!to.empty())
+                edges.push_back({path, i + 1, to});
+        }
+    }
+    return edges;
+}
+
+void
+runIncludeGraphPass(const Project &project,
+                    std::vector<Finding> &out)
+{
+    const std::vector<IncludeEdge> edges = includeEdges(project);
+
+    // --- DAG enforcement -------------------------------------------
+    for (const IncludeEdge &edge : edges) {
+        const std::string from_mod = project.moduleOf(edge.from);
+        const std::string to_mod = project.moduleOf(edge.to);
+        if (from_mod.empty() || to_mod.empty() ||
+            from_mod == to_mod)
+            continue;
+        if (isTapModule(to_mod) && !isTapModule(from_mod))
+            continue; // any component may include a tap
+        const std::set<std::string> *allowed =
+            allowedDeps(from_mod);
+        if (allowed && allowed->count(to_mod))
+            continue;
+        out.push_back(
+            {edge.from, edge.line, back_edge_name,
+             "module '" + from_mod + "' must not include '" +
+                 project.relative(edge.to) + "' (module '" + to_mod +
+                 "' is not in its allowed dependency set; see the "
+                 "layer DAG in docs/static_analysis.md)"});
+    }
+
+    // --- cycle detection -------------------------------------------
+    std::map<std::string, std::vector<const IncludeEdge *>> adjacency;
+    for (const IncludeEdge &edge : edges)
+        adjacency[edge.from].push_back(&edge);
+
+    // Iterative DFS with an explicit colour map; a back edge to a
+    // grey node closes a cycle. Each cycle is canonicalised by its
+    // smallest member so overlapping traversals report it once.
+    enum class Colour { White, Grey, Black };
+    std::map<std::string, Colour> colour;
+    std::set<std::vector<std::string>> reported;
+
+    for (const std::string &rootFile : project.files) {
+        if (colour.count(rootFile))
+            continue;
+        struct Frame
+        {
+            std::string node;
+            std::size_t next = 0;
+        };
+        std::vector<Frame> stack{{rootFile, 0}};
+        colour[rootFile] = Colour::Grey;
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            const auto &outgoing = adjacency[frame.node];
+            if (frame.next >= outgoing.size()) {
+                colour[frame.node] = Colour::Black;
+                stack.pop_back();
+                continue;
+            }
+            const IncludeEdge *edge = outgoing[frame.next++];
+            auto it = colour.find(edge->to);
+            if (it == colour.end()) {
+                colour[edge->to] = Colour::Grey;
+                stack.push_back({edge->to, 0});
+                continue;
+            }
+            if (it->second != Colour::Grey)
+                continue;
+            // Extract the cycle: stack suffix from edge->to.
+            std::vector<std::string> cycle;
+            for (auto jt = stack.rbegin(); jt != stack.rend();
+                 ++jt) {
+                cycle.push_back(jt->node);
+                if (jt->node == edge->to)
+                    break;
+            }
+            std::vector<std::string> canon = cycle;
+            std::sort(canon.begin(), canon.end());
+            if (!reported.insert(canon).second)
+                continue;
+            const std::string &anchor = canon.front();
+            // Report at the anchor's include line that participates.
+            std::size_t line = 1;
+            std::string next_in_cycle;
+            for (std::size_t i = 0; i < cycle.size(); ++i) {
+                if (cycle[i] != anchor)
+                    continue;
+                // cycle is in reverse DFS order: the node the
+                // anchor includes is the previous element (or the
+                // closing edge target for the first element).
+                next_in_cycle = i == 0 ? edge->to : cycle[i - 1];
+                // The DFS walks stack-backwards, so cycle[i - 1] is
+                // actually the node that includes the anchor; find
+                // the anchor's own outgoing edge inside the cycle
+                // instead.
+                break;
+            }
+            std::set<std::string> members(cycle.begin(),
+                                          cycle.end());
+            for (const IncludeEdge *candidate :
+                 adjacency[anchor]) {
+                if (members.count(candidate->to)) {
+                    line = candidate->line;
+                    next_in_cycle = candidate->to;
+                    break;
+                }
+            }
+            std::string names;
+            for (const std::string &member : canon) {
+                if (!names.empty())
+                    names += ", ";
+                names += project.relative(member);
+            }
+            out.push_back(
+                {anchor, line, cycle_name,
+                 "include cycle through {" + names + "}"});
+        }
+    }
+}
+
+} // namespace beacon_lint

@@ -3,29 +3,49 @@
  * beacon-lint driver.
  *
  * Modes:
- *   beacon-lint -p build/compile_commands.json [paths...]
- *       Lint every translation unit in the compile database plus any
- *       extra files/directories given (headers are not listed in the
- *       database, so CI passes src/ as an extra path). Exit 1 when
+ *   beacon-lint -p build/compile_commands.json \
+ *               --repo-root . [paths...]
+ *       Run the per-file checks over every translation unit in the
+ *       compile database plus any extra files/directories given
+ *       (headers are not listed in the database, so CI passes src/
+ *       as an extra path), then — when --repo-root is given — the
+ *       whole-program passes (include/layer DAG, shared-state
+ *       inventory) over everything beneath <root>/src. Exit 1 when
  *       any unsuppressed finding remains.
  *
+ *   beacon-lint --repo-root . --shard-map out.json
+ *       Additionally write the `beacon-shardmap-1` report. The
+ *       committed golden (tools/beacon-lint/shardmap_golden.json)
+ *       must reproduce bit-identically; ctest and CI enforce it.
+ *
  *   beacon-lint --self-test tools/beacon-lint/testdata
- *       Run every check over the fixture files and assert that the
- *       findings match the `// beacon-lint: expect(<check>)` markers
- *       exactly — each check must both fire where expected and stay
- *       quiet where an allow() annotation suppresses it.
+ *       Run every per-file check over the fixture files, and the
+ *       whole-program passes over the mini source tree under
+ *       testdata/project/, asserting that the findings match the
+ *       `// beacon-lint: expect(<check>)` markers exactly — each
+ *       check must both fire where expected and stay quiet where an
+ *       allow()/shared-state() annotation suppresses it.
+ *
+ * Every file is lexed at most once per process (SourceCache), and
+ * findings are deduplicated on (file, line, check): a header reached
+ * through the compile database, an explicit path, and the include
+ * closure reports each finding once.
  */
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "analysis.hh"
 #include "checks.hh"
+#include "source_cache.hh"
 #include "source_file.hh"
 
 namespace fs = std::filesystem;
@@ -34,12 +54,22 @@ using namespace beacon_lint;
 namespace
 {
 
+/** Whole-program pass diagnostics (not per-file Check entries). */
+const std::pair<const char *, const char *> pass_checks[] = {
+    {"layer-back-edge",
+     "include edge violating the architecture DAG"},
+    {"include-cycle", "file-level include cycle"},
+    {"shared-state-mutation",
+     "unannotated cross-component direct mutation"},
+};
+
 int
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
         "usage: %s [-p compile_commands.json] [--check NAME]...\n"
+        "          [--repo-root DIR] [--shard-map FILE]\n"
         "          [--self-test DIR] [--list-checks] [paths...]\n",
         argv0);
     return 2;
@@ -81,8 +111,7 @@ compileDatabaseFiles(const std::string &db_path, std::string &error)
             fs::path p(value);
             if (p.is_relative() && !directory.empty())
                 p = fs::path(directory) / p;
-            files.push_back(
-                fs::absolute(p).lexically_normal().string());
+            files.push_back(SourceCache::canonical(p.string()));
         }
     }
     return files;
@@ -98,13 +127,53 @@ collectPaths(const std::string &arg, std::set<std::string> &out)
              fs::recursive_directory_iterator(p)) {
             if (entry.is_regular_file() &&
                 lintableExtension(entry.path()))
-                out.insert(fs::absolute(entry.path())
-                               .lexically_normal()
-                               .string());
+                out.insert(SourceCache::canonical(
+                    entry.path().string()));
         }
     } else {
-        out.insert(fs::absolute(p).lexically_normal().string());
+        out.insert(SourceCache::canonical(arg));
     }
+}
+
+bool
+checkEnabled(const std::vector<std::string> &enabled,
+             const std::string &name)
+{
+    return enabled.empty() ||
+           std::find(enabled.begin(), enabled.end(), name) !=
+               enabled.end();
+}
+
+/**
+ * Run the whole-program passes rooted at @p root. Appends
+ * annotation-filtered findings; returns the shard map (empty on
+ * project-build failure, with @p error set).
+ */
+bool
+runProjectPasses(const std::string &root, SourceCache &cache,
+                 const std::vector<std::string> &enabled,
+                 std::vector<Finding> &findings, Project &project,
+                 ShardMap &map, std::string &error)
+{
+    if (!buildProject(root, cache, project, error))
+        return false;
+
+    std::vector<Finding> raw;
+    runIncludeGraphPass(project, raw);
+    map = runSharedStatePass(project, raw);
+
+    for (Finding &finding : raw) {
+        if (!checkEnabled(enabled, finding.check))
+            continue;
+        std::string file_error;
+        const SourceFile *file =
+            cache.get(finding.path, file_error);
+        if (file &&
+            findingAllowed(*file, finding.line, finding.check))
+            continue;
+        findings.push_back(std::move(finding));
+    }
+    return true;
 }
 
 int
@@ -119,35 +188,66 @@ runSelfTest(const std::string &dir)
         return 2;
     }
 
-    int failures = 0;
+    SourceCache cache;
+    using Key = std::pair<std::string, std::size_t>;
+    std::map<std::string, std::set<Key>> actual, expected;
+
     for (const std::string &path : paths) {
-        SourceFile file;
         std::string error;
-        if (!loadSourceFile(path, file, error)) {
+        const SourceFile *file = cache.get(path, error);
+        if (!file) {
             std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
             return 2;
         }
         // Self-test ignores layer scoping: fixtures exercise every
         // check no matter where the testdata directory lives.
-        const std::vector<Finding> findings =
-            lintFile(file, {}, /*respect_layers=*/false);
-        std::set<std::pair<std::string, std::size_t>> actual;
-        for (const Finding &f : findings)
-            actual.insert({f.check, f.line});
-        std::set<std::pair<std::string, std::size_t>> expected;
-        for (const auto &e : expectedFindings(file))
-            expected.insert(e);
+        for (const Finding &f : lintFile(*file, {}, false))
+            actual[path].insert({f.check, f.line});
+        for (const auto &e : expectedFindings(*file))
+            expected[path].insert(e);
+        actual[path]; // make quiet files participate both ways
+    }
 
-        for (const auto &[check, line] : expected) {
-            if (!actual.count({check, line})) {
+    // The whole-program passes run over the fixture source tree.
+    const fs::path project_dir = fs::path(dir) / "project";
+    if (fs::is_directory(project_dir)) {
+        std::vector<Finding> findings;
+        Project project;
+        ShardMap map;
+        std::string error;
+        if (!runProjectPasses(project_dir.string(), cache, {},
+                              findings, project, map, error)) {
+            std::fprintf(stderr, "beacon-lint: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        for (const Finding &f : findings)
+            actual[f.path].insert({f.check, f.line});
+    } else {
+        std::fprintf(stderr,
+                     "beacon-lint: warning: no project/ fixture "
+                     "tree under %s; whole-program passes not "
+                     "self-tested\n",
+                     dir.c_str());
+    }
+
+    int failures = 0;
+    std::size_t files = 0;
+    for (const auto &[path, want] : expected)
+        actual[path]; // expected-only files still compared
+    for (const auto &[path, got] : actual) {
+        ++files;
+        const std::set<Key> &want = expected[path];
+        for (const auto &[check, line] : want) {
+            if (!got.count({check, line})) {
                 std::printf("FAIL %s:%zu: expected [%s] did not "
                             "fire\n",
                             path.c_str(), line, check.c_str());
                 ++failures;
             }
         }
-        for (const auto &[check, line] : actual) {
-            if (!expected.count({check, line})) {
+        for (const auto &[check, line] : got) {
+            if (!want.count({check, line})) {
                 std::printf("FAIL %s:%zu: unexpected [%s]\n",
                             path.c_str(), line, check.c_str());
                 ++failures;
@@ -157,7 +257,7 @@ runSelfTest(const std::string &dir)
     if (failures == 0) {
         std::printf("beacon-lint self-test: %zu fixture file(s) "
                     "OK\n",
-                    paths.size());
+                    files);
         return 0;
     }
     std::printf("beacon-lint self-test: %d mismatch(es)\n",
@@ -172,6 +272,8 @@ main(int argc, char **argv)
 {
     std::string db_path;
     std::string self_test_dir;
+    std::string repo_root;
+    std::string shard_map_path;
     std::vector<std::string> enabled;
     std::set<std::string> paths;
 
@@ -183,10 +285,18 @@ main(int argc, char **argv)
             enabled.push_back(argv[++i]);
         } else if (arg == "--self-test" && i + 1 < argc) {
             self_test_dir = argv[++i];
+        } else if (arg == "--repo-root" && i + 1 < argc) {
+            repo_root = argv[++i];
+        } else if (arg == "--shard-map" && i + 1 < argc) {
+            shard_map_path = argv[++i];
         } else if (arg == "--list-checks") {
             for (const Check &check : allChecks())
                 std::printf("%-26s %s\n", check.name.c_str(),
                             check.description.c_str());
+            for (const auto &[name, description] : pass_checks)
+                std::printf("%-26s %s (whole-program; needs "
+                            "--repo-root)\n",
+                            name, description);
             return 0;
         } else if (arg == "-h" || arg == "--help") {
             usage(argv[0]);
@@ -211,31 +321,81 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (paths.empty())
+    if (!shard_map_path.empty() && repo_root.empty()) {
+        std::fprintf(stderr,
+                     "beacon-lint: --shard-map needs --repo-root\n");
+        return 2;
+    }
+    if (paths.empty() && repo_root.empty())
         return usage(argv[0]);
 
-    std::size_t files = 0;
+    SourceCache cache;
     std::vector<Finding> all;
+
+    std::size_t files = 0;
     for (const std::string &path : paths) {
         // The compile database may name generated or third-party
         // files outside the repo layers; everything under Layer
         // scoping simply has no applicable checks.
-        SourceFile file;
         std::string error;
-        if (!loadSourceFile(path, file, error)) {
+        const SourceFile *file = cache.get(path, error);
+        if (!file) {
             std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
             return 2;
         }
         ++files;
-        for (Finding &f :
-             lintFile(file, enabled, /*respect_layers=*/true))
+        for (Finding &f : lintFile(*file, enabled, true))
             all.push_back(std::move(f));
     }
 
+    if (!repo_root.empty()) {
+        Project project;
+        ShardMap map;
+        std::string error;
+        if (!runProjectPasses(repo_root, cache, enabled, all,
+                              project, map, error)) {
+            std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
+            return 2;
+        }
+        if (!shard_map_path.empty()) {
+            const std::string json = shardMapJson(project, map);
+            if (shard_map_path == "-") {
+                std::fwrite(json.data(), 1, json.size(), stdout);
+            } else {
+                std::ofstream out(shard_map_path,
+                                  std::ios::binary);
+                if (!out) {
+                    std::fprintf(stderr,
+                                 "beacon-lint: cannot write %s\n",
+                                 shard_map_path.c_str());
+                    return 2;
+                }
+                out << json;
+            }
+        }
+    }
+
+    // Dedupe on (file, line, check): a header reached through N
+    // translation units reports each finding once.
+    std::set<std::tuple<std::string, std::size_t, std::string>>
+        seen;
+    std::vector<const Finding *> unique;
     for (const Finding &f : all)
-        std::printf("%s:%zu: warning: [%s] %s\n", f.path.c_str(),
-                    f.line, f.check.c_str(), f.message.c_str());
-    std::printf("beacon-lint: %zu file(s), %zu finding(s)\n", files,
-                all.size());
-    return all.empty() ? 0 : 1;
+        if (seen.insert({f.path, f.line, f.check}).second)
+            unique.push_back(&f);
+    std::sort(unique.begin(), unique.end(),
+              [](const Finding *a, const Finding *b) {
+                  return std::tie(a->path, a->line, a->check) <
+                         std::tie(b->path, b->line, b->check);
+              });
+
+    for (const Finding *f : unique)
+        std::printf("%s:%zu: warning: [%s] %s\n", f->path.c_str(),
+                    f->line, f->check.c_str(), f->message.c_str());
+    std::printf("beacon-lint: %zu file(s) lexed (%zu cache hits), "
+                "%zu finding(s)\n",
+                cache.filesLexed(), cache.cacheHits(),
+                unique.size());
+    (void)files;
+    return unique.empty() ? 0 : 1;
 }

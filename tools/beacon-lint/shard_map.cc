@@ -1,0 +1,140 @@
+/**
+ * @file
+ * `beacon-shardmap-1` JSON emission.
+ *
+ * The report must be byte-identical across machines and build
+ * directories: paths are repo-relative with forward slashes, every
+ * array is sorted by the pass that produced it, and the writer emits
+ * a fixed 2-space-indent layout with '\n' line endings. The
+ * committed golden (tools/beacon-lint/shardmap_golden.json) is
+ * diffed against a fresh run by ctest and CI.
+ */
+
+#include "analysis.hh"
+
+#include <sstream>
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &text)
+{
+    return "\"" + jsonEscape(text) + "\"";
+}
+
+} // namespace
+
+std::string
+shardMapJson(const Project &, const ShardMap &map)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"beacon-shardmap-1\",\n";
+
+    os << "  \"classes\": [\n";
+    for (std::size_t i = 0; i < map.classes.size(); ++i) {
+        const ClassSurface &surface = map.classes[i];
+        std::size_t n_const = 0;
+        for (const auto &[name, method] : surface.methods)
+            if (method.is_const)
+                ++n_const;
+        os << "    {\"name\": " << quoted(surface.name)
+           << ", \"module\": " << quoted(surface.module)
+           << ", \"header\": " << quoted(surface.header)
+           << ", \"mutable_fields\": "
+           << surface.mutable_fields.size()
+           << ", \"const_methods\": " << n_const
+           << ", \"mutating_methods\": "
+           << surface.methods.size() - n_const << "}"
+           << (i + 1 < map.classes.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"globals\": [\n";
+    for (std::size_t i = 0; i < map.globals.size(); ++i) {
+        const GlobalState &state = map.globals[i];
+        os << "    {\"name\": " << quoted(state.name)
+           << ", \"kind\": " << quoted(state.kind)
+           << ", \"module\": " << quoted(state.module)
+           << ", \"file\": " << quoted(state.file)
+           << ", \"line\": " << state.line << ", \"atomic\": "
+           << (state.atomic ? "true" : "false") << "}"
+           << (i + 1 < map.globals.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"accesses\": [\n";
+    for (std::size_t i = 0; i < map.accesses.size(); ++i) {
+        const AccessRecord &record = map.accesses[i];
+        os << "    {\"class\": " << quoted(record.class_name)
+           << ", \"member\": " << quoted(record.member)
+           << ", \"owner_module\": "
+           << quoted(record.owner_module)
+           << ", \"from\": " << quoted(record.from_file)
+           << ", \"line\": " << record.line
+           << ", \"from_module\": " << quoted(record.from_module)
+           << ", \"category\": "
+           << quoted(accessCategoryName(record.category))
+           << ", \"annotated\": "
+           << (record.annotated ? "true" : "false") << "}"
+           << (i + 1 < map.accesses.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    std::size_t mediated = 0, counters = 0, reads = 0,
+                mutations = 0;
+    for (const AccessRecord &record : map.accesses) {
+        switch (record.category) {
+          case AccessCategory::EventQueueMediated:
+            ++mediated;
+            break;
+          case AccessCategory::StatCounter:
+            ++counters;
+            break;
+          case AccessCategory::Read:
+            ++reads;
+            break;
+          case AccessCategory::DirectMutation:
+            ++mutations;
+            break;
+        }
+    }
+    os << "  \"summary\": {\"event_queue_mediated\": " << mediated
+       << ", \"stat_counter\": " << counters
+       << ", \"read\": " << reads
+       << ", \"direct_mutation\": " << mutations << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace beacon_lint

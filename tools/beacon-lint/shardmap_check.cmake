@@ -1,0 +1,33 @@
+# Regenerate the beacon-shardmap-1 report and require it to match
+# the committed golden byte for byte. Run by the
+# beacon_shardmap_golden ctest and by the beacon-lint CI job.
+#
+# Variables: LINT (tool binary), REPO_ROOT, GOLDEN, OUT.
+
+execute_process(
+    COMMAND ${LINT} --repo-root ${REPO_ROOT} --shard-map ${OUT}
+    RESULT_VARIABLE lint_result
+    OUTPUT_VARIABLE lint_output
+    ERROR_VARIABLE lint_output)
+# Exit 1 means unsuppressed lint findings, which beacon_lint_repo
+# owns; the shard map is still written. Only 2+ is a tool failure.
+if(lint_result GREATER 1)
+    message(FATAL_ERROR "beacon-lint failed (${lint_result}):\n${lint_output}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+    RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+    execute_process(
+        COMMAND diff -u ${GOLDEN} ${OUT}
+        OUTPUT_VARIABLE diff_text
+        ERROR_VARIABLE diff_text)
+    message(FATAL_ERROR
+        "shard map drifted from the committed golden.\n"
+        "If the change is intentional (and every new direct-mutation "
+        "entry is annotated or fixed), refresh it with:\n"
+        "  beacon-lint --repo-root . --shard-map "
+        "tools/beacon-lint/shardmap_golden.json\n${diff_text}")
+endif()
+message(STATUS "shard map matches golden: ${GOLDEN}")

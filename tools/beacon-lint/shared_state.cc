@@ -1,0 +1,766 @@
+/**
+ * @file
+ * The shared-state inventory pass.
+ *
+ * Three lexical sub-passes over the Project:
+ *
+ *  1. **Class surface indexing** — parse the core component class
+ *     bodies (EventQueue, StatRegistry, DimmTimingModel,
+ *     DramController, PoolFabric, NdpModule, PoolOrchestrator) out
+ *     of their headers: method names with const-ness, data members
+ *     with mutability.
+ *  2. **Global inventory** — namespace-scope variable definitions
+ *     and function-local statics anywhere under src/, with a scope
+ *     tracker over the brace structure of the code view.
+ *  3. **Access resolution** — per TU, bind variables declared with a
+ *     core class type (plus the SimObject convention names `eq` /
+ *     `stats`) and resolve `var.method(...)` / `var->method(...)`
+ *     calls against the indexed surfaces. A call from a different
+ *     module than the class's owner is a cross-component access,
+ *     classified event-queue-mediated / stat-counter / read /
+ *     direct-mutation.
+ *
+ * Like every beacon-lint check this is an honest heuristic, not an
+ * AST: single-statement declarations, brace-balanced scanning, and
+ * convention-based receiver binding. The point is not soundness —
+ * it is that the shard map is *reproducible*, so CI can fail when a
+ * PR silently widens the shared surface.
+ */
+
+#include "analysis.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+// --- core class table -----------------------------------------------
+
+struct CoreClassSpec
+{
+    const char *name;
+    const char *module;
+    const char *header; // repo-relative
+};
+
+const CoreClassSpec core_classes[] = {
+    {"EventQueue", "sim", "src/sim/event_queue.hh"},
+    {"StatRegistry", "sim", "src/sim/stats.hh"},
+    {"DimmTimingModel", "dram", "src/dram/dimm_timing.hh"},
+    {"DramController", "dram", "src/dram/controller.hh"},
+    {"PoolFabric", "cxl", "src/cxl/pool.hh"},
+    {"NdpModule", "ndp", "src/ndp/ndp_module.hh"},
+    {"PoolOrchestrator", "service", "src/service/orchestrator.hh"},
+};
+
+// --- small lexical helpers ------------------------------------------
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Identifiers of @p text outside template angle brackets. */
+std::vector<std::string>
+topLevelIdents(const std::string &text)
+{
+    std::vector<std::string> idents;
+    int angle = 0;
+    for (std::size_t i = 0; i < text.size();) {
+        const char c = text[i];
+        if (c == '<' && i > 0 &&
+            (identChar(text[i - 1]) || text[i - 1] == '>')) {
+            ++angle;
+            ++i;
+        } else if (c == '>' && angle > 0) {
+            --angle;
+            ++i;
+        } else if (identChar(c) && !std::isdigit(
+                       static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < text.size() && identChar(text[j]))
+                ++j;
+            if (angle == 0)
+                idents.push_back(text.substr(i, j - i));
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return idents;
+}
+
+/** Position of the first '(' outside angle brackets, or npos. */
+std::size_t
+topLevelParen(const std::string &text)
+{
+    int angle = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '<' && i > 0 &&
+            (identChar(text[i - 1]) || text[i - 1] == '>'))
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == '(' && angle == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !identChar(text[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok =
+            end >= text.size() || !identChar(text[end]);
+        if (left_ok && right_ok)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+std::string
+stripAccessLabels(std::string text)
+{
+    static const std::regex label_re(
+        "\\b(public|private|protected)\\s*:");
+    return std::regex_replace(text, label_re, " ");
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t b = text.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = text.find_last_not_of(" \t");
+    return text.substr(b, e - b + 1);
+}
+
+// --- statement scanning ---------------------------------------------
+
+/** Kind of scope a '{' opens. */
+enum class ScopeKind
+{
+    Namespace,
+    Class,
+    Function,
+    Init, //!< braced initializer: the statement continues after it
+};
+
+/** One ';'- or '{'-terminated statement with its start line. */
+struct Statement
+{
+    std::string text;
+    std::size_t line0 = 0; //!< 0-based first line
+    char terminator = ';';
+    ScopeKind opened = ScopeKind::Init; //!< valid when terminator=='{'
+    /** Scope kinds enclosing the statement (innermost last). */
+    std::vector<ScopeKind> scopes;
+};
+
+ScopeKind
+classifyBrace(const std::string &statement)
+{
+    const std::string text = trim(statement);
+    if (containsWord(text, "namespace"))
+        return ScopeKind::Namespace;
+    if ((containsWord(text, "class") ||
+         containsWord(text, "struct") ||
+         containsWord(text, "union") ||
+         containsWord(text, "enum")) &&
+        topLevelParen(text) == std::string::npos)
+        return ScopeKind::Class;
+    if (text.empty())
+        return ScopeKind::Function; // bare block
+    const char last = text.back();
+    if (last == ')' || last == ']')
+        return ScopeKind::Function;
+    static const std::regex fn_tail_re(
+        "\\)\\s*(const|override|final|noexcept(\\s*\\([^)]*\\))?|"
+        "->\\s*[\\w:<>&*\\s]+|\\s)*$");
+    if (std::regex_search(text, fn_tail_re))
+        return ScopeKind::Function;
+    if (containsWord(text, "try") || containsWord(text, "do") ||
+        containsWord(text, "else") || containsWord(text, "catch"))
+        return ScopeKind::Function;
+    return ScopeKind::Init;
+}
+
+/**
+ * Walk the code view of @p file and hand every scope-level statement
+ * to @p sink. Statements inside Init scopes are folded into their
+ * surrounding statement; bodies of Function/Class scopes are still
+ * visited (with the enclosing kinds recorded), so the caller can
+ * select namespace-scope declarations or function-local statics.
+ */
+template <typename Sink>
+void
+scanStatements(const SourceFile &file, Sink &&sink)
+{
+    struct Scope
+    {
+        ScopeKind kind;
+        std::string pending; //!< buffer saved across an Init scope
+        std::size_t pending_line0 = 0;
+    };
+    std::vector<Scope> stack;
+    std::string buffer;
+    std::size_t start_line0 = 0;
+    bool in_statement = false;
+
+    auto scopeKinds = [&stack] {
+        std::vector<ScopeKind> kinds;
+        kinds.reserve(stack.size());
+        for (const Scope &scope : stack)
+            kinds.push_back(scope.kind);
+        return kinds;
+    };
+    auto inInit = [&stack] {
+        return !stack.empty() &&
+               stack.back().kind == ScopeKind::Init;
+    };
+
+    for (std::size_t li = 0; li < file.lines(); ++li) {
+        const std::string &code = file.code[li];
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            const char c = code[i];
+            if (c == '{') {
+                Statement head;
+                head.text = stripAccessLabels(buffer);
+                head.line0 = start_line0;
+                head.terminator = '{';
+                head.opened = classifyBrace(head.text);
+                head.scopes = scopeKinds();
+                Scope scope;
+                scope.kind = head.opened;
+                if (scope.kind == ScopeKind::Init) {
+                    // Keep the declaration text alive across the
+                    // initializer so `Type name{init};` completes
+                    // at the following ';'.
+                    scope.pending = buffer;
+                    scope.pending_line0 = start_line0;
+                } else {
+                    sink(head);
+                }
+                stack.push_back(std::move(scope));
+                buffer.clear();
+                in_statement = false;
+            } else if (c == '}') {
+                std::string restored;
+                std::size_t restored_line0 = 0;
+                if (!stack.empty()) {
+                    if (stack.back().kind == ScopeKind::Init) {
+                        restored = stack.back().pending;
+                        restored_line0 = stack.back().pending_line0;
+                    }
+                    stack.pop_back();
+                }
+                buffer = restored;
+                in_statement = !restored.empty();
+                start_line0 = restored_line0;
+            } else if (c == ';') {
+                if (in_statement) {
+                    Statement stmt;
+                    stmt.text = stripAccessLabels(buffer);
+                    stmt.line0 = start_line0;
+                    stmt.terminator = ';';
+                    stmt.scopes = scopeKinds();
+                    sink(stmt);
+                }
+                buffer.clear();
+                in_statement = false;
+            } else {
+                if (!in_statement &&
+                    !std::isspace(static_cast<unsigned char>(c))) {
+                    in_statement = true;
+                    start_line0 = li;
+                }
+                if (in_statement && !inInit())
+                    buffer += c;
+            }
+        }
+        if (in_statement)
+            buffer += ' ';
+    }
+}
+
+// --- class surface parsing ------------------------------------------
+
+const char *const decl_keywords[] = {
+    "using", "friend", "typedef", "template", "static_assert",
+};
+
+bool
+skippableMemberStatement(const std::string &text)
+{
+    for (const char *kw : decl_keywords)
+        if (containsWord(text, kw))
+            return true;
+    return false;
+}
+
+/** Method name of a signature-shaped statement, or "". */
+std::string
+methodName(const std::string &text, std::size_t paren)
+{
+    std::size_t e = paren;
+    while (e > 0 && std::isspace(
+               static_cast<unsigned char>(text[e - 1])))
+        --e;
+    std::size_t b = e;
+    while (b > 0 && identChar(text[b - 1]))
+        --b;
+    if (b == e)
+        return "";
+    std::string name = text.substr(b, e - b);
+    // `operator+=` and friends: keep the keyword as a marker so the
+    // caller can skip them uniformly.
+    if (b >= 8 && text.compare(b - 8, 8, "operator") == 0)
+        return "operator";
+    return name;
+}
+
+bool
+constAfterLastParen(const std::string &text)
+{
+    const std::size_t close = text.rfind(')');
+    if (close == std::string::npos)
+        return false;
+    return containsWord(text.substr(close + 1), "const");
+}
+
+/**
+ * Parse the body of class @p spec.name out of @p file into
+ * @p surface. Returns false when the class definition is absent.
+ */
+bool
+parseClassSurface(const SourceFile &file, const CoreClassSpec &spec,
+                  const Project &project, ClassSurface &surface)
+{
+    surface.name = spec.name;
+    surface.module = spec.module;
+    surface.header = project.relative(file.path);
+
+    bool found = false;
+    bool done = false;
+    std::size_t body_depth = 0;
+    scanStatements(file, [&](const Statement &stmt) {
+        if (done)
+            return;
+        if (!found) {
+            if (stmt.terminator == '{' &&
+                stmt.opened == ScopeKind::Class &&
+                containsWord(stmt.text, spec.name)) {
+                found = true;
+                body_depth = stmt.scopes.size() + 1;
+            }
+            return;
+        }
+        // A statement at or above the class-head depth means the
+        // class body has closed; later classes in the same header
+        // must not contribute members.
+        if (stmt.scopes.size() < body_depth) {
+            done = true;
+            return;
+        }
+        // Direct members sit exactly at the class-body depth
+        // (nested structs and inline method bodies are deeper).
+        const bool direct =
+            stmt.scopes.size() == body_depth &&
+            stmt.scopes.back() == ScopeKind::Class;
+        if (!direct)
+            return;
+        const std::string text = trim(stmt.text);
+        if (text.empty() || skippableMemberStatement(text))
+            return;
+        if (stmt.terminator == '{' &&
+            stmt.opened != ScopeKind::Function)
+            return; // nested type definition
+        const std::size_t paren = topLevelParen(text);
+        if (paren != std::string::npos) {
+            const std::string name = methodName(text, paren);
+            if (name.empty() || name == "operator" ||
+                name == spec.name)
+                return; // operator or constructor
+            MethodInfo info;
+            info.name = name;
+            info.is_const = constAfterLastParen(text);
+            surface.methods[name] = info;
+        } else if (stmt.terminator == ';') {
+            const std::vector<std::string> idents =
+                topLevelIdents(text);
+            if (idents.empty())
+                return;
+            // `Type name = init;` — the name is the identifier
+            // preceding '=', else the last one.
+            std::string name;
+            const std::size_t eq = text.find('=');
+            if (eq == std::string::npos) {
+                name = idents.back();
+            } else {
+                const std::vector<std::string> lhs =
+                    topLevelIdents(text.substr(0, eq));
+                if (lhs.empty())
+                    return;
+                name = lhs.back();
+            }
+            const bool immutable =
+                containsWord(text, "constexpr") ||
+                containsWord(text, "const");
+            (immutable ? surface.immutable_fields
+                       : surface.mutable_fields)
+                .push_back(name);
+        }
+    });
+    std::sort(surface.mutable_fields.begin(),
+              surface.mutable_fields.end());
+    std::sort(surface.immutable_fields.begin(),
+              surface.immutable_fields.end());
+    return found;
+}
+
+// --- global inventory -----------------------------------------------
+
+bool
+looksLikeVariable(const std::string &text)
+{
+    if (topLevelParen(text) != std::string::npos)
+        return false; // function declaration or call
+    static const char *const reject[] = {
+        "using",    "typedef",  "extern",   "return",
+        "template", "namespace", "class",   "struct",
+        "enum",     "union",    "friend",   "operator",
+        "static_assert", "goto", "throw",
+    };
+    for (const char *kw : reject)
+        if (containsWord(text, kw))
+            return false;
+    return topLevelIdents(text).size() >= 2; // type + name minimum
+}
+
+std::string
+variableName(const std::string &text)
+{
+    const std::size_t eq = text.find('=');
+    const std::string head =
+        eq == std::string::npos ? text : text.substr(0, eq);
+    const std::vector<std::string> idents = topLevelIdents(head);
+    return idents.empty() ? "" : idents.back();
+}
+
+void
+collectGlobals(const SourceFile &file, const Project &project,
+               std::vector<GlobalState> &out)
+{
+    const std::string module = project.moduleOf(file.path);
+    scanStatements(file, [&](const Statement &stmt) {
+        if (stmt.terminator != ';')
+            return;
+        const std::string text = trim(stmt.text);
+        if (text.empty())
+            return;
+        const bool immutable = containsWord(text, "constexpr") ||
+                               containsWord(text, "const");
+        if (immutable)
+            return;
+        const bool namespace_scope = std::all_of(
+            stmt.scopes.begin(), stmt.scopes.end(),
+            [](ScopeKind k) { return k == ScopeKind::Namespace; });
+        const bool function_scope =
+            std::any_of(stmt.scopes.begin(), stmt.scopes.end(),
+                        [](ScopeKind k) {
+                            return k == ScopeKind::Function;
+                        });
+        GlobalState state;
+        if (namespace_scope && looksLikeVariable(text)) {
+            state.kind = "global";
+        } else if (function_scope &&
+                   text.rfind("static ", 0) == 0 &&
+                   looksLikeVariable(text)) {
+            state.kind = "static-local";
+        } else {
+            return;
+        }
+        state.name = variableName(text);
+        if (state.name.empty())
+            return;
+        state.file = project.relative(file.path);
+        state.line = stmt.line0 + 1;
+        state.module = module;
+        state.atomic = containsWord(text, "atomic");
+        out.push_back(std::move(state));
+    });
+}
+
+// --- access resolution ----------------------------------------------
+
+/** `beacon-lint: shared-state(Class.member[, category])` markers. */
+struct SharedStateMarker
+{
+    std::string class_name;
+    std::string member;
+    std::string category; //!< optional override
+};
+
+std::vector<SharedStateMarker>
+sharedStateMarkers(const std::string &comment)
+{
+    static const std::regex marker_re(
+        "beacon-lint:\\s*shared-state\\s*\\(([^)]*)\\)");
+    std::vector<SharedStateMarker> markers;
+    auto begin = std::sregex_iterator(comment.begin(),
+                                      comment.end(), marker_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string args = (*it)[1].str();
+        static const std::regex parts_re(
+            "([\\w]+)\\.([\\w]+)\\s*(?:,\\s*([\\w-]+))?");
+        std::smatch m;
+        if (!std::regex_search(args, m, parts_re))
+            continue;
+        markers.push_back({m[1].str(), m[2].str(), m[3].str()});
+    }
+    return markers;
+}
+
+const SharedStateMarker *
+markerFor(const std::vector<SharedStateMarker> &markers,
+          const std::string &class_name, const std::string &member)
+{
+    for (const SharedStateMarker &marker : markers)
+        if (marker.class_name == class_name &&
+            marker.member == member)
+            return &marker;
+    return nullptr;
+}
+
+/** Bind variables of @p file to core class surfaces. */
+std::map<std::string, const ClassSurface *>
+bindVariables(const SourceFile &file,
+              const std::map<std::string, ClassSurface> &surfaces)
+{
+    std::map<std::string, const ClassSurface *> vars;
+
+    // The SimObject convention: every component names its queue and
+    // registry references `eq` and `stats` (sim/sim_object.hh), so
+    // inherited-member accesses bind without a local declaration.
+    if (auto it = surfaces.find("EventQueue"); it != surfaces.end())
+        vars["eq"] = &it->second;
+    if (auto it = surfaces.find("StatRegistry");
+        it != surfaces.end())
+        vars["stats"] = &it->second;
+
+    std::string class_alt;
+    for (const auto &[name, surface] : surfaces) {
+        if (!class_alt.empty())
+            class_alt += '|';
+        class_alt += name;
+    }
+    if (class_alt.empty())
+        return vars;
+
+    // `ClassName &var`, `ClassName *var`, `ClassName var(...)`.
+    const std::regex decl_re("\\b(" + class_alt +
+                             ")\\s*[&*]?\\s*(\\w+)\\s*[;,)=({]");
+    // `unique_ptr<ClassName> var` and the shared_ptr spelling.
+    const std::regex ptr_re("\\b(?:unique_ptr|shared_ptr)\\s*<\\s*(" +
+                            class_alt + ")\\s*>\\s*&?\\s*(\\w+)");
+    // Accessor binding: `auto &q = system.eventQueue();`.
+    static const std::regex accessor_re(
+        "[&\\s](\\w+)\\s*=\\s*[\\w.\\->]*\\b"
+        "(eventQueue|statsMutable)\\s*\\(\\)");
+
+    for (const std::string &code : file.code) {
+        for (auto it = std::sregex_iterator(code.begin(),
+                                            code.end(), decl_re);
+             it != std::sregex_iterator(); ++it)
+            vars[(*it)[2].str()] =
+                &surfaces.at((*it)[1].str());
+        for (auto it = std::sregex_iterator(code.begin(),
+                                            code.end(), ptr_re);
+             it != std::sregex_iterator(); ++it)
+            vars[(*it)[2].str()] =
+                &surfaces.at((*it)[1].str());
+        for (auto it = std::sregex_iterator(
+                 code.begin(), code.end(), accessor_re);
+             it != std::sregex_iterator(); ++it) {
+            const std::string target = (*it)[2].str() ==
+                                               "eventQueue"
+                                           ? "EventQueue"
+                                           : "StatRegistry";
+            if (auto st = surfaces.find(target);
+                st != surfaces.end())
+                vars[(*it)[1].str()] = &st->second;
+        }
+    }
+    return vars;
+}
+
+AccessCategory
+classifyAccess(const ClassSurface &surface, const MethodInfo &method)
+{
+    // All traffic through the queue API is, by definition, mediated
+    // by the event queue — that is the safe sharding channel. The
+    // registry's whole surface is mergeable counters.
+    if (surface.name == "EventQueue")
+        return AccessCategory::EventQueueMediated;
+    if (surface.name == "StatRegistry")
+        return AccessCategory::StatCounter;
+    return method.is_const ? AccessCategory::Read
+                           : AccessCategory::DirectMutation;
+}
+
+void
+resolveAccesses(const SourceFile &file, const Project &project,
+                const std::map<std::string, ClassSurface> &surfaces,
+                std::vector<AccessRecord> &records,
+                std::vector<Finding> &findings)
+{
+    const std::string from_module = project.moduleOf(file.path);
+    if (from_module.empty())
+        return;
+    const std::map<std::string, const ClassSurface *> vars =
+        bindVariables(file, surfaces);
+    if (vars.empty())
+        return;
+
+    static const std::regex access_re(
+        "(\\w+)\\s*(?:\\.|->)\\s*(\\w+)\\s*\\(");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        const std::string &code = file.code[i];
+        for (auto it = std::sregex_iterator(code.begin(),
+                                            code.end(), access_re);
+             it != std::sregex_iterator(); ++it) {
+            const std::string var = (*it)[1].str();
+            const std::string member = (*it)[2].str();
+            auto vt = vars.find(var);
+            if (vt == vars.end())
+                continue;
+            const ClassSurface &surface = *vt->second;
+            if (surface.module == from_module)
+                continue; // intra-module access
+            auto mt = surface.methods.find(member);
+            if (mt == surface.methods.end())
+                continue;
+
+            AccessRecord record;
+            record.class_name = surface.name;
+            record.member = member;
+            record.owner_module = surface.module;
+            record.from_file = project.relative(file.path);
+            record.line = i + 1;
+            record.from_module = from_module;
+            record.category =
+                classifyAccess(surface, mt->second);
+
+            std::vector<SharedStateMarker> markers =
+                sharedStateMarkers(file.comments[i]);
+            if (i > 0) {
+                std::vector<SharedStateMarker> above =
+                    sharedStateMarkers(file.comments[i - 1]);
+                markers.insert(markers.end(), above.begin(),
+                               above.end());
+            }
+            if (const SharedStateMarker *marker = markerFor(
+                    markers, surface.name, member)) {
+                record.annotated = true;
+                if (marker->category == "event-queue-mediated")
+                    record.category =
+                        AccessCategory::EventQueueMediated;
+                else if (marker->category == "stat-counter")
+                    record.category = AccessCategory::StatCounter;
+                else if (marker->category == "read")
+                    record.category = AccessCategory::Read;
+                else if (marker->category == "direct-mutation")
+                    record.category =
+                        AccessCategory::DirectMutation;
+            }
+
+            if (record.category ==
+                    AccessCategory::DirectMutation &&
+                !record.annotated) {
+                findings.push_back(
+                    {file.path, i + 1, "shared-state-mutation",
+                     "direct mutation of " + surface.name +
+                         "::" + member + " (module '" +
+                         surface.module + "') from module '" +
+                         from_module +
+                         "'; a sharding hazard — route it through "
+                         "the event queue or declare it with "
+                         "beacon-lint: shared-state(" +
+                         surface.name + "." + member +
+                         ", direct-mutation)"});
+            }
+            records.push_back(std::move(record));
+        }
+    }
+}
+
+} // namespace
+
+ShardMap
+runSharedStatePass(const Project &project,
+                   std::vector<Finding> &out)
+{
+    ShardMap map;
+
+    std::map<std::string, ClassSurface> surfaces;
+    for (const CoreClassSpec &spec : core_classes) {
+        const std::string header = SourceCache::canonical(
+            project.root + "/" + spec.header);
+        std::string error;
+        const SourceFile *file = project.cache->get(header, error);
+        if (!file)
+            continue; // fixture projects carry a subset
+        ClassSurface surface;
+        if (parseClassSurface(*file, spec, project, surface))
+            surfaces[spec.name] = std::move(surface);
+    }
+
+    for (const std::string &path : project.files) {
+        std::string error;
+        const SourceFile *file = project.cache->get(path, error);
+        if (!file)
+            continue;
+        collectGlobals(*file, project, map.globals);
+        resolveAccesses(*file, project, surfaces, map.accesses,
+                        out);
+    }
+
+    for (auto &[name, surface] : surfaces)
+        map.classes.push_back(std::move(surface));
+    std::sort(map.classes.begin(), map.classes.end(),
+              [](const ClassSurface &a, const ClassSurface &b) {
+                  return a.name < b.name;
+              });
+    std::sort(map.globals.begin(), map.globals.end(),
+              [](const GlobalState &a, const GlobalState &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  return a.line < b.line;
+              });
+    std::sort(map.accesses.begin(), map.accesses.end(),
+              [](const AccessRecord &a, const AccessRecord &b) {
+                  if (a.from_file != b.from_file)
+                      return a.from_file < b.from_file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.class_name != b.class_name)
+                      return a.class_name < b.class_name;
+                  return a.member < b.member;
+              });
+    return map;
+}
+
+} // namespace beacon_lint

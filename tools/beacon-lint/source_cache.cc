@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SourceCache implementation.
+ */
+
+#include "source_cache.hh"
+
+#include <filesystem>
+
+namespace beacon_lint
+{
+
+std::string
+SourceCache::canonical(const std::string &path)
+{
+    return std::filesystem::absolute(std::filesystem::path(path))
+        .lexically_normal()
+        .string();
+}
+
+const SourceFile *
+SourceCache::get(const std::string &path, std::string &error)
+{
+    const std::string key = canonical(path);
+    auto it = slots.find(key);
+    if (it == slots.end()) {
+        Slot slot;
+        slot.ok = loadSourceFile(key, slot.file, slot.error);
+        ++lexed;
+        it = slots.emplace(key, std::move(slot)).first;
+    } else {
+        ++hits;
+    }
+    if (!it->second.ok) {
+        error = it->second.error;
+        return nullptr;
+    }
+    return &it->second.file;
+}
+
+} // namespace beacon_lint

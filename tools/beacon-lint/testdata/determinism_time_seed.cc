@@ -1,0 +1,52 @@
+// Fixture: determinism-time-seed must flag RNGs constructed or
+// re-seeded from a time source. The raw ingredients (srand, chrono
+// clocks) belong to determinism-rand / determinism-wallclock, so the
+// overlapping lines expect those too. Not compiled — scanned by
+// --self-test.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+void
+badSeeding()
+{
+    // The classic C idiom fires all three determinism checks.
+    std::srand(time(nullptr)); // beacon-lint: expect(determinism-time-seed, determinism-rand, determinism-wallclock)
+
+    // Engine constructed from a clock reading.
+    std::mt19937 gen(std::chrono::steady_clock::now().time_since_epoch().count()); // beacon-lint: expect(determinism-time-seed, determinism-wallclock)
+
+    // Engine re-seeded from a clock reading.
+    std::mt19937_64 gen64(1);
+    gen64.seed(std::chrono::system_clock::now().time_since_epoch().count()); // beacon-lint: expect(determinism-time-seed, determinism-wallclock)
+
+    // The repo's own Rng seeded from a clock is just as broken.
+    beacon::Rng rng(std::chrono::steady_clock::now().time_since_epoch().count()); // beacon-lint: expect(determinism-time-seed, determinism-wallclock)
+    (void)gen;
+    (void)rng;
+}
+
+void
+goodSeeding(unsigned configured_seed)
+{
+    // Seeds that come from the experiment configuration are the
+    // sanctioned pattern.
+    std::mt19937 gen(configured_seed);
+    beacon::Rng rng(configured_seed);
+    gen.seed(configured_seed + 1);
+
+    // An identifier containing "time" is not a clock.
+    unsigned run_time_seed = configured_seed * 2;
+    std::mt19937 gen2(run_time_seed);
+    (void)gen2;
+    (void)rng;
+}
+
+void
+auditedSeeding()
+{
+    // A justified escape (e.g. a throwaway local tool) still needs
+    // the annotation trio.
+    std::srand(time(nullptr)); // beacon-lint: allow(determinism-time-seed, determinism-rand, determinism-wallclock)
+}

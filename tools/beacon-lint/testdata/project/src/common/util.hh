@@ -1,0 +1,21 @@
+// Fixture: the bottom of the layer DAG — clean, and contributes one
+// mutable namespace-scope global to the shared-state inventory.
+
+#ifndef FIXTURE_COMMON_UTIL_HH
+#define FIXTURE_COMMON_UTIL_HH
+
+namespace fixture
+{
+
+// Inventoried as a mutable global (kind "global", module "common").
+inline int debug_level = 0;
+
+inline int
+clampLevel(int level)
+{
+    return level < 0 ? 0 : level;
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_COMMON_UTIL_HH

@@ -1,0 +1,25 @@
+// Fixture: a miniature PoolFabric at the real header path — one
+// const method (read) and one mutating method (direct-mutation when
+// called from another module).
+
+#ifndef FIXTURE_CXL_POOL_HH
+#define FIXTURE_CXL_POOL_HH
+
+#include "sim/event_queue.hh"
+
+namespace fixture
+{
+
+class PoolFabric
+{
+  public:
+    int peek() const { return count; }
+    void bump() { ++count; }
+
+  private:
+    int count = 0;
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_CXL_POOL_HH

@@ -1,0 +1,21 @@
+// Fixture: half of a header include cycle with dram/cell.hh. The
+// cycle is reported once, anchored at the lexicographically smallest
+// participating file (this one).
+
+#ifndef FIXTURE_DRAM_BANK_HH
+#define FIXTURE_DRAM_BANK_HH
+
+#include "dram/cell.hh" // beacon-lint: expect(include-cycle)
+
+namespace fixture
+{
+
+inline int
+bankRows()
+{
+    return 8 * cellBits();
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_DRAM_BANK_HH

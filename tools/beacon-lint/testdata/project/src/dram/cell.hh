@@ -1,0 +1,20 @@
+// Fixture: the other half of the bank.hh <-> cell.hh include cycle.
+// The cycle finding is anchored at bank.hh; this file stays quiet.
+
+#ifndef FIXTURE_DRAM_CELL_HH
+#define FIXTURE_DRAM_CELL_HH
+
+#include "dram/bank.hh"
+
+namespace fixture
+{
+
+inline int
+cellBits()
+{
+    return 1;
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_DRAM_CELL_HH

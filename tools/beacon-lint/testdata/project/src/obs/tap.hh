@@ -1,0 +1,22 @@
+// Fixture: taps are leaf-only — any module may include obs/, but
+// obs/ itself may depend only on the kernels it observes (common,
+// sim). Reaching into service/ must be flagged.
+
+#ifndef FIXTURE_OBS_TAP_HH
+#define FIXTURE_OBS_TAP_HH
+
+#include "service/api.hh" // beacon-lint: expect(layer-back-edge)
+#include "sim/event_queue.hh"
+
+namespace fixture
+{
+
+inline int
+tapVersion(const EventQueue &eq)
+{
+    return int(eq.now()) + serviceVersion();
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_OBS_TAP_HH

@@ -1,0 +1,18 @@
+// Fixture: a clean top-of-DAG header, included (illegally) by the
+// obs tap to exercise the tap leaf-only rule.
+
+#ifndef FIXTURE_SERVICE_API_HH
+#define FIXTURE_SERVICE_API_HH
+
+namespace fixture
+{
+
+inline int
+serviceVersion()
+{
+    return 1;
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_SERVICE_API_HH

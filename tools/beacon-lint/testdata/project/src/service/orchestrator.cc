@@ -1,0 +1,27 @@
+// Fixture: cross-component access classification. The event-queue
+// and stat-registry accesses are safe/mergeable; the unannotated
+// PoolFabric mutation is the sharding hazard the gate must flag; the
+// annotated one is declared shared state and stays quiet (but still
+// lands in the shard map as direct-mutation, annotated: true).
+
+#include "cxl/pool.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace fixture
+{
+
+int
+drive(EventQueue &eq, StatRegistry &stats, PoolFabric &fabric)
+{
+    eq.scheduleIn(10, 1);
+    stats.counter(3) += 1;
+    int seen = fabric.peek();
+    fabric.bump(); // beacon-lint: expect(shared-state-mutation)
+    // Declared cross-shard mutation: scheduler handoff audited in
+    // the sharding design notes.
+    fabric.bump(); // beacon-lint: shared-state(PoolFabric.bump, direct-mutation)
+    return seen;
+}
+
+} // namespace fixture

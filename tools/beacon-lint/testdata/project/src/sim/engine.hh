@@ -1,0 +1,22 @@
+// Fixture: the sim layer reaching *up* into dram — the include/layer
+// pass must flag the back-edge (sim may depend only on common).
+
+#ifndef FIXTURE_SIM_ENGINE_HH
+#define FIXTURE_SIM_ENGINE_HH
+
+#include "common/util.hh"
+#include "dram/bank.hh" // beacon-lint: expect(layer-back-edge)
+#include "sim/event_queue.hh"
+
+namespace fixture
+{
+
+inline int
+engineStep(EventQueue &eq)
+{
+    return int(eq.now()) + bankRows();
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_SIM_ENGINE_HH

@@ -1,0 +1,23 @@
+// Fixture: a miniature StatRegistry at the real header path. Every
+// access through it is classified stat-counter (mergeable).
+
+#ifndef FIXTURE_SIM_STATS_HH
+#define FIXTURE_SIM_STATS_HH
+
+namespace fixture
+{
+
+class StatRegistry
+{
+  public:
+    double &counter(int id);
+    double counterValue(int id) const;
+    void resetAll();
+
+  private:
+    double only_counter = 0;
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_SIM_STATS_HH
