@@ -120,8 +120,56 @@ SystemParams::idealized() const
 // Construction
 // ---------------------------------------------------------------
 
+bool
+NdpSystem::shardingEligible(const SystemParams &params)
+{
+    // Multi-lane sharding needs the CXL pool's re-homed deliveries
+    // (the DDR fabric delivers on the caller's shard), a non-zero
+    // link latency to derive the lookahead from, and an unarmed link
+    // checker (its shadow model is mutated from delivery callbacks).
+    // Ineligible machines still run the sharded engine when asked,
+    // collapsed to one lane — same code path, serial speed.
+    return !params.ddr_fabric && !params.ideal_comm &&
+           !params.checkers.cxl_link;
+}
+
+Tick
+NdpSystem::shardLookahead(const SystemParams &params)
+{
+    // An in-window event may touch another shard no sooner than the
+    // cheapest cross-shard path: a CXL link hop (towards either a
+    // DIMM or the host) or a DRAM completion's CAS-to-data-end gap.
+    const DramTimingParams timing = DramTimingParams::ddr4_1600_22();
+    Tick la = timing.minCompletionGapTicks();
+    la = std::min(la, params.pool.dimm_link.latency);
+    la = std::min(la, params.pool.host_link.latency);
+    return la;
+}
+
+std::unique_ptr<EventQueue>
+NdpSystem::makeQueue(const SystemParams &params)
+{
+    if (!params.des.sharded())
+        return std::make_unique<EventQueue>();
+    ShardedEventQueue::Params qp;
+    qp.threads = params.des.threads;
+    if (shardingEligible(params)) {
+        // One lane per unmodified DIMM (its controller is the shard)
+        // plus the default lane holding everything else; CXLG-DIMM
+        // controllers stay on the default lane because NDP modules
+        // reach them with zero-latency local accesses.
+        const unsigned num_dimms =
+            params.num_groups * params.dimms_per_group;
+        const unsigned non_cxlg =
+            num_dimms - unsigned(params.cxlg_dimms.size());
+        qp.lanes = std::min(params.des.shards, 1 + non_cxlg);
+        qp.lookahead = shardLookahead(params);
+    }
+    return std::make_unique<ShardedEventQueue>(qp);
+}
+
 NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
-    : p(params), workload(&wl)
+    : p(params), workload(&wl), eq_store(makeQueue(p)), eq(*eq_store)
 {
     buildMachine();
 
@@ -139,7 +187,8 @@ NdpSystem::NdpSystem(const SystemParams &params, const Workload &wl)
     ctx.pass = 0;
 }
 
-NdpSystem::NdpSystem(const SystemParams &params) : p(params)
+NdpSystem::NdpSystem(const SystemParams &params)
+    : p(params), eq_store(makeQueue(p)), eq(*eq_store)
 {
     buildMachine();
     ctx.kmc_single_pass = p.opts.kmc_single_pass;
@@ -149,17 +198,37 @@ NdpSystem::NdpSystem(const SystemParams &params) : p(params)
 void
 NdpSystem::buildMachine()
 {
-    // Telemetry first: the trace sink must be attached to the queue
-    // before components construct (they cache the sink pointer).
-    if (p.obs.enabled())
-        observability_ =
-            std::make_unique<obs::Observability>(eq, p.obs);
-
     const unsigned num_dimms = p.num_groups * p.dimms_per_group;
     auto is_cxlg = [&](unsigned dimm) {
         return std::find(p.cxlg_dimms.begin(), p.cxlg_dimms.end(),
                          dimm) != p.cxlg_dimms.end();
     };
+
+    // Shard plan first: it must be installed before anything (the
+    // telemetry sampler, controller refresh events) schedules. Each
+    // unmodified DIMM homes to hint 1 + index; hints round-robin
+    // over the worker lanes. CXLG-DIMMs and everything else stay on
+    // the default lane 0.
+    ShardedEventQueue *sq = eq.sharded();
+    if (sq && sq->lanes() > 1) {
+        ShardPlan shard_plan;
+        shard_plan.lanes = sq->lanes();
+        unsigned next = 0;
+        for (unsigned d = 0; d < num_dimms; ++d) {
+            if (is_cxlg(d))
+                continue;
+            shard_plan.home_lane[1 + d] =
+                1 + (next % (shard_plan.lanes - 1));
+            ++next;
+        }
+        sq->setPlan(std::move(shard_plan));
+    }
+
+    // Telemetry next: the trace sink must be attached to the queue
+    // before components construct (they cache the sink pointer).
+    if (p.obs.enabled())
+        observability_ =
+            std::make_unique<obs::Observability>(eq, p.obs);
 
     // --- Fabric ---
     if (p.ddr_fabric) {
@@ -194,6 +263,16 @@ NdpSystem::buildMachine()
         DramControllerParams ctrl_params;
         ctrl_params.page_policy = p.page_policy;
         ctrl_params.checkers = p.checkers;
+        // Unmodified DIMMs home their controller (and its fabric
+        // deliveries) to hint 1 + d; inert unless the shard plan
+        // maps the hint to a worker lane.
+        if (!is_cxlg(d)) {
+            ctrl_params.home_hint = 1 + d;
+            if (pool_fabric) {
+                pool_fabric->setNodeHome(NodeId::dimmNode(group, slot),
+                                         1 + d);
+            }
+        }
         controllers.push_back(std::make_unique<DramController>(
             "dimm" + std::to_string(d), eq, registry, geom, timing,
             ctrl_params));
@@ -699,7 +778,27 @@ NdpSystem::serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done)
 void
 NdpSystem::drainUntil(std::uint64_t target)
 {
+    ShardedEventQueue *sq = eq.sharded();
     while (completed_tasks < target) {
+        // Parallel windows are legal only while the stop predicate
+        // provably cannot flip inside one: every in-window completion
+        // comes from a task in flight at window start (a task
+        // dispatched inside the window needs its input streamed over
+        // at least one link hop >= the lookahead), so as long as even
+        // completing all of them leaves the target unmet, a whole
+        // window is safe. The tail runs serial-canonical runOne().
+        if (sq) {
+            std::uint64_t in_flight = 0;
+            for (unsigned n : inflight)
+                in_flight += n;
+            if (completed_tasks + in_flight < target &&
+                sq->runWindow()) {
+                BEACON_CHECK(completed_tasks < target,
+                             "stop predicate flipped inside a "
+                             "window: ", completed_tasks, "/", target);
+                continue;
+            }
+        }
         if (!eq.runOne())
             BEACON_PANIC("event queue drained with ",
                          completed_tasks, "/", target,

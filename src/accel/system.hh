@@ -36,6 +36,7 @@
 #include "ndp/atomic_engine.hh"
 #include "ndp/ndp_module.hh"
 #include "obs/observability.hh"
+#include "sim/sharded_event_queue.hh"
 
 namespace beacon
 {
@@ -102,6 +103,14 @@ struct SystemParams
      * toggles; all-off (the default) builds no obs machinery.
      */
     obs::ObsConfig obs = obs::ObsConfig::fromEnv();
+
+    /**
+     * Discrete-event engine: the legacy serial queue by default, the
+     * sharded parallel queue when shards > 1 (or force_sharded).
+     * Bit-identical results either way; BEACON_DES_SHARDS /
+     * BEACON_DES_THREADS select it fleet-wide (CI's sharded leg).
+     */
+    DesParams des = DesParams::fromEnv();
 
     PoolParams pool;          //!< used when !ddr_fabric
     DdrFabricParams ddr;      //!< used when ddr_fabric
@@ -195,6 +204,9 @@ class NdpSystem
     /** Event queue, for orchestrators driving the loop directly. */
     EventQueue &eventQueue() { return eq; }
 
+    /** The sharded engine, or nullptr when running the legacy one. */
+    ShardedEventQueue *shardedQueue() { return eq.sharded(); }
+
     /** Mutable registry access (orchestrator-level statistics). */
     StatRegistry &statsMutable() { return registry; }
 
@@ -265,6 +277,20 @@ class NdpSystem
     /** @} */
 
   private:
+    /**
+     * Select and build the discrete-event engine for @p params: the
+     * legacy serial queue, or the sharded queue sized to the
+     * machine's shardable components (see buildMachine's plan).
+     */
+    static std::unique_ptr<EventQueue>
+    makeQueue(const SystemParams &params);
+
+    /** True when the topology supports a multi-lane shard plan. */
+    static bool shardingEligible(const SystemParams &params);
+
+    /** Conservative lookahead of @p params' topology, in ticks. */
+    static Tick shardLookahead(const SystemParams &params);
+
     /** Instantiate fabric, DRAM, NDP modules, engines, framework. */
     void buildMachine();
 
@@ -309,7 +335,10 @@ class NdpSystem
     const Workload *workload = nullptr;
     WorkloadContext ctx;
 
-    EventQueue eq;
+    /** The engine (legacy or sharded, see DesParams); eq is the
+     *  stable reference every component binds to. */
+    std::unique_ptr<EventQueue> eq_store;
+    EventQueue &eq;
     StatRegistry registry;
 
     /** Telemetry; constructed before any component so the trace

@@ -188,9 +188,11 @@ PoolFabric::finalizeCheck() const
 
 void
 PoolFabric::hopLink(CxlLink &link, LinkDir dir, Bytes bytes,
-                    std::function<void()> next)
+                    std::function<void()> next,
+                    std::uint32_t arrival_home)
 {
-    link.send(dir, bytes, [fn = std::move(next)](Tick) { fn(); });
+    link.send(dir, bytes, [fn = std::move(next)](Tick) { fn(); },
+              arrival_home);
 }
 
 void
@@ -204,7 +206,9 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
     };
 
     if (src == dst) {
-        eq.scheduleIn(0, deliver_all, EventCat::Cxl);
+        // Loopback delivery still re-homes onto the destination's
+        // shard so the Deliver callbacks touch only lane-owned state.
+        eq.scheduleIn(0, deliver_all, EventCat::Cxl, homeOf(dst));
         return;
     }
 
@@ -229,6 +233,9 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
         LinkDir dir = LinkDir::Downstream;
         unsigned sw = 0;
         Tick delay = 0;
+        /** Arrival home of the hop's completion event (final hop
+         *  towards a DIMM re-homes delivery onto its shard). */
+        std::uint32_t home = 0;
     };
     std::vector<Hop> plan;
 
@@ -265,9 +272,11 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
         }
     }
     if (dst.isDimm()) {
+        // Final hop: the link's propagation latency (>= the sharded
+        // queue's lookahead) covers the cross-shard re-homing.
         plan.push_back({Hop::Kind::Link,
                         switches[dsw].dimm_links[dst.dimm].get(),
-                        LinkDir::Downstream, 0, 0});
+                        LinkDir::Downstream, 0, 0, homeOf(dst)});
     }
 
     // Execute the plan hop by hop. The stored function must not hold
@@ -288,7 +297,7 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
         auto next = [self = weak_step.lock(), i]() { (*self)(i + 1); };
         switch (hop.kind) {
           case Hop::Kind::Link:
-            hopLink(*hop.link, hop.dir, wire, next);
+            hopLink(*hop.link, hop.dir, wire, next, hop.home);
             break;
           case Hop::Kind::Bus:
             hopBus(hop.sw, wire, next);

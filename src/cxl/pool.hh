@@ -112,6 +112,27 @@ class PoolFabric : public SimObject, public Fabric
     const CxlLinkChecker *checker() const { return link_checker.get(); }
 
     /**
+     * Declare the event-queue home of a destination endpoint: the
+     * final hop of any message towards @p node re-homes its arrival
+     * event (and thus the delivery callbacks) onto that shard. All
+     * intermediate hops and the fabric's own state stay on the
+     * default shard. Unmapped nodes deliver on shard hint 0.
+     */
+    void
+    setNodeHome(NodeId node, std::uint32_t hint)
+    {
+        node_homes[node.key()] = hint;
+    }
+
+    /** The delivery home hint of @p node (0 when unmapped). */
+    std::uint32_t
+    homeOf(NodeId node) const
+    {
+        auto it = node_homes.find(node.key());
+        return it == node_homes.end() ? 0 : it->second;
+    }
+
+    /**
      * End-of-run validation: message balance and per-channel
      * bandwidth conservation. No-op when the checker is off.
      */
@@ -133,13 +154,15 @@ class PoolFabric : public SimObject, public Fabric
     void hopBus(unsigned sw, Bytes bytes,
                 std::function<void()> next);
     void hopLink(CxlLink &link, LinkDir dir, Bytes bytes,
-                 std::function<void()> next);
+                 std::function<void()> next,
+                 std::uint32_t arrival_home = 0);
 
     DataPacker &packerFor(NodeId src, NodeId dst);
 
     PoolParams p;
     std::vector<SwitchState> switches;
     std::map<std::uint64_t, std::unique_ptr<DataPacker>> packers;
+    std::map<std::uint32_t, std::uint32_t> node_homes;
     std::unique_ptr<CxlLinkChecker> link_checker;
     std::vector<unsigned> bus_channels; //!< checker id per switch bus
 

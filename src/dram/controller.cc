@@ -61,7 +61,7 @@ DramController::DramController(const std::string &name, EventQueue &eq,
             // Stagger refreshes across ranks.
             const Tick first = refi + r * (refi / geom.ranks);
             eq.schedule(first, [this, r] { refreshTick(r); },
-                        EventCat::Dram);
+                        EventCat::Dram, params.home_hint);
         }
     }
 }
@@ -122,7 +122,7 @@ DramController::scheduleDecision(Tick t)
             decision_time = max_tick;
             decide();
         },
-        EventCat::Dram);
+        EventCat::Dram, params.home_hint);
 }
 
 void
@@ -239,10 +239,12 @@ DramController::decideOnce()
             stat_latency.sample(
                 double(data_end - done.enqueue_tick));
             if (done.on_complete) {
+                // Completion callbacks run on the requester's shard;
+                // the CAS-to-data-end gap covers the lookahead.
                 eq.schedule(data_end,
                             [cb = std::move(done.on_complete),
                              data_end] { cb(data_end); },
-                            EventCat::Dram);
+                            EventCat::Dram, done.completion_hint);
             }
         }
         break;
@@ -265,14 +267,14 @@ DramController::refreshTick(unsigned rank)
     const Tick start = model.earliestRefresh(rank, now);
     if (start > now) {
         eq.schedule(start, [this, rank] { refreshTick(rank); },
-                    EventCat::Dram);
+                    EventCat::Dram, params.home_hint);
         return;
     }
     model.issueRefresh(rank, now);
     const Tick refi =
         model.timing().t_refi * model.timing().t_ck_ps;
     eq.schedule(now + refi, [this, rank] { refreshTick(rank); },
-                EventCat::Dram);
+                EventCat::Dram, params.home_hint);
     // Refresh may unblock nothing, but banks it closed need an ACT;
     // make sure a decision happens afterwards.
     scheduleDecision(model.refreshBusyUntil(rank));

@@ -45,6 +45,10 @@ Observability::Observability(EventQueue &eq, const ObsConfig &cfg)
         sink_ = std::make_unique<TraceSink>(eq,
                                             cfg.trace_buffer_events);
         eq.setTraceSink(sink_.get());
+        // Sharded engine: lane-emitted events are staged per lane
+        // and flushed by the barrier merge in canonical order.
+        if (ShardedEventQueue *sq = eq.sharded())
+            sq->setMergeHook(sink_.get());
     }
     if (cfg.sample_interval > 0) {
         sampler_ =
@@ -64,8 +68,11 @@ Observability::Observability(EventQueue &eq, const ObsConfig &cfg)
 
 Observability::~Observability()
 {
-    if (sink_)
+    if (sink_) {
         eq.setTraceSink(nullptr);
+        if (ShardedEventQueue *sq = eq.sharded())
+            sq->setMergeHook(nullptr);
+    }
     if (profiler_)
         eq.setProfiler(nullptr);
 }

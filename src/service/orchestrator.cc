@@ -360,6 +360,7 @@ PoolOrchestrator::run()
                 const double u = arrivals.nextDouble();
                 const double gap_s = -std::log1p(-u) / rate;
                 at += Tick(gap_s * 1e12);
+                arrival_ticks.push_back(at);
                 eq.schedule(at, [this, id = tenant.id] {
                     submitJob(stateOf(id));
                     dispatch();
@@ -367,15 +368,59 @@ PoolOrchestrator::run()
             }
         }
     }
+    std::sort(arrival_ticks.begin(), arrival_ticks.end());
     dispatch();
 
-    auto finished = [this, target_jobs] {
+    auto doneJobs = [this] {
         std::uint64_t done = 0;
         for (const TenantState &tenant : tenants)
             done += tenant.jobs_completed + tenant.jobs_rejected;
-        return done >= target_jobs;
+        return done;
     };
+    auto finished = [&doneJobs, target_jobs] {
+        return doneJobs() >= target_jobs;
+    };
+
+    // Drive loop. On the sharded engine, advance whole conservative-
+    // lookahead windows while the finished predicate provably cannot
+    // flip inside one; fall back to serial-canonical runOne() for the
+    // tail (and on the legacy engine). The in-window advance of the
+    // finished-jobs counter is bounded by
+    //   - completions: at most jobs_outstanding (a job submitted
+    //     inside the window needs its input streamed over at least
+    //     one link hop >= the lookahead before any task can retire);
+    //   - rejections: one per open-loop arrival tick inside the
+    //     window. Closed-loop tenants never reject mid-run: a
+    //     rejection needs a structurally infeasible scratch quota
+    //     (occupancy-independent), which rejects that tenant's whole
+    //     job budget during setup, before the first window.
+    ShardedEventQueue *sq = eq.sharded();
     while (!finished()) {
+        if (sq != nullptr && sq->lookahead() > 0) {
+            const Tick t0 = sq->nextPendingTick();
+            if (t0 != max_tick && t0 < max_tick - sq->lookahead()) {
+                const Tick w_end = t0 + sq->lookahead();
+                while (arrival_cursor < arrival_ticks.size() &&
+                       arrival_ticks[arrival_cursor] < t0) {
+                    ++arrival_cursor;
+                }
+                std::uint64_t window_arrivals = 0;
+                for (std::size_t i = arrival_cursor;
+                     i < arrival_ticks.size() &&
+                     arrival_ticks[i] < w_end;
+                     ++i) {
+                    ++window_arrivals;
+                }
+                if (doneJobs() + jobs_outstanding + window_arrivals <
+                        target_jobs &&
+                    sq->runWindow()) {
+                    BEACON_CHECK(!finished(),
+                                 "finished predicate flipped inside "
+                                 "a service window");
+                    continue;
+                }
+            }
+        }
         if (!eq.runOne()) {
             BEACON_PANIC("service run stalled with ",
                          jobs_outstanding,

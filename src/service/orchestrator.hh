@@ -188,6 +188,15 @@ class PoolOrchestrator
     std::uint64_t next_seq = 0;
     std::uint64_t next_job_id = 0;
     std::uint64_t jobs_outstanding = 0;
+    /**
+     * Every open-loop arrival tick, pre-drawn and sorted; the cursor
+     * trails the clock. The windowed drive loop counts arrivals
+     * inside a prospective window to bound how far the finished-jobs
+     * counter can advance (each arrival submits at most one job,
+     * which can be rejected on the spot).
+     */
+    std::vector<Tick> arrival_ticks;
+    std::size_t arrival_cursor = 0;
     bool ran = false;
     std::unique_ptr<Scheduler> scheduler;
     /** Machine's trace sink (null when tracing is off). */

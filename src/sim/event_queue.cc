@@ -6,7 +6,8 @@ namespace beacon
 {
 
 EventId
-EventQueue::schedule(Tick when, Callback cb, EventCat cat)
+EventQueue::schedule(Tick when, Callback cb, EventCat cat,
+                     std::uint32_t /*home_hint*/)
 {
     BEACON_ASSERT(when >= _now, "scheduling into the past: when=", when,
                   " now=", _now);
@@ -19,9 +20,12 @@ EventQueue::schedule(Tick when, Callback cb, EventCat cat)
 }
 
 EventId
-EventQueue::scheduleIn(Tick delta, Callback cb, EventCat cat)
+EventQueue::scheduleIn(Tick delta, Callback cb, EventCat cat,
+                       std::uint32_t home_hint)
 {
-    return schedule(_now + delta, std::move(cb), cat);
+    // Virtual now()/schedule() so the sharded queue inherits this
+    // verbatim with lane-local time.
+    return schedule(now() + delta, std::move(cb), cat, home_hint);
 }
 
 void

@@ -28,6 +28,8 @@ namespace obs
 class TraceSink; // src/obs — the sim layer only carries a pointer.
 } // namespace obs
 
+class ShardedEventQueue; // src/sim/sharded_event_queue.hh
+
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
 
@@ -80,6 +82,48 @@ class EventProfiler
 
     /** Called just after the same callback returns. */
     virtual void endEvent(EventCat cat) = 0;
+
+    /**
+     * A sharded queue announces how many worker lanes it will run
+     * before the first parallel window. Profilers that want per-lane
+     * attribution allocate lane-local accumulators here.
+     */
+    virtual void prepareLanes(std::size_t /*lanes*/) {}
+
+    /**
+     * Lane-local profiler used by worker threads inside a parallel
+     * window; must be safe to call concurrently with the profilers of
+     * *other* lanes. Returning nullptr (the default) disables
+     * profiling of lane events while windows run in parallel.
+     */
+    virtual EventProfiler *laneProfiler(unsigned /*lane*/)
+    {
+        return nullptr;
+    }
+};
+
+/**
+ * Hook a sharded queue drives while it merges per-lane execution logs
+ * back into the canonical (serial) event order at a window barrier.
+ *
+ * The one implementation is obs::TraceSink: trace events emitted by
+ * lane events are staged per lane and flushed into the shared ring in
+ * canonical order, so serial and sharded traces are byte-identical.
+ */
+class LaneMergeHook
+{
+  public:
+    virtual ~LaneMergeHook() = default;
+
+    /** Sizes lane-local staging before the first parallel window. */
+    virtual void prepareLanes(std::size_t lanes) = 0;
+
+    /**
+     * The lane event with lane-local pop index @p pop_idx is next in
+     * canonical order; commit anything it staged.
+     */
+    virtual void commitLaneEvent(unsigned lane,
+                                 std::uint64_t pop_idx) = 0;
 };
 
 /**
@@ -88,6 +132,11 @@ class EventProfiler
  * Components schedule callbacks at absolute ticks; the driver runs the
  * queue until it is empty, a tick limit is reached, or an event count
  * budget is exhausted.
+ *
+ * The class is also the abstract interface of the sharded parallel
+ * queue (ShardedEventQueue): the base implementation is the canonical
+ * serial kernel, and every override is required to produce the exact
+ * same execution order — stats, traces and time-series byte-for-byte.
  */
 class EventQueue
 {
@@ -95,69 +144,86 @@ class EventQueue
     using Callback = std::function<void()>;
 
     EventQueue() = default;
+    virtual ~EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return _now; }
+    /**
+     * Current simulated time. Inside an event callback this is the
+     * tick the event fired at, even when the callback runs on a
+     * worker lane of a sharded queue.
+     */
+    virtual Tick now() const { return _now; }
 
     /** Number of events executed so far. */
-    std::uint64_t eventsExecuted() const { return executed; }
+    virtual std::uint64_t eventsExecuted() const { return executed; }
 
     /**
      * Number of live pending events (cancelled events excluded, even
      * while their queue entries await lazy removal).
      */
-    std::size_t pending() const { return live.size(); }
+    virtual std::size_t pending() const { return live.size(); }
 
     /**
      * Size of the internal heap: live events plus cancelled entries
      * that have not been popped yet. Only interesting for capacity
      * accounting; use pending() for "how much work is left".
      */
-    std::size_t pendingIncludingCancelled() const
+    virtual std::size_t pendingIncludingCancelled() const
     {
         return queue.size();
     }
 
     /**
      * Schedule @p cb at absolute time @p when (>= now()).
+     *
+     * @p home_hint names the component shard the callback belongs to
+     * (0 = the default shard). The serial queue ignores it; a sharded
+     * queue uses it to route the event to a worker lane. Hints must
+     * be stable for a given destination component so that all events
+     * touching one component's state run on one lane.
+     *
      * @return an id usable with cancel().
      */
-    EventId schedule(Tick when, Callback cb,
-                     EventCat cat = EventCat::Other);
+    virtual EventId schedule(Tick when, Callback cb,
+                             EventCat cat = EventCat::Other,
+                             std::uint32_t home_hint = 0);
 
     /** Schedule @p cb @p delta ticks from now. */
     EventId scheduleIn(Tick delta, Callback cb,
-                       EventCat cat = EventCat::Other);
+                       EventCat cat = EventCat::Other,
+                       std::uint32_t home_hint = 0);
 
     /** Cancel a pending event; cancelling a fired event is a no-op. */
-    void cancel(EventId id);
+    virtual void cancel(EventId id);
 
     /** True if the event has not fired and is not cancelled. */
-    bool scheduled(EventId id) const;
+    virtual bool scheduled(EventId id) const;
 
     /**
      * Execute the next event, if any.
      * @return false when the queue is empty.
      */
-    bool runOne();
+    virtual bool runOne();
 
     /**
      * Run until the queue drains or until the next event would fire
      * after @p limit.
      * @return the final simulated time.
      */
-    Tick run(Tick limit = max_tick);
+    virtual Tick run(Tick limit = max_tick);
 
     /** Drop all pending events and reset time to zero. */
-    void reset();
+    virtual void reset();
 
     /**
      * Install (or clear, with nullptr) the host-side profiler that
      * brackets every executed callback. Not owned.
      */
-    void setProfiler(EventProfiler *p) { profiler = p; }
+    virtual void setProfiler(EventProfiler *p) { profiler = p; }
+
+    /** Downcast without RTTI: non-null when this queue is sharded. */
+    virtual ShardedEventQueue *sharded() { return nullptr; }
 
     /**
      * Attach (or clear) the trace sink components consult when they

@@ -1,0 +1,769 @@
+#include "sharded_event_queue.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace beacon
+{
+
+namespace
+{
+
+// The thread's current execution context. Workers point this at a
+// stack frame for the duration of a lane segment; the coordinator
+// points it at the current event during serial execution. Nested
+// queues (a sharded system driven from a sweep worker) restore the
+// previous pointer on scope exit.
+thread_local ShardExecContext *tls_ctx = nullptr;
+
+struct CtxGuard
+{
+    ShardExecContext *prev;
+
+    explicit CtxGuard(ShardExecContext *ctx) : prev(tls_ctx)
+    {
+        tls_ctx = ctx;
+    }
+
+    ~CtxGuard() { tls_ctx = prev; }
+
+    CtxGuard(const CtxGuard &) = delete;
+    CtxGuard &operator=(const CtxGuard &) = delete;
+};
+
+/** Context of this queue, or nullptr (another queue's worker). */
+ShardExecContext *
+ownCtx(const ShardedEventQueue *q)
+{
+    ShardExecContext *c = tls_ctx;
+    return (c && c->queue == q) ? c : nullptr;
+}
+
+constexpr unsigned ambient_src_code = 0xFF;
+
+} // namespace
+
+const ShardExecContext *
+currentShardContext()
+{
+    return tls_ctx;
+}
+
+DesParams
+DesParams::fromEnv()
+{
+    DesParams p;
+    if (const char *v = std::getenv("BEACON_DES_SHARDS"))
+        p.shards = std::max(1, std::atoi(v));
+    if (const char *v = std::getenv("BEACON_DES_THREADS"))
+        p.threads = std::max(0, std::atoi(v));
+    return p;
+}
+
+ShardedEventQueue::ShardedEventQueue(Params p) : cfg(p)
+{
+    if (cfg.lanes < 1)
+        cfg.lanes = 1;
+    BEACON_CHECK(cfg.lanes < 200,
+                 "lane count ", cfg.lanes,
+                 " exceeds the EventId encoding");
+    lane_store.resize(cfg.lanes);
+    plan.lanes = cfg.lanes;
+}
+
+ShardedEventQueue::~ShardedEventQueue() = default;
+
+void
+ShardedEventQueue::setPlan(ShardPlan new_plan)
+{
+    BEACON_CHECK(pending() == 0,
+                 "setPlan() with ", pending(),
+                 " events pending: entries do not migrate between "
+                 "lanes, install the plan before scheduling");
+    BEACON_CHECK(new_plan.lanes >= 1 &&
+                     new_plan.lanes <= unsigned(lane_store.size()),
+                 "plan wants ", new_plan.lanes, " lanes, queue has ",
+                 lane_store.size());
+    for (const auto &[hint, lane] : new_plan.home_lane)
+        BEACON_CHECK(lane < unsigned(lane_store.size()),
+                     "hint ", hint, " maps to lane ", lane,
+                     " out of ", lane_store.size());
+    plan = std::move(new_plan);
+}
+
+// ---------------------------------------------------------------
+// Ordering key
+// ---------------------------------------------------------------
+
+bool
+ShardedEventQueue::entryLess(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    const bool ar = a.g != unresolved_g;
+    const bool br = b.g != unresolved_g;
+    if (ar != br) {
+        // An unresolved scheduler executes in the current window, so
+        // its g will exceed every g assigned so far: resolved first.
+        return ar;
+    }
+    if (ar) {
+        if (a.g != b.g)
+            return a.g < b.g;
+        return a.call < b.call;
+    }
+    // Both unresolved: structurally the same lane (cross-lane entries
+    // only arrive through the barrier drain, already resolved), where
+    // pop order equals g order.
+    if (a.pop != b.pop)
+        return a.pop < b.pop;
+    return a.call < b.call;
+}
+
+void
+ShardedEventQueue::heapPush(Lane &lane, Entry e)
+{
+    lane.heap.push_back(e);
+    std::push_heap(lane.heap.begin(), lane.heap.end(),
+                   [](const Entry &a, const Entry &b) {
+                       return entryLess(b, a);
+                   });
+}
+
+ShardedEventQueue::Entry
+ShardedEventQueue::heapPop(Lane &lane)
+{
+    std::pop_heap(lane.heap.begin(), lane.heap.end(),
+                  [](const Entry &a, const Entry &b) {
+                      return entryLess(b, a);
+                  });
+    Entry e = lane.heap.back();
+    lane.heap.pop_back();
+    return e;
+}
+
+bool
+ShardedEventQueue::pruneHead(Lane &lane)
+{
+    while (!lane.heap.empty() &&
+           lane.callbacks.find(lane.heap.front().id) ==
+               lane.callbacks.end())
+        heapPop(lane); // cancelled: lazy removal, as in the serial queue
+    return !lane.heap.empty();
+}
+
+// ---------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------
+
+unsigned
+ShardedEventQueue::homeLane(std::uint32_t hint) const
+{
+    auto it = plan.home_lane.find(hint);
+    return it == plan.home_lane.end() ? 0 : it->second;
+}
+
+unsigned
+ShardedEventQueue::destLane(EventCat cat, std::uint32_t hint) const
+{
+    // Sampler events scan the whole stat registry, so they run on the
+    // barrier lane where every worker lane is provably quiesced.
+    if (cat == EventCat::Sampler)
+        return barrierLane();
+    return homeLane(hint);
+}
+
+EventId
+ShardedEventQueue::makeId(unsigned src_code, unsigned dst)
+{
+    std::uint64_t seq;
+    if (src_code == ambient_src_code)
+        seq = coord_id_seq++;
+    else
+        seq = laneAt(src_code).id_seq++;
+    BEACON_DCHECK(seq < (std::uint64_t(1) << 48),
+                  "event id sequence overflow");
+    return (std::uint64_t(dst) << 56) |
+           (std::uint64_t(src_code) << 48) | seq;
+}
+
+void
+ShardedEventQueue::insertResolved(unsigned dst, Entry e, Callback cb)
+{
+    BEACON_DCHECK(e.g != unresolved_g, "inserting an unresolved entry");
+    Lane &lane = laneAt(dst);
+    lane.live.insert(e.id);
+    lane.callbacks.emplace(e.id, std::move(cb));
+    heapPush(lane, e);
+}
+
+EventId
+ShardedEventQueue::schedule(Tick when, Callback cb, EventCat cat,
+                            std::uint32_t home_hint)
+{
+    ShardExecContext *c = ownCtx(this);
+    const Tick ref_now = c ? c->now : _now;
+    BEACON_ASSERT(when >= ref_now, "scheduling into the past: when=",
+                  when, " now=", ref_now);
+    const unsigned dst = destLane(cat, home_hint);
+
+    if (c && c->in_window) {
+        Lane &src = lane_store[c->lane];
+        Entry e;
+        e.when = when;
+        e.g = unresolved_g;
+        e.pop = c->pop;
+        e.call = c->next_call++;
+        e.id = makeId(c->lane, dst);
+        e.cat = cat;
+        if (dst == c->lane) {
+            // Same lane: the worker owns all of this state.
+            src.live.insert(e.id);
+            src.callbacks.emplace(e.id, std::move(cb));
+            heapPush(src, e);
+        } else {
+            // Cross-shard send: must clear the conservative
+            // lookahead so the destination lane cannot have advanced
+            // past it, then ride the single-writer outbox until the
+            // barrier drain.
+            BEACON_CHECK(
+                when >= window_end,
+                "cross-shard send violates conservative lookahead: "
+                "lane ", c->lane, " -> lane ", dst, " at tick ", when,
+                " inside window ending at ", window_end,
+                " (same-tick cross-shard sends would silently "
+                "reorder; route them through a link with latency >= "
+                "the lookahead or home both endpoints on one shard)");
+            src.outbox.push_back(Mail{dst, e, std::move(cb)});
+        }
+        return e.id;
+    }
+
+    // Serial execution, a barrier-lane event, or setup/driver code
+    // outside any callback: lanes are quiesced, insert directly with
+    // a fully resolved key. Outside callbacks the "ambient" context
+    // continues the canonically-last event's numbering, matching the
+    // legacy queue's global insertion sequence.
+    Entry e;
+    e.when = when;
+    if (c) {
+        e.g = c->g;
+        e.call = c->next_call++;
+        e.id = makeId(c->lane, dst);
+    } else {
+        e.g = ambient_g;
+        e.call = ambient_call++;
+        e.id = makeId(ambient_src_code, dst);
+    }
+    e.pop = 0;
+    e.cat = cat;
+    insertResolved(dst, e, std::move(cb));
+    return e.id;
+}
+
+void
+ShardedEventQueue::cancel(EventId id)
+{
+    const unsigned owner = ownerOf(id);
+    BEACON_CHECK(owner <= barrierLane(), "cancel of foreign id");
+    ShardExecContext *c = ownCtx(this);
+    // In-window workers may only touch their own lane; every other
+    // context runs while the lanes are quiesced.
+    BEACON_CHECK(!c || !c->in_window || owner == c->lane,
+                 "cross-shard cancel from lane ", c ? c->lane : 0,
+                 " of an event owned by lane ", owner);
+    Lane &lane = laneAt(owner);
+    lane.live.erase(id);
+    lane.callbacks.erase(id);
+}
+
+bool
+ShardedEventQueue::scheduled(EventId id) const
+{
+    const unsigned owner = ownerOf(id);
+    BEACON_CHECK(owner <= barrierLane(), "query of foreign id");
+    const ShardExecContext *c = ownCtx(this);
+    BEACON_CHECK(!c || !c->in_window || owner == c->lane,
+                 "cross-shard scheduled() query from lane ",
+                 c ? c->lane : 0, " of an event owned by lane ", owner);
+    const Lane &lane = owner == barrierLane()
+                           ? barrier
+                           : lane_store[owner];
+    return lane.live.count(id) != 0;
+}
+
+// ---------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------
+
+Tick
+ShardedEventQueue::now() const
+{
+    const ShardExecContext *c = ownCtx(this);
+    return c ? c->now : _now;
+}
+
+std::size_t
+ShardedEventQueue::pending() const
+{
+    std::size_t n = barrier.live.size();
+    for (const Lane &lane : lane_store)
+        n += lane.live.size() + lane.outbox.size();
+    return n;
+}
+
+std::size_t
+ShardedEventQueue::pendingIncludingCancelled() const
+{
+    std::size_t n = barrier.heap.size();
+    for (const Lane &lane : lane_store)
+        n += lane.heap.size() + lane.outbox.size();
+    return n;
+}
+
+Tick
+ShardedEventQueue::nextPendingTick()
+{
+    BEACON_CHECK(!window_open, "nextPendingTick() inside a window");
+    Tick best = max_tick;
+    bool any = false;
+    for (unsigned i = 0; i <= barrierLane(); ++i) {
+        Lane &lane = laneAt(i);
+        if (!pruneHead(lane))
+            continue;
+        const Tick when = lane.heap.front().when;
+        if (!any || when < best)
+            best = when;
+        any = true;
+    }
+    return any ? best : max_tick;
+}
+
+// ---------------------------------------------------------------
+// Serial-canonical execution
+// ---------------------------------------------------------------
+
+void
+ShardedEventQueue::execSerial(unsigned lane_idx, Entry top, Callback cb)
+{
+    BEACON_DCHECK(top.g != unresolved_g,
+                  "serial execution of an unresolved entry");
+    // Determinism: the canonical key order must be strictly
+    // increasing, exactly like the serial queue's (tick, seq) guard.
+    BEACON_DCHECK(
+        !has_executed || top.when > last_when ||
+            (top.when == last_when &&
+             (top.g > last_g ||
+              (top.g == last_g && top.call > last_call))),
+        "canonical order violated: event (t=", top.when, ", g=",
+        top.g, ", call=", top.call, ") after (t=", last_when, ", g=",
+        last_g, ", call=", last_call, ")");
+    last_when = top.when;
+    last_g = top.g;
+    last_call = top.call;
+    has_executed = true;
+
+    const std::uint64_t g_exec = g_counter++;
+    _now = top.when;
+    ++executed;
+
+    ShardExecContext ctx;
+    ctx.queue = this;
+    ctx.lane = lane_idx;
+    ctx.now = top.when;
+    ctx.in_window = false;
+    ctx.g = g_exec;
+    ctx.next_call = 0;
+    {
+        CtxGuard guard(&ctx);
+        if (profiler) {
+            profiler->beginEvent(top.cat, top.when);
+            cb();
+            profiler->endEvent(top.cat);
+        } else {
+            cb();
+        }
+    }
+    ambient_g = g_exec;
+    ambient_call = ctx.next_call;
+}
+
+bool
+ShardedEventQueue::runOne()
+{
+    BEACON_CHECK(!window_open, "runOne() inside a window");
+    int best = -1;
+    for (unsigned i = 0; i <= barrierLane(); ++i) {
+        Lane &lane = laneAt(i);
+        if (!pruneHead(lane))
+            continue;
+        const Entry &head = lane.heap.front();
+        BEACON_DCHECK(head.g != unresolved_g,
+                      "unresolved entry outside a window");
+        if (best < 0 ||
+            entryLess(head, laneAt(unsigned(best)).heap.front()))
+            best = int(i);
+    }
+    if (best < 0)
+        return false;
+
+    Lane &lane = laneAt(unsigned(best));
+    Entry top = heapPop(lane);
+    BEACON_DCHECK(!lane.has_popped ||
+                      entryLess(lane.last_popped, top),
+                  "lane pop order violated");
+    lane.last_popped = top;
+    lane.has_popped = true;
+    auto it = lane.callbacks.find(top.id);
+    BEACON_DCHECK(it != lane.callbacks.end(), "live entry without cb");
+    Callback cb = std::move(it->second);
+    lane.callbacks.erase(it);
+    lane.live.erase(top.id);
+    ++lane.exec_count;
+    lane.log_base = lane.exec_count;
+    ++n_serial_events;
+    execSerial(unsigned(best), std::move(top), std::move(cb));
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Windowed execution
+// ---------------------------------------------------------------
+
+ThreadPool &
+ShardedEventQueue::pool()
+{
+    if (!pool_store) {
+        unsigned threads = cfg.threads;
+        if (threads == 0)
+            threads = std::min(unsigned(lane_store.size()),
+                               ThreadPool::defaultThreads());
+        pool_store = std::make_unique<ThreadPool>(
+            std::max(threads, 1u));
+    }
+    return *pool_store;
+}
+
+void
+ShardedEventQueue::laneSegment(unsigned lane_idx, Tick w_end,
+                               const Entry *bound)
+{
+    Lane &lane = lane_store[lane_idx];
+    EventProfiler *lane_prof =
+        profiler ? profiler->laneProfiler(lane_idx) : nullptr;
+
+    ShardExecContext ctx;
+    ctx.queue = this;
+    ctx.lane = lane_idx;
+    ctx.in_window = true;
+    CtxGuard guard(&ctx);
+
+    for (;;) {
+        if (!pruneHead(lane))
+            break;
+        if (lane.heap.front().when >= w_end)
+            break;
+        if (bound && !entryLess(lane.heap.front(), *bound))
+            break;
+        Entry top = heapPop(lane);
+        BEACON_DCHECK(!lane.has_popped ||
+                          entryLess(lane.last_popped, top),
+                      "lane pop order violated");
+        lane.last_popped = top;
+        lane.has_popped = true;
+        auto it = lane.callbacks.find(top.id);
+        BEACON_DCHECK(it != lane.callbacks.end(),
+                      "live entry without cb");
+        Callback cb = std::move(it->second);
+        lane.callbacks.erase(it);
+        lane.live.erase(top.id);
+
+        ExecRec rec;
+        rec.when = top.when;
+        rec.g_sched = top.g;
+        rec.pop_sched = top.pop;
+        rec.call = top.call;
+        rec.pop = lane.exec_count;
+        rec.cat = top.cat;
+
+        ctx.now = top.when;
+        ctx.pop = lane.exec_count;
+        ctx.next_call = 0;
+        if (lane_prof) {
+            lane_prof->beginEvent(top.cat, top.when);
+            cb();
+            lane_prof->endEvent(top.cat);
+        } else {
+            cb();
+        }
+        rec.calls_made = ctx.next_call;
+        lane.log.push_back(rec);
+        ++lane.exec_count;
+    }
+}
+
+void
+ShardedEventQueue::mergeSegments()
+{
+    // K-way merge of the per-lane execution logs in canonical key
+    // order; the winner of each round receives the next global
+    // execution index g. An event scheduled by an in-window event
+    // resolves its key through the scheduler's log record — the
+    // scheduler always precedes it in canonical order, so its g is
+    // already assigned when we need it.
+    std::vector<std::size_t> cursor(lane_store.size(), 0);
+    for (;;) {
+        int best = -1;
+        Tick best_when = 0;
+        std::uint64_t best_g = 0;
+        std::uint32_t best_call = 0;
+        for (unsigned i = 0; i < unsigned(lane_store.size()); ++i) {
+            Lane &lane = lane_store[i];
+            if (cursor[i] >= lane.log.size())
+                continue;
+            const ExecRec &rec = lane.log[cursor[i]];
+            std::uint64_t g = rec.g_sched;
+            if (g == unresolved_g) {
+                BEACON_DCHECK(rec.pop_sched >= lane.log_base,
+                              "stale unresolved scheduler reference");
+                const ExecRec &sched =
+                    lane.log[rec.pop_sched - lane.log_base];
+                BEACON_DCHECK(sched.g_assigned != unresolved_g,
+                              "scheduler merged after schedulee");
+                g = sched.g_assigned;
+            }
+            if (best < 0 || rec.when < best_when ||
+                (rec.when == best_when &&
+                 (g < best_g ||
+                  (g == best_g && rec.call < best_call)))) {
+                best = int(i);
+                best_when = rec.when;
+                best_g = g;
+                best_call = rec.call;
+            }
+        }
+        if (best < 0)
+            break;
+
+        Lane &lane = lane_store[unsigned(best)];
+        ExecRec &rec = lane.log[cursor[unsigned(best)]];
+        BEACON_DCHECK(
+            !has_executed || best_when > last_when ||
+                (best_when == last_when &&
+                 (best_g > last_g ||
+                  (best_g == last_g && best_call > last_call))),
+            "canonical merge order violated at t=", best_when);
+        last_when = best_when;
+        last_g = best_g;
+        last_call = best_call;
+        has_executed = true;
+
+        rec.g_assigned = g_counter++;
+        _now = rec.when;
+        ++executed;
+        if (merge_hook)
+            merge_hook->commitLaneEvent(unsigned(best), rec.pop);
+        ambient_g = rec.g_assigned;
+        ambient_call = rec.calls_made;
+        ++cursor[unsigned(best)];
+    }
+    resolveAfterMerge();
+}
+
+void
+ShardedEventQueue::resolveAfterMerge()
+{
+    // Resolve lazy keys left in the lane heaps. Within a lane, g is
+    // monotone in pop index and any freshly assigned g exceeds every
+    // pre-existing one, so resolution preserves heap order in place.
+    for (Lane &lane : lane_store) {
+        for (Entry &e : lane.heap) {
+            if (e.g != unresolved_g)
+                continue;
+            BEACON_DCHECK(e.pop >= lane.log_base &&
+                              e.pop - lane.log_base < lane.log.size(),
+                          "unresolved entry without scheduler record");
+            e.g = lane.log[e.pop - lane.log_base].g_assigned;
+            BEACON_DCHECK(e.g != unresolved_g, "merge left a hole");
+            e.pop = 0;
+        }
+    }
+    // Drain the single-writer outboxes into their destination lanes.
+    for (Lane &lane : lane_store) {
+        for (Mail &mail : lane.outbox) {
+            Entry e = mail.entry;
+            if (e.g == unresolved_g) {
+                BEACON_DCHECK(e.pop >= lane.log_base &&
+                                  e.pop - lane.log_base <
+                                      lane.log.size(),
+                              "outbox entry without scheduler record");
+                e.g = lane.log[e.pop - lane.log_base].g_assigned;
+                e.pop = 0;
+            }
+            insertResolved(mail.dst, e, std::move(mail.cb));
+            ++n_mailbox;
+        }
+        lane.outbox.clear();
+        lane.log.clear();
+        lane.log_base = lane.exec_count;
+    }
+}
+
+void
+ShardedEventQueue::execBarrierOne()
+{
+    Entry top = heapPop(barrier);
+    BEACON_DCHECK(!barrier.has_popped ||
+                      entryLess(barrier.last_popped, top),
+                  "barrier pop order violated");
+    barrier.last_popped = top;
+    barrier.has_popped = true;
+    auto it = barrier.callbacks.find(top.id);
+    BEACON_DCHECK(it != barrier.callbacks.end(),
+                  "live entry without cb");
+    Callback cb = std::move(it->second);
+    barrier.callbacks.erase(it);
+    barrier.live.erase(top.id);
+    ++barrier.exec_count;
+    execSerial(barrierLane(), std::move(top), std::move(cb));
+}
+
+bool
+ShardedEventQueue::runWindow(Tick limit)
+{
+    BEACON_CHECK(!window_open, "runWindow() inside a window");
+    BEACON_CHECK(!ownCtx(this), "runWindow() inside a callback");
+    const Tick t0 = nextPendingTick();
+    if (t0 == max_tick || t0 > limit)
+        return false;
+    if (cfg.lookahead == 0 || t0 >= max_tick - cfg.lookahead)
+        return runOne(); // no usable horizon: serial-canonical step
+
+    if (!lanes_prepared) {
+        if (profiler)
+            profiler->prepareLanes(lane_store.size());
+        if (merge_hook)
+            merge_hook->prepareLanes(lane_store.size());
+        lanes_prepared = true;
+    }
+
+    Tick w_end = t0 + cfg.lookahead;
+    if (limit != max_tick && w_end > limit + 1)
+        w_end = limit + 1;
+    window_open = true;
+    window_end = w_end;
+
+    std::vector<unsigned> active;
+    std::vector<std::future<void>> joins;
+    for (;;) {
+        // Barrier-lane bound: no lane event with a key at or beyond
+        // the earliest barrier event may run before it.
+        Entry bound_key;
+        bool has_bound = false;
+        if (pruneHead(barrier) &&
+            barrier.heap.front().when < w_end) {
+            bound_key = barrier.heap.front();
+            BEACON_DCHECK(bound_key.g != unresolved_g,
+                          "unresolved barrier entry");
+            has_bound = true;
+        }
+        active.clear();
+        for (unsigned i = 0; i < unsigned(lane_store.size()); ++i) {
+            Lane &lane = lane_store[i];
+            if (!pruneHead(lane))
+                continue;
+            const Entry &head = lane.heap.front();
+            if (head.when >= w_end)
+                continue;
+            if (has_bound && !entryLess(head, bound_key))
+                continue;
+            active.push_back(i);
+        }
+        if (active.empty()) {
+            if (has_bound) {
+                execBarrierOne();
+                continue;
+            }
+            break;
+        }
+        const Entry *bound = has_bound ? &bound_key : nullptr;
+        if (cfg.inline_windows || active.size() == 1) {
+            for (unsigned lane_idx : active)
+                laneSegment(lane_idx, w_end, bound);
+            ++n_inline_segments;
+        } else {
+            joins.clear();
+            for (unsigned lane_idx : active)
+                joins.push_back(pool().submit([this, lane_idx, w_end,
+                                               bound] {
+                    laneSegment(lane_idx, w_end, bound);
+                }));
+            for (std::future<void> &join : joins)
+                join.get();
+            ++n_par_segments;
+        }
+        mergeSegments();
+        if (!has_bound)
+            break;
+    }
+    window_open = false;
+    ++n_windows;
+    return true;
+}
+
+Tick
+ShardedEventQueue::run(Tick limit)
+{
+    for (;;) {
+        const Tick t0 = nextPendingTick();
+        if (t0 == max_tick || t0 > limit)
+            break;
+        if (cfg.lookahead == 0) {
+            runOne();
+            continue;
+        }
+        runWindow(limit);
+    }
+    return _now;
+}
+
+void
+ShardedEventQueue::reset()
+{
+    BEACON_CHECK(!window_open, "reset() inside a window");
+    for (unsigned i = 0; i <= barrierLane(); ++i) {
+        Lane &lane = laneAt(i);
+        lane.heap.clear();
+        lane.live.clear();
+        lane.callbacks.clear();
+        lane.exec_count = 0;
+        lane.log_base = 0;
+        lane.log.clear();
+        lane.outbox.clear();
+        lane.id_seq = 0;
+        lane.has_popped = false;
+    }
+    _now = 0;
+    executed = 0;
+    g_counter = 1;
+    ambient_g = 0;
+    ambient_call = 0;
+    coord_id_seq = 0;
+    last_when = 0;
+    last_g = 0;
+    last_call = 0;
+    has_executed = false;
+}
+
+void
+ShardedEventQueue::setProfiler(EventProfiler *p)
+{
+    profiler = p;
+    lanes_prepared = false; // re-announce lanes to the new observer
+}
+
+} // namespace beacon

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Sharded parallel discrete-event queue.
+ *
+ * The queue partitions events into per-component worker lanes (the
+ * shard cut follows the beacon-shardmap-1 whole-program report: DRAM
+ * controllers are the independently advancing shards; the CXL fabric,
+ * NDP modules and the service layer share the default shard) and
+ * advances lanes in parallel on the common ThreadPool under a
+ * conservative-lookahead barrier.
+ *
+ * Exactness, not approximation: serial and sharded execution are
+ * required to be *bit-identical*. The legacy serial queue orders
+ * events by (tick, insertion sequence). This queue reproduces that
+ * order exactly with a shard-count-independent key
+ *
+ *     (when, g(scheduler), call_index)
+ *
+ * where g(scheduler) is the global execution index of the event whose
+ * callback made the schedule() call and call_index counts that
+ * callback's schedule() calls. Legacy insertion sequence is assigned
+ * in execution order, so seq(X) < seq(Y) iff X's scheduler executed
+ * first, or the same scheduler scheduled X first — which is exactly
+ * this key. g is assigned deterministically at window barriers by a
+ * K-way merge of the per-lane execution logs; events scheduled by an
+ * in-window event carry their scheduler's lane-local pop index until
+ * the barrier resolves it to a g ("lazy g").
+ *
+ * Cross-lane schedule() calls made inside a window go through
+ * single-writer per-lane outboxes drained at the barrier, and must
+ * land at or beyond the window end — the conservative lookahead (the
+ * minimum CXL link latency and the minimum DRAM CAS-to-data-end gap
+ * guarantee this for the shard cut used by NdpSystem). A violation
+ * is a loud BEACON_CHECK failure, never a silent reorder.
+ */
+
+#ifndef BEACON_SIM_SHARDED_EVENT_QUEUE_HH
+#define BEACON_SIM_SHARDED_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace beacon
+{
+
+class ThreadPool;
+
+/**
+ * Discrete-event engine selection, part of SystemParams.
+ *
+ * The default (shards = 1, force_sharded off) builds the legacy
+ * serial EventQueue. shards > 1 builds a ShardedEventQueue with up to
+ * that many worker lanes (capped by the machine's shardable
+ * components); force_sharded builds the sharded engine even at one
+ * lane, which is how differential tests pin the windowed code path.
+ * Results are bit-identical across every setting.
+ */
+struct DesParams
+{
+    /** Requested worker lanes; 1 = legacy serial queue. */
+    unsigned shards = 1;
+
+    /** Pool width; 0 = min(lanes, hardware threads). */
+    unsigned threads = 0;
+
+    /** Use the sharded engine even when shards == 1. */
+    bool force_sharded = false;
+
+    bool sharded() const { return force_sharded || shards > 1; }
+
+    /** BEACON_DES_SHARDS / BEACON_DES_THREADS, defaults otherwise. */
+    static DesParams fromEnv();
+};
+
+/**
+ * Static partition of home hints onto worker lanes.
+ *
+ * Hint 0 (the default of every schedule() call) is always lane 0;
+ * other hints map through home_lane, defaulting to lane 0 when
+ * absent. EventCat::Sampler events ignore the hint and run on the
+ * dedicated barrier lane so registry-scanning observers only ever
+ * execute while every worker lane is quiesced.
+ */
+struct ShardPlan
+{
+    /** Worker lanes (>= 1). Lane 0 is the default/coordinator shard. */
+    unsigned lanes = 1;
+
+    /** home_hint -> lane (< lanes); missing hints map to lane 0. */
+    std::unordered_map<std::uint32_t, unsigned> home_lane;
+};
+
+/** Execution context of the event callback running on this thread. */
+struct ShardExecContext
+{
+    const ShardedEventQueue *queue = nullptr;
+    unsigned lane = 0;
+    Tick now = 0;
+    /** True only on a worker lane inside a parallel window. */
+    bool in_window = false;
+    /** Lane-local pop index of the current event (in_window). */
+    std::uint64_t pop = 0;
+    /** Resolved global execution index (only when !in_window). */
+    std::uint64_t g = 0;
+    /** schedule() calls made so far by the current callback. */
+    std::uint32_t next_call = 0;
+};
+
+/**
+ * The thread's current shard execution context, or nullptr outside
+ * event callbacks. obs::TraceSink uses this to stage trace events
+ * emitted by in-window lane callbacks.
+ */
+const ShardExecContext *currentShardContext();
+
+/** Conservative-lookahead parallel event queue (see file comment). */
+class ShardedEventQueue final : public EventQueue
+{
+  public:
+    struct Params
+    {
+        /** Worker lanes; 1 degenerates to serial (still windowed). */
+        unsigned lanes = 1;
+
+        /**
+         * Conservative lookahead in ticks: an in-window event may
+         * only schedule onto another lane at or beyond window end =
+         * window start + lookahead. 0 disables windows entirely
+         * (every event runs through the serial-canonical runOne()).
+         */
+        Tick lookahead = 0;
+
+        /** Pool width; 0 = min(lanes, hardware threads). */
+        unsigned threads = 0;
+
+        /**
+         * Run window segments inline on the calling thread instead
+         * of the pool. Same algorithm, same results; useful to
+         * separate algorithmic from threading failures.
+         */
+        bool inline_windows = false;
+    };
+
+    explicit ShardedEventQueue(Params p);
+    ~ShardedEventQueue() override;
+
+    /**
+     * Install the hint->lane partition. Must run before any event
+     * that uses a non-zero hint is scheduled (the queue checks that
+     * nothing is pending), because entries do not migrate.
+     */
+    void setPlan(ShardPlan plan);
+
+    /** Lane-merge hook (the trace sink); not owned. */
+    void setMergeHook(LaneMergeHook *hook) { merge_hook = hook; }
+
+    // ------------------------------------------------------------
+    // EventQueue interface
+    // ------------------------------------------------------------
+    Tick now() const override;
+    std::uint64_t eventsExecuted() const override { return executed; }
+    std::size_t pending() const override;
+    std::size_t pendingIncludingCancelled() const override;
+    EventId schedule(Tick when, Callback cb,
+                     EventCat cat = EventCat::Other,
+                     std::uint32_t home_hint = 0) override;
+    void cancel(EventId id) override;
+    bool scheduled(EventId id) const override;
+    bool runOne() override;
+    Tick run(Tick limit = max_tick) override;
+    void reset() override;
+    void setProfiler(EventProfiler *p) override;
+    ShardedEventQueue *sharded() override { return this; }
+
+    // ------------------------------------------------------------
+    // Windowed driver interface
+    // ------------------------------------------------------------
+
+    /**
+     * Earliest live event tick across all lanes, or max_tick when
+     * the queue is empty. Coordinator-only.
+     */
+    Tick nextPendingTick();
+
+    /**
+     * Advance one conservative-lookahead window: execute every event
+     * with tick in [nextPendingTick(), min(nextPendingTick() +
+     * lookahead, limit + 1)) in canonical order, lanes in parallel.
+     * Drivers may only call this when their stop predicate provably
+     * cannot flip inside the window (else they must fall back to
+     * runOne()). @return false when nothing fired (queue empty or
+     * next event beyond @p limit).
+     */
+    bool runWindow(Tick limit = max_tick);
+
+    // ------------------------------------------------------------
+    // Introspection (tests, PR-body measurements)
+    // ------------------------------------------------------------
+    unsigned lanes() const { return unsigned(lane_store.size()); }
+    Tick lookahead() const { return cfg.lookahead; }
+    std::uint64_t windowsRun() const { return n_windows; }
+    std::uint64_t parallelSegments() const { return n_par_segments; }
+    std::uint64_t inlineSegments() const { return n_inline_segments; }
+    std::uint64_t mailboxTransfers() const { return n_mailbox; }
+    std::uint64_t serialEvents() const { return n_serial_events; }
+
+    /** Lane a given hint resolves to under the installed plan. */
+    unsigned homeLane(std::uint32_t hint) const;
+
+  private:
+    /**
+     * Sentinel "g not assigned yet": the scheduler executes in the
+     * current window and receives its g at the barrier merge.
+     */
+    static constexpr std::uint64_t unresolved_g = ~std::uint64_t(0);
+
+    struct Entry
+    {
+        Tick when = 0;
+        /** g of the scheduling callback, or unresolved_g. */
+        std::uint64_t g = unresolved_g;
+        /** Scheduler's lane-local pop index (when g unresolved). */
+        std::uint64_t pop = 0;
+        /** Scheduler's schedule()-call index. */
+        std::uint32_t call = 0;
+        EventId id = 0;
+        EventCat cat = EventCat::Other;
+    };
+
+    /** One executed event, logged for the barrier merge. */
+    struct ExecRec
+    {
+        Tick when = 0;
+        std::uint64_t g_sched = 0;   // the event's own ordering key
+        std::uint64_t pop_sched = 0; // (lazy form, like Entry)
+        std::uint32_t call = 0;
+        std::uint64_t pop = 0;        // this event's pop index
+        std::uint32_t calls_made = 0; // schedule() calls it made
+        std::uint64_t g_assigned = unresolved_g;
+        EventCat cat = EventCat::Other;
+    };
+
+    /** Cross-lane send staged until the barrier drain. */
+    struct Mail
+    {
+        unsigned dst = 0;
+        Entry entry;
+        Callback cb;
+    };
+
+    struct Lane
+    {
+        /** Binary min-heap of pending entries (entryLess order). */
+        std::vector<Entry> heap;
+        std::unordered_set<EventId> live;
+        std::unordered_map<EventId, Callback> callbacks;
+        /** Lifetime pops; pop indices are dense in [0, exec_count). */
+        std::uint64_t exec_count = 0;
+        /** exec_count at the start of the current segment. */
+        std::uint64_t log_base = 0;
+        std::vector<ExecRec> log;
+        std::vector<Mail> outbox;
+        /** Per-source id sequence (lane-owned, race-free). */
+        std::uint64_t id_seq = 0;
+        /** Determinism guard: last popped key on this lane. */
+        Entry last_popped;
+        bool has_popped = false;
+        /** Keep lane-hot state off one cache line shared by all. */
+        char pad[64] = {};
+    };
+
+    static bool entryLess(const Entry &a, const Entry &b);
+    void heapPush(Lane &lane, Entry e);
+    Entry heapPop(Lane &lane);
+    /** Drop dead (cancelled) heads; false if lane has no live head. */
+    bool pruneHead(Lane &lane);
+
+    unsigned barrierLane() const { return unsigned(lane_store.size()); }
+    Lane &laneAt(unsigned idx)
+    {
+        return idx == barrierLane() ? barrier : lane_store[idx];
+    }
+    unsigned destLane(EventCat cat, std::uint32_t hint) const;
+    EventId makeId(unsigned src_code, unsigned dst);
+    static unsigned ownerOf(EventId id)
+    {
+        return unsigned(id >> 56);
+    }
+
+    void insertResolved(unsigned dst, Entry e, Callback cb);
+    /** Run lane events below the window bound on one worker. */
+    void laneSegment(unsigned lane_idx, Tick w_end, const Entry *bound);
+    /** K-way merge of segment logs: assign g, drive hooks. */
+    void mergeSegments();
+    void resolveAfterMerge();
+    /** Execute one barrier-lane event on the coordinator. */
+    void execBarrierOne();
+    /** Execute one already-popped entry serially (runOne/barrier). */
+    void execSerial(unsigned lane_idx, Entry top, Callback cb);
+    ThreadPool &pool();
+
+    Params cfg;
+    ShardPlan plan;
+    LaneMergeHook *merge_hook = nullptr;
+    EventProfiler *profiler = nullptr;
+    std::unique_ptr<ThreadPool> pool_store;
+
+    std::vector<Lane> lane_store;
+    Lane barrier;
+
+    Tick _now = 0;
+    std::uint64_t executed = 0;
+    /**
+     * Next global execution index. g = 0 is the virtual "root" event
+     * (setup code outside any callback), so real events start at 1.
+     */
+    std::uint64_t g_counter = 1;
+    /**
+     * Ordering context for schedule() calls made outside callbacks:
+     * continues the numbering of the canonically-last executed event,
+     * exactly like the legacy queue's global insertion sequence.
+     */
+    std::uint64_t ambient_g = 0;
+    std::uint32_t ambient_call = 0;
+    std::uint64_t coord_id_seq = 0;
+
+    /** True from window open to final merge (workers may be live). */
+    bool window_open = false;
+    Tick window_end = 0;
+    bool lanes_prepared = false;
+
+    // Determinism guard over the canonical merge order.
+    Tick last_when = 0;
+    std::uint64_t last_g = 0;
+    std::uint32_t last_call = 0;
+    bool has_executed = false;
+
+    std::uint64_t n_windows = 0;
+    std::uint64_t n_par_segments = 0;
+    std::uint64_t n_inline_segments = 0;
+    std::uint64_t n_mailbox = 0;
+    std::uint64_t n_serial_events = 0;
+};
+
+} // namespace beacon
+
+#endif // BEACON_SIM_SHARDED_EVENT_QUEUE_HH

@@ -364,6 +364,62 @@ TEST(Observability, Fig12SmallTimeseriesGolden)
                               "fig12_small_timeseries.json");
 }
 
+TEST(Observability, ShardedRunTelemetryIsByteIdentical)
+{
+#if !BEACON_OBS_ENABLED
+    GTEST_SKIP() << "telemetry compiled out (BEACON_OBS=OFF)";
+#endif
+    const FmSeedingWorkload workload(smallPreset());
+
+    struct Telemetry
+    {
+        std::string trace;
+        std::string timeseries;
+        std::vector<std::uint64_t> events_by_cat;
+    };
+    const auto observe = [&](const DesParams &des) {
+        SystemParams params = SystemParams::beaconD();
+        // Narrow enough that the guarded drain loop opens real
+        // parallel windows instead of degrading to runOne().
+        params.max_inflight_tasks = 2;
+        params.checkers = CheckerConfig{};
+        params.obs = allOnConfig();
+        params.des = des;
+        NdpSystem system(params, workload);
+        system.run(8);
+        obs::Observability *o = system.observability();
+        EXPECT_NE(o, nullptr);
+        o->finish();
+        Telemetry t;
+        std::ostringstream trace, series;
+        o->trace()->writeJson(trace);
+        o->sampler()->writeJson(series);
+        t.trace = trace.str();
+        t.timeseries = series.str();
+        // Per-category event counts are simulation facts (only the
+        // wall-clock attributions may differ between engines).
+        for (const auto &cat : o->selfProfile().by_cat)
+            t.events_by_cat.push_back(cat.events);
+        return t;
+    };
+
+    const Telemetry serial = observe(DesParams{});
+    EXPECT_NE(serial.trace.find("\"traceEvents\""),
+              std::string::npos);
+    for (unsigned shards : {2u, 4u}) {
+        DesParams des;
+        des.force_sharded = true;
+        des.shards = shards;
+        const Telemetry sharded = observe(des);
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        ASSERT_EQ(serial.trace, sharded.trace)
+            << "trace JSON diverged";
+        ASSERT_EQ(serial.timeseries, sharded.timeseries)
+            << "time-series JSON diverged";
+        EXPECT_EQ(serial.events_by_cat, sharded.events_by_cat);
+    }
+}
+
 TEST(Observability, ServiceRunTracesTenants)
 {
 #if !BEACON_OBS_ENABLED

@@ -1,0 +1,803 @@
+/**
+ * @file
+ * Differential tests for the sharded parallel event queue.
+ *
+ * Layer 1 (this file, queue-level): a deterministic random workload
+ * of self-scheduling events runs on the legacy serial EventQueue and
+ * on ShardedEventQueue at lane counts {1,2,4,8}, inline and pooled,
+ * and the canonical execution sequences must match element-for-
+ * element — same events, same ticks, same order, same queue state.
+ *
+ * Layer 2 (system-level, further down): whole NdpSystem /
+ * orchestrator runs serial vs sharded diffing full StatRegistry
+ * dumps, plus BEACON_CHECK death tests for lookahead violations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/experiment.hh"
+#include "accel/system.hh"
+#include "service/orchestrator.hh"
+#include "sim/event_queue.hh"
+#include "sim/sharded_event_queue.hh"
+
+namespace beacon
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Canonical-order recorder
+// ---------------------------------------------------------------
+
+/**
+ * Records (label, tick) per executed event in canonical order, the
+ * same way obs::TraceSink does: events running inside a parallel
+ * window stage into a per-lane buffer tagged with the lane-local pop
+ * index and are committed at the barrier merge; events running in a
+ * serial context append directly.
+ */
+class Recorder : public LaneMergeHook
+{
+  public:
+    struct Item
+    {
+        std::uint64_t label;
+        Tick when;
+
+        bool
+        operator==(const Item &o) const
+        {
+            return label == o.label && when == o.when;
+        }
+    };
+
+    void
+    record(std::uint64_t label, Tick when)
+    {
+        const ShardExecContext *ctx = currentShardContext();
+        if (ctx && ctx->in_window) {
+            auto &stage = staged[ctx->lane];
+            stage.items.push_back(Staged{ctx->pop, {label, when}});
+        } else {
+            log.push_back({label, when});
+        }
+    }
+
+    void
+    prepareLanes(std::size_t lanes) override
+    {
+        if (staged.size() < lanes)
+            staged.resize(lanes);
+    }
+
+    void
+    commitLaneEvent(unsigned lane, std::uint64_t pop_idx) override
+    {
+        auto &stage = staged[lane];
+        while (stage.cursor < stage.items.size() &&
+               stage.items[stage.cursor].pop <= pop_idx)
+            log.push_back(stage.items[stage.cursor++].item);
+        if (stage.cursor == stage.items.size()) {
+            stage.items.clear();
+            stage.cursor = 0;
+        }
+    }
+
+    std::vector<Item> log;
+
+  private:
+    struct Staged
+    {
+        std::uint64_t pop;
+        Item item;
+    };
+    struct LaneStage
+    {
+        std::vector<Staged> items;
+        std::size_t cursor = 0;
+    };
+    std::vector<LaneStage> staged;
+};
+
+// ---------------------------------------------------------------
+// Deterministic self-scheduling workload
+// ---------------------------------------------------------------
+
+constexpr Tick harness_lookahead = 100;
+
+/**
+ * A pure function of (seed, depth): every event logs itself, then
+ * schedules a few children. Children on the same home hint may use
+ * arbitrary (even zero) delays; children on another hint always use
+ * delays >= harness_lookahead, mirroring the physical property the
+ * real shard cut gets from CXL link latency. Identical call
+ * sequences on any queue, so any divergence is the queue's fault.
+ */
+struct SelfSchedulingWorkload
+{
+    EventQueue &eq;
+    Recorder &rec;
+    unsigned num_hints;
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return x;
+    }
+
+    void
+    event(std::uint64_t seed, unsigned depth, std::uint32_t hint)
+    {
+        rec.record(seed, eq.now());
+        if (depth == 0)
+            return;
+        const unsigned kids = 1 + unsigned(mix(seed) % 3);
+        for (unsigned i = 0; i < kids; ++i) {
+            const std::uint64_t s = mix(seed + 0x9e37 * (i + 1));
+            const bool cross = (s >> 8) % 3 == 0;
+            std::uint32_t child_hint = hint;
+            Tick delay = s % 40; // same-hint: small, often zero
+            EventCat cat = EventCat::Other;
+            if (cross) {
+                child_hint = std::uint32_t((s >> 16) % num_hints);
+                delay = harness_lookahead + s % 400;
+                if ((s >> 24) % 7 == 0)
+                    cat = EventCat::Sampler; // barrier-lane traffic
+            }
+            eq.scheduleIn(
+                delay,
+                [this, s, depth, child_hint] {
+                    event(s, depth - 1, child_hint);
+                },
+                cat, child_hint);
+        }
+        // Occasionally schedule-then-cancel to exercise lazy removal.
+        if (mix(seed ^ 0xabcd) % 5 == 0) {
+            const EventId id = eq.scheduleIn(
+                3, [this] { rec.record(0xdead, eq.now()); },
+                EventCat::Other, hint);
+            eq.cancel(id);
+        }
+    }
+
+    void
+    seedRoots(std::uint64_t seed)
+    {
+        // Root context: any delay/hint combination is legal because
+        // no window is open during setup.
+        for (unsigned i = 0; i < 6; ++i) {
+            const std::uint64_t s = mix(seed + i);
+            const std::uint32_t hint = std::uint32_t(s % num_hints);
+            eq.schedule(
+                s % 50, [this, s, hint] { event(s, 4, hint); },
+                EventCat::Other, hint);
+        }
+    }
+};
+
+struct QueueRun
+{
+    std::vector<Recorder::Item> log;
+    Tick final_now;
+    std::uint64_t executed;
+};
+
+QueueRun
+runSerial(std::uint64_t seed, unsigned num_hints)
+{
+    EventQueue eq;
+    Recorder rec;
+    SelfSchedulingWorkload w{eq, rec, num_hints};
+    w.seedRoots(seed);
+    const Tick end = eq.run();
+    return {std::move(rec.log), end, eq.eventsExecuted()};
+}
+
+QueueRun
+runSharded(std::uint64_t seed, unsigned num_hints, unsigned lanes,
+           Tick lookahead, bool inline_windows, bool via_run_one)
+{
+    ShardedEventQueue::Params p;
+    p.lanes = lanes;
+    p.lookahead = lookahead;
+    p.inline_windows = inline_windows;
+    ShardedEventQueue eq(p);
+
+    ShardPlan plan;
+    plan.lanes = lanes;
+    for (unsigned h = 0; h < num_hints; ++h)
+        plan.home_lane[h] = h % lanes;
+    eq.setPlan(plan);
+
+    Recorder rec;
+    eq.setMergeHook(&rec);
+    SelfSchedulingWorkload w{eq, rec, num_hints};
+    w.seedRoots(seed);
+    Tick end = 0;
+    if (via_run_one) {
+        while (eq.runOne())
+            ;
+        end = eq.now();
+    } else {
+        end = eq.run();
+    }
+    EXPECT_EQ(eq.pending(), 0u);
+    return {std::move(rec.log), end, eq.eventsExecuted()};
+}
+
+void
+expectSameRun(const QueueRun &serial, const QueueRun &got,
+              const std::string &what)
+{
+    ASSERT_EQ(serial.log.size(), got.log.size()) << what;
+    for (std::size_t i = 0; i < serial.log.size(); ++i) {
+        ASSERT_TRUE(serial.log[i] == got.log[i])
+            << what << ": diverged at event " << i << ": serial=("
+            << serial.log[i].label << ", t=" << serial.log[i].when
+            << ") got=(" << got.log[i].label << ", t="
+            << got.log[i].when << ")";
+    }
+    EXPECT_EQ(serial.final_now, got.final_now) << what;
+    EXPECT_EQ(serial.executed, got.executed) << what;
+}
+
+// ---------------------------------------------------------------
+// Queue-level differential tests
+// ---------------------------------------------------------------
+
+TEST(ParallelDesQueue, MatchesSerialAcrossLaneCounts)
+{
+    const unsigned num_hints = 8;
+    for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+        const QueueRun serial = runSerial(seed, num_hints);
+        ASSERT_GT(serial.log.size(), 100u)
+            << "workload too small to be interesting";
+        for (unsigned lanes : {1u, 2u, 4u, 8u}) {
+            for (bool inl : {true, false}) {
+                const QueueRun got =
+                    runSharded(seed, num_hints, lanes,
+                               harness_lookahead, inl, false);
+                expectSameRun(serial, got,
+                              "seed " + std::to_string(seed) +
+                                  " lanes " + std::to_string(lanes) +
+                                  (inl ? " inline" : " pooled"));
+            }
+        }
+    }
+}
+
+TEST(ParallelDesQueue, MatchesSerialWithShorterLookahead)
+{
+    // Any lookahead <= the workload's real cross-hint latency is
+    // conservative and must give identical results, just with more
+    // windows.
+    const unsigned num_hints = 5;
+    const QueueRun serial = runSerial(99, num_hints);
+    for (Tick la : {Tick(1), Tick(37), Tick(100)}) {
+        const QueueRun got =
+            runSharded(99, num_hints, 4, la, false, false);
+        expectSameRun(serial, got,
+                      "lookahead " + std::to_string(la));
+    }
+}
+
+TEST(ParallelDesQueue, RunOnePathIsCanonical)
+{
+    // The serial-canonical runOne() escape hatch (used by driver
+    // predicate loops near their stop condition) must produce the
+    // same total order as windowed execution.
+    const unsigned num_hints = 4;
+    const QueueRun serial = runSerial(1234, num_hints);
+    const QueueRun got =
+        runSharded(1234, num_hints, 4, harness_lookahead, false, true);
+    expectSameRun(serial, got, "runOne-only");
+}
+
+TEST(ParallelDesQueue, MixedWindowAndRunOne)
+{
+    // Alternate windows and single steps mid-run; the switch points
+    // must not affect the canonical order.
+    const unsigned num_hints = 4;
+    const QueueRun serial = runSerial(555, num_hints);
+
+    ShardedEventQueue::Params p;
+    p.lanes = 4;
+    p.lookahead = harness_lookahead;
+    ShardedEventQueue eq(p);
+    ShardPlan plan;
+    plan.lanes = 4;
+    for (unsigned h = 0; h < num_hints; ++h)
+        plan.home_lane[h] = h % 4;
+    eq.setPlan(plan);
+    Recorder rec;
+    eq.setMergeHook(&rec);
+    SelfSchedulingWorkload w{eq, rec, num_hints};
+    w.seedRoots(555);
+    unsigned flip = 0;
+    for (;;) {
+        bool progressed;
+        if (flip++ % 3 == 0)
+            progressed = eq.runOne();
+        else
+            progressed = eq.runWindow();
+        if (!progressed)
+            break;
+    }
+    EXPECT_EQ(eq.pending(), 0u);
+    expectSameRun(serial,
+                  {std::move(rec.log), eq.now(), eq.eventsExecuted()},
+                  "mixed stepping");
+}
+
+TEST(ParallelDesQueue, MailboxesActuallyUsed)
+{
+    ShardedEventQueue::Params p;
+    p.lanes = 4;
+    p.lookahead = harness_lookahead;
+    ShardedEventQueue eq(p);
+    ShardPlan plan;
+    plan.lanes = 4;
+    for (unsigned h = 0; h < 8; ++h)
+        plan.home_lane[h] = h % 4;
+    eq.setPlan(plan);
+    Recorder rec;
+    eq.setMergeHook(&rec);
+    SelfSchedulingWorkload w{eq, rec, 8};
+    w.seedRoots(7);
+    eq.run();
+    EXPECT_GT(eq.windowsRun(), 0u);
+    EXPECT_GT(eq.mailboxTransfers(), 0u)
+        << "workload never exercised the cross-shard path";
+}
+
+TEST(ParallelDesQueue, SamplerEventsRunOnBarrierLane)
+{
+    ShardedEventQueue::Params p;
+    p.lanes = 2;
+    p.lookahead = 50;
+    ShardedEventQueue eq(p);
+    ShardPlan plan;
+    plan.lanes = 2;
+    plan.home_lane[1] = 1;
+    eq.setPlan(plan);
+
+    // A sampler event between two lane events: it must observe both
+    // t=10 events' effects (it runs at a quiesced barrier) and log
+    // in canonical tick order.
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); }, EventCat::Other, 0);
+    eq.schedule(10, [&] { order.push_back(2); }, EventCat::Other, 1);
+    eq.schedule(20, [&] { order.push_back(3); }, EventCat::Sampler, 0);
+    eq.schedule(30, [&] { order.push_back(4); }, EventCat::Other, 1);
+    while (eq.runWindow())
+        ;
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_EQ(order[3], 4);
+}
+
+TEST(ParallelDesQueue, CancelAcrossWindows)
+{
+    ShardedEventQueue::Params p;
+    p.lanes = 2;
+    p.lookahead = 100;
+    ShardedEventQueue eq(p);
+    ShardPlan plan;
+    plan.lanes = 2;
+    plan.home_lane[1] = 1;
+    eq.setPlan(plan);
+
+    bool fired = false;
+    const EventId id = eq.schedule(
+        500, [&] { fired = true; }, EventCat::Other, 1);
+    EXPECT_TRUE(eq.scheduled(id));
+    eq.schedule(10, [&] {}, EventCat::Other, 0);
+    eq.runWindow();
+    // Cancel from the (quiesced) driver context between windows.
+    eq.cancel(id);
+    EXPECT_FALSE(eq.scheduled(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Satellite: lookahead violations die loudly (BEACON_CHECK)
+// ---------------------------------------------------------------
+
+using ParallelDesDeathTest = ::testing::Test;
+
+TEST(ParallelDesDeathTest, SameTickCrossShardSendDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventQueue::Params p;
+            p.lanes = 2;
+            p.lookahead = 100;
+            p.inline_windows = true; // single-threaded death
+            ShardedEventQueue eq(p);
+            ShardPlan plan;
+            plan.lanes = 2;
+            plan.home_lane[1] = 1;
+            eq.setPlan(plan);
+            // Lane-0 event sends to lane 1 at its own tick: a
+            // same-tick cross-shard send inside the window.
+            eq.schedule(
+                10,
+                [&] {
+                    eq.scheduleIn(0, [] {}, EventCat::Other, 1);
+                },
+                EventCat::Other, 0);
+            eq.schedule(10, [] {}, EventCat::Other, 1);
+            eq.runWindow();
+        },
+        "cross-shard send violates conservative lookahead");
+}
+
+TEST(ParallelDesDeathTest, SubLookaheadCrossShardSendDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventQueue::Params p;
+            p.lanes = 2;
+            p.lookahead = 100;
+            p.inline_windows = true;
+            ShardedEventQueue eq(p);
+            ShardPlan plan;
+            plan.lanes = 2;
+            plan.home_lane[1] = 1;
+            eq.setPlan(plan);
+            // Delay 50 < lookahead 100: still inside the window.
+            eq.schedule(
+                10,
+                [&] {
+                    eq.scheduleIn(50, [] {}, EventCat::Other, 1);
+                },
+                EventCat::Other, 0);
+            eq.schedule(10, [] {}, EventCat::Other, 1);
+            eq.runWindow();
+        },
+        "cross-shard send violates conservative lookahead");
+}
+
+TEST(ParallelDesDeathTest, CrossShardCancelDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventQueue::Params p;
+            p.lanes = 2;
+            p.lookahead = 100;
+            p.inline_windows = true;
+            ShardedEventQueue eq(p);
+            ShardPlan plan;
+            plan.lanes = 2;
+            plan.home_lane[1] = 1;
+            eq.setPlan(plan);
+            const EventId victim = eq.schedule(
+                1000, [] {}, EventCat::Other, 1);
+            eq.schedule(
+                10, [&] { eq.cancel(victim); }, EventCat::Other, 0);
+            eq.schedule(10, [] {}, EventCat::Other, 1);
+            eq.runWindow();
+        },
+        "cross-shard cancel");
+}
+
+// ---------------------------------------------------------------
+// Layer 2: whole-system differential (stats registry + final tick)
+// ---------------------------------------------------------------
+
+genomics::DatasetPreset
+smallSeedingPreset()
+{
+    genomics::DatasetPreset preset = genomics::seedingPresets()[3];
+    preset.genome.length = 1 << 13;
+    preset.reads.num_reads = 16;
+    return preset;
+}
+
+/** Everything a run externalises: the full registry dump plus the
+ *  final simulated tick. Bit-identity means these strings match. */
+struct SystemObservation
+{
+    std::string stats;
+    Tick ticks = 0;
+};
+
+DesParams
+shardedDes(unsigned shards)
+{
+    DesParams des;
+    des.force_sharded = true;
+    des.shards = shards;
+    return des;
+}
+
+SystemObservation
+observeWorkloadRun(SystemParams params, const beacon::Workload &wl,
+                   const DesParams &des)
+{
+    params.des = des;
+    // Deterministic eligibility regardless of ambient BEACON_*
+    // toggles (the fuzz/obs suites cover checker interactions).
+    params.checkers = CheckerConfig{};
+    NdpSystem system(params, wl);
+    const auto result = system.run();
+    std::ostringstream os;
+    system.stats().dump(os);
+    return {os.str(), result.ticks};
+}
+
+void
+expectSameObservation(const SystemObservation &serial,
+                      const SystemObservation &got,
+                      const std::string &what)
+{
+    EXPECT_EQ(serial.ticks, got.ticks) << what;
+    ASSERT_EQ(serial.stats, got.stats)
+        << what << ": stat registry dump diverged";
+}
+
+TEST(ParallelDesSystem, WorkloadRunsMatchSerialAcrossShardCounts)
+{
+    const FmSeedingWorkload seeding(smallSeedingPreset());
+
+    genomics::DatasetPreset kmer_preset =
+        genomics::kmerCountingPreset();
+    kmer_preset.genome.length = 1 << 13;
+    const KmerCountingWorkload kmer(kmer_preset, 21, 3, 1u << 12, 16);
+
+    const struct
+    {
+        const char *label;
+        SystemParams params;
+        const beacon::Workload *workload;
+    } cases[] = {
+        {"beacon-d/fm-seeding", SystemParams::beaconD(), &seeding},
+        {"cxl-vanilla-d/fm-seeding", SystemParams::cxlVanillaD(),
+         &seeding},
+        {"beacon-s/kmer-counting", SystemParams::beaconS(), &kmer},
+    };
+
+    for (const auto &c : cases) {
+        const SystemObservation serial =
+            observeWorkloadRun(c.params, *c.workload, DesParams{});
+        for (unsigned shards : {1u, 2u, 4u, 8u}) {
+            const SystemObservation got = observeWorkloadRun(
+                c.params, *c.workload, shardedDes(shards));
+            expectSameObservation(serial, got,
+                                  std::string(c.label) + " shards " +
+                                      std::to_string(shards));
+        }
+    }
+}
+
+TEST(ParallelDesSystem, ShardedEngineActuallyEngages)
+{
+    // A machine narrow enough that tasks outnumber in-flight slots,
+    // so the drainUntil() guard admits parallel windows for most of
+    // the run rather than degrading to the serial-canonical path.
+    SystemParams params = SystemParams::beaconD();
+    params.max_inflight_tasks = 2;
+    params.checkers = CheckerConfig{};
+    params.des = shardedDes(4);
+    const FmSeedingWorkload workload(smallSeedingPreset());
+
+    SystemParams serial_params = params;
+    serial_params.des = DesParams{};
+
+    NdpSystem serial_sys(serial_params, workload);
+    const auto serial_result = serial_sys.run();
+    std::ostringstream serial_os;
+    serial_sys.stats().dump(serial_os);
+
+    NdpSystem system(params, workload);
+    ASSERT_NE(system.shardedQueue(), nullptr);
+    EXPECT_GT(system.shardedQueue()->lanes(), 1u);
+    EXPECT_GT(system.shardedQueue()->lookahead(), Tick(0));
+    const auto result = system.run();
+    std::ostringstream os;
+    system.stats().dump(os);
+
+    expectSameObservation({serial_os.str(), serial_result.ticks},
+                          {os.str(), result.ticks},
+                          "narrow beacon-d");
+    EXPECT_GT(system.shardedQueue()->windowsRun(), 0u)
+        << "guarded drain loop never opened a parallel window";
+    EXPECT_GT(system.shardedQueue()->mailboxTransfers(), 0u)
+        << "no cross-shard traffic crossed a window boundary";
+}
+
+TEST(ParallelDesSystem, IneligibleConfigsCollapseToSingleLane)
+{
+    const FmSeedingWorkload workload(smallSeedingPreset());
+
+    // CXL link checker subscribes to per-hop callbacks on lane-0
+    // state: sharding must disable itself, not race.
+    SystemParams checked = SystemParams::beaconD();
+    checked.checkers = CheckerConfig{};
+    checked.checkers.cxl_link = true;
+    SystemParams checked_sharded = checked;
+    checked_sharded.des = shardedDes(4);
+
+    {
+        NdpSystem serial_sys(checked, workload);
+        const auto serial_result = serial_sys.run();
+        std::ostringstream serial_os;
+        serial_sys.stats().dump(serial_os);
+
+        NdpSystem system(checked_sharded, workload);
+        ASSERT_NE(system.shardedQueue(), nullptr);
+        EXPECT_EQ(system.shardedQueue()->lanes(), 1u)
+            << "checker config must collapse to one lane";
+        const auto result = system.run();
+        std::ostringstream os;
+        system.stats().dump(os);
+        expectSameObservation({serial_os.str(), serial_result.ticks},
+                              {os.str(), result.ticks},
+                              "cxl-link checker");
+    }
+
+    // DDR fabric (MEDAL) has no pool links to derive lookahead from.
+    SystemParams medal = SystemParams::medal();
+    medal.checkers = CheckerConfig{};
+    medal.des = shardedDes(4);
+    NdpSystem ddr_system(medal, workload);
+    ASSERT_NE(ddr_system.shardedQueue(), nullptr);
+    EXPECT_EQ(ddr_system.shardedQueue()->lanes(), 1u)
+        << "ddr fabric must collapse to one lane";
+}
+
+// ---------------------------------------------------------------
+// Layer 2: multi-tenant service runs (the qos-small shape)
+// ---------------------------------------------------------------
+
+struct ServiceObservation
+{
+    std::string stats;
+    Tick ticks = 0;
+    std::vector<std::uint64_t> jobs_completed;
+    std::vector<std::uint64_t> jobs_rejected;
+};
+
+ServiceObservation
+observeServiceRun(SchedulerKind policy, const beacon::Workload &bulk,
+                  const beacon::Workload &small,
+                  const DesParams &des)
+{
+    SystemParams params = SystemParams::beaconD();
+    params.name = "BEACON-D (service)";
+    params.pes_per_module = 4;
+    params.max_inflight_tasks = 2;
+    params.checkers = CheckerConfig{};
+    params.des = des;
+    NdpSystem system(params);
+
+    OrchestratorParams op;
+    op.scheduler = policy;
+    op.seed = 0xBEACC0DEull;
+    PoolOrchestrator orchestrator(system, op);
+
+    TenantSpec bulk_spec;
+    bulk_spec.name = "bulk";
+    bulk_spec.workload = &bulk;
+    bulk_spec.num_jobs = 6;
+    bulk_spec.tasks_per_job = 4;
+    bulk_spec.scratch_bytes_per_job = Bytes{1 << 20};
+    bulk_spec.arrival.concurrency = 3;
+    EXPECT_NE(orchestrator.addTenant(bulk_spec), untenanted_id)
+        << orchestrator.lastError();
+
+    TenantSpec small_spec;
+    small_spec.name = "small";
+    small_spec.workload = &small;
+    small_spec.num_jobs = 4;
+    small_spec.tasks_per_job = 2;
+    small_spec.priority = 1;
+    small_spec.weight = 4.0;
+    EXPECT_NE(orchestrator.addTenant(small_spec), untenanted_id)
+        << orchestrator.lastError();
+
+    const ServiceReport report = orchestrator.run();
+    ServiceObservation out;
+    out.ticks = report.machine.ticks;
+    for (const TenantReport &tenant : report.tenants) {
+        out.jobs_completed.push_back(tenant.jobs_completed);
+        out.jobs_rejected.push_back(tenant.jobs_rejected);
+    }
+    std::ostringstream os;
+    system.stats().dump(os);
+    out.stats = os.str();
+    return out;
+}
+
+TEST(ParallelDesSystem, ServiceRunsMatchSerialAcrossShardCounts)
+{
+    genomics::DatasetPreset bulk_preset = smallSeedingPreset();
+    const FmSeedingWorkload bulk(bulk_preset);
+    genomics::DatasetPreset small_preset = smallSeedingPreset();
+    small_preset.genome.length = 1 << 12;
+    small_preset.reads.num_reads = 8;
+    const HashSeedingWorkload small(small_preset);
+
+    for (SchedulerKind policy :
+         {SchedulerKind::Fcfs, SchedulerKind::Priority,
+          SchedulerKind::FairShare}) {
+        const ServiceObservation serial =
+            observeServiceRun(policy, bulk, small, DesParams{});
+        for (unsigned shards : {1u, 4u}) {
+            const ServiceObservation got = observeServiceRun(
+                policy, bulk, small, shardedDes(shards));
+            const std::string what =
+                std::string(schedulerName(policy)) + " shards " +
+                std::to_string(shards);
+            EXPECT_EQ(serial.jobs_completed, got.jobs_completed)
+                << what;
+            EXPECT_EQ(serial.jobs_rejected, got.jobs_rejected)
+                << what;
+            expectSameObservation({serial.stats, serial.ticks},
+                                  {got.stats, got.ticks}, what);
+        }
+    }
+}
+
+TEST(ParallelDesSystem, ServiceRunEngagesParallelPath)
+{
+    genomics::DatasetPreset preset = smallSeedingPreset();
+    const FmSeedingWorkload bulk(preset);
+    genomics::DatasetPreset small_preset = smallSeedingPreset();
+    small_preset.genome.length = 1 << 12;
+    small_preset.reads.num_reads = 8;
+    const HashSeedingWorkload small(small_preset);
+
+    SystemParams params = SystemParams::beaconD();
+    params.name = "BEACON-D (service)";
+    params.pes_per_module = 4;
+    params.max_inflight_tasks = 2;
+    params.checkers = CheckerConfig{};
+    params.des = shardedDes(4);
+    NdpSystem system(params);
+    OrchestratorParams op;
+    op.scheduler = SchedulerKind::Fcfs;
+    op.seed = 0xBEACC0DEull;
+    PoolOrchestrator orchestrator(system, op);
+    TenantSpec bulk_spec;
+    bulk_spec.name = "bulk";
+    bulk_spec.workload = &bulk;
+    bulk_spec.num_jobs = 6;
+    bulk_spec.tasks_per_job = 4;
+    bulk_spec.scratch_bytes_per_job = Bytes{1 << 20};
+    bulk_spec.arrival.concurrency = 3;
+    ASSERT_NE(orchestrator.addTenant(bulk_spec), untenanted_id);
+    TenantSpec small_spec;
+    small_spec.name = "small";
+    small_spec.workload = &small;
+    small_spec.num_jobs = 4;
+    small_spec.tasks_per_job = 2;
+    small_spec.priority = 1;
+    small_spec.weight = 4.0;
+    ASSERT_NE(orchestrator.addTenant(small_spec), untenanted_id);
+    orchestrator.run();
+    ASSERT_NE(system.shardedQueue(), nullptr);
+    EXPECT_GT(system.shardedQueue()->windowsRun(), 0u)
+        << "service drive loop never opened a parallel window";
+}
+
+} // namespace
+} // namespace beacon

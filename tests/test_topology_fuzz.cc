@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
 #include "accel/experiment.hh"
 #include "accel/sweep.hh"
 #include "accel/system.hh"
@@ -188,6 +192,66 @@ TEST(SweepDeterminismTest, SerialAndParallelSweepsAreBitIdentical)
     rb.add(parallel);
     EXPECT_EQ(sweepJsonString(ra, /*include_runtime=*/false),
               sweepJsonString(rb, /*include_runtime=*/false));
+}
+
+// ---------------------------------------------------------------
+// Serial-vs-sharded differential oracle
+// ---------------------------------------------------------------
+
+/**
+ * The sharded engine's contract is bit-identity with the legacy
+ * serial queue on every machine the composition code can build, not
+ * just the presets. Each iteration draws a random pool shape, runs
+ * it once on each engine, and compares the full stat registry dump
+ * plus the final tick. BEACON_FUZZ_ITERS scales the sweep for
+ * soak runs (default keeps CI fast).
+ */
+TEST(ShardedDifferentialFuzz, RandomPoolsMatchSerial)
+{
+    unsigned iters = 200;
+    if (const char *env = std::getenv("BEACON_FUZZ_ITERS"))
+        iters = unsigned(std::max(1, std::atoi(env)));
+
+    const auto observe = [](SystemParams params,
+                            const DesParams &des) {
+        params.des = des;
+        NdpSystem system(params, fuzzWorkload());
+        const RunResult r = system.run(8);
+        std::ostringstream os;
+        system.stats().dump(os);
+        return std::pair<std::string, Tick>(os.str(), r.ticks);
+    };
+
+    unsigned multi_lane = 0;
+    for (unsigned i = 0; i < iters; ++i) {
+        Rng rng(7000 + i);
+        SystemParams params = randomPool(rng);
+        // randomPool() arms the full checker fleet, and the CXL link
+        // checker vetoes multi-lane execution; strip the checkers
+        // from half the configs so the oracle also covers real
+        // parallel windows, not just the collapsed path.
+        if (i % 2 == 0)
+            params.checkers = CheckerConfig{};
+
+        DesParams des;
+        des.force_sharded = true;
+        des.shards = 2 + unsigned(rng.next(7)); // 2..8
+
+        const auto serial = observe(params, DesParams{});
+        const auto sharded = observe(params, des);
+        SCOPED_TRACE("iter " + std::to_string(i) + " shards " +
+                     std::to_string(des.shards));
+        EXPECT_EQ(serial.second, sharded.second);
+        ASSERT_EQ(serial.first, sharded.first)
+            << "stat registry dump diverged";
+
+        if (!params.checkers.cxl_link && params.num_groups > 0 &&
+            params.cxlg_dimms.size() <
+                params.num_groups * params.dimms_per_group)
+            ++multi_lane;
+    }
+    EXPECT_GT(multi_lane, iters / 4)
+        << "too few configs eligible for multi-lane execution";
 }
 
 } // namespace

@@ -23,8 +23,25 @@ if(NOT diff_result EQUAL 0)
         COMMAND diff -u ${GOLDEN} ${OUT}
         OUTPUT_VARIABLE diff_text
         ERROR_VARIABLE diff_text)
+    # New direct-mutation entries are the sharding hazards the map
+    # exists to catch: a component poking another shard's state
+    # without going through the event queue. Call them out above the
+    # generic drift message so the fix is unambiguous.
+    string(REGEX MATCHALL "\\+[^\n]*\"category\": \"direct-mutation\""
+           new_mutations "${diff_text}")
+    set(mutation_note "")
+    if(new_mutations)
+        list(LENGTH new_mutations num_mutations)
+        set(mutation_note
+            "${num_mutations} NEW direct-mutation entr(y/ies): these "
+            "cross-shard writes bypass the event queue and are unsafe "
+            "under parallel DES. Annotate deliberate ones with "
+            "beacon-lint: shared-state(...) or reroute them through "
+            "scheduled events before refreshing the golden.\n")
+    endif()
     message(FATAL_ERROR
         "shard map drifted from the committed golden.\n"
+        "${mutation_note}"
         "If the change is intentional (and every new direct-mutation "
         "entry is annotated or fixed), refresh it with:\n"
         "  beacon-lint --repo-root . --shard-map "
