@@ -371,6 +371,7 @@ NdpSystem::buildMachine()
     policy_proto.coalesce_chips = std::max(1u, p.opts.coalesce_chips);
     policy_proto.cxlg_stripe_weight =
         std::max(1u, p.opts.cxlg_stripe_weight);
+    policy_proto.reserved_dimms = p.rack_reserved_dimms;
     policy_proto.partitions = unsigned(ndps.size());
     policy_proto.partition_switch = partition_group;
     policy_proto.partition_primary = partition_primary;
@@ -397,6 +398,14 @@ NdpSystem::buildMachine()
 }
 
 NdpSystem::~NdpSystem() = default;
+
+PoolFabric &
+NdpSystem::poolFabric()
+{
+    BEACON_ASSERT(pool_fabric,
+                  "rack integration needs the CXL pool fabric");
+    return *pool_fabric;
+}
 
 NodeId
 NdpSystem::ndpNode(unsigned partition) const

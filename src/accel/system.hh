@@ -114,6 +114,15 @@ struct SystemParams
 
     PoolParams pool;          //!< used when !ddr_fabric
     DdrFabricParams ddr;      //!< used when ddr_fabric
+
+    /**
+     * Global DIMM indices reserved for the rack layer (src/rack):
+     * excluded from every tenant layout's stripe lists so the rack's
+     * hot-pluggable expansion DIMMs never hold tenant structures.
+     * Capacity on them is tracked via MemoryFramework::reserveOn().
+     * Empty (the default) for every preset — no placement change.
+     */
+    std::vector<unsigned> rack_reserved_dimms;
     CommEnergyParams comm_energy;
     DramEnergyParams dram_energy;
 
@@ -272,6 +281,53 @@ class NdpSystem
     const NdpModule &ndpModule(unsigned partition) const
     {
         return *ndps.at(partition);
+    }
+
+    /** @} */
+
+    /** @name Rack integration (src/rack) @{ */
+
+    /**
+     * The CXL pool fabric; hard-fails on DDR machines. Rack layers
+     * use it to register extra hosts, send HDM/segment traffic, and
+     * drive hot-plug (un)registration.
+     */
+    PoolFabric &poolFabric();
+
+    /** Total DIMMs in the machine. */
+    unsigned numDimms() const { return unsigned(controllers.size()); }
+
+    /** Node id of DIMM @p index in the pool inventory. */
+    NodeId dimmNodeId(unsigned index) const
+    {
+        return dimm_nodes.at(index);
+    }
+
+    /**
+     * Enqueue one DRAM access on DIMM @p index (no fabric hop).
+     * Rack segment and HDM traffic lands here after its fabric
+     * delivery; the call must therefore execute on the DIMM
+     * controller's lane — i.e. from inside a delivery callback of a
+     * message destined to that DIMM — exactly like the remote-read
+     * path of issuePiece().
+     */
+    void
+    dimmDram(unsigned index, const ResolvedAccess &piece,
+             bool is_write, std::function<void(Tick)> done)
+    {
+        localDram(index, piece, is_write, std::move(done));
+    }
+
+    /**
+     * Account @p bytes of logical DRAM traffic to @p tenant and the
+     * untagged total (conservation holds by construction). For rack
+     * accesses that bypass issueAccess(); lane-0 callers only.
+     */
+    void
+    accountDramBytes(TenantId tenant, Bytes bytes)
+    {
+        *stat_dram_bytes += double(bytes.value());
+        tenantDramStat(tenant) += double(bytes.value());
     }
 
     /** @} */

@@ -14,8 +14,14 @@ namespace beacon
 {
 
 /**
- * Identifies an endpoint in the pool: the host, one CXL-Switch, or
+ * Identifies an endpoint in the pool: a host, one CXL-Switch, or
  * one DIMM (addressed as switch-local index).
+ *
+ * Rack-scale machines (src/rack) attach several hosts to one pool;
+ * host h reuses the `sw` field as its host index. Every host enters
+ * the pool fabric at the same root port, so the fabric routes all
+ * Host-kind nodes identically — the index only distinguishes their
+ * packers, homes, and statistics.
  */
 struct NodeId
 {
@@ -26,6 +32,13 @@ struct NodeId
     std::uint16_t dimm = 0;  //!< DIMM index within the switch
 
     static NodeId host() { return NodeId{Kind::Host, 0, 0}; }
+
+    /** Host @p h of a multi-host rack (host 0 == host()). */
+    static NodeId
+    hostNode(unsigned h)
+    {
+        return NodeId{Kind::Host, std::uint16_t(h), 0};
+    }
 
     static NodeId
     switchNode(unsigned s)
@@ -62,7 +75,9 @@ struct NodeId
     {
         switch (kind) {
           case Kind::Host:
-            return "host";
+            // Host 0 keeps the historical bare name so single-host
+            // stat keys and goldens are unchanged.
+            return sw == 0 ? "host" : "host" + std::to_string(sw);
           case Kind::Switch:
             return "switch" + std::to_string(sw);
           case Kind::Dimm:

@@ -45,6 +45,38 @@ PoolFabric::PoolFabric(const std::string &name, EventQueue &eq,
                 name + ".sw" + std::to_string(s) + ".bus"));
         }
     }
+    registerNode(NodeId::host());
+    for (unsigned s = 0; s < p.num_switches; ++s) {
+        registerNode(NodeId::switchNode(s));
+        for (unsigned d = 0; d < p.dimms_per_switch; ++d)
+            registerNode(NodeId::dimmNode(s, d));
+    }
+}
+
+void
+PoolFabric::registerNode(NodeId node)
+{
+    const auto [it, inserted] = registered_nodes.insert(node.key());
+    (void)it;
+    BEACON_CHECK(inserted, "duplicate fabric registration of node ",
+                 node.str());
+}
+
+void
+PoolFabric::unregisterNode(NodeId node)
+{
+    BEACON_CHECK(registered_nodes.erase(node.key()) == 1,
+                 "unregistering unknown fabric node ", node.str());
+    node_homes.erase(node.key());
+}
+
+void
+PoolFabric::setNodeHome(NodeId node, std::uint32_t hint)
+{
+    BEACON_CHECK(isRegistered(node),
+                 "binding event-queue home of unregistered fabric "
+                 "node ", node.str());
+    node_homes[node.key()] = hint;
 }
 
 const CxlLink &

@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "check/checker_config.hh"
@@ -112,17 +113,38 @@ class PoolFabric : public SimObject, public Fabric
     const CxlLinkChecker *checker() const { return link_checker.get(); }
 
     /**
+     * Register an endpoint with the fabric. The constructor registers
+     * the built-in topology (host 0, every switch, every DIMM); rack
+     * machines register extra hosts and re-register hot-added DIMMs.
+     * Registering a node that is already present is a hard error.
+     */
+    void registerNode(NodeId node);
+
+    /**
+     * Remove an endpoint (hot-remove path). The node must currently
+     * be registered; its delivery home mapping is dropped with it.
+     */
+    void unregisterNode(NodeId node);
+
+    /** True when @p node is currently registered with the fabric. */
+    bool
+    isRegistered(NodeId node) const
+    {
+        return registered_nodes.count(node.key()) != 0;
+    }
+
+    /**
      * Declare the event-queue home of a destination endpoint: the
      * final hop of any message towards @p node re-homes its arrival
      * event (and thus the delivery callbacks) onto that shard. All
      * intermediate hops and the fabric's own state stay on the
      * default shard. Unmapped nodes deliver on shard hint 0.
+     *
+     * The node must be registered: binding a home for an endpoint the
+     * fabric does not know about (e.g. a hot-removed DIMM) is a hard
+     * error.
      */
-    void
-    setNodeHome(NodeId node, std::uint32_t hint)
-    {
-        node_homes[node.key()] = hint;
-    }
+    void setNodeHome(NodeId node, std::uint32_t hint);
 
     /** The delivery home hint of @p node (0 when unmapped). */
     std::uint32_t
@@ -163,6 +185,7 @@ class PoolFabric : public SimObject, public Fabric
     std::vector<SwitchState> switches;
     std::map<std::uint64_t, std::unique_ptr<DataPacker>> packers;
     std::map<std::uint32_t, std::uint32_t> node_homes;
+    std::set<std::uint32_t> registered_nodes;
     std::unique_ptr<CxlLinkChecker> link_checker;
     std::vector<unsigned> bus_channels; //!< checker id per switch bus
 

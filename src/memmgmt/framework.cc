@@ -167,6 +167,126 @@ MemoryFramework::deallocate(const std::string &app)
 }
 
 bool
+MemoryFramework::reserveOn(const std::string &app, unsigned dimm_index,
+                           Bytes bytes, std::string *error)
+{
+    BEACON_ASSERT(dimm_index < pool.size(), "bad DIMM index ",
+                  dimm_index);
+    if (app.empty()) {
+        if (error)
+            *error = "missing application name";
+        return false;
+    }
+    if (bytes == Bytes{}) {
+        if (error)
+            *error = "zero-byte reservation for '" + app + "'";
+        return false;
+    }
+    if (bytes.value() > freeBytes(dimm_index).value()) {
+        if (error) {
+            *error = "insufficient free capacity on " +
+                     pool[dimm_index].node.str();
+        }
+        return false;
+    }
+    usage[dimm_index][app] += bytes;
+    non_cacheable[dimm_index] = true;
+    return true;
+}
+
+bool
+MemoryFramework::releaseOn(const std::string &app, unsigned dimm_index)
+{
+    BEACON_ASSERT(dimm_index < pool.size(), "bad DIMM index ",
+                  dimm_index);
+    const bool found = usage[dimm_index].erase(app) != 0;
+    if (usage[dimm_index].empty())
+        non_cacheable[dimm_index] = false;
+    return found;
+}
+
+bool
+MemoryFramework::evacuate(unsigned dimm_index,
+                          std::vector<RegionMove> *moves,
+                          std::string *error,
+                          const std::vector<unsigned> *candidates)
+{
+    BEACON_ASSERT(dimm_index < pool.size(), "bad DIMM index ",
+                  dimm_index);
+    const auto eligible = [&](unsigned i) {
+        if (i == dimm_index)
+            return false;
+        if (!candidates)
+            return true;
+        return std::find(candidates->begin(), candidates->end(), i) !=
+               candidates->end();
+    };
+    Bytes absorbable;
+    for (unsigned i = 0; i < pool.size(); ++i) {
+        if (eligible(i))
+            absorbable += freeBytes(i);
+    }
+    if (residentBytes(dimm_index).value() > absorbable.value()) {
+        if (error) {
+            *error = "pool cannot absorb resident bytes of " +
+                     pool[dimm_index].node.str();
+        }
+        return false;
+    }
+
+    // The capacity pre-check above guarantees the greedy fill below
+    // cannot run out of room, so the tables are only rewritten on
+    // success. Iterate a copy: the loop erases from the live map.
+    // The source map is std::map, so apps evacuate in name order.
+    std::vector<RegionMove> plan;
+    auto source = usage[dimm_index];
+    for (const auto &[app, bytes] : source) {
+        std::uint64_t remaining = bytes.value();
+        while (remaining > 0) {
+            // Lowest-utilization target first; ties break on index.
+            unsigned best = pool.size();
+            std::uint64_t best_free = 0;
+            for (unsigned i = 0; i < pool.size(); ++i) {
+                if (!eligible(i))
+                    continue;
+                const std::uint64_t avail = freeBytes(i).value();
+                if (avail > best_free) {
+                    best_free = avail;
+                    best = i;
+                }
+            }
+            if (best == pool.size()) {
+                if (error) {
+                    *error = "pool cannot absorb resident bytes of " +
+                             pool[dimm_index].node.str();
+                }
+                return false;
+            }
+            const std::uint64_t chunk = std::min(remaining, best_free);
+            usage[best][app] += Bytes{chunk};
+            non_cacheable[best] = true;
+            usage[dimm_index][app] -= Bytes{chunk};
+            plan.push_back({app, dimm_index, best, Bytes{chunk}});
+            remaining -= chunk;
+        }
+        usage[dimm_index].erase(app);
+    }
+    non_cacheable[dimm_index] = false;
+    if (moves)
+        *moves = std::move(plan);
+    return true;
+}
+
+Bytes
+MemoryFramework::appBytesOn(const std::string &app,
+                            unsigned dimm_index) const
+{
+    const auto &per_dimm = usage.at(dimm_index);
+    const auto it = per_dimm.find(app);
+    return it == per_dimm.end() ? Bytes{} : it->second;
+}
+
+bool
 MemoryFramework::isNonCacheable(unsigned dimm_index) const
 {
     return non_cacheable.at(dimm_index);

@@ -52,6 +52,20 @@ struct AllocationResponse
     std::vector<unsigned> allocated_dimms;
 };
 
+/**
+ * One region relocation produced by evacuate(): @p bytes of
+ * application @p app move from DIMM @p from to DIMM @p to. The caller
+ * (the rack hot-remove path) is responsible for simulating the actual
+ * data transfer; the framework only rewrites its bookkeeping.
+ */
+struct RegionMove
+{
+    std::string app;
+    unsigned from = 0;
+    unsigned to = 0;
+    Bytes bytes;
+};
+
 /** The memory-management framework. */
 class MemoryFramework
 {
@@ -63,6 +77,41 @@ class MemoryFramework
 
     /** De-allocate an application (Fig. 8 right flow). */
     bool deallocate(const std::string &app);
+
+    /**
+     * Reserve @p bytes for @p app directly on DIMM @p dimm_index,
+     * bypassing layout construction. Rack hosts use this for
+     * HDM-decoded private regions whose placement the HdmDecoder —
+     * not the placement policy — already fixed. Stacks with other
+     * reservations by the same app on the same DIMM. Fails (returns
+     * false and fills @p error) when the DIMM lacks free capacity.
+     */
+    bool reserveOn(const std::string &app, unsigned dimm_index,
+                   Bytes bytes, std::string *error = nullptr);
+
+    /** Release bytes previously taken via reserveOn (all of them). */
+    bool releaseOn(const std::string &app, unsigned dimm_index);
+
+    /**
+     * Plan the evacuation of every region resident on @p dimm_index
+     * (hot-remove): greedily re-home each application's bytes onto
+     * the other DIMMs with free capacity (lowest-utilization first,
+     * index-ordered on ties — deterministic) and rewrite the usage
+     * tables accordingly. Fails without side effects when the rest of
+     * the pool cannot absorb the resident bytes.
+     *
+     * When @p candidates is non-null, only the listed DIMM indices
+     * receive evacuated bytes (the rack layer restricts migration to
+     * its online expansion DIMMs); otherwise every other DIMM is a
+     * candidate.
+     */
+    bool evacuate(unsigned dimm_index, std::vector<RegionMove> *moves,
+                  std::string *error = nullptr,
+                  const std::vector<unsigned> *candidates = nullptr);
+
+    /** Bytes of @p app currently resident on DIMM @p dimm_index. */
+    Bytes appBytesOn(const std::string &app,
+                     unsigned dimm_index) const;
 
     /** Host-visible cacheability of a DIMM. */
     bool isNonCacheable(unsigned dimm_index) const;

@@ -32,6 +32,12 @@ MemoryLayout::MemoryLayout(std::vector<PoolDimm> dimms,
                       "partition switch map size mismatch");
     }
 
+    const auto reserved = [this](unsigned dimm_idx) {
+        return std::find(pol.reserved_dimms.begin(),
+                         pol.reserved_dimms.end(),
+                         dimm_idx) != pol.reserved_dimms.end();
+    };
+
     for (const StructureSpec &spec : structures) {
         StructurePlan plan;
         plan.spec = spec;
@@ -55,7 +61,8 @@ MemoryLayout::MemoryLayout(std::vector<PoolDimm> dimms,
                 const unsigned home_sw = pol.partition_switch[part];
                 for (unsigned i = 0; i < pool.size(); ++i) {
                     if (pool[i].node.sw == home_sw &&
-                        pool[i].kind == DimmKind::Cxlg) {
+                        pool[i].kind == DimmKind::Cxlg &&
+                        !reserved(i)) {
                         for (unsigned w = 0;
                              w < std::max(1u, pol.cxlg_stripe_weight);
                              ++w) {
@@ -65,14 +72,18 @@ MemoryLayout::MemoryLayout(std::vector<PoolDimm> dimms,
                 }
                 for (unsigned i = 0; i < pool.size(); ++i) {
                     if (pool[i].node.sw == home_sw &&
-                        pool[i].kind == DimmKind::Unmodified) {
+                        pool[i].kind == DimmKind::Unmodified &&
+                        !reserved(i)) {
                         list.push_back(i);
                     }
                 }
             } else {
-                // Single copy striped over the whole pool.
-                for (unsigned i = 0; i < pool.size(); ++i)
-                    list.push_back(i);
+                // Single copy striped over the whole pool (minus
+                // reserved DIMMs, which hold no tenant data).
+                for (unsigned i = 0; i < pool.size(); ++i) {
+                    if (!reserved(i))
+                        list.push_back(i);
+                }
             }
             BEACON_ASSERT(!list.empty(),
                           "no DIMMs available for a partition");

@@ -98,6 +98,15 @@ struct PlacementPolicy
      * aliasing each other's rows.
      */
     unsigned region_row_offset = 0;
+    /**
+     * Pool DIMM indices excluded from tenant data placement. The
+     * rack layer reserves its hot-pluggable expansion DIMMs this way
+     * so tenant structures never land on a DIMM that may be drained
+     * and removed mid-run; reserved capacity is managed through the
+     * framework's explicit reserveOn()/releaseOn() bookkeeping
+     * instead. Empty (the default) keeps historical placement.
+     */
+    std::vector<unsigned> reserved_dimms;
     /** Number of NDP partitions (modules). */
     unsigned partitions = 1;
     /** Home switch of each partition's NDP module. */

@@ -79,6 +79,21 @@ Sampler::addCounterRate(std::string label, const StatRegistry &stats,
 }
 
 void
+Sampler::addCounterRate(std::string label, const StatRegistry &stats,
+                        std::vector<std::string> substrings,
+                        double scale)
+{
+    addRate(std::move(label),
+            [&stats, substrings = std::move(substrings)] {
+                double total = 0;
+                for (const std::string &substring : substrings)
+                    total += stats.sumMatching(substring);
+                return total;
+            },
+            scale);
+}
+
+void
 Sampler::start()
 {
     if (armed)

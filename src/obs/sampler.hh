@@ -72,6 +72,16 @@ class Sampler
     void addCounterRate(std::string label, const StatRegistry &stats,
                         std::string substring, double scale = 1.0);
 
+    /**
+     * Rate series summing sumMatching over several substrings — one
+     * per-host bandwidth series from that host's tenant-tagged
+     * counters, for example. Substrings must not overlap (a counter
+     * matching two is counted twice).
+     */
+    void addCounterRate(std::string label, const StatRegistry &stats,
+                        std::vector<std::string> substrings,
+                        double scale = 1.0);
+
     /** Arm the first sample at now() + interval. Idempotent. */
     void start();
 

@@ -1,0 +1,160 @@
+#include "coherence.hh"
+
+#include "common/logging.hh"
+
+namespace beacon::rack
+{
+
+SegmentCoherence::SegmentCoherence(SegmentParams params,
+                                   unsigned num_hosts)
+    : p(std::move(params)), owner_(p.owner_dimm)
+{
+    BEACON_CHECK(num_hosts >= 1 && num_hosts <= 64,
+                 "segment sharer bitmask supports 1..64 hosts, got ",
+                 num_hosts);
+    BEACON_CHECK(p.block_bytes > 0, "zero segment block size");
+    BEACON_CHECK(p.bytes.value() > 0, "zero-byte segment '", p.name,
+                 "'");
+    BEACON_CHECK(p.bytes.value() % p.block_bytes == 0,
+                 "segment '", p.name, "' size ", p.bytes.value(),
+                 " does not tile its block size ", p.block_bytes);
+    num_blocks = p.bytes.value() / p.block_bytes;
+    host_blocks.resize(num_hosts);
+}
+
+bool
+SegmentCoherence::cachedOn(unsigned host, std::uint64_t block) const
+{
+    return host_blocks.at(host).count(block) != 0;
+}
+
+bool
+SegmentCoherence::modifiedOn(unsigned host, std::uint64_t block) const
+{
+    const auto &blocks = host_blocks.at(host);
+    const auto it = blocks.find(block);
+    return it != blocks.end() && it->second == BlockState::Modified;
+}
+
+void
+SegmentCoherence::cacheShared(unsigned host, std::uint64_t block)
+{
+    host_blocks.at(host)[block] = BlockState::Shared;
+}
+
+void
+SegmentCoherence::cacheModified(unsigned host, std::uint64_t block)
+{
+    host_blocks.at(host)[block] = BlockState::Modified;
+}
+
+void
+SegmentCoherence::uncache(unsigned host, std::uint64_t block)
+{
+    host_blocks.at(host).erase(block);
+}
+
+std::uint64_t
+SegmentCoherence::uncacheAll()
+{
+    std::uint64_t dropped = 0;
+    for (auto &blocks : host_blocks) {
+        dropped += blocks.size();
+        blocks.clear();
+    }
+    return dropped;
+}
+
+SegmentCoherence::ReadActions
+SegmentCoherence::directoryRead(unsigned host, std::uint64_t block)
+{
+    BEACON_ASSERT(block < num_blocks, "segment '", p.name,
+                  "' block ", block, " out of range");
+    Block &b = dir[block];
+    ReadActions actions;
+    if (b.state == BlockState::Modified) {
+        // A host whose own cache hits never reaches the directory,
+        // so a Modified block always belongs to a *different* host
+        // (migration resets both halves together).
+        BEACON_CHECK(b.modifier != host,
+                     "read miss by the modifying host of segment '",
+                     p.name, "' block ", block);
+        actions.writeback = true;
+        actions.writeback_host = b.modifier;
+        b.sharers = 0;
+    }
+    b.state = BlockState::Shared;
+    b.sharers |= std::uint64_t(1) << host;
+    return actions;
+}
+
+SegmentCoherence::WriteActions
+SegmentCoherence::directoryWrite(unsigned host, std::uint64_t block)
+{
+    BEACON_ASSERT(block < num_blocks, "segment '", p.name,
+                  "' block ", block, " out of range");
+    Block &b = dir[block];
+    WriteActions actions;
+    if (b.state == BlockState::Modified) {
+        BEACON_CHECK(b.modifier != host,
+                     "write miss by the modifying host of segment '",
+                     p.name, "' block ", block);
+        actions.invalidate.push_back(b.modifier);
+        actions.writeback = true;
+        actions.writeback_host = b.modifier;
+    } else if (b.state == BlockState::Shared) {
+        for (unsigned h = 0; h < unsigned(host_blocks.size()); ++h) {
+            if (h != host && (b.sharers >> h) & 1)
+                actions.invalidate.push_back(h);
+        }
+    }
+    b.state = BlockState::Modified;
+    b.modifier = host;
+    b.sharers = 0;
+    return actions;
+}
+
+void
+SegmentCoherence::directoryClear()
+{
+    dir.clear();
+    busy_.clear();
+    queues.clear();
+}
+
+void
+SegmentCoherence::setBusy(std::uint64_t block)
+{
+    const bool inserted = busy_.insert(block).second;
+    BEACON_ASSERT(inserted, "segment '", p.name, "' block ", block,
+                  " already has a transaction in flight");
+}
+
+void
+SegmentCoherence::clearBusy(std::uint64_t block)
+{
+    BEACON_ASSERT(busy_.erase(block) == 1, "segment '", p.name,
+                  "' block ", block, " was not busy");
+}
+
+void
+SegmentCoherence::queueTxn(std::uint64_t block,
+                           std::function<void()> start)
+{
+    queues[block].push_back(std::move(start));
+}
+
+std::function<void()>
+SegmentCoherence::popTxn(std::uint64_t block)
+{
+    const auto it = queues.find(block);
+    if (it == queues.end() || it->second.empty())
+        return nullptr;
+    std::function<void()> next = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        queues.erase(it);
+    return next;
+}
+
+} // namespace beacon::rack

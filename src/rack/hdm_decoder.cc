@@ -1,0 +1,104 @@
+#include "hdm_decoder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace beacon::rack
+{
+
+void
+HdmDecoder::addRange(const HdmRange &range)
+{
+    const std::uint64_t gran = range.granularity.value();
+    BEACON_CHECK(gran > 0 && (gran & (gran - 1)) == 0,
+                 "HDM granularity ", gran, " is not a power of two");
+    BEACON_CHECK(range.ways >= 1, "HDM range needs >= 1 way");
+    BEACON_CHECK(range.targets.size() == range.ways,
+                 "HDM range declares ", range.ways, " ways but ",
+                 range.targets.size(), " targets");
+    const std::uint64_t tile = gran * range.ways;
+    BEACON_CHECK(range.size.value() > 0 &&
+                     range.size.value() % tile == 0,
+                 "HDM range size ", range.size.value(),
+                 " does not tile ways * granularity = ", tile);
+    for (const HdmRange &other : ranges) {
+        const bool disjoint =
+            range.base + range.size.value() <= other.base ||
+            other.base + other.size.value() <= range.base;
+        BEACON_CHECK(disjoint, "HDM range [", range.base, ", ",
+                     range.base + range.size.value(),
+                     ") overlaps existing range [", other.base, ", ",
+                     other.base + other.size.value(), ")");
+    }
+    ranges.push_back(range);
+}
+
+bool
+HdmDecoder::contains(std::uint64_t hpa) const
+{
+    return std::any_of(ranges.begin(), ranges.end(),
+                       [hpa](const HdmRange &r) {
+                           return hpa >= r.base &&
+                                  hpa - r.base < r.size.value();
+                       });
+}
+
+HdmDecoded
+HdmDecoder::decode(std::uint64_t hpa) const
+{
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        const HdmRange &r = ranges[i];
+        if (hpa < r.base || hpa - r.base >= r.size.value())
+            continue;
+        const std::uint64_t off = hpa - r.base;
+        const std::uint64_t gran = r.granularity.value();
+        HdmDecoded out;
+        out.way = unsigned((off / gran) % r.ways);
+        out.target = r.targets[out.way];
+        out.dpa = r.dpa_base + (off / (gran * r.ways)) * gran +
+                  off % gran;
+        out.range = i;
+        return out;
+    }
+    BEACON_PANIC("HPA ", hpa, " hits no HDM range");
+}
+
+std::uint64_t
+HdmDecoder::encode(std::size_t range_idx, unsigned way,
+                   std::uint64_t dpa) const
+{
+    const HdmRange &r = ranges.at(range_idx);
+    BEACON_CHECK(way < r.ways, "way ", way, " out of range");
+    const std::uint64_t gran = r.granularity.value();
+    BEACON_CHECK(dpa >= r.dpa_base, "DPA ", dpa,
+                 " below range dpa_base ", r.dpa_base);
+    const std::uint64_t rel = dpa - r.dpa_base;
+    BEACON_CHECK(rel < r.size.value() / r.ways,
+                 "DPA ", dpa, " beyond the range's per-way span");
+    const std::uint64_t block = rel / gran;
+    const std::uint64_t rem = rel % gran;
+    return r.base + block * (gran * r.ways) + way * gran + rem;
+}
+
+void
+HdmDecoder::forEachGranule(
+    std::uint64_t hpa, Bytes bytes,
+    const std::function<void(const HdmDecoded &, Bytes)> &fn) const
+{
+    std::uint64_t remaining = bytes.value();
+    std::uint64_t at = hpa;
+    while (remaining > 0) {
+        const HdmDecoded piece = decode(at);
+        const HdmRange &r = ranges[piece.range];
+        const std::uint64_t gran = r.granularity.value();
+        const std::uint64_t into = (at - r.base) % gran;
+        const std::uint64_t chunk =
+            std::min(remaining, gran - into);
+        fn(piece, Bytes{chunk});
+        at += chunk;
+        remaining -= chunk;
+    }
+}
+
+} // namespace beacon::rack

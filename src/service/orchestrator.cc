@@ -53,10 +53,21 @@ PoolOrchestrator::~PoolOrchestrator()
 PoolOrchestrator::TenantState &
 PoolOrchestrator::stateOf(TenantId tenant)
 {
-    BEACON_ASSERT(tenant.value() >= 1 &&
-                      tenant.value() <= tenants.size(),
+    BEACON_ASSERT(tenant.value() >= p.tenant_id_base + 1 &&
+                      tenant.value() <=
+                          p.tenant_id_base + tenants.size(),
                   "unknown tenant ", tenant);
-    return tenants[tenant.value() - 1];
+    return tenants[tenant.value() - p.tenant_id_base - 1];
+}
+
+std::vector<TenantId>
+PoolOrchestrator::tenantIds() const
+{
+    std::vector<TenantId> ids;
+    ids.reserve(tenants.size());
+    for (const TenantState &tenant : tenants)
+        ids.push_back(tenant.id);
+    return ids;
 }
 
 TenantId
@@ -64,7 +75,8 @@ PoolOrchestrator::addTenant(const TenantSpec &spec)
 {
     BEACON_ASSERT(!ran, "tenants must be admitted before run()");
     BEACON_ASSERT(spec.workload, "tenant without a workload");
-    const TenantId id = TenantId(tenants.size() + 1);
+    const TenantId id =
+        TenantId(p.tenant_id_base + tenants.size() + 1);
 
     AllocationRequest request;
     request.app = spec.name.empty()
@@ -152,6 +164,24 @@ PoolOrchestrator::submitJob(TenantState &tenant)
             trace, tenant.slot_tracks[job->slot], "job", job->id);
     }
 
+    if (p.ingress) {
+        // Admission waits for the host's ingress transfer. The job
+        // already counts as outstanding, so the drive loop's window
+        // bound holds while the transfer is in flight.
+        p.ingress(tenant.id, [this, id = tenant.id, job] {
+            completeSubmission(id, job);
+            dispatch();
+        });
+        return;
+    }
+    completeSubmission(tenant.id, job);
+}
+
+void
+PoolOrchestrator::completeSubmission(TenantId tenant_id,
+                                     const std::shared_ptr<Job> &job)
+{
+    TenantState &tenant = stateOf(tenant_id);
     if (admitJob(tenant, job)) {
         if (trace)
             trace->counter(tenant.track, "ready",
@@ -311,15 +341,14 @@ PoolOrchestrator::onTaskDone(TenantId tenant_id,
     // which fires right after this callback.
 }
 
-ServiceReport
-PoolOrchestrator::run()
+void
+PoolOrchestrator::start()
 {
-    BEACON_ASSERT(!ran, "run() may only be called once");
+    BEACON_ASSERT(!ran, "start() may only be called once");
     ran = true;
     BEACON_ASSERT(!tenants.empty(), "no admitted tenants");
 
     EventQueue &eq = system.eventQueue();
-    system.setSlotFreedFn([this] { dispatch(); });
 
     // Per-tenant time series: ready-queue depth (level) and a live
     // p99 estimate from the streaming latency histogram. Registered
@@ -340,7 +369,7 @@ PoolOrchestrator::run()
         }
     }
 
-    std::uint64_t target_jobs = 0;
+    target_jobs = 0;
     for (TenantState &tenant : tenants) {
         target_jobs += tenant.spec.num_jobs;
         if (tenant.spec.arrival.kind == ArrivalKind::ClosedLoop) {
@@ -370,16 +399,39 @@ PoolOrchestrator::run()
     }
     std::sort(arrival_ticks.begin(), arrival_ticks.end());
     dispatch();
+}
 
-    auto doneJobs = [this] {
-        std::uint64_t done = 0;
-        for (const TenantState &tenant : tenants)
-            done += tenant.jobs_completed + tenant.jobs_rejected;
-        return done;
-    };
-    auto finished = [&doneJobs, target_jobs] {
-        return doneJobs() >= target_jobs;
-    };
+std::uint64_t
+PoolOrchestrator::doneJobs() const
+{
+    std::uint64_t done = 0;
+    for (const TenantState &tenant : tenants)
+        done += tenant.jobs_completed + tenant.jobs_rejected;
+    return done;
+}
+
+std::uint64_t
+PoolOrchestrator::arrivalsBetween(Tick t0, Tick w_end)
+{
+    while (arrival_cursor < arrival_ticks.size() &&
+           arrival_ticks[arrival_cursor] < t0) {
+        ++arrival_cursor;
+    }
+    std::uint64_t window_arrivals = 0;
+    for (std::size_t i = arrival_cursor;
+         i < arrival_ticks.size() && arrival_ticks[i] < w_end;
+         ++i) {
+        ++window_arrivals;
+    }
+    return window_arrivals;
+}
+
+ServiceReport
+PoolOrchestrator::run()
+{
+    EventQueue &eq = system.eventQueue();
+    system.setSlotFreedFn([this] { dispatch(); });
+    start();
 
     // Drive loop. On the sharded engine, advance whole conservative-
     // lookahead windows while the finished predicate provably cannot
@@ -400,17 +452,8 @@ PoolOrchestrator::run()
             const Tick t0 = sq->nextPendingTick();
             if (t0 != max_tick && t0 < max_tick - sq->lookahead()) {
                 const Tick w_end = t0 + sq->lookahead();
-                while (arrival_cursor < arrival_ticks.size() &&
-                       arrival_ticks[arrival_cursor] < t0) {
-                    ++arrival_cursor;
-                }
-                std::uint64_t window_arrivals = 0;
-                for (std::size_t i = arrival_cursor;
-                     i < arrival_ticks.size() &&
-                     arrival_ticks[i] < w_end;
-                     ++i) {
-                    ++window_arrivals;
-                }
+                const std::uint64_t window_arrivals =
+                    arrivalsBetween(t0, w_end);
                 if (doneJobs() + jobs_outstanding + window_arrivals <
                         target_jobs &&
                     sq->runWindow()) {
@@ -429,11 +472,21 @@ PoolOrchestrator::run()
     }
 
     const Tick end = eq.now();
-    ServiceReport report;
-    report.machine = system.machineResult(end);
+    const RunResult machine = system.machineResult(end);
 
     if (system.params().checkers.any())
         verifyConservation();
+
+    ServiceReport report = collectReport(machine);
+    system.setSlotFreedFn(nullptr);
+    return report;
+}
+
+ServiceReport
+PoolOrchestrator::collectReport(const RunResult &machine)
+{
+    ServiceReport report;
+    report.machine = machine;
 
     // Machine-wide denominators for the energy split.
     const StatRegistry &reg = system.stats();
@@ -497,7 +550,6 @@ PoolOrchestrator::run()
         report.tenants.push_back(std::move(out));
     }
 
-    system.setSlotFreedFn(nullptr);
     return report;
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,26 @@ struct OrchestratorParams
     SchedulerKind scheduler = SchedulerKind::Fcfs;
     /** Seeds the arrival processes (open-loop Poisson draws). */
     std::uint64_t seed = 1;
+    /**
+     * Offset added to this orchestrator's dense local tenant ids. A
+     * single-host run keeps 0 (tenants are 1..N, as always); a rack
+     * machine gives each host a disjoint base so every tenant id —
+     * and thus every tagged counter — is globally unique on the
+     * shared pool.
+     */
+    unsigned tenant_id_base = 0;
+    /**
+     * Optional job-ingress hook. When set, submitJob() defers
+     * admission (scratch reservation and task enqueue) until the
+     * hook invokes the passed continuation; the job counts as
+     * outstanding from submission, and its queue wait includes the
+     * ingress delay. Rack hosts use this to stream each job's input
+     * over their rack uplink and scatter it through the HDM decoder
+     * before the job becomes runnable. The continuation must be
+     * called exactly once, from an event-queue callback on the
+     * default (lane-0) shard.
+     */
+    std::function<void(TenantId, std::function<void()>)> ingress;
 };
 
 /** Per-tenant outcome of a service run. */
@@ -106,6 +127,54 @@ class PoolOrchestrator
      */
     ServiceReport run();
 
+    // ------------------------------------------------------------
+    // Cooperative API. run() is built from these pieces; an external
+    // driver that multiplexes several orchestrators over one machine
+    // (src/rack) calls them directly: start() every host, install a
+    // combined slot-freed observer that fans out to every host's
+    // dispatch(), drive the shared event queue until every host
+    // finished(), then collectReport() each host once.
+    // ------------------------------------------------------------
+
+    /**
+     * Register sampler series, schedule open-loop arrivals, submit
+     * initial closed-loop jobs, and dispatch. Does NOT install the
+     * machine's slot-freed observer — run() (or the external driver)
+     * owns that. Call once, before any event executes.
+     */
+    void start();
+
+    /** Completed-or-rejected jobs across all tenants. */
+    std::uint64_t doneJobs() const;
+
+    /** Total job budget across all tenants (valid after start()). */
+    std::uint64_t targetJobs() const { return target_jobs; }
+
+    /** Jobs submitted but not yet completed or rejected. */
+    std::uint64_t outstandingJobs() const { return jobs_outstanding; }
+
+    /** True once every job completed or was rejected. */
+    bool finished() const { return doneJobs() >= target_jobs; }
+
+    /**
+     * Open-loop arrivals with tick in [t0, w_end). Advances the
+     * arrival cursor past ticks below @p t0, so calls must use
+     * non-decreasing @p t0 (the drive loop's window starts do).
+     */
+    std::uint64_t arrivalsBetween(Tick t0, Tick w_end);
+
+    /** Move ready tasks onto the machine while slots are free. */
+    void dispatch();
+
+    /** Ids of every admitted tenant, in admission order. */
+    std::vector<TenantId> tenantIds() const;
+
+    /**
+     * Build the per-tenant report against an already-computed
+     * machine result. Call once, after the run finished.
+     */
+    ServiceReport collectReport(const RunResult &machine);
+
   private:
     struct Job
     {
@@ -161,8 +230,9 @@ class PoolOrchestrator
     bool admitJob(TenantState &tenant,
                   const std::shared_ptr<Job> &job);
 
-    /** Move ready tasks onto the machine while slots are free. */
-    void dispatch();
+    /** Admission tail of submitJob(), run after ingress (if any). */
+    void completeSubmission(TenantId tenant,
+                            const std::shared_ptr<Job> &job);
 
     /** One task of @p tenant's @p job retired. */
     void onTaskDone(TenantId tenant, const std::shared_ptr<Job> &job);
@@ -183,11 +253,13 @@ class PoolOrchestrator
 
     NdpSystem &system;
     OrchestratorParams p;
-    std::vector<TenantState> tenants; //!< index = tenant id - 1
+    /** Index = tenant id - tenant_id_base - 1. */
+    std::vector<TenantState> tenants;
     std::string last_error;
     std::uint64_t next_seq = 0;
     std::uint64_t next_job_id = 0;
     std::uint64_t jobs_outstanding = 0;
+    std::uint64_t target_jobs = 0;
     /**
      * Every open-loop arrival tick, pre-drawn and sorted; the cursor
      * trails the clock. The windowed drive loop counts arrivals

@@ -47,9 +47,13 @@ enum class EventCat : std::uint8_t
     Ndp,
     Service,
     Sampler,
+    /** Rack layer (src/rack): multi-host switch tiers, HDM ingress,
+     *  shared-segment coherence, hot-plug control. Rack events carry
+     *  hint 0 and therefore always execute on the default lane. */
+    Rack,
 };
 
-inline constexpr std::size_t num_event_cats = 6;
+inline constexpr std::size_t num_event_cats = 7;
 
 /** Stable lower-case name for an event category. */
 constexpr const char *
@@ -61,6 +65,7 @@ eventCatName(EventCat cat)
       case EventCat::Ndp: return "ndp";
       case EventCat::Service: return "service";
       case EventCat::Sampler: return "sampler";
+      case EventCat::Rack: return "rack";
       case EventCat::Other: break;
     }
     return "other";

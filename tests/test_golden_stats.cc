@@ -21,6 +21,7 @@
 #include "accel/sweep.hh"
 #include "accel/system.hh"
 #include "accel/workload.hh"
+#include "rack/system.hh"
 #include "service/orchestrator.hh"
 
 #include "golden_compare.hh"
@@ -200,6 +201,91 @@ TEST(GoldenStatsTest, MultiTenantQosSmall)
     }
     checkAgainstGolden(reportFor("multi_tenant_qos_small", runner),
                        "qos_small.json");
+}
+
+// ---------------------------------------------------------------
+// Rack-scale sweep (the shape of bench/rack_scale)
+// ---------------------------------------------------------------
+
+TEST(GoldenStatsTest, RackScaleSmall)
+{
+    genomics::DatasetPreset preset = smallSeedingPreset();
+    const HashSeedingWorkload workload(preset);
+
+    SweepRunner runner;
+    struct RackPoint
+    {
+        const char *label;
+        unsigned hosts;
+        bool hotplug;
+    };
+    for (const RackPoint point : {RackPoint{"h1", 1, false},
+                                  RackPoint{"h2", 2, false},
+                                  RackPoint{"hotplug", 2, true}}) {
+        const SweepKey key{"small", point.label};
+        runner.enqueue(key, [&, key, point](RunContext &) {
+            rack::RackParams params;
+            params.hosts = point.hosts;
+            params.interleave_ways = 2;
+            params.hdm_bytes_per_host = Bytes{1u << 20};
+            params.segment_write_every = 2;
+            rack::SegmentParams seg;
+            seg.name = "reference";
+            seg.bytes = Bytes{1u << 16};
+            seg.owner_dimm = 8;
+            params.segments.push_back(seg);
+
+            rack::RackSystem rack(params);
+            for (unsigned h = 0; h < point.hosts; ++h) {
+                TenantSpec spec;
+                spec.name = "host" + std::to_string(h) + ".t0";
+                spec.workload = &workload;
+                spec.num_jobs = 3;
+                spec.tasks_per_job = 2;
+                spec.arrival.concurrency = 2;
+                EXPECT_NE(rack.addTenant(h, spec), untenanted_id);
+            }
+            if (point.hotplug) {
+                rack.scheduleHotRemove(Tick{400000}, 9);
+                rack.scheduleHotAdd(Tick{1200000}, 9);
+            }
+            const rack::RackReport report = rack.run();
+
+            SweepOutcome out;
+            out.key = key;
+            out.result = report.machine;
+            out.stats.emplace_back("pool_utilization",
+                                   report.pool_utilization);
+            out.stats.emplace_back("cache_hits",
+                                   double(report.cache_hits));
+            out.stats.emplace_back("cache_misses",
+                                   double(report.cache_misses));
+            out.stats.emplace_back("bi_flits",
+                                   double(report.bi_flits));
+            out.stats.emplace_back("invalidations",
+                                   double(report.invalidations));
+            out.stats.emplace_back(
+                "ingress_bytes",
+                double(report.ingress_bytes.value()));
+            out.stats.emplace_back(
+                "migrated_bytes",
+                double(report.migrated_bytes.value()));
+            for (std::size_t h = 0; h < report.hosts.size(); ++h) {
+                const TenantReport &tenant =
+                    report.hosts[h].tenants.at(0);
+                const std::string tag =
+                    "host" + std::to_string(h);
+                out.stats.emplace_back(tag + ".p99_ms",
+                                       tenant.p99_latency_ms);
+                out.stats.emplace_back(
+                    tag + ".jobs_completed",
+                    double(tenant.jobs_completed));
+            }
+            return out;
+        });
+    }
+    checkAgainstGolden(reportFor("rack_scale_small", runner),
+                       "rack_small.json");
 }
 
 } // namespace

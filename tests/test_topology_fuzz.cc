@@ -20,6 +20,7 @@
 #include "accel/workload.hh"
 #include "check/checker_config.hh"
 #include "common/rng.hh"
+#include "rack/system.hh"
 
 namespace beacon
 {
@@ -252,6 +253,113 @@ TEST(ShardedDifferentialFuzz, RandomPoolsMatchSerial)
     }
     EXPECT_GT(multi_lane, iters / 4)
         << "too few configs eligible for multi-lane execution";
+}
+
+// ---------------------------------------------------------------
+// Rack-scale serial-vs-sharded differential oracle
+// ---------------------------------------------------------------
+
+const HashSeedingWorkload &
+rackFuzzWorkload()
+{
+    static const HashSeedingWorkload workload = [] {
+        genomics::DatasetPreset preset =
+            genomics::seedingPresets()[3];
+        preset.genome.length = 1 << 13;
+        preset.reads.num_reads = 16;
+        return HashSeedingWorkload(preset);
+    }();
+    return workload;
+}
+
+/**
+ * Same contract as RandomPoolsMatchSerial, one layer up: random rack
+ * shapes (host count, tree depth, interleave ways, shared-segment
+ * mix, write cadence) with mid-run hot-remove / hot-add / VCS-rebind
+ * events must produce bit-identical stat registries on the serial
+ * and sharded engines. This is the path with the most cross-lane
+ * traffic in the tree: host caches and the fabric on lane 0, each
+ * expander's directory on its own controller lane.
+ */
+TEST(RackDifferentialFuzz, RandomRacksMatchSerial)
+{
+    unsigned iters = 10;
+    if (const char *env = std::getenv("BEACON_FUZZ_ITERS"))
+        iters = std::max(1u, unsigned(std::atoi(env)) / 20);
+
+    const auto observe = [](const rack::RackParams &params,
+                            unsigned hot_case) {
+        rack::RackSystem rk(params);
+        for (unsigned h = 0; h < params.hosts; ++h) {
+            TenantSpec spec;
+            spec.name = "host" + std::to_string(h) + ".t0";
+            spec.workload = &rackFuzzWorkload();
+            spec.num_jobs = 3;
+            spec.tasks_per_job = 2;
+            spec.arrival.concurrency = 2;
+            EXPECT_NE(rk.addTenant(h, spec), untenanted_id);
+        }
+        // The hot-plug mix: none / remove / remove+re-add / rebind.
+        if (hot_case == 1 || hot_case == 2)
+            rk.scheduleHotRemove(Tick{300000}, 9);
+        if (hot_case == 2)
+            rk.scheduleHotAdd(Tick{900000}, 9);
+        if (hot_case == 3)
+            rk.scheduleRebind(Tick{300000}, 10,
+                              params.hosts - 1);
+        const rack::RackReport r = rk.run();
+        std::ostringstream os;
+        rk.machine().stats().dump(os);
+        return std::pair<std::string, Tick>(os.str(),
+                                            r.machine.ticks);
+    };
+
+    for (unsigned i = 0; i < iters; ++i) {
+        Rng rng(9000 + i);
+        rack::RackParams params;
+        params.hosts = 1 + unsigned(rng.next(4));
+        params.switch_levels = 1 + unsigned(rng.next(2));
+        params.interleave_ways = 1u << rng.next(3); // 1, 2, 4
+        params.hdm_bytes_per_host = Bytes{1u << 19};
+        params.segment_write_every =
+            rng.chance(0.3) ? 0 : 2u << rng.next(3);
+        params.seed = 100 + i;
+        if (rng.chance(0.8)) {
+            rack::SegmentParams seg;
+            seg.name = "ref";
+            seg.bytes = Bytes{1u << 15};
+            seg.owner_dimm = 8;
+            params.segments.push_back(seg);
+        }
+        if (rng.chance(0.3)) {
+            rack::SegmentParams seg;
+            seg.name = "index";
+            seg.bytes = Bytes{1u << 14};
+            seg.owner_dimm = 9;
+            params.segments.push_back(seg);
+        }
+        // The CXL link checker vetoes multi-lane execution; arm the
+        // checkers on half the configs so the oracle covers both the
+        // collapsed and the genuinely parallel path.
+        if (i % 2 != 0)
+            params.base.checkers = CheckerConfig::all();
+        const unsigned hot_case = unsigned(rng.next(4));
+
+        rack::RackParams sharded_params = params;
+        sharded_params.base.des.force_sharded = true;
+        sharded_params.base.des.shards =
+            2 + unsigned(rng.next(7)); // 2..8
+
+        const auto serial = observe(params, hot_case);
+        const auto sharded = observe(sharded_params, hot_case);
+        SCOPED_TRACE("iter " + std::to_string(i) + " hosts " +
+                     std::to_string(params.hosts) + " hot_case " +
+                     std::to_string(hot_case) + " shards " +
+                     std::to_string(sharded_params.base.des.shards));
+        EXPECT_EQ(serial.second, sharded.second);
+        ASSERT_EQ(serial.first, sharded.first)
+            << "rack stat registry dump diverged";
+    }
 }
 
 } // namespace

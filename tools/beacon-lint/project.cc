@@ -103,6 +103,9 @@ allowedDeps(const std::string &module)
         {"service",
          {"common", "sim", "dram", "cxl", "ndp", "memmgmt", "accel",
           "genomics", "graph"}},
+        {"rack",
+         {"common", "sim", "dram", "cxl", "ndp", "memmgmt", "accel",
+          "genomics", "graph", "service"}},
         // Taps observe the kernels; they must never depend on the
         // component layers they are observed *from*, or the tap
         // edge would close a cycle.
