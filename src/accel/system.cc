@@ -154,15 +154,15 @@ NdpSystem::makeQueue(const SystemParams &params)
     ShardedEventQueue::Params qp;
     qp.threads = params.des.threads;
     if (shardingEligible(params)) {
-        // One lane per unmodified DIMM (its controller is the shard)
-        // plus the default lane holding everything else; CXLG-DIMM
-        // controllers stay on the default lane because NDP modules
-        // reach them with zero-latency local accesses.
+        // One lane per DIMM plus the default lane holding everything
+        // else. An unmodified DIMM's shard is its controller; a
+        // CXLG-DIMM's shard is the whole DIMM-local pipeline —
+        // controller, NDP module, and partition atomic engine advance
+        // together (their mutual calls are synchronous), decoupled
+        // from lane 0 by the egress/done-notify model delays.
         const unsigned num_dimms =
             params.num_groups * params.dimms_per_group;
-        const unsigned non_cxlg =
-            num_dimms - unsigned(params.cxlg_dimms.size());
-        qp.lanes = std::min(params.des.shards, 1 + non_cxlg);
+        qp.lanes = std::min(params.des.shards, 1 + num_dimms);
         qp.lookahead = shardLookahead(params);
     }
     return std::make_unique<ShardedEventQueue>(qp);
@@ -204,18 +204,36 @@ NdpSystem::buildMachine()
                          dimm) != p.cxlg_dimms.end();
     };
 
+    // DIMM-resident pool NDP (BEACON-D / CXL-vanilla-D): the module's
+    // completion notify crosses the host link back to the driver and
+    // its outbound fabric messages cross the DIMM-link interface.
+    // Both delays are model parameters — identical timing at every
+    // shard count — and both are >= the shard lookahead, which is
+    // what lets the whole CXLG-DIMM pipeline live on its own lane.
+    const bool dimm_ndp = !p.ddr_fabric && !p.ndp_in_switch;
+    if (dimm_ndp && !p.ideal_comm) {
+        done_notify_delay_ = p.pool.host_link.latency;
+        egress_delay_ = p.pool.dimm_link.latency;
+    }
+
+    // Lane pinning: tracing creates track ids lazily from submit /
+    // slot-acquire paths, which must stay on the default lane. The
+    // pin only changes event *homes*, never the model delays above,
+    // so traced and untraced runs stay byte-identical.
+    const bool pin_cxlg_lane0 = p.obs.trace;
+    part_hints.clear();
+
     // Shard plan first: it must be installed before anything (the
-    // telemetry sampler, controller refresh events) schedules. Each
-    // unmodified DIMM homes to hint 1 + index; hints round-robin
-    // over the worker lanes. CXLG-DIMMs and everything else stay on
-    // the default lane 0.
+    // telemetry sampler, controller refresh events) schedules. Every
+    // DIMM homes to hint 1 + index; hints round-robin over the
+    // worker lanes. Everything else stays on the default lane 0.
     ShardedEventQueue *sq = eq.sharded();
     if (sq && sq->lanes() > 1) {
         ShardPlan shard_plan;
         shard_plan.lanes = sq->lanes();
         unsigned next = 0;
         for (unsigned d = 0; d < num_dimms; ++d) {
-            if (is_cxlg(d))
+            if (is_cxlg(d) && (!dimm_ndp || pin_cxlg_lane0))
                 continue;
             shard_plan.home_lane[1 + d] =
                 1 + (next % (shard_plan.lanes - 1));
@@ -263,10 +281,15 @@ NdpSystem::buildMachine()
         DramControllerParams ctrl_params;
         ctrl_params.page_policy = p.page_policy;
         ctrl_params.checkers = p.checkers;
-        // Unmodified DIMMs home their controller (and its fabric
-        // deliveries) to hint 1 + d; inert unless the shard plan
-        // maps the hint to a worker lane.
-        if (!is_cxlg(d)) {
+        // Every DIMM homes its controller (and its fabric deliveries)
+        // to hint 1 + d; inert unless the shard plan maps the hint to
+        // a worker lane. A CXLG-DIMM shares the hint with its NDP
+        // module and partition engine (they call each other
+        // synchronously, so they must be co-homed); under tracing
+        // the CXLG pipeline stays pinned to the default lane.
+        const bool home_dimm =
+            !is_cxlg(d) || (dimm_ndp && !pin_cxlg_lane0);
+        if (home_dimm) {
             ctrl_params.home_hint = 1 + d;
             if (pool_fabric) {
                 pool_fabric->setNodeHome(NodeId::dimmNode(group, slot),
@@ -321,8 +344,18 @@ NdpSystem::buildMachine()
             partition_primary.push_back(std::move(prim));
         }
     }
+    // Partition -> home hint. A DIMM-resident module homes with its
+    // CXLG-DIMM's controller (hint 1 + dimm); switch modules and the
+    // DDR baselines keep the default lane.
     inflight.assign(ndp_nodes.size(), 0);
+    part_hints.assign(ndp_nodes.size(), 0);
+    if (dimm_ndp && !pin_cxlg_lane0) {
+        for (unsigned part = 0; part < p.cxlg_dimms.size(); ++part)
+            part_hints[part] = 1 + p.cxlg_dimms[part];
+    }
+    np.done_notify_delay = done_notify_delay_;
     for (unsigned part = 0; part < ndp_nodes.size(); ++part) {
+        np.home_hint = part_hints[part];
         ndps.push_back(std::make_unique<NdpModule>(
             "ndp" + std::to_string(part), eq, registry, np,
             [this, part](const AccessRequest &req,
@@ -340,14 +373,16 @@ NdpSystem::buildMachine()
     }
 
     // --- Atomic engines: one per switch/channel group, plus one
-    //     local engine per partition ---
+    //     local engine per partition (homed with its partition) ---
     for (unsigned s = 0; s < p.num_groups; ++s) {
         atomic_engines.push_back(std::make_unique<AtomicEngine>(
             "atomicSw" + std::to_string(s), eq, registry));
     }
     for (unsigned part = 0; part < ndps.size(); ++part) {
+        AtomicEngineParams ap;
+        ap.home_hint = part_hints[part];
         atomic_engines.push_back(std::make_unique<AtomicEngine>(
-            "atomicNdp" + std::to_string(part), eq, registry));
+            "atomicNdp" + std::to_string(part), eq, registry, ap));
     }
 
     // --- Memory-management framework + layout ---
@@ -376,21 +411,37 @@ NdpSystem::buildMachine()
     policy_proto.partition_switch = partition_group;
     policy_proto.partition_primary = partition_primary;
 
+    // Logical DRAM byte counters: the host/rack total plus one
+    // single-writer twin per partition (each written only from its
+    // partition's lane). Queries sum the family by substring.
     stat_dram_bytes = &registry.counter("system.dramBytesTotal");
+    part_dram_bytes.clear();
+    for (unsigned part = 0; part < ndps.size(); ++part) {
+        part_dram_bytes.push_back(&registry.counter(
+            "system.part" + std::to_string(part) +
+            ".dramBytesTotal"));
+    }
+    part_tenant_dram_stats.assign(ndps.size(), {});
 
     // Machine-level time series (per-tenant series are registered
     // by setTenantLayout / the orchestrator as tenants arrive).
     if (obs::Sampler *sampler = obsSampler()) {
+        // Probe registration happens at construction time, before
+        // any parallel window can open — safe by phase ordering.
         // Every link byte counter is named "<link>.bytes"; the sum
         // over them is total fabric traffic.
+        // beacon-lint: shared-state(Sampler.addCounterRate, direct-mutation)
         sampler->addCounterRate("fabric_gbps", registry, ".bytes",
                                 1e-9);
+        // Matches the host total and every per-partition twin.
+        // beacon-lint: shared-state(Sampler.addCounterRate, direct-mutation)
         sampler->addCounterRate("dram_gbps", registry,
-                                "system.dramBytesTotal", 1e-9);
+                                "dramBytesTotal", 1e-9);
         // peBusyTotalTicks advances by (busy PEs * ps); divided by
         // the interval and the PE count it is mean utilisation.
         const double total_pes =
             double(ndps.size()) * double(p.pes_per_module);
+        // beacon-lint: shared-state(Sampler.addCounterRate, direct-mutation)
         sampler->addCounterRate("pe_util", registry,
                                 "peBusyTotalTicks",
                                 1e-12 / std::max(1.0, total_pes));
@@ -419,7 +470,8 @@ NdpSystem::ndpNode(unsigned partition) const
 
 void
 NdpSystem::localDram(unsigned dimm, const ResolvedAccess &piece,
-                     bool is_write, std::function<void(Tick)> done)
+                     bool is_write, std::function<void(Tick)> done,
+                     std::uint32_t completion_hint)
 {
     MemRequest req;
     req.coord = piece.coord;
@@ -427,6 +479,11 @@ NdpSystem::localDram(unsigned dimm, const ResolvedAccess &piece,
     req.bytes = piece.bytes;
     req.bursts = std::max(1u, piece.bursts);
     req.on_complete = std::move(done);
+    // Home the DRAM completion onto the lane owning the callback's
+    // state: the issuing partition's lane for operand completions,
+    // lane 0 for callbacks that re-enter the fabric. Legal at any
+    // hint because the CAS-to-data-end gap >= the shard lookahead.
+    req.completion_hint = completion_hint;
     controllers.at(dimm)->enqueue(std::move(req));
 }
 
@@ -434,6 +491,7 @@ const MemoryLayout &
 NdpSystem::layoutFor(TenantId tenant) const
 {
     if (tenant != untenanted_id) {
+        std::shared_lock<std::shared_mutex> guard(layout_mutex);
         auto it = tenant_layouts.find(tenant);
         BEACON_ASSERT(it != tenant_layouts.end(),
                       "access from unregistered tenant ", tenant);
@@ -457,19 +515,41 @@ NdpSystem::tenantDramStat(TenantId tenant)
     return *it->second;
 }
 
+Counter &
+NdpSystem::partTenantDramStat(unsigned partition, TenantId tenant)
+{
+    auto &stats = part_tenant_dram_stats.at(partition);
+    auto it = stats.find(tenant);
+    if (it == stats.end()) {
+        Counter &counter = registry.counter(
+            "system.part" + std::to_string(partition) + ".tenant" +
+            std::to_string(tenant.value()) + ".dramBytes");
+        it = stats.emplace(tenant, &counter).first;
+    }
+    return *it->second;
+}
+
 void
 NdpSystem::setTenantLayout(TenantId tenant,
                            std::shared_ptr<MemoryLayout> layout)
 {
     BEACON_ASSERT(tenant != untenanted_id,
                   "tenant 0 is the untenanted default");
-    const bool known = tenant_layouts.count(tenant) != 0;
-    tenant_layouts[tenant] = std::move(layout);
+    bool known = false;
+    {
+        std::unique_lock<std::shared_mutex> guard(layout_mutex);
+        known = tenant_layouts.count(tenant) != 0;
+        tenant_layouts[tenant] = std::move(layout);
+    }
     if (obs::Sampler *sampler = obsSampler(); sampler && !known) {
         const std::string key = std::to_string(tenant.value());
+        // Registered from ambient (non-window) context when a tenant
+        // first appears; matches the host counter and every
+        // per-partition twin.
+        // beacon-lint: shared-state(Sampler.addCounterRate, direct-mutation)
         sampler->addCounterRate("tenant" + key + ".dram_gbps",
                                 registry,
-                                "system.tenant" + key + ".dramBytes",
+                                "tenant" + key + ".dramBytes",
                                 1e-9);
     }
 }
@@ -477,15 +557,27 @@ NdpSystem::setTenantLayout(TenantId tenant,
 void
 NdpSystem::dropTenantLayout(TenantId tenant)
 {
+    std::unique_lock<std::shared_mutex> guard(layout_mutex);
     tenant_layouts.erase(tenant);
+}
+
+void
+NdpSystem::stageEgress(std::function<void()> send)
+{
+    if (egress_delay_ == 0) {
+        send();
+        return;
+    }
+    eq.scheduleIn(egress_delay_, std::move(send), EventCat::Ndp);
 }
 
 void
 NdpSystem::issueAccess(unsigned partition, const AccessRequest &req,
                        std::function<void(Tick)> done)
 {
-    *stat_dram_bytes += double(req.bytes.value());
-    tenantDramStat(req.tenant) += double(req.bytes.value());
+    *part_dram_bytes.at(partition) += double(req.bytes.value());
+    partTenantDramStat(partition, req.tenant) +=
+        double(req.bytes.value());
     const std::vector<ResolvedAccess> pieces =
         layoutFor(req.tenant).resolve(req.data_class, req.offset,
                                       req.bytes, partition);
@@ -518,22 +610,29 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
     const NodeId src = ndpNode(partition);
     const NodeId dst = piece.node;
     const bool fine = piece.bytes < Bytes{64};
+    // Operand completions come home to the issuing partition's lane;
+    // intermediate DRAM steps whose callbacks re-enter the fabric
+    // complete on the default lane, which owns the fabric's state.
+    const std::uint32_t operand_hint = partitionHint(partition);
 
     if (src == dst) {
         // BEACON-D/MEDAL local access: straight to the on-DIMM MC.
         localDram(piece.dimm_index, piece, req.is_write,
-                  std::move(done));
+                  std::move(done), operand_hint);
         return;
     }
     if (req.is_write) {
         // Command + data one way; complete at DRAM write completion.
         auto cb = std::make_shared<std::function<void(Tick)>>(
             std::move(done));
-        fabric->send(src, dst, Bytes{16} + piece.bytes, fine,
-                     [this, piece, cb](Tick) {
-                         localDram(piece.dimm_index, piece, true,
-                                   [cb](Tick t) { (*cb)(t); });
-                     });
+        stageEgress([this, src, dst, piece, fine, operand_hint, cb] {
+            fabric->send(src, dst, Bytes{16} + piece.bytes, fine,
+                         [this, piece, operand_hint, cb](Tick) {
+                             localDram(piece.dimm_index, piece, true,
+                                       [cb](Tick t) { (*cb)(t); },
+                                       operand_hint);
+                         });
+        });
         return;
     }
     // Function shipping: execute the consuming step at the data and
@@ -550,33 +649,43 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
         const Tick remote_compute =
             cyclesToTicks(engineStepCycles(workload->engine()),
                           pe_clock_ps);
-        fabric->send(src, dst, Bytes{24}, true, [this, src, dst, piece,
-                                          remote_compute,
-                                          cb](Tick) {
-            localDram(piece.dimm_index, piece, false,
-                      [this, src, dst, remote_compute, cb](Tick) {
-                          eq.scheduleIn(remote_compute, [this, src,
-                                                         dst, cb] {
-                              fabric->send(dst, src, Bytes{8}, true,
-                                           [cb](Tick t) {
-                                               (*cb)(t);
-                                           });
-                          }, EventCat::Ndp);
-                      });
+        // The inner DRAM read completes on the default lane (hint 0):
+        // its continuation re-enters the fabric for the result hop.
+        stageEgress([this, src, dst, piece, remote_compute, cb] {
+            fabric->send(src, dst, Bytes{24}, true, [this, src, dst,
+                                              piece, remote_compute,
+                                              cb](Tick) {
+                localDram(piece.dimm_index, piece, false,
+                          [this, src, dst, remote_compute, cb](Tick) {
+                              eq.scheduleIn(remote_compute, [this, src,
+                                                             dst, cb] {
+                                  fabric->send(dst, src, Bytes{8}, true,
+                                               [cb](Tick t) {
+                                                   (*cb)(t);
+                                               });
+                              }, EventCat::Ndp);
+                          }, 0);
+            });
         });
         return;
     }
-    // Remote read: request message, DRAM read, data response.
+    // Remote read: request message, DRAM read, data response. The
+    // DRAM read completes on the default lane (hint 0) because its
+    // continuation sends the response through the fabric; the
+    // response delivery re-homes onto the requester's lane.
     auto cb =
         std::make_shared<std::function<void(Tick)>>(std::move(done));
-    fabric->send(src, dst, Bytes{16}, true, [this, src, dst, piece, fine,
-                                      cb](Tick) {
-        localDram(piece.dimm_index, piece, false,
-                  [this, src, dst, piece, fine, cb](Tick) {
-                      fabric->send(dst, src,
-                                   std::max(piece.bytes, Bytes{1}),
-                                   fine, [cb](Tick t) { (*cb)(t); });
-                  });
+    stageEgress([this, src, dst, piece, fine, cb] {
+        fabric->send(src, dst, Bytes{16}, true, [this, src, dst, piece,
+                                          fine, cb](Tick) {
+            localDram(piece.dimm_index, piece, false,
+                      [this, src, dst, piece, fine, cb](Tick) {
+                          fabric->send(dst, src,
+                                       std::max(piece.bytes, Bytes{1}),
+                                       fine,
+                                       [cb](Tick t) { (*cb)(t); });
+                      }, 0);
+        });
     });
 }
 
@@ -594,19 +703,26 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
     auto cb =
         std::make_shared<std::function<void(Tick)>>(std::move(done));
 
-    // Local RMW: the partition's own engine, no fabric involved.
+    // Local RMW: the partition's own engine, no fabric involved —
+    // the whole read/compute/write/ack chain stays on the
+    // partition's lane.
     if (src == dimm_node) {
+        const std::uint32_t hint = partitionHint(partition);
         AtomicEngine &engine =
             *atomic_engines.at(p.num_groups + partition);
+        // Same lane by construction: this path only runs from the
+        // partition's own NDP events, and the engine is homed with
+        // the partition (checkLaneTouch verifies at runtime).
+        // beacon-lint: lane(AtomicEngine.perform) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated)
         engine.perform(
             word_key,
-            [this, piece](std::function<void(Tick)> k) {
+            [this, piece, hint](std::function<void(Tick)> k) {
                 localDram(piece.dimm_index, piece, false,
-                          std::move(k));
+                          std::move(k), hint);
             },
-            [this, piece](std::function<void(Tick)> k) {
+            [this, piece, hint](std::function<void(Tick)> k) {
                 localDram(piece.dimm_index, piece, true,
-                          std::move(k));
+                          std::move(k), hint);
             },
             [cb](Tick t) { (*cb)(t); });
         return;
@@ -621,15 +737,19 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                                                 cb](Tick) {
             AtomicEngine &engine = *atomic_engines.at(
                 p.num_groups + piece.dimm_index % ndps.size());
+            // Runs inside the fabric delivery event at the owning
+            // DIMM, not on the caller's stack; the engine's own
+            // checkLaneTouch guards the residual risk.
+            // beacon-lint: lane(AtomicEngine.perform) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated)
             engine.perform(
                 word_key,
                 [this, piece](std::function<void(Tick)> k) {
                     localDram(piece.dimm_index, piece, false,
-                              std::move(k));
+                              std::move(k), 0);
                 },
                 [this, piece](std::function<void(Tick)> k) {
                     localDram(piece.dimm_index, piece, true,
-                              std::move(k));
+                              std::move(k), 0);
                 },
                 [this, src, dimm_node, cb](Tick) {
                     fabric->send(dimm_node, src, Bytes{8}, true,
@@ -648,6 +768,10 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
     auto perform = [this, sw_node, piece, word_key, src, cb,
                     &engine]() {
         const bool co_located = src == sw_node;
+        // Switch engines are lane-0 residents (default hint) and
+        // this lambda fires from lane-0 fabric events; the engine's
+        // checkLaneTouch guards the pairing at runtime.
+        // beacon-lint: lane(AtomicEngine.perform) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated)
         engine.perform(
             word_key,
             [this, sw_node, piece](std::function<void(Tick)> k) {
@@ -665,7 +789,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                                              [kk](Tick t) {
                                                  (*kk)(t);
                                              });
-                            });
+                            }, 0);
                     });
             },
             [this, sw_node, piece](std::function<void(Tick)> k) {
@@ -678,7 +802,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
                                  localDram(piece.dimm_index, piece,
                                            true, [kk](Tick t) {
                                                (*kk)(t);
-                                           });
+                                           }, 0);
                              });
             },
             [this, sw_node, src, co_located, cb](Tick t) {
@@ -694,8 +818,10 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
     if (src == sw_node) {
         perform();
     } else {
-        fabric->send(src, sw_node, Bytes{16}, true,
-                     [perform](Tick) { perform(); });
+        stageEgress([this, src, sw_node, perform] {
+            fabric->send(src, sw_node, Bytes{16}, true,
+                         [perform](Tick) { perform(); });
+        });
     }
 }
 
@@ -728,7 +854,7 @@ NdpSystem::pump()
                                  // Runs inside the fabric delivery
                                  // callback, so the mutation is
                                  // already event-mediated.
-                                 // beacon-lint: shared-state(NdpModule.submit, event-queue-mediated)
+                                 // beacon-lint: shared-state(NdpModule.submit, event-queue-mediated) beacon-lint: lane(NdpModule.submit)
                                  module->submit(
                                      std::move(*shared_task));
                              });
@@ -775,7 +901,7 @@ NdpSystem::serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done)
             [module, shared_task, shared_done](Tick) {
                 // Event-mediated: executes from the fabric
                 // delivery callback, not from the caller's stack.
-                // beacon-lint: shared-state(NdpModule.submit, event-queue-mediated)
+                // beacon-lint: shared-state(NdpModule.submit, event-queue-mediated) beacon-lint: lane(NdpModule.submit)
                 module->submit(std::move(*shared_task),
                                std::move(*shared_done));
             });

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -309,19 +310,21 @@ class NdpSystem
      * delivery; the call must therefore execute on the DIMM
      * controller's lane — i.e. from inside a delivery callback of a
      * message destined to that DIMM — exactly like the remote-read
-     * path of issuePiece().
+     * path of issuePiece(). Completions re-home to the default lane
+     * (hint 0): rack completion callbacks touch rack-owned state.
      */
     void
     dimmDram(unsigned index, const ResolvedAccess &piece,
              bool is_write, std::function<void(Tick)> done)
     {
-        localDram(index, piece, is_write, std::move(done));
+        localDram(index, piece, is_write, std::move(done), 0);
     }
 
     /**
      * Account @p bytes of logical DRAM traffic to @p tenant and the
      * untagged total (conservation holds by construction). For rack
-     * accesses that bypass issueAccess(); lane-0 callers only.
+     * accesses that bypass issueAccess(); lane-0 callers only — the
+     * NDP partitions write their own "system.part<p>.*" counters.
      */
     void
     accountDramBytes(TenantId tenant, Bytes bytes)
@@ -353,11 +356,34 @@ class NdpSystem
     /** The layout backing accesses of @p tenant. */
     const MemoryLayout &layoutFor(TenantId tenant) const;
 
-    /** Lazily created per-tenant logical DRAM byte counter. */
+    /** Lazily created per-tenant logical DRAM byte counter (the
+     *  host-side "system.tenant<k>.dramBytes"; lane-0 writers). */
     Counter &tenantDramStat(TenantId tenant);
+
+    /** Lazily created "system.part<p>.tenant<k>.dramBytes" counter;
+     *  written only on partition @p p's lane. */
+    Counter &partTenantDramStat(unsigned partition, TenantId tenant);
 
     /** NodeId hosting partition @p p's NDP module. */
     NodeId ndpNode(unsigned partition) const;
+
+    /** Event-queue home hint of partition @p p (0 = default lane). */
+    std::uint32_t
+    partitionHint(unsigned partition) const
+    {
+        return part_hints.empty() ? 0 : part_hints.at(partition);
+    }
+
+    /**
+     * Deliver an outbound fabric send of a DIMM-resident NDP
+     * partition: the message crosses the DIMM-link interface
+     * (egress_delay_, >= the shard lookahead) before entering the
+     * fabric — which also re-homes the send() call onto the default
+     * lane owning the fabric's state. Zero delay (DDR, in-switch,
+     * idealized systems) sends synchronously, as before. The delay
+     * is a model parameter: identical timing at every shard count.
+     */
+    void stageEgress(std::function<void()> send);
 
     /** Translate + route one logical access for partition @p p. */
     void issueAccess(unsigned partition, const AccessRequest &request,
@@ -368,9 +394,11 @@ class NdpSystem
                     const ResolvedAccess &piece,
                     std::function<void(Tick)> done);
 
-    /** Local DRAM access on @p dimm (no fabric). */
+    /** Local DRAM access on @p dimm (no fabric); the completion
+     *  callback is homed onto @p completion_hint's lane. */
     void localDram(unsigned dimm, const ResolvedAccess &piece,
-                   bool is_write, std::function<void(Tick)> done);
+                   bool is_write, std::function<void(Tick)> done,
+                   std::uint32_t completion_hint);
 
     /** Atomic RMW via the home switch's Atomic Engine. */
     void atomicAccess(unsigned partition, const AccessRequest &request,
@@ -415,12 +443,30 @@ class NdpSystem
     std::shared_ptr<MemoryLayout> mem_layout;
     /** Topology-derived policy prototype (see placementPolicy()). */
     PlacementPolicy policy_proto;
-    /** Layouts registered by service-mode tenants. */
+    /** Layouts registered by service-mode tenants. Guarded: the
+     *  orchestrator registers layouts on lane 0 while partitions
+     *  resolve accesses on their own lanes (admission and a tenant's
+     *  first access are always >= one link traversal apart, so the
+     *  lock never decides an outcome — it only keeps the map's
+     *  rebalancing race-free). */
+    mutable std::shared_mutex layout_mutex;
     std::map<TenantId, std::shared_ptr<MemoryLayout>> tenant_layouts;
-    /** Logical bytes requested of DRAM, untagged total + per tenant
-     *  (conservation: the tenant counters sum to the total). */
+    /** Logical bytes requested of DRAM. Host/rack-side traffic lands
+     *  in "system.dramBytesTotal" + "system.tenant<k>.dramBytes"
+     *  (lane-0 writers); each NDP partition writes its own
+     *  "system.part<p>[.tenant<k>]" twins from its lane. Conservation
+     *  (per-tenant sums == totals) holds over sumMatching() of the
+     *  whole family. */
     Counter *stat_dram_bytes = nullptr;
     std::map<TenantId, Counter *> tenant_dram_stats;
+    std::vector<Counter *> part_dram_bytes;
+    std::vector<std::map<TenantId, Counter *>> part_tenant_dram_stats;
+    /** Home hint per partition (0 = default lane; see buildMachine). */
+    std::vector<std::uint32_t> part_hints;
+    /** Model delays of the DIMM-resident NDP completion/egress paths
+     *  (0 on DDR / in-switch / idealized systems). */
+    Tick done_notify_delay_ = 0;
+    Tick egress_delay_ = 0;
     /** Service-mode observer: a module slot became free. */
     std::function<void()> slot_freed;
 

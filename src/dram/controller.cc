@@ -99,6 +99,7 @@ DramController::enqueue(MemRequest req)
     BEACON_ASSERT(req.coord.chip_first + req.coord.chip_count <=
                       model.geometry().chips_per_rank,
                   "chip group out of range");
+    eq.checkLaneTouch(params.home_hint, "DramController::enqueue");
     req.enqueue_tick = curTick();
     queue.push_back(ActiveRequest{std::move(req), 0});
     if (trace)

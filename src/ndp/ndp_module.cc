@@ -43,6 +43,7 @@ void
 NdpModule::submit(TaskPtr task, TaskDoneFn on_done)
 {
     BEACON_ASSERT(canAccept(), "NDP module over capacity");
+    eq.checkLaneTouch(p.home_hint, "NdpModule::submit");
     ++resident_tasks;
     auto pending = std::make_unique<PendingTask>();
     pending->task = std::move(task);
@@ -140,10 +141,7 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
                                double(resident_tasks));
             }
             pending.reset();
-            if (on_done)
-                on_done();
-            if (task_done)
-                task_done();
+            notifyDone(std::move(on_done));
             dispatch();
             return;
         }
@@ -186,7 +184,35 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
             });
         }
         dispatch();
-    }, EventCat::Ndp);
+    }, EventCat::Ndp, p.home_hint);
+}
+
+void
+NdpModule::notifyDone(TaskDoneFn on_done)
+{
+    // The completion observers (per-task on_done, then the module
+    // observer) belong to the host-side driver: they refill task
+    // slots, account jobs, and poke the orchestrator — all default-
+    // lane state. Model the completion interrupt's trip back to the
+    // host as done_notify_delay and fire the observers in a hint-0
+    // event, so a module homed on a worker lane never touches driver
+    // state from its own lane. With delay 0 the observers run inline
+    // (legacy behaviour, exercised by the DDR and in-switch systems).
+    if (p.done_notify_delay == 0) {
+        if (on_done)
+            on_done();
+        if (task_done)
+            task_done();
+        return;
+    }
+    eq.scheduleIn(p.done_notify_delay,
+                  [this, done = std::move(on_done)] {
+                      if (done)
+                          done();
+                      if (task_done)
+                          task_done();
+                  },
+                  EventCat::Ndp);
 }
 
 void

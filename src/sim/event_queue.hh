@@ -231,6 +231,34 @@ class EventQueue
     virtual ShardedEventQueue *sharded() { return nullptr; }
 
     /**
+     * Debug lane-ownership guard. Components whose state is owned by
+     * @p home_hint's lane call this at their mutation entry points
+     * (DramController::enqueue, NdpModule::submit); a sharded queue
+     * with the guard armed (BEACON_LANE_GUARD / setLaneGuard)
+     * verifies the running in-window callback executes on exactly
+     * that lane — the dynamic twin of the static `beacon-lint
+     * --lane-map` pass, each validating the other. Free on the
+     * serial queue and a single predictable branch when unarmed.
+     */
+    void
+    checkLaneTouch(std::uint32_t home_hint, const char *what) const
+    {
+        if (lane_guard_armed)
+            laneTouchSlow(home_hint, what);
+    }
+
+  protected:
+    /** Armed by ShardedEventQueue::setLaneGuard; never on serial. */
+    bool lane_guard_armed = false;
+
+    /** Sharded-queue half of checkLaneTouch (see above). */
+    virtual void laneTouchSlow(std::uint32_t /*home_hint*/,
+                               const char * /*what*/) const
+    {}
+
+  public:
+
+    /**
      * Attach (or clear) the trace sink components consult when they
      * want to emit trace events. Not owned; components must treat a
      * null sink as "tracing off".

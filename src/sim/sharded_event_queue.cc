@@ -73,6 +73,13 @@ ShardedEventQueue::ShardedEventQueue(Params p) : cfg(p)
                  " exceeds the EventId encoding");
     lane_store.resize(cfg.lanes);
     plan.lanes = cfg.lanes;
+    if (const char *v = std::getenv("BEACON_LANE_GUARD")) {
+        const std::string mode(v);
+        if (mode == "count")
+            setLaneGuard(LaneGuard::Count);
+        else if (mode == "trap" || mode == "1")
+            setLaneGuard(LaneGuard::Trap);
+    }
 }
 
 ShardedEventQueue::~ShardedEventQueue() = default;
@@ -165,6 +172,40 @@ ShardedEventQueue::homeLane(std::uint32_t hint) const
 {
     auto it = plan.home_lane.find(hint);
     return it == plan.home_lane.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ShardedEventQueue::laneEventsExecuted(unsigned lane) const
+{
+    return lane_store.at(lane).exec_count;
+}
+
+void
+ShardedEventQueue::setLaneGuard(LaneGuard mode)
+{
+    guard_mode = mode;
+    lane_guard_armed = mode != LaneGuard::Off;
+}
+
+void
+ShardedEventQueue::laneTouchSlow(std::uint32_t home_hint,
+                                 const char *what) const
+{
+    const ShardExecContext *ctx = currentShardContext();
+    // Ambient code, another queue's callback, or any serial-canonical
+    // execution (runOne, barrier lane): every lane is quiesced, any
+    // thread may touch any component.
+    if (!ctx || ctx->queue != this || !ctx->in_window)
+        return;
+    const unsigned owner = homeLane(home_hint);
+    if (ctx->lane == owner)
+        return;
+    guard_violations.fetch_add(1, std::memory_order_relaxed);
+    BEACON_CHECK(guard_mode != LaneGuard::Trap,
+                 "lane guard: ", what, " (hint ", home_hint,
+                 ", owner lane ", owner,
+                 ") touched from an in-window event on lane ",
+                 ctx->lane);
 }
 
 unsigned

@@ -37,6 +37,7 @@
 #ifndef BEACON_SIM_SHARDED_EVENT_QUEUE_HH
 #define BEACON_SIM_SHARDED_EVENT_QUEUE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -160,6 +161,30 @@ class ShardedEventQueue final : public EventQueue
     /** Lane-merge hook (the trace sink); not owned. */
     void setMergeHook(LaneMergeHook *hook) { merge_hook = hook; }
 
+    /**
+     * Runtime lane-ownership guard (EventQueue::checkLaneTouch).
+     * Off: guard calls are a single cold branch. Count: in-window
+     * touches of another lane's state bump laneGuardViolations().
+     * Trap: such a touch is an immediate BEACON_CHECK failure naming
+     * the component. The constructor seeds the mode from
+     * BEACON_LANE_GUARD ("count" / "trap"); tests override here.
+     */
+    enum class LaneGuard
+    {
+        Off,
+        Count,
+        Trap,
+    };
+
+    void setLaneGuard(LaneGuard mode);
+    LaneGuard laneGuard() const { return guard_mode; }
+
+    /** Cross-lane touches observed since construction (Count mode). */
+    std::uint64_t laneGuardViolations() const
+    {
+        return guard_violations.load(std::memory_order_relaxed);
+    }
+
     // ------------------------------------------------------------
     // EventQueue interface
     // ------------------------------------------------------------
@@ -212,6 +237,20 @@ class ShardedEventQueue final : public EventQueue
 
     /** Lane a given hint resolves to under the installed plan. */
     unsigned homeLane(std::uint32_t hint) const;
+
+    /**
+     * Lifetime events executed on worker lane @p lane (serial pops
+     * included — they stay attributed to their home lane). With
+     * lanes() this gives the event-weighted lane shares quoted in the
+     * scaling analysis. Coordinator-only, like the other counters.
+     */
+    std::uint64_t laneEventsExecuted(unsigned lane) const;
+
+    /** Lifetime events executed on the barrier (sampler) lane. */
+    std::uint64_t barrierEventsExecuted() const
+    {
+        return barrier.exec_count;
+    }
 
   private:
     /**
@@ -346,6 +385,13 @@ class ShardedEventQueue final : public EventQueue
     std::uint64_t n_inline_segments = 0;
     std::uint64_t n_mailbox = 0;
     std::uint64_t n_serial_events = 0;
+
+    void laneTouchSlow(std::uint32_t home_hint,
+                       const char *what) const override;
+
+    LaneGuard guard_mode = LaneGuard::Off;
+    /** Written from worker lanes in Count mode; atomic, relaxed. */
+    mutable std::atomic<std::uint64_t> guard_violations{0};
 };
 
 } // namespace beacon

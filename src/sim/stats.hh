@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -137,6 +138,15 @@ double quantileSorted(const std::vector<double> &sorted, double q);
  *
  * Stats are created on first access; names are hierarchical by
  * convention ("dimm0.rank1.actEnergy").
+ *
+ * Thread model (sharded engine): the registry *structure* (the
+ * name -> stat maps) is mutex-guarded, so lanes may lazily create
+ * counters concurrently and lane-0 queries may run while they do.
+ * Stat *values* are not guarded — every counter must have a single
+ * writer lane (the beacon-lint lane map enforces this statically)
+ * and cross-lane readers must be quiesced (barrier-lane samplers,
+ * post-drain reports). The map-returning accessors hand out
+ * unguarded references and are for quiesced callers only.
  */
 class StatRegistry
 {
@@ -152,7 +162,7 @@ class StatRegistry
     /** Sum of all counters whose name contains @p substring. */
     double sumMatching(const std::string &substring) const;
 
-    /** All counters, sorted by name. */
+    /** All counters, sorted by name (quiesced callers only). */
     const std::map<std::string, Counter> &counters() const
     {
         return scalar_stats;
@@ -173,6 +183,8 @@ class StatRegistry
     void resetAll();
 
   private:
+    /** Guards the maps, not the stat values (see class comment). */
+    mutable std::mutex registry_mutex;
     std::map<std::string, Counter> scalar_stats;
     std::map<std::string, VectorCounter> vector_stats;
     std::map<std::string, SampleStat> sample_stats;

@@ -389,6 +389,62 @@ TEST(ParallelDesQueue, SamplerEventsRunOnBarrierLane)
     EXPECT_EQ(order[3], 4);
 }
 
+TEST(ParallelDesQueue, LaneGuardCountsCrossLaneTouches)
+{
+    ShardedEventQueue::Params p;
+    p.lanes = 2;
+    p.lookahead = 50;
+    ShardedEventQueue eq(p);
+    ShardPlan plan;
+    plan.lanes = 2;
+    plan.home_lane[1] = 1;
+    eq.setPlan(plan);
+    eq.setLaneGuard(ShardedEventQueue::LaneGuard::Count);
+
+    // Ambient (driver) context is exempt: no window is open, so any
+    // thread may touch any component.
+    eq.checkLaneTouch(1, "ambient touch");
+    EXPECT_EQ(eq.laneGuardViolations(), 0u);
+
+    // In-window: an event touching its own lane's state is clean, an
+    // event touching the other lane's state is a counted violation.
+    eq.schedule(
+        10, [&] { eq.checkLaneTouch(0, "own-lane touch"); },
+        EventCat::Other, 0);
+    eq.schedule(
+        10, [&] { eq.checkLaneTouch(0, "foreign-lane touch"); },
+        EventCat::Other, 1);
+    eq.run();
+    EXPECT_EQ(eq.laneGuardViolations(), 1u);
+    EXPECT_EQ(eq.laneGuard(),
+              ShardedEventQueue::LaneGuard::Count);
+}
+
+TEST(ParallelDesQueue, LaneGuardExemptsBarrierEvents)
+{
+    ShardedEventQueue::Params p;
+    p.lanes = 2;
+    p.lookahead = 50;
+    ShardedEventQueue eq(p);
+    ShardPlan plan;
+    plan.lanes = 2;
+    plan.home_lane[1] = 1;
+    eq.setPlan(plan);
+    eq.setLaneGuard(ShardedEventQueue::LaneGuard::Count);
+
+    // Sampler events run at a quiesced barrier: reading any lane's
+    // components there is the sampler's whole job.
+    eq.schedule(
+        10,
+        [&] {
+            eq.checkLaneTouch(0, "sampler sweep");
+            eq.checkLaneTouch(1, "sampler sweep");
+        },
+        EventCat::Sampler, 0);
+    eq.run();
+    EXPECT_EQ(eq.laneGuardViolations(), 0u);
+}
+
 TEST(ParallelDesQueue, CancelAcrossWindows)
 {
     ShardedEventQueue::Params p;
@@ -497,6 +553,34 @@ TEST(ParallelDesDeathTest, CrossShardCancelDies)
             eq.runWindow();
         },
         "cross-shard cancel");
+}
+
+TEST(ParallelDesDeathTest, LaneGuardTrapDiesOnCrossLaneTouch)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventQueue::Params p;
+            p.lanes = 2;
+            p.lookahead = 100;
+            p.inline_windows = true; // single-threaded death
+            ShardedEventQueue eq(p);
+            ShardPlan plan;
+            plan.lanes = 2;
+            plan.home_lane[1] = 1;
+            eq.setPlan(plan);
+            eq.setLaneGuard(ShardedEventQueue::LaneGuard::Trap);
+            // A lane-1 event touching lane-0-homed state without
+            // going through the mailbox: the dynamic twin of the
+            // static lane-violation finding.
+            eq.schedule(
+                10,
+                [&] { eq.checkLaneTouch(0, "foreign touch"); },
+                EventCat::Other, 1);
+            eq.schedule(10, [] {}, EventCat::Other, 0);
+            eq.runWindow();
+        },
+        "lane guard");
 }
 
 // ---------------------------------------------------------------
@@ -622,6 +706,29 @@ TEST(ParallelDesSystem, ShardedEngineActuallyEngages)
         << "guarded drain loop never opened a parallel window";
     EXPECT_GT(system.shardedQueue()->mailboxTransfers(), 0u)
         << "no cross-shard traffic crossed a window boundary";
+}
+
+TEST(ParallelDesSystem, LaneGuardCleanOnFullWorkload)
+{
+    // The re-homed system must have zero cross-lane touches at the
+    // guarded call sites (DramController::enqueue,
+    // NdpModule::submit, AtomicEngine::perform) — Trap mode turns
+    // any regression into an immediate BEACON_CHECK failure instead
+    // of a silent race.
+    SystemParams params = SystemParams::beaconD();
+    params.max_inflight_tasks = 2;
+    params.checkers = CheckerConfig{};
+    params.des = shardedDes(4);
+    const FmSeedingWorkload workload(smallSeedingPreset());
+
+    NdpSystem system(params, workload);
+    ASSERT_NE(system.shardedQueue(), nullptr);
+    system.shardedQueue()->setLaneGuard(
+        ShardedEventQueue::LaneGuard::Trap);
+    system.run();
+    EXPECT_EQ(system.shardedQueue()->laneGuardViolations(), 0u);
+    EXPECT_GT(system.shardedQueue()->windowsRun(), 0u)
+        << "guard proved nothing: no parallel window opened";
 }
 
 TEST(ParallelDesSystem, IneligibleConfigsCollapseToSingleLane)

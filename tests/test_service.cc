@@ -187,19 +187,21 @@ TEST(Orchestrator, ConservationAcrossTenantsWithCheckersArmed)
     // The orchestrator already self-checks; re-derive the sums here
     // so a silently skipped internal check cannot hide a drift.
     const StatRegistry &reg = system.stats();
+    // DRAM sums span the whole counter family: the lane-0 host
+    // counter plus the partition twins ("system.part<p>.*") the
+    // CXLG-DIMM lanes write for themselves.
     double fabric = reg.sumMatching("tenant0.usefulBytes");
     double pe = reg.sumMatching("tenant0.peBusyTicks");
-    double dram = reg.counterValue("system.tenant0.dramBytes");
+    double dram = reg.sumMatching("tenant0.dramBytes");
     for (unsigned id = 1; id <= 2; ++id) {
         const std::string tag = "tenant" + std::to_string(id);
         fabric += reg.sumMatching(tag + ".usefulBytes");
         pe += reg.sumMatching(tag + ".peBusyTicks");
-        dram += reg.counterValue("system." + tag + ".dramBytes");
+        dram += reg.sumMatching(tag + ".dramBytes");
     }
     EXPECT_DOUBLE_EQ(fabric, reg.sumMatching("usefulBytesTotal"));
     EXPECT_DOUBLE_EQ(pe, reg.sumMatching("peBusyTotalTicks"));
-    EXPECT_DOUBLE_EQ(dram,
-                     reg.counterValue("system.dramBytesTotal"));
+    EXPECT_DOUBLE_EQ(dram, reg.sumMatching("dramBytesTotal"));
 
     // Energy attribution never exceeds the machine total.
     double tenant_energy = 0;

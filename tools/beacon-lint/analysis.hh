@@ -16,9 +16,17 @@
  *     modules read or write each symbol;
  *  3. the shard-boundary report (shard_map.cc) renders the inventory
  *     as versioned `beacon-shardmap-1` JSON, the machine-checked
- *     artifact the parallel-DES sharding refactor starts from.
+ *     artifact the parallel-DES sharding refactor starts from;
+ *  4. the lane-ownership pass (lane_check.cc + lane_map.cc) assigns
+ *     each core class a static lane domain — the same partition
+ *     ShardedEventQueue derives from MemRequest::completion_hint
+ *     home hints — and flags member accesses that cross domains
+ *     without going through the schedule() mailbox API, StatRegistry
+ *     counters, or a `beacon-lint: lane(...)` annotation; its
+ *     `beacon-lanemap-1` JSON is the static twin of the runtime
+ *     lane guard (BEACON_LANE_GUARD) in src/sim.
  *
- * All three passes operate on a Project rooted at the repository (or
+ * All passes operate on a Project rooted at the repository (or
  * at a fixture tree under testdata/ in self-test mode), so the same
  * logic is exercised by the self-test and by the repo gate.
  */
@@ -197,6 +205,113 @@ ShardMap runSharedStatePass(const Project &project,
 /** Render @p map as deterministic `beacon-shardmap-1` JSON. */
 std::string shardMapJson(const Project &project,
                          const ShardMap &map);
+
+// --- shared core-class machinery (shared_state.cc) ------------------
+
+/** One core component class the whole-program passes index. */
+struct CoreClassSpec
+{
+    const char *name;
+    const char *module;
+    const char *header; //!< repo-relative
+};
+
+/** The core component class table. */
+const std::vector<CoreClassSpec> &coreClasses();
+
+/**
+ * Index every core class surface whose header exists in the project
+ * (fixture trees carry a subset), keyed by class name.
+ */
+std::map<std::string, ClassSurface>
+indexCoreSurfaces(const Project &project);
+
+/**
+ * Bind receiver variables of @p file to core class surfaces:
+ * one-line declarations, unique_ptr/shared_ptr spellings, accessor
+ * results, and the SimObject convention names `eq` / `stats`.
+ */
+std::map<std::string, const ClassSurface *>
+bindCoreVariables(const SourceFile &file,
+                  const std::map<std::string, ClassSurface> &surfaces);
+
+// --- lane-ownership analysis ----------------------------------------
+
+/**
+ * Static lane domain of a core component class — which worker lane
+ * of the sharded queue may touch its state inside a parallel window
+ * (docs/simulation_model.md, "Sharded execution").
+ */
+enum class LaneDomain
+{
+    /** Default-lane resident: fabric, orchestrator, host state. */
+    Lane0,
+    /** One lane per instance, keyed by the home hint the builder
+     *  assigns (1 + dimm index for CXLG components). */
+    PerInstance,
+    /** Barrier lane: runs only while every worker is quiesced. */
+    BarrierOnly,
+    /** A lane-crossing channel by design (the queue itself and the
+     *  registry's counter discipline); accesses are always safe. */
+    Mailbox,
+};
+
+const char *laneDomainName(LaneDomain domain);
+
+/** One class's entry in the lane map. */
+struct LaneAssignment
+{
+    std::string class_name;
+    std::string module;
+    std::string header; //!< repo-relative
+    LaneDomain domain = LaneDomain::Lane0;
+    /** Where instances derive their home hints from. */
+    std::string hint_source;
+};
+
+/** How one observed member access relates to the lane partition. */
+enum class LaneVerdict
+{
+    SameLane,    //!< caller and callee share a lane by construction
+    Mediated,    //!< inside a schedule()/stageEgress() call region
+    StatCounter, //!< StatRegistry (single-writer counter discipline)
+    Read,        //!< const accessor (runtime guard owns this risk)
+    Annotated,   //!< declared with `beacon-lint: lane(...)`
+    Violation,   //!< unmediated cross-lane member access
+};
+
+const char *laneVerdictName(LaneVerdict verdict);
+
+/** One member access observed against the lane partition. */
+struct LaneAccess
+{
+    std::string class_name; //!< callee class
+    std::string member;
+    LaneDomain domain = LaneDomain::Lane0; //!< callee domain
+    std::string from_file;                 //!< repo-relative
+    std::size_t line = 0;                  //!< 1-based
+    std::string from_module;
+    LaneDomain enclosing = LaneDomain::Lane0; //!< caller domain
+    LaneVerdict verdict = LaneVerdict::SameLane;
+};
+
+/** The full lane-ownership map of a Project. */
+struct LaneMap
+{
+    std::vector<LaneAssignment> assignments;
+    std::vector<LaneAccess> accesses;
+};
+
+/**
+ * The lane-ownership pass: assign domains, walk the code of every
+ * module with lane semantics, and append `lane-violation` findings
+ * for unmediated cross-domain accesses.
+ */
+LaneMap runLaneMapPass(const Project &project,
+                       std::vector<Finding> &out);
+
+/** Render @p map as deterministic `beacon-lanemap-1` JSON. */
+std::string laneMapJson(const Project &project, const LaneMap &map);
 
 } // namespace beacon_lint
 

@@ -1,0 +1,68 @@
+# Regenerate one versioned beacon-lint artifact and require it to
+# match the committed golden byte for byte. Run by the
+# beacon_shardmap_golden / beacon_lanemap_golden ctests and by the
+# beacon-lint CI job.
+#
+# Variables: LINT (tool binary), REPO_ROOT, FLAG (--shard-map or
+# --lane-map), GOLDEN, OUT.
+
+execute_process(
+    COMMAND ${LINT} --repo-root ${REPO_ROOT} ${FLAG} ${OUT}
+    RESULT_VARIABLE lint_result
+    OUTPUT_VARIABLE lint_output
+    ERROR_VARIABLE lint_output)
+# Exit 1 means unsuppressed lint findings, which beacon_lint_repo
+# owns; the artifact is still written. Only 2+ is a tool failure.
+if(lint_result GREATER 1)
+    message(FATAL_ERROR "beacon-lint failed (${lint_result}):\n${lint_output}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+    RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+    execute_process(
+        COMMAND diff -u ${GOLDEN} ${OUT}
+        OUTPUT_VARIABLE diff_text
+        ERROR_VARIABLE diff_text)
+    # The hazard entries are what each map exists to catch: call new
+    # ones out above the generic drift message so the fix is
+    # unambiguous.
+    set(hazard_note "")
+    if(FLAG STREQUAL "--shard-map")
+        # Cross-shard writes that bypass the event queue.
+        string(REGEX MATCHALL "\\+[^\n]*\"category\": \"direct-mutation\""
+               new_hazards "${diff_text}")
+        if(new_hazards)
+            list(LENGTH new_hazards num_hazards)
+            set(hazard_note
+                "${num_hazards} NEW direct-mutation entr(y/ies): these "
+                "cross-shard writes bypass the event queue and are unsafe "
+                "under parallel DES. Annotate deliberate ones with "
+                "beacon-lint: shared-state(...) or reroute them through "
+                "scheduled events before refreshing the golden.\n")
+        endif()
+    elseif(FLAG STREQUAL "--lane-map")
+        # Unmediated cross-lane member accesses.
+        string(REGEX MATCHALL "\\+[^\n]*\"verdict\": \"violation\""
+               new_hazards "${diff_text}")
+        if(new_hazards)
+            list(LENGTH new_hazards num_hazards)
+            set(hazard_note
+                "${num_hazards} NEW lane-violation entr(y/ies): these "
+                "member accesses cross a lane-domain boundary without "
+                "going through schedule()/stageEgress(). Route them onto "
+                "the owner lane, or declare audited co-homing with "
+                "beacon-lint: lane(...) before refreshing the golden.\n")
+        endif()
+    endif()
+    get_filename_component(golden_name ${GOLDEN} NAME)
+    message(FATAL_ERROR
+        "${golden_name} drifted from the committed golden.\n"
+        "${hazard_note}"
+        "If the change is intentional (and every new hazard entry is "
+        "annotated or fixed), refresh it with:\n"
+        "  beacon-lint --repo-root . ${FLAG} "
+        "tools/beacon-lint/${golden_name}\n${diff_text}")
+endif()
+message(STATUS "artifact matches golden: ${GOLDEN}")

@@ -365,8 +365,45 @@ parseMarkers(const std::string &comment, const std::string &verb,
     }
 }
 
-/** Checks allowed on line @p line0 (same line, line above, or
- *  file-wide). */
+/**
+ * First line (0-based) of the statement containing @p line0: walk up
+ * while the nearest preceding non-blank code line does not end a
+ * statement or block (';', '{', '}', ':' — labels and access
+ * specifiers), so an allow() above a multi-line statement suppresses
+ * findings on its continuation lines too. Bounded so a pathological
+ * file cannot turn this quadratic.
+ */
+std::size_t
+statementFirstLine(const SourceFile &file, std::size_t line0)
+{
+    constexpr std::size_t max_hops = 16;
+    std::size_t first = line0;
+    for (std::size_t hops = 0; first > 0 && hops < max_hops;
+         ++hops) {
+        // Nearest preceding line with any code on it.
+        std::size_t prev = first;
+        while (prev > 0) {
+            --prev;
+            if (file.code[prev].find_first_not_of(" \t") !=
+                std::string::npos)
+                break;
+        }
+        if (prev == first ||
+            file.code[prev].find_first_not_of(" \t") ==
+                std::string::npos)
+            break;
+        const std::string &code = file.code[prev];
+        const char last = code[code.find_last_not_of(" \t")];
+        if (last == ';' || last == '{' || last == '}' ||
+            last == ':')
+            break;
+        first = prev;
+    }
+    return first;
+}
+
+/** Checks allowed on line @p line0 (same line, line above, the
+ *  statement's first line or the line above that, or file-wide). */
 bool
 isAllowed(const SourceFile &file, std::size_t line0,
           const std::string &check,
@@ -379,6 +416,15 @@ isAllowed(const SourceFile &file, std::size_t line0,
     parseMarkers(file.comments[line0], "allow", allows);
     if (line0 > 0)
         parseMarkers(file.comments[line0 - 1], "allow", allows);
+    // A finding on a continuation line of a multi-line statement is
+    // also suppressed by an allow() on (or above) the statement's
+    // first line — where a human would naturally write it.
+    const std::size_t first = statementFirstLine(file, line0);
+    if (first < line0) {
+        parseMarkers(file.comments[first], "allow", allows);
+        if (first > 0)
+            parseMarkers(file.comments[first - 1], "allow", allows);
+    }
     return std::find(allows.begin(), allows.end(), check) !=
            allows.end();
 }

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * The lane-ownership pass.
+ *
+ * The sharded DES queue (src/sim/sharded_event_queue.hh) partitions
+ * events onto worker lanes by home hint; exactness depends on every
+ * in-window event touching only state owned by its own lane. The
+ * shard map records *what* state is shared; this pass records *which
+ * lane may touch it*:
+ *
+ *  1. **Domain assignment** — each core component class gets a static
+ *     lane domain, seeded from the same home-hint partition the
+ *     NdpSystem builder derives from MemRequest::completion_hint:
+ *     CXLG-DIMM-resident components (DramController, DimmTimingModel,
+ *     NdpModule, AtomicEngine) are per-instance-lane; the pool
+ *     fabric and the orchestrator are lane-0; the sampler runs on
+ *     the barrier lane; EventQueue and StatRegistry are mailbox
+ *     channels (crossing through them is the sanctioned mechanism).
+ *
+ *  2. **Access walk** — every member access that the shard-map
+ *     binder can resolve (`var.method(...)` against a core surface)
+ *     is judged against the partition: same-domain accesses and
+ *     mailbox traffic are safe; an access spelled inside a
+ *     schedule()/scheduleIn()/scheduleAt()/stageEgress() call region
+ *     is mediated (it runs later, on the lane the hint names); const
+ *     accessors are recorded as reads (the runtime lane guard owns
+ *     that residual risk); everything else is a `lane-violation`
+ *     unless declared with `beacon-lint: lane(Class.member)`.
+ *
+ * Like every beacon-lint pass this is an honest lexical heuristic —
+ * the point is a *reproducible* lane map (beacon-lanemap-1) that CI
+ * can diff, verified dynamically by the BEACON_LANE_GUARD runtime
+ * check and the sharded differential fuzzers.
+ */
+
+#include "analysis.hh"
+
+#include <algorithm>
+#include <regex>
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+/** Domain and hint provenance of one core class. */
+struct LaneDomainSpec
+{
+    const char *class_name;
+    LaneDomain domain;
+    const char *hint_source;
+};
+
+const LaneDomainSpec lane_domains[] = {
+    {"EventQueue", LaneDomain::Mailbox,
+     "the lane-crossing channel itself"},
+    {"StatRegistry", LaneDomain::Mailbox,
+     "single-writer counters, structure mutex-guarded"},
+    {"DramController", LaneDomain::PerInstance,
+     "DramControllerParams::home_hint = 1 + dimm index"},
+    {"DimmTimingModel", LaneDomain::PerInstance,
+     "owned by its DramController, same lane"},
+    {"NdpModule", LaneDomain::PerInstance,
+     "NdpModuleParams::home_hint = partition's DIMM lane"},
+    {"AtomicEngine", LaneDomain::PerInstance,
+     "AtomicEngineParams::home_hint = partition's DIMM lane"},
+    {"PoolFabric", LaneDomain::Lane0,
+     "all sends run on the default lane"},
+    {"PoolOrchestrator", LaneDomain::Lane0,
+     "host/driver state, default lane"},
+    {"Sampler", LaneDomain::BarrierOnly,
+     "EventCat::Sampler events, workers quiesced"},
+};
+
+const LaneDomainSpec *
+domainOf(const std::string &class_name)
+{
+    for (const LaneDomainSpec &spec : lane_domains)
+        if (class_name == spec.class_name)
+            return &spec;
+    return nullptr;
+}
+
+/**
+ * Lane domain the code of a src/ module executes under when no
+ * enclosing class definition resolves: CXLG-DIMM component modules
+ * run per-instance, the fabric/host layers run on lane 0, and
+ * modules with no lane semantics (common, obs, check, workload
+ * libraries, the queue itself) are exempt.
+ */
+const LaneDomain *
+moduleDomain(const std::string &module)
+{
+    static const LaneDomain per_instance = LaneDomain::PerInstance;
+    static const LaneDomain lane0 = LaneDomain::Lane0;
+    if (module == "dram" || module == "ndp")
+        return &per_instance;
+    if (module == "cxl" || module == "service" ||
+        module == "accel" || module == "memmgmt" ||
+        module == "rack")
+        return &lane0;
+    return nullptr;
+}
+
+/**
+ * Per-line enclosing lane domain of @p file: out-of-line member
+ * definitions `LaneClass::method(...)` switch the region to that
+ * class's domain until the next definition; everything else carries
+ * the module fallback. Returns an empty vector for exempt modules.
+ */
+std::vector<const LaneDomain *>
+enclosingDomains(const SourceFile &file, const std::string &module)
+{
+    const LaneDomain *fallback = moduleDomain(module);
+    std::vector<const LaneDomain *> domains(file.lines(), fallback);
+
+    static const std::regex def_re("\\b(\\w+)::(\\w+)\\s*\\(");
+    const LaneDomain *current = fallback;
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        std::smatch m;
+        if (std::regex_search(file.code[i], m, def_re)) {
+            if (const LaneDomainSpec *spec = domainOf(m[1].str()))
+                current = &spec->domain;
+        }
+        domains[i] = current;
+    }
+    return domains;
+}
+
+/**
+ * Lines covered by the argument list of a schedule-family call
+ * (schedule / scheduleIn / scheduleAt / stageEgress): an access
+ * spelled there executes later, on the lane the call's hint names —
+ * the mailbox mediation the partition is built on.
+ */
+std::vector<char>
+mediatedLines(const SourceFile &file)
+{
+    std::vector<char> mediated(file.lines(), 0);
+    static const std::regex call_re(
+        "\\b(schedule|scheduleIn|scheduleAt|stageEgress)\\s*\\(");
+    constexpr std::size_t window = 60; // lines per call statement
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(file.code[i], m, call_re))
+            continue;
+        int depth = 0;
+        bool open_seen = false;
+        for (std::size_t j = i; j < file.lines() && j < i + window;
+             ++j) {
+            const std::string &code = file.code[j];
+            std::size_t k = j == i ? std::size_t(m.position(0)) : 0;
+            for (; k < code.size(); ++k) {
+                if (code[k] == '(') {
+                    ++depth;
+                    open_seen = true;
+                } else if (code[k] == ')' && open_seen) {
+                    if (--depth == 0)
+                        break;
+                }
+            }
+            mediated[j] = 1;
+            if (open_seen && depth == 0)
+                break;
+        }
+    }
+    return mediated;
+}
+
+/** `beacon-lint: lane(Class.member)` markers in @p comment. */
+bool
+laneAnnotated(const SourceFile &file, std::size_t line0,
+              const std::string &class_name,
+              const std::string &member)
+{
+    static const std::regex marker_re(
+        "beacon-lint:\\s*lane\\s*\\(\\s*(\\w+)\\.(\\w+)\\s*\\)");
+    for (std::size_t l : {line0, line0 - 1}) {
+        if (l >= file.lines())
+            continue;
+        const std::string &comment = file.comments[l];
+        auto begin = std::sregex_iterator(comment.begin(),
+                                          comment.end(), marker_re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            if ((*it)[1].str() == class_name &&
+                (*it)[2].str() == member)
+                return true;
+    }
+    return false;
+}
+
+void
+walkFile(const SourceFile &file, const Project &project,
+         const std::map<std::string, ClassSurface> &surfaces,
+         LaneMap &map, std::vector<Finding> &findings)
+{
+    const std::string from_module = project.moduleOf(file.path);
+    if (from_module.empty() || !moduleDomain(from_module))
+        return; // exempt module: no lane semantics
+    const std::map<std::string, const ClassSurface *> vars =
+        bindCoreVariables(file, surfaces);
+    if (vars.empty())
+        return;
+
+    const std::vector<const LaneDomain *> enclosing =
+        enclosingDomains(file, from_module);
+    const std::vector<char> mediated = mediatedLines(file);
+
+    static const std::regex access_re(
+        "(\\w+)\\s*(?:\\.|->)\\s*(\\w+)\\s*\\(");
+    for (std::size_t i = 0; i < file.lines(); ++i) {
+        const std::string &code = file.code[i];
+        for (auto it = std::sregex_iterator(code.begin(),
+                                            code.end(), access_re);
+             it != std::sregex_iterator(); ++it) {
+            const std::string var = (*it)[1].str();
+            const std::string member = (*it)[2].str();
+            auto vt = vars.find(var);
+            if (vt == vars.end())
+                continue;
+            const ClassSurface &surface = *vt->second;
+            const LaneDomainSpec *callee = domainOf(surface.name);
+            if (!callee)
+                continue;
+            auto mt = surface.methods.find(member);
+            if (mt == surface.methods.end())
+                continue;
+
+            LaneAccess access;
+            access.class_name = surface.name;
+            access.member = member;
+            access.domain = callee->domain;
+            access.from_file = project.relative(file.path);
+            access.line = i + 1;
+            access.from_module = from_module;
+            access.enclosing = *enclosing[i];
+
+            if (callee->domain == LaneDomain::Mailbox) {
+                access.verdict =
+                    surface.name == "StatRegistry"
+                        ? LaneVerdict::StatCounter
+                        : LaneVerdict::Mediated;
+            } else if (callee->domain == LaneDomain::BarrierOnly) {
+                // Barrier-lane residents only run while every
+                // worker is quiesced; reaching them is mediated by
+                // the barrier itself.
+                access.verdict = LaneVerdict::Mediated;
+            } else if (callee->domain == access.enclosing &&
+                       (callee->domain != LaneDomain::PerInstance ||
+                        surface.module == from_module)) {
+                // Same domain. Per-instance components co-home only
+                // within one DIMM's module group (a controller and
+                // its timing model; a module and its engine), so a
+                // per-instance match across modules still needs
+                // mediation.
+                access.verdict = LaneVerdict::SameLane;
+            } else if (laneAnnotated(file, i, surface.name,
+                                     member)) {
+                access.verdict = LaneVerdict::Annotated;
+            } else if (mediated[i]) {
+                access.verdict = LaneVerdict::Mediated;
+            } else if (mt->second.is_const) {
+                access.verdict = LaneVerdict::Read;
+            } else {
+                access.verdict = LaneVerdict::Violation;
+                findings.push_back(
+                    {file.path, i + 1, "lane-violation",
+                     "cross-lane access " + surface.name +
+                         "::" + member + " (" +
+                         laneDomainName(callee->domain) +
+                         ") from " +
+                         laneDomainName(access.enclosing) +
+                         " code in module '" + from_module +
+                         "'; route it through schedule()/"
+                         "stageEgress() onto the owner lane, or "
+                         "declare the co-homing with beacon-lint: "
+                         "lane(" +
+                         surface.name + "." + member + ")"});
+            }
+            map.accesses.push_back(std::move(access));
+        }
+    }
+}
+
+} // namespace
+
+const char *
+laneDomainName(LaneDomain domain)
+{
+    switch (domain) {
+      case LaneDomain::Lane0:
+        return "lane-0";
+      case LaneDomain::PerInstance:
+        return "per-instance-lane";
+      case LaneDomain::BarrierOnly:
+        return "barrier-only";
+      case LaneDomain::Mailbox:
+        return "mailbox";
+    }
+    return "unknown";
+}
+
+const char *
+laneVerdictName(LaneVerdict verdict)
+{
+    switch (verdict) {
+      case LaneVerdict::SameLane:
+        return "same-lane";
+      case LaneVerdict::Mediated:
+        return "mediated";
+      case LaneVerdict::StatCounter:
+        return "stat-counter";
+      case LaneVerdict::Read:
+        return "read";
+      case LaneVerdict::Annotated:
+        return "annotated";
+      case LaneVerdict::Violation:
+        return "violation";
+    }
+    return "unknown";
+}
+
+LaneMap
+runLaneMapPass(const Project &project, std::vector<Finding> &out)
+{
+    LaneMap map;
+
+    const std::map<std::string, ClassSurface> surfaces =
+        indexCoreSurfaces(project);
+    for (const auto &[name, surface] : surfaces) {
+        const LaneDomainSpec *spec = domainOf(name);
+        if (!spec)
+            continue;
+        LaneAssignment assignment;
+        assignment.class_name = name;
+        assignment.module = surface.module;
+        assignment.header = surface.header;
+        assignment.domain = spec->domain;
+        assignment.hint_source = spec->hint_source;
+        map.assignments.push_back(std::move(assignment));
+    }
+    std::sort(map.assignments.begin(), map.assignments.end(),
+              [](const LaneAssignment &a, const LaneAssignment &b) {
+                  return a.class_name < b.class_name;
+              });
+
+    for (const std::string &path : project.files) {
+        std::string error;
+        const SourceFile *file = project.cache->get(path, error);
+        if (!file)
+            continue;
+        walkFile(*file, project, surfaces, map, out);
+    }
+    std::sort(map.accesses.begin(), map.accesses.end(),
+              [](const LaneAccess &a, const LaneAccess &b) {
+                  if (a.from_file != b.from_file)
+                      return a.from_file < b.from_file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.class_name != b.class_name)
+                      return a.class_name < b.class_name;
+                  return a.member < b.member;
+              });
+    return map;
+}
+
+} // namespace beacon_lint

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * `beacon-lanemap-1` JSON emission.
+ *
+ * Same determinism contract as the shard map: repo-relative paths
+ * with forward slashes, arrays pre-sorted by the pass, fixed
+ * 2-space-indent layout with '\n' line endings. The committed golden
+ * (tools/beacon-lint/lanemap_golden.json) is diffed against a fresh
+ * run by ctest and CI, so any change to the lane partition — a new
+ * core class, a re-homed component, a fresh cross-lane access — is
+ * reviewed as a diff of this artifact.
+ */
+
+#include "analysis.hh"
+
+#include <sstream>
+
+namespace beacon_lint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &text)
+{
+    return "\"" + jsonEscape(text) + "\"";
+}
+
+} // namespace
+
+std::string
+laneMapJson(const Project &, const LaneMap &map)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"beacon-lanemap-1\",\n";
+
+    os << "  \"domains\": [\n";
+    for (std::size_t i = 0; i < map.assignments.size(); ++i) {
+        const LaneAssignment &a = map.assignments[i];
+        os << "    {\"class\": " << quoted(a.class_name)
+           << ", \"module\": " << quoted(a.module)
+           << ", \"header\": " << quoted(a.header)
+           << ", \"domain\": " << quoted(laneDomainName(a.domain))
+           << ", \"hint_source\": " << quoted(a.hint_source) << "}"
+           << (i + 1 < map.assignments.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"accesses\": [\n";
+    for (std::size_t i = 0; i < map.accesses.size(); ++i) {
+        const LaneAccess &access = map.accesses[i];
+        os << "    {\"class\": " << quoted(access.class_name)
+           << ", \"member\": " << quoted(access.member)
+           << ", \"domain\": "
+           << quoted(laneDomainName(access.domain))
+           << ", \"from\": " << quoted(access.from_file)
+           << ", \"line\": " << access.line
+           << ", \"from_module\": " << quoted(access.from_module)
+           << ", \"enclosing_domain\": "
+           << quoted(laneDomainName(access.enclosing))
+           << ", \"verdict\": "
+           << quoted(laneVerdictName(access.verdict)) << "}"
+           << (i + 1 < map.accesses.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    std::size_t same_lane = 0, mediated = 0, counters = 0,
+                reads = 0, annotated = 0, violations = 0;
+    for (const LaneAccess &access : map.accesses) {
+        switch (access.verdict) {
+          case LaneVerdict::SameLane:
+            ++same_lane;
+            break;
+          case LaneVerdict::Mediated:
+            ++mediated;
+            break;
+          case LaneVerdict::StatCounter:
+            ++counters;
+            break;
+          case LaneVerdict::Read:
+            ++reads;
+            break;
+          case LaneVerdict::Annotated:
+            ++annotated;
+            break;
+          case LaneVerdict::Violation:
+            ++violations;
+            break;
+        }
+    }
+    os << "  \"summary\": {\"same_lane\": " << same_lane
+       << ", \"mediated\": " << mediated
+       << ", \"stat_counter\": " << counters
+       << ", \"read\": " << reads
+       << ", \"annotated\": " << annotated
+       << ", \"violation\": " << violations << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace beacon_lint

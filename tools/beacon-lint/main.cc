@@ -18,6 +18,16 @@
  *       committed golden (tools/beacon-lint/shardmap_golden.json)
  *       must reproduce bit-identically; ctest and CI enforce it.
  *
+ *   beacon-lint --repo-root . --lane-map out.json
+ *       Additionally write the `beacon-lanemap-1` lane-ownership
+ *       report (tools/beacon-lint/lanemap_golden.json is the
+ *       committed golden, gated the same way).
+ *
+ *   beacon-lint --json ...
+ *       Emit findings as a JSON array on stdout instead of the
+ *       text lines (machine consumers; CI uses the text form with
+ *       .github/problem-matchers/beacon-lint.json).
+ *
  *   beacon-lint --self-test tools/beacon-lint/testdata
  *       Run every per-file check over the fixture files, and the
  *       whole-program passes over the mini source tree under
@@ -61,6 +71,8 @@ const std::pair<const char *, const char *> pass_checks[] = {
     {"include-cycle", "file-level include cycle"},
     {"shared-state-mutation",
      "unannotated cross-component direct mutation"},
+    {"lane-violation",
+     "unmediated cross-lane member access"},
 };
 
 int
@@ -70,6 +82,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [-p compile_commands.json] [--check NAME]...\n"
         "          [--repo-root DIR] [--shard-map FILE]\n"
+        "          [--lane-map FILE] [--json]\n"
         "          [--self-test DIR] [--list-checks] [paths...]\n",
         argv0);
     return 2;
@@ -146,14 +159,14 @@ checkEnabled(const std::vector<std::string> &enabled,
 
 /**
  * Run the whole-program passes rooted at @p root. Appends
- * annotation-filtered findings; returns the shard map (empty on
- * project-build failure, with @p error set).
+ * annotation-filtered findings; returns the shard and lane maps
+ * (empty on project-build failure, with @p error set).
  */
 bool
 runProjectPasses(const std::string &root, SourceCache &cache,
                  const std::vector<std::string> &enabled,
                  std::vector<Finding> &findings, Project &project,
-                 ShardMap &map, std::string &error)
+                 ShardMap &map, LaneMap &lanes, std::string &error)
 {
     if (!buildProject(root, cache, project, error))
         return false;
@@ -161,6 +174,7 @@ runProjectPasses(const std::string &root, SourceCache &cache,
     std::vector<Finding> raw;
     runIncludeGraphPass(project, raw);
     map = runSharedStatePass(project, raw);
+    lanes = runLaneMapPass(project, raw);
 
     for (Finding &finding : raw) {
         if (!checkEnabled(enabled, finding.check))
@@ -214,9 +228,11 @@ runSelfTest(const std::string &dir)
         std::vector<Finding> findings;
         Project project;
         ShardMap map;
+        LaneMap lanes;
         std::string error;
         if (!runProjectPasses(project_dir.string(), cache, {},
-                              findings, project, map, error)) {
+                              findings, project, map, lanes,
+                              error)) {
             std::fprintf(stderr, "beacon-lint: %s\n",
                          error.c_str());
             return 2;
@@ -265,6 +281,72 @@ runSelfTest(const std::string &dir)
     return 1;
 }
 
+/** Write @p text to @p path, or to stdout when @p path is "-". */
+bool
+writeArtifact(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return true;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "beacon-lint: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << text;
+    return true;
+}
+
+/**
+ * Dedupe @p all on (file, line, check) and sort for stable output:
+ * a header reached through N translation units, an explicit path,
+ * and the include closure reports each finding once.
+ */
+std::vector<const Finding *>
+dedupeFindings(const std::vector<Finding> &all)
+{
+    std::set<std::tuple<std::string, std::size_t, std::string>>
+        seen;
+    std::vector<const Finding *> unique;
+    for (const Finding &f : all)
+        if (seen.insert({f.path, f.line, f.check}).second)
+            unique.push_back(&f);
+    std::sort(unique.begin(), unique.end(),
+              [](const Finding *a, const Finding *b) {
+                  return std::tie(a->path, a->line, a->check) <
+                         std::tie(b->path, b->line, b->check);
+              });
+    return unique;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -274,6 +356,8 @@ main(int argc, char **argv)
     std::string self_test_dir;
     std::string repo_root;
     std::string shard_map_path;
+    std::string lane_map_path;
+    bool json_output = false;
     std::vector<std::string> enabled;
     std::set<std::string> paths;
 
@@ -289,6 +373,10 @@ main(int argc, char **argv)
             repo_root = argv[++i];
         } else if (arg == "--shard-map" && i + 1 < argc) {
             shard_map_path = argv[++i];
+        } else if (arg == "--lane-map" && i + 1 < argc) {
+            lane_map_path = argv[++i];
+        } else if (arg == "--json") {
+            json_output = true;
         } else if (arg == "--list-checks") {
             for (const Check &check : allChecks())
                 std::printf("%-26s %s\n", check.name.c_str(),
@@ -326,6 +414,11 @@ main(int argc, char **argv)
                      "beacon-lint: --shard-map needs --repo-root\n");
         return 2;
     }
+    if (!lane_map_path.empty() && repo_root.empty()) {
+        std::fprintf(stderr,
+                     "beacon-lint: --lane-map needs --repo-root\n");
+        return 2;
+    }
     if (paths.empty() && repo_root.empty())
         return usage(argv[0]);
 
@@ -351,51 +444,48 @@ main(int argc, char **argv)
     if (!repo_root.empty()) {
         Project project;
         ShardMap map;
+        LaneMap lanes;
         std::string error;
         if (!runProjectPasses(repo_root, cache, enabled, all,
-                              project, map, error)) {
+                              project, map, lanes, error)) {
             std::fprintf(stderr, "beacon-lint: %s\n", error.c_str());
             return 2;
         }
-        if (!shard_map_path.empty()) {
-            const std::string json = shardMapJson(project, map);
-            if (shard_map_path == "-") {
-                std::fwrite(json.data(), 1, json.size(), stdout);
-            } else {
-                std::ofstream out(shard_map_path,
-                                  std::ios::binary);
-                if (!out) {
-                    std::fprintf(stderr,
-                                 "beacon-lint: cannot write %s\n",
-                                 shard_map_path.c_str());
-                    return 2;
-                }
-                out << json;
-            }
-        }
+        if (!shard_map_path.empty() &&
+            !writeArtifact(shard_map_path,
+                           shardMapJson(project, map)))
+            return 2;
+        if (!lane_map_path.empty() &&
+            !writeArtifact(lane_map_path,
+                           laneMapJson(project, lanes)))
+            return 2;
     }
 
-    // Dedupe on (file, line, check): a header reached through N
-    // translation units reports each finding once.
-    std::set<std::tuple<std::string, std::size_t, std::string>>
-        seen;
-    std::vector<const Finding *> unique;
-    for (const Finding &f : all)
-        if (seen.insert({f.path, f.line, f.check}).second)
-            unique.push_back(&f);
-    std::sort(unique.begin(), unique.end(),
-              [](const Finding *a, const Finding *b) {
-                  return std::tie(a->path, a->line, a->check) <
-                         std::tie(b->path, b->line, b->check);
-              });
+    const std::vector<const Finding *> unique =
+        dedupeFindings(all);
 
-    for (const Finding *f : unique)
-        std::printf("%s:%zu: warning: [%s] %s\n", f->path.c_str(),
-                    f->line, f->check.c_str(), f->message.c_str());
-    std::printf("beacon-lint: %zu file(s) lexed (%zu cache hits), "
-                "%zu finding(s)\n",
-                cache.filesLexed(), cache.cacheHits(),
-                unique.size());
+    if (json_output) {
+        std::printf("[");
+        for (std::size_t i = 0; i < unique.size(); ++i) {
+            const Finding *f = unique[i];
+            std::printf("%s\n  {\"file\": \"%s\", \"line\": %zu, "
+                        "\"check\": \"%s\", \"message\": \"%s\"}",
+                        i ? "," : "",
+                        jsonEscape(f->path).c_str(), f->line,
+                        jsonEscape(f->check).c_str(),
+                        jsonEscape(f->message).c_str());
+        }
+        std::printf("%s]\n", unique.empty() ? "" : "\n");
+    } else {
+        for (const Finding *f : unique)
+            std::printf("%s:%zu: warning: [%s] %s\n",
+                        f->path.c_str(), f->line, f->check.c_str(),
+                        f->message.c_str());
+        std::printf("beacon-lint: %zu file(s) lexed (%zu cache "
+                    "hits), %zu finding(s)\n",
+                    cache.filesLexed(), cache.cacheHits(),
+                    unique.size());
+    }
     (void)files;
     return unique.empty() ? 0 : 1;
 }

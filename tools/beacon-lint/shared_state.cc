@@ -39,25 +39,6 @@ namespace beacon_lint
 namespace
 {
 
-// --- core class table -----------------------------------------------
-
-struct CoreClassSpec
-{
-    const char *name;
-    const char *module;
-    const char *header; // repo-relative
-};
-
-const CoreClassSpec core_classes[] = {
-    {"EventQueue", "sim", "src/sim/event_queue.hh"},
-    {"StatRegistry", "sim", "src/sim/stats.hh"},
-    {"DimmTimingModel", "dram", "src/dram/dimm_timing.hh"},
-    {"DramController", "dram", "src/dram/controller.hh"},
-    {"PoolFabric", "cxl", "src/cxl/pool.hh"},
-    {"NdpModule", "ndp", "src/ndp/ndp_module.hh"},
-    {"PoolOrchestrator", "service", "src/service/orchestrator.hh"},
-};
-
 // --- small lexical helpers ------------------------------------------
 
 bool
@@ -545,10 +526,52 @@ markerFor(const std::vector<SharedStateMarker> &markers,
     return nullptr;
 }
 
+} // namespace
+
+// The core component class table, shared by the shard-map and lane
+// passes. AtomicEngine and Sampler joined with the lane pass: the
+// engine co-homes with its partition's DIMM lane, and the sampler is
+// the one barrier-lane resident.
+const std::vector<CoreClassSpec> &
+coreClasses()
+{
+    static const std::vector<CoreClassSpec> classes = {
+        {"EventQueue", "sim", "src/sim/event_queue.hh"},
+        {"StatRegistry", "sim", "src/sim/stats.hh"},
+        {"DimmTimingModel", "dram", "src/dram/dimm_timing.hh"},
+        {"DramController", "dram", "src/dram/controller.hh"},
+        {"PoolFabric", "cxl", "src/cxl/pool.hh"},
+        {"NdpModule", "ndp", "src/ndp/ndp_module.hh"},
+        {"AtomicEngine", "ndp", "src/ndp/atomic_engine.hh"},
+        {"Sampler", "obs", "src/obs/sampler.hh"},
+        {"PoolOrchestrator", "service",
+         "src/service/orchestrator.hh"},
+    };
+    return classes;
+}
+
+std::map<std::string, ClassSurface>
+indexCoreSurfaces(const Project &project)
+{
+    std::map<std::string, ClassSurface> surfaces;
+    for (const CoreClassSpec &spec : coreClasses()) {
+        const std::string header = SourceCache::canonical(
+            project.root + "/" + spec.header);
+        std::string error;
+        const SourceFile *file = project.cache->get(header, error);
+        if (!file)
+            continue; // fixture projects carry a subset
+        ClassSurface surface;
+        if (parseClassSurface(*file, spec, project, surface))
+            surfaces[spec.name] = std::move(surface);
+    }
+    return surfaces;
+}
+
 /** Bind variables of @p file to core class surfaces. */
 std::map<std::string, const ClassSurface *>
-bindVariables(const SourceFile &file,
-              const std::map<std::string, ClassSurface> &surfaces)
+bindCoreVariables(const SourceFile &file,
+                  const std::map<std::string, ClassSurface> &surfaces)
 {
     std::map<std::string, const ClassSurface *> vars;
 
@@ -607,6 +630,9 @@ bindVariables(const SourceFile &file,
     return vars;
 }
 
+namespace
+{
+
 AccessCategory
 classifyAccess(const ClassSurface &surface, const MethodInfo &method)
 {
@@ -631,7 +657,7 @@ resolveAccesses(const SourceFile &file, const Project &project,
     if (from_module.empty())
         return;
     const std::map<std::string, const ClassSurface *> vars =
-        bindVariables(file, surfaces);
+        bindCoreVariables(file, surfaces);
     if (vars.empty())
         return;
 
@@ -715,18 +741,8 @@ runSharedStatePass(const Project &project,
 {
     ShardMap map;
 
-    std::map<std::string, ClassSurface> surfaces;
-    for (const CoreClassSpec &spec : core_classes) {
-        const std::string header = SourceCache::canonical(
-            project.root + "/" + spec.header);
-        std::string error;
-        const SourceFile *file = project.cache->get(header, error);
-        if (!file)
-            continue; // fixture projects carry a subset
-        ClassSurface surface;
-        if (parseClassSurface(*file, spec, project, surface))
-            surfaces[spec.name] = std::move(surface);
-    }
+    const std::map<std::string, ClassSurface> surfaces =
+        indexCoreSurfaces(project);
 
     for (const std::string &path : project.files) {
         std::string error;
@@ -738,8 +754,8 @@ runSharedStatePass(const Project &project,
                         out);
     }
 
-    for (auto &[name, surface] : surfaces)
-        map.classes.push_back(std::move(surface));
+    for (const auto &[name, surface] : surfaces)
+        map.classes.push_back(surface);
     std::sort(map.classes.begin(), map.classes.end(),
               [](const ClassSurface &a, const ClassSurface &b) {
                   return a.name < b.name;

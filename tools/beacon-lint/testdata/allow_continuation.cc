@@ -1,0 +1,33 @@
+// Fixture: an allow() above a multi-line statement suppresses
+// findings on the statement's continuation lines too — the marker
+// naturally sits above the first line, but the lexical checks report
+// the line the pattern matches on, which may be a continuation.
+// Not compiled — scanned by --self-test.
+
+#include <chrono>
+
+double
+suppressedContinuation()
+{
+    // beacon-lint: allow(determinism-wallclock)
+    double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now()
+                .time_since_epoch())
+            .count();
+    return elapsed;
+}
+
+double
+negativeControl()
+{
+    // The previous statement's allow() must not leak past the
+    // statement boundary: this is a fresh statement, so the same
+    // pattern still fires.
+    double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() // beacon-lint: expect(determinism-wallclock)
+                .time_since_epoch())
+            .count();
+    return elapsed;
+}

@@ -1,0 +1,30 @@
+// Fixture: lane-ownership classification. NdpModule code executes on
+// its partition's per-instance lane, so touching the lane-0
+// PoolFabric directly is the cross-lane hazard the gate must flag;
+// the scheduleIn() region and the lane() annotation are the two
+// sanctioned ways through.
+
+#include "ndp/ndp_module.hh"
+
+namespace fixture
+{
+
+void
+NdpModule::submit(EventQueue &eq, PoolFabric &fabric)
+{
+    // Unmediated cross-lane mutation from per-instance code: both
+    // whole-program gates fire on it.
+    fabric.bump(); // beacon-lint: expect(lane-violation, shared-state-mutation)
+
+    // Spelled inside the scheduleIn() call region: runs later, on
+    // the lane the hint names — mediated, both passes quiet.
+    eq.scheduleIn(4,
+                  fabric.peek());
+
+    // Declared co-homing, audited in the sharding design notes:
+    // beacon-lint: lane(PoolFabric.bump) beacon-lint: shared-state(PoolFabric.bump, direct-mutation)
+    fabric.bump();
+    ++inflight;
+}
+
+} // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: a miniature NdpModule at the real header path. The lane
+// pass assigns it the per-instance-lane domain (home hint = the
+// partition's DIMM lane), so its out-of-line method bodies in
+// module.cc exercise cross-lane classification.
+
+#ifndef FIXTURE_NDP_NDP_MODULE_HH
+#define FIXTURE_NDP_NDP_MODULE_HH
+
+#include "cxl/pool.hh"
+#include "sim/event_queue.hh"
+
+namespace fixture
+{
+
+class NdpModule
+{
+  public:
+    int pending() const { return inflight; }
+    void submit(EventQueue &eq, PoolFabric &fabric);
+
+  private:
+    int inflight = 0;
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_NDP_NDP_MODULE_HH

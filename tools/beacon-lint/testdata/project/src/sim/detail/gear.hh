@@ -1,0 +1,19 @@
+// Fixture: reachable only relative to src/sim (there is no
+// src/detail/), so resolving widget.hh's "detail/gear.hh" include
+// exercises the dir-relative fallback with a subdirectory component.
+// Same module — no finding.
+
+#ifndef FIXTURE_SIM_DETAIL_GEAR_HH
+#define FIXTURE_SIM_DETAIL_GEAR_HH
+
+namespace fixture
+{
+
+struct Gear
+{
+    int teeth = 12;
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_SIM_DETAIL_GEAR_HH

@@ -1,0 +1,19 @@
+// Fixture: the dir-relative decoy for widget.hh's "dram/cell.hh"
+// include. If resolution preferred the including file's directory
+// over <root>/src, the edge would land here (sim -> sim, quiet) and
+// the expected back-edge would not fire.
+
+#ifndef FIXTURE_SIM_DRAM_CELL_HH
+#define FIXTURE_SIM_DRAM_CELL_HH
+
+namespace fixture
+{
+
+struct SimLocalCell
+{
+    int charge = 0;
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_SIM_DRAM_CELL_HH

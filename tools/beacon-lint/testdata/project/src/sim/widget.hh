@@ -1,0 +1,26 @@
+// Fixture: include resolution order. "dram/cell.hh" matches BOTH the
+// root-src candidate (src/dram/cell.hh — a sim -> dram back-edge)
+// and this file's directory (src/sim/dram/cell.hh — same-module,
+// quiet). Root-src must win, so the back-edge fires; a tool that
+// tried the including file's directory first would stay silent here
+// and fail the self-test. "detail/gear.hh" exists only relative to
+// this directory and pins the fallback: dir-relative resolution with
+// a subdirectory component, same-module, quiet.
+
+#ifndef FIXTURE_SIM_WIDGET_HH
+#define FIXTURE_SIM_WIDGET_HH
+
+#include "dram/cell.hh" // beacon-lint: expect(layer-back-edge)
+#include "detail/gear.hh"
+
+namespace fixture
+{
+
+struct Widget
+{
+    int spin() const { return 0; }
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_SIM_WIDGET_HH
