@@ -13,7 +13,7 @@
  * concurrently, and results are merged in submission order so the
  * printed tables and emitted JSON are bit-identical to a serial run.
  * Every harness accepts `--json <path>` and writes the
- * beacon-bench-2 schema (see EXPERIMENTS.md); with
+ * beacon-bench-3 schema (see EXPERIMENTS.md); with
  * BEACON_BENCH_JSON_NO_WALL=1 the wall-clock fields are omitted so
  * two emissions of the same sweep compare byte-for-byte.
  */
@@ -142,6 +142,12 @@ struct BenchOptions
     std::uint64_t sample_interval_ns = 10000; // 10 us
     /** Report the host-side event-loop self-profile in the JSON. */
     bool self_profile = false;
+    /** Directory for per-point request traces ("" = off). */
+    std::string reqtrace_dir;
+    /** SLO window-roll interval in simulated ns (0 = SLO off). */
+    std::uint64_t slo_window_ns = 0;
+    /** Flight-recorder dump path ("" = recorder off). */
+    std::string flight_recorder;
 };
 
 /**
@@ -181,13 +187,27 @@ parseBenchArgs(int argc, char **argv)
                 opts.sample_interval_ns = std::uint64_t(v);
         } else if (arg == "--self-profile") {
             opts.self_profile = true;
+        } else if (arg == "--request-trace") {
+            opts.reqtrace_dir = dir_operand(i);
+        } else if (arg == "--slo-window-ns" && i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v >= 1)
+                opts.slo_window_ns = std::uint64_t(v);
+        } else if (arg == "--flight-recorder") {
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                opts.flight_recorder = argv[++i];
+            else
+                opts.flight_recorder = "beacon-flightrec.json";
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json <path>] [--list] "
                          "[--filter <regex>] [--trace [dir]] "
                          "[--timeseries [dir]] "
                          "[--sample-interval-ns <n>] "
-                         "[--self-profile]\n",
+                         "[--self-profile] "
+                         "[--request-trace [dir]] "
+                         "[--slo-window-ns <n>] "
+                         "[--flight-recorder [path]]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -210,6 +230,13 @@ obsConfigFor(const BenchOptions &opts)
         cfg.sample_interval = opts.sample_interval_ns * 1000; // ->ps
     if (opts.self_profile)
         cfg.self_profile = true;
+    if (!opts.reqtrace_dir.empty())
+        cfg.request_trace = true;
+    if (opts.slo_window_ns > 0 && cfg.slo_window == 0)
+        cfg.slo_window = opts.slo_window_ns * 1000; // ns -> ps
+    if (!opts.flight_recorder.empty() &&
+        cfg.flight_recorder_path.empty())
+        cfg.flight_recorder_path = opts.flight_recorder;
     return cfg;
 }
 
@@ -279,6 +306,12 @@ emitObsOutputs(NdpSystem &system, const BenchOptions &opts,
             obsFileStem(harness, key) + ".timeseries.json";
         o->writeTimeseries(opts.timeseries_dir + "/" +
                            out.timeseries_file);
+    }
+    if (!opts.reqtrace_dir.empty() && o->requestTrace()) {
+        out.reqtrace_file =
+            obsFileStem(harness, key) + ".reqtrace.json";
+        o->writeRequestTrace(opts.reqtrace_dir + "/" +
+                             out.reqtrace_file);
     }
     if (o->selfProfiling())
         out.self_profile = o->selfProfile();

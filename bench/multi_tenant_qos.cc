@@ -61,6 +61,9 @@ bulkSpec(const Workload &workload)
     spec.scratch_bytes_per_job = Bytes{1u << 20};
     spec.arrival.kind = ArrivalKind::ClosedLoop;
     spec.arrival.concurrency = 4;
+    // Loose deadline: bulk work tolerates queueing (SLO monitoring
+    // only engages with --slo-window-ns / BEACON_SLO_WINDOW_NS).
+    spec.slo_ms = 50.0;
     return spec;
 }
 
@@ -77,6 +80,9 @@ smallSpec(const Workload &workload, unsigned index)
     spec.scratch_bytes_per_job = Bytes{1u << 18};
     spec.arrival.kind = ArrivalKind::ClosedLoop;
     spec.arrival.concurrency = 1;
+    // Tight deadline: the latency-sensitive tenants are the ones
+    // whose SLO burn the policy comparison is about.
+    spec.slo_ms = 5.0;
     return spec;
 }
 
@@ -122,6 +128,30 @@ runPoint(const SweepKey &key, const QosPoint &point,
                                double(tenant.jobs_completed));
         out.stats.emplace_back(tag + ".energy_pj",
                                tenant.energy_pj.value());
+        // SLO burn and latency-breakdown columns only appear when
+        // the telemetry that computes them ran, so the JSON stays
+        // byte-identical with telemetry off (golden-enforced).
+        if (tenant.has_slo) {
+            out.stats.emplace_back(tag + ".slo_jobs",
+                                   double(tenant.slo_jobs));
+            out.stats.emplace_back(tag + ".slo_breaches",
+                                   double(tenant.slo_breaches));
+            out.stats.emplace_back(tag + ".slo_burn",
+                                   tenant.slo_burn);
+            out.stats.emplace_back(tag + ".slo_window_burn",
+                                   tenant.slo_window_burn);
+        }
+        if (tenant.has_breakdown) {
+            for (std::size_t k = 0; k < obs::num_span_kinds; ++k)
+                out.stats.emplace_back(
+                    tag + ".lat_" +
+                        obs::spanKindName(obs::SpanKind(k)) +
+                        "_ticks",
+                    double(tenant.breakdown_ticks[k]));
+            out.stats.emplace_back(
+                tag + ".lat_total_ticks",
+                double(tenant.breakdown_total_ticks));
+        }
     }
     // Telemetry while the orchestrator (whose sampler series
     // callbacks reference it) is still alive.

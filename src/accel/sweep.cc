@@ -263,7 +263,7 @@ writeSweepJson(std::ostream &os, const SweepReport &report,
     const auto saved_precision = os.precision(17);
 
     os << "{\n";
-    os << "  \"schema\": \"beacon-bench-2\",\n";
+    os << "  \"schema\": \"beacon-bench-3\",\n";
     os << "  \"harness\": \"" << jsonEscape(report.harness)
        << "\",\n";
     os << "  \"bench_scale\": " << report.bench_scale << ",\n";
@@ -292,6 +292,9 @@ writeSweepJson(std::ostream &os, const SweepReport &report,
         if (!rec.timeseries_file.empty())
             os << "      \"timeseries_file\": \""
                << jsonEscape(rec.timeseries_file) << "\",\n";
+        if (!rec.reqtrace_file.empty())
+            os << "      \"reqtrace_file\": \""
+               << jsonEscape(rec.reqtrace_file) << "\",\n";
         if (include_runtime) {
             os << "      \"wall_seconds\": "
                << jsonNumber(rec.wall_seconds) << ",\n";

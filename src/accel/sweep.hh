@@ -59,6 +59,7 @@ struct SweepOutcome
      *  Deterministic paths: emitted even in no-wall JSON. */
     std::string trace_file;
     std::string timeseries_file;
+    std::string reqtrace_file;
     /** Host-side event-loop profile (enabled=false when off;
      *  wall-clock based, reported only with include_runtime). */
     obs::SelfProfileResult self_profile;

@@ -471,13 +471,15 @@ NdpSystem::ndpNode(unsigned partition) const
 void
 NdpSystem::localDram(unsigned dimm, const ResolvedAccess &piece,
                      bool is_write, std::function<void(Tick)> done,
-                     std::uint32_t completion_hint)
+                     std::uint32_t completion_hint,
+                     std::uint64_t job)
 {
     MemRequest req;
     req.coord = piece.coord;
     req.is_write = is_write;
     req.bytes = piece.bytes;
     req.bursts = std::max(1u, piece.bursts);
+    req.job = job;
     req.on_complete = std::move(done);
     // Home the DRAM completion onto the lane owning the callback's
     // state: the issuing partition's lane for operand completions,
@@ -618,20 +620,23 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
     if (src == dst) {
         // BEACON-D/MEDAL local access: straight to the on-DIMM MC.
         localDram(piece.dimm_index, piece, req.is_write,
-                  std::move(done), operand_hint);
+                  std::move(done), operand_hint, req.job);
         return;
     }
     if (req.is_write) {
         // Command + data one way; complete at DRAM write completion.
         auto cb = std::make_shared<std::function<void(Tick)>>(
             std::move(done));
-        stageEgress([this, src, dst, piece, fine, operand_hint, cb] {
-            fabric->send(src, dst, Bytes{16} + piece.bytes, fine,
-                         [this, piece, operand_hint, cb](Tick) {
-                             localDram(piece.dimm_index, piece, true,
-                                       [cb](Tick t) { (*cb)(t); },
-                                       operand_hint);
-                         });
+        stageEgress([this, src, dst, piece, fine, operand_hint,
+                     job = req.job, cb] {
+            fabric->sendCtx(
+                src, dst, Bytes{16} + piece.bytes, fine,
+                untenanted_id, job,
+                [this, piece, operand_hint, job, cb](Tick) {
+                    localDram(piece.dimm_index, piece, true,
+                              [cb](Tick t) { (*cb)(t); },
+                              operand_hint, job);
+                });
         });
         return;
     }
@@ -651,20 +656,24 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
                           pe_clock_ps);
         // The inner DRAM read completes on the default lane (hint 0):
         // its continuation re-enters the fabric for the result hop.
-        stageEgress([this, src, dst, piece, remote_compute, cb] {
-            fabric->send(src, dst, Bytes{24}, true, [this, src, dst,
-                                              piece, remote_compute,
-                                              cb](Tick) {
+        stageEgress([this, src, dst, piece, remote_compute,
+                     job = req.job, cb] {
+            fabric->sendCtx(src, dst, Bytes{24}, true, untenanted_id,
+                            job, [this, src, dst, piece,
+                                  remote_compute, job, cb](Tick) {
                 localDram(piece.dimm_index, piece, false,
-                          [this, src, dst, remote_compute, cb](Tick) {
+                          [this, src, dst, remote_compute, job,
+                           cb](Tick) {
                               eq.scheduleIn(remote_compute, [this, src,
-                                                             dst, cb] {
-                                  fabric->send(dst, src, Bytes{8}, true,
-                                               [cb](Tick t) {
-                                                   (*cb)(t);
-                                               });
+                                                             dst, job,
+                                                             cb] {
+                                  fabric->sendCtx(dst, src, Bytes{8},
+                                                  true, untenanted_id,
+                                                  job, [cb](Tick t) {
+                                                      (*cb)(t);
+                                                  });
                               }, EventCat::Ndp);
-                          }, 0);
+                          }, 0, job);
             });
         });
         return;
@@ -675,16 +684,17 @@ NdpSystem::issuePiece(unsigned partition, const AccessRequest &req,
     // response delivery re-homes onto the requester's lane.
     auto cb =
         std::make_shared<std::function<void(Tick)>>(std::move(done));
-    stageEgress([this, src, dst, piece, fine, cb] {
-        fabric->send(src, dst, Bytes{16}, true, [this, src, dst, piece,
-                                          fine, cb](Tick) {
+    stageEgress([this, src, dst, piece, fine, job = req.job, cb] {
+        fabric->sendCtx(src, dst, Bytes{16}, true, untenanted_id, job,
+                        [this, src, dst, piece, fine, job, cb](Tick) {
             localDram(piece.dimm_index, piece, false,
-                      [this, src, dst, piece, fine, cb](Tick) {
-                          fabric->send(dst, src,
-                                       std::max(piece.bytes, Bytes{1}),
-                                       fine,
-                                       [cb](Tick t) { (*cb)(t); });
-                      }, 0);
+                      [this, src, dst, piece, fine, job, cb](Tick) {
+                          fabric->sendCtx(dst, src,
+                                          std::max(piece.bytes,
+                                                   Bytes{1}),
+                                          fine, untenanted_id, job,
+                                          [cb](Tick t) { (*cb)(t); });
+                      }, 0, job);
         });
     });
 }
@@ -716,13 +726,15 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
         // beacon-lint: lane(AtomicEngine.perform) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated)
         engine.perform(
             word_key,
-            [this, piece, hint](std::function<void(Tick)> k) {
+            [this, piece, hint,
+             job = req.job](std::function<void(Tick)> k) {
                 localDram(piece.dimm_index, piece, false,
-                          std::move(k), hint);
+                          std::move(k), hint, job);
             },
-            [this, piece, hint](std::function<void(Tick)> k) {
+            [this, piece, hint,
+             job = req.job](std::function<void(Tick)> k) {
                 localDram(piece.dimm_index, piece, true,
-                          std::move(k), hint);
+                          std::move(k), hint, job);
             },
             [cb](Tick t) { (*cb)(t); });
         return;
@@ -734,6 +746,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
         fabric->send(src, dimm_node, Bytes{16}, true, [this, src,
                                                        dimm_node,
                                                 piece, word_key,
+                                                job = req.job,
                                                 cb](Tick) {
             AtomicEngine &engine = *atomic_engines.at(
                 p.num_groups + piece.dimm_index % ndps.size());
@@ -743,13 +756,13 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
             // beacon-lint: lane(AtomicEngine.perform) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated)
             engine.perform(
                 word_key,
-                [this, piece](std::function<void(Tick)> k) {
+                [this, piece, job](std::function<void(Tick)> k) {
                     localDram(piece.dimm_index, piece, false,
-                              std::move(k), 0);
+                              std::move(k), 0, job);
                 },
-                [this, piece](std::function<void(Tick)> k) {
+                [this, piece, job](std::function<void(Tick)> k) {
                     localDram(piece.dimm_index, piece, true,
-                              std::move(k), 0);
+                              std::move(k), 0, job);
                 },
                 [this, src, dimm_node, cb](Tick) {
                     fabric->send(dimm_node, src, Bytes{8}, true,
@@ -766,7 +779,7 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
     AtomicEngine &engine = *atomic_engines.at(home_sw);
 
     auto perform = [this, sw_node, piece, word_key, src, cb,
-                    &engine]() {
+                    job = req.job, &engine]() {
         const bool co_located = src == sw_node;
         // Switch engines are lane-0 residents (default hint) and
         // this lambda fires from lane-0 fabric events; the engine's
@@ -774,36 +787,39 @@ NdpSystem::atomicAccess(unsigned partition, const AccessRequest &req,
         // beacon-lint: lane(AtomicEngine.perform) beacon-lint: shared-state(AtomicEngine.perform, event-queue-mediated)
         engine.perform(
             word_key,
-            [this, sw_node, piece](std::function<void(Tick)> k) {
+            [this, sw_node, piece, job](std::function<void(Tick)> k) {
                 auto kk =
                     std::make_shared<std::function<void(Tick)>>(
                         std::move(k));
-                fabric->send(
+                fabric->sendCtx(
                     sw_node, piece.node, Bytes{8}, true,
-                    [this, piece, sw_node, kk](Tick) {
+                    untenanted_id, job,
+                    [this, piece, sw_node, job, kk](Tick) {
                         localDram(
                             piece.dimm_index, piece, false,
-                            [this, piece, sw_node, kk](Tick) {
-                                fabric->send(piece.node, sw_node,
-                                             piece.bytes, true,
-                                             [kk](Tick t) {
-                                                 (*kk)(t);
-                                             });
-                            }, 0);
+                            [this, piece, sw_node, job, kk](Tick) {
+                                fabric->sendCtx(piece.node, sw_node,
+                                                piece.bytes, true,
+                                                untenanted_id, job,
+                                                [kk](Tick t) {
+                                                    (*kk)(t);
+                                                });
+                            }, 0, job);
                     });
             },
-            [this, sw_node, piece](std::function<void(Tick)> k) {
+            [this, sw_node, piece, job](std::function<void(Tick)> k) {
                 auto kk =
                     std::make_shared<std::function<void(Tick)>>(
                         std::move(k));
-                fabric->send(sw_node, piece.node,
-                             Bytes{8} + piece.bytes, true,
-                             [this, piece, kk](Tick) {
-                                 localDram(piece.dimm_index, piece,
-                                           true, [kk](Tick t) {
-                                               (*kk)(t);
-                                           }, 0);
-                             });
+                fabric->sendCtx(sw_node, piece.node,
+                                Bytes{8} + piece.bytes, true,
+                                untenanted_id, job,
+                                [this, piece, job, kk](Tick) {
+                                    localDram(piece.dimm_index, piece,
+                                              true, [kk](Tick t) {
+                                                  (*kk)(t);
+                                              }, 0, job);
+                                });
             },
             [this, sw_node, src, co_located, cb](Tick t) {
                 if (co_located) {
@@ -895,9 +911,9 @@ NdpSystem::serveTask(TaskPtr task, NdpModule::TaskDoneFn on_done)
             std::make_shared<NdpModule::TaskDoneFn>(
                 std::move(on_done));
         NdpModule *module = ndps[part].get();
-        fabric->sendTagged(
+        fabric->sendCtx(
             NodeId::host(), ndp_nodes[part], Bytes{32}, false,
-            tenant,
+            tenant, (*shared_task)->jobId(),
             [module, shared_task, shared_done](Tick) {
                 // Event-mediated: executes from the fabric
                 // delivery callback, not from the caller's stack.

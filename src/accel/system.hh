@@ -278,6 +278,21 @@ class NdpSystem
         return observability_ ? observability_->sampler() : nullptr;
     }
 
+    /** Request trace, or nullptr when request tracing is off. */
+    obs::RequestTrace *
+    obsRequestTrace()
+    {
+        return observability_ ? observability_->requestTrace()
+                              : nullptr;
+    }
+
+    /** Live SLO monitor, or nullptr when no SLO window is set. */
+    obs::SloMonitor *
+    obsSlo()
+    {
+        return observability_ ? observability_->slo() : nullptr;
+    }
+
     /** NDP module of a partition (per-tenant stat inspection). */
     const NdpModule &ndpModule(unsigned partition) const
     {
@@ -315,9 +330,10 @@ class NdpSystem
      */
     void
     dimmDram(unsigned index, const ResolvedAccess &piece,
-             bool is_write, std::function<void(Tick)> done)
+             bool is_write, std::function<void(Tick)> done,
+             std::uint64_t job = 0)
     {
-        localDram(index, piece, is_write, std::move(done), 0);
+        localDram(index, piece, is_write, std::move(done), 0, job);
     }
 
     /**
@@ -395,10 +411,12 @@ class NdpSystem
                     std::function<void(Tick)> done);
 
     /** Local DRAM access on @p dimm (no fabric); the completion
-     *  callback is homed onto @p completion_hint's lane. */
+     *  callback is homed onto @p completion_hint's lane. @p job is
+     *  the request context carried into the MemRequest (0 = none). */
     void localDram(unsigned dimm, const ResolvedAccess &piece,
                    bool is_write, std::function<void(Tick)> done,
-                   std::uint32_t completion_hint);
+                   std::uint32_t completion_hint,
+                   std::uint64_t job = 0);
 
     /** Atomic RMW via the home switch's Atomic Engine. */
     void atomicAccess(unsigned partition, const AccessRequest &request,

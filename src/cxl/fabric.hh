@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "common/units.hh"
 #include "cxl/node.hh"
@@ -52,6 +53,24 @@ class Fabric
                             Bytes useful_bytes,
                             bool fine_grained, TenantId tenant,
                             Deliver deliver) = 0;
+
+    /**
+     * sendTagged() carrying a request context: @p job is the
+     * orchestrator job this transfer serves (obs::RequestContext;
+     * 0 = none). Fabrics that support request tracing record per-hop
+     * Link/Switch component spans for the job; the default forwards
+     * to sendTagged() and drops the id. Timing and accounting are
+     * identical to sendTagged() in all cases.
+     */
+    virtual void
+    sendCtx(NodeId src, NodeId dst, Bytes useful_bytes,
+            bool fine_grained, TenantId tenant, std::uint64_t job,
+            Deliver deliver)
+    {
+        (void)job;
+        sendTagged(src, dst, useful_bytes, fine_grained, tenant,
+                   std::move(deliver));
+    }
 
     /** Total wire bytes moved (for communication energy). */
     virtual Bytes totalWireBytes() const = 0;

@@ -1,6 +1,9 @@
 #include "pool.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "obs/request_trace.hh"
 
 namespace beacon
 {
@@ -160,6 +163,15 @@ PoolFabric::sendTagged(NodeId src, NodeId dst,
                        Bytes useful_bytes, bool fine_grained,
                        TenantId tenant, Deliver deliver)
 {
+    sendCtx(src, dst, useful_bytes, fine_grained, tenant, 0,
+            std::move(deliver));
+}
+
+void
+PoolFabric::sendCtx(NodeId src, NodeId dst, Bytes useful_bytes,
+                    bool fine_grained, TenantId tenant,
+                    std::uint64_t job, Deliver deliver)
+{
     ++stat_messages;
     stat_useful_bytes += double(useful_bytes.value());
     tenantBytesStat(tenant) += double(useful_bytes.value());
@@ -170,6 +182,14 @@ PoolFabric::sendTagged(NodeId src, NodeId dst,
             link_checker->onDeliver(t);
             inner(t);
         };
+    }
+    if (BEACON_REQUEST_TRACE(eq) != nullptr) {
+        // One FIFO entry per staged payload, popped by routeWire()
+        // per flushed Deliver — alignment holds because EVERY submit
+        // funnels through here while the trace is attached.
+        const std::uint64_t key =
+            (std::uint64_t(src.key()) << 32) | dst.key();
+        pending_jobs[key].push_back(job);
     }
     packerFor(src, dst).submit(useful_bytes, fine_grained,
                                std::move(deliver));
@@ -231,6 +251,27 @@ void
 PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
                       std::vector<Deliver> batch)
 {
+    // Claim this wire unit's request contexts: one FIFO entry per
+    // batched payload (see pending_jobs). Unique nonzero ids get a
+    // component span per hop below; popping happens even on the
+    // loopback path so the FIFO stays aligned.
+    std::vector<std::uint64_t> jobs;
+    if (BEACON_REQUEST_TRACE(eq) != nullptr) {
+        const std::uint64_t key =
+            (std::uint64_t(src.key()) << 32) | dst.key();
+        auto &fifo = pending_jobs[key];
+        for (std::size_t i = 0; i < batch.size() && !fifo.empty();
+             ++i) {
+            const std::uint64_t job = fifo.front();
+            fifo.pop_front();
+            if (job != 0 &&
+                std::find(jobs.begin(), jobs.end(), job) ==
+                    jobs.end()) {
+                jobs.push_back(job);
+            }
+        }
+    }
+
     auto deliver_all = [this, batch = std::move(batch)]() {
         const Tick t = curTick();
         for (const Deliver &d : batch)
@@ -319,23 +360,48 @@ PoolFabric::routeWire(NodeId src, NodeId dst, Bytes wire,
     auto plan_ptr = std::make_shared<std::vector<Hop>>(std::move(plan));
     auto step = std::make_shared<std::function<void(std::size_t)>>();
     std::weak_ptr<std::function<void(std::size_t)>> weak_step = step;
-    *step = [this, plan_ptr, wire, weak_step,
+    *step = [this, plan_ptr, wire, weak_step, jobs,
              done = std::move(deliver_all)](std::size_t i) {
         if (i >= plan_ptr->size()) {
             done();
             return;
         }
         const Hop &hop = (*plan_ptr)[i];
-        auto next = [self = weak_step.lock(), i]() { (*self)(i + 1); };
+        std::function<void()> next = [self = weak_step.lock(), i]() {
+            (*self)(i + 1);
+        };
+        if (!jobs.empty()) {
+            // Request-scoped attribution: the hop's full residency
+            // (queueing + serialisation + propagation) becomes a
+            // Link or Switch component span for every riding job.
+            // recordSpan stages per lane, so a final hop completing
+            // on the destination DIMM's shard is still applied in
+            // canonical order.
+            const Tick hop_start = curTick();
+            const obs::SpanKind kind = hop.kind == Hop::Kind::Link
+                                           ? obs::SpanKind::Link
+                                           : obs::SpanKind::Switch;
+            next = [this, jobs, hop_start, kind,
+                    self = weak_step.lock(), i]() {
+                if (obs::RequestTrace *rt = BEACON_REQUEST_TRACE(eq)) {
+                    for (const std::uint64_t job : jobs) {
+                        rt->recordSpan(job, kind, hop_start,
+                                       curTick());
+                    }
+                }
+                (*self)(i + 1);
+            };
+        }
         switch (hop.kind) {
           case Hop::Kind::Link:
-            hopLink(*hop.link, hop.dir, wire, next, hop.home);
+            hopLink(*hop.link, hop.dir, wire, std::move(next),
+                    hop.home);
             break;
           case Hop::Kind::Bus:
-            hopBus(hop.sw, wire, next);
+            hopBus(hop.sw, wire, std::move(next));
             break;
           case Hop::Kind::Delay:
-            eq.scheduleIn(hop.delay, next, EventCat::Cxl);
+            eq.scheduleIn(hop.delay, std::move(next), EventCat::Cxl);
             break;
         }
     };

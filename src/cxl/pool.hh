@@ -22,6 +22,7 @@
 #define BEACON_CXL_POOL_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -95,6 +96,17 @@ class PoolFabric : public SimObject, public Fabric
     void sendTagged(NodeId src, NodeId dst,
                     Bytes useful_bytes, bool fine_grained,
                     TenantId tenant, Deliver deliver) override;
+
+    /**
+     * sendTagged() carrying a request context: when a RequestTrace
+     * is attached to the event queue, every hop of the routed wire
+     * unit records a Link/Switch component span for @p job (and for
+     * every other job whose payload the Data Packer batched into the
+     * same unit). Zero extra work when request tracing is off.
+     */
+    void sendCtx(NodeId src, NodeId dst, Bytes useful_bytes,
+                 bool fine_grained, TenantId tenant,
+                 std::uint64_t job, Deliver deliver) override;
 
     /** Bytes moved over DIMM links, host links, and switch buses. */
     Bytes dimmLinkBytes() const;
@@ -180,6 +192,18 @@ class PoolFabric : public SimObject, public Fabric
                  std::uint32_t arrival_home = 0);
 
     DataPacker &packerFor(NodeId src, NodeId dst);
+
+    /**
+     * Per-(src, dst) FIFO of job ids, parallel to the Data Packer's
+     * staged payloads: sendCtx() pushes one entry per submitted
+     * payload (0 = no context) and routeWire() pops one per Deliver
+     * in the flushed batch, so batching never misattributes a span.
+     * Lane-0 state like the packers (every fabric submit and flush
+     * runs on the default shard); only populated while a
+     * RequestTrace is attached.
+     */
+    // beacon-lint: shared-state(PoolFabric.pending_jobs, event-queue-mediated)
+    std::map<std::uint64_t, std::deque<std::uint64_t>> pending_jobs;
 
     PoolParams p;
     std::vector<SwitchState> switches;

@@ -4,6 +4,7 @@
 
 #include "check/dram_protocol_checker.hh"
 #include "common/logging.hh"
+#include "obs/request_trace.hh"
 
 namespace beacon
 {
@@ -239,6 +240,15 @@ DramController::decideOnce()
             }
             stat_latency.sample(
                 double(data_end - done.enqueue_tick));
+            if (done.job != 0) {
+                // Request-scoped attribution: DRAM media time is the
+                // whole queue-to-data residency in this controller.
+                if (obs::RequestTrace *rt = BEACON_REQUEST_TRACE(eq))
+                    rt->recordSpan(done.job, obs::SpanKind::Dram,
+                                   done.enqueue_tick, data_end);
+                if (trace)
+                    trace->flow(trace_ctrl, "job", done.job, 't');
+            }
             if (done.on_complete) {
                 // Completion callbacks run on the requester's shard;
                 // the CAS-to-data-end gap covers the lookahead.

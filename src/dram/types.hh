@@ -116,6 +116,13 @@ struct MemRequest
     std::uint32_t completion_hint = 0;
     /** Arrival time, filled in by the controller. */
     Tick enqueue_tick = 0;
+    /**
+     * Request-scoped attribution (obs::RequestContext): the
+     * orchestrator job this access serves, or 0 for direct/driver
+     * traffic. The controller records a DRAM component span for the
+     * job when a RequestTrace is attached to its queue.
+     */
+    std::uint64_t job = 0;
 };
 
 } // namespace beacon

@@ -1,6 +1,7 @@
 #include "ndp_module.hh"
 
 #include "common/logging.hh"
+#include "obs/request_trace.hh"
 
 namespace beacon
 {
@@ -111,6 +112,7 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
                      " of ", p.max_inflight_tasks);
     }
     const TenantId tid = pending->task->tenant();
+    const std::uint64_t job = pending->task->jobId();
     const TaskStep step = pending->task->next();
     const Tick compute =
         cyclesToTicks(step.compute_cycles, p.pe_clock_ps);
@@ -118,6 +120,18 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
     pe_busy_by_tenant[tid] += compute;
     stat_pe_busy += double(compute);
     tenantBusyStat(tid) += double(compute);
+    if (job != 0) {
+        // Request context: the PE compute span is recorded at
+        // schedule time with its future end (the sweep clips it to
+        // the job's lifetime), and a flow step binds to the open
+        // task slice so Perfetto draws the causal arrow chain.
+        if (obs::RequestTrace *rt = BEACON_REQUEST_TRACE(eq)) {
+            rt->recordSpan(job, obs::SpanKind::Pe, curTick(),
+                           curTick() + compute);
+        }
+        if (trace)
+            trace->flow(slot_tracks[pending->slot], "job", job, 't');
+    }
 
     // The PE is occupied for the step's arithmetic; afterwards the
     // task either finishes, continues immediately, or parks in the
@@ -125,7 +139,7 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
     // keeps the callback copyable for std::function.
     auto held = std::make_shared<std::unique_ptr<PendingTask>>(
         std::move(pending));
-    eq.scheduleIn(compute, [this, step, held, tid]() mutable {
+    eq.scheduleIn(compute, [this, step, held, tid, job]() mutable {
         std::unique_ptr<PendingTask> pending = std::move(*held);
         --busy_pes;
         if (step.done) {
@@ -167,6 +181,7 @@ NdpModule::runStep(std::unique_ptr<PendingTask> pending)
             // task generator to do it.
             AccessRequest req = raw;
             req.tenant = tid;
+            req.job = job;
             issue(req, [this, holder, issue_tick, check](Tick t) {
                 if (check) {
                     BEACON_CHECK(t >= issue_tick,

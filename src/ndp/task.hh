@@ -87,6 +87,10 @@ struct AccessRequest
     /** Owning tenant (units.hh TenantId); stamped by the NDP module
      *  from the task. */
     TenantId tenant;
+    /** Orchestrator job id (0 = none); stamped by the NDP module
+     *  from the task, forwarded hop by hop into the MemRequest so
+     *  the request trace can attribute fabric/DRAM time. */
+    std::uint64_t job = 0;
 };
 
 /** Result of advancing a task by one step. */
@@ -119,6 +123,10 @@ class Task
 
     /** Tenant this task is accounted to (0 = untenanted). */
     virtual TenantId tenant() const { return untenanted_id; }
+
+    /** Orchestrator job this task belongs to (0 = no request
+     *  context); overridden by service::TenantTask. */
+    virtual std::uint64_t jobId() const { return 0; }
 };
 
 using TaskPtr = std::unique_ptr<Task>;

@@ -1,0 +1,135 @@
+#include "flight_recorder.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace beacon::obs
+{
+
+namespace
+{
+
+/** Live recorders, in construction order. The mutex is only taken
+ *  at construction/destruction and on the (already fatal) dump-all
+ *  path, never while events execute. */
+std::mutex registry_mutex;
+std::vector<FlightRecorder *> registry;
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::string path,
+                               std::size_t per_lane_capacity)
+    : path_(std::move(path)),
+      capacity(per_lane_capacity ? per_lane_capacity : 1)
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    registry.push_back(this);
+    // First recorder installs the process-wide panic hook so any
+    // BEACON_CHECK / BEACON_ASSERT / lane-guard trap dumps the rings
+    // before aborting. Idempotent: setPanicHook stores a pointer.
+    detail::setPanicHook(&FlightRecorder::dumpAll);
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    registry.erase(std::remove(registry.begin(), registry.end(), this),
+                   registry.end());
+}
+
+void
+FlightRecorder::prepare(std::size_t rings)
+{
+    if (rings_.size() >= rings)
+        return;
+    const std::size_t old = rings_.size();
+    rings_.resize(rings);
+    for (std::size_t i = old; i < rings_.size(); ++i)
+        rings_[i].buf.resize(capacity);
+}
+
+std::vector<FlightRecorder::Record>
+FlightRecorder::snapshot(std::size_t ring) const
+{
+    std::vector<Record> out;
+    const Ring &r = rings_.at(ring);
+    const std::size_t n =
+        std::size_t(std::min<std::uint64_t>(r.seq, r.buf.size()));
+    const std::size_t first =
+        r.seq > r.buf.size() ? r.next : 0;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(r.buf[(first + i) % r.buf.size()]);
+    return out;
+}
+
+bool
+FlightRecorder::dump(const char *why, const std::string &detail) const
+{
+    std::ofstream os(path_);
+    if (!os)
+        return false;
+    os << "{\n\"schema\": \"beacon-flightrec-1\",\n";
+    os << "\"reason\": \"" << escape(why) << "\",\n";
+    os << "\"detail\": \"" << escape(detail) << "\",\n";
+    os << "\"rings\": [";
+    for (std::size_t ring = 0; ring < rings_.size(); ++ring) {
+        os << (ring ? ",\n" : "\n");
+        const Ring &r = rings_[ring];
+        os << "{\"lane\":" << ring << ",\"executed\":" << r.seq
+           << ",\"records\":[";
+        // Panic path: other lanes may be mid-write; read racily and
+        // emit what is there (best effort, see header).
+        bool first_rec = true;
+        for (const Record &rec : snapshot(ring)) {
+            os << (first_rec ? "" : ",");
+            first_rec = false;
+            os << "{\"when\":" << rec.when << ",\"seq\":" << rec.seq
+               << ",\"cat\":\"" << eventCatName(rec.cat) << "\"}";
+        }
+        os << "]}";
+    }
+    os << "\n]\n}\n";
+    os.flush();
+    return bool(os);
+}
+
+void
+FlightRecorder::dumpAll(const std::string &detail)
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    for (const FlightRecorder *fr : registry) {
+        if (fr->dump("panic", detail))
+            std::cerr << "flight recorder: wrote " << fr->path()
+                      << std::endl;
+        else
+            std::cerr << "flight recorder: cannot write "
+                      << fr->path() << std::endl;
+    }
+}
+
+} // namespace beacon::obs

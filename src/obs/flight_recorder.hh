@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Always-on-cheap post-mortem flight recorder.
+ *
+ * FlightRecorder keeps one bounded ring of recently executed event
+ * descriptors per execution lane (plus the barrier lane on a sharded
+ * queue). The queues feed it immediately before each callback runs,
+ * so when a run dies — a BEACON_CHECK/BEACON_ASSERT failure, a
+ * src/check protocol checker, or the BEACON_LANE_GUARD=trap guard,
+ * all of which funnel through beacon::detail::panicImpl — the
+ * trapping event itself plus the window of events leading up to it
+ * are dumped as a versioned JSON file ("beacon-flightrec-1") before
+ * the process aborts.
+ *
+ * Cost model: one branch per executed event when disabled (a null
+ * pointer on the queue), three stores when enabled. Each ring has a
+ * single writer (its lane's worker; serial/barrier execution runs on
+ * the coordinator while workers are quiesced), so recording needs no
+ * synchronisation. The panic-path dump reads the rings racily — the
+ * surviving lanes may be mid-write — which is acceptable for a
+ * best-effort post-mortem artifact and is flagged per ring in the
+ * dump.
+ */
+
+#ifndef BEACON_OBS_FLIGHT_RECORDER_HH
+#define BEACON_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace beacon::obs
+{
+
+class FlightRecorder : public EventRecorder
+{
+  public:
+    /** Compact descriptor of one executed event. */
+    struct Record
+    {
+        Tick when = 0;
+        /** Ring-local execution ordinal (dense, per lane). */
+        std::uint64_t seq = 0;
+        EventCat cat = EventCat::Other;
+    };
+
+    /**
+     * @p path receives the post-mortem JSON on dump().
+     * @p per_lane_capacity bounds each ring (oldest overwritten).
+     */
+    explicit FlightRecorder(std::string path,
+                            std::size_t per_lane_capacity = 256);
+    ~FlightRecorder() override;
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /**
+     * Allocate @p rings rings (serial queue: 1; sharded queue:
+     * lanes + 1, the last being the barrier lane). Called by
+     * EventQueue::setFlightRecorder; grows only.
+     */
+    void prepare(std::size_t rings) override;
+
+    /** Record an event about to execute on ring @p ring. */
+    void
+    note(std::size_t ring, Tick when, EventCat cat) override
+    {
+        Ring &r = rings_[ring];
+        Record &rec = r.buf[r.next];
+        rec.when = when;
+        rec.seq = r.seq++;
+        rec.cat = cat;
+        r.next = r.next + 1 == r.buf.size() ? 0 : r.next + 1;
+    }
+
+    std::size_t numRings() const { return rings_.size(); }
+    const std::string &path() const { return path_; }
+
+    /** Ring @p ring oldest-first (tests; not panic-safe). */
+    std::vector<Record> snapshot(std::size_t ring) const;
+
+    /**
+     * Write the post-mortem JSON to path(). @p why is a short cause
+     * tag ("panic", "manual"), @p detail the failure message.
+     * Returns false when the file cannot be written. Safe to call
+     * from the panic path.
+     */
+    bool dump(const char *why, const std::string &detail) const;
+
+    /**
+     * Dump every live FlightRecorder. Installed as the panic hook
+     * (common/logging) by the first constructed instance.
+     */
+    static void dumpAll(const std::string &detail);
+
+  private:
+    struct Ring
+    {
+        std::vector<Record> buf;
+        std::size_t next = 0;
+        std::uint64_t seq = 0;
+    };
+
+    std::string path_;
+    std::size_t capacity;
+    std::vector<Ring> rings_;
+};
+
+} // namespace beacon::obs
+
+#endif // BEACON_OBS_FLIGHT_RECORDER_HH

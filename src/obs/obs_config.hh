@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #ifndef BEACON_OBS_ENABLED
 #define BEACON_OBS_ENABLED 1
@@ -51,15 +52,39 @@ struct ObsConfig
      */
     bool self_profile = false;
 
+    /**
+     * Request-scoped causal tracing (obs::RequestTrace): per-job
+     * component spans, flow events, and the exact per-job latency
+     * breakdown. Deterministic; byte-identical serial vs. sharded.
+     */
+    bool request_trace = false;
+
+    /**
+     * SLO window-roll interval in ticks (picoseconds); 0 disables
+     * the per-tenant live SLO monitor (obs::SloMonitor).
+     */
+    std::uint64_t slo_window = 0;
+
+    /**
+     * Post-mortem flight-recorder output path; empty disables the
+     * recorder (obs::FlightRecorder). The dump is written when a
+     * BEACON_CHECK / BEACON_ASSERT / lane-guard trap aborts.
+     */
+    std::string flight_recorder_path;
+
     /** True when any telemetry feature is requested. */
     bool enabled() const
     {
-        return trace || sample_interval > 0 || self_profile;
+        return trace || sample_interval > 0 || self_profile ||
+               request_trace || slo_window > 0 ||
+               !flight_recorder_path.empty();
     }
 
     /**
      * Configuration from the environment: BEACON_TRACE=1,
-     * BEACON_TIMESERIES_NS=<interval>, BEACON_SELF_PROFILE=1.
+     * BEACON_TIMESERIES_NS=<interval>, BEACON_SELF_PROFILE=1,
+     * BEACON_REQUEST_TRACE=1, BEACON_SLO_WINDOW_NS=<interval>, and
+     * BEACON_FLIGHT_RECORDER=1 (default dump path) or =<path>.
      * Used as the SystemParams default so any harness can be traced
      * without plumbing flags.
      */

@@ -26,6 +26,7 @@ ObsConfig::fromEnv()
     ObsConfig cfg;
     cfg.trace = envFlag("BEACON_TRACE");
     cfg.self_profile = envFlag("BEACON_SELF_PROFILE");
+    cfg.request_trace = envFlag("BEACON_REQUEST_TRACE");
     if (const char *env = std::getenv("BEACON_TIMESERIES_NS")) {
         const long long ns = std::strtoll(env, nullptr, 10);
         if (ns > 0)
@@ -33,6 +34,23 @@ ObsConfig::fromEnv()
         else
             BEACON_WARN("ignoring invalid BEACON_TIMESERIES_NS='",
                         env, "'");
+    }
+    if (const char *env = std::getenv("BEACON_SLO_WINDOW_NS")) {
+        const long long ns = std::strtoll(env, nullptr, 10);
+        if (ns > 0)
+            cfg.slo_window = std::uint64_t(ns) * 1000; // ns->ps
+        else
+            BEACON_WARN("ignoring invalid BEACON_SLO_WINDOW_NS='",
+                        env, "'");
+    }
+    if (const char *env = std::getenv("BEACON_FLIGHT_RECORDER")) {
+        if (env[0] == '0' && env[1] == '\0') {
+            // explicit off
+        } else if (env[0] == '1' && env[1] == '\0') {
+            cfg.flight_recorder_path = "beacon-flightrec.json";
+        } else if (env[0]) {
+            cfg.flight_recorder_path = env;
+        }
     }
     return cfg;
 }
@@ -45,10 +63,34 @@ Observability::Observability(EventQueue &eq, const ObsConfig &cfg)
         sink_ = std::make_unique<TraceSink>(eq,
                                             cfg.trace_buffer_events);
         eq.setTraceSink(sink_.get());
-        // Sharded engine: lane-emitted events are staged per lane
-        // and flushed by the barrier merge in canonical order.
-        if (ShardedEventQueue *sq = eq.sharded())
+    }
+    if (cfg.request_trace) {
+        reqtrace_ = std::make_unique<RequestTrace>(eq);
+        eq.setRequestTrace(reqtrace_.get());
+    }
+    // Sharded engine: lane-emitted events/ops are staged per lane
+    // and flushed by the barrier merge in canonical order. The queue
+    // has one merge-hook slot, so two stagers share a fan-out.
+    if (ShardedEventQueue *sq = eq.sharded()) {
+        if (sink_ && reqtrace_) {
+            fanout_ = std::make_unique<MergeHookFanout>();
+            fanout_->add(sink_.get());
+            fanout_->add(reqtrace_.get());
+            sq->setMergeHook(fanout_.get());
+        } else if (sink_) {
             sq->setMergeHook(sink_.get());
+        } else if (reqtrace_) {
+            sq->setMergeHook(reqtrace_.get());
+        }
+    }
+    if (cfg.slo_window > 0) {
+        slo_ = std::make_unique<SloMonitor>(eq, Tick(cfg.slo_window));
+        slo_->start();
+    }
+    if (!cfg.flight_recorder_path.empty()) {
+        flight_ =
+            std::make_unique<FlightRecorder>(cfg.flight_recorder_path);
+        eq.setFlightRecorder(flight_.get());
     }
     if (cfg.sample_interval > 0) {
         sampler_ =
@@ -68,11 +110,16 @@ Observability::Observability(EventQueue &eq, const ObsConfig &cfg)
 
 Observability::~Observability()
 {
-    if (sink_) {
+    if (sink_)
         eq.setTraceSink(nullptr);
+    if (reqtrace_)
+        eq.setRequestTrace(nullptr);
+    if (sink_ || reqtrace_) {
         if (ShardedEventQueue *sq = eq.sharded())
             sq->setMergeHook(nullptr);
     }
+    if (flight_)
+        eq.setFlightRecorder(nullptr);
     if (profiler_)
         eq.setProfiler(nullptr);
 }
@@ -88,6 +135,8 @@ Observability::finish()
 {
     if (sampler_)
         sampler_->finish();
+    if (slo_)
+        slo_->finish();
 }
 
 bool
@@ -103,6 +152,22 @@ Observability::writeTrace(const std::string &path) const
         return false;
     }
     sink_->writeJson(os);
+    return bool(os);
+}
+
+bool
+Observability::writeRequestTrace(const std::string &path) const
+{
+    if (!reqtrace_) {
+        BEACON_WARN("no request trace recorded; cannot write ", path);
+        return false;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        BEACON_WARN("cannot open request-trace file ", path);
+        return false;
+    }
+    reqtrace_->writeJson(os);
     return bool(os);
 }
 

@@ -14,14 +14,45 @@
 #include <memory>
 #include <string>
 
+#include "obs/flight_recorder.hh"
 #include "obs/obs_config.hh"
+#include "obs/request_trace.hh"
 #include "obs/sampler.hh"
 #include "obs/self_profile.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 #include "sim/event_queue.hh"
 
 namespace beacon::obs
 {
+
+/**
+ * Fan-out LaneMergeHook: a sharded queue exposes one merge-hook
+ * slot, but TraceSink and RequestTrace both stage per lane; this
+ * forwards every commit to each in registration order.
+ */
+class MergeHookFanout : public LaneMergeHook
+{
+  public:
+    void add(LaneMergeHook *hook) { hooks.push_back(hook); }
+
+    void
+    prepareLanes(std::size_t lanes) override
+    {
+        for (LaneMergeHook *hook : hooks)
+            hook->prepareLanes(lanes);
+    }
+
+    void
+    commitLaneEvent(unsigned lane, std::uint64_t pop_idx) override
+    {
+        for (LaneMergeHook *hook : hooks)
+            hook->commitLaneEvent(lane, pop_idx);
+    }
+
+  private:
+    std::vector<LaneMergeHook *> hooks;
+};
 
 class Observability
 {
@@ -39,6 +70,15 @@ class Observability
 
     /** Sampler, or nullptr when sampling is off. */
     Sampler *sampler() { return sampler_.get(); }
+
+    /** Request trace, or nullptr when request tracing is off. */
+    RequestTrace *requestTrace() { return reqtrace_.get(); }
+
+    /** SLO monitor, or nullptr when no SLO window is configured. */
+    SloMonitor *slo() { return slo_.get(); }
+
+    /** Flight recorder, or nullptr when off. */
+    FlightRecorder *flightRecorder() { return flight_.get(); }
 
     bool selfProfiling() const { return profiler_ != nullptr; }
 
@@ -59,12 +99,20 @@ class Observability
      * versioned JSON form. */
     bool writeTimeseries(const std::string &path) const;
 
+    /** Write the request trace ("beacon-reqtrace-1"); false (with a
+     * warning) on I/O failure or when request tracing is off. */
+    bool writeRequestTrace(const std::string &path) const;
+
   private:
     EventQueue &eq;
     ObsConfig cfg;
     std::unique_ptr<TraceSink> sink_;
     std::unique_ptr<Sampler> sampler_;
     std::unique_ptr<SelfProfiler> profiler_;
+    std::unique_ptr<RequestTrace> reqtrace_;
+    std::unique_ptr<SloMonitor> slo_;
+    std::unique_ptr<FlightRecorder> flight_;
+    std::unique_ptr<MergeHookFanout> fanout_;
 };
 
 } // namespace beacon::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Request-scoped identity carried along a job's causal path.
+ *
+ * A RequestContext names one orchestrator job (job id, tenant id,
+ * span id) as it crosses layer boundaries: service::Orchestrator
+ * stamps it into the submitted task, NdpModule copies it onto every
+ * AccessRequest, the fabric layers forward it hop by hop, and
+ * DramController sees it on the MemRequest. Job id 0 is reserved for
+ * "no request context" (direct/driver traffic), so every
+ * instrumentation site can gate on `job != 0` alone.
+ *
+ * This header is a dependency-free leaf: the dram/ndp/cxl request
+ * structs embed the ids as plain integers and only obs code needs
+ * the aggregate type.
+ */
+
+#ifndef BEACON_OBS_REQUEST_CONTEXT_HH
+#define BEACON_OBS_REQUEST_CONTEXT_HH
+
+#include <cstdint>
+
+namespace beacon::obs
+{
+
+/** Identity of one in-flight orchestrator job. */
+struct RequestContext
+{
+    /** Orchestrator-wide job id; 0 = no request attribution. */
+    std::uint64_t job = 0;
+
+    /** Owning tenant index (orchestrator numbering). */
+    std::uint32_t tenant = 0;
+
+    /** Span id within the job's tree (0 = the root job span). */
+    std::uint32_t span = 0;
+
+    bool valid() const { return job != 0; }
+};
+
+/**
+ * Latency-breakdown category of one component span. The per-job
+ * breakdown attributes every tick of [submit, complete] to exactly
+ * one category; ticks covered by no component span count as Queue
+ * (admission + slot + packer wait). When spans overlap, the
+ * higher-valued category wins (DRAM media time beats the switch span
+ * that encloses the hop, which beats the link span, which beats PE
+ * compute overlap).
+ */
+enum class SpanKind : std::uint8_t
+{
+    Queue = 0, //!< waiting: admission, slots, batching (implicit)
+    Pe,        //!< NDP processing-element compute
+    Link,      //!< CXL link flits in flight
+    Switch,    //!< switch buffering / bus occupancy
+    Dram,      //!< DRAM media time (enqueue to data end)
+};
+
+inline constexpr std::size_t num_span_kinds = 5;
+
+/** Stable lower-case name for a span kind (JSON keys). */
+constexpr const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Pe: return "pe";
+      case SpanKind::Link: return "link";
+      case SpanKind::Switch: return "switch";
+      case SpanKind::Dram: return "dram";
+      case SpanKind::Queue: break;
+    }
+    return "queue";
+}
+
+} // namespace beacon::obs
+
+#endif // BEACON_OBS_REQUEST_CONTEXT_HH

@@ -1,0 +1,253 @@
+#include "request_trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace beacon::obs
+{
+
+namespace
+{
+
+/**
+ * Attribution priority when component spans overlap: DRAM media time
+ * wins over the switch span that encloses the hop, which wins over
+ * the link span, which wins over PE compute. Matches the SpanKind
+ * numeric order, asserted here so a reordering of the enum cannot
+ * silently change breakdowns.
+ */
+static_assert(int(SpanKind::Queue) < int(SpanKind::Pe) &&
+                  int(SpanKind::Pe) < int(SpanKind::Link) &&
+                  int(SpanKind::Link) < int(SpanKind::Switch) &&
+                  int(SpanKind::Switch) < int(SpanKind::Dram),
+              "SpanKind must stay in attribution-priority order");
+
+} // namespace
+
+RequestTrace::RequestTrace(const EventQueue &eq, std::size_t max_jobs)
+    : eq(eq), max_jobs(max_jobs ? max_jobs : 1)
+{
+}
+
+void
+RequestTrace::push(const Op &op)
+{
+    // Same staging rule as TraceSink::push: in-window lane callbacks
+    // may not touch the shared maps; the barrier merge applies staged
+    // ops in canonical event order.
+    if (const ShardExecContext *ctx = currentShardContext();
+        ctx && ctx->in_window &&
+        static_cast<const EventQueue *>(ctx->queue) == &eq) {
+        BEACON_ASSERT(ctx->lane < staged.size(),
+                      "request-trace op from unprepared lane ",
+                      ctx->lane);
+        Op tagged = op;
+        tagged.pop = ctx->pop;
+        staged[ctx->lane].push_back(tagged);
+        return;
+    }
+    apply(op);
+}
+
+void
+RequestTrace::prepareLanes(std::size_t lanes)
+{
+    if (staged.size() < lanes) {
+        staged.resize(lanes);
+        staged_cursor.resize(lanes, 0);
+    }
+}
+
+void
+RequestTrace::commitLaneEvent(unsigned lane, std::uint64_t pop_idx)
+{
+    BEACON_ASSERT(lane < staged.size(),
+                  "commit for unprepared lane ", lane);
+    std::vector<Op> &buf = staged[lane];
+    std::size_t &cursor = staged_cursor[lane];
+    while (cursor < buf.size() && buf[cursor].pop <= pop_idx) {
+        apply(buf[cursor]);
+        ++cursor;
+    }
+    if (cursor == buf.size()) {
+        buf.clear();
+        cursor = 0;
+    }
+}
+
+void
+RequestTrace::apply(const Op &op)
+{
+    switch (op.kind) {
+      case Op::Kind::Begin: {
+        Open &o = open[op.job];
+        o.tenant = op.tenant;
+        o.submit = op.a;
+        break;
+      }
+      case Op::Kind::Span: {
+        auto it = open.find(op.job);
+        if (it == open.end())
+            break; // job already finished/rejected or never began
+        it->second.spans.push_back(CompSpan{op.span, op.a, op.b});
+        break;
+      }
+      case Op::Kind::End:
+        finishJob(op.job, op.a);
+        break;
+      case Op::Kind::Reject:
+        open.erase(op.job);
+        break;
+    }
+}
+
+void
+RequestTrace::finishJob(std::uint64_t job, Tick end)
+{
+    auto it = open.find(job);
+    if (it == open.end())
+        return;
+    Open &o = it->second;
+
+    JobRecord rec;
+    rec.job = job;
+    rec.tenant = o.tenant;
+    rec.submit = o.submit;
+    rec.end = end < o.submit ? o.submit : end;
+    rec.n_spans = std::uint32_t(o.spans.size());
+
+    // Integer sweep-line over [submit, end]: clip spans to the job
+    // lifetime, cut time at every span boundary, and attribute each
+    // segment to the highest-priority span covering it (none ->
+    // Queue). Every tick lands in exactly one bucket, so the
+    // components sum to end - submit by construction.
+    std::vector<CompSpan> spans;
+    spans.reserve(o.spans.size());
+    std::vector<Tick> cuts;
+    cuts.reserve(2 * o.spans.size() + 2);
+    cuts.push_back(rec.submit);
+    cuts.push_back(rec.end);
+    for (const CompSpan &s : o.spans) {
+        const Tick a = std::max(s.a, rec.submit);
+        const Tick b = std::min(s.b, rec.end);
+        if (a >= b)
+            continue;
+        spans.push_back(CompSpan{s.kind, a, b});
+        cuts.push_back(a);
+        cuts.push_back(b);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        const Tick lo = cuts[i];
+        const Tick hi = cuts[i + 1];
+        SpanKind best = SpanKind::Queue;
+        for (const CompSpan &s : spans) {
+            if (s.a <= lo && s.b >= hi && int(s.kind) > int(best))
+                best = s.kind;
+        }
+        rec.comp[std::size_t(best)] += hi - lo;
+    }
+
+    open.erase(it);
+    if (done.size() >= max_jobs) {
+        ++dropped;
+        return;
+    }
+    done.push_back(rec);
+}
+
+void
+RequestTrace::jobBegin(std::uint64_t job, std::uint32_t tenant)
+{
+    if (job == 0)
+        return;
+    Op op;
+    op.kind = Op::Kind::Begin;
+    op.job = job;
+    op.tenant = tenant;
+    op.a = eq.now();
+    push(op);
+}
+
+void
+RequestTrace::recordSpan(std::uint64_t job, SpanKind kind, Tick start,
+                         Tick end)
+{
+    if (job == 0)
+        return;
+    Op op;
+    op.kind = Op::Kind::Span;
+    op.span = kind;
+    op.job = job;
+    op.a = start;
+    op.b = end;
+    push(op);
+}
+
+void
+RequestTrace::jobEnd(std::uint64_t job)
+{
+    if (job == 0)
+        return;
+    Op op;
+    op.kind = Op::Kind::End;
+    op.job = job;
+    op.a = eq.now();
+    push(op);
+}
+
+void
+RequestTrace::jobReject(std::uint64_t job)
+{
+    if (job == 0)
+        return;
+    Op op;
+    op.kind = Op::Kind::Reject;
+    op.job = job;
+    push(op);
+}
+
+TenantBreakdown
+RequestTrace::tenantBreakdown(std::uint32_t tenant) const
+{
+    TenantBreakdown agg;
+    for (const JobRecord &rec : done) {
+        if (rec.tenant != tenant)
+            continue;
+        ++agg.jobs;
+        agg.total_latency += rec.latency();
+        for (std::size_t k = 0; k < num_span_kinds; ++k)
+            agg.comp[k] += rec.comp[k];
+    }
+    return agg;
+}
+
+void
+RequestTrace::writeJson(std::ostream &os) const
+{
+    os << "{\n\"schema\": \"beacon-reqtrace-1\",\n";
+    os << "\"dropped_jobs\": " << dropped << ",\n";
+    os << "\"open_jobs\": " << open.size() << ",\n";
+    os << "\"jobs\": [";
+    bool first = true;
+    for (const JobRecord &rec : done) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "{\"job\":" << rec.job << ",\"tenant\":" << rec.tenant
+           << ",\"submit\":" << rec.submit << ",\"end\":" << rec.end
+           << ",\"latency\":" << rec.latency() << ",\"spans\":"
+           << rec.n_spans << ",\"breakdown\":{";
+        for (std::size_t k = 0; k < num_span_kinds; ++k) {
+            if (k)
+                os << ",";
+            os << "\"" << spanKindName(SpanKind(k))
+               << "\":" << rec.comp[k];
+        }
+        os << "}}";
+    }
+    os << "\n]\n}\n";
+}
+
+} // namespace beacon::obs

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Request-scoped causal trace: per-job component spans and an exact
+ * latency breakdown.
+ *
+ * RequestTrace collects, per orchestrator job, the component spans
+ * the job's causal path touched (PE compute, CXL link, switch, DRAM
+ * media) between submission and completion. At completion it runs an
+ * integer sweep-line over [submit, end] that attributes every tick
+ * to exactly one SpanKind — overlaps resolve to the highest-priority
+ * category and uncovered time counts as Queue — so the breakdown
+ * components always sum to the job's end-to-end latency exactly
+ * (pure tick arithmetic, no floats).
+ *
+ * Sharded execution: like TraceSink, every operation emitted by an
+ * in-window lane callback is staged in a per-lane buffer and applied
+ * by the barrier merge in canonical event order
+ * (LaneMergeHook::commitLaneEvent). Causality guarantees a job's
+ * End op merges after every span recorded for it (each span's
+ * emitting event canonically precedes the completion chain), so the
+ * applied state — and writeJson() output — is byte-identical to a
+ * serial run.
+ */
+
+#ifndef BEACON_OBS_REQUEST_TRACE_HH
+#define BEACON_OBS_REQUEST_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "obs/request_context.hh"
+#include "sim/event_queue.hh"
+#include "sim/sharded_event_queue.hh"
+
+namespace beacon::obs
+{
+
+/** Per-tick attribution of one finished job (see file comment). */
+struct JobRecord
+{
+    std::uint64_t job = 0;
+    std::uint32_t tenant = 0;
+    Tick submit = 0;
+    Tick end = 0;
+    /** Ticks per SpanKind; sums to end - submit exactly. */
+    std::array<Tick, num_span_kinds> comp{};
+    /** Component spans recorded before completion. */
+    std::uint32_t n_spans = 0;
+
+    Tick latency() const { return end - submit; }
+};
+
+/** Per-tenant totals over all finished jobs (report aggregation). */
+struct TenantBreakdown
+{
+    std::uint64_t jobs = 0;
+    Tick total_latency = 0;
+    std::array<Tick, num_span_kinds> comp{};
+};
+
+class RequestTrace : public LaneMergeHook
+{
+  public:
+    explicit RequestTrace(const EventQueue &eq,
+                          std::size_t max_jobs = std::size_t(1) << 20);
+
+    /** Job @p job submitted now by tenant @p tenant. */
+    void jobBegin(std::uint64_t job, std::uint32_t tenant);
+
+    /**
+     * Attribute [@p start, @p end) of job @p job to @p kind. Spans
+     * may be recorded with a future end tick (a PE span is recorded
+     * when the compute is scheduled); the sweep clips them to the
+     * job's lifetime. job 0 is ignored so call sites need no guard
+     * beyond fetching the RequestTrace pointer.
+     */
+    void recordSpan(std::uint64_t job, SpanKind kind, Tick start,
+                    Tick end);
+
+    /** Job @p job completed now: compute and store its breakdown. */
+    void jobEnd(std::uint64_t job);
+
+    /** Job @p job was rejected at admission: drop its open state. */
+    void jobReject(std::uint64_t job);
+
+    /** Finished-job records in completion (canonical) order. */
+    const std::vector<JobRecord> &records() const { return done; }
+
+    /** Jobs begun but not yet ended/rejected (0 after a full run). */
+    std::size_t openJobs() const { return open.size(); }
+
+    /** Finished jobs discarded because max_jobs was reached. */
+    std::uint64_t droppedJobs() const { return dropped; }
+
+    /** Totals for @p tenant across all recorded jobs. */
+    TenantBreakdown tenantBreakdown(std::uint32_t tenant) const;
+
+    /** Versioned JSON dump ("beacon-reqtrace-1"), completion order. */
+    void writeJson(std::ostream &os) const;
+
+    /** @name LaneMergeHook (sharded queues) @{ */
+    void prepareLanes(std::size_t lanes) override;
+    void commitLaneEvent(unsigned lane,
+                         std::uint64_t pop_idx) override;
+    /** @} */
+
+  private:
+    /** One component span attached to an open job. */
+    struct CompSpan
+    {
+        SpanKind kind = SpanKind::Queue;
+        Tick a = 0;
+        Tick b = 0;
+    };
+
+    /** An in-flight job's accumulated state. */
+    struct Open
+    {
+        std::uint32_t tenant = 0;
+        Tick submit = 0;
+        std::vector<CompSpan> spans;
+    };
+
+    /** A staged operation, tagged with its emitter's pop index. */
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            Begin,
+            Span,
+            End,
+            Reject,
+        };
+
+        std::uint64_t pop = 0;
+        Kind kind = Kind::Begin;
+        SpanKind span = SpanKind::Queue;
+        std::uint64_t job = 0;
+        std::uint32_t tenant = 0;
+        Tick a = 0;
+        Tick b = 0;
+    };
+
+    void push(const Op &op);
+    void apply(const Op &op);
+    void finishJob(std::uint64_t job, Tick end);
+
+    const EventQueue &eq;
+    std::size_t max_jobs;
+    // Canonical-order state: mutated only from quiesced contexts
+    // (serial execution, barrier merge).
+    // beacon-lint: shared-state(RequestTrace.open, merge-committed)
+    std::unordered_map<std::uint64_t, Open> open;
+    std::vector<JobRecord> done;
+    std::uint64_t dropped = 0;
+    /** Per-lane staging buffers + flush cursors (see file comment). */
+    std::vector<std::vector<Op>> staged;
+    std::vector<std::size_t> staged_cursor;
+};
+
+} // namespace beacon::obs
+
+/**
+ * Request-trace entry point for instrumented components: the
+ * RequestTrace attached to an EventQueue, or a compile-time nullptr
+ * when BEACON_OBS is off.
+ */
+#if BEACON_OBS_ENABLED
+#define BEACON_REQUEST_TRACE(eq) ((eq).requestTrace())
+#else
+#define BEACON_REQUEST_TRACE(eq) \
+    (static_cast<::beacon::obs::RequestTrace *>(nullptr))
+#endif
+
+#endif // BEACON_OBS_REQUEST_TRACE_HH

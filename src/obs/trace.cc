@@ -185,6 +185,37 @@ TraceSink::instantWithId(TrackId track, const char *name,
 }
 
 void
+TraceSink::instantReason(TrackId track, const char *name,
+                         std::uint64_t id, const char *reason)
+{
+    TraceEvent ev;
+    ev.phase = 'i';
+    ev.track = track;
+    ev.name = name;
+    ev.start = now();
+    ev.id = id;
+    ev.has_id = true;
+    ev.arg = reason;
+    push(ev);
+}
+
+void
+TraceSink::flow(TrackId track, const char *name, std::uint64_t id,
+                char phase)
+{
+    BEACON_DCHECK(phase == 's' || phase == 't' || phase == 'f',
+                  "flow phase must be s/t/f");
+    TraceEvent ev;
+    ev.phase = phase;
+    ev.track = track;
+    ev.name = name;
+    ev.start = now();
+    ev.id = id;
+    ev.has_id = true;
+    push(ev);
+}
+
+void
 TraceSink::counter(TrackId track, const char *name, double value)
 {
     TraceEvent ev;
@@ -239,15 +270,35 @@ TraceSink::writeJson(std::ostream &os) const
         sep() << "{\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":"
               << (ev.track + 1) << ",\"ts\":" << ticksToUs(ev.start)
               << ",\"name\":\"" << escape(ev.name) << "\"";
+        const bool is_flow =
+            ev.phase == 's' || ev.phase == 't' || ev.phase == 'f';
         if (ev.phase == 'X')
             os << ",\"dur\":" << ticksToUs(ev.dur);
         if (ev.phase == 'i')
             os << ",\"s\":\"t\"";
+        if (is_flow) {
+            // Flow events carry a top-level id; 't'/'f' bind to the
+            // enclosing slice ("bp":"e") so one job's arrows chain
+            // host -> switch -> DIMM -> PE -> completion.
+            os << ",\"cat\":\"flow\",\"id\":" << ev.id;
+            if (ev.phase != 's')
+                os << ",\"bp\":\"e\"";
+        }
         if (ev.phase == 'C') {
             os << ",\"args\":{\"value\":" << jsonNumber(ev.value)
                << "}";
-        } else if (ev.has_id) {
-            os << ",\"args\":{\"id\":" << ev.id << "}";
+        } else if ((ev.has_id && !is_flow) || ev.arg) {
+            os << ",\"args\":{";
+            bool first_arg = true;
+            if (ev.has_id && !is_flow) {
+                os << "\"id\":" << ev.id;
+                first_arg = false;
+            }
+            if (ev.arg) {
+                os << (first_arg ? "" : ",") << "\"reason\":\""
+                   << escape(ev.arg) << "\"";
+            }
+            os << "}";
         }
         os << "}";
     }

@@ -41,9 +41,11 @@ struct TraceEvent
     double value = 0;           // counter events
     std::uint64_t id = 0;       // optional correlation id
     TrackId track = 0;
-    char phase = 'X';           // 'X' complete, 'i' instant, 'C' counter
+    /** 'X' complete, 'i' instant, 'C' counter, 's'/'t'/'f' flow. */
+    char phase = 'X';
     bool has_id = false;
     const char *name = "";      // must point at static storage
+    const char *arg = nullptr;  // optional reason; static storage
 };
 
 /**
@@ -88,6 +90,23 @@ class TraceSink : public LaneMergeHook
     /** Instant event with a correlation id. */
     void instantWithId(TrackId track, const char *name,
                        std::uint64_t id);
+
+    /**
+     * Instant event with an id and a reason string rendered into
+     * args ("reject" admission decisions). @p reason must point at
+     * static storage, like event names.
+     */
+    void instantReason(TrackId track, const char *name,
+                       std::uint64_t id, const char *reason);
+
+    /**
+     * Flow event at the current tick: @p phase is 's' (start), 't'
+     * (step) or 'f' (end). Events sharing @p id — one job's causal
+     * path — are drawn as linked arrows between the enclosing slices
+     * in Perfetto/chrome://tracing.
+     */
+    void flow(TrackId track, const char *name, std::uint64_t id,
+              char phase);
 
     /** Counter ('C') sample at the current tick. */
     void counter(TrackId track, const char *name, double value);

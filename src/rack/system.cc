@@ -113,9 +113,9 @@ RackSystem::RackSystem(const RackParams &params)
         op.scheduler = p.scheduler;
         op.seed = p.seed;
         op.tenant_id_base = h * tenant_stride;
-        op.ingress = [this, h](TenantId tenant,
+        op.ingress = [this, h](TenantId tenant, std::uint64_t job,
                                std::function<void()> cont) {
-            beginIngress(h, tenant, std::move(cont));
+            beginIngress(h, tenant, job, std::move(cont));
         };
         hosts_.push_back(
             std::make_unique<PoolOrchestrator>(*sys, op));
@@ -250,13 +250,15 @@ RackSystem::addTenant(unsigned host, const TenantSpec &spec)
 
 void
 RackSystem::beginIngress(unsigned host, TenantId tenant,
+                         std::uint64_t job,
                          std::function<void()> cont)
 {
     if (paused_) {
         // Hot-plug in progress: replayed in arrival order on resume.
         paused_ingress_.push_back(
-            [this, host, tenant, cont = std::move(cont)]() mutable {
-                beginIngress(host, tenant, std::move(cont));
+            [this, host, tenant, job,
+             cont = std::move(cont)]() mutable {
+                beginIngress(host, tenant, job, std::move(cont));
             });
         return;
     }
@@ -264,6 +266,7 @@ RackSystem::beginIngress(unsigned host, TenantId tenant,
     auto st = std::make_shared<IngressState>();
     st->host = host;
     st->tenant = tenant;
+    st->job = job;
     st->cont = std::move(cont);
     if (p.ingress_bytes_per_job.value() == 0) {
         segmentPhase(st);
@@ -295,21 +298,22 @@ RackSystem::scatterHdm(const std::shared_ptr<IngressState> &st)
             const unsigned dimm = piece.target;
             const ResolvedAccess acc =
                 rackAccess(dimm, piece.dpa, piece_bytes);
-            fabric->sendTagged(
+            fabric->sendCtx(
                 NodeId::hostNode(st->host), sys->dimmNodeId(dimm),
-                piece_bytes, false, st->tenant,
+                piece_bytes, false, st->tenant, st->job,
                 [this, st, dimm, acc](Tick) {
                     // Expander's lane: commit, then ack the host.
                     sys->dimmDram(
                         dimm, acc, true, [this, st, dimm](Tick) {
-                            fabric->sendTagged(
+                            fabric->sendCtx(
                                 sys->dimmNodeId(dimm),
                                 NodeId::hostNode(st->host),
                                 Bytes{8}, false, st->tenant,
+                                st->job,
                                 [this, st](Tick) {
                                     hdmPieceDone(st);
                                 });
-                        });
+                        }, st->job);
                 });
         });
     BEACON_ASSERT(st->pending > 0,

@@ -181,6 +181,7 @@ class RackSystem
     {
         unsigned host = 0;
         TenantId tenant;
+        std::uint64_t job = 0; //!< orchestrator job id (0 = none)
         unsigned pending = 0;
         std::size_t seg = 0;
         std::function<void()> cont;
@@ -208,6 +209,7 @@ class RackSystem
 
     // --- ingress pipeline (lane 0 unless noted) ---
     void beginIngress(unsigned host, TenantId tenant,
+                      std::uint64_t job,
                       std::function<void()> cont);
     void scatterHdm(const std::shared_ptr<IngressState> &st);
     void hdmPieceDone(const std::shared_ptr<IngressState> &st);

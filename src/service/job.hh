@@ -65,6 +65,13 @@ struct TenantSpec
      * releases at job completion; zero disables per-job gating.
      */
     Bytes scratch_bytes_per_job;
+    /**
+     * Latency SLO target for one job, in milliseconds; 0 disables
+     * SLO accounting for the tenant. Jobs completing above the
+     * target count as breaches in the live SLO monitor
+     * (obs::SloMonitor) and the per-tenant burn-rate series.
+     */
+    double slo_ms = 0;
     ArrivalProcess arrival;
 };
 
@@ -75,18 +82,21 @@ struct TenantSpec
 class TenantTask : public Task
 {
   public:
-    TenantTask(TaskPtr inner_task, TenantId tenant)
-        : inner(std::move(inner_task)), tid(tenant)
+    TenantTask(TaskPtr inner_task, TenantId tenant,
+               std::uint64_t job = 0)
+        : inner(std::move(inner_task)), tid(tenant), job_id(job)
     {
     }
 
     EngineKind engine() const override { return inner->engine(); }
     TaskStep next() override { return inner->next(); }
     TenantId tenant() const override { return tid; }
+    std::uint64_t jobId() const override { return job_id; }
 
   private:
     TaskPtr inner;
     TenantId tid;
+    std::uint64_t job_id;
 };
 
 } // namespace beacon

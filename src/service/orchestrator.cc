@@ -5,7 +5,9 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/request_trace.hh"
 #include "obs/sampler.hh"
+#include "obs/slo.hh"
 
 namespace beacon
 {
@@ -40,7 +42,9 @@ meanMs(const std::vector<Tick> &samples)
 PoolOrchestrator::PoolOrchestrator(NdpSystem &sys,
                                    const OrchestratorParams &params)
     : system(sys), p(params), scheduler(makeScheduler(p.scheduler)),
-      trace(BEACON_TRACE_SINK(sys.eventQueue()))
+      trace(BEACON_TRACE_SINK(sys.eventQueue())),
+      reqtrace(BEACON_REQUEST_TRACE(sys.eventQueue())),
+      slo(sys.obsSlo())
 {
 }
 
@@ -105,6 +109,11 @@ PoolOrchestrator::addTenant(const TenantSpec &spec)
         "service." + tag + ".jobLatencyMs");
     if (trace)
         state.track = trace->track(tag);
+    if (slo) {
+        // ms -> ps; slo_ms == 0 keeps target 0 (never breaches).
+        state.slo_idx = slo->addTenant(
+            request.app, Tick(spec.slo_ms * 1e9));
+    }
     tenants.push_back(std::move(state));
     return id;
 }
@@ -163,12 +172,14 @@ PoolOrchestrator::submitJob(TenantState &tenant)
         job->span = obs::TraceSpan(
             trace, tenant.slot_tracks[job->slot], "job", job->id);
     }
+    if (reqtrace)
+        reqtrace->jobBegin(job->id, tenant.id.value());
 
     if (p.ingress) {
         // Admission waits for the host's ingress transfer. The job
         // already counts as outstanding, so the drive loop's window
         // bound holds while the transfer is in flight.
-        p.ingress(tenant.id, [this, id = tenant.id, job] {
+        p.ingress(tenant.id, job->id, [this, id = tenant.id, job] {
             completeSubmission(id, job);
             dispatch();
         });
@@ -198,10 +209,16 @@ PoolOrchestrator::completeSubmission(TenantId tenant_id,
         ++tenant.jobs_rejected;
         --jobs_outstanding;
         if (trace) {
-            // Rejected jobs never ran: no span, free the slot.
+            // Rejected jobs never ran: no span, free the slot, but
+            // leave an instant carrying the rejection reason so the
+            // job does not vanish from the trace silently.
+            trace->instantReason(tenant.track, "reject", job->id,
+                                 "scratch quota infeasible");
             job->span.abandon();
             tenant.slot_busy[job->slot] = 0;
         }
+        if (reqtrace)
+            reqtrace->jobReject(job->id);
     }
 }
 
@@ -290,9 +307,15 @@ PoolOrchestrator::dispatch()
             tenant.queue_waits.push_back(
                 ready.job->first_dispatch_tick -
                 ready.job->submit_tick);
-            if (trace)
+            if (trace) {
                 trace->instantWithId(tenant.track, "dispatch",
                                      ready.job->id);
+                // Flow start: binds to the open "job" slice on the
+                // slot track; DRAM/PE steps ('t') and the completion
+                // ('f') continue the arrow chain.
+                trace->flow(tenant.slot_tracks[ready.job->slot],
+                            "job", ready.job->id, 's');
+            }
         }
         if (trace)
             trace->counter(tenant.track, "ready",
@@ -302,7 +325,8 @@ PoolOrchestrator::dispatch()
         ctx.kmc_single_pass = true; // multi-pass is single-tenant only
         ctx.pass = 0;
         auto task = std::make_unique<TenantTask>(
-            wl.makeTask(ready.workload_index, ctx), picked_id);
+            wl.makeTask(ready.workload_index, ctx), picked_id,
+            ready.job->id);
         const bool served = system.serveTask(
             std::move(task),
             [this, id = picked_id, job = ready.job] {
@@ -324,13 +348,20 @@ PoolOrchestrator::onTaskDone(TenantId tenant_id,
 
     // Job complete.
     const Tick now = system.eventQueue().now();
-    tenant.job_latencies.push_back(now - job->submit_tick);
-    tenant.latency_ms_stat->sample(double(now - job->submit_tick) *
-                                   1e-9);
+    const Tick latency = now - job->submit_tick;
+    tenant.job_latencies.push_back(latency);
+    tenant.latency_ms_stat->sample(double(latency) * 1e-9);
     if (trace) {
+        // Flow finish lands on the still-open job slice.
+        trace->flow(tenant.slot_tracks[job->slot], "job", job->id,
+                    'f');
         job->span.close();
         tenant.slot_busy[job->slot] = 0;
     }
+    if (reqtrace)
+        reqtrace->jobEnd(job->id);
+    if (slo)
+        slo->record(tenant.slo_idx, latency);
     ++tenant.jobs_completed;
     --jobs_outstanding;
     if (!job->scratch_app.empty())
@@ -369,6 +400,30 @@ PoolOrchestrator::start()
                               [stat = tenant.latency_ms_stat] {
                                   return stat->percentile(0.99);
                               });
+            if (slo) {
+                // Windowed SLO series from the live monitor. Window
+                // rolls and sampler ticks are both barrier-lane
+                // EventCat::Sampler events, so the values read here
+                // are quiesced and canonically ordered — the series
+                // is byte-identical across shard counts.
+                const unsigned si = tenant.slo_idx;
+                // beacon-lint: shared-state(Sampler.addLevel, direct-mutation)
+                sampler->addLevel(
+                    tag + ".slo_p50_ms", [this, si] {
+                        return double(slo->lastWindow(si).p50) *
+                               1e-9;
+                    });
+                // beacon-lint: shared-state(Sampler.addLevel, direct-mutation)
+                sampler->addLevel(
+                    tag + ".slo_p99_ms", [this, si] {
+                        return double(slo->lastWindow(si).p99) *
+                               1e-9;
+                    });
+                // beacon-lint: shared-state(Sampler.addLevel, direct-mutation)
+                sampler->addLevel(tag + ".slo_burn", [this, si] {
+                    return slo->burnRate(si);
+                });
+            }
         }
     }
 
@@ -491,6 +546,11 @@ PoolOrchestrator::collectReport(const RunResult &machine)
     ServiceReport report;
     report.machine = machine;
 
+    // Close the final partial SLO window so lifetime totals cover
+    // every completed job (idempotent; the run has ended).
+    if (slo)
+        slo->finish();
+
     // Machine-wide denominators for the energy split.
     const StatRegistry &reg = system.stats();
     double total_pe = 0;
@@ -550,6 +610,26 @@ PoolOrchestrator::collectReport(const RunResult &machine)
             out.energy_pj +=
                 energy.dram_pj *
                 (double(out.dram_bytes.value()) / total_dram);
+        }
+
+        if (reqtrace) {
+            const obs::TenantBreakdown bd =
+                reqtrace->tenantBreakdown(tenant.id.value());
+            out.has_breakdown = true;
+            out.breakdown_jobs = bd.jobs;
+            out.breakdown_total_ticks = bd.total_latency;
+            for (std::size_t k = 0; k < obs::num_span_kinds; ++k)
+                out.breakdown_ticks[k] = bd.comp[k];
+        }
+        if (slo) {
+            out.has_slo = true;
+            out.slo_jobs = slo->totalJobs(tenant.slo_idx);
+            out.slo_breaches = slo->totalBreaches(tenant.slo_idx);
+            out.slo_burn =
+                out.slo_jobs ? double(out.slo_breaches) /
+                                   double(out.slo_jobs)
+                             : 0;
+            out.slo_window_burn = slo->burnRate(tenant.slo_idx);
         }
         report.tenants.push_back(std::move(out));
     }

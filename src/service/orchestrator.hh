@@ -28,6 +28,7 @@
 #ifndef BEACON_SERVICE_ORCHESTRATOR_HH
 #define BEACON_SERVICE_ORCHESTRATOR_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -36,12 +37,19 @@
 #include <vector>
 
 #include "accel/system.hh"
+#include "obs/request_context.hh"
 #include "obs/trace.hh"
 #include "service/job.hh"
 #include "service/scheduler.hh"
 
 namespace beacon
 {
+
+namespace obs
+{
+class RequestTrace;
+class SloMonitor;
+} // namespace obs
 
 /** Orchestrator configuration. */
 struct OrchestratorParams
@@ -64,11 +72,15 @@ struct OrchestratorParams
      * outstanding from submission, and its queue wait includes the
      * ingress delay. Rack hosts use this to stream each job's input
      * over their rack uplink and scatter it through the HDM decoder
-     * before the job becomes runnable. The continuation must be
-     * called exactly once, from an event-queue callback on the
-     * default (lane-0) shard.
+     * before the job becomes runnable; the job id (second argument)
+     * lets the transfer carry the request context for hop-level
+     * trace attribution. The continuation must be called exactly
+     * once, from an event-queue callback on the default (lane-0)
+     * shard.
      */
-    std::function<void(TenantId, std::function<void()>)> ingress;
+    std::function<void(TenantId, std::uint64_t,
+                       std::function<void()>)>
+        ingress;
 };
 
 /** Per-tenant outcome of a service run. */
@@ -93,6 +105,25 @@ struct TenantReport
     /** Energy share: each component split by the tenant's fraction
      *  of PE busy time / fabric bytes / DRAM bytes. */
     Picojoules energy_pj;
+    /**
+     * Request-scoped latency breakdown, summed over the tenant's
+     * completed jobs (obs::RequestTrace; only filled — has_breakdown
+     * — when request tracing was on). Component ticks sum exactly to
+     * breakdown_total_ticks, which is the sum of end-to-end job
+     * latencies in ticks.
+     */
+    bool has_breakdown = false;
+    std::uint64_t breakdown_jobs = 0;
+    Tick breakdown_total_ticks = 0;
+    std::array<Tick, obs::num_span_kinds> breakdown_ticks{};
+    /** Live SLO accounting (obs::SloMonitor; has_slo gates). */
+    bool has_slo = false;
+    std::uint64_t slo_jobs = 0;
+    std::uint64_t slo_breaches = 0;
+    /** Lifetime breach fraction (breaches / jobs, 0 when idle). */
+    double slo_burn = 0;
+    /** Last closed window's breach fraction (the live burn rate). */
+    double slo_window_burn = 0;
 };
 
 /** Whole-run outcome: the machine plus every tenant. */
@@ -221,6 +252,8 @@ class PoolOrchestrator
         obs::TrackId track = 0;
         std::vector<char> slot_busy;
         std::vector<obs::TrackId> slot_tracks;
+        /** Tenant index in the machine's SLO monitor (slo != null). */
+        unsigned slo_idx = 0;
     };
 
     /** Submit one job of @p tenant at the current tick. */
@@ -257,7 +290,9 @@ class PoolOrchestrator
     std::vector<TenantState> tenants;
     std::string last_error;
     std::uint64_t next_seq = 0;
-    std::uint64_t next_job_id = 0;
+    /** Job ids start at 1; 0 is the "no request context" sentinel
+     *  carried by untenanted traffic (obs::RequestContext). */
+    std::uint64_t next_job_id = 1;
     std::uint64_t jobs_outstanding = 0;
     std::uint64_t target_jobs = 0;
     /**
@@ -273,6 +308,10 @@ class PoolOrchestrator
     std::unique_ptr<Scheduler> scheduler;
     /** Machine's trace sink (null when tracing is off). */
     obs::TraceSink *trace = nullptr;
+    /** Machine's request trace (null when request tracing is off). */
+    obs::RequestTrace *reqtrace = nullptr;
+    /** Machine's live SLO monitor (null when no SLO window set). */
+    obs::SloMonitor *slo = nullptr;
 };
 
 } // namespace beacon

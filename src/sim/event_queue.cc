@@ -71,6 +71,8 @@ EventQueue::runOne()
         callbacks.erase(it);
         live.erase(top.id);
         ++executed;
+        if (flight)
+            flight->note(0, top.when, top.cat);
         if (profiler) {
             profiler->beginEvent(top.cat, top.when);
             cb();

@@ -25,7 +25,9 @@ namespace beacon
 
 namespace obs
 {
-class TraceSink; // src/obs — the sim layer only carries a pointer.
+// src/obs — the sim layer only carries pointers.
+class TraceSink;
+class RequestTrace;
 } // namespace obs
 
 class ShardedEventQueue; // src/sim/sharded_event_queue.hh
@@ -105,6 +107,32 @@ class EventProfiler
     {
         return nullptr;
     }
+};
+
+/**
+ * Always-on-cheap recorder fed immediately before every executed
+ * callback — the flight-recorder half of the sim layer, mirroring
+ * the EventProfiler/LaneMergeHook pattern: the interface lives here,
+ * the one implementation (obs::FlightRecorder) in src/obs.
+ *
+ * Ring assignment: ring == the executing lane index; a serial queue
+ * uses ring 0 only, a sharded queue uses [0, lanes] with ring ==
+ * lanes() for the barrier lane. note() is called with the ring's
+ * lane as single writer (serial and barrier execution run on the
+ * coordinator while workers are quiesced), so implementations need
+ * no locks on the record path. Feeding happens *before* the callback
+ * runs so the event that dies mid-callback is in the dump.
+ */
+class EventRecorder
+{
+  public:
+    virtual ~EventRecorder() = default;
+
+    /** Allocate @p rings rings before the first note(). */
+    virtual void prepare(std::size_t rings) = 0;
+
+    /** Event about to execute on @p ring at @p when. */
+    virtual void note(std::size_t ring, Tick when, EventCat cat) = 0;
 };
 
 /**
@@ -251,6 +279,9 @@ class EventQueue
     /** Armed by ShardedEventQueue::setLaneGuard; never on serial. */
     bool lane_guard_armed = false;
 
+    /** Flight recorder (shared with ShardedEventQueue); not owned. */
+    EventRecorder *flight = nullptr;
+
     /** Sharded-queue half of checkLaneTouch (see above). */
     virtual void laneTouchSlow(std::uint32_t /*home_hint*/,
                                const char * /*what*/) const
@@ -267,6 +298,32 @@ class EventQueue
 
     /** Trace sink for this queue, or nullptr when tracing is off. */
     obs::TraceSink *traceSink() const { return trace_sink; }
+
+    /**
+     * Attach (or clear) the request trace components consult to
+     * record per-job component spans. Not owned; a null pointer
+     * means "request tracing off".
+     */
+    void setRequestTrace(obs::RequestTrace *rt) { request_trace = rt; }
+
+    /** Request trace for this queue, or nullptr when off. */
+    obs::RequestTrace *requestTrace() const { return request_trace; }
+
+    /**
+     * Attach (or clear) the flight recorder fed before every
+     * executed callback. Not owned. The base queue prepares one
+     * ring; the sharded queue overrides to prepare lanes + 1.
+     */
+    virtual void
+    setFlightRecorder(EventRecorder *recorder)
+    {
+        flight = recorder;
+        if (flight)
+            flight->prepare(1);
+    }
+
+    /** Flight recorder for this queue, or nullptr when off. */
+    EventRecorder *flightRecorder() const { return flight; }
 
   private:
     struct Entry
@@ -294,6 +351,7 @@ class EventQueue
     bool has_executed = false;
     EventProfiler *profiler = nullptr;
     obs::TraceSink *trace_sink = nullptr;
+    obs::RequestTrace *request_trace = nullptr;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
     std::unordered_set<EventId> live;
     // Callbacks stored separately so Entry stays cheap to copy.

@@ -411,6 +411,8 @@ ShardedEventQueue::execSerial(unsigned lane_idx, Entry top, Callback cb)
     const std::uint64_t g_exec = g_counter++;
     _now = top.when;
     ++executed;
+    if (flight)
+        flight->note(lane_idx, top.when, top.cat);
 
     ShardExecContext ctx;
     ctx.queue = this;
@@ -534,6 +536,8 @@ ShardedEventQueue::laneSegment(unsigned lane_idx, Tick w_end,
         ctx.now = top.when;
         ctx.pop = lane.exec_count;
         ctx.next_call = 0;
+        if (flight)
+            flight->note(lane_idx, top.when, top.cat);
         if (lane_prof) {
             lane_prof->beginEvent(top.cat, top.when);
             cb();

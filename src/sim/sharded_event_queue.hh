@@ -203,6 +203,16 @@ class ShardedEventQueue final : public EventQueue
     void setProfiler(EventProfiler *p) override;
     ShardedEventQueue *sharded() override { return this; }
 
+    /** Rings: one per worker lane plus the barrier lane (= lanes()),
+     *  matching the lane_idx each exec path passes to note(). */
+    void
+    setFlightRecorder(EventRecorder *recorder) override
+    {
+        flight = recorder;
+        if (flight)
+            flight->prepare(lane_store.size() + 1);
+    }
+
     // ------------------------------------------------------------
     // Windowed driver interface
     // ------------------------------------------------------------

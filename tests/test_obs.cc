@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,8 +18,10 @@
 #include "accel/system.hh"
 #include "accel/workload.hh"
 #include "obs/observability.hh"
+#include "obs/request_trace.hh"
 #include "obs/sampler.hh"
 #include "obs/self_profile.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 #include "service/orchestrator.hh"
 
@@ -470,6 +474,356 @@ TEST(Observability, ServiceRunTracesTenants)
     EXPECT_FALSE(o->sampler()->rows().empty());
     EXPECT_TRUE(o->selfProfiling());
     EXPECT_GT(o->selfProfile().events, 0u);
+}
+
+// ---------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------
+
+/** The histogram's exact answer for quantile @p q of @p sorted:
+ *  the bucket upper bound of the ceil-rank order statistic
+ *  (rank = max(1, ceil(q/100 * n)), 1-based, integer arithmetic —
+ *  the documented sim/stats.hh quantileSorted rule). */
+std::uint64_t
+histogramOracle(const std::vector<std::uint64_t> &sorted, unsigned q)
+{
+    const std::uint64_t n = sorted.size();
+    std::uint64_t rank = (std::uint64_t(q) * n + 99) / 100;
+    if (rank == 0)
+        rank = 1;
+    return obs::LogHistogram::bucketUpper(
+        obs::LogHistogram::bucketIndex(sorted[rank - 1]));
+}
+
+TEST(LogHistogram, PercentileMatchesSortedOracleUnderFuzz)
+{
+    // Deterministic xorshift64 stream; no wall-clock seeding.
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+    const auto next = [&s] {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    };
+    for (int round = 0; round < 25; ++round) {
+        obs::LogHistogram hist;
+        std::vector<std::uint64_t> values;
+        const std::size_t n = 1 + next() % 1500;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mixed magnitudes: exact small buckets, mid-range
+            // latencies, and near-full-width outliers.
+            std::uint64_t v = next();
+            switch (next() % 4) {
+              case 0: v %= 16; break;
+              case 1: v %= 100000; break;
+              case 2: v %= (std::uint64_t(1) << 40); break;
+              default: break;
+            }
+            values.push_back(v);
+            hist.add(v);
+        }
+        std::sort(values.begin(), values.end());
+        ASSERT_EQ(hist.count(), values.size());
+        for (unsigned q : {0u, 1u, 25u, 50u, 90u, 99u, 100u})
+            EXPECT_EQ(hist.percentile(q), histogramOracle(values, q))
+                << "round " << round << " q " << q << " n " << n;
+        // Monotonicity of the bucket mapping: upper bound of the
+        // bucket always covers the value it was derived from.
+        for (std::uint64_t v : values)
+            EXPECT_GE(obs::LogHistogram::bucketUpper(
+                          obs::LogHistogram::bucketIndex(v)),
+                      v);
+    }
+}
+
+TEST(LogHistogram, MergeEqualsHistogramOfConcatenation)
+{
+    std::uint64_t s = 0xBEACC0DEDEADBEEFull;
+    const auto next = [&s] {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    };
+    for (int round = 0; round < 10; ++round) {
+        obs::LogHistogram a, b, whole;
+        std::vector<std::uint64_t> values;
+        const std::size_t n = 2 + next() % 800;
+        const std::size_t split = 1 + next() % (n - 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t v =
+                next() % (std::uint64_t(1) << (8 + next() % 40));
+            values.push_back(v);
+            whole.add(v);
+            (i < split ? a : b).add(v);
+        }
+        a.merge(b);
+        ASSERT_EQ(a.count(), whole.count());
+        EXPECT_EQ(a.buckets(), whole.buckets());
+        std::sort(values.begin(), values.end());
+        for (unsigned q : {1u, 50u, 99u}) {
+            EXPECT_EQ(a.percentile(q), whole.percentile(q));
+            EXPECT_EQ(a.percentile(q), histogramOracle(values, q));
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// SloMonitor
+// ---------------------------------------------------------------
+
+TEST(SloMonitor, WindowedStatsAndBurnRate)
+{
+    EventQueue eq;
+    obs::SloMonitor slo(eq, 1000); // 1 ns windows
+    const unsigned fast = slo.addTenant("fast", 100);
+    const unsigned slow = slo.addTenant("slow", 0); // no target
+    slo.start();
+
+    // Window 1: two fast-tenant jobs, one breaching.
+    eq.schedule(200, [&] { slo.record(fast, 50); });
+    eq.schedule(600, [&] { slo.record(fast, 250); });
+    // Window 2: one clean job per tenant.
+    eq.schedule(1500, [&] {
+        slo.record(fast, 80);
+        slo.record(slow, 1u << 20); // huge but untargeted
+    });
+    eq.run(2500);
+    // Two full windows rolled (at 1000 and 2000).
+    EXPECT_EQ(slo.windowsClosed(), 2u);
+    EXPECT_EQ(slo.lastWindow(fast).jobs, 1u);
+    EXPECT_EQ(slo.lastWindow(fast).breaches, 0u);
+    EXPECT_DOUBLE_EQ(slo.burnRate(fast), 0.0);
+    // The last-window percentile is the bucket-quantised latency.
+    EXPECT_EQ(slo.lastWindow(fast).p99,
+              obs::LogHistogram::bucketUpper(
+                  obs::LogHistogram::bucketIndex(80)));
+    EXPECT_EQ(slo.totalJobs(fast), 3u);
+    EXPECT_EQ(slo.totalBreaches(fast), 1u);
+    EXPECT_EQ(slo.totalBreaches(slow), 0u);
+
+    // A partial window with one breach, closed by finish(). The
+    // run is bounded: the monitor's self-reschedule never drains.
+    eq.schedule(2600, [&] { slo.record(fast, 500); });
+    eq.run(2900);
+    slo.finish();
+    slo.finish(); // idempotent
+    EXPECT_EQ(slo.windowsClosed(), 3u);
+    EXPECT_EQ(slo.lastWindow(fast).jobs, 1u);
+    EXPECT_EQ(slo.lastWindow(fast).breaches, 1u);
+    EXPECT_DOUBLE_EQ(slo.burnRate(fast), 1.0);
+    EXPECT_EQ(slo.totalJobs(fast), 4u);
+    EXPECT_EQ(slo.totalBreaches(fast), 2u);
+    // No lingering self-reschedule event.
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Request-scoped tracing (span trees, breakdown, byte-identity)
+// ---------------------------------------------------------------
+
+obs::ObsConfig
+requestConfig()
+{
+    obs::ObsConfig cfg;
+    cfg.trace = true;
+    cfg.request_trace = true;
+    cfg.slo_window = 1000000;     // 1 us
+    cfg.sample_interval = 1000000; // 1 us
+    return cfg;
+}
+
+/** A small two-tenant service run; returns the live system through
+ *  @p run so callers can inspect telemetry before teardown. */
+ServiceReport
+runServiceWithRequests(const DesParams &des,
+                       const Workload &workload,
+                       const std::function<void(NdpSystem &)> &inspect)
+{
+    SystemParams params = SystemParams::beaconD();
+    params.name = "BEACON-D (service)";
+    params.pes_per_module = 4;
+    params.max_inflight_tasks = 2;
+    params.checkers = CheckerConfig{};
+    params.obs = requestConfig();
+    params.des = des;
+    NdpSystem system(params);
+
+    OrchestratorParams op;
+    op.seed = 0xBEACC0DEull;
+    PoolOrchestrator orchestrator(system, op);
+    TenantSpec spec;
+    spec.name = "bulk";
+    spec.workload = &workload;
+    spec.num_jobs = 3;
+    spec.tasks_per_job = 2;
+    spec.arrival.concurrency = 2;
+    spec.slo_ms = 1e-3; // 1 us target in ms: some jobs breach
+    EXPECT_NE(orchestrator.addTenant(spec), untenanted_id)
+        << orchestrator.lastError();
+    TenantSpec quick = spec;
+    quick.name = "quick";
+    quick.num_jobs = 2;
+    quick.tasks_per_job = 1;
+    quick.arrival.concurrency = 1;
+    EXPECT_NE(orchestrator.addTenant(quick), untenanted_id)
+        << orchestrator.lastError();
+    const ServiceReport report = orchestrator.run();
+    inspect(system);
+    return report;
+}
+
+TEST(RequestTrace, SpanTreeIsWellFormedAndBreakdownSumsExactly)
+{
+#if !BEACON_OBS_ENABLED
+    GTEST_SKIP() << "telemetry compiled out (BEACON_OBS=OFF)";
+#endif
+    const FmSeedingWorkload workload(smallPreset());
+    const ServiceReport report = runServiceWithRequests(
+        DesParams{}, workload, [&](NdpSystem &system) {
+            obs::Observability *o = system.observability();
+            ASSERT_NE(o, nullptr);
+            o->finish();
+            obs::RequestTrace *rt = o->requestTrace();
+            ASSERT_NE(rt, nullptr);
+
+            // Every begun job ended; none were dropped.
+            EXPECT_EQ(rt->openJobs(), 0u);
+            EXPECT_EQ(rt->droppedJobs(), 0u);
+            ASSERT_EQ(rt->records().size(), 5u); // 3 bulk + 2 quick
+
+            std::uint64_t prev_end = 0;
+            for (const obs::JobRecord &rec : rt->records()) {
+                SCOPED_TRACE("job " + std::to_string(rec.job));
+                EXPECT_GT(rec.job, 0u);
+                EXPECT_GE(rec.end, rec.submit);
+                // Records are stored in completion order.
+                EXPECT_GE(rec.end, prev_end);
+                prev_end = rec.end;
+                // A job that ran work has component spans, and the
+                // sweep attributed every tick exactly once: the
+                // components sum to end-to-end latency, in ticks.
+                EXPECT_GT(rec.n_spans, 0u);
+                Tick sum = 0;
+                for (const Tick c : rec.comp)
+                    sum += c;
+                EXPECT_EQ(sum, rec.latency());
+            }
+
+            // The per-tenant aggregation equals the per-job records.
+            for (std::uint32_t tenant : {1u, 2u}) {
+                const obs::TenantBreakdown agg =
+                    rt->tenantBreakdown(tenant);
+                std::uint64_t jobs = 0;
+                Tick latency = 0;
+                std::array<Tick, obs::num_span_kinds> comp{};
+                for (const obs::JobRecord &rec : rt->records()) {
+                    if (rec.tenant != tenant)
+                        continue;
+                    ++jobs;
+                    latency += rec.latency();
+                    for (std::size_t k = 0; k < comp.size(); ++k)
+                        comp[k] += rec.comp[k];
+                }
+                EXPECT_EQ(agg.jobs, jobs);
+                EXPECT_EQ(agg.total_latency, latency);
+                EXPECT_EQ(agg.comp, comp);
+            }
+
+            // Flow events: one 's' (dispatch) and one 'f'
+            // (completion) per job, with PE/DRAM 't' steps between,
+            // every flow id a real job id.
+            std::size_t n_s = 0, n_t = 0, n_f = 0;
+            for (const obs::TraceEvent &ev : o->trace()->snapshot()) {
+                if (ev.phase != 's' && ev.phase != 't' &&
+                    ev.phase != 'f')
+                    continue;
+                EXPECT_TRUE(ev.has_id);
+                EXPECT_GE(ev.id, 1u);
+                EXPECT_LE(ev.id, 5u);
+                n_s += ev.phase == 's';
+                n_t += ev.phase == 't';
+                n_f += ev.phase == 'f';
+            }
+            EXPECT_EQ(n_s, 5u);
+            EXPECT_EQ(n_f, 5u);
+            EXPECT_GT(n_t, 0u);
+
+            // The reqtrace JSON is balanced and versioned.
+            std::ostringstream os;
+            rt->writeJson(os);
+            expectBalancedJson(os.str());
+            EXPECT_NE(os.str().find("\"beacon-reqtrace-1\""),
+                      std::string::npos);
+
+            // SLO monitor saw every completion.
+            obs::SloMonitor *slo = o->slo();
+            ASSERT_NE(slo, nullptr);
+            ASSERT_EQ(slo->numTenants(), 2u);
+            EXPECT_EQ(slo->totalJobs(0) + slo->totalJobs(1), 5u);
+        });
+    // The orchestrator report carries the same aggregates.
+    ASSERT_EQ(report.tenants.size(), 2u);
+    for (const TenantReport &tenant : report.tenants) {
+        EXPECT_TRUE(tenant.has_breakdown);
+        EXPECT_TRUE(tenant.has_slo);
+        EXPECT_EQ(tenant.breakdown_jobs, tenant.jobs_completed);
+        Tick sum = 0;
+        for (const Tick c : tenant.breakdown_ticks)
+            sum += c;
+        EXPECT_EQ(sum, tenant.breakdown_total_ticks);
+        EXPECT_EQ(tenant.slo_jobs, tenant.jobs_completed);
+    }
+}
+
+TEST(RequestTrace, ShardedRequestTelemetryIsByteIdentical)
+{
+#if !BEACON_OBS_ENABLED
+    GTEST_SKIP() << "telemetry compiled out (BEACON_OBS=OFF)";
+#endif
+    const FmSeedingWorkload workload(smallPreset());
+
+    struct Artifacts
+    {
+        std::string reqtrace;
+        std::string timeseries;
+        std::string trace;
+    };
+    const auto observe = [&](const DesParams &des) {
+        Artifacts a;
+        runServiceWithRequests(des, workload, [&](NdpSystem &system) {
+            obs::Observability *o = system.observability();
+            ASSERT_NE(o, nullptr);
+            o->finish();
+            std::ostringstream rt, ts, tr;
+            o->requestTrace()->writeJson(rt);
+            o->sampler()->writeJson(ts);
+            o->trace()->writeJson(tr);
+            a.reqtrace = rt.str();
+            a.timeseries = ts.str();
+            a.trace = tr.str();
+        });
+        return a;
+    };
+
+    const Artifacts serial = observe(DesParams{});
+    EXPECT_NE(serial.reqtrace.find("\"jobs\""), std::string::npos);
+    // The SLO histogram series ride the sampler time series.
+    EXPECT_NE(serial.timeseries.find("slo_p99_ms"),
+              std::string::npos);
+    for (unsigned shards : {2u, 4u}) {
+        DesParams des;
+        des.force_sharded = true;
+        des.shards = shards;
+        const Artifacts sharded = observe(des);
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        ASSERT_EQ(serial.reqtrace, sharded.reqtrace)
+            << "request-trace JSON diverged";
+        ASSERT_EQ(serial.timeseries, sharded.timeseries)
+            << "time-series (histogram/SLO) JSON diverged";
+        ASSERT_EQ(serial.trace, sharded.trace)
+            << "trace JSON diverged";
+    }
 }
 
 } // namespace

@@ -319,7 +319,7 @@ TEST(SweepIsolationTest, JsonIdenticalAcrossWorkerCounts)
     const std::string serial = sweepJson(1);
     const std::string parallel = sweepJson(8);
     EXPECT_EQ(serial, parallel);
-    EXPECT_NE(serial.find("\"schema\": \"beacon-bench-2\""),
+    EXPECT_NE(serial.find("\"schema\": \"beacon-bench-3\""),
               std::string::npos);
     EXPECT_EQ(serial.find("wall_seconds"), std::string::npos);
     EXPECT_EQ(serial.find("\"jobs\""), std::string::npos);
